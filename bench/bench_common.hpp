@@ -1,0 +1,29 @@
+// Shared helpers for the experiment harnesses (E1..E8).
+//
+// Each bench binary reproduces one experiment from EXPERIMENTS.md: it runs
+// without arguments, prints its seed, the table of results, and a PASS /
+// FAIL verdict line summarizing whether the paper's qualitative claim held
+// in this run.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace rvt::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 0x5eed2010;  // SPAA 2010
+
+inline void header(const std::string& id, const std::string& claim) {
+  std::cout << "==== " << id << " ====\n" << claim << "\n"
+            << "seed: " << kDefaultSeed << "\n\n";
+}
+
+inline void verdict(bool ok, const std::string& what) {
+  std::cout << "\n[" << (ok ? "PASS" : "FAIL") << "] " << what << "\n\n";
+}
+
+}  // namespace rvt::bench

@@ -1,0 +1,118 @@
+// E3 — the headline exponential memory gap.
+//
+// On trees with polylogarithmically many leaves (here: lines, l = 2, and
+// mirror caterpillars with l = 4), compare the measured memory of
+//   * the Theorem 4.1 delay-zero agent:   Theta(log l + log log n) bits
+//   * the arbitrary-delay baseline [14]:  Theta(log n) bits
+// As n grows, the delay-0 agent's memory crawls (log log n) while the
+// baseline's rises linearly in log n: the gap bits_baseline - bits_delay0
+// widens without bound. The baseline's memory is not wasted: Theorem 3.1
+// (bench E1) shows Omega(log n) is *necessary* once the delay is
+// adversarial.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/baseline.hpp"
+#include "core/rendezvous_agent.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "util/math.hpp"
+
+namespace {
+
+using namespace rvt;
+
+struct GapRow {
+  bool ok = false;
+  std::uint64_t bits_delay0 = 0;
+  std::uint64_t bits_baseline = 0;
+  std::uint64_t delay_used = 0;
+};
+
+GapRow measure(const tree::Tree& t, tree::NodeId u, tree::NodeId v,
+               util::Rng& rng, std::uint64_t horizon) {
+  GapRow row;
+  if (tree::perfectly_symmetrizable(t, u, v)) return row;
+  {
+    core::RendezvousAgent a(t, u), b(t, v);
+    const auto r = sim::run_rendezvous(t, a, b, {u, v, 0, 0, horizon});
+    if (!r.met) return row;
+    row.bits_delay0 = std::max(r.memory_bits_a, r.memory_bits_b);
+  }
+  {
+    core::BaselineAgent a(t, u), b(t, v);
+    if (a.info().kind == core::TreeKind::kCentralEdgeSymmetric &&
+        a.label() == b.label()) {
+      return row;  // label collision: skip instance (documented S2 scope)
+    }
+    row.delay_used = rng.uniform(0, 4 * static_cast<std::uint64_t>(
+                                          t.node_count()));
+    const auto r = sim::run_rendezvous(
+        t, a, b, {u, v, 0, row.delay_used, horizon + row.delay_used});
+    if (!r.met) return row;
+    row.bits_baseline = std::max(r.memory_bits_a, r.memory_bits_b);
+  }
+  row.ok = true;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "E3 exponential memory gap (paper headline, Sec. 1.1)",
+      "Delay-zero memory is Theta(log l + log log n); arbitrary-delay\n"
+      "memory is Theta(log n). Their difference widens with n.");
+
+  util::Rng rng(bench::kDefaultSeed);
+  util::Table table({"family", "n", "l", "delay-0 bits", "arb-delay bits",
+                     "gap", "delay used"});
+  bool all_ok = true;
+  std::uint64_t prev_gap = 0;
+  bool gap_monotone = true;
+
+  for (tree::NodeId n : {32, 128, 512, 2048, 8192}) {
+    const tree::Tree t = tree::line(n);
+    const GapRow row =
+        measure(t, 1, static_cast<tree::NodeId>(n / 2 + 1), rng,
+                600000000ull);
+    all_ok = all_ok && row.ok;
+    if (row.ok) {
+      const std::int64_t gap = static_cast<std::int64_t>(row.bits_baseline) -
+                               static_cast<std::int64_t>(row.bits_delay0);
+      gap_monotone = gap_monotone &&
+                     gap + 2 >= static_cast<std::int64_t>(prev_gap);
+      prev_gap = std::max<std::uint64_t>(
+          prev_gap, gap > 0 ? static_cast<std::uint64_t>(gap) : 0);
+      table.row("line", n, 2, row.bits_delay0, row.bits_baseline, gap,
+                row.delay_used);
+    } else {
+      table.row("line", n, 2, "-", "-", "FAIL", row.delay_used);
+    }
+  }
+
+  util::Rng trng(17);
+  for (int half_size : {15, 60, 240, 960}) {
+    const tree::Tree half = tree::random_with_leaves(half_size, 2, trng);
+    const auto ts = tree::two_sided_tree(half, half, 4);
+    const tree::Tree& t = ts.tree;
+    const GapRow row = measure(t, ts.u, static_cast<tree::NodeId>(1), rng,
+                               600000000ull);
+    if (row.ok) {
+      table.row("mirror-caterpillar", t.node_count(), t.leaf_count(),
+                row.bits_delay0, row.bits_baseline,
+                static_cast<std::int64_t>(row.bits_baseline) -
+                    static_cast<std::int64_t>(row.bits_delay0),
+                row.delay_used);
+    } else {
+      table.row("mirror-caterpillar", t.node_count(), t.leaf_count(), "-",
+                "-", "skip", row.delay_used);
+    }
+  }
+
+  table.print(std::cout);
+  bench::verdict(all_ok && gap_monotone,
+                 "gap grows with n on the line series (log n vs log log n)");
+  return (all_ok && gap_monotone) ? 0 : 1;
+}

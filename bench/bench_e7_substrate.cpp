@@ -1,0 +1,105 @@
+// E7 — substrate microbenchmarks (google-benchmark).
+//
+// Not a paper artifact: throughput numbers for the building blocks so
+// regressions in the simulator or the tree algorithms are visible.
+#include <benchmark/benchmark.h>
+
+#include "core/explo.hpp"
+#include "core/rendezvous_agent.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "tree/contraction.hpp"
+#include "tree/walk.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rvt;
+
+tree::Tree make_random_tree(std::int64_t n) {
+  util::Rng rng(42);
+  return tree::randomize_ports(
+      tree::random_with_leaves(static_cast<tree::NodeId>(n),
+                               static_cast<tree::NodeId>(8), rng),
+      rng);
+}
+
+void BM_BasicWalkEulerTour(benchmark::State& state) {
+  const tree::Tree t = make_random_tree(state.range(0));
+  for (auto _ : state) {
+    tree::WalkPos pos{0, -1};
+    for (tree::NodeId k = 0; k < 2 * (t.node_count() - 1); ++k) {
+      pos = tree::bw_step(t, pos);
+    }
+    benchmark::DoNotOptimize(pos);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * (state.range(0) - 1));
+}
+BENCHMARK(BM_BasicWalkEulerTour)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Contract(benchmark::State& state) {
+  const tree::Tree t = make_random_tree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree::contract(t));
+  }
+}
+BENCHMARK(BM_Contract)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PerfectlySymmetrizable(benchmark::State& state) {
+  util::Rng rng(7);
+  const tree::Tree half = tree::random_with_leaves(
+      static_cast<tree::NodeId>(state.range(0) / 2), 6, rng);
+  const auto ts = tree::two_sided_tree(half, half, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree::perfectly_symmetrizable(ts.tree, ts.u, ts.v));
+  }
+}
+BENCHMARK(BM_PerfectlySymmetrizable)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PortSymmetryMap(benchmark::State& state) {
+  util::Rng rng(9);
+  const tree::Tree half = tree::random_with_leaves(
+      static_cast<tree::NodeId>(state.range(0) / 2), 6, rng);
+  const auto ts = tree::two_sided_tree(half, half, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree::port_symmetry_map(ts.tree));
+  }
+}
+BENCHMARK(BM_PortSymmetryMap)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Explo(benchmark::State& state) {
+  const tree::Tree t = make_random_tree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::explo(t, 0));
+  }
+}
+BENCHMARK(BM_Explo)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SimulatorRoundThroughput(benchmark::State& state) {
+  const tree::Tree t = tree::line(static_cast<tree::NodeId>(state.range(0)));
+  core::RendezvousAgent a(t, 1), b(t, 2);
+  sim::TwoAgentRun run(t, a, b, {1, 2, 0, 1ull << 60, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run.tick());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorRoundThroughput)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_RendezvousEndToEnd(benchmark::State& state) {
+  const tree::Tree t = tree::line(static_cast<tree::NodeId>(state.range(0)));
+  const tree::NodeId u = 1;
+  const tree::NodeId v = static_cast<tree::NodeId>(state.range(0) / 2 + 1);
+  for (auto _ : state) {
+    core::RendezvousAgent a(t, u), b(t, v);
+    benchmark::DoNotOptimize(
+        sim::run_rendezvous(t, a, b, {u, v, 0, 0, 1ull << 40}));
+  }
+}
+BENCHMARK(BM_RendezvousEndToEnd)->Arg(1 << 6)->Arg(1 << 9)->Arg(1 << 12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// The exponential memory gap, end to end, on one line network.
+//
+// Three acts on n-node lines:
+//   1. Simultaneous start: the Theorem 4.1 agents meet with ~20 bits —
+//      independent of n for all practical sizes (log log n).
+//   2. Arbitrary delay vs. a small automaton: the Theorem 3.1 adversary
+//      *constructs* a delay and a line on which a K-state walker provably
+//      never meets its twin (certified by a configuration cycle).
+//   3. Arbitrary delay done right: the Theta(log n)-bit baseline survives
+//      every delay we throw at it — matching the Omega(log n) bound, and
+//      exponentially more memory than act 1 needed.
+#include <iostream>
+
+#include "core/baseline.hpp"
+#include "core/rendezvous_agent.hpp"
+#include "lowerbound/arbdelay_line.hpp"
+#include "sim/automaton.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace rvt;
+  util::Rng rng(271828);
+  std::cout << "== Act 1: simultaneous start, little memory ==\n";
+  for (tree::NodeId n : {100, 10000}) {
+    const tree::Tree t = tree::line(n);
+    const tree::NodeId u = 3, v = static_cast<tree::NodeId>(n / 2);
+    core::RendezvousAgent a(t, u), b(t, v);
+    const auto r = sim::run_rendezvous(t, a, b, {u, v, 0, 0, 300000000ull});
+    std::cout << "  n=" << n << ": met=" << (r.met ? "yes" : "NO")
+              << " round=" << r.meeting_round << " memory="
+              << r.memory_bits_a << " bits\n";
+  }
+
+  std::cout << "\n== Act 2: an adversarial delay defeats small memory ==\n";
+  const auto victim = sim::ping_pong_walker(4);  // 16-state walker
+  const auto inst = lowerbound::build_arbdelay_instance(victim, 100000000ull);
+  std::cout << "  victim: " << victim.num_states() << "-state walker\n";
+  if (inst.construction_ok) {
+    std::cout << "  adversary built a " << inst.line.node_count()
+              << "-node line, starts u=" << inst.u << " v=" << inst.v
+              << ", delay theta=" << inst.theta << "\n"
+              << "  agents leave node " << inst.x1_abs
+              << " and its mirror in the same state at round " << inst.t2
+              << ";\n  never meet: certified by a configuration cycle of "
+                 "length "
+              << inst.verdict.cycle_length << " after "
+              << inst.verdict.rounds_checked << " rounds\n";
+  } else {
+    std::cout << "  construction failed (unexpected)\n";
+    return 1;
+  }
+
+  std::cout << "\n== Act 3: surviving arbitrary delay costs log n bits ==\n";
+  for (tree::NodeId n : {100, 10000}) {
+    const tree::Tree t = tree::line(n);
+    const tree::NodeId u = 3, v = static_cast<tree::NodeId>(n / 2);
+    bool all = true;
+    std::uint64_t bits = 0;
+    for (int rep = 0; rep < 4; ++rep) {
+      const std::uint64_t delay = rng.uniform(0, 8ull * n);
+      core::BaselineAgent a(t, u), b(t, v);
+      const auto r = sim::run_rendezvous(
+          t, a, b, {u, v, 0, delay, 900000000ull});
+      all = all && r.met;
+      bits = std::max({bits, r.memory_bits_a, r.memory_bits_b});
+    }
+    std::cout << "  n=" << n << ": survived 4 random delays="
+              << (all ? "yes" : "NO") << " memory=" << bits << " bits\n";
+  }
+  std::cout << "\nMoral: delay zero -> ~Theta(log log n) bits; adversarial "
+               "delay -> Theta(log n) bits.\n";
+  return 0;
+}

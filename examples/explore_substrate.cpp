@@ -1,0 +1,76 @@
+// Tour of the tree substrate: the objects the rendezvous analysis lives
+// on — port-labeled trees, basic walks, contraction, centers, and the
+// symmetry predicates of Definition 1.2 / Fact 1.1.
+#include <iostream>
+
+#include "core/explo.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "tree/center.hpp"
+#include "tree/contraction.hpp"
+#include "tree/walk.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace rvt;
+  util::Rng rng(7);
+
+  // A tree with degree-2 chains: spider with subdivided legs.
+  tree::Tree t = tree::spider(3, 2);
+  t = tree::subdivide_edge(t, 0, 1, 3);
+  std::cout << "tree:\n" << t.to_string() << "\n";
+
+  // Basic walk: the Euler tour every agent navigates by.
+  std::cout << "basic walk from node 0 (first 8 steps):";
+  tree::WalkPos pos{0, -1};
+  for (int k = 0; k < 8; ++k) {
+    pos = tree::bw_step(t, pos);
+    std::cout << " " << pos.node;
+  }
+  std::cout << "\na full basic walk has 2(n-1) = " << 2 * (t.node_count() - 1)
+            << " steps and returns to its start.\n\n";
+
+  // Contraction T': what a memory-starved agent can afford to 'see'.
+  const tree::Contraction c = tree::contract(t);
+  std::cout << "contraction T': nu=" << c.nu() << " nodes (tree has "
+            << t.node_count() << "), leaves preserved: "
+            << c.tprime.leaf_count() << "\n";
+  const tree::Center center = tree::find_center(c.tprime);
+  if (center.has_node()) {
+    std::cout << "T' has a central node: T'-id " << *center.node
+              << " = tree node " << c.to_t[*center.node] << "\n\n";
+  } else {
+    std::cout << "T' has a central edge {" << c.to_t[center.edge->first]
+              << ", " << c.to_t[center.edge->second] << "} (in tree ids)\n\n";
+  }
+
+  // Symmetry predicates on a mirrored instance.
+  const tree::Tree half = tree::random_with_leaves(9, 3, rng);
+  const auto ts = tree::two_sided_tree(half, half, 2);
+  std::cout << "mirror instance: n=" << ts.tree.node_count()
+            << ", symmetric w.r.t. its labeling: "
+            << (tree::tree_symmetric(ts.tree) ? "yes" : "no") << "\n";
+  std::cout << "  u=" << ts.u << ", v=" << ts.v
+            << " perfectly symmetrizable: "
+            << (tree::perfectly_symmetrizable(ts.tree, ts.u, ts.v) ? "yes"
+                                                                   : "no")
+            << " (rendezvous infeasible from there, Fact 1.1)\n";
+  const tree::NodeId w = ts.u;
+  const tree::NodeId x = static_cast<tree::NodeId>(1);
+  std::cout << "  u=" << w << ", v=" << x << " perfectly symmetrizable: "
+            << (tree::perfectly_symmetrizable(ts.tree, w, x) ? "yes" : "no")
+            << "\n\n";
+
+  // What Explo (Fact 2.1) grants an agent.
+  const core::ExploInfo info = core::explo(ts.tree, ts.u);
+  std::cout << "explo from u: kind="
+            << (info.kind == core::TreeKind::kCentralNode
+                    ? "central-node"
+                    : info.kind == core::TreeKind::kCentralEdgeAsymmetric
+                          ? "central-edge-asymmetric"
+                          : "central-edge-symmetric")
+            << " v_hat=" << info.v_hat << " (walk of " << info.steps_to_vhat
+            << " steps), designated node " << info.target << " after "
+            << info.tprime_arrivals_to_target << " T'-arrivals\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Command-line driver: run a rendezvous on a tree supplied as text.
+//
+// Usage:
+//   rvt_cli <tree-file|-> <u> <v> [options]
+//     --agent thm41|baseline|prime   algorithm (default thm41)
+//     --delay-a N / --delay-b N      start delays (default 0)
+//     --max-rounds N                 horizon (default 100000000)
+//     --timed-explo                  Thm 4.1 agent with real Explo tours
+//     --dot FILE                     write the instance as Graphviz DOT
+//
+// The tree format is tree/io.hpp's: node count, then "u v port_u port_v"
+// per edge; '-' reads stdin. Exit code: 0 met, 2 not met, 1 usage/infeasible.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/baseline.hpp"
+#include "core/prime_protocol.hpp"
+#include "core/rendezvous_agent.hpp"
+#include "sim/simulator.hpp"
+#include "tree/canonical.hpp"
+#include "tree/io.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rvt_cli <tree-file|-> <u> <v> [--agent "
+               "thm41|baseline|prime] [--delay-a N] [--delay-b N] "
+               "[--max-rounds N] [--timed-explo] [--dot FILE]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rvt;
+  if (argc < 4) return usage();
+
+  std::string text;
+  if (std::strcmp(argv[1], "-") == 0) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    text = ss.str();
+  }
+
+  tree::Tree t = tree::Tree::single_node();
+  try {
+    t = tree::from_text(text);
+  } catch (const std::exception& e) {
+    std::cerr << "bad tree: " << e.what() << "\n";
+    return 1;
+  }
+
+  const tree::NodeId u = std::atoi(argv[2]);
+  const tree::NodeId v = std::atoi(argv[3]);
+  std::string agent_kind = "thm41";
+  std::uint64_t delay_a = 0, delay_b = 0, max_rounds = 100000000ull;
+  bool timed_explo = false;
+  std::string dot_file;
+  for (int i = 4; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << a << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--agent") {
+      agent_kind = next();
+    } else if (a == "--delay-a") {
+      delay_a = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--delay-b") {
+      delay_b = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--max-rounds") {
+      max_rounds = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--timed-explo") {
+      timed_explo = true;
+    } else if (a == "--dot") {
+      dot_file = next();
+    } else {
+      return usage();
+    }
+  }
+
+  if (u < 0 || u >= t.node_count() || v < 0 || v >= t.node_count() ||
+      u == v) {
+    std::cerr << "bad start positions\n";
+    return 1;
+  }
+  if (!dot_file.empty()) {
+    std::ofstream out(dot_file);
+    out << tree::to_dot(t, {{u, "lightblue"}, {v, "salmon"}});
+    std::cout << "wrote " << dot_file << "\n";
+  }
+
+  std::cout << "tree: n=" << t.node_count() << " leaves=" << t.leaf_count()
+            << "; starts " << u << ", " << v << "; delays " << delay_a
+            << ", " << delay_b << "\n";
+  const bool symmetrizable = tree::perfectly_symmetrizable(t, u, v);
+  std::cout << "perfectly symmetrizable: " << (symmetrizable ? "YES" : "no")
+            << (symmetrizable ? " (no algorithm can guarantee rendezvous)"
+                              : "")
+            << "\n";
+
+  std::unique_ptr<sim::Agent> a, b;
+  if (agent_kind == "thm41") {
+    core::RendezvousOptions opt;
+    opt.timed_explo = timed_explo;
+    a = std::make_unique<core::RendezvousAgent>(t, u, opt);
+    b = std::make_unique<core::RendezvousAgent>(t, v, opt);
+  } else if (agent_kind == "baseline") {
+    a = std::make_unique<core::BaselineAgent>(t, u);
+    b = std::make_unique<core::BaselineAgent>(t, v);
+  } else if (agent_kind == "prime") {
+    if (t.max_degree() > 2) {
+      std::cerr << "prime agent runs on paths only\n";
+      return 1;
+    }
+    a = std::make_unique<core::PrimeAgent>();
+    b = std::make_unique<core::PrimeAgent>();
+  } else {
+    return usage();
+  }
+
+  const auto r = sim::run_rendezvous(
+      t, *a, *b, {u, v, delay_a, delay_b, max_rounds});
+  if (r.met) {
+    std::cout << "MET at node " << r.meeting_node << " in round "
+              << r.meeting_round << "; memory " << r.memory_bits_a << "/"
+              << r.memory_bits_b << " bits; moves " << r.moves_a << "/"
+              << r.moves_b << "\n";
+    return 0;
+  }
+  std::cout << "no meeting within " << max_rounds << " rounds\n";
+  return 2;
+}

@@ -1,0 +1,77 @@
+// Scenario: data-mule rendezvous in a sensor field.
+//
+// A corridor deployment (a long backbone with sparse instrument clusters)
+// is modeled as a tree with many degree-2 relay nodes and few leaves —
+// exactly the regime where the paper's O(log l + log log n) algorithm
+// shines. Two identical maintenance robots wake up simultaneously at
+// unknown positions and must meet to exchange data, using only port
+// numbers, with radios (node ids, GPS) unavailable.
+//
+// The sweep varies the corridor length (n) at a fixed handful of clusters
+// (l), showing rounds-to-meet growing with n while the robots' memory
+// stays essentially flat.
+#include <algorithm>
+#include <iostream>
+
+#include "core/rendezvous_agent.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rvt;
+
+/// A corridor: a spine of `spine` relays; clusters of 2 instruments hang
+/// off evenly spaced junctions.
+tree::Tree corridor(tree::NodeId spine, int clusters, util::Rng& rng) {
+  std::vector<int> attach(spine, 0);
+  for (int c = 0; c < clusters; ++c) {
+    attach[(c + 1) * spine / (clusters + 1)] = 2;
+  }
+  return tree::randomize_ports(tree::caterpillar(spine, attach), rng);
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(314159);
+  std::cout << "Data-mule rendezvous in corridor deployments (seed "
+            << rng.seed() << ")\n\n";
+
+  util::Table table({"spine", "n", "clusters", "leaves", "deployments",
+                     "met", "rounds(max)", "robot memory bits"});
+  bool all_met = true;
+
+  for (tree::NodeId spine : {50, 200, 800, 3200}) {
+    for (int clusters : {2, 4}) {
+      const tree::Tree t = corridor(spine, clusters, rng);
+      int met = 0, tried = 0;
+      std::uint64_t worst_rounds = 0, bits = 0;
+      for (int rep = 0; rep < 6; ++rep) {
+        const tree::NodeId u =
+            static_cast<tree::NodeId>(rng.index(t.node_count()));
+        const tree::NodeId v =
+            static_cast<tree::NodeId>(rng.index(t.node_count()));
+        if (u == v || tree::perfectly_symmetrizable(t, u, v)) continue;
+        ++tried;
+        core::RendezvousAgent a(t, u), b(t, v);
+        const auto r =
+            sim::run_rendezvous(t, a, b, {u, v, 0, 0, 800000000ull});
+        if (r.met) ++met;
+        worst_rounds = std::max(worst_rounds, r.rounds_executed);
+        bits = std::max({bits, r.memory_bits_a, r.memory_bits_b});
+      }
+      all_met = all_met && met == tried;
+      table.row(spine, t.node_count(), clusters, t.leaf_count(),
+                tried, met, worst_rounds, bits);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nNote how the memory column barely moves while n grows "
+               "64-fold:\nthe robots pay log(l) + loglog(n) bits, not "
+               "log(n).\n";
+  return all_met ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+#include "core/baseline.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace rvt::core {
+
+BaselineAgent::BaselineAgent(const tree::Tree& t, tree::NodeId start)
+    : info_(explo(t, start)) {
+  meter_.declare_control_states(5ull * 2);
+  ktar_ = info_.tprime_arrivals_to_target;
+  if (info_.kind == TreeKind::kCentralEdgeSymmetric) {
+    label_ = info_.steps_to_vhat + info_.tsteps_to_target;
+    // Fixed label width: both agents derive the same r from n, and every
+    // label value (<= 4n) fits.
+    label_width_ =
+        util::bit_width_for(4 * static_cast<std::uint64_t>(info_.n));
+    tour_len_ = 2 * (static_cast<std::uint64_t>(info_.n) - 1);
+    // Provision the schedule counters to capacity so memory_bits()
+    // reports allocation width, not how far a short run pushed them.
+    pos_.set(4 * tour_len_.get() - 1);
+    pos_.reset();
+    letter_.set(4 + 2ull * label_width_ - 1);
+    letter_.reset();
+  }
+  acnt_.set(ktar_.get());
+  acnt_.reset();
+}
+
+bool BaselineAgent::letter_active(std::uint64_t letter) const {
+  // Preamble A A A P: a Manchester pair contains exactly one ACTIVE
+  // letter, so a run of >= 3 ACTIVE letters occurs only at the preamble —
+  // making the word rotation-unique and two distinct labels never
+  // circularly equal.
+  if (letter < 4) return letter != 3;
+  const std::uint64_t k = letter - 4;
+  const unsigned bit_index =
+      label_width_ - 1 - static_cast<unsigned>(k / 2);  // MSB first
+  const bool bit = (label_.get() >> bit_index) & 1;
+  const bool first_half = (k % 2) == 0;
+  return bit == first_half;  // 1 -> A,P ; 0 -> P,A
+}
+
+int BaselineAgent::step(const sim::Observation& obs) {
+  if (obs.in_port >= 0) last_in_ = static_cast<std::uint64_t>(obs.in_port);
+  const std::uint64_t d = static_cast<std::uint64_t>(obs.degree);
+
+  // Arrival bookkeeping / phase transitions.
+  switch (phase_) {
+    case Phase::kStart:
+      phase_ = obs.degree == 2 ? Phase::kToLeaf : Phase::kToTarget;
+      if (phase_ == Phase::kToTarget && ktar_.get() == 0) {
+        phase_ = info_.kind == TreeKind::kCentralEdgeSymmetric
+                     ? Phase::kSchedule
+                     : Phase::kPark;
+      }
+      acnt_.reset();
+      fresh_ = true;
+      break;
+    case Phase::kToLeaf:
+      if (obs.in_port >= 0 && obs.degree == 1) {
+        phase_ = ktar_.get() == 0
+                     ? (info_.kind == TreeKind::kCentralEdgeSymmetric
+                            ? Phase::kSchedule
+                            : Phase::kPark)
+                     : Phase::kToTarget;
+        acnt_.reset();
+        fresh_ = true;
+      }
+      break;
+    case Phase::kToTarget:
+      if (obs.in_port >= 0 && obs.degree != 2) {
+        acnt_.increment();
+        if (acnt_.get() == ktar_.get()) {
+          phase_ = info_.kind == TreeKind::kCentralEdgeSymmetric
+                       ? Phase::kSchedule
+                       : Phase::kPark;
+          letter_.reset();
+          pos_.reset();
+          fresh_ = true;
+        }
+      }
+      break;
+    default:
+      break;
+  }
+
+  // Act.
+  switch (phase_) {
+    case Phase::kPark:
+      return sim::kStay;
+
+    case Phase::kToLeaf:
+    case Phase::kToTarget: {
+      if (fresh_) {
+        fresh_ = false;
+        return 0;
+      }
+      return static_cast<int>((last_in_.get() + 1) % d);
+    }
+
+    case Phase::kSchedule: {
+      // Letters of W = 4 * tour_len rounds; the repeating word is the
+      // preamble plus the Manchester-coded label, 3 + 2r letters long.
+      const std::uint64_t W = 4 * tour_len_.get();
+      const std::uint64_t word_len = 4 + 2ull * label_width_;
+      const bool active = letter_active(letter_.get());
+      const std::uint64_t pos = pos_.get();
+      pos_.increment();
+      if (pos_.get() == W) {
+        pos_.reset();
+        letter_ = (letter_.get() + 1) % word_len;
+      }
+      if (!active) return sim::kStay;
+      // Active: back-to-back Euler tours; each tour starts at the anchor
+      // by port 0.
+      if (pos % tour_len_.get() == 0) return 0;
+      return static_cast<int>((last_in_.get() + 1) % d);
+    }
+
+    case Phase::kStart:
+      break;
+  }
+  throw std::logic_error("BaselineAgent: unreachable");
+}
+
+std::uint64_t BaselineAgent::memory_bits() const {
+  return meter_.total_bits();
+}
+
+}  // namespace rvt::core

@@ -1,0 +1,76 @@
+// Arbitrary-delay baseline: Theta(log n)-bit rendezvous in trees.
+//
+// The paper's comparison point is the O(log n)-bit arbitrary-delay
+// algorithm of Czyzowicz, Kosowski and Pelc [14] for arbitrary graphs.
+// Per DESIGN.md substitution S2 we implement a tree-specialized
+// arbitrary-delay agent with the same Theta(log n) memory footprint:
+//
+//  * central node or asymmetric central edge: walk to the designated node
+//    and park — delay-proof.
+//  * symmetric central edge: position labels + a Manchester-coded
+//    activity schedule (the label-based technique of Dessmark, Fraigniaud,
+//    Kowalski and Pelc, Algorithmica 2006). The label is the T-step length
+//    L + L-hat of the basic walk from the start to the farthest extremity
+//    of the central path (a value <= 4n, so Theta(log n) bits). Time is
+//    cut into letters of W = 8(n-1) rounds. The agent repeats the word
+//        A A A P | b_1 b_1' | b_2 b_2' | ... | b_r b_r'
+//    where b_k is the k-th bit of the label (fixed width r derived from
+//    n), encoded ACTIVE-then-PASSIVE for 1 and PASSIVE-then-ACTIVE for 0.
+//    An ACTIVE letter is 4 back-to-back Euler tours from the agent's
+//    anchor; a PASSIVE letter parks at the anchor. Distinct labels make
+//    the words differ, so under any start delay some passive letter of
+//    one agent overlaps an active letter of the other by >= 2
+//    tour-lengths, which contains a complete Euler tour — a tour visits
+//    every node, so the agents meet.
+//
+// Labels can collide on instances where both agents' walks happen to have
+// equal length (Lemma 4.3 shows full-profile equality implies perfect
+// symmetrizability, but single-length equality does not); the E3 harness
+// checks labels via label() and reports such instances separately. The
+// measured memory is Theta(log n) — the quantity the memory-gap experiment
+// compares against the Theorem 4.1 agent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/explo.hpp"
+#include "sim/agent.hpp"
+#include "sim/meter.hpp"
+#include "tree/tree.hpp"
+
+namespace rvt::core {
+
+class BaselineAgent final : public sim::Agent {
+ public:
+  BaselineAgent(const tree::Tree& t, tree::NodeId start);
+
+  int step(const sim::Observation& obs) override;
+  std::uint64_t memory_bits() const override;
+  std::string name() const override { return "baseline-logn"; }
+
+  const ExploInfo& info() const { return info_; }
+  std::uint64_t label() const { return label_.get(); }
+
+ private:
+  enum class Phase { kStart, kToLeaf, kToTarget, kSchedule, kPark };
+
+  /// True iff the agent is ACTIVE during word letter `letter`.
+  bool letter_active(std::uint64_t letter) const;
+
+  const ExploInfo info_;
+  Phase phase_ = Phase::kStart;
+  bool fresh_ = true;
+  unsigned label_width_ = 0;  ///< r: fixed bit width of the label
+
+  sim::MemoryMeter meter_;
+  sim::MeteredCounter& label_ = meter_.counter("label");
+  sim::MeteredCounter& ktar_ = meter_.counter("k_target");
+  sim::MeteredCounter& acnt_ = meter_.counter("arrivals");
+  sim::MeteredCounter& letter_ = meter_.counter("letter");
+  sim::MeteredCounter& pos_ = meter_.counter("pos_in_letter");
+  sim::MeteredCounter& last_in_ = meter_.counter("last_in");
+  sim::MeteredCounter& tour_len_ = meter_.counter("tour_len");
+};
+
+}  // namespace rvt::core

@@ -1,0 +1,148 @@
+#include "core/explo.hpp"
+
+#include <stdexcept>
+
+#include "tree/center.hpp"
+#include "tree/walk.hpp"
+
+namespace rvt::core {
+
+using tree::NodeId;
+using tree::Port;
+using tree::Tree;
+
+std::vector<std::int64_t> port_code_vec(const Tree& t, NodeId root,
+                                        Port parent_port) {
+  std::vector<std::int64_t> out;
+  struct Frame {
+    NodeId node;
+    Port parent_port;
+    Port next_port = 0;
+  };
+  std::vector<Frame> stack{{root, parent_port, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_port == 0) {
+      out.push_back(t.degree(f.node));
+      out.push_back(f.parent_port);
+    }
+    bool descended = false;
+    while (f.next_port < t.degree(f.node)) {
+      const Port p = f.next_port++;
+      if (p == f.parent_port) continue;
+      out.push_back(p);
+      out.push_back(t.reverse_port(f.node, p));
+      stack.push_back({t.neighbor(f.node, p), t.reverse_port(f.node, p), 0});
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+  return out;
+}
+
+namespace {
+
+/// Number of T'-node arrivals along the minimal basic walk in T from
+/// `start` (a T'-node) to `target` (a T'-node). 0 if equal.
+std::uint64_t tprime_arrivals(const Tree& t, NodeId start, NodeId target,
+                              std::uint64_t* tsteps_out) {
+  std::uint64_t arrivals = 0;
+  if (start == target) {
+    if (tsteps_out) *tsteps_out = 0;
+    return 0;
+  }
+  const std::uint64_t bound =
+      2 * static_cast<std::uint64_t>(t.node_count() - 1);
+  tree::WalkPos pos{start, -1};
+  for (std::uint64_t k = 1; k <= bound; ++k) {
+    pos = tree::bw_step(t, pos);
+    if (t.degree(pos.node) != 2) ++arrivals;
+    if (pos.node == target) {
+      if (tsteps_out) *tsteps_out = k;
+      return arrivals;
+    }
+  }
+  throw std::logic_error("tprime_arrivals: target unreachable");
+}
+
+}  // namespace
+
+ExploInfo explo(const Tree& t, NodeId v) {
+  if (t.node_count() < 2) {
+    throw std::invalid_argument("explo: need at least 2 nodes");
+  }
+  if (v < 0 || v >= t.node_count()) {
+    throw std::invalid_argument("explo: start out of range");
+  }
+  ExploInfo info;
+  info.n = t.node_count();
+  info.ell = t.leaf_count();
+
+  // Explo-bis stage: v_hat.
+  if (t.degree(v) != 2) {
+    info.v_hat = v;
+    info.steps_to_vhat = 0;
+  } else {
+    const std::uint64_t bound =
+        2 * static_cast<std::uint64_t>(t.node_count() - 1);
+    const tree::WalkResult r = tree::basic_walk_until(
+        t, v,
+        [&t](const tree::WalkPos& p, std::uint64_t) {
+          return t.degree(p.node) == 1;
+        },
+        bound);
+    if (!r.stopped) throw std::logic_error("explo: no leaf reached");
+    info.v_hat = r.pos.node;
+    info.steps_to_vhat = r.steps;
+  }
+
+  const tree::Contraction c = tree::contract(t);
+  info.nu = c.nu();
+
+  const tree::Center center = tree::find_center(c.tprime);
+  if (center.has_node()) {
+    info.kind = TreeKind::kCentralNode;
+    info.target = c.to_t[*center.node];
+    info.central_port_at_target = -1;
+  } else {
+    const auto [xp, yp] = *center.edge;
+    const Port cx = c.tprime.port_towards(xp, yp);
+    const Port cy = c.tprime.port_towards(yp, xp);
+    const auto code_x = port_code_vec(c.tprime, xp, cx);
+    const auto code_y = port_code_vec(c.tprime, yp, cy);
+    const bool symmetric = (cx == cy) && (code_x == code_y);
+    if (!symmetric) {
+      info.kind = TreeKind::kCentralEdgeAsymmetric;
+      // Canonical extremity: both agents pick the same side by comparing
+      // (port of the central edge, then the rooted port code).
+      NodeId chosen = xp;
+      if (cy < cx || (cy == cx && code_y < code_x)) chosen = yp;
+      info.target = c.to_t[chosen];
+      info.central_port_at_target =
+          chosen == xp ? cx : cy;
+    } else {
+      info.kind = TreeKind::kCentralEdgeSymmetric;
+      // Farthest extremity from v_hat: the endpoint in the other half.
+      // The minimal basic walk from v_hat first reaches the near endpoint
+      // and crosses the central edge exactly once before reaching the far
+      // one, so "in the other half" == "reached later".
+      const NodeId x = c.to_t[xp];
+      const NodeId y = c.to_t[yp];
+      std::uint64_t steps_x = 0, steps_y = 0;
+      tprime_arrivals(t, info.v_hat, x, &steps_x);
+      tprime_arrivals(t, info.v_hat, y, &steps_y);
+      NodeId far = steps_x >= steps_y ? x : y;
+      if (info.v_hat == x) far = y;
+      if (info.v_hat == y) far = x;
+      info.target = far;
+      info.central_port_at_target =
+          far == x ? cx : cy;
+    }
+  }
+  info.tprime_arrivals_to_target = tprime_arrivals(
+      t, info.v_hat, info.target, &info.tsteps_to_target);
+  return info;
+}
+
+}  // namespace rvt::core

@@ -1,0 +1,78 @@
+// Procedure Explo / Explo-bis (paper Fact 2.1 and §4.1 Stage 1).
+//
+// Fact 2.1 (citing the log-memory tree exploration of Gasieniec, Pelc,
+// Radzik and Zhang, SODA 2007) grants an agent the following knowledge,
+// computed from its own starting position with O(log m) bits: the number of
+// nodes, whether the tree has a central node / an asymmetric central edge /
+// a symmetric central edge, and the minimum number of basic-walk steps from
+// its start to the designated node (the central node, the canonical
+// extremity, or the *farthest* extremity of the central edge), along with
+// the port of the central edge at that node.
+//
+// Explo-bis runs Explo on the contraction T' after first walking to v-hat:
+// v itself when deg(v) != 2, else the first leaf reached by a basic walk.
+//
+// Per DESIGN.md substitution S1, this module computes those outputs
+// directly from the tree (the cited exploration machinery is prior work,
+// not this paper's contribution); the agent is *charged* the memory the
+// fact guarantees — O(log nu) bits, nu = |T'| <= 2*leaves - 1 — by loading
+// the numeric outputs into metered counters. All the *walking* that
+// Explo-bis implies for the timing analysis (the v -> v-hat leg) is
+// performed physically by the agents.
+#pragma once
+
+#include <cstdint>
+
+#include "tree/contraction.hpp"
+#include "tree/tree.hpp"
+
+namespace rvt::core {
+
+enum class TreeKind {
+  kCentralNode,            ///< T' has a central node
+  kCentralEdgeAsymmetric,  ///< central edge, halves distinguishable
+  kCentralEdgeSymmetric,   ///< central edge, port-preserving symmetry
+};
+
+struct ExploInfo {
+  TreeKind kind = TreeKind::kCentralNode;
+
+  std::int64_t n = 0;    ///< number of nodes of T
+  std::int64_t nu = 0;   ///< number of nodes of T' (paper's nu)
+  std::int64_t ell = 0;  ///< number of leaves of T (== leaves of T')
+
+  tree::NodeId v_hat = -1;        ///< v, or the leaf Explo-bis walks to
+  std::uint64_t steps_to_vhat = 0;  ///< L: basic-walk T-steps v -> v_hat
+
+  /// The designated node, in T coordinates: the central node of T' (as a T
+  /// node), the canonical extremity of an asymmetric central edge, or the
+  /// farthest extremity of a symmetric central edge as seen from v_hat.
+  tree::NodeId target = -1;
+
+  /// Number of T'-node arrivals of the minimal basic walk from v_hat to
+  /// `target` (a T'-scale quantity, <= 2(nu-1); this is how the agent
+  /// addresses the target with O(log l) bits).
+  std::uint64_t tprime_arrivals_to_target = 0;
+
+  /// T-steps of that same minimal basic walk (the paper's L-hat; used by
+  /// the O(log n) baseline's label, not by the Theorem 4.1 agent).
+  std::uint64_t tsteps_to_target = 0;
+
+  /// For the central-edge kinds: port of the central edge at `target`.
+  tree::Port central_port_at_target = -1;
+};
+
+/// Runs the Explo-bis computation for an agent whose initial position is
+/// `v`. Requires t.node_count() >= 2.
+ExploInfo explo(const tree::Tree& t, tree::NodeId v);
+
+/// Canonical total order key of a rooted port-labeled tree: preorder
+/// serialization (deg, parent_port, then per ascending port: port, reverse
+/// port, subtree). Equal vectors <=> port-preserving rooted isomorphism;
+/// lexicographic comparison gives the canonical-extremity tie-break that
+/// both agents agree on. Exposed for tests.
+std::vector<std::int64_t> port_code_vec(const tree::Tree& t,
+                                        tree::NodeId root,
+                                        tree::Port parent_port);
+
+}  // namespace rvt::core

@@ -1,0 +1,104 @@
+#include "core/mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace rvt::core {
+
+void MapperAgent::observe_current(const sim::Observation& obs) {
+  NodeInfo info;
+  info.degree = obs.degree;
+  info.entry_port = obs.in_port;
+  info.nbr.assign(obs.degree, -1);
+  info.rev.assign(obs.degree, -1);
+  nodes_.push_back(std::move(info));
+}
+
+int MapperAgent::step(const sim::Observation& obs) {
+  if (done_) return sim::kStay;
+
+  if (!started_) {
+    started_ = true;
+    observe_current(obs);  // the root, entry_port == -1
+    stack_ = {0};
+    if (obs.degree == 0) {  // single-node tree
+      done_ = true;
+      return sim::kStay;
+    }
+    pending_port_ = 0;  // basic walk: leave the start by port 0
+    ++steps_;
+    return 0;
+  }
+
+  // A move happened last round: we arrived via obs.in_port. Identify
+  // where: leaving a non-root node by its entry port climbs to the parent;
+  // anything else discovered a brand-new child (basic walks are DFS on
+  // trees).
+  const tree::NodeId prev = stack_.back();
+  if (stack_.size() > 1 && nodes_[prev].entry_port == pending_port_) {
+    stack_.pop_back();
+    const tree::NodeId cur = stack_.back();
+    if (nodes_[cur].degree != obs.degree) {
+      throw std::logic_error("MapperAgent: parent degree mismatch");
+    }
+  } else {
+    const tree::NodeId fresh = static_cast<tree::NodeId>(nodes_.size());
+    observe_current(obs);
+    nodes_[prev].nbr[pending_port_] = fresh;
+    nodes_[prev].rev[pending_port_] = obs.in_port;
+    nodes_[fresh].nbr[obs.in_port] = prev;
+    nodes_[fresh].rev[obs.in_port] = pending_port_;
+    stack_.push_back(fresh);
+  }
+
+  // Termination: back at the root with every root port wired.
+  if (stack_.size() == 1) {
+    bool complete = true;
+    for (const tree::NodeId nb : nodes_[0].nbr) complete &= nb >= 0;
+    if (complete) {
+      done_ = true;
+      return sim::kStay;
+    }
+  }
+
+  // Continue the basic walk.
+  const tree::Port out =
+      static_cast<tree::Port>((obs.in_port + 1) % obs.degree);
+  pending_port_ = out;
+  ++steps_;
+  return out;
+}
+
+std::uint64_t MapperAgent::memory_bits() const {
+  const std::uint64_t n = nodes_.size();
+  if (n <= 1) return 1;
+  int maxdeg = 1;
+  for (const auto& info : nodes_) {
+    maxdeg = std::max(maxdeg, info.degree);
+  }
+  // (n-1) edges, each two (node id, port) endpoints.
+  return (n - 1) * 2 *
+         (util::bit_width_for(n) +
+          util::bit_width_for(static_cast<std::uint64_t>(maxdeg)));
+}
+
+tree::Tree MapperAgent::reconstruction() const {
+  if (!done_) {
+    throw std::logic_error("MapperAgent: reconstruction before completion");
+  }
+  const tree::NodeId n = static_cast<tree::NodeId>(nodes_.size());
+  if (n == 1) return tree::Tree::single_node();
+  std::vector<tree::PortedEdge> edges;
+  for (tree::NodeId a = 0; a < n; ++a) {
+    for (tree::Port p = 0; p < nodes_[a].degree; ++p) {
+      const tree::NodeId b = nodes_[a].nbr[p];
+      if (b < 0) throw std::logic_error("MapperAgent: incomplete map");
+      if (a < b) edges.push_back({a, b, p, nodes_[a].rev[p]});
+    }
+  }
+  return tree::Tree(n, edges);
+}
+
+}  // namespace rvt::core

@@ -1,0 +1,72 @@
+// Reference exploration: reconstructing the whole anonymous tree from one
+// basic walk's observation stream.
+//
+// The oracle-backed Explo (DESIGN.md S1) asserts that everything Fact 2.1
+// grants an agent is learnable by walking. This module proves it
+// constructively at the O(n log n)-memory reference point: an agent that
+// performs the basic walk (exit (i+1) mod d) while maintaining an explicit
+// map. The key structural fact (tested in test_properties.cpp) is that on
+// a tree the basic walk is a DFS: from a node first entered through port
+// q, exiting any port p != q leads to a NEVER-VISITED child, and the tour
+// of that child's subtree returns through p; exiting q itself climbs back
+// to the (already known) parent. So a stack of pending ports reconstructs
+// the tree unambiguously and detects termination after exactly 2(n-1)
+// steps — without knowing n in advance.
+//
+// The reconstruction is node-renamed (first-visit order, start = 0) but
+// port-exact, so it is port-isomorphic to the real tree rooted at the
+// start; explo() on the reconstruction must agree with explo() on the real
+// tree in every numeric output. The tests check both.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "tree/tree.hpp"
+
+namespace rvt::core {
+
+class MapperAgent final : public sim::Agent {
+ public:
+  MapperAgent() = default;
+
+  int step(const sim::Observation& obs) override;
+
+  /// O(n log n) bits: the explicit map. Reported as edges * (2 ids + 2
+  /// ports); this agent is the reference point the paper's O(log l +
+  /// log log n) result is measured against.
+  std::uint64_t memory_bits() const override;
+  std::string name() const override { return "mapper"; }
+
+  bool done() const { return done_; }
+
+  /// The reconstructed tree (node 0 = the start), available once done().
+  /// Throws std::logic_error before completion.
+  tree::Tree reconstruction() const;
+
+  /// Steps taken so far (== 2(n-1) when done).
+  std::uint64_t steps_walked() const { return steps_; }
+
+ private:
+  struct NodeInfo {
+    int degree = -1;               // -1 until observed
+    tree::Port entry_port = -1;    // port of first entry (-1 for the root)
+    tree::Port next_port = 0;      // next port to probe
+    std::vector<tree::NodeId> nbr; // neighbor by port (-1 unknown)
+    std::vector<tree::Port> rev;   // reverse port by port
+  };
+
+  void observe_current(const sim::Observation& obs);
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<tree::NodeId> stack_;  // path from root to current node
+  tree::Port pending_port_ = -1;     // port we left the previous node by
+  bool started_ = false;
+  bool done_ = false;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace rvt::core

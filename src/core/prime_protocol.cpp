@@ -1,0 +1,59 @@
+#include "core/prime_protocol.hpp"
+
+#include <stdexcept>
+
+#include "util/primes.hpp"
+
+namespace rvt::core {
+
+int PrimeAgent::step(const sim::Observation& obs) {
+  if (obs.degree != 1 && obs.degree != 2) {
+    throw std::logic_error("PrimeAgent used off a path");
+  }
+  meter_.declare_control_states(4);  // {InitRun, Loop} x {just-moved?}
+  if (obs.in_port >= 0) last_in_ = static_cast<std::uint64_t>(obs.in_port);
+
+  if (phase_ == Phase::kInitRun) {
+    if (obs.degree == 1) {
+      // Reached an extremity (or started on one): enter the prime loop.
+      // This arrival is not a completed traversal, so don't fall through
+      // to the leaf-arrival bookkeeping below.
+      phase_ = Phase::kLoop;
+      prime_ = 2;
+      half_traversals_ = 0;
+      tick_ = prime_.get() - 1;
+      tick_.decrement();
+      return sim::kStay;
+    } else {
+      // Speed 1: keep walking. First move: arbitrary direction = port 0;
+      // afterwards continue away from where we came.
+      if (!started_) {
+        started_ = true;
+        return 0;
+      }
+      return static_cast<int>(1 - last_in_.get());
+    }
+  }
+
+  // Loop phase. Count a completed traversal on each arrival at a leaf.
+  if (obs.in_port >= 0 && obs.degree == 1) {
+    ++half_traversals_;
+    ++total_traversals_;
+    if (half_traversals_ == 2) {
+      half_traversals_ = 0;
+      prime_ = util::next_prime(prime_.get());
+    }
+  }
+  if (tick_.get() > 0) {
+    tick_.decrement();
+    return sim::kStay;
+  }
+  tick_ = prime_.get() - 1;
+  started_ = true;
+  if (obs.degree == 1) return 0;  // turn around at an extremity
+  return static_cast<int>(1 - last_in_.get());
+}
+
+std::uint64_t PrimeAgent::memory_bits() const { return meter_.total_bits(); }
+
+}  // namespace rvt::core

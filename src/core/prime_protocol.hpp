@@ -1,0 +1,52 @@
+// The `prime` protocol (paper Lemma 4.1): blind-agent rendezvous on paths
+// with O(log log m) bits of memory.
+//
+//   start in arbitrary direction;
+//   move at speed 1 until reaching one extremity of the path;
+//   p <- 2;
+//   while no rendezvous:
+//     traverse the entire path twice, at speed 1/p;
+//     p <- smallest prime larger than p;
+//
+// Speed 1/p means the agent idles p-1 rounds before every edge crossing.
+// The agent is blind: at a degree-2 node it only distinguishes the edge it
+// came in by from the other one, and it turns around at extremities. The
+// divisibility argument of Lemma 4.1 shows the agents meet at or before
+// the prime p_j where prod_{i<=j} p_i exceeds m^2, i.e. p_j = O(log m),
+// hence both the current-prime counter and the idle tick fit in
+// O(log log m) bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/agent.hpp"
+#include "sim/meter.hpp"
+
+namespace rvt::core {
+
+class PrimeAgent final : public sim::Agent {
+ public:
+  PrimeAgent() = default;
+
+  int step(const sim::Observation& obs) override;
+  std::uint64_t memory_bits() const override;
+  std::string name() const override { return "prime"; }
+
+  std::uint64_t current_prime() const { return prime_.get(); }
+  std::uint64_t traversals_completed() const { return total_traversals_; }
+
+ private:
+  enum class Phase { kInitRun, kLoop };
+  Phase phase_ = Phase::kInitRun;
+  bool started_ = false;
+  int half_traversals_ = 0;        // leaf arrivals since last prime bump
+  std::uint64_t total_traversals_ = 0;
+
+  sim::MemoryMeter meter_;
+  sim::MeteredCounter& prime_ = meter_.counter("p");
+  sim::MeteredCounter& tick_ = meter_.counter("tick");
+  sim::MeteredCounter& last_in_ = meter_.counter("last_in");
+};
+
+}  // namespace rvt::core

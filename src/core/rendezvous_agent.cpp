@@ -1,0 +1,448 @@
+#include "core/rendezvous_agent.hpp"
+
+#include <stdexcept>
+
+#include "util/primes.hpp"
+
+namespace rvt::core {
+
+namespace {
+constexpr std::uint64_t kControlStates = 14ull * 2 * 2 * 2 * 2;
+}
+
+RendezvousAgent::RendezvousAgent(const tree::Tree& t, tree::NodeId start,
+                                 RendezvousOptions opts)
+    : info_(explo(t, start)), opts_(opts) {
+  meter_.declare_control_states(kControlStates);
+  nu_ = static_cast<std::uint64_t>(info_.nu);
+  ell_ = static_cast<std::uint64_t>(info_.ell);
+  ktar_ = info_.tprime_arrivals_to_target;
+  if (info_.central_port_at_target >= 0) {
+    cport_mine_ = static_cast<std::uint64_t>(info_.central_port_at_target);
+  }
+  // Provision the statically bounded counters to their capacity (the
+  // high-water mark survives the reset), so memory_bits() reports the
+  // width the agent must allocate rather than how far a short run
+  // happened to push each counter. The prime-machinery counters (i, p,
+  // prime_index, tick) stay run-measured: their growth to O(log n) values
+  // IS the log log n term of the theorem.
+  if (info_.kind == TreeKind::kCentralEdgeSymmetric) {
+    const std::uint64_t arr_bound = 2 * (nu_.get() - 1);
+    acnt_.set(arr_bound);
+    acnt_.reset();
+    sacnt_.set(arr_bound);
+    sacnt_.reset();
+    j_.set(arr_bound);
+    j_.reset();
+    seg_.set(20 * ell_.get() + 2);
+    seg_.reset();
+  } else {
+    acnt_.set(ktar_.get());
+    acnt_.reset();
+  }
+}
+
+RendezvousAgent::SegKind RendezvousAgent::seg_kind() const {
+  switch (seg_.get() % 4) {
+    case 0: return SegKind::kBw;
+    case 1: return SegKind::kC;
+    case 2: return SegKind::kCbw;
+    default: return SegKind::kC;
+  }
+}
+
+void RendezvousAgent::after_vhat() {
+  // We are standing at v_hat. Timed mode first performs the Stage-1
+  // Explo(v_hat) stand-in tour; then (after_explo_stage1) Synchro or the
+  // walk to the designated node.
+  if (opts_.timed_explo) {
+    phase_ = Phase::kExploTour;
+    acnt_.reset();
+    fresh_ = true;
+    return;
+  }
+  after_explo_stage1();
+}
+
+void RendezvousAgent::after_explo_stage1() {
+  if (info_.kind == TreeKind::kCentralEdgeSymmetric) {
+    phase_ = Phase::kSynchro;
+    acnt_.reset();
+    sacnt_.reset();
+    fresh_ = true;
+  } else {
+    enter_to_target();
+  }
+}
+
+void RendezvousAgent::enter_to_target() {
+  if (ktar_.get() == 0) {
+    // v_hat is the designated node itself.
+    if (info_.kind == TreeKind::kCentralEdgeSymmetric) {
+      enter_outer_loop();
+    } else {
+      phase_ = Phase::kPark;
+    }
+    return;
+  }
+  phase_ = Phase::kToTarget;
+  acnt_.reset();
+  fresh_ = true;
+}
+
+void RendezvousAgent::enter_outer_loop() {
+  if (outer_entry_step_ == 0) outer_entry_step_ = steps_observed_;
+  i_ = 1;
+  second_loop_ = false;
+  at_mine_ = true;
+  enter_inner(0);
+}
+
+void RendezvousAgent::enter_inner(std::uint64_t j) {
+  j_ = j;
+  if (j == 0 || !opts_.desync_inner_loops) {
+    enter_prime();
+    return;
+  }
+  phase_ = Phase::kInnerBw;
+  acnt_.reset();
+  fresh_ = true;
+}
+
+void RendezvousAgent::enter_inner2(std::uint64_t j) {
+  const std::uint64_t bound = 2 * (nu_.get() - 1);
+  if (!opts_.desync_inner_loops) j = bound + 1;  // skip the reset walks
+  if (j == 0) j = 1;                             // bw(0)/cbw(0) are empty
+  if (j > bound) {
+    phase_ = Phase::kCrossC2;
+    fresh_ = true;
+    return;
+  }
+  j_ = j;
+  phase_ = Phase::kInner2Bw;
+  acnt_.reset();
+  fresh_ = true;
+}
+
+void RendezvousAgent::enter_prime() {
+  phase_ = Phase::kPrime;
+  pidx_ = 1;
+  p_ = 2;
+  travs_ = 0;
+  seg_ = 0;
+  acnt_.reset();
+  fresh_ = true;
+  tick_ = p_.get() - 1;
+}
+
+void RendezvousAgent::after_prime_done() {
+  // prime(i) ended back at the extremity it started from. Next j, or the
+  // reset half of the outer iteration.
+  const std::uint64_t bound = 2 * (nu_.get() - 1);
+  if (opts_.desync_inner_loops && j_.get() < bound) {
+    enter_inner(j_.get() + 1);
+  } else {
+    phase_ = Phase::kCrossC1;
+    fresh_ = true;
+  }
+}
+
+void RendezvousAgent::advance_prime_segment() {
+  seg_.increment();
+  acnt_.reset();
+  fresh_ = true;
+  const std::uint64_t total_segments = 20 * ell_.get() + 3;
+  if (seg_.get() < total_segments) return;
+  // One full traversal of P done; we now stand at the opposite extremity.
+  seg_ = 0;
+  ++travs_;
+  if (travs_ < 2) return;  // traverse P twice per prime
+  travs_ = 0;
+  pidx_.increment();
+  p_ = util::next_prime(p_.get());
+  tick_ = p_.get() - 1;
+  if (pidx_.get() > i_.get()) {
+    after_prime_done();
+  }
+}
+
+void RendezvousAgent::handle_arrival(const sim::Observation& obs) {
+  const bool arrived = obs.in_port >= 0;
+  if (!arrived) return;
+  const bool at_tprime_node = obs.degree != 2;
+
+  switch (phase_) {
+    case Phase::kToLeaf:
+      if (obs.degree == 1) after_vhat();
+      break;
+
+    case Phase::kExploTour:
+      if (at_tprime_node) {
+        acnt_.increment();
+        if (acnt_.get() == 2 * (nu_.get() - 1)) after_explo_stage1();
+      }
+      break;
+
+    case Phase::kSynchro:
+      if (at_tprime_node) {
+        sacnt_.increment();
+        if (sacnt_.get() == 2 * (nu_.get() - 1)) {
+          enter_to_target();
+        } else if (opts_.timed_explo) {
+          // Explo-bis(w) insertion at every visited T' node except the
+          // very last return to v_hat.
+          saved_in_ = static_cast<std::uint64_t>(obs.in_port);
+          phase_ = Phase::kSynchroInsert;
+          acnt_.reset();
+          fresh_ = true;
+        }
+      }
+      break;
+
+    case Phase::kSynchroInsert:
+      if (at_tprime_node) {
+        acnt_.increment();
+        if (acnt_.get() == 2 * (nu_.get() - 1)) {
+          // Back at w; resume the Synchro walk as if the insertion never
+          // happened: the next exit continues from the saved entry port.
+          phase_ = Phase::kSynchro;
+          last_in_ = saved_in_.get();
+          fresh_ = false;
+        }
+      }
+      break;
+
+    case Phase::kToTarget:
+      if (at_tprime_node) {
+        acnt_.increment();
+        if (acnt_.get() == ktar_.get()) {
+          if (info_.kind == TreeKind::kCentralEdgeSymmetric) {
+            enter_outer_loop();
+          } else {
+            phase_ = Phase::kPark;
+          }
+        }
+      }
+      break;
+
+    case Phase::kInnerBw:
+    case Phase::kInner2Bw:
+      if (at_tprime_node) {
+        acnt_.increment();
+        if (acnt_.get() == j_.get()) {
+          phase_ = phase_ == Phase::kInnerBw ? Phase::kInnerCbw
+                                             : Phase::kInner2Cbw;
+          acnt_.reset();
+          fresh_ = true;
+        }
+      }
+      break;
+
+    case Phase::kInnerCbw:
+    case Phase::kInner2Cbw:
+      if (at_tprime_node) {
+        acnt_.increment();
+        if (acnt_.get() == j_.get()) {
+          if (phase_ == Phase::kInnerCbw) {
+            enter_prime();
+          } else {
+            enter_inner2(j_.get() + 1);
+          }
+        }
+      }
+      break;
+
+    case Phase::kPrime:
+      switch (seg_kind()) {
+        case SegKind::kBw:
+        case SegKind::kCbw:
+          if (at_tprime_node) {
+            acnt_.increment();
+            if (acnt_.get() == 2 * (nu_.get() - 1)) advance_prime_segment();
+          }
+          break;
+        case SegKind::kC:
+          if (at_tprime_node) {
+            // Completed a traversal of the central path: we changed ends.
+            at_mine_ = !at_mine_;
+            if (at_mine_) {
+              cport_mine_ = static_cast<std::uint64_t>(obs.in_port);
+            } else {
+              cport_other_ = static_cast<std::uint64_t>(obs.in_port);
+            }
+            advance_prime_segment();
+          }
+          break;
+      }
+      break;
+
+    case Phase::kCrossC1:
+    case Phase::kCrossC2:
+      if (at_tprime_node) {
+        at_mine_ = !at_mine_;
+        if (at_mine_) {
+          cport_mine_ = static_cast<std::uint64_t>(obs.in_port);
+        } else {
+          cport_other_ = static_cast<std::uint64_t>(obs.in_port);
+        }
+        if (phase_ == Phase::kCrossC1) {
+          second_loop_ = true;
+          enter_inner2(0);
+        } else {
+          second_loop_ = false;
+          i_.increment();
+          enter_inner(0);
+        }
+      }
+      break;
+
+    case Phase::kStart:
+    case Phase::kPark:
+      break;
+  }
+}
+
+int RendezvousAgent::act_walk(const sim::Observation& obs) {
+  // Shared movement rules for the walking phases. `fresh_` marks the first
+  // move of the current walk segment.
+  const int d = obs.degree;
+  switch (phase_) {
+    case Phase::kToLeaf:
+    case Phase::kExploTour:
+    case Phase::kSynchro:
+    case Phase::kSynchroInsert:
+    case Phase::kToTarget:
+    case Phase::kInnerBw:
+    case Phase::kInner2Bw:
+      if (fresh_) {
+        fresh_ = false;
+        return 0;  // bw starts by port 0
+      }
+      return static_cast<int>((last_in_.get() + 1) %
+                              static_cast<std::uint64_t>(d));
+
+    case Phase::kInnerCbw:
+    case Phase::kInner2Cbw:
+      if (fresh_) {
+        fresh_ = false;
+        return static_cast<int>(last_in_.get());  // re-cross the entry edge
+      }
+      return static_cast<int>(
+          (last_in_.get() + static_cast<std::uint64_t>(d) - 1) %
+          static_cast<std::uint64_t>(d));
+
+    case Phase::kCrossC1:
+    case Phase::kCrossC2:
+      if (fresh_) {
+        fresh_ = false;
+        return static_cast<int>(at_mine_ ? cport_mine_.get()
+                                         : cport_other_.get());
+      }
+      return static_cast<int>((last_in_.get() + 1) %
+                              static_cast<std::uint64_t>(d));
+
+    default:
+      throw std::logic_error("act_walk: not a walking phase");
+  }
+}
+
+int RendezvousAgent::decide(const sim::Observation& obs) {
+  switch (phase_) {
+    case Phase::kStart: {
+      if (obs.degree == 2) {
+        phase_ = Phase::kToLeaf;
+        fresh_ = true;
+        return act_walk(obs);
+      }
+      after_vhat();
+      return decide(obs);
+    }
+
+    case Phase::kPark:
+      return sim::kStay;
+
+    case Phase::kToLeaf:
+    case Phase::kExploTour:
+    case Phase::kSynchro:
+    case Phase::kSynchroInsert:
+    case Phase::kToTarget:
+    case Phase::kInnerBw:
+    case Phase::kInnerCbw:
+    case Phase::kInner2Bw:
+    case Phase::kInner2Cbw:
+    case Phase::kCrossC1:
+    case Phase::kCrossC2:
+      return act_walk(obs);
+
+    case Phase::kPrime: {
+      if (tick_.get() > 0) {
+        tick_.decrement();
+        return sim::kStay;
+      }
+      tick_ = p_.get() - 1;
+      const int d = obs.degree;
+      switch (seg_kind()) {
+        case SegKind::kBw:
+          if (fresh_) {
+            fresh_ = false;
+            return 0;
+          }
+          return static_cast<int>((last_in_.get() + 1) %
+                                  static_cast<std::uint64_t>(d));
+        case SegKind::kC:
+          if (fresh_) {
+            fresh_ = false;
+            return static_cast<int>(at_mine_ ? cport_mine_.get()
+                                             : cport_other_.get());
+          }
+          return static_cast<int>((last_in_.get() + 1) %
+                                  static_cast<std::uint64_t>(d));
+        case SegKind::kCbw:
+          if (fresh_) {
+            fresh_ = false;
+            return static_cast<int>(last_in_.get());
+          }
+          return static_cast<int>(
+              (last_in_.get() + static_cast<std::uint64_t>(d) - 1) %
+              static_cast<std::uint64_t>(d));
+      }
+      throw std::logic_error("unreachable");
+    }
+  }
+  throw std::logic_error("decide: unknown phase");
+}
+
+int RendezvousAgent::step(const sim::Observation& obs) {
+  ++steps_observed_;
+  if (obs.in_port >= 0) {
+    last_in_ = static_cast<std::uint64_t>(obs.in_port);
+  }
+  handle_arrival(obs);
+  return decide(obs);
+}
+
+std::uint64_t RendezvousAgent::memory_bits() const {
+  return meter_.total_bits();
+}
+
+std::string RendezvousAgent::phase_name() const {
+  switch (phase_) {
+    case Phase::kStart: return "start";
+    case Phase::kToLeaf: return "to_leaf";
+    case Phase::kExploTour: return "explo_tour";
+    case Phase::kSynchro: return "synchro";
+    case Phase::kSynchroInsert: return "synchro_insert";
+    case Phase::kToTarget: return "to_target";
+    case Phase::kPark: return "park";
+    case Phase::kInnerBw: return "inner_bw";
+    case Phase::kInnerCbw: return "inner_cbw";
+    case Phase::kPrime: return "prime_on_P";
+    case Phase::kCrossC1: return "cross_C_out";
+    case Phase::kInner2Bw: return "inner2_bw";
+    case Phase::kInner2Cbw: return "inner2_cbw";
+    case Phase::kCrossC2: return "cross_C_back";
+  }
+  return "?";
+}
+
+}  // namespace rvt::core

@@ -1,0 +1,153 @@
+// The Theorem 4.1 agent: deterministic rendezvous with simultaneous start
+// in arbitrary trees with O(log l + log log n) bits of memory.
+//
+// Program (paper §4.1), executed identically by both agents:
+//
+//  Stage 1   Explo-bis: if the start has degree 2, basic-walk to the first
+//            leaf (v-hat); run Explo on the contraction T' (oracle, see
+//            DESIGN.md S1). Now the agent knows nu = |T'|, l, whether T'
+//            has a central node / asymmetric central edge / symmetric
+//            central edge, and how to reach the designated node by a
+//            minimal basic walk, addressed in T'-arrival counts.
+//
+//  Stage 2   * central node, or asymmetric central edge: walk there, park.
+//            * symmetric central edge: the hard case —
+//              2.1 Synchro: full basic walk around T (2(nu-1) T'-edge
+//                  traversals) back to v-hat; re-synchronizes the agents to
+//                  a delay of exactly |L - L'| (Claim 4.2).
+//              2.2 Walk to the farthest extremity v-hat-far of the central
+//                  path C, then run the Figure-2 loop:
+//                    for i = 1, 2, ...:
+//                      for j = 0..2(nu-1):
+//                        bw(j); cbw(j);            # desynchronization
+//                        prime(i) on the rendezvous path P
+//                      cross C; for j = 0..2(nu-1): bw(j); cbw(j); cross C
+//                  where P = (Bu|C|Bv-bar|C)^{5l} | (Bu|C|Bv-bar) is the
+//                  non-simple rendezvous path of Claim 4.3, traversed by
+//                  executing (bw(2(nu-1)), C, cbw(2(nu-1)), C)... at speed
+//                  1/p_k for the k-th prime, twice per prime.
+//
+// Lemma 4.3 guarantees that for non perfectly-symmetrizable starts some
+// inner iteration j gives the agents a nonzero start delay on P, and
+// Lemma 4.1's divisibility argument then produces a meeting once the prime
+// index i is large enough (i = O(log n)).
+//
+// All persistent data lives in metered counters; every counter is bounded
+// by O(nu) = O(l) except the prime machinery (values O(log n)), so the
+// measured memory is O(log l + log log n) — experiment E2 plots it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/explo.hpp"
+#include "sim/agent.hpp"
+#include "sim/meter.hpp"
+#include "tree/tree.hpp"
+
+namespace rvt::core {
+
+struct RendezvousOptions {
+  /// E8 ablation: when false, the bw(j)/cbw(j) desynchronization walks of
+  /// both inner loops are skipped, so (Claim 4.4) the agents keep their
+  /// initial delay |t - t'| at every prime(i) start; on instances with
+  /// t == t' they dance symmetrically forever and never meet.
+  bool desync_inner_loops = true;
+
+  /// When true, every Explo-bis call site performs a real full Euler tour
+  /// (basic walk until 2(nu-1) T'-arrivals — detectable with O(log l)
+  /// bits): once at Stage 1 from v-hat, and once at every T'-node arrival
+  /// of Synchro except the last return, exactly the paper's insertion
+  /// schedule. Both agents insert the same multiset of tour durations
+  /// (2(nu-1) tours of 2(n-1) steps each), so Claim 4.2 still pins the
+  /// post-Synchro delay to |L - L'|; the mode exercises that machinery
+  /// with nonzero Explo durations instead of the instant oracle.
+  bool timed_explo = false;
+};
+
+class RendezvousAgent final : public sim::Agent {
+ public:
+  RendezvousAgent(const tree::Tree& t, tree::NodeId start,
+                  RendezvousOptions opts = {});
+
+  int step(const sim::Observation& obs) override;
+  std::uint64_t memory_bits() const override;
+  std::string name() const override { return "rendezvous"; }
+
+  const ExploInfo& info() const { return info_; }
+  const sim::MemoryMeter& meter() const { return meter_; }
+  std::string phase_name() const;
+  std::uint64_t outer_index() const { return i_.get(); }
+
+  /// Harness diagnostics (not part of the agent's charged memory): number
+  /// of step() calls so far, and the step at which the agent entered the
+  /// Figure-2 outer loop (its arrival time t at the anchor; 0 if not yet).
+  /// The Claim 4.2 test compares |t - t'| against |(L+L^) - (L'+L^')|.
+  std::uint64_t steps_observed() const { return steps_observed_; }
+  std::uint64_t outer_entry_step() const { return outer_entry_step_; }
+
+ private:
+  enum class Phase {
+    kStart,
+    kToLeaf,        // stage 1: walk v -> v_hat
+    kExploTour,     // timed_explo: Euler tour standing in for Explo(v_hat)
+    kSynchro,       // stage 2.1
+    kSynchroInsert, // timed_explo: Explo-bis(w) insertion tour
+    kToTarget,      // minimal basic walk v_hat -> target
+    kPark,          // central node / asymmetric edge: wait forever
+    kInnerBw,       // figure 2, first inner loop bw(j)
+    kInnerCbw,      //                              cbw(j)
+    kPrime,         // prime(i) along the rendezvous path P
+    kCrossC1,       // go to the other extremity of C
+    kInner2Bw,      // second inner loop bw(j)
+    kInner2Cbw,     //                  cbw(j)
+    kCrossC2,       // return to the original extremity
+  };
+
+  enum class SegKind { kBw, kC, kCbw };
+  SegKind seg_kind() const;
+
+  void handle_arrival(const sim::Observation& obs);
+  int decide(const sim::Observation& obs);
+
+  void after_vhat();
+  void after_explo_stage1();
+  void enter_to_target();
+  void enter_outer_loop();
+  void enter_inner(std::uint64_t j);
+  void enter_inner2(std::uint64_t j);
+  void enter_prime();
+  void advance_prime_segment();
+  void after_prime_done();
+  int act_walk(const sim::Observation& obs);
+
+  const ExploInfo info_;
+  const RendezvousOptions opts_;
+
+  Phase phase_ = Phase::kStart;
+  bool fresh_ = true;      // next move is the first of the current walk
+  bool at_mine_ = true;    // currently anchored at own extremity of C
+  bool second_loop_ = false;
+  int travs_ = 0;          // P traversals completed for the current prime
+  std::uint64_t steps_observed_ = 0;   // diagnostics only
+  std::uint64_t outer_entry_step_ = 0;
+
+  sim::MemoryMeter meter_;
+  sim::MeteredCounter& nu_ = meter_.counter("nu");
+  sim::MeteredCounter& ell_ = meter_.counter("ell");
+  sim::MeteredCounter& ktar_ = meter_.counter("k_target");
+  sim::MeteredCounter& acnt_ = meter_.counter("arrivals");
+  sim::MeteredCounter& j_ = meter_.counter("j");
+  sim::MeteredCounter& i_ = meter_.counter("i");
+  sim::MeteredCounter& pidx_ = meter_.counter("prime_index");
+  sim::MeteredCounter& p_ = meter_.counter("p");
+  sim::MeteredCounter& tick_ = meter_.counter("tick");
+  sim::MeteredCounter& seg_ = meter_.counter("segment");
+  sim::MeteredCounter& cport_mine_ = meter_.counter("cport_mine");
+  sim::MeteredCounter& cport_other_ = meter_.counter("cport_other");
+  sim::MeteredCounter& last_in_ = meter_.counter("last_in");
+  sim::MeteredCounter& sacnt_ = meter_.counter("synchro_arrivals");
+  sim::MeteredCounter& saved_in_ = meter_.counter("saved_in");
+};
+
+}  // namespace rvt::core

@@ -1,0 +1,173 @@
+#include "lowerbound/arbdelay_line.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "lowerbound/line_drift.hpp"
+#include "tree/builders.hpp"
+
+namespace rvt::lowerbound {
+
+namespace {
+
+struct ZEvent {
+  std::uint64_t round;
+  std::int64_t pos_before;
+  int state;
+};
+
+/// Move events of the automaton on the infinite line (phase-colored),
+/// capped at `max_events` or `max_rounds`.
+std::vector<ZEvent> z_events(const sim::LineAutomaton& a, int phase,
+                             std::size_t max_events,
+                             std::uint64_t max_rounds) {
+  sim::ZLineSim sim(a, phase);
+  std::vector<ZEvent> ev;
+  std::int64_t prev = 0;
+  for (std::uint64_t r = 0; r < max_rounds && ev.size() < max_events; ++r) {
+    const auto s = sim.tick();
+    if (s.action != sim::kStay) {
+      ev.push_back({s.round, prev, s.state});
+    }
+    prev = s.pos;
+  }
+  return ev;
+}
+
+ArbDelayInstance bounded_instance(const sim::LineAutomaton& a,
+                                  std::int64_t d_bound,
+                                  std::uint64_t horizon) {
+  ArbDelayInstance out;
+  out.bounded_case = true;
+  const std::int64_t D = d_bound + 1;  // margin
+  out.range_d = D;
+  const tree::NodeId edges = static_cast<tree::NodeId>(4 * D + 4);
+  out.line = tree::line_edge_colored(edges + 1, 0);
+  out.u = static_cast<tree::NodeId>(D + 1);
+  out.v = static_cast<tree::NodeId>(3 * D + 2);
+  out.theta = 0;
+  sim::LineAutomatonAgent agent_u(a, "victim-u"), agent_v(a, "victim-v");
+  out.verdict = verify_never_meet(
+      out.line, agent_u, agent_v,
+      {out.u, out.v, out.theta, 0, std::max<std::uint64_t>(horizon, 4)});
+  out.construction_ok = !out.verdict.met && out.verdict.certified_forever;
+  return out;
+}
+
+}  // namespace
+
+ArbDelayInstance build_arbdelay_instance(const sim::LineAutomaton& a,
+                                         std::uint64_t horizon) {
+  a.validate();
+  const int K = a.num_states();
+  const PhaseDrift d0 = analyze_drift(a, 0);
+  const PhaseDrift d1 = analyze_drift(a, 1);
+
+  if (!d0.unbounded && !d1.unbounded) {
+    return bounded_instance(a, std::max(d0.max_abs_pos, d1.max_abs_pos),
+                            horizon);
+  }
+  const int phase = d0.unbounded ? 0 : 1;
+
+  // Find (t1, x1, s) and (t2, x2 = x1 + r, s) with r even and nonzero.
+  const std::size_t max_events = static_cast<std::size_t>(K) * 8 + 64;
+  const std::uint64_t max_rounds =
+      (static_cast<std::uint64_t>(K) * 8 + 64) *
+      (static_cast<std::uint64_t>(K) * 4 + 8);
+  const std::vector<ZEvent> ev = z_events(a, phase, max_events, max_rounds);
+
+  std::size_t i_found = ev.size(), j_found = ev.size();
+  for (std::size_t i = 0; i < ev.size() && i_found == ev.size(); ++i) {
+    for (std::size_t j = i + 1; j < ev.size(); ++j) {
+      if (ev[j].state != ev[i].state) continue;
+      const std::int64_t gap = ev[j].pos_before - ev[i].pos_before;
+      if (gap == 0 || (gap % 2) != 0) continue;
+      i_found = i;
+      j_found = j;
+      break;
+    }
+  }
+  ArbDelayInstance out;
+  if (i_found == ev.size()) return out;  // construction_ok == false
+
+  const std::int64_t x1_rel = ev[i_found].pos_before;
+  const std::int64_t r = ev[j_found].pos_before - x1_rel;
+  const std::uint64_t t1 = ev[i_found].round;
+  const std::uint64_t t2 = ev[j_found].round;
+
+  // Maximum deviation of the walk from its start through round t2, to size
+  // the line so neither single-agent trajectory touches an endpoint early.
+  std::int64_t maxdev = 0;
+  {
+    sim::ZLineSim sim(a, phase);
+    for (std::uint64_t rr = 0; rr < t2; ++rr) {
+      const auto s = sim.tick();
+      maxdev = std::max<std::int64_t>(maxdev, std::llabs(s.pos));
+    }
+  }
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const std::int64_t margin = (maxdev + std::llabs(r) + 4) << attempt;
+    std::int64_t num_edges = 2 * margin + 2 * (2 * (K + 1)) + 1;
+    if (num_edges % 2 == 0) ++num_edges;
+    const std::int64_t m = (num_edges - 1) / 2;  // central edge index
+    const int fc = static_cast<int>(m % 2);
+    // u parity so that the u-agent sees its right edge in color == phase.
+    std::int64_t u_abs = margin + 1;
+    if (((u_abs + fc) % 2 + 2) % 2 != phase) ++u_abs;
+    const std::int64_t v_abs = num_edges - (u_abs - r);
+    if (v_abs <= 0 || v_abs > num_edges || v_abs == u_abs) continue;
+
+    const tree::Tree line =
+        tree::line_symmetric_colored(static_cast<tree::NodeId>(num_edges));
+    const std::int64_t x1_abs = u_abs + x1_rel;
+    const std::int64_t y1_abs = num_edges - x1_abs;
+
+    // Premise checks on the finite line: the u-agent leaves x1 in state s
+    // at round t1, and the v-agent leaves M(x1) in the same state at t2.
+    {
+      sim::LineAutomatonAgent probe(a);
+      const auto evs = run_single(line, probe,
+                                  static_cast<tree::NodeId>(u_abs), t1);
+      const bool ok =
+          !evs.empty() && evs.back().round == t1 &&
+          evs.back().node == x1_abs &&
+          evs.back().state == ((static_cast<std::uint64_t>(ev[i_found].state)
+                                << 1));
+      if (!ok) continue;
+    }
+    {
+      sim::LineAutomatonAgent probe(a);
+      const auto evs = run_single(line, probe,
+                                  static_cast<tree::NodeId>(v_abs), t2);
+      const bool ok =
+          !evs.empty() && evs.back().round == t2 &&
+          evs.back().node == y1_abs &&
+          evs.back().state == ((static_cast<std::uint64_t>(ev[i_found].state)
+                                << 1));
+      if (!ok) continue;
+    }
+
+    out.bounded_case = false;
+    out.line = line;
+    out.u = static_cast<tree::NodeId>(u_abs);
+    out.v = static_cast<tree::NodeId>(v_abs);
+    out.theta = t2 - t1;
+    out.x1_abs = x1_abs;
+    out.r = r;
+    out.t1 = t1;
+    out.t2 = t2;
+    out.state_s = static_cast<std::uint64_t>(ev[i_found].state);
+    sim::LineAutomatonAgent agent_u(a, "victim-u"), agent_v(a, "victim-v");
+    out.verdict = verify_never_meet(out.line, agent_u, agent_v,
+                                    {out.u, out.v, out.theta, 0, horizon});
+    out.construction_ok =
+        !out.verdict.met && out.verdict.certified_forever;
+    return out;
+  }
+  return out;  // placement failed after retries
+}
+
+}  // namespace rvt::lowerbound

@@ -1,0 +1,63 @@
+// The Theorem 3.1 adversary: rendezvous with arbitrary delay on the line
+// defeats any K-state agent on a line of length O(K), proving the
+// Omega(log n) memory lower bound.
+//
+// Two branches, as in the paper's proof:
+//
+//  * bounded range: if the agent never leaves a window of radius D around
+//    its start, place the two copies with disjoint activity ranges on a
+//    line of 4D+4 edges (odd node count => central node => the positions
+//    are not perfectly symmetrizable); they trivially never meet.
+//
+//  * unbounded: find the first two distinct nodes x1, x2 of the trajectory
+//    that the agent leaves in the same state s (pigeonhole over K states;
+//    we additionally require the positional gap r = x2 - x1 to be even so
+//    the 2-coloring is preserved under the shift). On a symmetrically
+//    2-colored line place one agent at u and the other at the mirror image
+//    of u - r, and delay the u-agent by theta = t2 - t1. At time t2 both
+//    agents leave the mirror-symmetric pair (x1, M(x1)) in the same state
+//    s, after which the mirror symmetry of the labeling pins them into
+//    symmetric trajectories forever — they can never be at the same node
+//    because the mirror of a line with an odd edge count fixes no node.
+//    The initial positions differ from a mirror pair by the shift r != 0,
+//    so they are NOT perfectly symmetrizable and rendezvous was required.
+//
+// Every instance is verified by simulation, and the non-meeting claim is
+// certified forever via the configuration-cycle argument (verify.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "lowerbound/verify.hpp"
+#include "sim/automaton.hpp"
+#include "tree/tree.hpp"
+
+namespace rvt::lowerbound {
+
+struct ArbDelayInstance {
+  bool construction_ok = false;  ///< premises established and verified
+  bool bounded_case = false;
+
+  tree::Tree line = tree::Tree::single_node();
+  tree::NodeId u = -1, v = -1;
+  std::uint64_t theta = 0;  ///< delay imposed on the u-agent
+
+  // Unbounded-branch certificate.
+  std::int64_t x1_abs = -1;  ///< node the agent leaves twice in state s
+  std::int64_t r = 0;        ///< positional gap x2 - x1 (even, nonzero)
+  std::uint64_t t1 = 0, t2 = 0;
+  std::uint64_t state_s = 0;
+
+  // Bounded-branch certificate.
+  std::int64_t range_d = 0;
+
+  NeverMeetResult verdict;
+};
+
+/// Builds and verifies the Theorem 3.1 instance for `a`. `horizon` caps the
+/// never-meet search (the periodicity certificate normally fires far
+/// earlier).
+ArbDelayInstance build_arbdelay_instance(const sim::LineAutomaton& a,
+                                         std::uint64_t horizon);
+
+}  // namespace rvt::lowerbound

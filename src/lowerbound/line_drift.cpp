@@ -1,0 +1,40 @@
+#include "lowerbound/line_drift.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace rvt::lowerbound {
+
+PhaseDrift analyze_drift(const sim::LineAutomaton& a, int phase) {
+  sim::ZLineSim sim(a, phase);
+  PhaseDrift out;
+  // Configurations: (state, color of right edge). The first tick consumes
+  // the initial-state special case, so start recording after it.
+  std::map<std::pair<int, int>, std::pair<std::uint64_t, std::int64_t>> seen;
+  const std::uint64_t limit =
+      4 * static_cast<std::uint64_t>(a.num_states()) + 8;
+  for (std::uint64_t r = 0; r < limit; ++r) {
+    const auto snap = sim.tick();
+    out.max_abs_pos = std::max<std::int64_t>(out.max_abs_pos,
+                                             std::llabs(snap.pos));
+    const std::pair<int, int> cfg{snap.state, sim.edge_color(snap.pos)};
+    auto it = seen.find(cfg);
+    if (it != seen.end()) {
+      const auto [round0, pos0] = it->second;
+      out.delta_per_cycle = snap.pos - pos0;
+      out.cycle_start_round = round0;
+      out.cycle_len = snap.round - round0;
+      out.unbounded = out.delta_per_cycle != 0;
+      out.drift_sign = out.delta_per_cycle > 0
+                           ? 1
+                           : (out.delta_per_cycle < 0 ? -1 : 0);
+      return out;
+    }
+    seen.emplace(cfg, std::pair{snap.round, snap.pos});
+  }
+  throw std::logic_error("analyze_drift: no configuration repeat (bug)");
+}
+
+}  // namespace rvt::lowerbound

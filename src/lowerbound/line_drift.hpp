@@ -1,0 +1,32 @@
+// Boundedness / drift analysis of a line automaton on the infinite
+// 2-colored line.
+//
+// Once past its transient, an automaton's future on the infinite line is
+// determined by (state, color of the edge to its right), a finite
+// configuration space. The first repeat of that configuration closes a
+// cycle with some net displacement Delta: Delta == 0 means the agent stays
+// within a bounded window forever (the "bounded range" branch of both line
+// lower bounds); Delta != 0 means it drifts to infinity in direction
+// sign(Delta).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/automaton.hpp"
+
+namespace rvt::lowerbound {
+
+struct PhaseDrift {
+  bool unbounded = false;
+  int drift_sign = 0;                 ///< sign(Delta) when unbounded
+  std::int64_t delta_per_cycle = 0;   ///< net displacement per config cycle
+  std::int64_t max_abs_pos = 0;       ///< max |pos| through the first cycle
+  std::uint64_t cycle_start_round = 0;
+  std::uint64_t cycle_len = 0;
+};
+
+/// Analyzes the automaton started at position 0 of the infinite line whose
+/// edge {z, z+1} has color (z + phase) mod 2.
+PhaseDrift analyze_drift(const sim::LineAutomaton& a, int phase);
+
+}  // namespace rvt::lowerbound

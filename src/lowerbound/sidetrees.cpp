@@ -1,0 +1,121 @@
+#include "lowerbound/sidetrees.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "tree/canonical.hpp"
+
+namespace rvt::lowerbound {
+
+namespace {
+
+/// Simulates one tour: the agent has just issued, in state `s`, the move
+/// from the path node u into the side tree's root. It arrives at the root
+/// through the root's last port (the joining edge). Returns the behavior.
+TourBehavior simulate_tour(const sim::TreeAutomaton& a, const tree::Tree& side,
+                           int s, std::uint64_t cap) {
+  // Gadget: the side tree itself, plus the knowledge that the root has one
+  // extra (joining) edge. Inside the tree every observation is authentic
+  // if we report the root's degree as deg_side(root) + 1 and treat the
+  // joining port as port deg_side(root).
+  const tree::NodeId root = 0;
+  const tree::Port join_port = side.degree(root);  // next free port at root
+
+  TourBehavior out;
+  int state = s;
+  tree::NodeId node = root;
+  tree::Port in = join_port;
+  for (std::uint64_t round = 1; round <= cap; ++round) {
+    const int deg =
+        side.degree(node) + (node == root ? 1 : 0);  // instance degree
+    // Transition on the (entry port, degree) input, then act.
+    state = a.delta[state][in + 1][deg - 1];
+    const int act = a.lambda[state];
+    if (act == sim::kStay) {
+      in = -1;
+      continue;
+    }
+    const tree::Port outp = static_cast<tree::Port>(act % deg);
+    if (node == root && outp == join_port) {
+      // Exits the side tree back to the path node.
+      out.exits = true;
+      out.exit_state = state;
+      out.rounds = round;
+      return out;
+    }
+    const tree::NodeId next = side.neighbor(node, outp);
+    in = side.reverse_port(node, outp);
+    node = next;
+  }
+  return out;  // never exits within cap
+}
+
+}  // namespace
+
+std::vector<TourBehavior> behavior_function(const sim::TreeAutomaton& a,
+                                            const tree::Tree& side) {
+  a.validate();
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(a.num_states()) * 4 *
+          static_cast<std::uint64_t>(side.node_count()) +
+      8;
+  std::vector<TourBehavior> table(a.num_states());
+  for (int s = 0; s < a.num_states(); ++s) {
+    table[s] = simulate_tour(a, side, s, cap);
+  }
+  return table;
+}
+
+SideTreeCollision build_sidetree_instance(const sim::TreeAutomaton& a, int i,
+                                          int m, std::uint64_t horizon) {
+  if (i < 2) throw std::invalid_argument("build_sidetree_instance: i >= 2");
+  SideTreeCollision out;
+  out.i = i;
+
+  std::map<std::vector<TourBehavior>, std::uint64_t> seen;
+  const std::uint64_t total = 1ull << (i - 1);
+  std::uint64_t m1 = 0, m2 = 0;
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    const tree::Tree side = tree::side_tree(i, mask);
+    auto table = behavior_function(a, side);
+    auto [it, inserted] = seen.try_emplace(std::move(table), mask);
+    out.masks_scanned = mask + 1;
+    if (!inserted) {
+      m1 = it->second;
+      m2 = mask;
+      out.found = true;
+      break;
+    }
+  }
+  if (!out.found) return out;
+  out.mask1 = m1;
+  out.mask2 = m2;
+
+  const tree::Tree t1 = tree::side_tree(i, m1);
+  const tree::Tree t2 = tree::side_tree(i, m2);
+
+  // Sanity companion: the T1+T1 instance is symmetric w.r.t. its labeling
+  // (positions u, v symmetric => no algorithm whatsoever can meet there).
+  {
+    const tree::TwoSided sym = tree::two_sided_tree(t1, t1, m);
+    out.symmetric_companion_is_symmetric =
+        tree::symmetric_positions(sym.tree, sym.u, sym.v);
+  }
+
+  const tree::TwoSided inst = tree::two_sided_tree(t1, t2, m);
+  out.instance = inst.tree;
+  out.u = inst.u;
+  out.v = inst.v;
+  out.instance_not_symmetrizable =
+      !tree::perfectly_symmetrizable(out.instance, out.u, out.v);
+
+  sim::TreeAutomatonAgent agent_u(a, "victim-u"), agent_v(a, "victim-v");
+  out.verdict = verify_never_meet(out.instance, agent_u, agent_v,
+                                  {out.u, out.v, 0, 0, horizon});
+  out.construction_ok = out.instance_not_symmetrizable && !out.verdict.met &&
+                        out.verdict.certified_forever &&
+                        out.symmetric_companion_is_symmetric;
+  return out;
+}
+
+}  // namespace rvt::lowerbound

@@ -1,0 +1,72 @@
+// The Theorem 4.3 adversary: Omega(log l) memory is needed for rendezvous
+// with simultaneous start in max-degree-3 trees with l leaves.
+//
+// For l = 2i there are 2^{i-1} pairwise non-isomorphic "side trees" (an
+// (i+1)-node path with either a leaf or a degree-2-node-plus-leaf hung on
+// each internal node). For a K-state agent, its *behavior function* on a
+// side tree maps the state s in which the agent enters a tour of the tree
+// (from the adjacent path node) to the pair (exit state, tour duration).
+// There are at most (K*D)^K behavior functions (D = max tour length), so
+// for K small enough two distinct side trees T1, T2 share one — the agent
+// literally cannot tell them apart. Joining T1 and T2 by a symmetrically
+// labeled path of odd length then yields a NON-symmetrizable instance on
+// which the two agents enter and leave their respective side trees always
+// at the same time in the same state; on the path the parity argument
+// keeps them apart, so they never meet.
+//
+// The companion instance joining T1 with itself is symmetric with respect
+// to its port labeling, certifying that the construction sits exactly on
+// the feasibility boundary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lowerbound/verify.hpp"
+#include "sim/automaton.hpp"
+#include "tree/builders.hpp"
+#include "tree/tree.hpp"
+
+namespace rvt::lowerbound {
+
+/// Behavior of one tour: state in which the agent exits the side tree and
+/// the number of rounds spent inside. `exits == false` encodes a tour that
+/// never returns (the agent loops inside or stalls).
+struct TourBehavior {
+  bool exits = false;
+  int exit_state = -1;
+  std::uint64_t rounds = 0;
+  friend bool operator==(const TourBehavior&, const TourBehavior&) = default;
+  friend auto operator<=>(const TourBehavior&, const TourBehavior&) = default;
+};
+
+/// The behavior function of `a` on side tree `s`: entry i indexed by the
+/// state in which the agent crosses from the adjacent path node into the
+/// root. `entry_port_at_u` is the port at the path node toward the root
+/// (it determines nothing inside the tree; tours start at the root).
+std::vector<TourBehavior> behavior_function(const sim::TreeAutomaton& a,
+                                            const tree::Tree& side);
+
+struct SideTreeCollision {
+  bool found = false;
+  int i = 0;  ///< side-tree parameter; the instance has l = 2i leaves
+  std::uint64_t mask1 = 0, mask2 = 0;
+  std::uint64_t masks_scanned = 0;
+
+  tree::Tree instance = tree::Tree::single_node();
+  tree::NodeId u = -1, v = -1;
+
+  bool symmetric_companion_is_symmetric = false;  ///< sanity certificate
+  bool instance_not_symmetrizable = false;        ///< feasibility certificate
+  NeverMeetResult verdict;
+  bool construction_ok = false;
+};
+
+/// Scans side trees of parameter `i` for a behavior-function collision of
+/// `a`, builds the two-sided instance with joining parameter m (even,
+/// >= 2), and verifies non-meeting. Stops at the first collision.
+SideTreeCollision build_sidetree_instance(const sim::TreeAutomaton& a, int i,
+                                          int m, std::uint64_t horizon);
+
+}  // namespace rvt::lowerbound

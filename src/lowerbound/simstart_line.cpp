@@ -1,0 +1,141 @@
+#include "lowerbound/simstart_line.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "lowerbound/line_drift.hpp"
+#include "lowerbound/transition_digraph.hpp"
+#include "tree/builders.hpp"
+
+namespace rvt::lowerbound {
+
+SimStartInstance build_simstart_instance(const sim::LineAutomaton& a,
+                                         std::uint64_t gamma_cap,
+                                         std::uint64_t horizon) {
+  a.validate();
+  const std::uint64_t K = static_cast<std::uint64_t>(a.num_states());
+  SimStartInstance out;
+
+  const TransitionDigraph digraph = analyze_pi_prime(a);
+  out.gamma = digraph.gamma(gamma_cap);
+  if (out.gamma >= gamma_cap) {
+    out.gamma_overflow = true;
+    return out;
+  }
+
+  const PhaseDrift d0 = analyze_drift(a, 0);
+  const PhaseDrift d1 = analyze_drift(a, 1);
+  if (!d0.unbounded && !d1.unbounded) {
+    out.bounded_case = true;
+    const std::int64_t D = std::max(d0.max_abs_pos, d1.max_abs_pos) + 1;
+    out.range_d = D;
+    const tree::NodeId edges = static_cast<tree::NodeId>(4 * D + 4);
+    out.line = tree::line_edge_colored(edges + 1, 0);
+    out.u = static_cast<tree::NodeId>(D + 1);
+    out.v = static_cast<tree::NodeId>(3 * D + 2);
+    sim::LineAutomatonAgent agent_u(a, "victim-u"), agent_v(a, "victim-v");
+    out.verdict =
+        verify_never_meet(out.line, agent_u, agent_v,
+                          {out.u, out.v, 0, 0,
+                           std::max<std::uint64_t>(horizon, 4)});
+    out.construction_ok = !out.verdict.met && out.verdict.certified_forever;
+    return out;
+  }
+
+  // Unbounded branch. Agent A sits at abs position 0 with phase 0; agent
+  // A' at abs 1; by the mirror symmetry of that placement rel'(t) =
+  // -rel(t), so one simulation provides both trajectories.
+  // A must itself be unbounded under phase 0: if only phase 1 drifts,
+  // swap the roles by re-coloring (phase flip == placing the pair on the
+  // other edge parity), which is the same automaton on the mirrored line;
+  // we simply run the analysis with the drifting phase and color the
+  // finite line accordingly.
+  const int phase = d0.unbounded ? 0 : 1;
+
+  const std::uint64_t threshold = 2 * out.gamma + 2 * K;
+  std::vector<std::int64_t> pos;  // pos[r] = position after tick r+1
+  sim::ZLineSim sim(a, phase);
+  std::uint64_t t0 = 0;
+  int state_t0 = -1;
+  const std::uint64_t t0_cap =
+      (threshold + 2) * (4 * K + 8) + 4 * K + 8;
+  while (true) {
+    const auto s = sim.tick();
+    pos.push_back(s.pos);
+    if (static_cast<std::uint64_t>(std::llabs(s.pos)) >= threshold) {
+      t0 = s.round;
+      state_t0 = s.state;
+      break;
+    }
+    if (s.round > t0_cap) return out;  // should not happen when unbounded
+  }
+  const int ci = digraph.circuit_of[state_t0];
+  if (ci < 0) return out;  // t0 >= K guarantees circuit membership
+  const std::uint64_t clen = digraph.circuits[ci].size();
+
+  // Extreme position of circuit C_i starting at t0.
+  std::vector<std::int64_t> u_pos{pos.back()};  // u_0 .. u_clen
+  for (std::uint64_t j = 0; j < clen; ++j) {
+    const auto s = sim.tick();
+    pos.push_back(s.pos);
+    u_pos.push_back(s.pos);
+  }
+  const std::int64_t drift = u_pos.back() - u_pos.front();
+  if (drift == 0) return out;  // not the drifting circuit (unexpected)
+  const int sigma = drift > 0 ? 1 : -1;
+  std::int64_t best = 0;
+  for (std::uint64_t j = 0; j <= clen; ++j) {
+    best = std::max(best, sigma * (u_pos[j] - u_pos[0]));
+  }
+  std::uint64_t jstar = 0;
+  for (std::uint64_t j = 1; j <= clen; ++j) {
+    if (sigma * (u_pos[j] - u_pos[0]) == best) {
+      jstar = j;
+      break;
+    }
+  }
+  if (jstar == 0) return out;
+  out.t0 = t0;
+  out.tau = t0 + jstar;
+  out.x = std::llabs(u_pos[jstar]);
+
+  // Advance to tau' = tau + 2*gamma for x'.
+  while (pos.size() < out.tau + 2 * out.gamma) {
+    pos.push_back(sim.tick().pos);
+  }
+  out.x_prime = std::llabs(pos[out.tau + 2 * out.gamma - 1]);
+  if (out.x_prime <= out.x) return out;  // paper guarantees >, bail if not
+
+  // Build the finite line: x + 1 + x' edges. Map infinite coordinates onto
+  // it so that the drifting direction of A points into its x-edge section.
+  const std::int64_t x = out.x, xp = out.x_prime;
+  const std::int64_t num_edges = x + 1 + xp;
+  std::int64_t a_node, b_node;
+  int fc;
+  // A's absolute drift direction: rel drift is sigma; with phase flip the
+  // mapping below keeps the e-edge color equal to the color A saw between
+  // itself and A' in the infinite placement.
+  if (sigma < 0) {
+    a_node = x;       // A's section: nodes 0..x (x edges) to its left
+    b_node = x + 1;
+    fc = static_cast<int>(((x + phase) % 2 + 2) % 2);
+  } else {
+    a_node = xp + 1;  // orientation reversed: A's section to its right
+    b_node = xp;
+    fc = static_cast<int>(((xp + phase) % 2 + 2) % 2);
+  }
+  out.line = tree::line_edge_colored(
+      static_cast<tree::NodeId>(num_edges + 1), fc);
+  out.u = static_cast<tree::NodeId>(a_node);
+  out.v = static_cast<tree::NodeId>(b_node);
+
+  sim::LineAutomatonAgent agent_u(a, "victim-u"), agent_v(a, "victim-v");
+  out.verdict = verify_never_meet(out.line, agent_u, agent_v,
+                                  {out.u, out.v, 0, 0, horizon});
+  out.construction_ok = !out.verdict.met && out.verdict.certified_forever;
+  return out;
+}
+
+}  // namespace rvt::lowerbound

@@ -1,0 +1,52 @@
+// The Theorem 4.2 adversary: rendezvous with SIMULTANEOUS start on the
+// line defeats any K-state agent on a line of length O(K^K), proving the
+// Omega(log log n) memory lower bound.
+//
+// Construction (paper §4.2): let gamma = lcm of the circuit lengths of the
+// transition digraph of pi'(s) = pi(s, 2). Place two copies adjacently on
+// the infinite 2-colored line; by the mirror symmetry of that placement
+// the second agent's trajectory is the reflection of the first's. Wait
+// until the agent is 2*gamma + 2K from its start (time t0), find the
+// extreme position of its current circuit C_i (first reached at time tau,
+// distance x), and set x' = the distance of the mirrored agent at time
+// tau' = tau + 2*gamma (x' > x since it keeps drifting). The finite
+// instance is the line of x + 1 + x' edges with the agents at the two ends
+// of the central-pair edge e, colored exactly as in the infinite line.
+// x != x', so the positions are not perfectly symmetrizable, yet the
+// delay-2*gamma parity argument (paper Lemmas 4.4-4.8) keeps the agents at
+// odd distance or far apart forever.
+//
+// The bounded-range branch reuses the disjoint-activity construction.
+// All instances are verified by simulation with the configuration-cycle
+// certificate.
+#pragma once
+
+#include <cstdint>
+
+#include "lowerbound/verify.hpp"
+#include "sim/automaton.hpp"
+#include "tree/tree.hpp"
+
+namespace rvt::lowerbound {
+
+struct SimStartInstance {
+  bool construction_ok = false;
+  bool bounded_case = false;
+  bool gamma_overflow = false;  ///< lcm exceeded the cap; no instance built
+
+  tree::Tree line = tree::Tree::single_node();
+  tree::NodeId u = -1, v = -1;  ///< the two agents' starts (adjacent)
+
+  std::uint64_t gamma = 0;
+  std::uint64_t t0 = 0, tau = 0;
+  std::int64_t x = 0, x_prime = 0;
+  std::int64_t range_d = 0;  ///< bounded branch
+
+  NeverMeetResult verdict;
+};
+
+SimStartInstance build_simstart_instance(const sim::LineAutomaton& a,
+                                         std::uint64_t gamma_cap,
+                                         std::uint64_t horizon);
+
+}  // namespace rvt::lowerbound

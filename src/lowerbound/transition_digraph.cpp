@@ -1,0 +1,63 @@
+#include "lowerbound/transition_digraph.hpp"
+
+#include "util/math.hpp"
+
+namespace rvt::lowerbound {
+
+TransitionDigraph analyze_pi_prime(const sim::LineAutomaton& a) {
+  a.validate();
+  const int n = a.num_states();
+  TransitionDigraph d;
+  d.pi_prime.resize(n);
+  for (int s = 0; s < n; ++s) d.pi_prime[s] = a.next_internal(s);
+  d.circuit_of.assign(n, -1);
+
+  // Functional-graph cycle detection: color 0 = unvisited, 1 = on the
+  // current path, 2 = finished.
+  std::vector<int> color(n, 0);
+  for (int s0 = 0; s0 < n; ++s0) {
+    if (color[s0] != 0) continue;
+    std::vector<int> path;
+    int s = s0;
+    while (color[s] == 0) {
+      color[s] = 1;
+      path.push_back(s);
+      s = d.pi_prime[s];
+    }
+    if (color[s] == 1) {
+      // Found a new circuit: the suffix of `path` starting at s.
+      std::vector<int> circuit;
+      bool in = false;
+      for (int v : path) {
+        if (v == s) in = true;
+        if (in) {
+          circuit.push_back(v);
+          d.circuit_of[v] = static_cast<int>(d.circuits.size());
+        }
+      }
+      d.circuits.push_back(std::move(circuit));
+    }
+    for (int v : path) color[v] = 2;
+  }
+  return d;
+}
+
+std::uint64_t TransitionDigraph::gamma(std::uint64_t cap) const {
+  std::uint64_t g = 1;
+  for (const auto& c : circuits) {
+    g = util::saturating_lcm(g, c.size(), cap);
+    if (g >= cap) return cap;
+  }
+  return g;
+}
+
+int TransitionDigraph::tail_length(int s) const {
+  int k = 0;
+  while (circuit_of[s] < 0) {
+    s = pi_prime[s];
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace rvt::lowerbound

@@ -1,0 +1,32 @@
+// Transition digraph of pi'(s) = pi(s, 2) — the degree-2 restriction of an
+// agent's transition function (paper §4.2).
+//
+// pi' is a function on the finite state set, so its digraph decomposes into
+// connected components each consisting of one circuit with in-trees hanging
+// off it. The Theorem 4.2 adversary needs the circuits C_1..C_r and
+// gamma = lcm(|C_1|, ..., |C_r|).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/automaton.hpp"
+
+namespace rvt::lowerbound {
+
+struct TransitionDigraph {
+  std::vector<int> pi_prime;             ///< pi'(s) per state
+  std::vector<std::vector<int>> circuits;  ///< states of each circuit
+  std::vector<int> circuit_of;           ///< circuit index of s, -1 if on a tail
+
+  /// lcm of circuit lengths, saturated at cap (the construction refuses
+  /// automata whose gamma would exceed it).
+  std::uint64_t gamma(std::uint64_t cap) const;
+
+  /// Steps until state s enters its circuit (0 if already on one).
+  int tail_length(int s) const;
+};
+
+TransitionDigraph analyze_pi_prime(const sim::LineAutomaton& a);
+
+}  // namespace rvt::lowerbound

@@ -1,0 +1,97 @@
+#include "lowerbound/verify.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace rvt::lowerbound {
+
+namespace {
+
+using Config = std::array<std::uint64_t, 6>;
+
+Config snapshot(const sim::TwoAgentRun& run, const sim::Agent& a,
+                const sim::Agent& b) {
+  const tree::WalkPos pa = run.pos_a();
+  const tree::WalkPos pb = run.pos_b();
+  return {static_cast<std::uint64_t>(pa.node),
+          static_cast<std::uint64_t>(pa.in_port + 1),
+          a.state_signature(),
+          static_cast<std::uint64_t>(pb.node),
+          static_cast<std::uint64_t>(pb.in_port + 1),
+          b.state_signature()};
+}
+
+}  // namespace
+
+NeverMeetResult verify_never_meet(const tree::Tree& t, sim::Agent& a,
+                                  sim::Agent& b, const sim::RunConfig& cfg) {
+  if (cfg.max_rounds == 0) {
+    throw std::invalid_argument("verify_never_meet: max_rounds must be > 0");
+  }
+  sim::TwoAgentRun run(t, a, b, cfg);
+  NeverMeetResult r;
+
+  // Brent's algorithm over the deterministic configuration sequence that
+  // begins once both agents have started.
+  bool anchored = false;
+  Config anchor{};
+  std::uint64_t power = 1, lam = 0;
+
+  while (run.round() < cfg.max_rounds) {
+    const bool met = run.tick();
+    r.rounds_checked = run.round();
+    if (met) {
+      r.met = true;
+      r.meeting_round = run.round() - 1;
+      return r;
+    }
+    if (!run.both_started()) continue;
+    const Config cur = snapshot(run, a, b);
+    if (!anchored) {
+      if (a.state_signature() == sim::Agent::kNoSignature ||
+          b.state_signature() == sim::Agent::kNoSignature) {
+        throw std::invalid_argument(
+            "verify_never_meet: agents must expose state signatures");
+      }
+      anchor = cur;
+      anchored = true;
+      power = 1;
+      lam = 0;
+      continue;
+    }
+    ++lam;
+    if (cur == anchor) {
+      r.certified_forever = true;
+      r.cycle_length = lam;
+      return r;
+    }
+    if (lam == power) {  // move the anchor forward, double the window
+      anchor = cur;
+      power *= 2;
+      lam = 0;
+    }
+  }
+  return r;  // horizon exhausted without certificate (rare; report as-is)
+}
+
+std::vector<LeaveEvent> run_single(const tree::Tree& t, sim::Agent& ag,
+                                   tree::NodeId start, std::uint64_t rounds) {
+  std::vector<LeaveEvent> events;
+  tree::WalkPos pos{start, -1};
+  for (std::uint64_t round = 1; round <= rounds; ++round) {
+    const sim::Observation obs{pos.in_port, t.degree(pos.node)};
+    const int action = ag.step(obs);
+    if (action == sim::kStay) {
+      pos.in_port = -1;
+      continue;
+    }
+    events.push_back({round, pos.node, ag.state_signature()});
+    const int d = t.degree(pos.node);
+    const tree::Port out = static_cast<tree::Port>(action % d);
+    const tree::NodeId next = t.neighbor(pos.node, out);
+    pos = {next, t.reverse_port(pos.node, out)};
+  }
+  return events;
+}
+
+}  // namespace rvt::lowerbound

@@ -1,0 +1,49 @@
+// Non-meeting verification with a periodicity certificate.
+//
+// Each lower-bound construction must demonstrate that a specific pair of
+// finite-state agents never meets on a specific instance. For finite
+// automata the joint configuration
+//     (state_A, position_A, entry_port_A, state_B, position_B, entry_port_B)
+// evolves deterministically once both agents have started, so if a
+// configuration repeats without a meeting in between, the run is periodic
+// and the agents never meet — for all time, not just for the simulated
+// horizon. We detect the repeat with Brent's cycle-finding algorithm (O(1)
+// memory), checking for co-location every round.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/agent.hpp"
+#include "sim/simulator.hpp"
+#include "tree/tree.hpp"
+
+namespace rvt::lowerbound {
+
+struct NeverMeetResult {
+  bool met = false;                 ///< construction FAILED if true
+  std::uint64_t meeting_round = 0;  ///< valid when met
+  bool certified_forever = false;   ///< configuration cycle found
+  std::uint64_t cycle_length = 0;   ///< period of the certified cycle
+  std::uint64_t rounds_checked = 0;
+};
+
+/// Runs agents a and b per cfg (cfg.max_rounds caps the search). Both
+/// agents must implement state_signature(). Throws std::invalid_argument
+/// if either returns Agent::kNoSignature on the first started round.
+NeverMeetResult verify_never_meet(const tree::Tree& t, sim::Agent& a,
+                                  sim::Agent& b, const sim::RunConfig& cfg);
+
+/// Single-agent run on a tree recording "leaving events" (paper §3: the
+/// agent reaches node x in state s if s is the state in which it leaves x).
+struct LeaveEvent {
+  std::uint64_t round;    ///< 1-based round of the move
+  tree::NodeId node;      ///< the node being left
+  std::uint64_t state;    ///< state_signature() when the move was issued
+};
+
+/// Simulates `ag` alone from `start` for `rounds` rounds; returns all
+/// leaving events (moves only; null moves produce no event).
+std::vector<LeaveEvent> run_single(const tree::Tree& t, sim::Agent& ag,
+                                   tree::NodeId start, std::uint64_t rounds);
+
+}  // namespace rvt::lowerbound

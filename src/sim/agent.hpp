@@ -1,0 +1,57 @@
+// The agent abstraction (paper §2.1).
+//
+// An agent is an abstract state machine: in every round it reads the input
+// symbol (i, d) — the port i through which it entered the current node (-1
+// if its previous move was null or it has not moved yet) and the degree d
+// of that node — and answers with an action: stay put, or leave through a
+// port. The paper's output function is lambda(s) taken mod d; we mirror
+// that by reducing any non-negative answer mod d in the simulator, so an
+// agent whose output range is too small for a high-degree node physically
+// cannot reach some neighbors (exactly the effect the Omega(log n) example
+// of Section 3 exploits).
+//
+// Agents never see node identities and cannot mark nodes; the simulator
+// enforces that by construction (Observation carries only i and d).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tree/tree.hpp"
+
+namespace rvt::sim {
+
+struct Observation {
+  tree::Port in_port = -1;  ///< entry port; -1 after a null move / at start
+  int degree = 0;           ///< degree of the current node
+};
+
+/// Action constant: remain at the current node this round.
+inline constexpr int kStay = -1;
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// One synchronous round: observe, transition, act. Return kStay or a
+  /// port candidate (reduced mod degree by the simulator).
+  virtual int step(const Observation& obs) = 0;
+
+  /// Bits of persistent memory the agent used so far. Metered agents
+  /// report measured counter widths + control-state bits; table automata
+  /// report ceil(log2(#states)).
+  virtual std::uint64_t memory_bits() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Complete internal state as a comparable token, when the agent's state
+  /// space is small enough to enumerate (finite automata). Used by the
+  /// lower-bound verifier to certify non-meeting *forever*: once the joint
+  /// (state, position) configuration of both agents repeats, the run is
+  /// periodic and meeting is impossible for all time. Returns
+  /// kNoSignature when unsupported (algorithmic agents with counters).
+  static constexpr std::uint64_t kNoSignature = ~0ull;
+  virtual std::uint64_t state_signature() const { return kNoSignature; }
+};
+
+}  // namespace rvt::sim

@@ -1,0 +1,225 @@
+#include "sim/automaton.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace rvt::sim {
+
+void LineAutomaton::validate() const {
+  const int n = num_states();
+  if (n <= 0) throw std::invalid_argument("LineAutomaton: no states");
+  if (initial < 0 || initial >= n) {
+    throw std::invalid_argument("LineAutomaton: bad initial state");
+  }
+  if (static_cast<int>(lambda.size()) != n) {
+    throw std::invalid_argument("LineAutomaton: lambda size mismatch");
+  }
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < 2; ++d) {
+      if (delta[s][d] < 0 || delta[s][d] >= n) {
+        throw std::invalid_argument("LineAutomaton: bad transition target");
+      }
+    }
+    if (lambda[s] < -1) {
+      throw std::invalid_argument("LineAutomaton: lambda < -1");
+    }
+  }
+}
+
+LineAutomatonAgent::LineAutomatonAgent(LineAutomaton a, std::string name)
+    : a_(std::move(a)), name_(std::move(name)), state_(a_.initial) {
+  a_.validate();
+}
+
+int LineAutomatonAgent::step(const Observation& obs) {
+  if (obs.degree != 1 && obs.degree != 2) {
+    throw std::logic_error("LineAutomatonAgent used off a line");
+  }
+  if (first_) {
+    first_ = false;  // first action: lambda(initial), no transition
+  } else {
+    state_ = a_.next(state_, obs.degree);
+  }
+  return a_.lambda[state_];
+}
+
+std::uint64_t LineAutomatonAgent::memory_bits() const {
+  return util::ceil_log2(static_cast<std::uint64_t>(a_.num_states()));
+}
+
+namespace {
+// State ids for the walkers, built from (at_leaf, last_color, phase).
+int walker_id(bool at_leaf, int color, int phase, int p) {
+  return ((at_leaf ? 2 : 0) + color) * p + phase;
+}
+}  // namespace
+
+LineAutomaton basic_walker_automaton() { return ping_pong_walker(1); }
+
+LineAutomaton ping_pong_walker(int p) {
+  if (p < 1) throw std::invalid_argument("ping_pong_walker: p >= 1");
+  LineAutomaton a;
+  const int n = 4 * p;
+  a.delta.assign(n, {0, 0});
+  a.lambda.assign(n, kStay);
+  for (int color = 0; color < 2; ++color) {
+    for (int j = 0; j < p; ++j) {
+      const int w = walker_id(false, color, j, p);  // internal-node states
+      const int l = walker_id(true, color, j, p);   // leaf states
+      if (j < p - 1) {
+        a.lambda[w] = kStay;
+        a.lambda[l] = kStay;
+        // Stayed put: degree re-read is the same node's degree.
+        a.delta[w][1] = walker_id(false, color, j + 1, p);
+        a.delta[w][0] = walker_id(true, color, j + 1, p);
+        a.delta[l][0] = walker_id(true, color, j + 1, p);
+        a.delta[l][1] = walker_id(false, color, j + 1, p);
+      } else {
+        // Move: from an internal node continue direction (exit the color we
+        // did NOT arrive by); from a leaf re-cross the arrival edge (exit
+        // port 0 == the only port; its color is the remembered one).
+        a.lambda[w] = 1 - color;
+        a.lambda[l] = 0;
+        a.delta[w][1] = walker_id(false, 1 - color, 0, p);  // crossed 1-color
+        a.delta[w][0] = walker_id(true, 1 - color, 0, p);
+        a.delta[l][1] = walker_id(false, color, 0, p);  // crossed `color`
+        a.delta[l][0] = walker_id(true, color, 0, p);
+      }
+    }
+  }
+  // Initial: pretend we last crossed color 1, phase 0, at an internal node,
+  // so the first move exits port 0 (the paper's convention).
+  a.initial = walker_id(false, 1, 0, p);
+  a.validate();
+  return a;
+}
+
+LineAutomaton random_line_automaton(int num_states, util::Rng& rng) {
+  if (num_states < 1) {
+    throw std::invalid_argument("random_line_automaton: >= 1 state");
+  }
+  LineAutomaton a;
+  a.delta.assign(num_states, {0, 0});
+  a.lambda.assign(num_states, kStay);
+  for (int s = 0; s < num_states; ++s) {
+    a.delta[s][0] = static_cast<int>(rng.uniform(0, num_states - 1));
+    a.delta[s][1] = static_cast<int>(rng.uniform(0, num_states - 1));
+    a.lambda[s] = static_cast<int>(rng.uniform(0, 2)) - 1;  // {-1, 0, 1}
+  }
+  a.initial = static_cast<int>(rng.uniform(0, num_states - 1));
+  a.validate();
+  return a;
+}
+
+void TreeAutomaton::validate() const {
+  const int n = num_states();
+  if (n <= 0) throw std::invalid_argument("TreeAutomaton: no states");
+  if (initial < 0 || initial >= n) {
+    throw std::invalid_argument("TreeAutomaton: bad initial state");
+  }
+  if (static_cast<int>(lambda.size()) != n) {
+    throw std::invalid_argument("TreeAutomaton: lambda size mismatch");
+  }
+  for (int s = 0; s < n; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        if (delta[s][i][d] < 0 || delta[s][i][d] >= n) {
+          throw std::invalid_argument("TreeAutomaton: bad transition");
+        }
+      }
+    }
+    if (lambda[s] < -1) throw std::invalid_argument("TreeAutomaton: lambda");
+  }
+}
+
+TreeAutomatonAgent::TreeAutomatonAgent(TreeAutomaton a, std::string name)
+    : a_(std::move(a)), name_(std::move(name)), state_(a_.initial) {
+  a_.validate();
+}
+
+int TreeAutomatonAgent::step(const Observation& obs) {
+  if (obs.degree < 1 || obs.degree > 3 || obs.in_port < -1 ||
+      obs.in_port > 2) {
+    throw std::logic_error("TreeAutomatonAgent: degree/port out of model");
+  }
+  if (first_) {
+    first_ = false;
+  } else {
+    state_ = a_.delta[state_][obs.in_port + 1][obs.degree - 1];
+  }
+  return a_.lambda[state_];
+}
+
+std::uint64_t TreeAutomatonAgent::memory_bits() const {
+  return util::ceil_log2(static_cast<std::uint64_t>(a_.num_states()));
+}
+
+TreeAutomaton random_tree_automaton(int num_states, util::Rng& rng) {
+  if (num_states < 1) {
+    throw std::invalid_argument("random_tree_automaton: >= 1 state");
+  }
+  TreeAutomaton a;
+  a.delta.assign(num_states, {});
+  a.lambda.assign(num_states, kStay);
+  for (int s = 0; s < num_states; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        a.delta[s][i][d] = static_cast<int>(rng.uniform(0, num_states - 1));
+      }
+    }
+    a.lambda[s] = static_cast<int>(rng.uniform(0, 3)) - 1;  // {-1,0,1,2}
+  }
+  a.initial = static_cast<int>(rng.uniform(0, num_states - 1));
+  a.validate();
+  return a;
+}
+
+TreeAutomaton lift_to_tree_automaton(const LineAutomaton& a) {
+  a.validate();
+  TreeAutomaton t;
+  t.initial = a.initial;
+  const int n = a.num_states();
+  t.delta.assign(n, {});
+  t.lambda = a.lambda;
+  for (int s = 0; s < n; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      t.delta[s][i][0] = a.delta[s][0];
+      t.delta[s][i][1] = a.delta[s][1];
+      t.delta[s][i][2] = a.delta[s][1];  // treat degree 3 like degree 2
+    }
+  }
+  t.validate();
+  return t;
+}
+
+ZLineSim::ZLineSim(const LineAutomaton& a, int phase)
+    : a_(a), phase_(phase), state_(a.initial) {
+  a_.validate();
+  if (phase != 0 && phase != 1) {
+    throw std::invalid_argument("ZLineSim: phase in {0,1}");
+  }
+}
+
+ZLineSim::Snapshot ZLineSim::tick() {
+  ++round_;
+  if (first_) {
+    first_ = false;
+  } else {
+    state_ = a_.next_internal(state_);  // all nodes on Z have degree 2
+  }
+  const int act = a_.lambda[state_];
+  if (act != kStay) {
+    const int c = ((act % 2) + 2) % 2;  // lambda mod degree(=2)
+    // Right edge {pos, pos+1} has color edge_color(pos); left edge
+    // {pos-1, pos} has the other color.
+    if (edge_color(pos_) == c) {
+      ++pos_;
+    } else {
+      --pos_;
+    }
+  }
+  return {round_, pos_, state_, act};
+}
+
+}  // namespace rvt::sim

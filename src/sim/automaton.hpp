@@ -1,0 +1,161 @@
+// Explicit finite automata over edge-2-colored lines — the victim model of
+// the paper's lower bounds (Theorems 3.1 and 4.2).
+//
+// On a line whose edges are properly 2-colored with the port numbers equal
+// to the color at both extremities, an agent that leaves by port i enters
+// the next node by port i; hence (paper §4.2) its incoming port carries no
+// extra information and WLOG the transition function is
+//     pi : S x {1, 2} -> S        (input: degree of the node entered)
+// with output function lambda : S -> {-1, 0, 1, ...} (stay, or exit port
+// taken mod degree). Both lower-bound adversaries operate on automata in
+// exactly this normal form.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::sim {
+
+struct LineAutomaton {
+  int initial = 0;
+  /// delta[s][d-1] for degree d in {1, 2}.
+  std::vector<std::array<int, 2>> delta;
+  /// lambda[s]: kStay, or a port candidate reduced mod degree when acting.
+  std::vector<int> lambda;
+
+  int num_states() const { return static_cast<int>(delta.size()); }
+  /// Throws std::invalid_argument on malformed tables.
+  void validate() const;
+
+  /// Next state on entering a node of degree d (paper's pi). d in {1,2}.
+  int next(int s, int d) const { return delta[s][d - 1]; }
+  /// pi'(s) = pi(s, 2): the degree-2 restriction whose transition digraph
+  /// drives Theorem 4.2.
+  int next_internal(int s) const { return delta[s][1]; }
+};
+
+/// Adapter running a LineAutomaton under the generic Agent interface with
+/// the paper-exact round semantics: the first action is lambda(initial)
+/// with no transition; every later round first transitions on the entered
+/// node's degree, then acts. Degrees > 2 are rejected (line automata).
+class LineAutomatonAgent final : public Agent {
+ public:
+  explicit LineAutomatonAgent(LineAutomaton a, std::string name = "automaton");
+
+  int step(const Observation& obs) override;
+  std::uint64_t memory_bits() const override;
+  std::string name() const override { return name_; }
+  std::uint64_t state_signature() const override {
+    return (static_cast<std::uint64_t>(state_) << 1) | (first_ ? 1 : 0);
+  }
+
+  int state() const { return state_; }
+
+ private:
+  LineAutomaton a_;
+  std::string name_;
+  int state_ = 0;
+  bool first_ = true;
+};
+
+/// The 4-state basic-walk automaton: crosses one edge per round and bounces
+/// at the line's extremities, maintaining direction through the crossed
+/// edge color. Correct when started at an internal node (a degree-only
+/// automaton started at a leaf cannot learn its edge's color).
+LineAutomaton basic_walker_automaton();
+
+/// Ping-pong walker at speed 1/p: stays p-1 rounds, then crosses one edge,
+/// bouncing at extremities. 4p states; its pi' digraph has a single circuit
+/// of length 2p, so the Theorem 4.2 parameter gamma equals 2p. p >= 1.
+LineAutomaton ping_pong_walker(int p);
+
+/// Uniformly random automaton with `num_states` states and lambda values
+/// in {-1, 0, 1}. Used to exercise the adversaries beyond hand-built
+/// walkers.
+LineAutomaton random_line_automaton(int num_states, util::Rng& rng);
+
+/// Deterministic automaton over trees of maximum degree <= 3 — the victim
+/// model of the Theorem 4.3 lower bound. Inputs are the paper's (i, d)
+/// symbols: entry port i in {-1, 0, 1, 2} and degree d in {1, 2, 3}.
+struct TreeAutomaton {
+  int initial = 0;
+  /// delta[s][i+1][d-1] for i in {-1,0,1,2}, d in {1,2,3}.
+  std::vector<std::array<std::array<int, 3>, 4>> delta;
+  /// lambda[s]: kStay or a port candidate (reduced mod degree on acting).
+  std::vector<int> lambda;
+
+  int num_states() const { return static_cast<int>(delta.size()); }
+  void validate() const;
+};
+
+class TreeAutomatonAgent final : public Agent {
+ public:
+  explicit TreeAutomatonAgent(TreeAutomaton a, std::string name = "tree-fsm");
+
+  int step(const Observation& obs) override;
+  std::uint64_t memory_bits() const override;
+  std::string name() const override { return name_; }
+  std::uint64_t state_signature() const override {
+    return (static_cast<std::uint64_t>(state_) << 1) | (first_ ? 1 : 0);
+  }
+
+  int state() const { return state_; }
+
+ private:
+  TreeAutomaton a_;
+  std::string name_;
+  int state_ = 0;
+  bool first_ = true;
+};
+
+/// Uniformly random TreeAutomaton with lambda values in {-1, 0, 1, 2}.
+TreeAutomaton random_tree_automaton(int num_states, util::Rng& rng);
+
+/// Lifts a line automaton to the degree-3 input alphabet (transitions on
+/// degree 3 behave like degree 2; entry ports are ignored like the
+/// original). Lets the walkers above serve as Theorem 4.3 victims too.
+TreeAutomaton lift_to_tree_automaton(const LineAutomaton& a);
+
+/// Single-agent dynamics on the bi-infinite 2-colored line.
+///
+/// Nodes are the integers; the edge {z, z+1} has color (z + phase) mod 2 and
+/// that color is the port number at both of its endpoints. The agent starts
+/// at position 0.
+class ZLineSim {
+ public:
+  ZLineSim(const LineAutomaton& a, int phase);
+
+  struct Snapshot {
+    std::uint64_t round;  ///< 1-based round that produced this snapshot
+    std::int64_t pos;     ///< position after acting
+    int state;            ///< state the action was taken in
+    int action;           ///< lambda(state): kStay or exit color
+  };
+
+  /// Runs one round; returns the snapshot after it.
+  Snapshot tick();
+
+  std::int64_t pos() const { return pos_; }
+  int state() const { return state_; }
+  std::uint64_t round() const { return round_; }
+
+  /// Color (== port at both ends) of the edge {z, z+1}.
+  int edge_color(std::int64_t z) const {
+    return static_cast<int>(((z + phase_) % 2 + 2) % 2);
+  }
+
+ private:
+  const LineAutomaton& a_;
+  int phase_;
+  std::int64_t pos_ = 0;
+  int state_;
+  bool first_ = true;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace rvt::sim

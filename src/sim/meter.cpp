@@ -1,0 +1,36 @@
+#include "sim/meter.hpp"
+
+#include <algorithm>
+
+namespace rvt::sim {
+
+MeteredCounter& MemoryMeter::counter(const std::string& name) {
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c;
+  }
+  counters_.emplace_back(name, MeteredCounter{});
+  return counters_.back().second;
+}
+
+void MemoryMeter::declare_control_states(std::uint64_t count) {
+  control_states_ = std::max(control_states_, count);
+}
+
+std::uint64_t MemoryMeter::total_bits() const {
+  std::uint64_t bits = util::ceil_log2(std::max<std::uint64_t>(
+      control_states_, 1));
+  for (const auto& [n, c] : counters_) bits += c.bits();
+  return bits;
+}
+
+std::vector<MemoryMeter::Entry> MemoryMeter::breakdown() const {
+  std::vector<Entry> out;
+  out.push_back({"<control>", control_states_,
+                 util::ceil_log2(std::max<std::uint64_t>(control_states_, 1))});
+  for (const auto& [n, c] : counters_) {
+    out.push_back({n, c.max_seen(), c.bits()});
+  }
+  return out;
+}
+
+}  // namespace rvt::sim

@@ -1,0 +1,77 @@
+// Memory metering: measured, not declared.
+//
+// The paper's resource is the number of automaton states, i.e.
+// Theta(log #states) bits. Our algorithmic agents are written as C++ state
+// machines whose persistent data is a fixed control state plus a handful of
+// bounded counters. The meter charges:
+//
+//   ceil(log2(#control states))  +  sum_over_counters ceil(log2(max+1))
+//
+// where `max` is the largest value the counter ever held. E2/E3 plot these
+// totals against n and l; the Theorem 4.1 agent must come out as
+// O(log l + log log n).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace rvt::sim {
+
+/// Unsigned counter that records the maximum value it ever held.
+class MeteredCounter {
+ public:
+  std::uint64_t get() const { return v_; }
+  std::uint64_t max_seen() const { return max_; }
+  unsigned bits() const { return util::bit_width_for(max_); }
+
+  void set(std::uint64_t v) {
+    v_ = v;
+    if (v_ > max_) max_ = v_;
+  }
+  void add(std::uint64_t d) { set(v_ + d); }
+  void increment() { add(1); }
+  void decrement() { v_ = v_ == 0 ? 0 : v_ - 1; }
+  void reset() { v_ = 0; }  // resetting does not erase the high-water mark
+
+  MeteredCounter& operator=(std::uint64_t v) {
+    set(v);
+    return *this;
+  }
+  operator std::uint64_t() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// A registry of named counters plus a control-state-space size.
+class MemoryMeter {
+ public:
+  /// Creates (or returns the existing) counter named `name`. References
+  /// remain valid for the meter's lifetime.
+  MeteredCounter& counter(const std::string& name);
+
+  /// Declares the size of the agent's control state space (the fixed
+  /// program states, independent of counters). Latched to the maximum of
+  /// all declarations.
+  void declare_control_states(std::uint64_t count);
+
+  std::uint64_t total_bits() const;
+
+  struct Entry {
+    std::string name;
+    std::uint64_t max_value;
+    unsigned bits;
+  };
+  std::vector<Entry> breakdown() const;
+
+ private:
+  std::deque<std::pair<std::string, MeteredCounter>> counters_;
+  std::uint64_t control_states_ = 1;
+};
+
+}  // namespace rvt::sim

@@ -1,0 +1,131 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace rvt::sim {
+
+TwoAgentRun::TwoAgentRun(const tree::Tree& t, Agent& a, Agent& b,
+                         const RunConfig& cfg)
+    : t_(t),
+      a_(a),
+      b_(b),
+      pos_a_{cfg.start_a, -1},
+      pos_b_{cfg.start_b, -1},
+      delay_a_(cfg.delay_a),
+      delay_b_(cfg.delay_b) {
+  if (cfg.start_a < 0 || cfg.start_a >= t.node_count() || cfg.start_b < 0 ||
+      cfg.start_b >= t.node_count()) {
+    throw std::invalid_argument("TwoAgentRun: start out of range");
+  }
+  if (cfg.start_a == cfg.start_b) {
+    throw std::invalid_argument("TwoAgentRun: starts must differ");
+  }
+}
+
+void TwoAgentRun::step_agent(Agent& ag, tree::WalkPos& pos,
+                             std::uint64_t delay, std::uint64_t& moves) {
+  if (round_ < delay) return;  // not started yet: physically idle
+  const Observation obs{pos.in_port, t_.degree(pos.node)};
+  const int action = ag.step(obs);
+  if (action == kStay) {
+    pos.in_port = -1;  // paper: after a null move the input reads (-1, d)
+    return;
+  }
+  if (action < 0) {
+    throw std::logic_error("Agent returned an action < -1");
+  }
+  const int d = t_.degree(pos.node);
+  const tree::Port out = static_cast<tree::Port>(action % d);
+  const tree::NodeId next = t_.neighbor(pos.node, out);
+  pos = {next, t_.reverse_port(pos.node, out)};
+  ++moves;
+}
+
+bool TwoAgentRun::tick() {
+  step_agent(a_, pos_a_, delay_a_, moves_a_);
+  step_agent(b_, pos_b_, delay_b_, moves_b_);
+  ++round_;
+  return pos_a_.node == pos_b_.node;
+}
+
+GatherResult run_gathering(const tree::Tree& t,
+                           const std::vector<Agent*>& agents,
+                           const GatherConfig& cfg) {
+  const std::size_t k = agents.size();
+  if (k < 2) throw std::invalid_argument("run_gathering: need >= 2 agents");
+  if (cfg.starts.size() != k) {
+    throw std::invalid_argument("run_gathering: starts size mismatch");
+  }
+  if (!cfg.delays.empty() && cfg.delays.size() != k) {
+    throw std::invalid_argument("run_gathering: delays size mismatch");
+  }
+  if (cfg.max_rounds == 0) {
+    throw std::invalid_argument("run_gathering: max_rounds must be > 0");
+  }
+  std::vector<tree::WalkPos> pos(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (cfg.starts[i] < 0 || cfg.starts[i] >= t.node_count()) {
+      throw std::invalid_argument("run_gathering: start out of range");
+    }
+    pos[i] = {cfg.starts[i], -1};
+  }
+
+  GatherResult r;
+  for (std::uint64_t round = 0; round < cfg.max_rounds; ++round) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint64_t delay = cfg.delays.empty() ? 0 : cfg.delays[i];
+      if (round < delay) continue;
+      const Observation obs{pos[i].in_port, t.degree(pos[i].node)};
+      const int action = agents[i]->step(obs);
+      if (action == kStay) {
+        pos[i].in_port = -1;
+        continue;
+      }
+      if (action < 0) throw std::logic_error("Agent action < -1");
+      const int d = t.degree(pos[i].node);
+      const tree::Port out = static_cast<tree::Port>(action % d);
+      const tree::NodeId next = t.neighbor(pos[i].node, out);
+      pos[i] = {next, t.reverse_port(pos[i].node, out)};
+    }
+    bool all_same = true;
+    for (std::size_t i = 1; i < k; ++i) {
+      all_same = all_same && pos[i].node == pos[0].node;
+    }
+    r.rounds_executed = round + 1;
+    if (all_same) {
+      r.gathered = true;
+      r.gather_round = round;
+      r.gather_node = pos[0].node;
+      break;
+    }
+  }
+  for (Agent* a : agents) r.memory_bits.push_back(a->memory_bits());
+  return r;
+}
+
+RunResult run_rendezvous(const tree::Tree& t, Agent& a, Agent& b,
+                         const RunConfig& cfg, const TraceFn& trace) {
+  if (cfg.max_rounds == 0) {
+    throw std::invalid_argument("run_rendezvous: max_rounds must be > 0");
+  }
+  TwoAgentRun run(t, a, b, cfg);
+  RunResult r;
+  for (std::uint64_t round = 0; round < cfg.max_rounds; ++round) {
+    const bool met = run.tick();
+    if (trace) trace(round, run.pos_a(), run.pos_b());
+    if (met) {
+      r.met = true;
+      r.meeting_round = round;
+      r.meeting_node = run.pos_a().node;
+      break;
+    }
+  }
+  r.rounds_executed = run.round();
+  r.moves_a = run.moves_a();
+  r.moves_b = run.moves_b();
+  r.memory_bits_a = a.memory_bits();
+  r.memory_bits_b = b.memory_bits();
+  return r;
+}
+
+}  // namespace rvt::sim

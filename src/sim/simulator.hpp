@@ -1,0 +1,108 @@
+// Synchronous two-agent simulator (paper §2.1).
+//
+// Two identical agents are dropped on distinct nodes of a port-labeled
+// tree. An adversary chooses a start delay theta >= 0 for each agent (the
+// paper's single theta is the difference; we allow per-agent offsets, which
+// is equivalent). Rounds are synchronous: every round, each *started* agent
+// observes (entry port, degree) and either stays or crosses an edge; both
+// moves are applied simultaneously. Agents that cross the same edge in
+// opposite directions swap positions and do NOT meet (they "cross inside
+// the edge") — rendezvous requires being at the same node at the end of a
+// round. A not-yet-started agent physically occupies its initial node, so
+// the other agent walking onto it does complete rendezvous.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/agent.hpp"
+#include "tree/tree.hpp"
+#include "tree/walk.hpp"
+
+namespace rvt::sim {
+
+struct RunConfig {
+  tree::NodeId start_a = -1;
+  tree::NodeId start_b = -1;
+  std::uint64_t delay_a = 0;  ///< rounds before agent A starts acting
+  std::uint64_t delay_b = 0;
+  std::uint64_t max_rounds = 0;  ///< hard stop (0 forbidden)
+};
+
+struct RunResult {
+  bool met = false;
+  std::uint64_t meeting_round = 0;  ///< round at whose end agents met
+  tree::NodeId meeting_node = -1;
+  std::uint64_t rounds_executed = 0;
+  std::uint64_t moves_a = 0;  ///< edges actually crossed by A
+  std::uint64_t moves_b = 0;
+  std::uint64_t memory_bits_a = 0;  ///< as reported by the agents at the end
+  std::uint64_t memory_bits_b = 0;
+};
+
+/// Incremental two-agent run; lower-bound verifiers drive it round by round
+/// to inspect joint configurations.
+class TwoAgentRun {
+ public:
+  /// Throws std::invalid_argument on bad config (equal starts,
+  /// out-of-range nodes).
+  TwoAgentRun(const tree::Tree& t, Agent& a, Agent& b, const RunConfig& cfg);
+
+  /// Executes one round; returns true if the agents are co-located at its
+  /// end (rendezvous).
+  bool tick();
+
+  std::uint64_t round() const { return round_; }  ///< rounds executed
+  tree::WalkPos pos_a() const { return pos_a_; }
+  tree::WalkPos pos_b() const { return pos_b_; }
+  std::uint64_t moves_a() const { return moves_a_; }
+  std::uint64_t moves_b() const { return moves_b_; }
+  bool both_started() const {
+    return round_ >= delay_a_ && round_ >= delay_b_;
+  }
+
+ private:
+  void step_agent(Agent& ag, tree::WalkPos& pos, std::uint64_t delay,
+                  std::uint64_t& moves);
+
+  const tree::Tree& t_;
+  Agent& a_;
+  Agent& b_;
+  tree::WalkPos pos_a_, pos_b_;
+  std::uint64_t delay_a_, delay_b_;
+  std::uint64_t moves_a_ = 0, moves_b_ = 0;
+  std::uint64_t round_ = 0;
+};
+
+/// Per-round trace hook: (round, pos_a, pos_b). pos.in_port is the port the
+/// agent entered by in that round (-1 if it stayed / hasn't started).
+using TraceFn =
+    std::function<void(std::uint64_t, tree::WalkPos, tree::WalkPos)>;
+
+/// Runs until meeting or cfg.max_rounds (which must be > 0).
+RunResult run_rendezvous(const tree::Tree& t, Agent& a, Agent& b,
+                         const RunConfig& cfg, const TraceFn& trace = {});
+
+/// Gathering: k >= 2 identical agents must all occupy one node in the same
+/// round (the paper's "natural extension" of rendezvous, §1.3). Agents at
+/// the same start are allowed — identical deterministic agents co-located
+/// with equal delays stay merged forever.
+struct GatherConfig {
+  std::vector<tree::NodeId> starts;   ///< one per agent
+  std::vector<std::uint64_t> delays;  ///< one per agent (empty = all zero)
+  std::uint64_t max_rounds = 0;
+};
+
+struct GatherResult {
+  bool gathered = false;
+  std::uint64_t gather_round = 0;
+  tree::NodeId gather_node = -1;
+  std::uint64_t rounds_executed = 0;
+  std::vector<std::uint64_t> memory_bits;  ///< per agent, at the end
+};
+
+GatherResult run_gathering(const tree::Tree& t,
+                           const std::vector<Agent*>& agents,
+                           const GatherConfig& cfg);
+
+}  // namespace rvt::sim

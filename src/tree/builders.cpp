@@ -1,0 +1,337 @@
+#include "tree/builders.hpp"
+
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+namespace rvt::tree {
+
+NodeId TreeBuilder::add_node() {
+  degree_.push_back(0);
+  return node_count_++;
+}
+
+int TreeBuilder::degree(NodeId v) const {
+  if (v < 0 || v >= node_count_) throw std::out_of_range("TreeBuilder node");
+  return static_cast<std::size_t>(v) < degree_.size() ? degree_[v] : 0;
+}
+
+std::pair<Port, Port> TreeBuilder::add_edge(NodeId u, NodeId v) {
+  if (u < 0 || u >= node_count_ || v < 0 || v >= node_count_) {
+    throw std::out_of_range("TreeBuilder::add_edge: unknown node");
+  }
+  while (static_cast<NodeId>(degree_.size()) < node_count_) {
+    degree_.push_back(0);
+  }
+  const Port pu = degree_[u]++;
+  const Port pv = degree_[v]++;
+  edges_.push_back({u, v, pu, pv});
+  return {pu, pv};
+}
+
+NodeId TreeBuilder::add_child(NodeId parent) {
+  const NodeId c = add_node();
+  add_edge(parent, c);
+  return c;
+}
+
+Tree TreeBuilder::build() const {
+  if (node_count_ == 1) return Tree::single_node();
+  return Tree(node_count_, edges_);
+}
+
+Tree line(NodeId n) {
+  if (n < 1) throw std::invalid_argument("line: n >= 1");
+  if (n == 1) return Tree::single_node();
+  std::vector<PortedEdge> es;
+  es.reserve(n - 1);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    const Port pu = 0;                                // toward higher id
+    const Port pv = (i + 1 == n - 1) ? 0 : 1;         // toward lower id
+    es.push_back({i, i + 1, pu, pv});
+  }
+  return Tree(n, es);
+}
+
+Tree line_edge_colored(NodeId n, int first_color) {
+  if (n < 2) throw std::invalid_argument("line_edge_colored: n >= 2");
+  if (first_color != 0 && first_color != 1) {
+    throw std::invalid_argument("line_edge_colored: color in {0,1}");
+  }
+  std::vector<PortedEdge> es;
+  es.reserve(n - 1);
+  for (NodeId j = 0; j + 1 < n; ++j) {
+    const Port c = static_cast<Port>((j + first_color) % 2);
+    const Port pu = (j == 0) ? 0 : c;          // left endpoint (node j)
+    const Port pv = (j + 1 == n - 1) ? 0 : c;  // right endpoint (node j+1)
+    es.push_back({j, j + 1, pu, pv});
+  }
+  return Tree(n, es);
+}
+
+Tree line_symmetric_colored(NodeId num_edges) {
+  if (num_edges < 1 || num_edges % 2 == 0) {
+    throw std::invalid_argument("line_symmetric_colored: odd num_edges >= 1");
+  }
+  const NodeId m = (num_edges - 1) / 2;  // central edge index
+  // color(j) = |j - m| % 2 == (j + m) % 2, so reuse line_edge_colored.
+  return line_edge_colored(num_edges + 1, static_cast<int>(m % 2));
+}
+
+Tree star(NodeId k) {
+  if (k < 1) throw std::invalid_argument("star: k >= 1 leaves");
+  TreeBuilder b;
+  const NodeId c = b.add_node();
+  for (NodeId i = 0; i < k; ++i) b.add_child(c);
+  return b.build();
+}
+
+Tree spider(int legs, int leg_len) {
+  if (legs < 1 || leg_len < 1) {
+    throw std::invalid_argument("spider: legs >= 1, leg_len >= 1");
+  }
+  TreeBuilder b;
+  const NodeId c = b.add_node();
+  for (int i = 0; i < legs; ++i) {
+    NodeId cur = c;
+    for (int k = 0; k < leg_len; ++k) cur = b.add_child(cur);
+  }
+  return b.build();
+}
+
+Tree caterpillar(NodeId spine, const std::vector<int>& attach_leaf) {
+  if (spine < 1 || static_cast<NodeId>(attach_leaf.size()) != spine) {
+    throw std::invalid_argument("caterpillar: attach_leaf.size() == spine");
+  }
+  TreeBuilder b;
+  NodeId prev = b.add_node();
+  std::vector<NodeId> spine_ids{prev};
+  for (NodeId i = 1; i < spine; ++i) {
+    prev = b.add_child(prev);
+    spine_ids.push_back(prev);
+  }
+  for (NodeId i = 0; i < spine; ++i) {
+    for (int k = 0; k < attach_leaf[i]; ++k) b.add_child(spine_ids[i]);
+  }
+  return b.build();
+}
+
+Tree complete_binary(int h) {
+  if (h < 0) throw std::invalid_argument("complete_binary: h >= 0");
+  TreeBuilder b;
+  const NodeId root = b.add_node();
+  std::function<void(NodeId, int)> grow = [&](NodeId v, int depth) {
+    if (depth == h) return;
+    const NodeId l = b.add_child(v);
+    const NodeId r = b.add_child(v);
+    grow(l, depth + 1);
+    grow(r, depth + 1);
+  };
+  grow(root, 0);
+  return b.build();
+}
+
+Tree complete_kary(int k, int h) {
+  if (k < 2 || h < 0) {
+    throw std::invalid_argument("complete_kary: k >= 2, h >= 0");
+  }
+  TreeBuilder b;
+  const NodeId root = b.add_node();
+  std::function<void(NodeId, int)> grow = [&](NodeId v, int depth) {
+    if (depth == h) return;
+    for (int c = 0; c < k; ++c) grow(b.add_child(v), depth + 1);
+  };
+  grow(root, 0);
+  return b.build();
+}
+
+Tree broom(int handle, int bristles) {
+  if (handle < 1 || bristles < 2) {
+    throw std::invalid_argument("broom: handle >= 1, bristles >= 2");
+  }
+  TreeBuilder b;
+  NodeId cur = b.add_node();
+  for (int i = 0; i < handle; ++i) cur = b.add_child(cur);
+  for (int i = 0; i < bristles; ++i) b.add_child(cur);
+  return b.build();
+}
+
+Tree double_broom(int handle, int left, int right) {
+  if (handle < 2 || left < 2 || right < 2) {
+    throw std::invalid_argument(
+        "double_broom: handle >= 2, bristles >= 2 each");
+  }
+  TreeBuilder b;
+  const NodeId lc = b.add_node();
+  NodeId cur = lc;
+  for (int i = 0; i < handle; ++i) cur = b.add_child(cur);
+  const NodeId rc = cur;
+  for (int i = 0; i < left; ++i) b.add_child(lc);
+  for (int i = 0; i < right; ++i) b.add_child(rc);
+  return b.build();
+}
+
+namespace {
+NodeId add_binomial(TreeBuilder& b, int k) {
+  const NodeId root = b.add_node();
+  // B_k's root has children that are roots of B_{k-1}, ..., B_0.
+  for (int j = k - 1; j >= 0; --j) {
+    const NodeId sub = add_binomial(b, j);
+    b.add_edge(root, sub);
+  }
+  return root;
+}
+}  // namespace
+
+Tree binomial(int k) {
+  if (k < 0) throw std::invalid_argument("binomial: k >= 0");
+  TreeBuilder b;
+  add_binomial(b, k);
+  return b.build();
+}
+
+Tree random_attachment(NodeId n, util::Rng& rng) {
+  if (n < 1) throw std::invalid_argument("random_attachment: n >= 1");
+  TreeBuilder b;
+  b.add_node();
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.uniform(0, i - 1));
+    b.add_child(parent);
+  }
+  return b.build();
+}
+
+Tree random_with_leaves(NodeId n, NodeId target_leaves, util::Rng& rng) {
+  if (target_leaves < 2) {
+    throw std::invalid_argument("random_with_leaves: need >= 2 leaves");
+  }
+  const NodeId skeleton_nodes = 2 * target_leaves - 1;
+  if (n < skeleton_nodes) {
+    throw std::invalid_argument("random_with_leaves: n >= 2*leaves - 1");
+  }
+  // Random full binary skeleton with exactly target_leaves leaves, by
+  // coalescing random pairs of roots under fresh parents.
+  NodeId next_id = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;  // topology only
+  std::vector<NodeId> roots;
+  for (NodeId i = 0; i < target_leaves; ++i) roots.push_back(next_id++);
+  while (roots.size() > 1) {
+    const std::size_t a = rng.index(roots.size());
+    const NodeId ra = roots[a];
+    roots[a] = roots.back();
+    roots.pop_back();
+    const std::size_t c = rng.index(roots.size());
+    const NodeId rc = roots[c];
+    roots[c] = roots.back();
+    roots.pop_back();
+    const NodeId parent = next_id++;
+    edges.emplace_back(parent, ra);
+    edges.emplace_back(parent, rc);
+    roots.push_back(parent);
+  }
+  // Subdivide random edges until n nodes. Subdivision never changes the
+  // leaf set (new nodes have degree 2).
+  while (next_id < n) {
+    const std::size_t e = rng.index(edges.size());
+    const auto [u, v] = edges[e];
+    const NodeId w = next_id++;
+    edges[e] = {u, w};
+    edges.emplace_back(w, v);
+  }
+  TreeBuilder b;
+  for (NodeId i = 0; i < next_id; ++i) b.add_node();
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Tree subdivide_edge(const Tree& t, NodeId u, NodeId v, int extra) {
+  if (extra < 0) throw std::invalid_argument("subdivide_edge: extra >= 0");
+  const Port pu = t.port_towards(u, v);
+  if (pu < 0) throw std::invalid_argument("subdivide_edge: no such edge");
+  if (extra == 0) return t;
+  const Port pv = t.port_towards(v, u);
+  std::vector<PortedEdge> es;
+  for (const auto& e : t.edges()) {
+    const bool is_target = (e.u == u && e.v == v) || (e.u == v && e.v == u);
+    if (!is_target) es.push_back(e);
+  }
+  const NodeId n = t.node_count();
+  // Chain u - w_0 - ... - w_{extra-1} - v. Interior ports: 1 toward u's
+  // side, 0 toward v's side (any fixed choice is fine: basic walks pass
+  // through degree-2 nodes independently of their labeling).
+  NodeId prev = u;
+  Port prev_port = pu;
+  for (int k = 0; k < extra; ++k) {
+    const NodeId w = n + k;
+    es.push_back({prev, w, prev_port, 1});
+    prev = w;
+    prev_port = 0;
+  }
+  es.push_back({prev, v, prev_port, pv});
+  return Tree(n + extra, es);
+}
+
+Tree side_tree(int i, std::uint64_t mask) {
+  if (i < 2 || i > 60) throw std::invalid_argument("side_tree: 2 <= i <= 60");
+  if (mask >> (i - 1)) {
+    throw std::invalid_argument("side_tree: mask must have < i-1 bits");
+  }
+  TreeBuilder b;
+  std::vector<NodeId> x;
+  x.push_back(b.add_node());  // x_0, the root
+  for (int j = 1; j <= i; ++j) x.push_back(b.add_child(x.back()));
+  for (int j = 1; j <= i - 1; ++j) {
+    if ((mask >> (j - 1)) & 1) {
+      const NodeId y = b.add_child(x[j]);
+      b.add_child(y);  // degree-2 node y with a leaf below
+    } else {
+      b.add_child(x[j]);  // single leaf
+    }
+  }
+  return b.build();
+}
+
+TwoSided two_sided_tree(const Tree& left, const Tree& right, int m) {
+  if (m < 2 || m % 2 != 0) {
+    throw std::invalid_argument("two_sided_tree: m even, >= 2");
+  }
+  const NodeId nl = left.node_count();
+  const NodeId nr = right.node_count();
+  std::vector<PortedEdge> es = left.edges();
+  for (const auto& e : right.edges()) {
+    es.push_back({e.u + nl, e.v + nl, e.port_u, e.port_v});
+  }
+  const NodeId lr = 0;        // left root
+  const NodeId rr = nl;       // right root
+  const NodeId first_path = nl + nr;
+  // Path edges e_0..e_m, m+1 of them; central edge index m/2. Path node
+  // p_k (1-indexed in the math) has id first_path + k - 1.
+  auto path_node = [&](int k) { return first_path + k - 1; };
+  auto color = [&](int j) {
+    return static_cast<Port>(std::abs(j - m / 2) % 2);
+  };
+  // e_0: left_root -- p_1.
+  es.push_back({lr, path_node(1), static_cast<Port>(left.degree(lr)),
+                color(0)});
+  for (int j = 1; j < m; ++j) {
+    es.push_back({path_node(j), path_node(j + 1), color(j), color(j)});
+  }
+  // e_m: p_m -- right_root.
+  es.push_back({path_node(m), rr, color(m),
+                static_cast<Port>(right.degree(0))});
+  Tree t(nl + nr + m, es);
+  return {std::move(t), lr, rr, path_node(1), path_node(m)};
+}
+
+Tree randomize_ports(const Tree& t, util::Rng& rng) {
+  std::vector<std::vector<Port>> perm(t.node_count());
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    perm[v].resize(t.degree(v));
+    for (Port p = 0; p < t.degree(v); ++p) perm[v][p] = p;
+    rng.shuffle(perm[v]);
+  }
+  return t.with_ports_permuted(perm);
+}
+
+}  // namespace rvt::tree

@@ -1,0 +1,143 @@
+// Tree families used across the paper's arguments and our experiments.
+//
+// Every builder returns a concrete port-labeled Tree. Default port
+// assignments follow construction order (deterministic); experiments that
+// need adversarial or random labelings post-process with randomize_ports()
+// or Tree::with_ports_permuted().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::tree {
+
+/// Incremental tree construction helper. Ports are assigned in edge
+/// insertion order at each endpoint (first edge touching a node gets its
+/// port 0, and so on), which always yields a valid labeling.
+class TreeBuilder {
+ public:
+  /// Creates the builder with `n` initial nodes (may be 0).
+  explicit TreeBuilder(NodeId n = 0) : node_count_(n) {}
+
+  NodeId add_node();
+  /// Connects existing nodes u, v with the next free port at each end.
+  /// Returns the edge's ports (port_u, port_v).
+  std::pair<Port, Port> add_edge(NodeId u, NodeId v);
+  /// Adds a fresh node connected to `parent`; returns its id.
+  NodeId add_child(NodeId parent);
+
+  NodeId node_count() const { return node_count_; }
+  int degree(NodeId v) const;
+
+  Tree build() const;
+
+ private:
+  NodeId node_count_ = 0;
+  std::vector<PortedEdge> edges_;
+  std::vector<int> degree_;
+};
+
+/// Path on n nodes (ids 0..n-1 along the path). Default ports: at every
+/// node, the edge toward the higher id gets the lower port. So internal
+/// node i has port 0 -> i+1 and port 1 -> i-1; both leaves use port 0.
+Tree line(NodeId n);
+
+/// Path on n nodes whose edges carry a proper 2-coloring realized in the
+/// ports: both endpoints of edge j = {j, j+1} read the same port number
+/// color(j) in {0,1} (degree-1 endpoints are forced to port 0 by the
+/// model). color(j) = (j + first_color) mod 2.
+/// This is the "ports leading to any edge at both its extremities get the
+/// same number 0 or 1" labeling from Theorems 3.1 and 4.2.
+Tree line_edge_colored(NodeId n, int first_color);
+
+/// Edge-2-colored path with an odd number of edges, colored symmetrically
+/// around its central edge, which gets color (= port) 0 on both sides —
+/// the exact Figure-1 labeling of Theorem 3.1. `num_edges` must be odd.
+Tree line_symmetric_colored(NodeId num_edges);
+
+/// Star: center node 0 with k leaves.
+Tree star(NodeId k);
+
+/// Spider: center node 0 with `legs` paths of `leg_len` edges each.
+/// legs >= 3 keeps the center the unique max-degree node; leg_len >= 1.
+Tree spider(int legs, int leg_len);
+
+/// Caterpillar: a spine path of `spine` nodes; attach_leaf[i] extra leaves
+/// hang off spine node i (attach_leaf.size() == spine).
+Tree caterpillar(NodeId spine, const std::vector<int>& attach_leaf);
+
+/// Perfect binary tree of height h (root degree 2, internal degree 3,
+/// 2^h leaves, 2^{h+1}-1 nodes).
+Tree complete_binary(int h);
+
+/// Perfect k-ary tree of height h: k^h leaves, (k^{h+1}-1)/(k-1) nodes.
+/// k >= 2, h >= 0.
+Tree complete_kary(int k, int h);
+
+/// Broom: a handle path of `handle` edges ending in a star of `bristles`
+/// leaves. Node 0 is the free end of the handle. handle >= 1,
+/// bristles >= 2.
+Tree broom(int handle, int bristles);
+
+/// Double broom: two stars of `left` and `right` bristles joined by a
+/// path of `handle` edges (handle >= 2). With left == right this is the
+/// canonical symmetric-contraction instance besides the line; with
+/// left != right the central edge is asymmetric.
+Tree double_broom(int handle, int left, int right);
+
+/// Binomial tree B_k (2^k nodes): B_0 is a single node; B_k joins the
+/// roots of two copies of B_{k-1}. The paper cites it as the canonical
+/// symmetric-contraction example where agents can end up at two distinct
+/// "farthest extremities".
+Tree binomial(int k);
+
+/// Uniform random attachment tree: node i (i >= 1) connects to a uniformly
+/// random earlier node. Deterministic given rng state.
+Tree random_attachment(NodeId n, util::Rng& rng);
+
+/// Random tree with exactly `target_leaves` leaves and exactly n nodes,
+/// built by generating a random branching skeleton with target_leaves
+/// leaves and then subdividing random edges until n nodes. Requires
+/// 2 <= target_leaves and n large enough (throws otherwise).
+Tree random_with_leaves(NodeId n, NodeId target_leaves, util::Rng& rng);
+
+/// Subdivides edge {u, v} (must exist) `extra` times: replaces it by a path
+/// with `extra` new degree-2 nodes. New nodes get ids n, n+1, ... The new
+/// degree-2 nodes inherit ports so the walk order is preserved (port toward
+/// u keeps u's original port number parity-free: the first path edge keeps
+/// the original port at u, the last keeps the original port at v; each new
+/// node uses port 0 toward v-side if its two ports would be free — builder
+/// order: toward u = in insertion order).
+Tree subdivide_edge(const Tree& t, NodeId u, NodeId v, int extra);
+
+/// Theorem 4.3 side tree: an (i+1)-node path x_0 (root) .. x_i; to every
+/// internal node x_j (1 <= j <= i-1) attach either a single leaf (mask bit
+/// j-1 == 0) or a degree-2 node with a leaf below it (bit == 1). Node 0 is
+/// the root. There are 2^{i-1} non-isomorphic side trees.
+Tree side_tree(int i, std::uint64_t mask);
+
+/// Theorem 4.3 two-sided tree: roots of `left` and `right` joined by a path
+/// of length m+1 (m added degree-2 nodes, m even >= 0), with the symmetric
+/// path labeling: both ports of the central edge are 0 and the ports at
+/// both ends of every other path edge carry the same number (proper
+/// 2-coloring growing outward from the central edge). Side-tree labelings
+/// are preserved; left keeps node ids, right is shifted.
+/// Returns the tree plus the ids of the two nodes adjacent to the roots on
+/// the joining path (the paper's initial agent positions u and v).
+struct TwoSided {
+  Tree tree;
+  NodeId left_root;
+  NodeId right_root;
+  NodeId u;  ///< path node adjacent to left_root
+  NodeId v;  ///< path node adjacent to right_root
+};
+TwoSided two_sided_tree(const Tree& left, const Tree& right, int m);
+
+/// Random re-assignment of every node's ports (uniform permutation at each
+/// node). Topology unchanged.
+Tree randomize_ports(const Tree& t, util::Rng& rng);
+
+}  // namespace rvt::tree

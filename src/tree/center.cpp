@@ -1,0 +1,85 @@
+#include "tree/center.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace rvt::tree {
+
+Center find_center(const Tree& t) {
+  const NodeId n = t.node_count();
+  Center c;
+  if (n == 1) {
+    c.node = 0;
+    return c;
+  }
+  if (n == 2) {
+    c.edge = {NodeId{0}, NodeId{1}};
+    return c;
+  }
+  std::vector<int> deg(n);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = t.degree(v);
+    if (deg[v] == 1) frontier.push_back(v);
+  }
+  NodeId remaining = n;
+  std::vector<NodeId> last = frontier;
+  while (remaining > 2) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      --remaining;
+      for (Port p = 0; p < t.degree(v); ++p) {
+        const NodeId w = t.neighbor(v, p);
+        if (--deg[w] == 1) next.push_back(w);
+      }
+    }
+    // deg[] going to 1 marks the next peel layer; nodes already peeled can
+    // reach deg 0 and are skipped naturally (never pushed).
+    frontier = std::move(next);
+    last = frontier;
+  }
+  if (remaining == 1) {
+    c.node = last.at(0);
+  } else {
+    NodeId a = last.at(0), b = last.at(1);
+    if (a > b) std::swap(a, b);
+    if (t.port_towards(a, b) < 0) {
+      throw std::logic_error("find_center: final pair not adjacent");
+    }
+    c.edge = {a, b};
+  }
+  return c;
+}
+
+namespace {
+std::vector<int> bfs_dist(const Tree& t, NodeId src) {
+  std::vector<int> dist(t.node_count(), -1);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (Port p = 0; p < t.degree(v); ++p) {
+      const NodeId w = t.neighbor(v, p);
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+}  // namespace
+
+int eccentricity(const Tree& t, NodeId v) {
+  const auto d = bfs_dist(t, v);
+  int e = 0;
+  for (int x : d) e = std::max(e, x);
+  return e;
+}
+
+int distance(const Tree& t, NodeId u, NodeId v) { return bfs_dist(t, u)[v]; }
+
+}  // namespace rvt::tree

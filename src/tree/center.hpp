@@ -1,0 +1,38 @@
+// Central node / central edge of a tree (paper §2.2).
+//
+// T0 = T, and T_{i+1} is T_i with all leaves removed; the process stops at
+// the first T_j with at most two nodes. If one node remains it is the
+// *central node*; if two remain, the edge joining them is the *central
+// edge*. Every tree has exactly one of the two, and every automorphism of
+// the tree fixes the central node or maps the central edge to itself — the
+// pivot of all symmetry reasoning in the paper.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "tree/tree.hpp"
+
+namespace rvt::tree {
+
+struct Center {
+  /// Engaged iff the tree has a central node.
+  std::optional<NodeId> node;
+  /// Engaged iff the tree has a central edge; endpoints in node-id order.
+  std::optional<std::pair<NodeId, NodeId>> edge;
+
+  bool has_node() const { return node.has_value(); }
+  bool has_edge() const { return edge.has_value(); }
+};
+
+/// Computes the center by iterated leaf removal in O(n).
+Center find_center(const Tree& t);
+
+/// Eccentricity of v: max distance from v to any node. O(n) BFS; used by
+/// tests to cross-check find_center (the center minimizes eccentricity).
+int eccentricity(const Tree& t, NodeId v);
+
+/// Distance in edges between u and v. O(n) BFS.
+int distance(const Tree& t, NodeId u, NodeId v);
+
+}  // namespace rvt::tree

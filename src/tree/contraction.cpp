@@ -1,0 +1,65 @@
+#include "tree/contraction.hpp"
+
+#include <stdexcept>
+
+namespace rvt::tree {
+
+Contraction contract(const Tree& t) {
+  const NodeId n = t.node_count();
+  Contraction c;
+  c.t_to_tprime.assign(n, -1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (t.degree(v) != 2) {
+      c.t_to_tprime[v] = static_cast<NodeId>(c.to_t.size());
+      c.to_t.push_back(v);
+    }
+  }
+  const NodeId np = static_cast<NodeId>(c.to_t.size());
+  if (np == 0) throw std::logic_error("contract: tree with all degrees 2?");
+
+  if (np == 1) {
+    // Single surviving node: T is a single node (a tree cannot consist of
+    // one degree-!=-2 node plus degree-2 nodes only).
+    c.tprime = Tree::single_node();
+    c.path.assign(1, {});
+    return c;
+  }
+
+  c.path.assign(np, {});
+  std::vector<PortedEdge> edges;
+  for (NodeId up = 0; up < np; ++up) {
+    const NodeId u = c.to_t[up];
+    const int d = t.degree(u);
+    c.path[up].assign(d, {});
+    for (Port p = 0; p < d; ++p) {
+      std::vector<NodeId> pathNodes{u};
+      NodeId prev = u;
+      NodeId cur = t.neighbor(u, p);
+      Port in = t.reverse_port(u, p);
+      while (t.degree(cur) == 2) {
+        pathNodes.push_back(cur);
+        const Port out = static_cast<Port>((in + 1) % 2);
+        const NodeId nxt = t.neighbor(cur, out);
+        in = t.reverse_port(cur, out);
+        prev = cur;
+        cur = nxt;
+      }
+      (void)prev;
+      pathNodes.push_back(cur);
+      c.path[up][p] = std::move(pathNodes);
+      const NodeId wp = c.t_to_tprime[cur];
+      // Record each contracted edge once (from the endpoint with the
+      // smaller T' id; ties impossible since the endpoints differ in a
+      // tree path).
+      if (up < wp) {
+        edges.push_back({up, wp, p, in});
+      } else if (up == wp) {
+        throw std::logic_error("contract: path loops back (cycle in tree?)");
+      }
+    }
+  }
+  c.tprime = Tree(np, edges);
+  return c;
+}
+
+}  // namespace rvt::tree

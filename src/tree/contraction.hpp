@@ -1,0 +1,42 @@
+// Tree contraction T' (paper §4.1).
+//
+// T' is obtained from T by replacing every maximal path of degree-2 nodes
+// joining two nodes of degree != 2 by a single edge; the ports of that edge
+// are the ports of the path's first and last T-edges at those endpoints.
+// Since the degree of a surviving node is unchanged, T' inherits a valid
+// port labeling, and a basic walk in T restricted to its visits of
+// degree-!=-2 nodes is exactly a basic walk in T'. If T has l leaves, T'
+// has at most 2l-1 nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace rvt::tree {
+
+struct Contraction {
+  Tree tprime = Tree::single_node();  ///< the contracted tree
+  std::vector<NodeId> to_t;         ///< T' node id -> T node id
+  std::vector<NodeId> t_to_tprime;  ///< T node id -> T' node id, or -1
+
+  /// For each directed T' edge (u', port p), the full T path it contracts:
+  /// path[u'][p].front() == to_t[u'], .back() == the T node of the other
+  /// endpoint, interior nodes all of degree 2 in T.
+  std::vector<std::vector<std::vector<NodeId>>> path;
+
+  /// Length (edges in T) of the path behind directed T' edge (u', p).
+  std::uint64_t path_len(NodeId uprime, Port p) const {
+    return path[uprime][p].size() - 1;
+  }
+
+  NodeId nu() const { return tprime.node_count(); }  ///< the paper's "nu"
+};
+
+/// Computes T' in O(n). Requires T to have at least one node of degree
+/// != 2 (true for every tree: leaves). A 1- or 2-node tree contracts to
+/// itself.
+Contraction contract(const Tree& t);
+
+}  // namespace rvt::tree

@@ -1,0 +1,64 @@
+#include "tree/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rvt::tree {
+
+std::string to_text(const Tree& t) {
+  std::ostringstream os;
+  os << t.node_count() << "\n";
+  for (const auto& e : t.edges()) {
+    os << e.u << " " << e.v << " " << e.port_u << " " << e.port_v << "\n";
+  }
+  return os.str();
+}
+
+Tree from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  NodeId n = -1;
+  std::vector<PortedEdge> edges;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    if (n < 0) {
+      if (!(ls >> n) || n <= 0) {
+        throw std::invalid_argument("from_text: bad node count");
+      }
+      continue;
+    }
+    PortedEdge e;
+    if (!(ls >> e.u >> e.v >> e.port_u >> e.port_v)) {
+      throw std::invalid_argument("from_text: bad edge line: " + line);
+    }
+    edges.push_back(e);
+  }
+  if (n < 0) throw std::invalid_argument("from_text: empty input");
+  if (n == 1 && edges.empty()) return Tree::single_node();
+  return Tree(n, edges);
+}
+
+std::string to_dot(const Tree& t,
+                   const std::map<NodeId, std::string>& highlight) {
+  std::ostringstream os;
+  os << "graph tree {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    os << "  " << v;
+    const auto it = highlight.find(v);
+    if (it != highlight.end()) {
+      os << " [style=filled, fillcolor=\"" << it->second << "\"]";
+    }
+    os << ";\n";
+  }
+  for (const auto& e : t.edges()) {
+    os << "  " << e.u << " -- " << e.v << " [label=\"" << e.port_u << "|"
+       << e.port_v << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rvt::tree

@@ -1,0 +1,35 @@
+// Serialization of port-labeled trees.
+//
+// Text format (one tree per string):
+//   n
+//   u v port_u port_v        (n-1 lines, any order)
+// Whitespace-separated; lines beginning with '#' are comments. The format
+// round-trips exactly (ports included), so fixtures, failing instances
+// from fuzz sweeps, and experiment inputs can be checked in as text.
+//
+// A Graphviz exporter is included for eyeballing instances: edges are
+// annotated "pu|pv" with the port at each endpoint, and selected nodes can
+// be highlighted (agent starts, meeting nodes, ...).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "tree/tree.hpp"
+
+namespace rvt::tree {
+
+/// Serializes `t` in the text format above.
+std::string to_text(const Tree& t);
+
+/// Parses the text format; throws std::invalid_argument on malformed
+/// input (including port-labeling violations, via Tree's constructor).
+Tree from_text(const std::string& text);
+
+/// Graphviz DOT export. `highlight` maps node id -> fill color (e.g.
+/// {{u, "lightblue"}, {v, "salmon"}}).
+std::string to_dot(const Tree& t,
+                   const std::map<NodeId, std::string>& highlight = {});
+
+}  // namespace rvt::tree

@@ -1,0 +1,152 @@
+#include "tree/tree.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace rvt::tree {
+
+Tree::Tree(NodeId n, const std::vector<PortedEdge>& edges) {
+  if (n <= 0) throw std::invalid_argument("Tree: need n >= 1");
+  if (static_cast<NodeId>(edges.size()) != n - 1) {
+    throw std::invalid_argument("Tree: a tree on n nodes has n-1 edges");
+  }
+  adj_.assign(n, {});
+  rev_.assign(n, {});
+
+  // First pass: degrees, so we can size the port tables.
+  std::vector<int> deg(n, 0);
+  for (const auto& e : edges) {
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n || e.u == e.v) {
+      throw std::invalid_argument("Tree: bad edge endpoints");
+    }
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    adj_[v].assign(deg[v], -1);
+    rev_[v].assign(deg[v], -1);
+  }
+  for (const auto& e : edges) {
+    if (e.port_u < 0 || e.port_u >= deg[e.u] || e.port_v < 0 ||
+        e.port_v >= deg[e.v]) {
+      throw std::invalid_argument("Tree: port out of range [0, deg)");
+    }
+    if (adj_[e.u][e.port_u] != -1 || adj_[e.v][e.port_v] != -1) {
+      throw std::invalid_argument("Tree: duplicate port at a node");
+    }
+    adj_[e.u][e.port_u] = e.v;
+    rev_[e.u][e.port_u] = e.port_v;
+    adj_[e.v][e.port_v] = e.u;
+    rev_[e.v][e.port_v] = e.port_u;
+  }
+
+  // Connectivity (n-1 edges + connected => tree).
+  std::vector<char> seen(n, 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  NodeId reached = 1;
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (NodeId w : adj_[v]) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++reached;
+        q.push(w);
+      }
+    }
+  }
+  if (reached != n) throw std::invalid_argument("Tree: not connected");
+
+  finalize();
+}
+
+Tree Tree::single_node() {
+  Tree t;
+  t.adj_.assign(1, {});
+  t.rev_.assign(1, {});
+  t.finalize();
+  return t;
+}
+
+void Tree::finalize() {
+  leaf_count_ = 0;
+  max_degree_ = 0;
+  for (const auto& a : adj_) {
+    const int d = static_cast<int>(a.size());
+    if (d == 1) ++leaf_count_;
+    max_degree_ = std::max(max_degree_, d);
+  }
+}
+
+Port Tree::port_towards(NodeId u, NodeId v) const {
+  for (Port p = 0; p < degree(u); ++p) {
+    if (adj_[u][p] == v) return p;
+  }
+  return -1;
+}
+
+std::vector<NodeId> Tree::leaves() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (is_leaf(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<PortedEdge> Tree::edges() const {
+  std::vector<PortedEdge> out;
+  out.reserve(static_cast<std::size_t>(std::max<NodeId>(edge_count(), 0)));
+  for (NodeId v = 0; v < node_count(); ++v) {
+    for (Port p = 0; p < degree(v); ++p) {
+      const NodeId w = adj_[v][p];
+      if (v < w) out.push_back({v, w, p, rev_[v][p]});
+    }
+  }
+  return out;
+}
+
+Tree Tree::with_ports_permuted(
+    const std::vector<std::vector<Port>>& perm) const {
+  const NodeId n = node_count();
+  if (static_cast<NodeId>(perm.size()) != n) {
+    throw std::invalid_argument("with_ports_permuted: wrong outer size");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const int d = degree(v);
+    if (static_cast<int>(perm[v].size()) != d) {
+      throw std::invalid_argument("with_ports_permuted: wrong perm size");
+    }
+    std::vector<char> hit(d, 0);
+    for (Port p : perm[v]) {
+      if (p < 0 || p >= d || hit[p]) {
+        throw std::invalid_argument("with_ports_permuted: not a permutation");
+      }
+      hit[p] = 1;
+    }
+  }
+  std::vector<PortedEdge> es = edges();
+  for (auto& e : es) {
+    e.port_u = perm[e.u][e.port_u];
+    e.port_v = perm[e.v][e.port_v];
+  }
+  return Tree(n, es);
+}
+
+std::string Tree::to_string() const {
+  std::ostringstream os;
+  os << "Tree(n=" << node_count() << ", leaves=" << leaf_count() << ")\n";
+  for (NodeId v = 0; v < node_count(); ++v) {
+    os << "  " << v << ":";
+    for (Port p = 0; p < degree(v); ++p) {
+      os << " [" << p << "->" << adj_[v][p] << "@" << rev_[v][p] << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rvt::tree

@@ -1,0 +1,101 @@
+// Anonymous port-labeled trees — the substrate every agent walks on.
+//
+// Model (paper §2.1): nodes are anonymous (agents cannot read node ids; ids
+// exist only so the simulator can address nodes), but the edges incident to
+// a degree-d node carry distinct local port numbers {0, ..., d-1}. An edge
+// {u, v} therefore has two independent port numbers, one at u and one at v;
+// there is no global sense of direction. The port labeling is chosen by an
+// adversary, so the library treats "tree topology" and "port labeling" as a
+// single concrete object and provides relabeling utilities to let
+// experiments sweep labelings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvt::tree {
+
+using NodeId = std::int32_t;
+using Port = std::int32_t;
+
+/// One endpoint of an edge as an agent experiences it: "at node `node`,
+/// port `port` leads somewhere".
+struct Endpoint {
+  NodeId node = -1;
+  Port port = -1;
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// An undirected edge with both of its port numbers.
+struct PortedEdge {
+  NodeId u = -1;
+  NodeId v = -1;
+  Port port_u = -1;  ///< port number of the edge at u
+  Port port_v = -1;  ///< port number of the edge at v
+  friend bool operator==(const PortedEdge&, const PortedEdge&) = default;
+};
+
+/// Immutable port-labeled tree on nodes {0, ..., n-1}.
+///
+/// Invariants (checked at construction):
+///  * exactly n-1 edges, connected (hence acyclic);
+///  * at every node the ports of incident edges are exactly {0..deg-1}.
+class Tree {
+ public:
+  /// Builds a tree from an explicit ported edge list. Throws
+  /// std::invalid_argument if the invariants fail.
+  Tree(NodeId n, const std::vector<PortedEdge>& edges);
+
+  /// Single-node tree (rendezvous is trivial there, but builders and
+  /// recursions need the base case).
+  static Tree single_node();
+
+  NodeId node_count() const { return static_cast<NodeId>(adj_.size()); }
+  NodeId edge_count() const { return node_count() - 1; }
+
+  int degree(NodeId v) const { return static_cast<int>(adj_[v].size()); }
+
+  /// Neighbor reached from v through local port p.
+  NodeId neighbor(NodeId v, Port p) const { return adj_[v][p]; }
+
+  /// The port number of the edge {v, neighbor(v,p)} at the *other* end.
+  /// I.e. entering neighbor(v, p) from v, the agent reads this in-port.
+  Port reverse_port(NodeId v, Port p) const { return rev_[v][p]; }
+
+  /// Port at u of the edge {u, v}; -1 if u and v are not adjacent.
+  Port port_towards(NodeId u, NodeId v) const;
+
+  bool is_leaf(NodeId v) const { return degree(v) == 1; }
+
+  NodeId leaf_count() const { return leaf_count_; }
+  int max_degree() const { return max_degree_; }
+
+  std::vector<NodeId> leaves() const;
+
+  /// All edges, each once, as stored (u < v not guaranteed; u is the
+  /// endpoint from which the edge was first seen).
+  std::vector<PortedEdge> edges() const;
+
+  /// A copy of this tree with every node's ports re-permuted by `perm`,
+  /// where perm[v] is a permutation of {0..deg(v)-1} and the edge that used
+  /// port p at v uses port perm[v][p] in the new tree. Topology (and node
+  /// ids) unchanged. Throws if any perm[v] is not a permutation.
+  Tree with_ports_permuted(const std::vector<std::vector<Port>>& perm) const;
+
+  /// Human-readable dump for diagnostics and golden tests.
+  std::string to_string() const;
+
+ private:
+  Tree() = default;
+  void finalize();
+
+  // adj_[v][p] = neighbor of v via port p; rev_[v][p] = port at that
+  // neighbor of the same edge.
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<std::vector<Port>> rev_;
+  NodeId leaf_count_ = 0;
+  int max_degree_ = 0;
+};
+
+}  // namespace rvt::tree

@@ -1,0 +1,71 @@
+#include "tree/walk.hpp"
+
+#include <stdexcept>
+
+namespace rvt::tree {
+
+Port bw_exit_port(const Tree& t, const WalkPos& pos) {
+  const int d = t.degree(pos.node);
+  if (pos.in_port < 0) return 0;
+  return static_cast<Port>((pos.in_port + 1) % d);
+}
+
+Port cbw_exit_port(const Tree& t, const WalkPos& pos, bool first) {
+  const int d = t.degree(pos.node);
+  if (pos.in_port < 0) return 0;
+  if (first) return pos.in_port;
+  return static_cast<Port>(((pos.in_port - 1) % d + d) % d);
+}
+
+WalkPos bw_step(const Tree& t, const WalkPos& pos) {
+  const Port out = bw_exit_port(t, pos);
+  const NodeId next = t.neighbor(pos.node, out);
+  return {next, t.reverse_port(pos.node, out)};
+}
+
+WalkPos cbw_step(const Tree& t, const WalkPos& pos, bool first) {
+  const Port out = cbw_exit_port(t, pos, first);
+  const NodeId next = t.neighbor(pos.node, out);
+  return {next, t.reverse_port(pos.node, out)};
+}
+
+std::vector<WalkPos> basic_walk(const Tree& t, NodeId start,
+                                std::uint64_t steps) {
+  std::vector<WalkPos> out;
+  out.reserve(steps + 1);
+  WalkPos pos{start, -1};
+  out.push_back(pos);
+  for (std::uint64_t k = 0; k < steps; ++k) {
+    pos = bw_step(t, pos);
+    out.push_back(pos);
+  }
+  return out;
+}
+
+WalkResult basic_walk_until(
+    const Tree& t, NodeId start,
+    const std::function<bool(const WalkPos&, std::uint64_t)>& stop,
+    std::uint64_t max_steps) {
+  WalkPos pos{start, -1};
+  for (std::uint64_t k = 1; k <= max_steps; ++k) {
+    pos = bw_step(t, pos);
+    if (stop(pos, k)) return {pos, k, true};
+  }
+  return {pos, max_steps, false};
+}
+
+std::uint64_t bw_steps_to(const Tree& t, NodeId start, NodeId target) {
+  if (start == target) return 0;
+  const std::uint64_t bound =
+      2 * static_cast<std::uint64_t>(t.node_count() - 1);
+  const WalkResult r = basic_walk_until(
+      t, start,
+      [target](const WalkPos& p, std::uint64_t) { return p.node == target; },
+      bound);
+  if (!r.stopped) {
+    throw std::logic_error("bw_steps_to: target not reached in 2(n-1) steps");
+  }
+  return r.steps;
+}
+
+}  // namespace rvt::tree

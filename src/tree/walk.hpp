@@ -1,0 +1,75 @@
+// Basic walks and counter basic walks (paper §2.2 and §4.1).
+//
+// The basic walk ("bw") is the memoryless traversal at the heart of both the
+// exploration subroutine and the Stage-2 rendezvous machinery: leave the
+// start by port 0 and, perpetually, when entering a degree-d node by port i,
+// leave by port (i+1) mod d. In a tree this is an Euler tour: after exactly
+// 2(n-1) steps it is back at the start, having crossed every edge once in
+// each direction.
+//
+// The counter basic walk ("cbw") undoes a basic walk: leave by the port just
+// used to enter, then when entering by port i leave by port (i-1) mod d.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace rvt::tree {
+
+/// Walker position: the node the agent is at plus the port through which it
+/// entered (-1 at the start of a walk, before any move).
+struct WalkPos {
+  NodeId node = -1;
+  Port in_port = -1;
+  friend bool operator==(const WalkPos&, const WalkPos&) = default;
+};
+
+/// One basic-walk step from `pos`. If pos.in_port == -1 the walker leaves by
+/// port 0 (the paper's "leave node v by port 0").
+WalkPos bw_step(const Tree& t, const WalkPos& pos);
+
+/// One counter-basic-walk step from `pos`.
+///
+/// Paper semantics: the *first* step of a cbw leaves by the port used to
+/// enter the current node ("leave by the port used to enter the current
+/// node at the previous step"); every subsequent step, having entered a
+/// degree-d node by port i, leaves by port (i-1) mod d. Pass `first = true`
+/// for the initial step of a cbw sequence. A cbw of length k started right
+/// after a bw of length k retraces it exactly, ending at the bw's start.
+/// If pos.in_port == -1 (never moved) the walker leaves by port 0.
+WalkPos cbw_step(const Tree& t, const WalkPos& pos, bool first);
+
+/// The port a basic walk leaves through from `pos` (without moving).
+Port bw_exit_port(const Tree& t, const WalkPos& pos);
+Port cbw_exit_port(const Tree& t, const WalkPos& pos, bool first);
+
+/// Full basic walk of `steps` steps from `start`; result[0] is the start
+/// position, result[k] the position after k steps (result.size() ==
+/// steps+1).
+std::vector<WalkPos> basic_walk(const Tree& t, NodeId start,
+                                std::uint64_t steps);
+
+/// Runs a basic walk from `start` until `stop(pos, step_index)` returns true
+/// (checked after each step, not at the start) or `max_steps` steps elapse.
+/// Returns the final position and the number of steps taken.
+struct WalkResult {
+  WalkPos pos;
+  std::uint64_t steps = 0;
+  bool stopped = false;  ///< true if `stop` fired, false if max_steps hit
+};
+WalkResult basic_walk_until(
+    const Tree& t, NodeId start,
+    const std::function<bool(const WalkPos&, std::uint64_t)>& stop,
+    std::uint64_t max_steps);
+
+/// Number of steps of the basic walk from `start` until first arrival at
+/// `target` (paper: "the minimum number of steps of a basic walk from its
+/// initial position to ..."). Returns steps in [1, 2(n-1)]; 0 if
+/// start == target. Throws if never reached within 2(n-1) steps (cannot
+/// happen on a valid tree).
+std::uint64_t bw_steps_to(const Tree& t, NodeId start, NodeId target);
+
+}  // namespace rvt::tree

@@ -1,0 +1,15 @@
+#include "util/math.hpp"
+
+namespace rvt::util {
+
+std::uint64_t saturating_lcm(std::uint64_t a, std::uint64_t b,
+                             std::uint64_t cap) {
+  if (a == 0 || b == 0) return 0;
+  const std::uint64_t g = std::gcd(a, b);
+  const std::uint64_t a_red = a / g;
+  if (a_red != 0 && b > cap / a_red) return cap;
+  const std::uint64_t l = a_red * b;
+  return l > cap ? cap : l;
+}
+
+}  // namespace rvt::util

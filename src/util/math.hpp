@@ -1,0 +1,44 @@
+// Small integer helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+namespace rvt::util {
+
+/// Number of bits needed to store values in [0, x], i.e. ceil(log2(x+1)).
+/// bit_width_for(0) == 0 (a counter that only ever held 0 stores nothing).
+/// This is the unit of the memory meter: an agent counter whose maximum
+/// observed value is x is charged bit_width_for(x) bits.
+constexpr unsigned bit_width_for(std::uint64_t x) {
+  unsigned b = 0;
+  while (x > 0) {
+    ++b;
+    x >>= 1;
+  }
+  return b;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned floor_log2(std::uint64_t x) {
+  unsigned b = 0;
+  while (x > 1) {
+    ++b;
+    x >>= 1;
+  }
+  return b;
+}
+
+/// ceil(log2(x)) for x >= 1 (ceil_log2(1) == 0).
+constexpr unsigned ceil_log2(std::uint64_t x) {
+  unsigned f = floor_log2(x);
+  return (std::uint64_t{1} << f) == x ? f : f + 1;
+}
+
+/// lcm that saturates at `cap` instead of overflowing. The Thm 4.2 adversary
+/// computes gamma = lcm of circuit lengths; for pathological automata this
+/// can blow up, so the construction refuses (returns cap) rather than UB.
+std::uint64_t saturating_lcm(std::uint64_t a, std::uint64_t b,
+                             std::uint64_t cap);
+
+}  // namespace rvt::util

@@ -1,0 +1,61 @@
+#include "util/primes.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace rvt::util {
+
+bool is_prime(std::uint64_t x) {
+  if (x < 2) return false;
+  if (x < 4) return true;
+  if (x % 2 == 0) return false;
+  for (std::uint64_t d = 3; d * d <= x; d += 2) {
+    if (x % d == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t x) {
+  std::uint64_t c = x + 1;
+  while (!is_prime(c)) ++c;
+  return c;
+}
+
+std::uint64_t nth_prime(std::size_t i) {
+  if (i == 0) throw std::invalid_argument("nth_prime is 1-indexed");
+  if (i < 64) {
+    std::uint64_t p = 2;
+    for (std::size_t k = 1; k < i; ++k) p = next_prime(p);
+    return p;
+  }
+  // Sieve with the standard p_i upper bound i(ln i + ln ln i) for i >= 6.
+  const double di = static_cast<double>(i);
+  const double bound = di * (std::log(di) + std::log(std::log(di))) + 16.0;
+  std::vector<std::uint64_t> ps =
+      primes_up_to(static_cast<std::uint64_t>(bound));
+  while (ps.size() < i) {  // defensive: extend by search if estimate short
+    ps.push_back(next_prime(ps.back()));
+  }
+  return ps[i - 1];
+}
+
+std::vector<std::uint64_t> primes_up_to(std::uint64_t n) {
+  std::vector<std::uint64_t> out;
+  if (n < 2) return out;
+  std::vector<bool> composite(static_cast<std::size_t>(n) + 1, false);
+  for (std::uint64_t p = 2; p <= n; ++p) {
+    if (composite[static_cast<std::size_t>(p)]) continue;
+    out.push_back(p);
+    for (std::uint64_t q = p * p; q <= n; q += p) {
+      composite[static_cast<std::size_t>(q)] = true;
+    }
+  }
+  return out;
+}
+
+std::size_t prime_count_up_to(std::uint64_t x) {
+  return primes_up_to(x).size();
+}
+
+}  // namespace rvt::util

@@ -1,0 +1,36 @@
+// Prime number utilities used by the `prime` rendezvous protocol (Lemma 4.1).
+//
+// The protocol sweeps the sequence of primes 2, 3, 5, ... and performs
+// whole-path traversals at speed 1/p for each prime p. The paper notes that
+// "the next prime p can be found using O(log p) bits, e.g., by exhaustive
+// search"; we mirror that with trial division (no table lookup is required by
+// the agents), and additionally provide a sieve for tests and experiment
+// harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rvt::util {
+
+/// True iff `x` is prime. Trial division; intended for the small primes the
+/// agents enumerate (p = O(log n) by Lemma 4.1), and fine up to ~2^32 in
+/// tests.
+bool is_prime(std::uint64_t x);
+
+/// Smallest prime strictly greater than `x`. This is the agent-side
+/// "exhaustive search" step from the proof of Lemma 4.1.
+std::uint64_t next_prime(std::uint64_t x);
+
+/// The `i`-th prime, 1-indexed (nth_prime(1) == 2). Used by prime(i), the
+/// bounded variant of the protocol that stops after the i-th prime.
+std::uint64_t nth_prime(std::size_t i);
+
+/// All primes <= n, via Eratosthenes. Harness/test helper, not agent code.
+std::vector<std::uint64_t> primes_up_to(std::uint64_t n);
+
+/// pi(x): number of primes <= x. Test helper for the Prime Number Theorem
+/// bound used in the proof of Lemma 4.1.
+std::size_t prime_count_up_to(std::uint64_t x);
+
+}  // namespace rvt::util

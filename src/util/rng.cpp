@@ -1,0 +1,4 @@
+#include "util/rng.hpp"
+
+// Rng is header-only today; this TU anchors the library target and keeps a
+// home for future out-of-line distributions.

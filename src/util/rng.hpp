@@ -1,0 +1,47 @@
+// Deterministic random number generation.
+//
+// Every randomized test, example, and bench in the repo routes randomness
+// through Rng so that a printed seed fully reproduces a run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rvt::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  bool coin() { return uniform(0, 1) == 1; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rvt::util

@@ -1,0 +1,46 @@
+// Plain-text table printer for the experiment harnesses.
+//
+// Each bench binary prints the rows/series of the experiment it reproduces
+// (EXPERIMENTS.md maps them to the paper's claims). Tables are aligned,
+// machine-grepable (single header line, pipe-separated), and need no deps.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rvt::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: renders each value with operator<< via to_cell().
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    add_row({to_cell(vals)...});
+  }
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(bool b) { return b ? "yes" : "no"; }
+  static std::string to_cell(double v);
+  template <typename T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rvt::util

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::core {
+namespace {
+
+using tree::NodeId;
+using tree::Tree;
+
+std::uint64_t horizon_for(const Tree& t) {
+  // One activity super-cycle is q * 8(n-1) rounds with q = O(n log n);
+  // two misaligned super-cycles overlap within q_a * q_b letters.
+  const std::uint64_t n = static_cast<std::uint64_t>(t.node_count());
+  return 400000ull + 600ull * n * n * util::bit_width_for(n);
+}
+
+TEST(Baseline, ParksOnCentralNodeInstances) {
+  const Tree t = tree::complete_binary(3);
+  for (std::uint64_t delay : {0u, 17u, 333u}) {
+    BaselineAgent a(t, 5), b(t, 12);
+    const auto r = sim::run_rendezvous(t, a, b, {5, 12, 0, delay, 10000});
+    EXPECT_TRUE(r.met) << delay;  // at the central node, or en route
+  }
+}
+
+TEST(Baseline, LineWithZeroDelay) {
+  for (NodeId n : {4, 7, 10, 15}) {
+    const Tree t = tree::line(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        BaselineAgent a(t, u), b(t, v);
+        if (a.info().kind == TreeKind::kCentralEdgeSymmetric &&
+            a.label() == BaselineAgent(t, v).label()) {
+          continue;  // documented label-collision limitation
+        }
+        const auto r =
+            sim::run_rendezvous(t, a, b, {u, v, 0, 0, horizon_for(t)});
+        EXPECT_TRUE(r.met) << "n=" << n << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Baseline, LineWithArbitraryDelays) {
+  const Tree t = tree::line(12);
+  util::Rng rng(9);
+  for (int rep = 0; rep < 12; ++rep) {
+    const NodeId u = static_cast<NodeId>(rng.index(12));
+    const NodeId v = static_cast<NodeId>(rng.index(12));
+    if (u == v) continue;
+    BaselineAgent a(t, u), b(t, v);
+    if (a.label() == b.label()) continue;
+    const std::uint64_t delay = rng.uniform(0, 5000);
+    const bool delay_on_a = rng.coin();
+    const auto r = sim::run_rendezvous(
+        t, a, b,
+        {u, v, delay_on_a ? delay : 0, delay_on_a ? 0 : delay,
+         horizon_for(t) + delay});
+    EXPECT_TRUE(r.met) << "u=" << u << " v=" << v << " delay=" << delay;
+  }
+}
+
+TEST(Baseline, DistinctLabelsOnSameVhatLines) {
+  // Both agents walking to the same extremity always yields distinct
+  // labels (different distances to the same leaf).
+  const Tree t = tree::line(9);
+  BaselineAgent a(t, 2), b(t, 5);
+  EXPECT_NE(a.label(), b.label());
+}
+
+TEST(Baseline, MemoryIsThetaLogN) {
+  // The baseline's counters are Theta(log n) — the gap experiment's other
+  // side. Check growth: bits roughly double from n=16 to n=4096? They
+  // grow additively with log n; assert a lower bound too.
+  std::uint64_t bits_small = 0, bits_large = 0;
+  for (NodeId n : {16, 1024}) {
+    const Tree t = tree::line(n);
+    BaselineAgent a(t, 1), b(t, static_cast<NodeId>(n / 2 + 1));
+    const auto r = sim::run_rendezvous(
+        t, a, b,
+        {1, static_cast<NodeId>(n / 2 + 1), 0, 0, horizon_for(t)});
+    ASSERT_TRUE(r.met) << n;
+    if (n == 16) bits_small = r.memory_bits_a;
+    if (n == 1024) bits_large = r.memory_bits_a;
+  }
+  EXPECT_GE(bits_large, bits_small + 10);  // ~ 3 counters x 6 extra bits
+}
+
+TEST(Baseline, ExhaustiveDelaySweepOnSmallLine) {
+  // The Manchester-word argument must hold for EVERY delay, not just
+  // sampled ones: sweep all delays up to one full schedule word on a small
+  // line (word = (4 + 2r) letters of W = 8(n-1) rounds; beyond one word
+  // the alignment repeats).
+  const Tree t = tree::line(8);
+  const NodeId u = 1, v = 4;
+  BaselineAgent probe_a(t, u), probe_b(t, v);
+  ASSERT_EQ(probe_a.info().kind, TreeKind::kCentralEdgeSymmetric);
+  ASSERT_NE(probe_a.label(), probe_b.label());
+  const std::uint64_t W = 4 * 2 * (t.node_count() - 1);
+  const std::uint64_t word = (4 + 2 * util::bit_width_for(
+                                          4ull * t.node_count())) *
+                             W;
+  int failures = 0;
+  for (std::uint64_t delay = 0; delay <= word; delay += 7) {
+    BaselineAgent a(t, u), b(t, v);
+    const auto r = sim::run_rendezvous(
+        t, a, b, {u, v, 0, delay, delay + 4 * word});
+    if (!r.met) ++failures;
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(Baseline, ExhaustiveDelaySweepBothDirections) {
+  // Delay on either agent; finer stride, smaller cap.
+  const Tree t = tree::line(6);
+  const NodeId u = 0, v = 2;
+  BaselineAgent pa(t, u), pb(t, v);
+  ASSERT_NE(pa.label(), pb.label());
+  const std::uint64_t W = 4 * 2 * (t.node_count() - 1);
+  const std::uint64_t word =
+      (4 + 2 * util::bit_width_for(4ull * t.node_count())) * W;
+  for (std::uint64_t delay = 0; delay <= word; ++delay) {
+    for (bool on_a : {true, false}) {
+      BaselineAgent a(t, u), b(t, v);
+      const auto r = sim::run_rendezvous(
+          t, a, b,
+          {u, v, on_a ? delay : 0, on_a ? 0 : delay, delay + 4 * word});
+      ASSERT_TRUE(r.met) << "delay=" << delay << " on_a=" << on_a;
+    }
+  }
+}
+
+TEST(Baseline, SymmetricCaterpillarWithDelay) {
+  // Symmetric-contraction non-line instance.
+  const Tree s = tree::side_tree(3, 0b10);
+  const auto ts = tree::two_sided_tree(s, s, 4);
+  const Tree& t = ts.tree;
+  util::Rng rng(21);
+  int tested = 0;
+  for (int rep = 0; rep < 20 && tested < 6; ++rep) {
+    const NodeId u = static_cast<NodeId>(rng.index(t.node_count()));
+    const NodeId v = static_cast<NodeId>(rng.index(t.node_count()));
+    if (u == v || tree::perfectly_symmetrizable(t, u, v)) continue;
+    BaselineAgent a(t, u), b(t, v);
+    if (a.info().kind == TreeKind::kCentralEdgeSymmetric &&
+        a.label() == b.label()) {
+      continue;
+    }
+    ++tested;
+    const std::uint64_t delay = rng.uniform(0, 2000);
+    const auto r = sim::run_rendezvous(
+        t, a, b, {u, v, 0, delay, horizon_for(t) + delay});
+    EXPECT_TRUE(r.met) << "u=" << u << " v=" << v << " delay=" << delay;
+  }
+  EXPECT_GE(tested, 3);
+}
+
+}  // namespace
+}  // namespace rvt::core

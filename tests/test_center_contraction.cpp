@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tree/builders.hpp"
+#include "tree/center.hpp"
+#include "tree/contraction.hpp"
+#include "tree/walk.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::tree {
+namespace {
+
+TEST(Center, LineParity) {
+  // Odd node count => central node; even => central edge.
+  for (NodeId n = 2; n <= 12; ++n) {
+    const Center c = find_center(line(n));
+    if (n % 2 == 1) {
+      ASSERT_TRUE(c.has_node()) << n;
+      EXPECT_EQ(*c.node, (n - 1) / 2);
+    } else {
+      ASSERT_TRUE(c.has_edge()) << n;
+      EXPECT_EQ(c.edge->first, n / 2 - 1);
+      EXPECT_EQ(c.edge->second, n / 2);
+    }
+  }
+}
+
+TEST(Center, StarAndBinary) {
+  const Center s = find_center(star(7));
+  ASSERT_TRUE(s.has_node());
+  EXPECT_EQ(*s.node, 0);
+
+  const Center b = find_center(complete_binary(3));
+  ASSERT_TRUE(b.has_node());
+  EXPECT_EQ(*b.node, 0);  // the root
+
+  // A 2-node tree has a central edge.
+  const Center two = find_center(line(2));
+  ASSERT_TRUE(two.has_edge());
+}
+
+TEST(Center, MinimizesEccentricityOnRandomTrees) {
+  util::Rng rng(123);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = random_attachment(static_cast<NodeId>(2 + rng.index(60)),
+                                     rng);
+    const Center c = find_center(t);
+    int best = t.node_count();
+    for (NodeId v = 0; v < t.node_count(); ++v) {
+      best = std::min(best, eccentricity(t, v));
+    }
+    if (c.has_node()) {
+      EXPECT_EQ(eccentricity(t, *c.node), best);
+      // The central node is the unique minimizer or one of at most one.
+      int count = 0;
+      for (NodeId v = 0; v < t.node_count(); ++v) {
+        if (eccentricity(t, v) == best) ++count;
+      }
+      EXPECT_EQ(count, 1);
+    } else {
+      EXPECT_EQ(eccentricity(t, c.edge->first), best);
+      EXPECT_EQ(eccentricity(t, c.edge->second), best);
+    }
+  }
+}
+
+TEST(Center, DistanceIsAMetric) {
+  util::Rng rng(9);
+  const Tree t = random_attachment(30, rng);
+  for (int rep = 0; rep < 50; ++rep) {
+    const NodeId a = static_cast<NodeId>(rng.index(30));
+    const NodeId b = static_cast<NodeId>(rng.index(30));
+    const NodeId c = static_cast<NodeId>(rng.index(30));
+    EXPECT_EQ(distance(t, a, b), distance(t, b, a));
+    EXPECT_LE(distance(t, a, c), distance(t, a, b) + distance(t, b, c));
+    EXPECT_EQ(distance(t, a, a), 0);
+  }
+}
+
+TEST(Contraction, LineContractsToSingleEdge) {
+  const Contraction c = contract(line(10));
+  EXPECT_EQ(c.nu(), 2);
+  EXPECT_EQ(c.tprime.edge_count(), 1);
+  EXPECT_EQ(c.to_t[0], 0);
+  EXPECT_EQ(c.to_t[1], 9);
+  EXPECT_EQ(c.path_len(0, 0), 9u);  // the whole line behind one T' edge
+  EXPECT_EQ(c.path[0][0].front(), 0);
+  EXPECT_EQ(c.path[0][0].back(), 9);
+}
+
+TEST(Contraction, NoDegreeTwoNodesSurvive) {
+  util::Rng rng(77);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = randomize_ports(
+        random_with_leaves(static_cast<NodeId>(11 + rng.index(60)),
+                           static_cast<NodeId>(2 + rng.index(4)), rng),
+        rng);
+    const Contraction c = contract(t);
+    for (NodeId v = 0; v < c.tprime.node_count(); ++v) {
+      EXPECT_NE(c.tprime.degree(v), 2);
+      EXPECT_EQ(c.tprime.degree(v), t.degree(c.to_t[v]));
+    }
+    // nu <= 2*leaves - 1 (paper).
+    EXPECT_LE(c.nu(), 2 * t.leaf_count() - 1);
+    // Leaves are preserved.
+    EXPECT_EQ(c.tprime.leaf_count(), t.leaf_count());
+  }
+}
+
+TEST(Contraction, StarIsItsOwnContraction) {
+  const Contraction c = contract(star(5));
+  EXPECT_EQ(c.nu(), 6);
+  EXPECT_EQ(c.tprime.edge_count(), 5);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(c.to_t[v], v);
+}
+
+TEST(Contraction, PathEndpointsAndInteriorDegrees) {
+  util::Rng rng(31);
+  const Tree base = spider(3, 1);
+  Tree t = subdivide_edge(base, 0, 1, 4);
+  t = subdivide_edge(t, 0, 2, 2);
+  const Contraction c = contract(t);
+  EXPECT_EQ(c.nu(), 4);  // center + 3 leaves
+  for (NodeId up = 0; up < c.nu(); ++up) {
+    for (Port p = 0; p < c.tprime.degree(up); ++p) {
+      const auto& path = c.path[up][p];
+      EXPECT_EQ(path.front(), c.to_t[up]);
+      EXPECT_NE(t.degree(path.back()), 2);
+      for (std::size_t k = 1; k + 1 < path.size(); ++k) {
+        EXPECT_EQ(t.degree(path[k]), 2);
+      }
+      // Ports of T' edges match the T ports of the first path edge.
+      EXPECT_EQ(t.neighbor(c.to_t[up], p), path.size() > 1 ? path[1]
+                                                           : path.back());
+    }
+  }
+}
+
+TEST(Contraction, BasicWalkCommutesWithContraction) {
+  // The sequence of degree-!=2 nodes visited by a basic walk in T equals
+  // the basic walk in T' (mapped through to_t).
+  util::Rng rng(55);
+  for (int rep = 0; rep < 10; ++rep) {
+    Tree t = randomize_ports(
+        random_with_leaves(static_cast<NodeId>(15 + rng.index(40)),
+                           static_cast<NodeId>(3 + rng.index(3)), rng),
+        rng);
+    const Contraction c = contract(t);
+    if (c.nu() < 2) continue;
+    const NodeId start_tp = 0;
+    const NodeId start_t = c.to_t[start_tp];
+
+    // Walk in T, recording arrivals at degree-!=2 nodes.
+    std::vector<NodeId> seq_t;
+    WalkPos pos{start_t, -1};
+    const std::uint64_t tour = 2 * (t.node_count() - 1);
+    for (std::uint64_t k = 0; k < tour; ++k) {
+      pos = bw_step(t, pos);
+      if (t.degree(pos.node) != 2) seq_t.push_back(pos.node);
+    }
+    // Walk in T'.
+    std::vector<NodeId> seq_tp;
+    WalkPos posp{start_tp, -1};
+    for (NodeId k = 0; k < 2 * (c.nu() - 1); ++k) {
+      posp = bw_step(c.tprime, posp);
+      seq_tp.push_back(c.to_t[posp.node]);
+    }
+    ASSERT_EQ(seq_t.size(), seq_tp.size());
+    EXPECT_EQ(seq_t, seq_tp);
+  }
+}
+
+TEST(Contraction, TwoNodeTree) {
+  const Contraction c = contract(line(2));
+  EXPECT_EQ(c.nu(), 2);
+  EXPECT_EQ(c.path_len(0, 0), 1u);
+}
+
+}  // namespace
+}  // namespace rvt::tree

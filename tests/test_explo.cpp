@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/explo.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "tree/center.hpp"
+#include "tree/contraction.hpp"
+#include "tree/walk.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::core {
+namespace {
+
+using tree::NodeId;
+using tree::Tree;
+
+TEST(Explo, StarHasCentralNode) {
+  const Tree t = tree::star(5);
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    const ExploInfo info = explo(t, v);
+    EXPECT_EQ(info.kind, TreeKind::kCentralNode);
+    EXPECT_EQ(info.target, 0);
+    EXPECT_EQ(info.v_hat, v);  // no degree-2 nodes
+    EXPECT_EQ(info.steps_to_vhat, 0u);
+    EXPECT_EQ(info.nu, 6);
+    EXPECT_EQ(info.ell, 5);
+  }
+}
+
+TEST(Explo, VhatWalksToALeaf) {
+  const Tree t = tree::line(9);
+  for (NodeId v = 1; v < 8; ++v) {
+    const ExploInfo info = explo(t, v);
+    EXPECT_EQ(t.degree(info.v_hat), 1);
+    // Walking from v by basic walk for steps_to_vhat steps lands on v_hat.
+    const auto walk = tree::basic_walk(t, v, info.steps_to_vhat);
+    EXPECT_EQ(walk.back().node, info.v_hat);
+    // Default line labeling: port 0 points toward higher ids, so the walk
+    // reaches leaf 8.
+    EXPECT_EQ(info.v_hat, 8);
+    EXPECT_EQ(info.steps_to_vhat, static_cast<std::uint64_t>(8 - v));
+  }
+}
+
+TEST(Explo, LineContractionIsSymmetricEdge) {
+  // Any line contracts to a single edge with port 0 at both leaf ends —
+  // a symmetric contraction.
+  for (NodeId n : {2, 5, 8, 13}) {
+    const ExploInfo info = explo(tree::line(n), 0);
+    EXPECT_EQ(info.kind, TreeKind::kCentralEdgeSymmetric) << n;
+    EXPECT_EQ(info.nu, 2);
+    EXPECT_EQ(info.ell, 2);
+  }
+}
+
+TEST(Explo, SymmetricFarthestExtremityIsOppositeHalf) {
+  const Tree t = tree::line(10);
+  // Internal starts walk to leaf 9 (port 0 points toward higher ids), so
+  // their farthest extremity is leaf 0; a start on a leaf IS its own
+  // v_hat, so its farthest extremity is the opposite leaf.
+  for (NodeId v : {1, 3, 8}) {
+    const ExploInfo info = explo(t, v);
+    EXPECT_EQ(info.v_hat, 9);
+    EXPECT_EQ(info.target, 0);
+    EXPECT_EQ(info.central_port_at_target, 0);
+    EXPECT_EQ(info.tprime_arrivals_to_target, 1u);
+    EXPECT_EQ(info.tsteps_to_target, 9u);
+  }
+  const ExploInfo i0 = explo(t, 0);
+  EXPECT_EQ(i0.v_hat, 0);
+  EXPECT_EQ(i0.target, 9);
+  const ExploInfo i9 = explo(t, 9);
+  EXPECT_EQ(i9.v_hat, 9);
+  EXPECT_EQ(i9.target, 0);
+}
+
+TEST(Explo, AsymmetricCentralEdgePicksCanonicalExtremity) {
+  // Two stars of different sizes joined by an even path: T' has a central
+  // edge whose halves differ structurally, so all starting positions must
+  // agree on the designated extremity.
+  const auto ts = tree::two_sided_tree(tree::star(2), tree::star(3), 2);
+  NodeId first_target = -1;
+  for (NodeId v = 0; v < ts.tree.node_count(); ++v) {
+    const ExploInfo info = explo(ts.tree, v);
+    ASSERT_EQ(info.kind, TreeKind::kCentralEdgeAsymmetric) << "v=" << v;
+    if (first_target < 0) first_target = info.target;
+    EXPECT_EQ(info.target, first_target) << "v=" << v;
+  }
+}
+
+TEST(Explo, SideTreesContractIdentically) {
+  // Side trees differ only in their degree-2 structure, which contraction
+  // erases: every two-sided side-tree instance has a SYMMETRIC
+  // contraction — the heart of why Theorem 4.3's instances are hard.
+  const Tree s1 = tree::side_tree(4, 0b001);
+  const Tree s2 = tree::side_tree(4, 0b111);
+  const auto ts = tree::two_sided_tree(s1, s2, 2);
+  const ExploInfo info = explo(ts.tree, ts.u);
+  EXPECT_EQ(info.kind, TreeKind::kCentralEdgeSymmetric);
+}
+
+TEST(Explo, SymmetricTwoSidedInstance) {
+  const Tree s1 = tree::side_tree(4, 0b101);
+  const auto ts = tree::two_sided_tree(s1, s1, 4);
+  const ExploInfo iu = explo(ts.tree, ts.u);
+  EXPECT_EQ(iu.kind, TreeKind::kCentralEdgeSymmetric);
+  // Targets of agents from the two path nodes sit in opposite halves.
+  const ExploInfo iv = explo(ts.tree, ts.v);
+  const auto cs = tree::central_split(ts.tree);
+  ASSERT_TRUE(cs.has_value());
+  EXPECT_NE(cs->in_x_half[iu.target], cs->in_x_half[iv.target]);
+}
+
+TEST(Explo, TargetReachableByCountingTprimeArrivals) {
+  // Walking from v_hat and counting arrivals at degree-!=-2 nodes, the
+  // k-th arrival (k = tprime_arrivals_to_target) is exactly `target`.
+  util::Rng rng(101);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Tree t = tree::randomize_ports(
+        tree::random_with_leaves(static_cast<NodeId>(12 + rng.index(40)),
+                                 static_cast<NodeId>(2 + rng.index(5)), rng),
+        rng);
+    const NodeId v = static_cast<NodeId>(rng.index(t.node_count()));
+    const ExploInfo info = explo(t, v);
+    if (info.tprime_arrivals_to_target == 0) {
+      EXPECT_EQ(info.v_hat, info.target);
+      continue;
+    }
+    std::uint64_t arrivals = 0;
+    tree::WalkPos pos{info.v_hat, -1};
+    while (arrivals < info.tprime_arrivals_to_target) {
+      pos = tree::bw_step(t, pos);
+      if (t.degree(pos.node) != 2) ++arrivals;
+    }
+    EXPECT_EQ(pos.node, info.target);
+  }
+}
+
+TEST(Explo, KindMatchesContractionStructure) {
+  util::Rng rng(55);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Tree t = tree::randomize_ports(
+        tree::random_attachment(static_cast<NodeId>(2 + rng.index(50)), rng),
+        rng);
+    const ExploInfo info = explo(t, 0);
+    const auto c = tree::contract(t);
+    const auto center = tree::find_center(c.tprime);
+    if (center.has_node()) {
+      EXPECT_EQ(info.kind, TreeKind::kCentralNode);
+      EXPECT_EQ(info.target, c.to_t[*center.node]);
+    } else {
+      const bool sym = tree::tree_symmetric(c.tprime);
+      EXPECT_EQ(info.kind == TreeKind::kCentralEdgeSymmetric, sym);
+    }
+  }
+}
+
+TEST(Explo, PortCodeVecDetectsPortIsomorphism) {
+  const Tree a = tree::star(3);
+  util::Rng rng(5);
+  const Tree b = tree::randomize_ports(a, rng);
+  // Same rooted shape, potentially different labels: codes are equal iff
+  // the labeled trees are port-isomorphic at the root.
+  const auto ca = port_code_vec(a, 0, -1);
+  const auto cb = port_code_vec(b, 0, -1);
+  // For a star all leaf orders coincide, so any relabeling is isomorphic.
+  EXPECT_EQ(ca, cb);
+
+  // A path rooted at its end vs. its middle differs.
+  const Tree l = tree::line(4);
+  EXPECT_NE(port_code_vec(l, 0, -1), port_code_vec(l, 1, -1));
+}
+
+TEST(Explo, RejectsBadInput) {
+  EXPECT_THROW(explo(Tree::single_node(), 0), std::invalid_argument);
+  EXPECT_THROW(explo(tree::line(4), 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rvt::core

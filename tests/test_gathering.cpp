@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rendezvous_agent.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::core {
+namespace {
+
+using tree::NodeId;
+using tree::Tree;
+
+/// Builds k RendezvousAgents for the given starts.
+std::vector<std::unique_ptr<RendezvousAgent>> make_agents(
+    const Tree& t, const std::vector<NodeId>& starts) {
+  std::vector<std::unique_ptr<RendezvousAgent>> agents;
+  for (NodeId s : starts) {
+    agents.push_back(std::make_unique<RendezvousAgent>(t, s));
+  }
+  return agents;
+}
+
+std::vector<sim::Agent*> raw(
+    const std::vector<std::unique_ptr<RendezvousAgent>>& v) {
+  std::vector<sim::Agent*> out;
+  for (const auto& a : v) out.push_back(a.get());
+  return out;
+}
+
+TEST(Gathering, CentralNodeInstancesGatherAnyCount) {
+  // On a tree whose contraction has a central node, every agent parks
+  // there — gathering for free, for any number of agents.
+  const Tree t = tree::spider(5, 3);
+  for (std::size_t k : {2u, 3u, 5u}) {
+    std::vector<NodeId> starts;
+    for (std::size_t i = 0; i < k; ++i) {
+      starts.push_back(static_cast<NodeId>(1 + 3 * i));
+    }
+    auto agents = make_agents(t, starts);
+    const auto r =
+        sim::run_gathering(t, raw(agents), {starts, {}, 100000});
+    EXPECT_TRUE(r.gathered) << "k=" << k;
+    EXPECT_EQ(r.gather_node, 0);  // the spider's center
+  }
+}
+
+TEST(Gathering, CentralNodeInstancesGatherUnderDelays) {
+  const Tree t = tree::star(6);
+  const std::vector<NodeId> starts{1, 3, 5};
+  auto agents = make_agents(t, starts);
+  const auto r = sim::run_gathering(
+      t, raw(agents), {starts, {0, 40, 333}, 100000});
+  EXPECT_TRUE(r.gathered);
+  EXPECT_EQ(r.gather_node, 0);
+}
+
+TEST(Gathering, AsymmetricCentralEdgeGathers) {
+  const Tree t = tree::double_broom(4, 2, 3);  // asymmetric halves
+  const std::vector<NodeId> starts{0, 2, 7};
+  auto agents = make_agents(t, starts);
+  const auto r = sim::run_gathering(t, raw(agents), {starts, {}, 100000});
+  EXPECT_TRUE(r.gathered);
+}
+
+TEST(Gathering, CoLocatedAgentsStayMerged) {
+  // Identical deterministic agents starting together with equal delays
+  // behave as one.
+  const Tree t = tree::star(4);
+  const std::vector<NodeId> starts{2, 2, 3};
+  auto agents = make_agents(t, starts);
+  const auto r = sim::run_gathering(t, raw(agents), {starts, {}, 10000});
+  EXPECT_TRUE(r.gathered);
+}
+
+TEST(Gathering, TwoAgentsMatchesRendezvous) {
+  // run_gathering with k = 2 agrees with run_rendezvous.
+  const Tree t = tree::line(9);
+  const std::vector<NodeId> starts{2, 6};
+  auto agents = make_agents(t, starts);
+  const auto g = sim::run_gathering(t, raw(agents), {starts, {}, 5000000});
+  RendezvousAgent a(t, 2), b(t, 6);
+  const auto r = sim::run_rendezvous(t, a, b, {2, 6, 0, 0, 5000000});
+  ASSERT_TRUE(g.gathered);
+  ASSERT_TRUE(r.met);
+  EXPECT_EQ(g.gather_round, r.meeting_round);
+  EXPECT_EQ(g.gather_node, r.meeting_node);
+}
+
+TEST(Gathering, ValidatesConfig) {
+  const Tree t = tree::line(4);
+  RendezvousAgent a(t, 0), b(t, 1);
+  std::vector<sim::Agent*> agents{&a, &b};
+  EXPECT_THROW(sim::run_gathering(t, {&a}, {{0}, {}, 10}),
+               std::invalid_argument);
+  EXPECT_THROW(sim::run_gathering(t, agents, {{0}, {}, 10}),
+               std::invalid_argument);
+  EXPECT_THROW(sim::run_gathering(t, agents, {{0, 1}, {0}, 10}),
+               std::invalid_argument);
+  EXPECT_THROW(sim::run_gathering(t, agents, {{0, 1}, {}, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(sim::run_gathering(t, agents, {{0, 9}, {}, 10}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rvt::core

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "tree/builders.hpp"
+#include "tree/io.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::tree {
+namespace {
+
+TEST(Io, RoundTripsRandomTrees) {
+  util::Rng rng(88);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = randomize_ports(
+        random_attachment(static_cast<NodeId>(1 + rng.index(60)), rng), rng);
+    const Tree u = from_text(to_text(t));
+    EXPECT_EQ(t.to_string(), u.to_string());
+  }
+}
+
+TEST(Io, RoundTripsAllBuilders) {
+  util::Rng rng(5);
+  const std::vector<Tree> trees = {
+      Tree::single_node(), line(7),      line_symmetric_colored(5),
+      star(4),             spider(3, 2), complete_binary(3),
+      complete_kary(3, 2), binomial(4),  broom(3, 4),
+      double_broom(4, 3, 5), side_tree(4, 0b101)};
+  for (const auto& t : trees) {
+    EXPECT_EQ(t.to_string(), from_text(to_text(t)).to_string());
+  }
+}
+
+TEST(Io, ParsesCommentsAndBlankLines) {
+  const Tree t = from_text(
+      "# a 3-node path\n"
+      "\n"
+      "3\n"
+      "0 1 0 1\n"
+      "# middle edge\n"
+      "1 2 0 0\n");
+  EXPECT_EQ(t.node_count(), 3);
+  EXPECT_EQ(t.neighbor(1, 0), 2);
+  EXPECT_EQ(t.neighbor(1, 1), 0);
+}
+
+TEST(Io, RejectsMalformedInput) {
+  EXPECT_THROW(from_text(""), std::invalid_argument);
+  EXPECT_THROW(from_text("0\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("2\n0 1 0\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("3\n0 1 0 0\n"), std::invalid_argument);  // missing
+  // Port violations are caught by Tree's constructor.
+  EXPECT_THROW(from_text("2\n0 1 1 0\n"), std::invalid_argument);
+}
+
+TEST(Io, DotContainsNodesEdgesAndHighlights) {
+  const Tree t = star(3);
+  const std::string dot = to_dot(t, {{1, "salmon"}});
+  EXPECT_NE(dot.find("graph tree"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("salmon"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"0|0\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rvt::tree

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "lowerbound/arbdelay_line.hpp"
+#include "lowerbound/line_drift.hpp"
+#include "lowerbound/sidetrees.hpp"
+#include "lowerbound/simstart_line.hpp"
+#include "lowerbound/transition_digraph.hpp"
+#include "lowerbound/verify.hpp"
+#include "sim/automaton.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::lowerbound {
+namespace {
+
+TEST(TransitionDigraph, PingPongWalkerHasSingleCircuit) {
+  for (int p : {1, 2, 3, 5}) {
+    const auto a = sim::ping_pong_walker(p);
+    const auto d = analyze_pi_prime(a);
+    ASSERT_EQ(d.circuits.size(), 1u) << p;
+    EXPECT_EQ(d.circuits[0].size(), static_cast<std::size_t>(2 * p)) << p;
+    EXPECT_EQ(d.gamma(1 << 20), static_cast<std::uint64_t>(2 * p));
+  }
+}
+
+TEST(TransitionDigraph, EveryStateReachesItsCircuit) {
+  util::Rng rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto a = sim::random_line_automaton(1 + static_cast<int>(rng.index(20)), rng);
+    const auto d = analyze_pi_prime(a);
+    EXPECT_FALSE(d.circuits.empty());
+    for (int s = 0; s < a.num_states(); ++s) {
+      const int tl = d.tail_length(s);
+      int cur = s;
+      for (int k = 0; k < tl; ++k) cur = d.pi_prime[cur];
+      EXPECT_GE(d.circuit_of[cur], 0);
+    }
+  }
+}
+
+TEST(LineDrift, WalkerIsUnbounded) {
+  for (int p : {1, 2, 4}) {
+    for (int phase : {0, 1}) {
+      const auto d = analyze_drift(sim::ping_pong_walker(p), phase);
+      EXPECT_TRUE(d.unbounded) << "p=" << p << " phase=" << phase;
+      EXPECT_NE(d.drift_sign, 0);
+    }
+  }
+}
+
+TEST(LineDrift, SitterIsBounded) {
+  sim::LineAutomaton a;
+  a.delta.assign(1, {0, 0});
+  a.lambda.assign(1, sim::kStay);
+  const auto d = analyze_drift(a, 0);
+  EXPECT_FALSE(d.unbounded);
+  EXPECT_EQ(d.max_abs_pos, 0);
+}
+
+TEST(LineDrift, TwoCycleOscillatorIsBounded) {
+  // Moves right then left forever (on the colored line: exits the color it
+  // arrived by, bouncing on one edge).
+  sim::LineAutomaton a;
+  a.delta.assign(2, {1, 1});
+  a.delta[1] = {0, 0};
+  a.lambda = {0, 0};
+  const auto d = analyze_drift(a, 0);
+  EXPECT_FALSE(d.unbounded);
+  EXPECT_LE(d.max_abs_pos, 2);
+}
+
+TEST(VerifyNeverMeet, CertifiesSittersApart) {
+  const tree::Tree t = tree::line_edge_colored(6, 0);
+  sim::LineAutomaton stay;
+  stay.delta.assign(1, {0, 0});
+  stay.lambda.assign(1, sim::kStay);
+  sim::LineAutomatonAgent a(stay), b(stay);
+  const auto r = verify_never_meet(t, a, b, {0, 3, 0, 0, 1000});
+  EXPECT_FALSE(r.met);
+  EXPECT_TRUE(r.certified_forever);
+  EXPECT_EQ(r.cycle_length, 1u);
+}
+
+TEST(VerifyNeverMeet, DetectsMeetings) {
+  const tree::Tree t = tree::line_edge_colored(8, 0);
+  sim::LineAutomatonAgent a(sim::basic_walker_automaton());
+  sim::LineAutomaton stay;
+  stay.delta.assign(1, {0, 0});
+  stay.lambda.assign(1, sim::kStay);
+  sim::LineAutomatonAgent b(stay);
+  const auto r = verify_never_meet(t, a, b, {3, 6, 0, 0, 1000});
+  EXPECT_TRUE(r.met);
+}
+
+TEST(ArbDelay, DefeatsPingPongWalkers) {
+  for (int p : {1, 2, 3}) {
+    const auto inst =
+        build_arbdelay_instance(sim::ping_pong_walker(p), 3000000);
+    ASSERT_TRUE(inst.construction_ok) << "p=" << p;
+    EXPECT_FALSE(inst.bounded_case) << "p=" << p;
+    EXPECT_FALSE(inst.verdict.met);
+    EXPECT_TRUE(inst.verdict.certified_forever);
+    // The defeated line has O(K) nodes.
+    EXPECT_GT(inst.line.node_count(), 8);
+  }
+}
+
+TEST(RunSingle, MatchesZLineSimOnMatchingLine) {
+  // The finite-line single-agent runner and the infinite-line simulator
+  // agree while the agent stays away from the finite line's endpoints.
+  util::Rng rng(22);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto a = sim::random_line_automaton(
+        2 + static_cast<int>(rng.index(6)), rng);
+    // Long enough finite line; start at its middle with phase-0 coloring.
+    const tree::NodeId n = 401;
+    const tree::NodeId start = 200;
+    const int fc = start % 2 == 0 ? 0 : 1;  // color(start edge) == 0
+    const tree::Tree line = tree::line_edge_colored(n, fc);
+    sim::LineAutomatonAgent agent(a);
+    const auto events = run_single(line, agent, start, 150);
+
+    sim::ZLineSim zsim(a, 0);
+    std::vector<std::pair<std::uint64_t, std::int64_t>> zevents;
+    std::int64_t prev = 0;
+    for (int r = 0; r < 150; ++r) {
+      const auto s = zsim.tick();
+      if (s.action != sim::kStay) zevents.emplace_back(s.round, prev);
+      prev = s.pos;
+    }
+    ASSERT_EQ(events.size(), zevents.size());
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      EXPECT_EQ(events[k].round, zevents[k].first);
+      EXPECT_EQ(events[k].node - start, zevents[k].second);
+    }
+  }
+}
+
+TEST(ArbDelay, InstancesAreFeasibleButUnsolved) {
+  // The whole point of the lower bound: the constructed positions are NOT
+  // perfectly symmetrizable (rendezvous was required), yet the automaton
+  // never meets.
+  for (int p : {1, 2, 3}) {
+    const auto inst =
+        build_arbdelay_instance(sim::ping_pong_walker(p), 3000000);
+    ASSERT_TRUE(inst.construction_ok) << p;
+    EXPECT_FALSE(
+        tree::perfectly_symmetrizable(inst.line, inst.u, inst.v))
+        << p;
+  }
+}
+
+TEST(SimStart, InstancesAreFeasibleButUnsolved) {
+  for (int p : {1, 2, 3}) {
+    const auto inst =
+        build_simstart_instance(sim::ping_pong_walker(p), 1 << 20, 8000000);
+    ASSERT_TRUE(inst.construction_ok) << p;
+    EXPECT_FALSE(
+        tree::perfectly_symmetrizable(inst.line, inst.u, inst.v))
+        << p;
+  }
+}
+
+TEST(ArbDelay, DefeatsRandomAutomata) {
+  util::Rng rng(12345);
+  int ok = 0, total = 0;
+  for (int rep = 0; rep < 12; ++rep) {
+    const auto a =
+        sim::random_line_automaton(2 + static_cast<int>(rng.index(6)), rng);
+    const auto inst = build_arbdelay_instance(a, 2000000);
+    ++total;
+    if (inst.construction_ok) ++ok;
+    EXPECT_FALSE(inst.verdict.met) << "rep=" << rep;
+  }
+  // The construction should succeed on the vast majority of automata.
+  EXPECT_GE(ok * 4, total * 3) << ok << "/" << total;
+}
+
+TEST(ArbDelay, BoundedAutomatonGetsDisjointRanges) {
+  sim::LineAutomaton stay;
+  stay.delta.assign(1, {0, 0});
+  stay.lambda.assign(1, sim::kStay);
+  const auto inst = build_arbdelay_instance(stay, 10000);
+  ASSERT_TRUE(inst.construction_ok);
+  EXPECT_TRUE(inst.bounded_case);
+  EXPECT_TRUE(inst.verdict.certified_forever);
+}
+
+TEST(SimStart, DefeatsPingPongWalkers) {
+  for (int p : {1, 2, 3}) {
+    const auto inst = build_simstart_instance(sim::ping_pong_walker(p),
+                                              1 << 20, 8000000);
+    ASSERT_TRUE(inst.construction_ok) << "p=" << p;
+    EXPECT_EQ(inst.gamma, static_cast<std::uint64_t>(2 * p));
+    EXPECT_GT(inst.x_prime, inst.x);
+    EXPECT_FALSE(inst.verdict.met);
+    EXPECT_TRUE(inst.verdict.certified_forever);
+  }
+}
+
+TEST(SimStart, DefeatsRandomAutomata) {
+  util::Rng rng(777);
+  int ok = 0, total = 0;
+  for (int rep = 0; rep < 12; ++rep) {
+    const auto a =
+        sim::random_line_automaton(2 + static_cast<int>(rng.index(5)), rng);
+    const auto inst = build_simstart_instance(a, 1 << 16, 4000000);
+    if (inst.gamma_overflow) continue;
+    ++total;
+    if (inst.construction_ok) ++ok;
+    EXPECT_FALSE(inst.verdict.met) << "rep=" << rep;
+  }
+  EXPECT_GE(ok * 4, total * 3) << ok << "/" << total;
+}
+
+TEST(SideTrees, BehaviorFunctionIsDeterministic) {
+  util::Rng rng(3);
+  const auto a = sim::random_tree_automaton(4, rng);
+  const tree::Tree s = tree::side_tree(4, 0b010);
+  const auto t1 = behavior_function(a, s);
+  const auto t2 = behavior_function(a, s);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1.size(), 4u);
+}
+
+TEST(SideTrees, CollisionDefeatsSmallAutomata) {
+  // A tiny automaton cannot distinguish 2^{i-1} side trees: collision and
+  // never-meet instance guaranteed quickly.
+  const auto walker = sim::lift_to_tree_automaton(sim::basic_walker_automaton());
+  const auto inst = build_sidetree_instance(walker, 6, 2, 4000000);
+  ASSERT_TRUE(inst.found);
+  EXPECT_NE(inst.mask1, inst.mask2);
+  EXPECT_TRUE(inst.symmetric_companion_is_symmetric);
+  EXPECT_TRUE(inst.instance_not_symmetrizable);
+  EXPECT_FALSE(inst.verdict.met);
+  EXPECT_TRUE(inst.verdict.certified_forever);
+  EXPECT_TRUE(inst.construction_ok);
+}
+
+TEST(SideTrees, RandomAutomataCollide) {
+  util::Rng rng(99);
+  int ok = 0, total = 0;
+  for (int rep = 0; rep < 8; ++rep) {
+    const auto a = sim::random_tree_automaton(
+        2 + static_cast<int>(rng.index(3)), rng);
+    const auto inst = build_sidetree_instance(a, 7, 2, 4000000);
+    if (!inst.found) continue;
+    ++total;
+    if (inst.construction_ok) ++ok;
+    EXPECT_FALSE(inst.verdict.met) << rep;
+  }
+  EXPECT_GE(total, 4);
+  EXPECT_GE(ok * 4, total * 3) << ok << "/" << total;
+}
+
+TEST(SideTrees, InstanceHasMaxDegreeThreeAndRightLeafCount) {
+  const auto walker = sim::lift_to_tree_automaton(sim::basic_walker_automaton());
+  const auto inst = build_sidetree_instance(walker, 6, 4, 4000000);
+  ASSERT_TRUE(inst.found);
+  EXPECT_LE(inst.instance.max_degree(), 3);
+  EXPECT_EQ(inst.instance.leaf_count(), 2 * 6);
+}
+
+}  // namespace
+}  // namespace rvt::lowerbound

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/explo.hpp"
+#include "core/mapper.hpp"
+#include "tree/builders.hpp"
+#include "tree/walk.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::core {
+namespace {
+
+using tree::NodeId;
+using tree::Tree;
+
+/// Drives a MapperAgent alone on the tree from `start` until done.
+MapperAgent run_mapper(const Tree& t, NodeId start) {
+  MapperAgent m;
+  tree::WalkPos pos{start, -1};
+  const std::uint64_t cap = 4 * static_cast<std::uint64_t>(t.node_count()) + 8;
+  for (std::uint64_t r = 0; r < cap && !m.done(); ++r) {
+    const sim::Observation obs{pos.in_port, t.degree(pos.node)};
+    const int act = m.step(obs);
+    if (act == sim::kStay) {
+      pos.in_port = -1;
+      continue;
+    }
+    const tree::Port out = static_cast<tree::Port>(act % t.degree(pos.node));
+    const tree::NodeId next = t.neighbor(pos.node, out);
+    pos = {next, t.reverse_port(pos.node, out)};
+  }
+  return m;
+}
+
+TEST(Mapper, ReconstructsBuildersExactly) {
+  util::Rng rng(9);
+  std::vector<Tree> trees = {
+      Tree::single_node(),  tree::line(2),          tree::line(9),
+      tree::star(5),        tree::spider(3, 3),     tree::complete_binary(3),
+      tree::complete_kary(3, 2),                    tree::binomial(4),
+      tree::broom(3, 3),    tree::double_broom(4, 2, 3),
+      tree::side_tree(4, 0b101)};
+  for (int rep = 0; rep < 6; ++rep) {
+    trees.push_back(tree::randomize_ports(
+        tree::random_with_leaves(static_cast<NodeId>(10 + 7 * rep),
+                                 static_cast<NodeId>(2 + rep % 4), rng),
+        rng));
+  }
+  for (const auto& t : trees) {
+    for (NodeId start : {NodeId{0},
+                         static_cast<NodeId>(t.node_count() / 2),
+                         static_cast<NodeId>(t.node_count() - 1)}) {
+      MapperAgent m = run_mapper(t, start);
+      ASSERT_TRUE(m.done()) << "n=" << t.node_count() << " start=" << start;
+      const Tree recon = m.reconstruction();
+      ASSERT_EQ(recon.node_count(), t.node_count());
+      // Port-exact isomorphism rooted at the start.
+      EXPECT_EQ(port_code_vec(t, start, -1), port_code_vec(recon, 0, -1))
+          << "n=" << t.node_count() << " start=" << start;
+      if (t.node_count() > 1) {
+        EXPECT_EQ(m.steps_walked(),
+                  2 * static_cast<std::uint64_t>(t.node_count() - 1));
+      }
+    }
+  }
+}
+
+TEST(Mapper, ExploAgreesWithReconstruction) {
+  // Everything the Explo oracle grants (DESIGN.md S1) is derivable from
+  // the reconstruction an agent can physically walk out: the numeric
+  // outputs must coincide.
+  util::Rng rng(33);
+  for (int rep = 0; rep < 12; ++rep) {
+    const Tree t = tree::randomize_ports(
+        tree::random_with_leaves(static_cast<NodeId>(12 + rng.index(40)),
+                                 static_cast<NodeId>(2 + rng.index(4)), rng),
+        rng);
+    const NodeId start = static_cast<NodeId>(rng.index(t.node_count()));
+    MapperAgent m = run_mapper(t, start);
+    ASSERT_TRUE(m.done());
+    const Tree recon = m.reconstruction();
+
+    const ExploInfo real = explo(t, start);
+    const ExploInfo learned = explo(recon, 0);
+    EXPECT_EQ(learned.kind, real.kind);
+    EXPECT_EQ(learned.n, real.n);
+    EXPECT_EQ(learned.nu, real.nu);
+    EXPECT_EQ(learned.ell, real.ell);
+    EXPECT_EQ(learned.steps_to_vhat, real.steps_to_vhat);
+    EXPECT_EQ(learned.tprime_arrivals_to_target,
+              real.tprime_arrivals_to_target);
+    EXPECT_EQ(learned.tsteps_to_target, real.tsteps_to_target);
+    EXPECT_EQ(learned.central_port_at_target, real.central_port_at_target);
+  }
+}
+
+TEST(Mapper, MemoryIsLinearithmic) {
+  // The reference mapper pays Theta(n log n) bits — the cost the paper's
+  // algorithm avoids.
+  const Tree small = tree::line(16);
+  const Tree large = tree::line(1024);
+  MapperAgent ms = run_mapper(small, 3);
+  MapperAgent ml = run_mapper(large, 3);
+  EXPECT_GT(ml.memory_bits(), 40 * ms.memory_bits());
+}
+
+TEST(Mapper, ReconstructionBeforeDoneThrows) {
+  MapperAgent m;
+  EXPECT_THROW(m.reconstruction(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rvt::core

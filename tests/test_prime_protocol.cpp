@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/prime_protocol.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "util/math.hpp"
+
+namespace rvt::core {
+namespace {
+
+using tree::NodeId;
+using tree::Tree;
+
+std::uint64_t horizon_for(NodeId m) {
+  // Lemma 4.1: meeting at or before the prime p_j with prod p_i <= m^2;
+  // generous envelope: sum of 2*2(m-1)*p over primes p <= 4 log^2 m, plus
+  // the initial run.
+  return 400000ull + 4000ull * static_cast<std::uint64_t>(m) *
+                         util::bit_width_for(m) * util::bit_width_for(m);
+}
+
+/// Runs the prime protocol on an m-node path with the given labeling and
+/// 1-indexed positions a < b. Returns the run result.
+sim::RunResult run_prime(const Tree& line, NodeId a, NodeId b,
+                         std::uint64_t delay_b = 0) {
+  PrimeAgent agent_a, agent_b;
+  return sim::run_rendezvous(
+      line, agent_a, agent_b,
+      {a, b, 0, delay_b, horizon_for(line.node_count())});
+}
+
+TEST(Prime, MeetsOnAllFeasiblePairsSmallOddLines) {
+  for (NodeId m : {3, 5, 7, 9}) {
+    const Tree t = tree::line(m);
+    for (NodeId a = 0; a < m; ++a) {
+      for (NodeId b = a + 1; b < m; ++b) {
+        const auto r = run_prime(t, a, b);
+        EXPECT_TRUE(r.met) << "m=" << m << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Prime, MeetsOnFeasiblePairsEvenLines) {
+  // Even m: mirrored pairs are the potentially-infeasible ones; assert
+  // meeting for all non-mirrored pairs (feasible regardless of labeling).
+  for (NodeId m : {4, 6, 8, 10}) {
+    const Tree t = tree::line(m);
+    for (NodeId a = 0; a < m; ++a) {
+      for (NodeId b = a + 1; b < m; ++b) {
+        if (a + b == m - 1) continue;  // mirrored pair
+        const auto r = run_prime(t, a, b);
+        EXPECT_TRUE(r.met) << "m=" << m << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Prime, NeverMeetsOnSymmetricInstance) {
+  // Mirror-symmetric coloring + mirrored positions: the two agents stay
+  // mirror images forever, and the mirror fixes no node.
+  const Tree t = tree::line_symmetric_colored(9);  // 10 nodes
+  ASSERT_TRUE(tree::symmetric_positions(t, 2, 7));
+  PrimeAgent a, b;
+  const auto r = sim::run_rendezvous(t, a, b, {2, 7, 0, 0, 200000});
+  EXPECT_FALSE(r.met);
+}
+
+TEST(Prime, MeetsOnMirroredPairsWithAsymmetricLabeling) {
+  // The same mirrored positions become feasible when the labeling is not
+  // symmetric — and our port-driven agents break the tie via port 0.
+  const Tree t = tree::line(8);
+  ASSERT_FALSE(tree::symmetric_positions(t, 2, 5));
+  const auto r = run_prime(t, 2, 5);
+  EXPECT_TRUE(r.met);
+}
+
+TEST(Prime, DelayedStartStillMeets) {
+  // The prime protocol itself tolerates moderate delays when positions
+  // stay asymmetric on the path (this is how Stage 2.2 uses it).
+  const Tree t = tree::line(9);
+  for (std::uint64_t delay : {1u, 3u, 10u, 37u}) {
+    const auto r = run_prime(t, 1, 6, delay);
+    EXPECT_TRUE(r.met) << "delay=" << delay;
+  }
+}
+
+TEST(Prime, MemoryIsLogLogOfPathLength) {
+  for (NodeId m : {16, 64, 256, 1024, 4096}) {
+    const Tree t = tree::line(m);
+    PrimeAgent a, b;
+    const auto r = sim::run_rendezvous(t, a, b, {0, m / 2, 0, 0,
+                                                 horizon_for(m)});
+    ASSERT_TRUE(r.met) << m;
+    const unsigned loglog = util::bit_width_for(util::bit_width_for(
+        static_cast<std::uint64_t>(m)));
+    EXPECT_LE(r.memory_bits_a, 6 * loglog + 10) << "m=" << m;
+  }
+}
+
+TEST(Prime, CurrentPrimeGrowsSlowly) {
+  const Tree t = tree::line(512);
+  PrimeAgent a, b;
+  const auto r = sim::run_rendezvous(t, a, b, {3, 400, 0, 0,
+                                               horizon_for(512)});
+  ASSERT_TRUE(r.met);
+  // Lemma 4.1: p_j = O(log m); generous concrete envelope.
+  EXPECT_LE(a.current_prime(), 64u);
+  EXPECT_LE(b.current_prime(), 64u);
+}
+
+TEST(Prime, TwoNodePathIsInfeasible) {
+  // The 2-node path with ports 0/0 is perfectly symmetric: identical
+  // agents swap across the single edge forever (m even, a-1 == m-b).
+  const Tree t = tree::line(2);
+  ASSERT_TRUE(tree::symmetric_positions(t, 0, 1));
+  PrimeAgent a, b;
+  const auto r = sim::run_rendezvous(t, a, b, {0, 1, 0, 0, 100000});
+  EXPECT_FALSE(r.met);
+}
+
+TEST(Prime, RejectsNonPathNodes) {
+  const Tree t = tree::star(3);
+  PrimeAgent a, b;
+  EXPECT_THROW(sim::run_rendezvous(t, a, b, {0, 1, 0, 0, 100}),
+               std::logic_error);
+}
+
+/// Parameterized sweep on larger random positions.
+class PrimeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrimeSweep, RandomPositionsOnLargerLines) {
+  const int seed = GetParam();
+  const NodeId m = static_cast<NodeId>(50 + 37 * seed);
+  const Tree t = tree::line(m);
+  const NodeId a = static_cast<NodeId>((7 * seed) % (m / 3));
+  const NodeId b = static_cast<NodeId>(m / 2 + (11 * seed) % (m / 3));
+  if (a + b == m - 1) return;  // skip potentially-symmetric pair
+  const auto r = run_prime(t, a, b);
+  EXPECT_TRUE(r.met) << "m=" << m << " a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimeSweep, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace rvt::core

@@ -1,0 +1,168 @@
+// Cross-cutting property tests: invariants that tie the substrate pieces
+// together, plus a broad parameterized rendezvous sweep across all tree
+// families.
+#include <gtest/gtest.h>
+
+#include "core/rendezvous_agent.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "tree/contraction.hpp"
+#include "tree/walk.hpp"
+#include "util/rng.hpp"
+
+namespace rvt {
+namespace {
+
+using tree::NodeId;
+using tree::Tree;
+
+TEST(Properties, PerfectlySymmetrizableIsLabelingInvariant) {
+  // Definition 1.2 quantifies over labelings, so the predicate must not
+  // depend on the labeling the tree happens to carry.
+  util::Rng rng(61);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Tree t = tree::random_attachment(
+        static_cast<NodeId>(4 + rng.index(20)), rng);
+    const Tree relabeled = tree::randomize_ports(t, rng);
+    for (int k = 0; k < 10; ++k) {
+      const NodeId u = static_cast<NodeId>(rng.index(t.node_count()));
+      const NodeId v = static_cast<NodeId>(rng.index(t.node_count()));
+      if (u == v) continue;
+      EXPECT_EQ(tree::perfectly_symmetrizable(t, u, v),
+                tree::perfectly_symmetrizable(relabeled, u, v))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(Properties, SymmetricPositionsImpliesPerfectlySymmetrizable) {
+  // Symmetry w.r.t. the carried labeling witnesses Definition 1.2.
+  util::Rng rng(62);
+  int hits = 0;
+  for (int rep = 0; rep < 40; ++rep) {
+    const NodeId l = static_cast<NodeId>(2 + rng.index(3));
+    const Tree half = tree::random_with_leaves(
+        static_cast<NodeId>(2 * l + 1 + rng.index(12)), l, rng);
+    const auto ts = tree::two_sided_tree(half, half, 2);
+    for (NodeId u = 0; u < ts.tree.node_count(); ++u) {
+      for (NodeId v = u + 1; v < ts.tree.node_count(); ++v) {
+        if (!tree::symmetric_positions(ts.tree, u, v)) continue;
+        ++hits;
+        EXPECT_TRUE(tree::perfectly_symmetrizable(ts.tree, u, v))
+            << "u=" << u << " v=" << v;
+      }
+    }
+  }
+  EXPECT_GT(hits, 20);
+}
+
+TEST(Properties, ContractionIsIdempotent) {
+  util::Rng rng(63);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Tree t = tree::random_with_leaves(
+        static_cast<NodeId>(12 + rng.index(40)), 3 + rng.index(4), rng);
+    const tree::Contraction c1 = tree::contract(t);
+    const tree::Contraction c2 = tree::contract(c1.tprime);
+    EXPECT_EQ(c1.tprime.to_string(), c2.tprime.to_string());
+  }
+}
+
+TEST(Properties, EulerTourFinalEntryPort) {
+  // A full basic walk starting "exit port 0" from w ends by entering w
+  // through port deg(w)-1 — the fact behind the timed-Explo resume logic.
+  util::Rng rng(64);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Tree t = tree::randomize_ports(
+        tree::random_attachment(static_cast<NodeId>(2 + rng.index(30)), rng),
+        rng);
+    for (NodeId w = 0; w < t.node_count(); ++w) {
+      tree::WalkPos pos{w, -1};
+      for (NodeId k = 0; k < 2 * (t.node_count() - 1); ++k) {
+        pos = tree::bw_step(t, pos);
+      }
+      ASSERT_EQ(pos.node, w);
+      EXPECT_EQ(pos.in_port, t.degree(w) - 1);
+    }
+  }
+}
+
+TEST(Properties, SymmetricTreeMapIsAnInvolutionSwappingHalves) {
+  util::Rng rng(65);
+  for (int rep = 0; rep < 10; ++rep) {
+    const NodeId l = static_cast<NodeId>(2 + rng.index(3));
+    const Tree half = tree::random_with_leaves(
+        static_cast<NodeId>(2 * l + 1 + rng.index(15)), l, rng);
+    const auto ts = tree::two_sided_tree(half, half, 2);
+    const auto f = tree::port_symmetry_map(ts.tree);
+    ASSERT_TRUE(f.has_value());
+    const auto cs = tree::central_split(ts.tree);
+    ASSERT_TRUE(cs.has_value());
+    for (NodeId v = 0; v < ts.tree.node_count(); ++v) {
+      EXPECT_EQ((*f)[(*f)[v]], v);                       // involution
+      EXPECT_NE(cs->in_x_half[v], cs->in_x_half[(*f)[v]]);  // swaps halves
+      EXPECT_NE((*f)[v], v);                             // no fixed point
+    }
+  }
+}
+
+/// Broad rendezvous sweep: every family, random labelings, sampled pairs.
+class RendezvousFamily
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  Tree make_tree(util::Rng& rng) {
+    const int family = std::get<0>(GetParam());
+    const int seed = std::get<1>(GetParam());
+    switch (family) {
+      case 0: return tree::line(9 + 2 * seed);               // odd lines
+      case 1: return tree::line(8 + 2 * seed);               // even lines
+      case 2: return tree::spider(3 + seed % 3, 1 + seed);
+      case 3: return tree::caterpillar(
+                  4 + seed, std::vector<int>(4 + seed, seed % 3));
+      case 4: return tree::complete_kary(2 + seed % 2, 2);
+      case 5: return tree::binomial(3 + seed % 3);
+      case 6: return tree::double_broom(4 + seed, 3, 3);
+      case 7: return tree::double_broom(4 + seed, 2, 4);
+      case 8: {
+        const Tree s = tree::side_tree(3 + seed % 3,
+                                       seed % (1 << (2 + seed % 3)));
+        return tree::two_sided_tree(s, s, 2 + 2 * (seed % 2)).tree;
+      }
+      default:
+        return tree::randomize_ports(
+            tree::random_with_leaves(
+                static_cast<NodeId>(10 + 6 * seed),
+                static_cast<NodeId>(2 + seed % 4), rng),
+            rng);
+    }
+  }
+};
+
+TEST_P(RendezvousFamily, MeetsOnSampledFeasiblePairs) {
+  util::Rng rng(1000 + 7 * std::get<0>(GetParam()) +
+                std::get<1>(GetParam()));
+  const Tree t = make_tree(rng);
+  const std::uint64_t horizon =
+      3000000ull + 4000ull * static_cast<std::uint64_t>(t.node_count()) *
+                       t.leaf_count() * t.leaf_count();
+  int tested = 0;
+  for (int rep = 0; rep < 12 && tested < 3; ++rep) {
+    const NodeId u = static_cast<NodeId>(rng.index(t.node_count()));
+    const NodeId v = static_cast<NodeId>(rng.index(t.node_count()));
+    if (u == v || tree::perfectly_symmetrizable(t, u, v)) continue;
+    ++tested;
+    core::RendezvousAgent a(t, u), b(t, v);
+    const auto r = sim::run_rendezvous(t, a, b, {u, v, 0, 0, horizon});
+    EXPECT_TRUE(r.met) << "family=" << std::get<0>(GetParam())
+                       << " seed=" << std::get<1>(GetParam()) << " u=" << u
+                       << " v=" << v;
+  }
+  EXPECT_GE(tested, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, RendezvousFamily,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(1, 5)));
+
+}  // namespace
+}  // namespace rvt

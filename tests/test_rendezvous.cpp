@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include "core/explo.hpp"
+#include "core/rendezvous_agent.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "tree/canonical.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::core {
+namespace {
+
+using tree::NodeId;
+using tree::Tree;
+
+std::uint64_t horizon_for(const Tree& t) {
+  const std::uint64_t n = static_cast<std::uint64_t>(t.node_count());
+  const std::uint64_t l = static_cast<std::uint64_t>(t.leaf_count());
+  // Stage 2's dominant cost is prime(i) on P (|P| ~ 40 n l) over the inner
+  // loop (2 nu - 1 executions) for i up to O(log(n l)). Generous envelope
+  // for the small instances used in tests.
+  return 2000000ull + 3000ull * n * l * l;
+}
+
+sim::RunResult run_thm41(const Tree& t, NodeId u, NodeId v,
+                         std::uint64_t horizon = 0) {
+  RendezvousAgent a(t, u), b(t, v);
+  return sim::run_rendezvous(
+      t, a, b, {u, v, 0, 0, horizon ? horizon : horizon_for(t)});
+}
+
+TEST(Rendezvous, StarAllPairs) {
+  const Tree t = tree::star(5);
+  for (NodeId u = 0; u < t.node_count(); ++u) {
+    for (NodeId v = u + 1; v < t.node_count(); ++v) {
+      const auto r = run_thm41(t, u, v);
+      EXPECT_TRUE(r.met) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(Rendezvous, CompleteBinaryAllPairs) {
+  // Central node instance: everyone meets at the root.
+  const Tree t = tree::complete_binary(3);
+  for (NodeId u = 0; u < t.node_count(); ++u) {
+    for (NodeId v = u + 1; v < t.node_count(); ++v) {
+      const auto r = run_thm41(t, u, v);
+      EXPECT_TRUE(r.met) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(Rendezvous, OddLinesAllPairs) {
+  for (NodeId n : {3, 5, 7, 9, 11}) {
+    const Tree t = tree::line(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        const auto r = run_thm41(t, u, v);
+        EXPECT_TRUE(r.met) << "n=" << n << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Rendezvous, EvenLinesNonSymmetrizablePairs) {
+  for (NodeId n : {4, 6, 8, 10}) {
+    const Tree t = tree::line(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (u + v == n - 1) continue;  // perfectly symmetrizable pair
+        const auto r = run_thm41(t, u, v);
+        EXPECT_TRUE(r.met) << "n=" << n << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Rendezvous, MirroredPairsOnAsymmetricallyLabeledEvenLine) {
+  // Perfectly symmetrizable positions CAN still meet under a labeling
+  // without the bad symmetry; our definition only requires success on
+  // non-symmetrizable pairs, but the algorithm happens to break ties via
+  // ports here. No assertion on success — only that the sim terminates
+  // within the horizon one way or the other, and that the symmetric
+  // labeling instance never meets.
+  const Tree sym = tree::line_symmetric_colored(5);  // 6 nodes
+  RendezvousAgent a(sym, 1), b(sym, 4);
+  const auto r = sim::run_rendezvous(sym, a, b, {1, 4, 0, 0, 500000});
+  EXPECT_FALSE(r.met);  // symmetric labeling, mirrored pair: impossible
+}
+
+TEST(Rendezvous, SpidersWithSubdividedLegs) {
+  util::Rng rng(7);
+  Tree t = tree::spider(3, 2);
+  t = tree::subdivide_edge(t, 0, 1, 3);
+  t = tree::subdivide_edge(t, 2, t.neighbor(2, 0) == 0 ? t.neighbor(2, 1)
+                                                       : t.neighbor(2, 0),
+                           2);
+  for (int rep = 0; rep < 12; ++rep) {
+    const NodeId u = static_cast<NodeId>(rng.index(t.node_count()));
+    const NodeId v = static_cast<NodeId>(rng.index(t.node_count()));
+    if (u == v) continue;
+    const auto r = run_thm41(t, u, v);
+    EXPECT_TRUE(r.met) << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(Rendezvous, RandomTreesRandomLabelings) {
+  util::Rng rng(2024);
+  int tested = 0;
+  for (int rep = 0; rep < 40 && tested < 25; ++rep) {
+    const NodeId n = static_cast<NodeId>(8 + rng.index(28));
+    const NodeId leaves = static_cast<NodeId>(
+        2 + rng.index(std::min<NodeId>(5, (n - 1) / 2)));
+    const Tree t = tree::randomize_ports(
+        tree::random_with_leaves(n, leaves, rng), rng);
+    const NodeId u = static_cast<NodeId>(rng.index(n));
+    const NodeId v = static_cast<NodeId>(rng.index(n));
+    if (u == v || tree::perfectly_symmetrizable(t, u, v)) continue;
+    ++tested;
+    const auto r = run_thm41(t, u, v);
+    EXPECT_TRUE(r.met) << "n=" << n << " l=" << leaves << " u=" << u
+                       << " v=" << v << " seed-rep=" << rep;
+  }
+  EXPECT_GE(tested, 15);
+}
+
+TEST(Rendezvous, SymmetricContractionTwoSidedTrees) {
+  // The hard case: symmetric contraction, non-symmetrizable positions off
+  // the mirror axis.
+  const Tree s = tree::side_tree(3, 0b01);
+  const auto ts = tree::two_sided_tree(s, s, 2);
+  const Tree& t = ts.tree;
+  util::Rng rng(5);
+  int tested = 0;
+  for (NodeId u = 0; u < t.node_count(); ++u) {
+    for (NodeId v = u + 1; v < t.node_count(); ++v) {
+      if (tree::perfectly_symmetrizable(t, u, v)) continue;
+      if (rng.uniform(0, 3) != 0) continue;  // sample for speed
+      ++tested;
+      const auto r = run_thm41(t, u, v);
+      EXPECT_TRUE(r.met) << "u=" << u << " v=" << v;
+    }
+  }
+  EXPECT_GE(tested, 10);
+}
+
+TEST(Rendezvous, BinomialTreePairs) {
+  const Tree t = tree::binomial(4);  // 16 nodes, symmetric-ish structure
+  util::Rng rng(77);
+  for (int rep = 0; rep < 10; ++rep) {
+    const NodeId u = static_cast<NodeId>(rng.index(t.node_count()));
+    const NodeId v = static_cast<NodeId>(rng.index(t.node_count()));
+    if (u == v || tree::perfectly_symmetrizable(t, u, v)) continue;
+    const auto r = run_thm41(t, u, v);
+    EXPECT_TRUE(r.met) << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(Rendezvous, MemoryWithinTheoremBound) {
+  // Measured bits must scale as O(log l + log log n): check a concrete
+  // generous envelope across sizes.
+  util::Rng rng(31);
+  for (NodeId n : {16, 64, 256, 1024}) {
+    const Tree t = tree::line(n);
+    RendezvousAgent a(t, static_cast<NodeId>(1));
+    RendezvousAgent b(t, static_cast<NodeId>(n / 2 + 1));
+    const auto r = sim::run_rendezvous(
+        t, a, b, {1, static_cast<NodeId>(n / 2 + 1), 0, 0,
+                  400000ull * static_cast<std::uint64_t>(n)});
+    if (tree::perfectly_symmetrizable(t, 1, static_cast<NodeId>(n / 2 + 1))) {
+      continue;
+    }
+    ASSERT_TRUE(r.met) << n;
+    const unsigned logl = util::bit_width_for(
+        static_cast<std::uint64_t>(t.leaf_count()));
+    const unsigned loglogn =
+        util::bit_width_for(util::bit_width_for(static_cast<std::uint64_t>(n)));
+    EXPECT_LE(r.memory_bits_a, 12 * logl + 10 * loglogn + 40) << "n=" << n;
+  }
+}
+
+TEST(Rendezvous, ParkKindsUnderArbitraryDelay) {
+  // Central-node and asymmetric-central-edge instances are delay-proof:
+  // both agents park at the same node.
+  const Tree t = tree::star(4);
+  for (std::uint64_t delay : {0u, 5u, 100u, 1237u}) {
+    RendezvousAgent a(t, 1), b(t, 3);
+    const auto r = sim::run_rendezvous(t, a, b, {1, 3, delay, 0, 5000});
+    EXPECT_TRUE(r.met) << delay;
+  }
+}
+
+TEST(Rendezvous, AblationDesyncLoopsAreLoadBearing) {
+  // Look for instances with a mirror-symmetric labeling and a NON-mirrored
+  // start pair whose Explo timing profiles coincide (t == t'): with the
+  // bw(j)/cbw(j) inner loops disabled the agents reach their opposite
+  // anchors simultaneously and dance in mirrored lockstep forever; the
+  // full algorithm desynchronizes them at some inner iteration and meets.
+  //
+  // On mirror-symmetric instances equal timing forces the mirrored
+  // (infeasible) pair — the basic walk is backward-deterministic and a
+  // leaf has a single in-edge. The coincidences live on instances that are
+  // only CONTRACTION-symmetric: two different side trees (Theorem 4.3
+  // style), where the degree-2 structure differs but T' cannot see it.
+  int contrasts = 0;
+  for (auto [m1, m2] : {std::pair{0ull, 1ull}, {2ull, 3ull}, {1ull, 2ull}}) {
+    const Tree s1 = tree::side_tree(3, m1);
+    const Tree s2 = tree::side_tree(3, m2);
+    const auto ts = tree::two_sided_tree(s1, s2, 2);
+    const Tree& t = ts.tree;
+    for (NodeId u = 0; u < t.node_count() && contrasts == 0; ++u) {
+      for (NodeId v = 0; v < t.node_count(); ++v) {
+        if (u == v) continue;
+        if (tree::perfectly_symmetrizable(t, u, v)) continue;
+        const ExploInfo iu = explo(t, u), iv = explo(t, v);
+        if (iu.kind != TreeKind::kCentralEdgeSymmetric) break;
+        if (iu.v_hat == iv.v_hat) continue;  // want opposite anchors
+        const std::uint64_t tu = iu.steps_to_vhat + iu.tsteps_to_target;
+        const std::uint64_t tv = iv.steps_to_vhat + iv.tsteps_to_target;
+        if (tu != tv) continue;
+        RendezvousOptions off;
+        off.desync_inner_loops = false;
+        RendezvousAgent a(t, u, off), b(t, v, off);
+        const auto ablated =
+            sim::run_rendezvous(t, a, b, {u, v, 0, 0, 3000000});
+        if (ablated.met) continue;  // accidental collision en route
+        const auto full = run_thm41(t, u, v);
+        EXPECT_TRUE(full.met)
+            << "full algorithm must meet where ablation fails (u=" << u
+            << " v=" << v << ")";
+        ++contrasts;
+        break;
+      }
+    }
+    if (contrasts > 0) break;
+  }
+  EXPECT_GE(contrasts, 1)
+      << "no instance separating full vs ablated agents was found";
+}
+
+TEST(Rendezvous, SymmetricPositionsNeverMeet) {
+  // The flip side of Fact 1.1: when the initial positions are symmetric
+  // with respect to the GIVEN labeling, no deterministic identical-agent
+  // algorithm can meet — including ours. Empirically verify on symmetric
+  // instances: agents stay mirror images for the whole horizon.
+  std::vector<std::tuple<Tree, NodeId, NodeId>> cases;
+  {
+    const Tree t = tree::line_symmetric_colored(7);  // 8 nodes
+    cases.emplace_back(t, 0, 7);
+    cases.emplace_back(t, 2, 5);
+    cases.emplace_back(t, 3, 4);
+  }
+  {
+    const Tree s = tree::side_tree(4, 0b010);
+    const auto ts = tree::two_sided_tree(s, s, 2);
+    cases.emplace_back(ts.tree, ts.u, ts.v);
+  }
+  for (const auto& [t, u, v] : cases) {
+    ASSERT_TRUE(tree::symmetric_positions(t, u, v));
+    RendezvousAgent a(t, u), b(t, v);
+    const auto r = sim::run_rendezvous(t, a, b, {u, v, 0, 0, 3000000});
+    EXPECT_FALSE(r.met) << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(Rendezvous, DoubleBroomsBothKinds) {
+  // Equal brooms: symmetric contraction (hard path); unequal: asymmetric
+  // central edge (park).
+  {
+    const Tree t = tree::double_broom(6, 3, 3);
+    util::Rng rng(8);
+    for (int rep = 0; rep < 8; ++rep) {
+      const NodeId u = static_cast<NodeId>(rng.index(t.node_count()));
+      const NodeId v = static_cast<NodeId>(rng.index(t.node_count()));
+      if (u == v || tree::perfectly_symmetrizable(t, u, v)) continue;
+      const auto r = run_thm41(t, u, v);
+      EXPECT_TRUE(r.met) << "equal broom u=" << u << " v=" << v;
+    }
+  }
+  {
+    const Tree t = tree::double_broom(6, 2, 4);
+    for (NodeId u = 0; u < t.node_count(); ++u) {
+      for (NodeId v = u + 1; v < t.node_count(); ++v) {
+        const auto r = run_thm41(t, u, v);
+        EXPECT_TRUE(r.met) << "unequal broom u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Rendezvous, Claim42ResynchronizationPinsTheDelay) {
+  // Claim 4.2 + Fact 2.1: after Stage 1 and Synchro, the difference
+  // between the agents' arrival times at their anchors equals
+  // |(L + L^) - (L' + L^')| — with or without timed Explo insertions.
+  util::Rng rng(404);
+  int checked = 0;
+  for (int rep = 0; rep < 30 && checked < 10; ++rep) {
+    const Tree half = tree::random_with_leaves(
+        static_cast<NodeId>(8 + rng.index(16)), 3, rng);
+    const auto ts = tree::two_sided_tree(half, half, 2);
+    const Tree& t = ts.tree;
+    const NodeId u = static_cast<NodeId>(rng.index(t.node_count()));
+    const NodeId v = static_cast<NodeId>(rng.index(t.node_count()));
+    if (u == v || tree::perfectly_symmetrizable(t, u, v)) continue;
+    const ExploInfo iu = explo(t, u);
+    if (iu.kind != TreeKind::kCentralEdgeSymmetric) continue;
+    const ExploInfo iv = explo(t, v);
+    const std::uint64_t tu = iu.steps_to_vhat + iu.tsteps_to_target;
+    const std::uint64_t tv = iv.steps_to_vhat + iv.tsteps_to_target;
+    const std::uint64_t expected = tu > tv ? tu - tv : tv - tu;
+    for (bool timed : {false, true}) {
+      RendezvousOptions opt;
+      opt.timed_explo = timed;
+      RendezvousAgent a(t, u, opt), b(t, v, opt);
+      // Run until both entered the outer loop (or met / gave up).
+      sim::TwoAgentRun run(t, a, b, {u, v, 0, 0, 0});
+      for (std::uint64_t r = 0; r < 3000000; ++r) {
+        if (run.tick()) break;
+        if (a.outer_entry_step() && b.outer_entry_step()) break;
+      }
+      if (!a.outer_entry_step() || !b.outer_entry_step()) continue;
+      const std::uint64_t sa = a.outer_entry_step();
+      const std::uint64_t sb = b.outer_entry_step();
+      EXPECT_EQ(sa > sb ? sa - sb : sb - sa, expected)
+          << "timed=" << timed << " u=" << u << " v=" << v;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 6);
+}
+
+TEST(Rendezvous, TimedExploStillMeetsEverywhere) {
+  util::Rng rng(515);
+  RendezvousOptions opt;
+  opt.timed_explo = true;
+  // Across the three Stage-2 kinds.
+  std::vector<Tree> trees;
+  trees.push_back(tree::star(4));                       // central node
+  trees.push_back(
+      tree::two_sided_tree(tree::star(2), tree::star(3), 2).tree);  // asym
+  trees.push_back(tree::line(9));                       // symmetric
+  {
+    const Tree s = tree::side_tree(3, 0b01);
+    trees.push_back(tree::two_sided_tree(s, s, 2).tree);  // symmetric, rich
+  }
+  for (const auto& t : trees) {
+    int tested = 0;
+    for (int rep = 0; rep < 20 && tested < 6; ++rep) {
+      const NodeId u = static_cast<NodeId>(rng.index(t.node_count()));
+      const NodeId v = static_cast<NodeId>(rng.index(t.node_count()));
+      if (u == v || tree::perfectly_symmetrizable(t, u, v)) continue;
+      ++tested;
+      RendezvousAgent a(t, u, opt), b(t, v, opt);
+      const auto r =
+          sim::run_rendezvous(t, a, b, {u, v, 0, 0, horizon_for(t) * 4});
+      EXPECT_TRUE(r.met) << "n=" << t.node_count() << " u=" << u
+                         << " v=" << v;
+    }
+    EXPECT_GE(tested, 3);
+  }
+}
+
+TEST(Rendezvous, AgentReportsPhases) {
+  const Tree t = tree::line(6);
+  RendezvousAgent a(t, 2);
+  EXPECT_EQ(a.phase_name(), "start");
+  EXPECT_EQ(a.info().ell, 2);
+}
+
+}  // namespace
+}  // namespace rvt::core

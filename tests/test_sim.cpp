@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "sim/automaton.hpp"
+#include "sim/meter.hpp"
+#include "sim/simulator.hpp"
+#include "tree/builders.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::sim {
+namespace {
+
+using tree::line;
+using tree::line_edge_colored;
+
+/// Test agent: walks straight using the blind rule (enter i, exit 1-i),
+/// bouncing at leaves.
+class Sweeper final : public Agent {
+ public:
+  int step(const Observation& obs) override {
+    if (obs.in_port < 0) return 0;
+    if (obs.degree == 1) return 0;
+    return 1 - obs.in_port;
+  }
+  std::uint64_t memory_bits() const override { return 1; }
+  std::string name() const override { return "sweeper"; }
+  std::uint64_t state_signature() const override { return 0; }
+};
+
+/// Test agent: never moves.
+class Sitter final : public Agent {
+ public:
+  int step(const Observation&) override { return kStay; }
+  std::uint64_t memory_bits() const override { return 0; }
+  std::string name() const override { return "sitter"; }
+  std::uint64_t state_signature() const override { return 0; }
+};
+
+TEST(Simulator, SweeperMeetsSitter) {
+  const tree::Tree t = line(10);
+  Sweeper a;
+  Sitter b;
+  const RunResult r = run_rendezvous(t, a, b, {0, 7, 0, 0, 100});
+  EXPECT_TRUE(r.met);
+  EXPECT_EQ(r.meeting_node, 7);
+  EXPECT_EQ(r.meeting_round, 6u);  // 7 edges... reached on round index 6
+  EXPECT_EQ(r.moves_a, 7u);
+  EXPECT_EQ(r.moves_b, 0u);
+}
+
+TEST(Simulator, OppositeSweepersCrossWithoutMeetingOnEvenGap) {
+  // Two sweepers starting at the two ends of a line with an even node
+  // count walk toward each other (port 0 points inward at both leaves) and
+  // swap positions mid-edge: distance parity stays odd, no meeting.
+  const tree::Tree t = line(6);
+  Sweeper a, b;
+  const RunResult r = run_rendezvous(t, a, b, {0, 5, 0, 0, 50});
+  EXPECT_FALSE(r.met);
+}
+
+TEST(Simulator, OppositeSweepersMeetOnOddLine) {
+  const tree::Tree t = line(7);
+  Sweeper a, b;
+  const RunResult r = run_rendezvous(t, a, b, {0, 6, 0, 0, 50});
+  EXPECT_TRUE(r.met);
+  EXPECT_EQ(r.meeting_node, 3);
+}
+
+TEST(Simulator, DelayShiftsTrajectory) {
+  const tree::Tree t = line(9);
+  Sweeper a, b;
+  // With delay, the delayed agent is caught while still dormant.
+  const RunResult r = run_rendezvous(t, a, b, {0, 4, 0, 100, 200});
+  EXPECT_TRUE(r.met);
+  EXPECT_EQ(r.meeting_node, 4);
+  EXPECT_EQ(r.meeting_round, 3u);
+}
+
+TEST(Simulator, ValidatesConfig) {
+  const tree::Tree t = line(4);
+  Sweeper a, b;
+  EXPECT_THROW(run_rendezvous(t, a, b, {0, 0, 0, 0, 10}),
+               std::invalid_argument);
+  EXPECT_THROW(run_rendezvous(t, a, b, {0, 9, 0, 0, 10}),
+               std::invalid_argument);
+  EXPECT_THROW(run_rendezvous(t, a, b, {0, 1, 0, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, TraceSeesEveryRound) {
+  const tree::Tree t = line(5);
+  Sweeper a;
+  Sitter b;
+  std::uint64_t calls = 0;
+  run_rendezvous(t, a, b, {0, 4, 0, 0, 10},
+                 [&](std::uint64_t round, tree::WalkPos pa, tree::WalkPos) {
+                   EXPECT_EQ(round, calls);
+                   ++calls;
+                   EXPECT_GE(pa.node, 0);
+                 });
+  EXPECT_EQ(calls, 4u);  // met at round 3 (node 4 ... 4 rounds traced)
+}
+
+TEST(Simulator, ActionReducedModDegree) {
+  // An agent answering 5 on a degree-2 node exits port 5 mod 2 = 1.
+  class Mod final : public Agent {
+   public:
+    int step(const Observation&) override { return 5; }
+    std::uint64_t memory_bits() const override { return 0; }
+    std::string name() const override { return "mod"; }
+  } a;
+  Sitter b;
+  const tree::Tree t = line(4);
+  // From node 1, port 5 % 2 = 1 leads toward node 0.
+  const RunResult r = run_rendezvous(t, a, b, {1, 3, 0, 0, 3});
+  EXPECT_FALSE(r.met);
+  EXPECT_EQ(r.moves_a, 3u);
+}
+
+TEST(Meter, CountersTrackMaxima) {
+  MemoryMeter m;
+  auto& c = m.counter("x");
+  EXPECT_EQ(m.total_bits(), 0u);
+  c = 5;
+  c = 2;
+  EXPECT_EQ(c.get(), 2u);
+  EXPECT_EQ(c.max_seen(), 5u);
+  EXPECT_EQ(c.bits(), 3u);
+  c.reset();
+  EXPECT_EQ(c.max_seen(), 5u);  // high-water mark survives reset
+  m.declare_control_states(12);
+  EXPECT_EQ(m.total_bits(), 3u + 4u);
+  EXPECT_EQ(&m.counter("x"), &c);  // same counter by name
+  auto breakdown = m.breakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].name, "<control>");
+}
+
+TEST(Meter, DecrementSaturatesAtZero) {
+  MemoryMeter m;
+  auto& c = m.counter("c");
+  c.decrement();
+  EXPECT_EQ(c.get(), 0u);
+  c.increment();
+  c.decrement();
+  EXPECT_EQ(c.get(), 0u);
+  EXPECT_EQ(c.max_seen(), 1u);
+}
+
+TEST(LineAutomaton, ValidationCatchesErrors) {
+  LineAutomaton a;
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a.delta.assign(2, {0, 0});
+  a.lambda.assign(2, 0);
+  a.initial = 5;
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a.initial = 0;
+  a.delta[1] = {0, 7};
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a.delta[1] = {0, 1};
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(LineAutomaton, BasicWalkerSweepsTheLine) {
+  // The 4-state walker crosses the whole line and bounces forever.
+  const tree::Tree t = line_edge_colored(8, 0);
+  LineAutomatonAgent a(basic_walker_automaton());
+  Sitter b;
+  const RunResult r = run_rendezvous(t, a, b, {3, 7, 0, 0, 100});
+  EXPECT_TRUE(r.met);  // reaches node 7 eventually
+}
+
+TEST(LineAutomaton, PingPongWalkerSpeed) {
+  // Speed 1/p: exactly one move every p rounds once rolling.
+  for (int p : {1, 2, 3, 5}) {
+    const tree::Tree t = line_edge_colored(40, 0);
+    LineAutomatonAgent a(ping_pong_walker(p));
+    Sitter b;
+    const RunResult r = run_rendezvous(t, a, b, {10, 39, 0, 0, 2000});
+    ASSERT_TRUE(r.met) << p;
+    // 29 edges from node 10 to 39; each move takes p rounds (p-1 idles).
+    EXPECT_EQ(r.meeting_round + 1, static_cast<std::uint64_t>(29) * p)
+        << "p=" << p;
+  }
+}
+
+TEST(LineAutomaton, MemoryBitsIsLogStates) {
+  LineAutomatonAgent a(ping_pong_walker(4));  // 16 states
+  EXPECT_EQ(a.memory_bits(), 4u);
+}
+
+TEST(ZLineSim, BasicWalkerDriftsMonotonically) {
+  const auto a = basic_walker_automaton();
+  ZLineSim sim(a, 0);
+  for (int i = 1; i <= 20; ++i) {
+    const auto s = sim.tick();
+    EXPECT_EQ(s.pos, i);  // first exit port 0 == right edge color 0, phase 0
+  }
+}
+
+TEST(ZLineSim, PhaseFlipsInitialDirection) {
+  const auto a = basic_walker_automaton();
+  ZLineSim sim(a, 1);
+  const auto s = sim.tick();
+  EXPECT_EQ(s.pos, -1);  // port 0 edge is now on the left
+}
+
+TEST(ZLineSim, StaysDoNotMove) {
+  const auto a = ping_pong_walker(3);
+  ZLineSim sim(a, 0);
+  EXPECT_EQ(sim.tick().pos, 0);
+  EXPECT_EQ(sim.tick().pos, 0);
+  EXPECT_EQ(sim.tick().pos, 1);  // moves on the 3rd round
+}
+
+TEST(TreeAutomaton, LiftBehavesLikeLineAutomatonOnLines) {
+  util::Rng rng(71);
+  const auto la = random_line_automaton(6, rng);
+  const tree::Tree t = line_edge_colored(20, 0);
+  LineAutomatonAgent a1(la);
+  TreeAutomatonAgent a2(lift_to_tree_automaton(la));
+  tree::WalkPos p1{5, -1}, p2{5, -1};
+  for (int round = 0; round < 200; ++round) {
+    const Observation o1{p1.in_port, t.degree(p1.node)};
+    const Observation o2{p2.in_port, t.degree(p2.node)};
+    const int act1 = a1.step(o1);
+    const int act2 = a2.step(o2);
+    ASSERT_EQ(act1, act2) << "round " << round;
+    auto advance = [&t](tree::WalkPos& p, int act) {
+      if (act == kStay) {
+        p.in_port = -1;
+        return;
+      }
+      const tree::Port out =
+          static_cast<tree::Port>(act % t.degree(p.node));
+      const tree::NodeId nx = t.neighbor(p.node, out);
+      p = {nx, t.reverse_port(p.node, out)};
+    };
+    advance(p1, act1);
+    advance(p2, act2);
+    ASSERT_EQ(p1.node, p2.node);
+  }
+}
+
+TEST(TreeAutomaton, RandomAutomatonValidates) {
+  util::Rng rng(3);
+  for (int s : {1, 2, 5, 9}) {
+    EXPECT_NO_THROW(random_tree_automaton(s, rng).validate());
+    EXPECT_NO_THROW(random_line_automaton(s, rng).validate());
+  }
+}
+
+}  // namespace
+}  // namespace rvt::sim

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "tree/builders.hpp"
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::tree {
+namespace {
+
+TEST(Tree, SingleNode) {
+  const Tree t = Tree::single_node();
+  EXPECT_EQ(t.node_count(), 1);
+  EXPECT_EQ(t.edge_count(), 0);
+  EXPECT_EQ(t.degree(0), 0);
+}
+
+TEST(Tree, RejectsBadInput) {
+  // Wrong edge count.
+  EXPECT_THROW(Tree(3, {{0, 1, 0, 0}}), std::invalid_argument);
+  // Self loop.
+  EXPECT_THROW(Tree(2, {{0, 0, 0, 0}}), std::invalid_argument);
+  // Port out of range.
+  EXPECT_THROW(Tree(2, {{0, 1, 1, 0}}), std::invalid_argument);
+  // Disconnected (two components), even with consistent ports.
+  EXPECT_THROW(Tree(4, {{0, 1, 0, 0}, {2, 3, 0, 0}, {0, 1, 1, 1}}),
+               std::invalid_argument);
+  // Duplicate port at a node.
+  EXPECT_THROW(Tree(3, {{0, 1, 0, 0}, {0, 2, 0, 0}}), std::invalid_argument);
+}
+
+TEST(Tree, ReversePortsConsistent) {
+  util::Rng rng(11);
+  const Tree t = randomize_ports(random_attachment(50, rng), rng);
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    for (Port p = 0; p < t.degree(v); ++p) {
+      const NodeId w = t.neighbor(v, p);
+      const Port q = t.reverse_port(v, p);
+      EXPECT_EQ(t.neighbor(w, q), v);
+      EXPECT_EQ(t.reverse_port(w, q), p);
+      EXPECT_EQ(t.port_towards(v, w), p);
+    }
+  }
+}
+
+TEST(Tree, EdgesRoundTrip) {
+  util::Rng rng(5);
+  const Tree t = random_attachment(40, rng);
+  const Tree u(t.node_count(), t.edges());
+  EXPECT_EQ(t.to_string(), u.to_string());
+}
+
+TEST(Tree, WithPortsPermutedValidates) {
+  const Tree t = star(3);
+  std::vector<std::vector<Port>> bad(t.node_count());
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    bad[v].assign(t.degree(v), 0);  // not a permutation for the center
+  }
+  EXPECT_THROW(t.with_ports_permuted(bad), std::invalid_argument);
+}
+
+TEST(Builders, LineShape) {
+  const Tree t = line(5);
+  EXPECT_EQ(t.node_count(), 5);
+  EXPECT_EQ(t.leaf_count(), 2);
+  EXPECT_EQ(t.max_degree(), 2);
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_EQ(t.degree(2), 2);
+  EXPECT_EQ(t.neighbor(0, 0), 1);
+  EXPECT_EQ(t.neighbor(2, 0), 3);  // port 0 toward higher id
+  EXPECT_EQ(t.neighbor(2, 1), 1);
+}
+
+TEST(Builders, LineEdgeColoredHasMatchingPorts) {
+  for (int fc : {0, 1}) {
+    const Tree t = line_edge_colored(9, fc);
+    for (NodeId j = 0; j + 1 < t.node_count(); ++j) {
+      const Port pu = t.port_towards(j, j + 1);
+      const Port pv = t.port_towards(j + 1, j);
+      const Port color = static_cast<Port>((j + fc) % 2);
+      if (t.degree(j) == 2) {
+        EXPECT_EQ(pu, color);
+      }
+      if (t.degree(j + 1) == 2) {
+        EXPECT_EQ(pv, color);
+      }
+    }
+  }
+}
+
+TEST(Builders, LineSymmetricColoredCenterPortsZero) {
+  for (NodeId e : {3, 5, 9, 33}) {
+    const Tree t = line_symmetric_colored(e);
+    EXPECT_EQ(t.node_count(), e + 1);
+    const NodeId m = (e - 1) / 2;
+    EXPECT_EQ(t.port_towards(m, m + 1), 0);
+    EXPECT_EQ(t.port_towards(m + 1, m), 0);
+    // Mirror symmetry of the labeling: port at k toward k+1 equals port at
+    // e-k toward e-k-1.
+    for (NodeId k = 0; k < e; ++k) {
+      EXPECT_EQ(t.port_towards(k, k + 1), t.port_towards(e - k, e - k - 1));
+    }
+  }
+  EXPECT_THROW(line_symmetric_colored(4), std::invalid_argument);
+}
+
+TEST(Builders, StarAndSpider) {
+  const Tree s = star(6);
+  EXPECT_EQ(s.node_count(), 7);
+  EXPECT_EQ(s.leaf_count(), 6);
+  EXPECT_EQ(s.max_degree(), 6);
+
+  const Tree sp = spider(4, 3);
+  EXPECT_EQ(sp.node_count(), 1 + 4 * 3);
+  EXPECT_EQ(sp.leaf_count(), 4);
+  EXPECT_EQ(sp.degree(0), 4);
+}
+
+TEST(Builders, Caterpillar) {
+  const Tree t = caterpillar(4, {1, 0, 2, 1});
+  EXPECT_EQ(t.node_count(), 8);
+  // Both spine ends carry an attachment, so they have degree 2 and are
+  // internal; the leaves are exactly the 4 attached nodes.
+  EXPECT_EQ(t.leaf_count(), 4);
+
+  // A bare-ended caterpillar keeps its spine ends as leaves.
+  const Tree bare = caterpillar(3, {0, 2, 0});
+  EXPECT_EQ(bare.leaf_count(), 4);  // 2 spine ends + 2 attached
+}
+
+TEST(Builders, CompleteBinary) {
+  const Tree t = complete_binary(3);
+  EXPECT_EQ(t.node_count(), 15);
+  EXPECT_EQ(t.leaf_count(), 8);
+  EXPECT_EQ(t.degree(0), 2);
+  EXPECT_EQ(t.max_degree(), 3);
+}
+
+TEST(Builders, Binomial) {
+  for (int k : {0, 1, 2, 3, 4, 5}) {
+    const Tree t = binomial(k);
+    EXPECT_EQ(t.node_count(), 1 << k) << "k=" << k;
+    EXPECT_EQ(t.degree(0), k) << "root of B_k has degree k";
+  }
+}
+
+TEST(Builders, CompleteKary) {
+  const Tree t = complete_kary(3, 2);
+  EXPECT_EQ(t.node_count(), 1 + 3 + 9);
+  EXPECT_EQ(t.leaf_count(), 9);
+  EXPECT_EQ(t.degree(0), 3);
+  EXPECT_EQ(t.max_degree(), 4);
+  EXPECT_EQ(complete_kary(2, 3).node_count(), complete_binary(3).node_count());
+  EXPECT_THROW(complete_kary(1, 2), std::invalid_argument);
+}
+
+TEST(Builders, Broom) {
+  const Tree t = broom(3, 4);
+  EXPECT_EQ(t.node_count(), 4 + 4);
+  EXPECT_EQ(t.leaf_count(), 5);  // 4 bristles + the handle's free end
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_THROW(broom(0, 4), std::invalid_argument);
+  EXPECT_THROW(broom(3, 1), std::invalid_argument);
+}
+
+TEST(Builders, DoubleBroom) {
+  const Tree t = double_broom(4, 3, 5);
+  EXPECT_EQ(t.node_count(), 5 + 3 + 5);
+  EXPECT_EQ(t.leaf_count(), 8);
+  EXPECT_EQ(t.degree(0), 4);   // left center: 3 bristles + handle
+  EXPECT_EQ(t.degree(4), 6);   // right center: 5 bristles + handle
+  EXPECT_THROW(double_broom(1, 2, 2), std::invalid_argument);
+}
+
+TEST(Builders, RandomAttachmentIsTree) {
+  util::Rng rng(17);
+  for (int n : {1, 2, 10, 100}) {
+    const Tree t = random_attachment(n, rng);
+    EXPECT_EQ(t.node_count(), n);
+    EXPECT_EQ(t.edge_count(), n - 1);
+  }
+}
+
+TEST(Builders, RandomWithLeavesHitsTargets) {
+  util::Rng rng(23);
+  for (NodeId leaves : {2, 3, 5, 8, 16}) {
+    for (NodeId n : {2 * leaves - 1, 2 * leaves + 10, 4 * leaves + 7}) {
+      const Tree t = random_with_leaves(n, leaves, rng);
+      EXPECT_EQ(t.node_count(), n);
+      EXPECT_EQ(t.leaf_count(), leaves)
+          << "n=" << n << " leaves=" << leaves;
+    }
+  }
+  EXPECT_THROW(random_with_leaves(2, 3, rng), std::invalid_argument);
+  EXPECT_THROW(random_with_leaves(100, 1, rng), std::invalid_argument);
+}
+
+TEST(Builders, SubdivideEdgePreservesLeaves) {
+  util::Rng rng(31);
+  const Tree t = star(4);
+  const Tree u = subdivide_edge(t, 0, 1, 3);
+  EXPECT_EQ(u.node_count(), t.node_count() + 3);
+  EXPECT_EQ(u.leaf_count(), t.leaf_count());
+  EXPECT_EQ(u.degree(0), 4);
+  // New chain nodes have degree 2.
+  for (NodeId w = t.node_count(); w < u.node_count(); ++w) {
+    EXPECT_EQ(u.degree(w), 2);
+  }
+  EXPECT_THROW(subdivide_edge(t, 1, 2, 1), std::invalid_argument);
+}
+
+TEST(Builders, SideTreeShapes) {
+  // i=3: masks 0..3; path x0..x3; internal nodes x1, x2.
+  const Tree t0 = side_tree(3, 0b00);  // two plain leaves
+  EXPECT_EQ(t0.node_count(), 4 + 2);
+  EXPECT_EQ(t0.degree(0), 1);  // root endpoint
+  const Tree t3 = side_tree(3, 0b11);  // two degree-2+leaf attachments
+  EXPECT_EQ(t3.node_count(), 4 + 4);
+  EXPECT_EQ(t3.max_degree(), 3);
+  // Standalone leaf count: i-1 attachments + far path end + the root
+  // (which has degree 1 until it is joined) = i + 1.
+  EXPECT_EQ(t0.leaf_count(), 4);
+  EXPECT_THROW(side_tree(1, 0), std::invalid_argument);
+  EXPECT_THROW(side_tree(3, 0b100), std::invalid_argument);
+}
+
+TEST(Builders, TwoSidedTreeStructure) {
+  const Tree s1 = side_tree(4, 0b101);
+  const Tree s2 = side_tree(4, 0b010);
+  const TwoSided ts = two_sided_tree(s1, s2, 4);
+  EXPECT_EQ(ts.tree.node_count(), s1.node_count() + s2.node_count() + 4);
+  EXPECT_EQ(ts.tree.max_degree(), 3);
+  // l = 2i leaves: each side contributes i (root joins the path and stops
+  // being a leaf).
+  EXPECT_EQ(ts.tree.leaf_count(), 8);
+  // u and v are degree-2 path nodes adjacent to the roots.
+  EXPECT_EQ(ts.tree.degree(ts.u), 2);
+  EXPECT_EQ(ts.tree.degree(ts.v), 2);
+  EXPECT_NE(ts.tree.port_towards(ts.u, ts.left_root), -1);
+  EXPECT_NE(ts.tree.port_towards(ts.v, ts.right_root), -1);
+  // Central edge of the joining path carries port 0 on both sides.
+  EXPECT_THROW(two_sided_tree(s1, s2, 3), std::invalid_argument);
+  EXPECT_THROW(two_sided_tree(s1, s2, 0), std::invalid_argument);
+}
+
+TEST(Builders, RandomizePortsKeepsTopology) {
+  util::Rng rng(41);
+  const Tree t = complete_binary(3);
+  const Tree u = randomize_ports(t, rng);
+  EXPECT_EQ(u.node_count(), t.node_count());
+  EXPECT_EQ(u.leaf_count(), t.leaf_count());
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    EXPECT_EQ(u.degree(v), t.degree(v));
+    // Same neighbor multiset.
+    std::vector<NodeId> a, b;
+    for (Port p = 0; p < t.degree(v); ++p) {
+      a.push_back(t.neighbor(v, p));
+      b.push_back(u.neighbor(v, p));
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace rvt::tree

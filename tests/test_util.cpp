@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/math.hpp"
+#include "util/primes.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace rvt::util {
+namespace {
+
+TEST(Primes, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+}
+
+TEST(Primes, NextPrimeChain) {
+  EXPECT_EQ(next_prime(1), 2u);
+  EXPECT_EQ(next_prime(2), 3u);
+  EXPECT_EQ(next_prime(3), 5u);
+  EXPECT_EQ(next_prime(13), 17u);
+  EXPECT_EQ(next_prime(89), 97u);
+}
+
+TEST(Primes, NthPrimeMatchesSieve) {
+  const auto ps = primes_up_to(10000);
+  ASSERT_GE(ps.size(), 1000u);
+  for (std::size_t i : {1u, 2u, 10u, 25u, 100u, 500u, 1000u}) {
+    EXPECT_EQ(nth_prime(i), ps[i - 1]) << "i=" << i;
+  }
+}
+
+TEST(Primes, NthPrimeRejectsZero) {
+  EXPECT_THROW(nth_prime(0), std::invalid_argument);
+}
+
+TEST(Primes, SieveAgainstTrialDivision) {
+  const auto ps = primes_up_to(500);
+  std::size_t k = 0;
+  for (std::uint64_t x = 0; x <= 500; ++x) {
+    if (is_prime(x)) {
+      ASSERT_LT(k, ps.size());
+      EXPECT_EQ(ps[k++], x);
+    }
+  }
+  EXPECT_EQ(k, ps.size());
+}
+
+TEST(Primes, CountUpTo) {
+  EXPECT_EQ(prime_count_up_to(1), 0u);
+  EXPECT_EQ(prime_count_up_to(2), 1u);
+  EXPECT_EQ(prime_count_up_to(100), 25u);
+}
+
+TEST(Math, BitWidthFor) {
+  EXPECT_EQ(bit_width_for(0), 0u);
+  EXPECT_EQ(bit_width_for(1), 1u);
+  EXPECT_EQ(bit_width_for(2), 2u);
+  EXPECT_EQ(bit_width_for(3), 2u);
+  EXPECT_EQ(bit_width_for(4), 3u);
+  EXPECT_EQ(bit_width_for(255), 8u);
+  EXPECT_EQ(bit_width_for(256), 9u);
+}
+
+TEST(Math, Logs) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Math, SaturatingLcm) {
+  EXPECT_EQ(saturating_lcm(4, 6, 1000), 12u);
+  EXPECT_EQ(saturating_lcm(7, 13, 1000), 91u);
+  EXPECT_EQ(saturating_lcm(1, 9, 1000), 9u);
+  EXPECT_EQ(saturating_lcm(0, 9, 1000), 0u);
+  EXPECT_EQ(saturating_lcm(1000000, 999999, 1000), 1000u);  // saturates
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = r.uniform(5, 9);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 9u);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng r(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"a", "bbbb"});
+  t.row(1, "x");
+  t.row(22, 3.5);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("bbbb"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsBadWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rvt::util

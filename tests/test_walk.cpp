@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tree/builders.hpp"
+#include "tree/walk.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::tree {
+namespace {
+
+/// Parameterized over (builder id, seed): basic-walk invariants must hold
+/// on every tree family.
+class WalkProperty : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  Tree make_tree() {
+    const auto [family, seed] = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+    switch (family) {
+      case 0: return line(2 + seed % 17);
+      case 1: return star(1 + seed % 9);
+      case 2: return spider(3 + seed % 4, 1 + seed % 5);
+      case 3: return complete_binary(1 + seed % 4);
+      case 4: return binomial(1 + seed % 5);
+      case 5: return randomize_ports(random_attachment(2 + seed * 3, rng), rng);
+      case 6: return complete_kary(2 + seed % 3, 1 + seed % 3);
+      case 7: return broom(1 + seed, 2 + seed % 4);
+      case 8: return double_broom(2 + seed, 2 + seed % 3, 2 + (seed / 2) % 3);
+      default:
+        return randomize_ports(
+            random_with_leaves(10 + seed * 2, 2 + seed % 5, rng), rng);
+    }
+  }
+};
+
+TEST_P(WalkProperty, BasicWalkClosesAfterEulerTour) {
+  const Tree t = make_tree();
+  const auto n = t.node_count();
+  if (n < 2) return;
+  for (NodeId start = 0; start < n; ++start) {
+    const auto walk = basic_walk(t, start, 2 * (n - 1));
+    EXPECT_EQ(walk.back().node, start);
+  }
+}
+
+TEST_P(WalkProperty, BasicWalkCrossesEveryEdgeTwice) {
+  const Tree t = make_tree();
+  const auto n = t.node_count();
+  if (n < 2) return;
+  std::map<std::pair<NodeId, NodeId>, int> crossings;  // directed
+  WalkPos pos{0, -1};
+  for (NodeId k = 0; k < 2 * (n - 1); ++k) {
+    const WalkPos next = bw_step(t, pos);
+    ++crossings[{pos.node, next.node}];
+    pos = next;
+  }
+  EXPECT_EQ(crossings.size(), static_cast<std::size_t>(2 * (n - 1)));
+  for (const auto& [dir, count] : crossings) EXPECT_EQ(count, 1);
+}
+
+TEST_P(WalkProperty, CbwRetracesBw) {
+  const Tree t = make_tree();
+  const auto n = t.node_count();
+  if (n < 2) return;
+  util::Rng rng(99);
+  for (int rep = 0; rep < 5; ++rep) {
+    const NodeId start = static_cast<NodeId>(rng.index(n));
+    const std::uint64_t len = 1 + rng.uniform(0, 3 * (n - 1));
+    // Forward.
+    std::vector<WalkPos> fwd{{start, -1}};
+    for (std::uint64_t k = 0; k < len; ++k) {
+      fwd.push_back(bw_step(t, fwd.back()));
+    }
+    // Backward: first cbw step re-crosses the last edge, then (i-1) mod d.
+    WalkPos pos = fwd.back();
+    for (std::uint64_t k = 0; k < len; ++k) {
+      pos = cbw_step(t, pos, k == 0);
+      EXPECT_EQ(pos.node, fwd[len - 1 - k].node)
+          << "len=" << len << " k=" << k;
+    }
+    EXPECT_EQ(pos.node, start);
+  }
+}
+
+TEST_P(WalkProperty, BwStepsToFindsEveryTarget) {
+  const Tree t = make_tree();
+  const auto n = t.node_count();
+  if (n < 2) return;
+  for (NodeId target = 0; target < n; ++target) {
+    const auto steps = bw_steps_to(t, 0, target);
+    EXPECT_LE(steps, static_cast<std::uint64_t>(2 * (n - 1)));
+    const auto walk = basic_walk(t, 0, steps);
+    EXPECT_EQ(walk.back().node, target);
+    // Minimality: no earlier arrival.
+    for (std::size_t k = 0; k + 1 < walk.size(); ++k) {
+      if (target != 0) {
+        EXPECT_NE(walk[k].node, target);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, WalkProperty,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(1, 6)));
+
+TEST(Walk, BwExitPortCycles) {
+  const Tree t = star(3);
+  // Entering the center via port 1 leaves via port 2, via port 2 -> 0.
+  EXPECT_EQ(bw_exit_port(t, {0, 1}), 2);
+  EXPECT_EQ(bw_exit_port(t, {0, 2}), 0);
+  EXPECT_EQ(bw_exit_port(t, {0, -1}), 0);  // start: port 0
+}
+
+TEST(Walk, CbwExitPorts) {
+  const Tree t = star(3);
+  EXPECT_EQ(cbw_exit_port(t, {0, 1}, /*first=*/true), 1);
+  EXPECT_EQ(cbw_exit_port(t, {0, 1}, /*first=*/false), 0);
+  EXPECT_EQ(cbw_exit_port(t, {0, 0}, /*first=*/false), 2);  // wraps
+}
+
+TEST(Walk, BasicWalkUntilStopsAndReportsSteps) {
+  const Tree t = line(10);
+  const auto r = basic_walk_until(
+      t, 3, [](const WalkPos& p, std::uint64_t) { return p.node == 9; }, 100);
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.pos.node, 9);
+  EXPECT_EQ(r.steps, 6u);  // port-0 direction goes toward higher ids
+
+  const auto never = basic_walk_until(
+      t, 3, [](const WalkPos&, std::uint64_t) { return false; }, 25);
+  EXPECT_FALSE(never.stopped);
+  EXPECT_EQ(never.steps, 25u);
+}
+
+TEST(Walk, BwThroughDegree2NodesMatchesContractionOrder) {
+  // On a line, the basic walk from an internal node first sweeps toward
+  // the port-0 side, bounces, and covers the rest.
+  const Tree t = line(6);
+  const auto walk = basic_walk(t, 2, 10);
+  EXPECT_EQ(walk[1].node, 3);  // port 0 points toward higher ids
+  EXPECT_EQ(walk[3].node, 5);
+  EXPECT_EQ(walk[4].node, 4);  // bounced at the leaf
+}
+
+}  // namespace
+}  // namespace rvt::tree
