@@ -1,14 +1,22 @@
-// Shared helpers for the experiment harnesses (E1..E8).
+// Shared helpers for the experiment harnesses (E1..E10).
 //
 // Each bench binary reproduces one experiment from EXPERIMENTS.md: it runs
 // without arguments, prints its seed, the table of results, and a PASS /
 // FAIL verdict line summarizing whether the paper's qualitative claim held
-// in this run.
+// in this run. Benches additionally record wall-time (total, and per
+// verification engine where both are exercised) and can dump a
+// machine-readable BENCH_<ID>.json report so perf can be tracked PR over
+// PR.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -25,5 +33,111 @@ inline void header(const std::string& id, const std::string& claim) {
 inline void verdict(bool ok, const std::string& what) {
   std::cout << "\n[" << (ok ? "PASS" : "FAIL") << "] " << what << "\n\n";
 }
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable bench report, written as BENCH_<ID>.json. Records
+/// scalar metrics (wall times, speedups, counters) plus the printed table
+/// rows, so the perf trajectory of an experiment can be tracked across
+/// commits without parsing the human-facing output.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string id) : id_(std::move(id)) {}
+
+  void metric(const std::string& key, double value) {
+    numbers_.emplace_back(key, value);
+  }
+  void note(const std::string& key, const std::string& value) {
+    strings_.emplace_back(key, value);
+  }
+  void table(const util::Table& t) { table_ = &t; }
+
+  /// Writes BENCH_<ID>.json in the working directory; returns the path.
+  std::string write() const {
+    const std::string path = "BENCH_" + id_ + ".json";
+    std::ofstream os(path);
+    os << "{\n  \"id\": " << quote(id_) << ",\n  \"seed\": " << kDefaultSeed;
+    for (const auto& [k, v] : strings_) {
+      os << ",\n  " << quote(k) << ": " << quote(v);
+    }
+    for (const auto& [k, v] : numbers_) {
+      os << ",\n  " << quote(k) << ": " << format_number(v);
+    }
+    if (table_ != nullptr) {
+      os << ",\n  \"columns\": ";
+      write_string_array(os, table_->header());
+      os << ",\n  \"rows\": [";
+      const auto& rows = table_->row_data();
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        write_string_array(os, rows[i]);
+      }
+      os << "\n  ]";
+    }
+    os << "\n}\n";
+    return path;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string format_number(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  static void write_string_array(std::ostream& os,
+                                 const std::vector<std::string>& cells) {
+    os << "[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? ", " : "") << quote(cells[i]);
+    }
+    os << "]";
+  }
+
+  std::string id_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+  std::vector<std::pair<std::string, double>> numbers_;
+  const util::Table* table_ = nullptr;
+};
 
 }  // namespace rvt::bench

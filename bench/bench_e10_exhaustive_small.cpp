@@ -3,21 +3,34 @@
 // Theorem 4.2 says every K-state agent fails, with simultaneous start, on
 // some line of length O(K^K). Here we make that concrete at the bottom of
 // the hierarchy by brute force: enumerate EVERY K-state line automaton
-// (K = 1, 2, 3 — 12 / 288 / 59049 machines), run each against a battery of
-// small lines (several labelings, every feasible start pair), and record
-// the smallest line size that definitively defeats it (meeting impossible:
-// certified by a configuration cycle, or horizon exhausted).
+// (K = 1, 2, 3), run each against a battery of small lines (several
+// labelings, every feasible start pair), and record the smallest line size
+// that definitively defeats it (meeting impossible: certified by a
+// configuration cycle, or horizon exhausted).
 //
 // The table reports, per K: how many automata exist, how many survive the
 // whole battery (should be 0), and the largest line size any automaton
 // needed before its first defeat — an empirical lower-bound frontier that
 // complements the constructive adversary of bench E4.
+//
+// Perf: the battery is grouped by tree so one compiled configuration
+// engine (and its per-start orbit cache) serves every start pair on that
+// tree, and the 59049-automaton enumeration fans across cores via
+// sweep_instances. A non-adaptive defeat-density profile (sampled
+// automata x full battery x delay grid) is then run on both the compiled
+// engine and the legacy per-round stepper; the wall-clocks and their
+// ratio land in BENCH_E10.json.
 #include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "lowerbound/verify.hpp"
 #include "sim/automaton.hpp"
+#include "sim/compiled.hpp"
+#include "sim/sweep.hpp"
 #include "tree/builders.hpp"
 #include "tree/canonical.hpp"
 
@@ -25,15 +38,18 @@ namespace {
 
 using namespace rvt;
 
-struct Instance {
+constexpr std::uint64_t kHorizon = 300000;
+
+/// All feasible start pairs of one battery tree, in battery order.
+struct BatteryTree {
   tree::Tree t = tree::Tree::single_node();
-  tree::NodeId u = -1, v = -1;
+  std::vector<std::pair<tree::NodeId, tree::NodeId>> pairs;
 };
 
 /// Battery: lines n = 3..max_n, three labelings each, every pair that is
 /// not perfectly symmetrizable (so rendezvous is required). Ordered by n.
-std::vector<Instance> make_battery(int max_n) {
-  std::vector<Instance> out;
+std::vector<BatteryTree> make_battery(int max_n) {
+  std::vector<BatteryTree> out;
   for (int n = 3; n <= max_n; ++n) {
     std::vector<tree::Tree> labelings;
     labelings.push_back(tree::line(n));
@@ -42,28 +58,155 @@ std::vector<Instance> make_battery(int max_n) {
     if (n % 2 == 0) {  // odd edge count: the Thm 3.1 mirror coloring
       labelings.push_back(tree::line_symmetric_colored(n - 1));
     }
-    for (const auto& t : labelings) {
+    for (auto& t : labelings) {
+      BatteryTree bt;
+      bt.t = std::move(t);
       for (tree::NodeId u = 0; u < n; ++u) {
         for (tree::NodeId v = u + 1; v < n; ++v) {
-          if (tree::perfectly_symmetrizable(t, u, v)) continue;
-          out.push_back({t, u, v});
+          if (tree::perfectly_symmetrizable(bt.t, u, v)) continue;
+          bt.pairs.emplace_back(u, v);
         }
       }
+      if (!bt.pairs.empty()) out.push_back(std::move(bt));
     }
   }
   return out;
 }
 
-/// Smallest battery line size that defeats `a`; 0 if it survives all.
-int first_defeat(const sim::LineAutomaton& a,
-                 const std::vector<Instance>& battery) {
-  for (const auto& inst : battery) {
-    sim::LineAutomatonAgent x(a), y(a);
-    const auto r = lowerbound::verify_never_meet(
-        inst.t, x, y, {inst.u, inst.v, 0, 0, 300000});
-    if (!r.met) return inst.t.node_count();  // certified or horizon: defeat
+std::size_t battery_instances(const std::vector<BatteryTree>& battery) {
+  std::size_t n = 0;
+  for (const auto& bt : battery) n += bt.pairs.size();
+  return n;
+}
+
+/// The idx-th K-state automaton under the enumeration order
+/// delta-combo-major, then lambda-combo, then initial state.
+sim::LineAutomaton automaton_at(int K, std::uint64_t idx) {
+  sim::LineAutomaton a;
+  a.initial = static_cast<int>(idx % K);
+  idx /= K;
+  std::uint64_t lc = 1;
+  for (int i = 0; i < K; ++i) lc *= 3;
+  std::uint64_t l = idx % lc;
+  std::uint64_t d = idx / lc;
+  a.delta.assign(K, {0, 0});
+  a.lambda.assign(K, sim::kStay);
+  for (int s = 0; s < K; ++s) {
+    for (int deg = 0; deg < 2; ++deg) {
+      a.delta[s][deg] = static_cast<int>(d % K);
+      d /= K;
+    }
+  }
+  for (int s = 0; s < K; ++s) {
+    a.lambda[s] = static_cast<int>(l % 3) - 1;
+    l /= 3;
+  }
+  return a;
+}
+
+std::uint64_t automaton_count(int K) {
+  std::uint64_t c = static_cast<std::uint64_t>(K);  // initial states
+  for (int i = 0; i < 2 * K; ++i) c *= K;           // delta combos
+  for (int i = 0; i < K; ++i) c *= 3;               // lambda combos
+  return c;
+}
+
+/// One rebindable engine per battery tree: the batch-runner state a worker
+/// reuses across every automaton it processes (zero allocation steady
+/// state).
+std::vector<sim::CompiledLineEngine> make_engines(
+    const std::vector<BatteryTree>& battery, const sim::LineAutomaton& a) {
+  std::vector<sim::CompiledLineEngine> engines;
+  engines.reserve(battery.size());
+  for (const auto& bt : battery) engines.emplace_back(bt.t, a);
+  return engines;
+}
+
+/// Smallest battery line size that defeats `a` (compiled engines, rebound
+/// in place; the orbit cache serves every start pair of a tree); 0 if it
+/// survives all.
+int first_defeat_compiled(const sim::LineAutomaton& a,
+                          std::vector<sim::CompiledLineEngine>& engines,
+                          const std::vector<BatteryTree>& battery) {
+  for (std::size_t ti = 0; ti < battery.size(); ++ti) {
+    const auto& bt = battery[ti];
+    auto& engine = engines[ti];
+    engine.rebind(a);
+    for (const auto& [u, v] : bt.pairs) {
+      const auto r = sim::verify_never_meet_compiled(engine, engine,
+                                                     {u, v, 0, 0, kHorizon});
+      if (!r.met) return bt.t.node_count();  // certified or horizon: defeat
+    }
   }
   return 0;
+}
+
+/// The timed engine shoot-out runs the NON-adaptive variant of the search:
+/// the full defeat-density profile (for every battery instance and every
+/// start schedule in a small delay grid, does the pair meet? no early
+/// exit) over a deterministic automaton sample. The delay grid extends the
+/// simultaneous-start search toward the Thm 3.1 adversary, whose weapon is
+/// exactly the start delay. This is the regime the compiled engine is
+/// built for — every tree's orbit cache serves all of its start pairs and
+/// every delay (delays only shift orbit alignment) — and the workload is
+/// identical verification-for-verification across both engines.
+/// `checksum` accumulates the per-automaton defeat counts so the work
+/// cannot be optimized away and the engines can be cross-checked.
+constexpr std::uint64_t kProfileDelays[] = {0, 1, 7, 31};
+
+std::vector<std::pair<int, std::uint64_t>> profile_sample() {
+  std::vector<std::pair<int, std::uint64_t>> sample;
+  for (int K = 1; K <= 3; ++K) {
+    const std::uint64_t stride = K < 3 ? 1 : 64;
+    for (std::uint64_t idx = 0; idx < automaton_count(K); idx += stride) {
+      sample.emplace_back(K, idx);
+    }
+  }
+  return sample;
+}
+
+double time_compiled_profile(const std::vector<BatteryTree>& battery,
+                             std::uint64_t& checksum) {
+  checksum = 0;
+  const auto sample = profile_sample();
+  auto engines = make_engines(battery, automaton_at(1, 0));
+  bench::WallTimer timer;
+  for (const auto& [K, idx] : sample) {
+    const auto a = automaton_at(K, idx);
+    for (std::size_t ti = 0; ti < battery.size(); ++ti) {
+      auto& engine = engines[ti];
+      engine.rebind(a);
+      for (const auto& [u, v] : battery[ti].pairs) {
+        for (const std::uint64_t d : kProfileDelays) {
+          const auto r = sim::verify_never_meet_compiled(
+              engine, engine, {u, v, d, 0, kHorizon});
+          if (!r.met) ++checksum;
+        }
+      }
+    }
+  }
+  return timer.seconds();
+}
+
+double time_reference_profile(const std::vector<BatteryTree>& battery,
+                              std::uint64_t& checksum) {
+  checksum = 0;
+  const auto sample = profile_sample();
+  bench::WallTimer timer;
+  for (const auto& [K, idx] : sample) {
+    const auto a = automaton_at(K, idx);
+    for (const auto& bt : battery) {
+      for (const auto& [u, v] : bt.pairs) {
+        for (const std::uint64_t d : kProfileDelays) {
+          sim::LineAutomatonAgent x(a), y(a);
+          const auto r = lowerbound::verify_never_meet_reference(
+              bt.t, x, y, {u, v, d, 0, kHorizon});
+          if (!r.met) ++checksum;
+        }
+      }
+    }
+  }
+  return timer.seconds();
 }
 
 }  // namespace
@@ -77,57 +220,78 @@ int main() {
   util::Table table({"K", "automata", "survivors", "defeat frontier n",
                      "battery instances"});
   bool all_ok = true;
-  const auto battery = make_battery(9);
+  const auto battery = make_battery(14);
 
+  bench::WallTimer total_timer;
   for (int K = 1; K <= 3; ++K) {
-    std::uint64_t count = 0, survivors = 0;
+    const std::uint64_t count = automaton_count(K);
+    // Chunked fan-out: each worker claims a contiguous index range and
+    // keeps its own rebindable engine set for the whole chunk.
+    struct Chunk {
+      std::uint64_t begin = 0, end = 0;
+    };
+    constexpr std::uint64_t kChunk = 512;
+    std::vector<Chunk> chunks;
+    for (std::uint64_t b = 0; b < count; b += kChunk) {
+      chunks.push_back({b, std::min(b + kChunk, count)});
+    }
+    const auto chunk_defeats = sim::sweep_instances(
+        chunks, [&](const Chunk& c) {
+          auto engines = make_engines(battery, automaton_at(K, c.begin));
+          std::vector<int> out;
+          out.reserve(c.end - c.begin);
+          for (std::uint64_t idx = c.begin; idx < c.end; ++idx) {
+            out.push_back(
+                first_defeat_compiled(automaton_at(K, idx), engines,
+                                      battery));
+          }
+          return out;
+        });
+    std::uint64_t survivors = 0;
     int frontier = 0;
-    // Enumerate delta[s][d] in {0..K-1}^(2K), lambda[s] in {-1,0,1}^K,
-    // initial in {0..K-1}.
-    const std::uint64_t delta_combos = [&] {
-      std::uint64_t c = 1;
-      for (int i = 0; i < 2 * K; ++i) c *= K;
-      return c;
-    }();
-    const std::uint64_t lambda_combos = [&] {
-      std::uint64_t c = 1;
-      for (int i = 0; i < K; ++i) c *= 3;
-      return c;
-    }();
-    for (std::uint64_t dc = 0; dc < delta_combos; ++dc) {
-      for (std::uint64_t lc = 0; lc < lambda_combos; ++lc) {
-        for (int init = 0; init < K; ++init) {
-          sim::LineAutomaton a;
-          a.initial = init;
-          a.delta.assign(K, {0, 0});
-          a.lambda.assign(K, sim::kStay);
-          std::uint64_t d = dc;
-          for (int s = 0; s < K; ++s) {
-            for (int deg = 0; deg < 2; ++deg) {
-              a.delta[s][deg] = static_cast<int>(d % K);
-              d /= K;
-            }
-          }
-          std::uint64_t l = lc;
-          for (int s = 0; s < K; ++s) {
-            a.lambda[s] = static_cast<int>(l % 3) - 1;
-            l /= 3;
-          }
-          ++count;
-          const int defeat = first_defeat(a, battery);
-          if (defeat == 0) {
-            ++survivors;
-          } else {
-            frontier = std::max(frontier, defeat);
-          }
+    for (const auto& part : chunk_defeats) {
+      for (const int defeat : part) {
+        if (defeat == 0) {
+          ++survivors;
+        } else {
+          frontier = std::max(frontier, defeat);
         }
       }
     }
-    table.row(K, count, survivors, frontier, battery.size());
+    table.row(K, count, survivors, frontier, battery_instances(battery));
     all_ok = all_ok && survivors == 0;
   }
+  const double sweep_seconds = total_timer.seconds();
 
   table.print(std::cout);
+
+  // Engine shoot-out: the full defeat-density profile over a sampled
+  // automaton set, single threaded on both sides so the ratio isolates the
+  // engine change.
+  std::uint64_t compiled_sum = 0, reference_sum = 0;
+  const double compiled_s = time_compiled_profile(battery, compiled_sum);
+  const double reference_s = time_reference_profile(battery, reference_sum);
+  all_ok = all_ok && compiled_sum == reference_sum;  // engines must agree
+  const double speedup = compiled_s > 0 ? reference_s / compiled_s : 0.0;
+  const std::size_t profile_autos = profile_sample().size();
+  std::cout << "\ndefeat-density profile workload (" << profile_autos
+            << " automata x " << battery_instances(battery)
+            << " instances x " << std::size(kProfileDelays)
+            << " delays, single-threaded):\n"
+            << "  compiled engine:  " << compiled_s << " s\n"
+            << "  legacy stepper:   " << reference_s << " s\n"
+            << "  speedup:          " << speedup << "x\n";
+
+  bench::JsonReport report("E10");
+  report.metric("sweep_seconds", sweep_seconds);
+  report.metric("profile_automata", static_cast<double>(profile_autos));
+  report.metric("profile_defeats", static_cast<double>(compiled_sum));
+  report.metric("compiled_seconds", compiled_s);
+  report.metric("reference_seconds", reference_s);
+  report.metric("speedup", speedup);
+  report.table(table);
+  std::cout << "report: " << report.write() << "\n";
+
   bench::verdict(all_ok,
                  "no automaton with <= 3 states survives the small-line "
                  "battery (Thm 4.2 at the bottom of the hierarchy)");

@@ -7,59 +7,210 @@
 // the defeated line size n growing linearly with K = 2^k — i.e., to
 // survive on n-node lines an agent needs K = Omega(n) states, k =
 // Omega(log n) bits.
+//
+// The instance grid fans across cores via sweep_instances, and the
+// certification itself runs on the compiled configuration engine
+// (sim/compiled.hpp). After the table, the SAME set of certified instances
+// is re-verified with both the compiled engine and the legacy interpretive
+// stepper, and the two wall-clocks (plus the speedup) land in
+// BENCH_E1.json.
+//
+// Usage: bench_e1_arbdelay_lb [horizon] — the optional horizon (default
+// 300000000) caps the never-meet search; CI smoke runs pass a reduced one.
 #include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "lowerbound/arbdelay_line.hpp"
+#include "lowerbound/verify.hpp"
 #include "sim/automaton.hpp"
+#include "sim/compiled.hpp"
+#include "sim/sweep.hpp"
 #include "util/math.hpp"
 
-int main() {
-  using namespace rvt;
+namespace {
+
+using namespace rvt;
+
+struct Victim {
+  std::string label;
+  int bits_k = 0;
+  sim::LineAutomaton a;
+  std::uint64_t horizon = 0;
+};
+
+/// One certified instance, re-run under both engines for the timing report.
+struct TimedCase {
+  tree::Tree line = tree::Tree::single_node();
+  sim::LineAutomaton a;
+  sim::RunConfig cfg;
+};
+
+/// Certification workload: every instance is re-certified across a grid of
+/// start-offset schedules (delay pair (theta + d, d) for d = 0..15). The
+/// paper's model says only the relative delay matters, so every point must
+/// certify never-meet with the same cycle — an invariance battery over the
+/// adversarial schedule. The compiled engine answers the whole grid from
+/// one pair of rho orbits — delays only shift their alignment — while the
+/// legacy stepper re-simulates every schedule to its Brent certificate.
+/// `checksum` accumulates the verdicts so the work cannot be optimized
+/// away and both engines can be cross-checked for agreement.
+constexpr std::uint64_t kDelayGrid = 16;
+
+double time_compiled(const std::vector<TimedCase>& cases, int repeats,
+                     std::uint64_t& checksum) {
+  checksum = 0;
+  bench::WallTimer timer;
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (const auto& c : cases) {
+      const sim::CompiledLineEngine engine(c.line, c.a);
+      for (std::uint64_t d = 0; d < kDelayGrid; ++d) {
+        sim::RunConfig cfg = c.cfg;
+        cfg.delay_a += d;
+        cfg.delay_b += d;
+        const auto r = sim::verify_never_meet_compiled(engine, engine, cfg);
+        checksum += r.cycle_length + (r.met ? 1 : 0);
+      }
+    }
+  }
+  return timer.seconds();
+}
+
+double time_reference(const std::vector<TimedCase>& cases, int repeats,
+                      std::uint64_t& checksum) {
+  checksum = 0;
+  bench::WallTimer timer;
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (const auto& c : cases) {
+      for (std::uint64_t d = 0; d < kDelayGrid; ++d) {
+        sim::RunConfig cfg = c.cfg;
+        cfg.delay_a += d;
+        cfg.delay_b += d;
+        sim::LineAutomatonAgent u(c.a), v(c.a);
+        const auto r =
+            lowerbound::verify_never_meet_reference(c.line, u, v, cfg);
+        checksum += r.cycle_length + (r.met ? 1 : 0);
+      }
+    }
+  }
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t horizon = 300000000ull;
+  if (argc > 1) {
+    horizon = std::strtoull(argv[1], nullptr, 10);
+    if (horizon == 0) {
+      std::cerr << "usage: " << argv[0]
+                << " [horizon > 0]   (bad horizon: " << argv[1] << ")\n";
+      return 2;
+    }
+  }
   bench::header("E1 arbitrary-delay lower bound (Thm 3.1, Fig 1)",
                 "Every K-state agent is defeated with some delay on a line "
                 "of O(K) nodes;\nhence arbitrary-delay rendezvous needs "
                 "Omega(log n) bits.");
 
+  // Pre-draw every victim (randomness must not be shared across sweep
+  // workers), then fan the adversary constructions over the pool.
+  std::vector<Victim> victims;
+  for (int p : {1, 2, 4, 8, 16, 32}) {
+    const auto a = sim::ping_pong_walker(p);
+    victims.push_back({"ping-pong 1/" + std::to_string(p),
+                       static_cast<int>(util::ceil_log2(a.num_states())), a,
+                       horizon});
+  }
+  util::Rng rng(bench::kDefaultSeed);
+  const int kRandomReps = 8;
+  for (int k = 1; k <= 7; ++k) {
+    const int K = 1 << k;
+    for (int rep = 0; rep < kRandomReps; ++rep) {
+      victims.push_back({"random K=" + std::to_string(K), k,
+                         sim::random_line_automaton(K, rng),
+                         std::max<std::uint64_t>(horizon / 3, 1)});
+    }
+  }
+
+  bench::WallTimer total;
+  const auto instances = sim::sweep_instances(
+      victims, [](const Victim& v) {
+        return lowerbound::build_arbdelay_instance(v.a, v.horizon);
+      });
+  const double sweep_seconds = total.seconds();
+
   util::Table table({"victim", "states K", "bits k", "case", "line n",
                      "theta", "never-meet", "cycle", "n/K"});
   bool all_ok = true;
-
-  // Structured victims: ping-pong walkers at increasing speeds.
-  for (int p : {1, 2, 4, 8, 16, 32}) {
-    const auto a = sim::ping_pong_walker(p);
-    const auto inst = lowerbound::build_arbdelay_instance(a, 300000000ull);
+  std::vector<TimedCase> timed;
+  for (std::size_t i = 0; i < 6; ++i) {  // structured victims
+    const auto& inst = instances[i];
+    const auto& v = victims[i];
     all_ok = all_ok && inst.construction_ok;
-    table.row("ping-pong 1/" + std::to_string(p), a.num_states(),
-              util::ceil_log2(a.num_states()),
+    table.row(v.label, v.a.num_states(), v.bits_k,
               inst.bounded_case ? "bounded" : "fig-1",
               inst.line.node_count(), inst.theta,
               inst.construction_ok && !inst.verdict.met,
               inst.verdict.cycle_length,
-              static_cast<double>(inst.line.node_count()) / a.num_states());
+              static_cast<double>(inst.line.node_count()) / v.a.num_states());
+    if (inst.construction_ok) {
+      timed.push_back({inst.line, v.a,
+                       {inst.u, inst.v, inst.theta, 0, v.horizon}});
+    }
   }
-
-  // Random victims at a sweep of state counts.
-  util::Rng rng(bench::kDefaultSeed);
-  for (int k = 1; k <= 7; ++k) {
-    const int K = 1 << k;
+  for (std::size_t base = 6; base < victims.size(); base += kRandomReps) {
+    const int K = victims[base].a.num_states();
     int built = 0, defeated = 0;
     std::int64_t max_n = 0;
-    for (int rep = 0; rep < 8; ++rep) {
-      const auto a = sim::random_line_automaton(K, rng);
-      const auto inst = lowerbound::build_arbdelay_instance(a, 100000000ull);
+    for (int rep = 0; rep < kRandomReps; ++rep) {
+      const auto& inst = instances[base + rep];
       if (!inst.construction_ok) continue;
       ++built;
       if (!inst.verdict.met && inst.verdict.certified_forever) ++defeated;
       max_n = std::max<std::int64_t>(max_n, inst.line.node_count());
+      timed.push_back({inst.line, victims[base + rep].a,
+                       {inst.u, inst.v, inst.theta, 0,
+                        victims[base + rep].horizon}});
     }
-    table.row("random x8", K, k, "mixed", max_n, "-",
+    table.row("random x" + std::to_string(kRandomReps), K,
+              victims[base].bits_k, "mixed", max_n, "-",
               std::to_string(defeated) + "/" + std::to_string(built), "-",
               built ? static_cast<double>(max_n) / K : 0.0);
     all_ok = all_ok && built >= 4 && defeated == built;
   }
 
   table.print(std::cout);
+
+  // Engine shoot-out on the certification workload the table was built
+  // from: identical (line, automaton, start-pair, delay, horizon) calls,
+  // compiled configuration engine vs legacy per-round stepper.
+  const int repeats = 5;
+  std::uint64_t compiled_sum = 0, reference_sum = 0;
+  const double compiled_s = time_compiled(timed, repeats, compiled_sum);
+  const double reference_s = time_reference(timed, repeats, reference_sum);
+  all_ok = all_ok && compiled_sum == reference_sum;  // engines must agree
+  const double speedup = compiled_s > 0 ? reference_s / compiled_s : 0.0;
+  std::cout << "\ncertification workload (" << timed.size()
+            << " instances x " << kDelayGrid << " delays x " << repeats
+            << " repeats):\n"
+            << "  compiled engine:  " << compiled_s << " s\n"
+            << "  legacy stepper:   " << reference_s << " s\n"
+            << "  speedup:          " << speedup << "x\n";
+
+  bench::JsonReport report("E1");
+  report.metric("sweep_seconds", sweep_seconds);
+  report.metric("instances", static_cast<double>(timed.size()));
+  report.metric("delay_grid", static_cast<double>(kDelayGrid));
+  report.metric("verify_repeats", repeats);
+  report.metric("compiled_seconds", compiled_s);
+  report.metric("reference_seconds", reference_s);
+  report.metric("speedup", speedup);
+  report.table(table);
+  std::cout << "report: " << report.write() << "\n";
+
   bench::verdict(all_ok,
                  "every constructed instance certified never-meet; defeated "
                  "line size scales linearly in K");

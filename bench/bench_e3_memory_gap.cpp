@@ -9,12 +9,19 @@
 // widens without bound. The baseline's memory is not wasted: Theorem 3.1
 // (bench E1) shows Omega(log n) is *necessary* once the delay is
 // adversarial.
+//
+// The instance rows are independent, so they fan across cores via
+// sweep_instances (randomness — the baseline's delay — is pre-drawn into
+// the row descriptors to keep workers deterministic).
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/baseline.hpp"
 #include "core/rendezvous_agent.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "tree/builders.hpp"
 #include "tree/canonical.hpp"
 #include "util/math.hpp"
@@ -23,33 +30,38 @@ namespace {
 
 using namespace rvt;
 
+struct GapCase {
+  std::string family;
+  tree::Tree t = tree::Tree::single_node();
+  tree::NodeId u = -1, v = -1;
+  tree::NodeId leaves = 0;
+  std::uint64_t delay = 0;  ///< pre-drawn baseline delay
+  std::uint64_t horizon = 0;
+};
+
 struct GapRow {
   bool ok = false;
   std::uint64_t bits_delay0 = 0;
   std::uint64_t bits_baseline = 0;
-  std::uint64_t delay_used = 0;
 };
 
-GapRow measure(const tree::Tree& t, tree::NodeId u, tree::NodeId v,
-               util::Rng& rng, std::uint64_t horizon) {
+GapRow measure(const GapCase& c) {
   GapRow row;
-  if (tree::perfectly_symmetrizable(t, u, v)) return row;
+  if (tree::perfectly_symmetrizable(c.t, c.u, c.v)) return row;
   {
-    core::RendezvousAgent a(t, u), b(t, v);
-    const auto r = sim::run_rendezvous(t, a, b, {u, v, 0, 0, horizon});
+    core::RendezvousAgent a(c.t, c.u), b(c.t, c.v);
+    const auto r = sim::run_rendezvous(c.t, a, b, {c.u, c.v, 0, 0, c.horizon});
     if (!r.met) return row;
     row.bits_delay0 = std::max(r.memory_bits_a, r.memory_bits_b);
   }
   {
-    core::BaselineAgent a(t, u), b(t, v);
+    core::BaselineAgent a(c.t, c.u), b(c.t, c.v);
     if (a.info().kind == core::TreeKind::kCentralEdgeSymmetric &&
         a.label() == b.label()) {
       return row;  // label collision: skip instance (documented S2 scope)
     }
-    row.delay_used = rng.uniform(0, 4 * static_cast<std::uint64_t>(
-                                          t.node_count()));
     const auto r = sim::run_rendezvous(
-        t, a, b, {u, v, 0, row.delay_used, horizon + row.delay_used});
+        c.t, a, b, {c.u, c.v, 0, c.delay, c.horizon + c.delay});
     if (!r.met) return row;
     row.bits_baseline = std::max(r.memory_bits_a, r.memory_bits_b);
   }
@@ -66,52 +78,71 @@ int main() {
       "memory is Theta(log n). Their difference widens with n.");
 
   util::Rng rng(bench::kDefaultSeed);
+  std::vector<GapCase> cases;
+  for (tree::NodeId n : {32, 128, 512, 2048, 8192}) {
+    GapCase c;
+    c.family = "line";
+    c.t = tree::line(n);
+    c.u = 1;
+    c.v = static_cast<tree::NodeId>(n / 2 + 1);
+    c.leaves = 2;
+    c.delay = rng.uniform(0, 4 * static_cast<std::uint64_t>(n));
+    c.horizon = 600000000ull;
+    cases.push_back(std::move(c));
+  }
+  util::Rng trng(17);
+  for (int half_size : {15, 60, 240, 960}) {
+    const tree::Tree half = tree::random_with_leaves(half_size, 2, trng);
+    const auto ts = tree::two_sided_tree(half, half, 4);
+    GapCase c;
+    c.family = "mirror-caterpillar";
+    c.t = ts.tree;
+    c.u = ts.u;
+    c.v = 1;
+    c.leaves = ts.tree.leaf_count();
+    c.delay = rng.uniform(0, 4 * static_cast<std::uint64_t>(
+                                 ts.tree.node_count()));
+    c.horizon = 600000000ull;
+    cases.push_back(std::move(c));
+  }
+
+  bench::WallTimer total;
+  const auto rows = sim::sweep_instances(cases, measure);
+
   util::Table table({"family", "n", "l", "delay-0 bits", "arb-delay bits",
                      "gap", "delay used"});
   bool all_ok = true;
   std::uint64_t prev_gap = 0;
   bool gap_monotone = true;
-
-  for (tree::NodeId n : {32, 128, 512, 2048, 8192}) {
-    const tree::Tree t = tree::line(n);
-    const GapRow row =
-        measure(t, 1, static_cast<tree::NodeId>(n / 2 + 1), rng,
-                600000000ull);
-    all_ok = all_ok && row.ok;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const auto& row = rows[i];
+    const bool required = c.family == "line";  // caterpillars may skip
     if (row.ok) {
       const std::int64_t gap = static_cast<std::int64_t>(row.bits_baseline) -
                                static_cast<std::int64_t>(row.bits_delay0);
-      gap_monotone = gap_monotone &&
-                     gap + 2 >= static_cast<std::int64_t>(prev_gap);
-      prev_gap = std::max<std::uint64_t>(
-          prev_gap, gap > 0 ? static_cast<std::uint64_t>(gap) : 0);
-      table.row("line", n, 2, row.bits_delay0, row.bits_baseline, gap,
-                row.delay_used);
+      if (required) {
+        gap_monotone =
+            gap_monotone && gap + 2 >= static_cast<std::int64_t>(prev_gap);
+        prev_gap = std::max<std::uint64_t>(
+            prev_gap, gap > 0 ? static_cast<std::uint64_t>(gap) : 0);
+      }
+      table.row(c.family, c.t.node_count(), c.leaves, row.bits_delay0,
+                row.bits_baseline, gap, c.delay);
     } else {
-      table.row("line", n, 2, "-", "-", "FAIL", row.delay_used);
-    }
-  }
-
-  util::Rng trng(17);
-  for (int half_size : {15, 60, 240, 960}) {
-    const tree::Tree half = tree::random_with_leaves(half_size, 2, trng);
-    const auto ts = tree::two_sided_tree(half, half, 4);
-    const tree::Tree& t = ts.tree;
-    const GapRow row = measure(t, ts.u, static_cast<tree::NodeId>(1), rng,
-                               600000000ull);
-    if (row.ok) {
-      table.row("mirror-caterpillar", t.node_count(), t.leaf_count(),
-                row.bits_delay0, row.bits_baseline,
-                static_cast<std::int64_t>(row.bits_baseline) -
-                    static_cast<std::int64_t>(row.bits_delay0),
-                row.delay_used);
-    } else {
-      table.row("mirror-caterpillar", t.node_count(), t.leaf_count(), "-",
-                "-", "skip", row.delay_used);
+      table.row(c.family, c.t.node_count(), c.leaves, "-", "-",
+                required ? "FAIL" : "skip", c.delay);
+      all_ok = all_ok && !required;
     }
   }
 
   table.print(std::cout);
+
+  bench::JsonReport report("E3");
+  report.metric("sweep_seconds", total.seconds());
+  report.table(table);
+  std::cout << "report: " << report.write() << "\n";
+
   bench::verdict(all_ok && gap_monotone,
                  "gap grows with n on the line series (log n vs log log n)");
   return (all_ok && gap_monotone) ? 0 : 1;

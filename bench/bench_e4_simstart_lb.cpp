@@ -8,45 +8,83 @@
 // meet (certified via configuration cycles). Reading the table backwards:
 // surviving on n-node lines forces K^K >= n, i.e. K log K >= log n and
 // bits k = Omega(log log n).
+//
+// The victim grid fans across cores via sweep_instances; each construction
+// certifies its instance on the compiled configuration engine through
+// lowerbound::verify_never_meet.
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "lowerbound/simstart_line.hpp"
 #include "sim/automaton.hpp"
+#include "sim/sweep.hpp"
 #include "util/math.hpp"
 
+namespace {
+
+using namespace rvt;
+
+struct Victim {
+  std::string label;
+  sim::LineAutomaton a;
+  std::uint64_t gamma_cap = 0;
+  std::uint64_t horizon = 0;
+};
+
+}  // namespace
+
 int main() {
-  using namespace rvt;
   bench::header("E4 simultaneous-start lower bound (Thm 4.2)",
                 "Every K-state agent is defeated at delay ZERO on a line of "
                 "length x + x' + 1\nderived from gamma = lcm of its pi' "
                 "circuits.");
 
+  // Pre-draw every victim (randomness must not be shared across sweep
+  // workers), then fan the adversary constructions over the pool.
+  std::vector<Victim> victims;
+  for (int p : {1, 2, 3, 5, 8, 12}) {
+    victims.push_back({"ping-pong 1/" + std::to_string(p),
+                       sim::ping_pong_walker(p), 1 << 24, 800000000ull});
+  }
+  util::Rng rng(bench::kDefaultSeed);
+  const int kRandomReps = 8;
+  for (int k = 1; k <= 6; ++k) {
+    const int K = 1 << k;
+    for (int rep = 0; rep < kRandomReps; ++rep) {
+      victims.push_back({"random K=" + std::to_string(K),
+                         sim::random_line_automaton(K, rng), 1 << 22,
+                         400000000ull});
+    }
+  }
+
+  bench::WallTimer total;
+  const auto instances = sim::sweep_instances(
+      victims, [](const Victim& v) {
+        return lowerbound::build_simstart_instance(v.a, v.gamma_cap,
+                                                   v.horizon);
+      });
+
   util::Table table({"victim", "states K", "gamma", "case", "x", "x'",
                      "line n", "never-meet", "cycle"});
   bool all_ok = true;
-
-  for (int p : {1, 2, 3, 5, 8, 12}) {
-    const auto a = sim::ping_pong_walker(p);
-    const auto inst =
-        lowerbound::build_simstart_instance(a, 1 << 24, 800000000ull);
+  for (std::size_t i = 0; i < 6; ++i) {  // structured victims
+    const auto& inst = instances[i];
+    const auto& v = victims[i];
     all_ok = all_ok && inst.construction_ok;
-    table.row("ping-pong 1/" + std::to_string(p), a.num_states(), inst.gamma,
-              inst.bounded_case ? "bounded" : "extreme",
-              inst.x, inst.x_prime, inst.line.node_count(),
+    table.row(v.label, v.a.num_states(), inst.gamma,
+              inst.bounded_case ? "bounded" : "extreme", inst.x, inst.x_prime,
+              inst.line.node_count(),
               inst.construction_ok && !inst.verdict.met,
               inst.verdict.cycle_length);
   }
-
-  util::Rng rng(bench::kDefaultSeed);
-  for (int k = 1; k <= 6; ++k) {
-    const int K = 1 << k;
+  for (std::size_t base = 6; base < victims.size(); base += kRandomReps) {
+    const int K = victims[base].a.num_states();
     int built = 0, defeated = 0, overflow = 0;
     std::int64_t max_n = 0;
-    for (int rep = 0; rep < 8; ++rep) {
-      const auto a = sim::random_line_automaton(K, rng);
-      const auto inst =
-          lowerbound::build_simstart_instance(a, 1 << 22, 400000000ull);
+    for (int rep = 0; rep < kRandomReps; ++rep) {
+      const auto& inst = instances[base + rep];
       if (inst.gamma_overflow) {
         ++overflow;
         continue;
@@ -56,13 +94,20 @@ int main() {
       if (!inst.verdict.met && inst.verdict.certified_forever) ++defeated;
       max_n = std::max<std::int64_t>(max_n, inst.line.node_count());
     }
-    table.row("random x8", K, "-", "mixed", "-", "-", max_n,
+    table.row("random x" + std::to_string(kRandomReps), K, "-", "mixed", "-",
+              "-", max_n,
               std::to_string(defeated) + "/" + std::to_string(built),
               "ovf=" + std::to_string(overflow));
     all_ok = all_ok && built >= 4 && defeated == built;
   }
 
   table.print(std::cout);
+
+  bench::JsonReport report("E4");
+  report.metric("sweep_seconds", total.seconds());
+  report.table(table);
+  std::cout << "report: " << report.write() << "\n";
+
   bench::verdict(all_ok,
                  "all constructed simultaneous-start instances certified "
                  "never-meet");

@@ -3,6 +3,9 @@
 #include <array>
 #include <stdexcept>
 
+#include "sim/automaton.hpp"
+#include "sim/compiled.hpp"
+
 namespace rvt::lowerbound {
 
 namespace {
@@ -25,6 +28,33 @@ Config snapshot(const sim::TwoAgentRun& run, const sim::Agent& a,
 
 NeverMeetResult verify_never_meet(const tree::Tree& t, sim::Agent& a,
                                   sim::Agent& b, const sim::RunConfig& cfg) {
+  const auto* la = dynamic_cast<const sim::LineAutomatonAgent*>(&a);
+  const auto* lb = dynamic_cast<const sim::LineAutomatonAgent*>(&b);
+  // The engine's stamp table is Theta(K * n); past this budget (~200 MB)
+  // the O(1)-memory reference stepper is the safer choice.
+  const auto engine_fits = [&t](const sim::LineAutomatonAgent* agent) {
+    return static_cast<std::uint64_t>(agent->automaton().num_states()) * 2 *
+               static_cast<std::uint64_t>(t.node_count()) <=
+           (std::uint64_t{1} << 24);
+  };
+  if (la && lb && la->fresh() && lb->fresh() && t.node_count() >= 2 &&
+      t.max_degree() <= 2 && engine_fits(la) && engine_fits(lb)) {
+    const sim::CompiledLineEngine engine_a(t, la->automaton());
+    const bool same = la->automaton() == lb->automaton();
+    const sim::CompiledVerdict v =
+        same ? sim::verify_never_meet_compiled(engine_a, engine_a, cfg)
+             : sim::verify_never_meet_compiled(
+                   engine_a, sim::CompiledLineEngine(t, lb->automaton()),
+                   cfg);
+    return {v.met, v.meeting_round, v.certified_forever, v.cycle_length,
+            v.rounds_checked};
+  }
+  return verify_never_meet_reference(t, a, b, cfg);
+}
+
+NeverMeetResult verify_never_meet_reference(const tree::Tree& t, sim::Agent& a,
+                                            sim::Agent& b,
+                                            const sim::RunConfig& cfg) {
   if (cfg.max_rounds == 0) {
     throw std::invalid_argument("verify_never_meet: max_rounds must be > 0");
   }
@@ -84,6 +114,10 @@ std::vector<LeaveEvent> run_single(const tree::Tree& t, sim::Agent& ag,
     if (action == sim::kStay) {
       pos.in_port = -1;
       continue;
+    }
+    if (action < 0) {
+      throw std::invalid_argument(
+          "run_single: agent action must be kStay or a port candidate >= 0");
     }
     events.push_back({round, pos.node, ag.state_signature()});
     const int d = t.degree(pos.node);

@@ -30,8 +30,22 @@ struct NeverMeetResult {
 /// Runs agents a and b per cfg (cfg.max_rounds caps the search). Both
 /// agents must implement state_signature(). Throws std::invalid_argument
 /// if either returns Agent::kNoSignature on the first started round.
+///
+/// Fast path: when both agents are fresh LineAutomatonAgents on a line,
+/// the verdict is computed by the compiled configuration engine
+/// (sim/compiled.hpp) — same result, field for field, without stepping the
+/// agents (they are left untouched, unlike the reference stepper which
+/// advances them). Everything else falls back to the reference stepper.
 NeverMeetResult verify_never_meet(const tree::Tree& t, sim::Agent& a,
                                   sim::Agent& b, const sim::RunConfig& cfg);
+
+/// The legacy per-round interpretive stepper (virtual dispatch + Brent's
+/// cycle finding over joint snapshots). Kept as the differential-testing
+/// oracle for the compiled engine and for agents outside the line-automaton
+/// model (tree-general agents like core::RendezvousAgent).
+NeverMeetResult verify_never_meet_reference(const tree::Tree& t, sim::Agent& a,
+                                            sim::Agent& b,
+                                            const sim::RunConfig& cfg);
 
 /// Single-agent run on a tree recording "leaving events" (paper §3: the
 /// agent reaches node x in state s if s is the state in which it leaves x).

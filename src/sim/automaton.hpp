@@ -32,6 +32,9 @@ struct LineAutomaton {
   /// Throws std::invalid_argument on malformed tables.
   void validate() const;
 
+  friend bool operator==(const LineAutomaton&, const LineAutomaton&) =
+      default;
+
   /// Next state on entering a node of degree d (paper's pi). d in {1,2}.
   int next(int s, int d) const { return delta[s][d - 1]; }
   /// pi'(s) = pi(s, 2): the degree-2 restriction whose transition digraph
@@ -55,6 +58,12 @@ class LineAutomatonAgent final : public Agent {
   }
 
   int state() const { return state_; }
+
+  /// The underlying transition tables (for the compiled engine fast path).
+  const LineAutomaton& automaton() const { return a_; }
+  /// True until the first step(): the compiled engine derives trajectories
+  /// from the initial configuration, so only fresh agents qualify.
+  bool fresh() const { return first_; }
 
  private:
   LineAutomaton a_;

@@ -1,0 +1,416 @@
+#include "sim/compiled.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rvt::sim {
+
+CompiledLineEngine::CompiledLineEngine(const tree::Tree& line,
+                                       const LineAutomaton& a)
+    : tree_(&line), n_(line.node_count()) {
+  if (n_ < 2) {
+    throw std::invalid_argument("CompiledLineEngine: need >= 2 nodes");
+  }
+  if (line.max_degree() > 2) {
+    throw std::invalid_argument("CompiledLineEngine: tree is not a line");
+  }
+  // Flatten the substrate: the orbit walk is the hot loop of every
+  // certification, and the generic Tree accessors cost several
+  // indirections per step. nbrev_ packs (neighbor << 2 | reverse_port)
+  // into one load.
+  deg_.resize(static_cast<std::size_t>(n_));
+  nbrev_.resize(static_cast<std::size_t>(n_) * 2);
+  for (tree::NodeId v = 0; v < n_; ++v) {
+    const int d = line.degree(v);
+    deg_[v] = static_cast<std::uint8_t>(d);
+    for (tree::Port p = 0; p < d; ++p) {
+      nbrev_[2 * v + p] =
+          (static_cast<std::uint32_t>(line.neighbor(v, p)) << 2) |
+          static_cast<std::uint32_t>(line.reverse_port(v, p));
+    }
+  }
+  orbits_.resize(static_cast<std::size_t>(n_));
+  orbit_epoch_.assign(static_cast<std::size_t>(n_), 0);
+  collision_.resize(static_cast<std::size_t>(n_));
+  collision_epoch_.assign(static_cast<std::size_t>(n_), 0);
+  node_positions_.resize(static_cast<std::size_t>(n_));
+  bind_automaton(a);
+}
+
+void CompiledLineEngine::rebind(const LineAutomaton& a) {
+  ++epoch_;  // cached orbits belong to the previous automaton
+  bind_automaton(a);
+}
+
+void CompiledLineEngine::bind_automaton(const LineAutomaton& a) {
+  a.validate();
+  if (a.num_states() >= (1 << 28)) {
+    throw std::invalid_argument("CompiledLineEngine: too many states");
+  }
+  automaton_ = a;
+  const int K = automaton_.num_states();
+  delta_.resize(static_cast<std::size_t>(K) * 2);
+  for (int s = 0; s < K; ++s) {
+    delta_[2 * s] = automaton_.delta[s][0];
+    delta_[2 * s + 1] = automaton_.delta[s][1];
+  }
+  const std::uint64_t sn_space = static_cast<std::uint64_t>(K) * 2 *
+                                 static_cast<std::uint64_t>(n_);
+  if (sn_space > (std::uint64_t{1} << 31)) {
+    throw std::invalid_argument("CompiledLineEngine: state space too large");
+  }
+  if (sn_space > stamps_.size()) {
+    stamps_.resize(sn_space);  // new slots start with epoch 0 (unstamped)
+  }
+}
+
+std::uint64_t CompiledLineEngine::num_configs() const {
+  return static_cast<std::uint64_t>(automaton_.num_states()) * 2 *
+         static_cast<std::uint64_t>(n_) * 3;
+}
+
+// One stamped walk over the autonomous (signature, node) projection
+// recovers the full rho form in exactly mu + lambda + 1 steps: the walk
+// stops at the first already-visited pair. A pair stamped by THIS walk
+// closes the cycle (sn_mu = first visit, lambda = index gap); a pair
+// stamped by an EARLIER orbit of the same epoch means the trajectory
+// merged into that orbit, whose cycle is inherited wholesale. The entry
+// port is determined by the predecessor pair, so full-configuration
+// periodicity starts at sn_mu or one step later — decided by comparing the
+// entry ports at the two ends of the seam.
+void CompiledLineEngine::extract_orbit(tree::NodeId start,
+                                       Orbit& out) const {
+  // Stepper over an unpacked (sig, node, in_port) configuration, reading
+  // only the flattened tables. Degrees on a line are 1 or 2, so
+  // `action mod degree` is a mask.
+  struct Conf {
+    std::int32_t sig;
+    tree::NodeId node;
+    tree::Port in_port;
+  };
+  const std::uint8_t* deg = deg_.data();
+  const std::uint32_t* nbrev = nbrev_.data();
+  const std::int32_t* delta = delta_.data();
+  const int* lam = automaton_.lambda.data();
+  const auto step = [deg, nbrev, delta, lam](const Conf& c) {
+    const int d = deg[c.node];
+    const std::int32_t s2 = (c.sig & 1)
+                                ? (c.sig >> 1)
+                                : delta[(c.sig & ~1) | (d - 1)];
+    const int act = lam[s2];
+    if (act == kStay) return Conf{s2 << 1, c.node, -1};
+    const std::uint32_t packed = nbrev[2 * c.node + (act & (d - 1))];
+    return Conf{s2 << 1, static_cast<tree::NodeId>(packed >> 2),
+                static_cast<tree::Port>(packed & 3)};
+  };
+
+  out.node.clear();
+  out.in_port.clear();
+  Conf cur{(automaton_.initial << 1) | 1, start, -1};
+  const std::uint32_t self = static_cast<std::uint32_t>(start);
+  const std::uint32_t sig_span =
+      static_cast<std::uint32_t>(automaton_.num_states()) * 2;
+  std::uint64_t hit_index = 0;
+  std::uint32_t hit_owner = 0, hit_j = 0;
+  for (std::uint64_t i = 0;; ++i) {
+    Stamp& stamp =
+        stamps_[static_cast<std::size_t>(cur.node) * sig_span + cur.sig];
+    if (stamp.epoch == epoch_) {
+      hit_index = i;
+      hit_owner = stamp.owner;
+      hit_j = stamp.index;
+      break;
+    }
+    stamp = {epoch_, self, static_cast<std::uint32_t>(i)};
+    out.node.push_back(cur.node);
+    out.in_port.push_back(static_cast<std::int8_t>(cur.in_port));
+    cur = step(cur);
+  }
+
+  if (hit_owner == self) {
+    out.sn_mu = hit_j;
+    out.lambda = hit_index - hit_j;
+    out.cycle_root = self;
+    out.cycle_phase = 0;
+    if (static_cast<tree::Port>(out.in_port[out.sn_mu]) == cur.in_port) {
+      out.mu = out.sn_mu;
+    } else {
+      out.mu = out.sn_mu + 1;
+      out.node.push_back(cur.node);  // == node[sn_mu]: same projection pair
+      out.in_port.push_back(static_cast<std::int8_t>(cur.in_port));
+    }
+  } else {
+    // Merged into orbit `hit_owner` at its step hit_j after hit_index own
+    // steps: inherit its cycle, then decide the seam exactly as above.
+    const Orbit& host = orbits_[hit_owner];
+    out.lambda = host.lambda;
+    out.sn_mu = hit_index + (host.sn_mu > hit_j ? host.sn_mu - hit_j : 0);
+    out.cycle_root = host.cycle_root;
+    // This orbit enters the cycle at host step max(hit_j, host.sn_mu).
+    out.cycle_phase =
+        (host.cycle_phase + (std::max<std::uint64_t>(hit_j, host.sn_mu) -
+                             host.sn_mu)) %
+        host.lambda;
+    const std::uint64_t need = out.sn_mu + out.lambda + 1;
+    // At the merge step itself the walker keeps ITS OWN entry port (the
+    // port is determined by the predecessor pair, and the walker's
+    // predecessor differs from the host's); from the next step on the
+    // predecessors coincide and the host's records apply.
+    std::uint64_t m = hit_j;  // rolling index into the host's arrays
+    for (std::uint64_t i = hit_index; i < need; ++i) {
+      out.node.push_back(host.node[m]);
+      out.in_port.push_back(i == hit_index
+                                ? static_cast<std::int8_t>(cur.in_port)
+                                : host.in_port[m]);
+      if (++m == host.node.size()) m = host.mu;
+    }
+    if (out.in_port[out.sn_mu] == out.in_port[out.sn_mu + out.lambda]) {
+      out.mu = out.sn_mu;
+      out.node.pop_back();
+      out.in_port.pop_back();
+    } else {
+      out.mu = out.sn_mu + 1;
+    }
+  }
+
+  // The tail plus one full cycle covers every node the orbit ever touches.
+  out.first_visit.assign(static_cast<std::size_t>(n_), Orbit::kNever);
+  for (std::uint32_t k = 0; k < out.node.size(); ++k) {
+    std::uint32_t& fv = out.first_visit[out.node[k]];
+    if (fv == Orbit::kNever) fv = k;
+  }
+}
+
+const std::vector<std::uint8_t>& CompiledLineEngine::cycle_collisions(
+    std::uint32_t root) const {
+  auto& table = collision_[root];
+  if (collision_epoch_[root] == epoch_) return table;
+  const Orbit& r = orbits_[root];
+  const std::uint64_t lambda = r.lambda;
+  const tree::NodeId* cyc = r.node.data() + r.sn_mu;
+  // The pairwise-gap build is quadratic in per-node occupancy; degenerate
+  // cycles (e.g. stay-heavy automata parked on one node) would cost more
+  // than the scans the table saves, so give up beyond a linear budget and
+  // leave the table empty — callers then fall back to scanning.
+  std::uint64_t budget = 8 * lambda + 64;
+  table.assign(lambda, 0);
+  for (std::uint64_t i = 0; i < lambda; ++i) {
+    node_positions_[cyc[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+  bool aborted = false;
+  for (std::uint64_t i = 0; i < lambda; ++i) {
+    auto& positions = node_positions_[cyc[i]];
+    if (positions.empty()) continue;  // already folded in
+    const std::uint64_t cost = positions.size() * positions.size();
+    if (!aborted && cost <= budget) {
+      budget -= cost;
+      for (const std::uint32_t p : positions) {
+        for (const std::uint32_t q : positions) {
+          table[q >= p ? q - p : q + lambda - p] = 1;
+        }
+      }
+    } else {
+      aborted = true;
+    }
+    positions.clear();
+  }
+  if (aborted) table.clear();
+  collision_epoch_[root] = epoch_;
+  return table;
+}
+
+const CompiledLineEngine::Orbit& CompiledLineEngine::orbit(
+    tree::NodeId start) const {
+  if (start < 0 || start >= n_) {
+    throw std::invalid_argument("CompiledLineEngine::orbit: bad start");
+  }
+  const std::size_t slot = static_cast<std::size_t>(start);
+  if (orbit_epoch_[slot] != epoch_) {
+    extract_orbit(start, orbits_[slot]);
+    orbit_epoch_[slot] = epoch_;
+  }
+  return orbits_[slot];
+}
+
+CompiledVerdict verify_never_meet_compiled(const CompiledLineEngine& engine_a,
+                                           const CompiledLineEngine& engine_b,
+                                           const RunConfig& cfg) {
+  if (&engine_a.tree() != &engine_b.tree()) {
+    throw std::invalid_argument(
+        "verify_never_meet_compiled: engines over different trees");
+  }
+  if (cfg.max_rounds == 0) {
+    throw std::invalid_argument(
+        "verify_never_meet_compiled: max_rounds must be > 0");
+  }
+  const tree::Tree& t = engine_a.tree();
+  if (cfg.start_a < 0 || cfg.start_a >= t.node_count() || cfg.start_b < 0 ||
+      cfg.start_b >= t.node_count()) {
+    throw std::invalid_argument("verify_never_meet_compiled: start range");
+  }
+  if (cfg.start_a == cfg.start_b) {
+    throw std::invalid_argument(
+        "verify_never_meet_compiled: starts must differ");
+  }
+
+  const auto& A = engine_a.orbit(cfg.start_a);
+  const auto& B = engine_b.orbit(cfg.start_b);
+  const std::uint64_t da = cfg.delay_a, db = cfg.delay_b;
+  const std::uint64_t M = cfg.max_rounds;
+
+  // Joint sequence parameters, seen through the legacy verifier's eyes: it
+  // snapshots from round t0 on; the joint configuration is in its cycle
+  // once both per-agent orbits are (from round Tc on), and its minimal
+  // period is the lcm of the per-agent cycle lengths. Orbits that merged
+  // share a cycle, so the equal-lambda case is the common one — take it
+  // without any division.
+  const std::uint64_t t0 = std::max({da, db, std::uint64_t{1}});
+  const std::uint64_t Tc = std::max(da + A.mu, db + B.mu);
+  std::uint64_t gcd_l, lam_joint;
+  if (A.lambda == B.lambda) {
+    gcd_l = A.lambda;
+    lam_joint = A.lambda;
+  } else {
+    gcd_l = std::gcd(A.lambda, B.lambda);
+    lam_joint = A.lambda / gcd_l * B.lambda;
+  }
+  const std::uint64_t mu_joint = Tc > t0 ? Tc - t0 : 0;
+
+  // Brent's algorithm in the legacy stepper re-anchors at snapshot indices
+  // 2^k - 1 with window 2^k; it certifies from the first anchor that lies
+  // in the cycle with a window spanning one period, exactly lam_joint
+  // snapshots later. (Tail configurations never recur — the joint orbit is
+  // rho-shaped — so no earlier anchor can match.)
+  std::uint64_t window = 1;
+  while (window < lam_joint || window - 1 < mu_joint) window <<= 1;
+  const std::uint64_t t_detect = t0 + (window - 1) + lam_joint;
+
+  // Earliest meeting, if any, over the transient — in three phases whose
+  // cost is independent of the delays. Rounds where both agents are still
+  // parked cannot meet (distinct starts). While exactly one agent walks,
+  // a meeting means its orbit visits the parked agent's start: an O(1)
+  // first-visit lookup. Once both walk, the few remaining pre-cycle rounds
+  // are scanned with rolling (division-free) array indices.
+  bool meet_found = false;
+  std::uint64_t t_meet = 0;
+  const std::uint64_t d_early = std::min(da, db);
+  const std::uint64_t d_late = std::max(da, db);
+  if (d_late > d_early && d_early < M) {
+    const CompiledLineEngine::Orbit& walker = da > db ? B : A;
+    const tree::NodeId parked = da > db ? cfg.start_a : cfg.start_b;
+    const std::uint32_t fv = walker.first_visit[parked];
+    const std::uint64_t limit = std::min(d_late, M) - d_early;
+    if (fv != CompiledLineEngine::Orbit::kNever && fv <= limit) {
+      meet_found = true;
+      t_meet = d_early + fv;
+    }
+  }
+  if (!meet_found && d_late < M) {
+    // Both active from round d_late + 1 on; seed the rolling array
+    // indices at round d_late (one wrap division each, loop-free after).
+    const std::uint64_t sa = d_late - da;  // steps taken by round d_late
+    const std::uint64_t sb = d_late - db;
+    std::uint64_t ia = sa < A.node.size() ? sa : A.mu + (sa - A.mu) % A.lambda;
+    std::uint64_t ib = sb < B.node.size() ? sb : B.mu + (sb - B.mu) % B.lambda;
+    for (std::uint64_t r = d_late + 1, hi = std::min(Tc - 1, M); r <= hi;
+         ++r) {
+      if (++ia == A.node.size()) ia = A.mu;
+      if (++ib == B.node.size()) ib = B.mu;
+      if (A.node[ia] == B.node[ib]) {
+        meet_found = true;
+        t_meet = r;
+        break;
+      }
+    }
+  }
+  if (!meet_found && Tc <= M) {
+    // Both in-cycle: the joint node-pair sequence from round Tc is purely
+    // periodic with period lam_joint, and a meeting within it must be
+    // proven absent (certification) or located (first round). Three
+    // strategies, cheapest first:
+    //  1. Same cycle of the same engine: the agents sit in one cycle at a
+    //     constant phase gap, so the per-cycle collision table answers
+    //     existence in O(1) — the common case of an exhaustive all-pairs
+    //     battery, where it turns every certified pair into table lookups.
+    //  2. Commensurate cycles (lam_joint comparable to the cycles): scan
+    //     one period directly with rolling indices.
+    //  3. Near-coprime cycles (lam_joint blown up): decide existence by
+    //     residue intersection — a meeting at round r >= Tc needs cycle
+    //     indices i, j with equal nodes and
+    //         r == da + A.mu + i (mod A.lambda)
+    //           == db + B.mu + j (mod B.lambda),
+    //     solvable iff both sides agree modulo gcd — sorted intersection
+    //     in O((la + lb) log la).
+    // Only if a meeting exists at all is the period scanned for its first
+    // round (that scan is bounded by the meeting round itself, i.e. never
+    // more work than the legacy stepper).
+    bool scan_cycle;
+    const std::vector<std::uint8_t>* collisions = nullptr;
+    if (&engine_a == &engine_b && A.cycle_root == B.cycle_root &&
+        A.lambda <= CompiledLineEngine::kCollisionLimit) {
+      const auto& table = engine_a.cycle_collisions(A.cycle_root);
+      if (!table.empty()) collisions = &table;  // empty: build gave up
+    }
+    if (collisions != nullptr) {
+      const std::uint64_t lhs = B.cycle_phase + da + A.sn_mu;
+      const std::uint64_t rhs = A.cycle_phase + db + B.sn_mu;
+      const std::uint64_t delta =
+          lhs >= rhs ? (lhs - rhs) % A.lambda
+                     : (A.lambda - (rhs - lhs) % A.lambda) % A.lambda;
+      scan_cycle = (*collisions)[delta] != 0;
+    } else if (lam_joint <= 4 * (A.lambda + B.lambda)) {
+      scan_cycle = true;
+    } else {
+      const std::uint64_t g = gcd_l;
+      std::vector<std::uint64_t> occ_a;
+      occ_a.reserve(A.lambda);
+      for (std::uint64_t i = 0; i < A.lambda; ++i) {
+        const std::uint64_t w = static_cast<std::uint64_t>(A.node[A.mu + i]);
+        occ_a.push_back((w << 32) | ((da + A.mu + i) % g));
+      }
+      std::sort(occ_a.begin(), occ_a.end());
+      scan_cycle = false;
+      for (std::uint64_t j = 0; j < B.lambda && !scan_cycle; ++j) {
+        const std::uint64_t w = static_cast<std::uint64_t>(B.node[B.mu + j]);
+        scan_cycle = std::binary_search(occ_a.begin(), occ_a.end(),
+                                        (w << 32) | ((db + B.mu + j) % g));
+      }
+    }
+    if (scan_cycle) {
+      const tree::NodeId* cyc_a = A.node.data() + A.mu;
+      const tree::NodeId* cyc_b = B.node.data() + B.mu;
+      std::uint64_t ia = (Tc - da - A.mu) % A.lambda;
+      std::uint64_t ib = (Tc - db - B.mu) % B.lambda;
+      for (std::uint64_t r = Tc, hi = std::min(Tc + lam_joint - 1, M);
+           r <= hi; ++r) {
+        if (cyc_a[ia] == cyc_b[ib]) {
+          meet_found = true;
+          t_meet = r;
+          break;
+        }
+        if (++ia == A.lambda) ia = 0;
+        if (++ib == B.lambda) ib = 0;
+      }
+    }
+  }
+
+  // Assemble the verdict exactly as the legacy loop would have: a meeting
+  // is checked before the cycle certificate within each round, and nothing
+  // past max_rounds is observed.
+  CompiledVerdict r;
+  if (meet_found && t_meet <= M && t_meet <= t_detect) {
+    r.met = true;
+    r.meeting_round = t_meet - 1;  // legacy reports round() - 1
+    r.rounds_checked = t_meet;
+  } else if (t_detect <= M) {
+    r.certified_forever = true;
+    r.cycle_length = lam_joint;
+    r.rounds_checked = t_detect;
+  } else {
+    r.rounds_checked = M;
+  }
+  return r;
+}
+
+}  // namespace rvt::sim

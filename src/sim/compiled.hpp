@@ -1,0 +1,181 @@
+// Compiled joint-configuration engine for line automata (perf core of the
+// lower-bound certification pipeline).
+//
+// A LineAutomaton on a port-labeled line has a finite single-agent
+// configuration space
+//     (state, first-step flag, node, entry port)   —   at most K*2*n*3
+// points, and its dynamics is a deterministic self-map F of that space. A
+// single-agent trajectory is therefore a rho-shaped orbit (tail of length
+// mu followed by a cycle of length lambda); the engine extracts it with
+// Brent's cycle finding over F and caches it per start node. F itself is
+// compiled ahead of the walk: the tree's adjacency and the automaton's
+// transition tables are flattened into contiguous successor arrays
+// (per-(node, port) and per-(state, degree)), so one orbit step is a
+// handful of indexed loads with no virtual dispatch, no Observation
+// construction and no snapshot hashing. (A dense per-configuration
+// successor table was benchmarked here and rejected: it costs O(space)
+// per automaton rebind while a whole battery of queries only ever touches
+// the reachable orbits, which are far smaller.)
+//
+// Joint two-agent verification needs no joint stepping at all: the two
+// agents evolve independently, so the joint configuration sequence observed
+// by the legacy verifier (lowerbound/verify.cpp) is the componentwise pair
+// of two rho orbits. Its pre-period and minimal period are
+//     mu_joint     = max of the per-agent tails (delay-adjusted)
+//     lambda_joint = lcm(lambda_a, lambda_b)
+// and a meeting exists iff one occurs in the transient, or two in-cycle
+// positions collide on a round compatible modulo gcd(lambda_a, lambda_b).
+// The verdict — including the exact round Brent's algorithm in the legacy
+// stepper would have certified at, and the exact cycle length it would
+// have reported — is reconstructed analytically, so the compiled engine is
+// a drop-in replacement validated field-for-field by differential tests.
+// Start delays only shift the alignment of the two orbits, so sweeping a
+// delay grid against one engine re-uses every orbit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/automaton.hpp"
+#include "sim/simulator.hpp"
+#include "tree/tree.hpp"
+
+namespace rvt::sim {
+
+/// Verdict mirror of lowerbound::NeverMeetResult (kept here so sim/ does not
+/// depend on lowerbound/); lowerbound/verify.cpp translates.
+struct CompiledVerdict {
+  bool met = false;
+  std::uint64_t meeting_round = 0;
+  bool certified_forever = false;
+  std::uint64_t cycle_length = 0;
+  std::uint64_t rounds_checked = 0;
+};
+
+/// Compiled dynamics + per-start orbit cache for one (line, automaton)
+/// pair. Reuse the same engine across many start pairs and delays (e.g.
+/// the E10 battery) — orbits are computed once per start node — and
+/// rebind() it to sweep automata over a fixed line without reallocating.
+/// Not thread-safe: use one engine per sweep worker.
+class CompiledLineEngine {
+ public:
+  /// Throws std::invalid_argument if the tree is not a line with >= 2 nodes
+  /// (max degree <= 2) or the automaton is malformed. The tree reference
+  /// must outlive the engine; the automaton is copied.
+  CompiledLineEngine(const tree::Tree& line, const LineAutomaton& a);
+
+  /// Swaps in a new automaton over the same line, invalidating cached
+  /// orbits (references returned by orbit() become stale) but keeping all
+  /// buffer capacity — the zero-allocation path for exhaustive sweeps.
+  void rebind(const LineAutomaton& a);
+
+  /// rho decomposition of the single-agent orbit from a start node:
+  /// node[k] is the node occupied after k steps (node[0] == start), stored
+  /// for the tail and one full cycle (mu + lambda entries). The tail is
+  /// never empty (the initial "first step pending" configuration cannot
+  /// recur), so mu >= 1.
+  ///
+  /// mu and lambda describe the FULL configuration (incl. entry port); the
+  /// walk itself runs over the autonomous (state, node) projection — the
+  /// entry port is a function of the predecessor pair — so sn_mu (the
+  /// projection's tail, mu or mu - 1) and the per-step entry ports are
+  /// kept for orbit-merging bookkeeping.
+  struct Orbit {
+    std::uint64_t mu = 0;
+    std::uint64_t lambda = 0;
+    std::uint64_t sn_mu = 0;
+    /// Cycle identity: start node of the orbit that first walked this
+    /// cycle, and this orbit's entry phase in that orbit's cycle
+    /// coordinates. Two orbits of one engine share a cycle iff their
+    /// cycle_root matches; their relative phase then decides meeting
+    /// existence via the per-cycle collision table.
+    std::uint32_t cycle_root = 0;
+    std::uint64_t cycle_phase = 0;
+    std::vector<tree::NodeId> node;
+    std::vector<std::int8_t> in_port;  ///< entry port after k steps
+    /// first_visit[w]: first step at which the orbit occupies node w
+    /// (kNever if it never does). Answers "can the walker hit a parked
+    /// agent?" in O(1), making delayed-start queries O(1) in the delay.
+    std::vector<std::uint32_t> first_visit;
+    static constexpr std::uint32_t kNever = ~0u;
+
+    tree::NodeId node_at(std::uint64_t k) const {
+      return k < node.size()
+                 ? node[k]
+                 : node[mu + (k - mu) % lambda];
+    }
+    std::int8_t in_port_at(std::uint64_t k) const {
+      return k < in_port.size()
+                 ? in_port[k]
+                 : in_port[mu + (k - mu) % lambda];
+    }
+  };
+
+  /// Orbit from `start`, built on first use and cached until rebind().
+  const Orbit& orbit(tree::NodeId start) const;
+
+  const tree::Tree& tree() const { return *tree_; }
+  const LineAutomaton& automaton() const { return automaton_; }
+  /// Size of the configuration space (K * 2 * n * 3); every orbit satisfies
+  /// mu + lambda <= num_configs().
+  std::uint64_t num_configs() const;
+
+ private:
+  void bind_automaton(const LineAutomaton& a);
+  void extract_orbit(tree::NodeId start, Orbit& out) const;
+
+  const tree::Tree* tree_;
+  LineAutomaton automaton_;
+  std::int32_t n_ = 0;
+  // Flattened successor tables: substrate per (node, port), transitions
+  // per (state, degree).
+  std::vector<std::uint8_t> deg_;     ///< deg_[v]
+  std::vector<std::uint32_t> nbrev_;  ///< (neighbor << 2 | rev_port) per port
+  std::vector<std::int32_t> delta_;   ///< delta_[2s + (deg-1)]
+  // Orbit cache, epoch-invalidated by rebind() so slots and their node
+  // vectors keep their capacity across automata.
+  mutable std::vector<Orbit> orbits_;
+  mutable std::vector<std::uint32_t> orbit_epoch_;
+  mutable std::uint32_t epoch_ = 1;
+  // Visit stamps over the (state-signature, node) projection, shared by
+  // every orbit of the current epoch: a walk stops the moment it touches
+  // any already-extracted orbit and inherits that orbit's cycle instead of
+  // re-walking it, so each configuration is visited at most once per
+  // automaton no matter how many starts are queried.
+  struct Stamp {
+    std::uint32_t epoch = 0;
+    std::uint32_t owner = 0;  ///< start node whose walk stamped this pair
+    std::uint32_t index = 0;  ///< step index within that walk
+  };
+  // Node-major layout (node * 2K + sig): on a line the node moves by at
+  // most one per step while the state may jump, so consecutive walk steps
+  // touch neighboring blocks — the walk stays cache-resident.
+  mutable std::vector<Stamp> stamps_;
+  // Per-cycle collision tables (indexed by cycle_root): entry Delta is
+  // nonzero iff two positions of the cycle at gap Delta occupy the same
+  // node — the O(1) answer to "can two agents locked into this cycle at
+  // phase gap Delta ever meet". Built lazily, epoch-gated, only for
+  // cycles up to kCollisionLimit.
+  mutable std::vector<std::vector<std::uint8_t>> collision_;
+  mutable std::vector<std::uint32_t> collision_epoch_;
+  mutable std::vector<std::vector<std::uint32_t>> node_positions_;  // scratch
+
+ public:
+  /// Collision table of the cycle owned by `root` (an Orbit::cycle_root of
+  /// this engine, extracted this epoch).
+  const std::vector<std::uint8_t>& cycle_collisions(std::uint32_t root) const;
+  static constexpr std::uint64_t kCollisionLimit = 512;
+};
+
+/// Table-driven equivalent of lowerbound::verify_never_meet for two line
+/// automata on the SAME tree object (pass the same engine twice for
+/// identical agents). Produces field-for-field the result the legacy
+/// Brent-certificate stepper computes, in O(mu + lambda) table work per
+/// agent instead of up to max_rounds interpreted rounds. Throws
+/// std::invalid_argument on bad config (max_rounds == 0, equal or
+/// out-of-range starts, engines over different trees).
+CompiledVerdict verify_never_meet_compiled(const CompiledLineEngine& engine_a,
+                                           const CompiledLineEngine& engine_b,
+                                           const RunConfig& cfg);
+
+}  // namespace rvt::sim

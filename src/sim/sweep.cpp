@@ -1,0 +1,18 @@
+#include "sim/sweep.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace rvt::sim {
+
+unsigned resolve_sweep_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("RVT_SWEEP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace rvt::sim

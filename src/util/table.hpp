@@ -29,6 +29,12 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Raw cells, for machine-readable exports (bench JSON reports).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+
   static std::string to_cell(const std::string& s) { return s; }
   static std::string to_cell(const char* s) { return s; }
   static std::string to_cell(bool b) { return b ? "yes" : "no"; }

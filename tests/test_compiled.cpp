@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "lowerbound/verify.hpp"
+#include "sim/automaton.hpp"
+#include "sim/compiled.hpp"
+#include "sim/sweep.hpp"
+#include "tree/builders.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::sim {
+namespace {
+
+tree::Tree random_line(int n, util::Rng& rng) {
+  switch (rng.index(n % 2 == 0 ? 4 : 3)) {
+    case 0:
+      return tree::line(n);
+    case 1:
+      return tree::line_edge_colored(n, 0);
+    case 2:
+      return tree::line_edge_colored(n, 1);
+    default:
+      return tree::line_symmetric_colored(n - 1);  // odd edge count
+  }
+}
+
+/// Steps a fresh LineAutomatonAgent through the single-agent round
+/// semantics of TwoAgentRun, returning the position (node + entry port)
+/// after each round.
+std::vector<tree::WalkPos> interpreted_trajectory(const tree::Tree& t,
+                                                  const LineAutomaton& a,
+                                                  tree::NodeId start,
+                                                  std::uint64_t rounds) {
+  LineAutomatonAgent agent(a);
+  tree::WalkPos pos{start, -1};
+  std::vector<tree::WalkPos> out{pos};
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const Observation obs{pos.in_port, t.degree(pos.node)};
+    const int action = agent.step(obs);
+    if (action == kStay) {
+      pos.in_port = -1;
+    } else {
+      const int d = t.degree(pos.node);
+      const tree::Port out_port = static_cast<tree::Port>(action % d);
+      const tree::NodeId next = t.neighbor(pos.node, out_port);
+      pos = {next, t.reverse_port(pos.node, out_port)};
+    }
+    out.push_back(pos);
+  }
+  return out;
+}
+
+TEST(CompiledOrbit, MatchesInterpretedTrajectoryAndIsRho) {
+  util::Rng rng(101);
+  for (int rep = 0; rep < 40; ++rep) {
+    const int n = 2 + static_cast<int>(rng.index(11));
+    const tree::Tree t = random_line(n, rng);
+    const auto a =
+        random_line_automaton(1 + static_cast<int>(rng.index(8)), rng);
+    const CompiledLineEngine engine(t, a);
+    // Query every start so later orbits exercise the merge path, whose
+    // spliced tails must still match the interpreted agent exactly
+    // (including the entry port at the merge seam).
+    for (tree::NodeId start = 0; start < t.node_count(); ++start) {
+      const auto& orbit = engine.orbit(start);
+      ASSERT_GE(orbit.mu, 1u);  // the first-step-pending config can't recur
+      ASSERT_GE(orbit.lambda, 1u);
+      const std::uint64_t horizon = orbit.mu + 2 * orbit.lambda + 5;
+      const auto traj = interpreted_trajectory(t, a, start, horizon);
+      for (std::uint64_t k = 0; k <= horizon; ++k) {
+        ASSERT_EQ(orbit.node_at(k), traj[k].node)
+            << "rep " << rep << " start " << start << " k " << k;
+        ASSERT_EQ(orbit.in_port_at(k), traj[k].in_port)
+            << "rep " << rep << " start " << start << " k " << k;
+      }
+      // rho form: the cycle really has period lambda.
+      for (std::uint64_t k = orbit.mu; k < orbit.mu + orbit.lambda; ++k) {
+        ASSERT_EQ(orbit.node_at(k), orbit.node_at(k + orbit.lambda));
+        ASSERT_EQ(orbit.in_port_at(k), orbit.in_port_at(k + orbit.lambda));
+      }
+    }
+  }
+}
+
+TEST(CompiledOrbit, CachedAcrossStartsAndBoundedBySpace) {
+  util::Rng rng(7);
+  const tree::Tree t = tree::line_edge_colored(9, 0);
+  const auto a = random_line_automaton(5, rng);
+  const CompiledLineEngine engine(t, a);
+  for (tree::NodeId s = 0; s < 9; ++s) {
+    const auto& o1 = engine.orbit(s);
+    const auto& o2 = engine.orbit(s);
+    EXPECT_EQ(&o1, &o2);  // cached
+    EXPECT_LE(o1.mu + o1.lambda, engine.num_configs());
+  }
+}
+
+TEST(CompiledEngine, RejectsNonLines) {
+  util::Rng rng(3);
+  const auto a = random_line_automaton(2, rng);
+  EXPECT_THROW(CompiledLineEngine(tree::Tree::single_node(), a),
+               std::invalid_argument);
+  EXPECT_THROW(CompiledLineEngine(tree::star(4), a), std::invalid_argument);
+}
+
+// The acceptance-critical differential: the compiled verdict must match the
+// legacy Brent stepper field for field over random automata, lines, starts,
+// delays, and horizons (including horizon-exhausted runs).
+TEST(CompiledVerify, DifferentialAgainstReferenceStepper) {
+  // Seed 999 historically exposed a merge-seam entry-port bug that the
+  // default seed missed; both seeds stay in the suite.
+  for (const std::uint64_t seed : {0x5eed2010ull, 999ull}) {
+    SCOPED_TRACE(seed);
+    util::Rng rng(seed);
+    int certified = 0, met = 0, exhausted = 0;
+    const int kCases = 300;
+    for (int rep = 0; rep < kCases; ++rep) {
+    const int n = 2 + static_cast<int>(rng.index(11));
+    const tree::Tree t = random_line(n, rng);
+    const auto a =
+        random_line_automaton(1 + static_cast<int>(rng.index(10)), rng);
+    const bool identical = rng.index(4) != 0;
+    const auto b =
+        identical ? a
+                  : random_line_automaton(
+                        1 + static_cast<int>(rng.index(10)), rng);
+    RunConfig cfg;
+    cfg.start_a = static_cast<tree::NodeId>(rng.index(n));
+    do {
+      cfg.start_b = static_cast<tree::NodeId>(rng.index(n));
+    } while (cfg.start_b == cfg.start_a);
+    cfg.delay_a = rng.index(3) == 0 ? rng.uniform(0, 40) : 0;
+    cfg.delay_b = rng.index(3) == 0 ? rng.uniform(0, 40) : 0;
+    switch (rng.index(3)) {
+      case 0:
+        cfg.max_rounds = rng.uniform(1, 30);  // exercises horizon exhaustion
+        break;
+      case 1:
+        cfg.max_rounds = rng.uniform(31, 3000);
+        break;
+      default:
+        cfg.max_rounds = 1000000;
+        break;
+    }
+
+    LineAutomatonAgent ra(a), rb(b);
+    const auto ref = lowerbound::verify_never_meet_reference(t, ra, rb, cfg);
+    LineAutomatonAgent ca(a), cb(b);
+    const auto fast = lowerbound::verify_never_meet(t, ca, cb, cfg);
+    EXPECT_TRUE(ca.fresh());  // compiled path does not step the agents
+
+    ASSERT_EQ(fast.met, ref.met) << "rep " << rep;
+    ASSERT_EQ(fast.certified_forever, ref.certified_forever) << "rep " << rep;
+    ASSERT_EQ(fast.cycle_length, ref.cycle_length) << "rep " << rep;
+    ASSERT_EQ(fast.meeting_round, ref.meeting_round) << "rep " << rep;
+    ASSERT_EQ(fast.rounds_checked, ref.rounds_checked) << "rep " << rep;
+    certified += ref.certified_forever;
+    met += ref.met;
+    exhausted += !ref.met && !ref.certified_forever;
+    }
+    // The case mix must actually exercise all three outcome classes.
+    EXPECT_GE(certified, 20);
+    EXPECT_GE(met, 20);
+    EXPECT_GE(exhausted, 20);
+  }
+}
+
+TEST(CompiledVerify, DirectEngineMatchesDispatcherAcrossPairsAndDelays) {
+  util::Rng rng(42);
+  const tree::Tree t = tree::line_symmetric_colored(9);
+  const auto a = ping_pong_walker(2);
+  const CompiledLineEngine engine(t, a);
+  for (tree::NodeId u = 0; u < t.node_count(); ++u) {
+    for (tree::NodeId v = 0; v < t.node_count(); ++v) {
+      if (u == v) continue;
+      for (std::uint64_t delay : {0ull, 1ull, 7ull}) {
+        const RunConfig cfg{u, v, delay, 0, 200000};
+        const auto direct = verify_never_meet_compiled(engine, engine, cfg);
+        LineAutomatonAgent ra(a), rb(a);
+        const auto ref =
+            lowerbound::verify_never_meet_reference(t, ra, rb, cfg);
+        ASSERT_EQ(direct.met, ref.met) << u << " " << v << " " << delay;
+        ASSERT_EQ(direct.certified_forever, ref.certified_forever);
+        ASSERT_EQ(direct.cycle_length, ref.cycle_length);
+      }
+    }
+  }
+}
+
+TEST(CompiledVerify, RejectsBadConfigsLikeReference) {
+  util::Rng rng(9);
+  const tree::Tree t = tree::line(5);
+  const auto a = random_line_automaton(3, rng);
+  const CompiledLineEngine engine(t, a);
+  EXPECT_THROW(verify_never_meet_compiled(engine, engine, {0, 1, 0, 0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(verify_never_meet_compiled(engine, engine, {2, 2, 0, 0, 10}),
+               std::invalid_argument);
+  EXPECT_THROW(verify_never_meet_compiled(engine, engine, {0, 9, 0, 0, 10}),
+               std::invalid_argument);
+}
+
+TEST(SweepInstances, DeterministicAcrossThreadCounts) {
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  const auto fn = [](const int& x) {
+    // Non-trivial deterministic work.
+    std::uint64_t h = static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 1000; ++i) h = h * 6364136223846793005ull + x;
+    return h;
+  };
+  const auto serial = sweep_instances(items, fn, 1);
+  for (unsigned threads : {2u, 4u, 7u}) {
+    const auto parallel = sweep_instances(items, fn, threads);
+    ASSERT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(SweepInstances, SweepsVerificationGridDeterministically) {
+  util::Rng rng(77);
+  const tree::Tree t = tree::line_edge_colored(8, 0);
+  struct Case {
+    LineAutomaton a;
+    RunConfig cfg;
+  };
+  std::vector<Case> cases;
+  for (int i = 0; i < 60; ++i) {
+    Case c;
+    c.a = random_line_automaton(1 + static_cast<int>(rng.index(6)), rng);
+    c.cfg.start_a = static_cast<tree::NodeId>(rng.index(8));
+    do {
+      c.cfg.start_b = static_cast<tree::NodeId>(rng.index(8));
+    } while (c.cfg.start_b == c.cfg.start_a);
+    c.cfg.delay_a = rng.uniform(0, 5);
+    c.cfg.max_rounds = 100000;
+    cases.push_back(c);
+  }
+  const auto fn = [&](const Case& c) {
+    const CompiledLineEngine engine(t, c.a);
+    const auto v = verify_never_meet_compiled(engine, engine, c.cfg);
+    return std::tuple{v.met, v.certified_forever, v.cycle_length};
+  };
+  const auto serial = sweep_instances(cases, fn, 1);
+  const auto parallel = sweep_instances(cases, fn, 4);
+  ASSERT_EQ(parallel, serial);
+}
+
+TEST(SweepInstances, PropagatesExceptions) {
+  std::vector<int> items{1, 2, 3, 4, 5};
+  const auto fn = [](const int& x) -> int {
+    if (x == 3) throw std::runtime_error("boom");
+    return x;
+  };
+  EXPECT_THROW(sweep_instances(items, fn, 3), std::runtime_error);
+}
+
+class NegativeActionAgent final : public Agent {
+ public:
+  int step(const Observation&) override { return -5; }
+  std::uint64_t memory_bits() const override { return 0; }
+  std::string name() const override { return "negative"; }
+};
+
+TEST(RunSingle, RejectsNegativeNonStayActions) {
+  const tree::Tree t = tree::line(4);
+  NegativeActionAgent agent;
+  EXPECT_THROW(lowerbound::run_single(t, agent, 0, 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rvt::sim
