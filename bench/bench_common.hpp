@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,6 +67,8 @@ class JsonReport {
   void table(const util::Table& t) { table_ = &t; }
 
   /// Writes BENCH_<ID>.json in the working directory; returns the path.
+  /// Throws std::runtime_error if the file cannot be written — a missing
+  /// perf artifact must fail the bench, not vanish silently.
   std::string write() const {
     const std::string path = "BENCH_" + id_ + ".json";
     std::ofstream os(path);
@@ -88,6 +91,10 @@ class JsonReport {
       os << "\n  ]";
     }
     os << "\n}\n";
+    os.flush();
+    if (!os.good()) {
+      throw std::runtime_error("JsonReport: cannot write " + path);
+    }
     return path;
   }
 

@@ -52,25 +52,30 @@ struct TimedCase {
 /// start-offset schedules (delay pair (theta + d, d) for d = 0..15). The
 /// paper's model says only the relative delay matters, so every point must
 /// certify never-meet with the same cycle — an invariance battery over the
-/// adversarial schedule. The compiled engine answers the whole grid from
-/// one pair of rho orbits — delays only shift their alignment — while the
-/// legacy stepper re-simulates every schedule to its Brent certificate.
-/// `checksum` accumulates the verdicts so the work cannot be optimized
-/// away and both engines can be cross-checked for agreement.
+/// adversarial schedule. The compiled engine answers the whole grid as one
+/// verify_grid batch from one pair of rho orbits — delays only shift their
+/// alignment — while the legacy stepper re-simulates every schedule to its
+/// Brent certificate. `checksum` accumulates the verdicts so the work
+/// cannot be optimized away and both engines can be cross-checked for
+/// agreement.
 constexpr std::uint64_t kDelayGrid = 16;
 
 double time_compiled(const std::vector<TimedCase>& cases, int repeats,
                      std::uint64_t& checksum) {
   checksum = 0;
   bench::WallTimer timer;
+  std::vector<sim::PairQuery> grid(kDelayGrid);
   for (int rep = 0; rep < repeats; ++rep) {
     for (const auto& c : cases) {
-      const sim::CompiledLineEngine engine(c.line, c.a);
+      const sim::CompiledConfigEngine engine(c.line, c.a.tabular());
       for (std::uint64_t d = 0; d < kDelayGrid; ++d) {
-        sim::RunConfig cfg = c.cfg;
-        cfg.delay_a += d;
-        cfg.delay_b += d;
-        const auto r = sim::verify_never_meet_compiled(engine, engine, cfg);
+        grid[d] = {c.cfg.start_a, c.cfg.start_b, c.cfg.delay_a + d,
+                   c.cfg.delay_b + d};
+      }
+      // Single-threaded batch: the shoot-out isolates the engine change.
+      const auto verdicts =
+          sim::verify_grid(engine, engine, grid, c.cfg.max_rounds, 1);
+      for (const auto& r : verdicts) {
         checksum += r.cycle_length + (r.met ? 1 : 0);
       }
     }
@@ -124,6 +129,7 @@ int main(int argc, char** argv) {
                        static_cast<int>(util::ceil_log2(a.num_states())), a,
                        horizon});
   }
+  const std::size_t n_structured = victims.size();
   util::Rng rng(bench::kDefaultSeed);
   const int kRandomReps = 8;
   for (int k = 1; k <= 7; ++k) {
@@ -146,10 +152,13 @@ int main(int argc, char** argv) {
                      "theta", "never-meet", "cycle", "n/K"});
   bool all_ok = true;
   std::vector<TimedCase> timed;
-  for (std::size_t i = 0; i < 6; ++i) {  // structured victims
+  for (std::size_t i = 0; i < n_structured; ++i) {  // structured victims
     const auto& inst = instances[i];
     const auto& v = victims[i];
     all_ok = all_ok && inst.construction_ok;
+    // The dispatcher must have certified on the compiled engine — a silent
+    // fallback to the reference stepper is a perf bug, not a wrong answer.
+    all_ok = all_ok && inst.verdict.engine == sim::VerifyEngine::kCompiled;
     table.row(v.label, v.a.num_states(), v.bits_k,
               inst.bounded_case ? "bounded" : "fig-1",
               inst.line.node_count(), inst.theta,
@@ -161,7 +170,8 @@ int main(int argc, char** argv) {
                        {inst.u, inst.v, inst.theta, 0, v.horizon}});
     }
   }
-  for (std::size_t base = 6; base < victims.size(); base += kRandomReps) {
+  for (std::size_t base = n_structured; base < victims.size();
+       base += kRandomReps) {
     const int K = victims[base].a.num_states();
     int built = 0, defeated = 0;
     std::int64_t max_n = 0;

@@ -48,6 +48,7 @@ int main() {
     victims.push_back({"ping-pong 1/" + std::to_string(p),
                        sim::ping_pong_walker(p), 1 << 24, 800000000ull});
   }
+  const std::size_t n_structured = victims.size();
   util::Rng rng(bench::kDefaultSeed);
   const int kRandomReps = 8;
   for (int k = 1; k <= 6; ++k) {
@@ -67,19 +68,23 @@ int main() {
       });
 
   util::Table table({"victim", "states K", "gamma", "case", "x", "x'",
-                     "line n", "never-meet", "cycle"});
+                     "line n", "never-meet", "cycle", "engine"});
   bool all_ok = true;
-  for (std::size_t i = 0; i < 6; ++i) {  // structured victims
+  for (std::size_t i = 0; i < n_structured; ++i) {  // structured victims
     const auto& inst = instances[i];
     const auto& v = victims[i];
     all_ok = all_ok && inst.construction_ok;
+    // Structured victims are small: certification must have stayed on the
+    // compiled engine (the verdict reports which engine actually ran).
+    all_ok = all_ok && inst.verdict.engine == sim::VerifyEngine::kCompiled;
     table.row(v.label, v.a.num_states(), inst.gamma,
               inst.bounded_case ? "bounded" : "extreme", inst.x, inst.x_prime,
               inst.line.node_count(),
               inst.construction_ok && !inst.verdict.met,
-              inst.verdict.cycle_length);
+              inst.verdict.cycle_length, sim::to_string(inst.verdict.engine));
   }
-  for (std::size_t base = 6; base < victims.size(); base += kRandomReps) {
+  for (std::size_t base = n_structured; base < victims.size();
+       base += kRandomReps) {
     const int K = victims[base].a.num_states();
     int built = 0, defeated = 0, overflow = 0;
     std::int64_t max_n = 0;
@@ -97,7 +102,7 @@ int main() {
     table.row("random x" + std::to_string(kRandomReps), K, "-", "mixed", "-",
               "-", max_n,
               std::to_string(defeated) + "/" + std::to_string(built),
-              "ovf=" + std::to_string(overflow));
+              "ovf=" + std::to_string(overflow), "-");
     all_ok = all_ok && built >= 4 && defeated == built;
   }
 

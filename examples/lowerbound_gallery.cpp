@@ -30,7 +30,8 @@ int main() {
               << ", t2=" << inst.t2 << ")\n"
               << "verdict: met=" << inst.verdict.met
               << " certified-forever=" << inst.verdict.certified_forever
-              << " (cycle " << inst.verdict.cycle_length << ")\n\n";
+              << " (cycle " << inst.verdict.cycle_length << ", engine "
+              << sim::to_string(inst.verdict.engine) << ")\n\n";
   }
 
   std::cout << "### Theorem 4.2 — simultaneous start on the line ###\n";
@@ -46,7 +47,8 @@ int main() {
               << inst.u << ", " << inst.v << " (the central-pair edge)\n"
               << "verdict: met=" << inst.verdict.met
               << " certified-forever=" << inst.verdict.certified_forever
-              << " (cycle " << inst.verdict.cycle_length << ")\n\n";
+              << " (cycle " << inst.verdict.cycle_length << ", engine "
+              << sim::to_string(inst.verdict.engine) << ")\n\n";
   }
 
   std::cout << "### Theorem 4.3 — side trees, max degree 3 ###\n";
@@ -72,6 +74,8 @@ int main() {
               << inst.instance_not_symmetrizable << "\n"
               << "verdict: met=" << inst.verdict.met
               << " certified-forever=" << inst.verdict.certified_forever
+              << " (engine " << sim::to_string(inst.verdict.engine)
+              << " — tree automata certify on the generalized engine too)"
               << "\n\nDOT (agents highlighted):\n"
               << tree::to_dot(inst.instance, {{inst.u, "lightblue"},
                                               {inst.v, "salmon"}});

@@ -26,28 +26,30 @@ Config snapshot(const sim::TwoAgentRun& run, const sim::Agent& a,
 
 }  // namespace
 
+bool compiled_engine_fits(const tree::Tree& t,
+                          const sim::TabularAutomaton& a) {
+  return sim::CompiledConfigEngine::stamp_entries(t, a) <=
+         kCompiledStampBudget;
+}
+
 NeverMeetResult verify_never_meet(const tree::Tree& t, sim::Agent& a,
                                   sim::Agent& b, const sim::RunConfig& cfg) {
-  const auto* la = dynamic_cast<const sim::LineAutomatonAgent*>(&a);
-  const auto* lb = dynamic_cast<const sim::LineAutomatonAgent*>(&b);
-  // The engine's stamp table is Theta(K * n); past this budget (~200 MB)
-  // the O(1)-memory reference stepper is the safer choice.
-  const auto engine_fits = [&t](const sim::LineAutomatonAgent* agent) {
-    return static_cast<std::uint64_t>(agent->automaton().num_states()) * 2 *
-               static_cast<std::uint64_t>(t.node_count()) <=
-           (std::uint64_t{1} << 24);
-  };
-  if (la && lb && la->fresh() && lb->fresh() && t.node_count() >= 2 &&
-      t.max_degree() <= 2 && engine_fits(la) && engine_fits(lb)) {
-    const sim::CompiledLineEngine engine_a(t, la->automaton());
-    const bool same = la->automaton() == lb->automaton();
-    const sim::CompiledVerdict v =
-        same ? sim::verify_never_meet_compiled(engine_a, engine_a, cfg)
-             : sim::verify_never_meet_compiled(
-                   engine_a, sim::CompiledLineEngine(t, lb->automaton()),
-                   cfg);
-    return {v.met, v.meeting_round, v.certified_forever, v.cycle_length,
-            v.rounds_checked};
+  // Capability dispatch: any agent pair that exposes tabular dynamics and
+  // still sits in its initial configuration can be verified analytically,
+  // whatever the concrete agent classes are. The substrate only has to fit
+  // the automata's degree model and the engine's memory budget.
+  const sim::TabularAutomaton* ta = a.tabular();
+  const sim::TabularAutomaton* tb = b.tabular();
+  if (ta != nullptr && tb != nullptr && a.fresh() && b.fresh() &&
+      t.node_count() >= 2 && t.max_degree() <= ta->max_degree &&
+      t.max_degree() <= tb->max_degree && compiled_engine_fits(t, *ta) &&
+      compiled_engine_fits(t, *tb)) {
+    const sim::CompiledConfigEngine engine_a(t, *ta);
+    if (*ta == *tb) {
+      return sim::verify_never_meet_compiled(engine_a, engine_a, cfg);
+    }
+    return sim::verify_never_meet_compiled(
+        engine_a, sim::CompiledConfigEngine(t, *tb), cfg);
   }
   return verify_never_meet_reference(t, a, b, cfg);
 }
@@ -60,6 +62,7 @@ NeverMeetResult verify_never_meet_reference(const tree::Tree& t, sim::Agent& a,
   }
   sim::TwoAgentRun run(t, a, b, cfg);
   NeverMeetResult r;
+  r.engine = sim::VerifyEngine::kReference;
 
   // Brent's algorithm over the deterministic configuration sequence that
   // begins once both agents have started.

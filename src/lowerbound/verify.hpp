@@ -8,41 +8,57 @@
 // configuration repeats without a meeting in between, the run is periodic
 // and the agents never meet — for all time, not just for the simulated
 // horizon. We detect the repeat with Brent's cycle-finding algorithm (O(1)
-// memory), checking for co-location every round.
+// memory), checking for co-location every round — or, for agents that
+// expose tabular dynamics, reconstruct the same verdict analytically with
+// the compiled configuration engine (sim/compiled.hpp).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/agent.hpp"
 #include "sim/simulator.hpp"
+#include "sim/verdict.hpp"
 #include "tree/tree.hpp"
 
 namespace rvt::lowerbound {
 
-struct NeverMeetResult {
-  bool met = false;                 ///< construction FAILED if true
-  std::uint64_t meeting_round = 0;  ///< valid when met
-  bool certified_forever = false;   ///< configuration cycle found
-  std::uint64_t cycle_length = 0;   ///< period of the certified cycle
-  std::uint64_t rounds_checked = 0;
-};
+/// The shared verification verdict (sim/verdict.hpp); the historical name
+/// survives for the adversaries and their callers. `engine` records which
+/// engine actually produced the verdict — check it when a workload is
+/// assumed to run on the compiled fast path.
+using NeverMeetResult = sim::Verdict;
+
+/// Compiled-engine memory budget, in visit-stamp entries (the engine's
+/// dominant allocation, ~12 bytes each; see
+/// CompiledConfigEngine::stamp_entries). Past this (~200 MB) the
+/// O(1)-memory reference stepper is the safer choice.
+inline constexpr std::uint64_t kCompiledStampBudget = std::uint64_t{1} << 24;
+
+/// True iff verify_never_meet would be willing to build a compiled engine
+/// for this (tree, automaton) pair — i.e. its stamp table fits
+/// kCompiledStampBudget. Exposed so the dispatch boundary is unit-testable
+/// without allocating engines.
+bool compiled_engine_fits(const tree::Tree& t, const sim::TabularAutomaton& a);
 
 /// Runs agents a and b per cfg (cfg.max_rounds caps the search). Both
 /// agents must implement state_signature(). Throws std::invalid_argument
 /// if either returns Agent::kNoSignature on the first started round.
 ///
-/// Fast path: when both agents are fresh LineAutomatonAgents on a line,
-/// the verdict is computed by the compiled configuration engine
+/// Fast path: when both agents expose tabular dynamics (Agent::tabular())
+/// and are fresh() on a tree within their degree model and the engine
+/// budget, the verdict is computed by the compiled configuration engine
 /// (sim/compiled.hpp) — same result, field for field, without stepping the
 /// agents (they are left untouched, unlike the reference stepper which
-/// advances them). Everything else falls back to the reference stepper.
+/// advances them). Everything else falls back to the reference stepper;
+/// the verdict's `engine` field reports which engine ran.
 NeverMeetResult verify_never_meet(const tree::Tree& t, sim::Agent& a,
                                   sim::Agent& b, const sim::RunConfig& cfg);
 
 /// The legacy per-round interpretive stepper (virtual dispatch + Brent's
 /// cycle finding over joint snapshots). Kept as the differential-testing
-/// oracle for the compiled engine and for agents outside the line-automaton
-/// model (tree-general agents like core::RendezvousAgent).
+/// oracle for the compiled engine and for agents outside the tabular
+/// model (algorithmic agents like core::RendezvousAgent).
 NeverMeetResult verify_never_meet_reference(const tree::Tree& t, sim::Agent& a,
                                             sim::Agent& b,
                                             const sim::RunConfig& cfg);

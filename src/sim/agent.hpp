@@ -21,6 +21,8 @@
 
 namespace rvt::sim {
 
+struct TabularAutomaton;  // sim/automaton.hpp
+
 struct Observation {
   tree::Port in_port = -1;  ///< entry port; -1 after a null move / at start
   int degree = 0;           ///< degree of the current node
@@ -52,6 +54,22 @@ class Agent {
   /// kNoSignature when unsupported (algorithmic agents with counters).
   static constexpr std::uint64_t kNoSignature = ~0ull;
   virtual std::uint64_t state_signature() const { return kNoSignature; }
+
+  /// Capability query: the tabular transition model driving this agent, or
+  /// nullptr for algorithmic agents. A non-null table is a *capability*,
+  /// not a license — engines that replay the dynamics from the initial
+  /// configuration (sim/compiled.hpp) must additionally check fresh().
+  /// This replaces dynamic_cast dispatch on concrete agent classes: any
+  /// agent whose behavior is a finite (state, entry port, degree) table
+  /// can opt into the compiled fast path by overriding this.
+  virtual const TabularAutomaton* tabular() const { return nullptr; }
+
+  /// True iff the agent has not consumed any step() yet, i.e. it still
+  /// sits in its initial configuration. Compiled engines derive whole
+  /// trajectories from that configuration, so only fresh agents qualify;
+  /// the conservative default keeps algorithmic agents on the reference
+  /// stepper.
+  virtual bool fresh() const { return false; }
 };
 
 }  // namespace rvt::sim

@@ -6,6 +6,47 @@
 
 namespace rvt::sim {
 
+bool TabularAutomaton::port_oblivious() const {
+  const int D = max_degree;
+  for (int s = 0; s < num_states(); ++s) {
+    const std::size_t base =
+        static_cast<std::size_t>(s) * (D + 1) * D;  // row i = -1
+    for (int i = 1; i <= D; ++i) {
+      for (int d = 0; d < D; ++d) {
+        if (delta[base + static_cast<std::size_t>(i) * D + d] !=
+            delta[base + d]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void TabularAutomaton::validate() const {
+  const int n = num_states();
+  if (n <= 0) throw std::invalid_argument("TabularAutomaton: no states");
+  if (max_degree < 1 || max_degree > 255) {
+    throw std::invalid_argument("TabularAutomaton: max_degree in [1, 255]");
+  }
+  if (initial < 0 || initial >= n) {
+    throw std::invalid_argument("TabularAutomaton: bad initial state");
+  }
+  const std::size_t want = static_cast<std::size_t>(n) * (max_degree + 1) *
+                           static_cast<std::size_t>(max_degree);
+  if (delta.size() != want) {
+    throw std::invalid_argument("TabularAutomaton: delta size mismatch");
+  }
+  for (const int target : delta) {
+    if (target < 0 || target >= n) {
+      throw std::invalid_argument("TabularAutomaton: bad transition target");
+    }
+  }
+  for (const int act : lambda) {
+    if (act < -1) throw std::invalid_argument("TabularAutomaton: lambda < -1");
+  }
+}
+
 void LineAutomaton::validate() const {
   const int n = num_states();
   if (n <= 0) throw std::invalid_argument("LineAutomaton: no states");
@@ -27,26 +68,91 @@ void LineAutomaton::validate() const {
   }
 }
 
-LineAutomatonAgent::LineAutomatonAgent(LineAutomaton a, std::string name)
+TabularAutomaton LineAutomaton::tabular() const {
+  validate();
+  TabularAutomaton t;
+  t.initial = initial;
+  t.max_degree = 2;
+  t.lambda = lambda;
+  const int n = num_states();
+  t.delta.resize(static_cast<std::size_t>(n) * 3 * 2);
+  for (int s = 0; s < n; ++s) {
+    for (int i = 0; i < 3; ++i) {  // entry port carries no information
+      t.delta[(static_cast<std::size_t>(s) * 3 + i) * 2] = delta[s][0];
+      t.delta[(static_cast<std::size_t>(s) * 3 + i) * 2 + 1] = delta[s][1];
+    }
+  }
+  return t;
+}
+
+void TreeAutomaton::validate() const {
+  const int n = num_states();
+  if (n <= 0) throw std::invalid_argument("TreeAutomaton: no states");
+  if (initial < 0 || initial >= n) {
+    throw std::invalid_argument("TreeAutomaton: bad initial state");
+  }
+  if (static_cast<int>(lambda.size()) != n) {
+    throw std::invalid_argument("TreeAutomaton: lambda size mismatch");
+  }
+  for (int s = 0; s < n; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        if (delta[s][i][d] < 0 || delta[s][i][d] >= n) {
+          throw std::invalid_argument("TreeAutomaton: bad transition");
+        }
+      }
+    }
+    if (lambda[s] < -1) throw std::invalid_argument("TreeAutomaton: lambda");
+  }
+}
+
+TabularAutomaton TreeAutomaton::tabular() const {
+  validate();
+  TabularAutomaton t;
+  t.initial = initial;
+  t.max_degree = 3;
+  t.lambda = lambda;
+  const int n = num_states();
+  t.delta.resize(static_cast<std::size_t>(n) * 4 * 3);
+  for (int s = 0; s < n; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        t.delta[(static_cast<std::size_t>(s) * 4 + i) * 3 + d] =
+            delta[s][i][d];
+      }
+    }
+  }
+  return t;
+}
+
+TabularAutomatonAgent::TabularAutomatonAgent(TabularAutomaton a,
+                                             std::string name)
     : a_(std::move(a)), name_(std::move(name)), state_(a_.initial) {
   a_.validate();
 }
 
-int LineAutomatonAgent::step(const Observation& obs) {
-  if (obs.degree != 1 && obs.degree != 2) {
-    throw std::logic_error("LineAutomatonAgent used off a line");
+int TabularAutomatonAgent::step(const Observation& obs) {
+  if (obs.degree < 1 || obs.degree > a_.max_degree || obs.in_port < -1 ||
+      obs.in_port >= a_.max_degree) {
+    throw std::logic_error("TabularAutomatonAgent: degree/port out of model");
   }
   if (first_) {
     first_ = false;  // first action: lambda(initial), no transition
   } else {
-    state_ = a_.next(state_, obs.degree);
+    state_ = a_.next(state_, obs.in_port, obs.degree);
   }
   return a_.lambda[state_];
 }
 
-std::uint64_t LineAutomatonAgent::memory_bits() const {
+std::uint64_t TabularAutomatonAgent::memory_bits() const {
   return util::ceil_log2(static_cast<std::uint64_t>(a_.num_states()));
 }
+
+LineAutomatonAgent::LineAutomatonAgent(LineAutomaton a, std::string name)
+    : TabularAutomatonAgent(a.tabular(), std::move(name)) {}
+
+TreeAutomatonAgent::TreeAutomatonAgent(TreeAutomaton a, std::string name)
+    : TabularAutomatonAgent(a.tabular(), std::move(name)) {}
 
 namespace {
 // State ids for the walkers, built from (at_leaf, last_color, phase).
@@ -110,49 +216,6 @@ LineAutomaton random_line_automaton(int num_states, util::Rng& rng) {
   a.initial = static_cast<int>(rng.uniform(0, num_states - 1));
   a.validate();
   return a;
-}
-
-void TreeAutomaton::validate() const {
-  const int n = num_states();
-  if (n <= 0) throw std::invalid_argument("TreeAutomaton: no states");
-  if (initial < 0 || initial >= n) {
-    throw std::invalid_argument("TreeAutomaton: bad initial state");
-  }
-  if (static_cast<int>(lambda.size()) != n) {
-    throw std::invalid_argument("TreeAutomaton: lambda size mismatch");
-  }
-  for (int s = 0; s < n; ++s) {
-    for (int i = 0; i < 4; ++i) {
-      for (int d = 0; d < 3; ++d) {
-        if (delta[s][i][d] < 0 || delta[s][i][d] >= n) {
-          throw std::invalid_argument("TreeAutomaton: bad transition");
-        }
-      }
-    }
-    if (lambda[s] < -1) throw std::invalid_argument("TreeAutomaton: lambda");
-  }
-}
-
-TreeAutomatonAgent::TreeAutomatonAgent(TreeAutomaton a, std::string name)
-    : a_(std::move(a)), name_(std::move(name)), state_(a_.initial) {
-  a_.validate();
-}
-
-int TreeAutomatonAgent::step(const Observation& obs) {
-  if (obs.degree < 1 || obs.degree > 3 || obs.in_port < -1 ||
-      obs.in_port > 2) {
-    throw std::logic_error("TreeAutomatonAgent: degree/port out of model");
-  }
-  if (first_) {
-    first_ = false;
-  } else {
-    state_ = a_.delta[state_][obs.in_port + 1][obs.degree - 1];
-  }
-  return a_.lambda[state_];
-}
-
-std::uint64_t TreeAutomatonAgent::memory_bits() const {
-  return util::ceil_log2(static_cast<std::uint64_t>(a_.num_states()));
 }
 
 TreeAutomaton random_tree_automaton(int num_states, util::Rng& rng) {

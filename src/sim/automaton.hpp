@@ -1,14 +1,24 @@
-// Explicit finite automata over edge-2-colored lines — the victim model of
-// the paper's lower bounds (Theorems 3.1 and 4.2).
+// Explicit finite automata — the victim models of the paper's lower bounds.
 //
-// On a line whose edges are properly 2-colored with the port numbers equal
-// to the color at both extremities, an agent that leaves by port i enters
-// the next node by port i; hence (paper §4.2) its incoming port carries no
-// extra information and WLOG the transition function is
-//     pi : S x {1, 2} -> S        (input: degree of the node entered)
-// with output function lambda : S -> {-1, 0, 1, ...} (stay, or exit port
-// taken mod degree). Both lower-bound adversaries operate on automata in
-// exactly this normal form.
+// One value-semantic model underlies all of them: a *tabular automaton*,
+// whose transition table is indexed by (state, entry port, degree) over an
+// arbitrary maximum degree D (paper §2.1 input alphabet). The historical
+// table formats remain as thin builder views onto it:
+//
+//  * LineAutomaton (Theorems 3.1, 4.2). On a line whose edges are properly
+//    2-colored with the port numbers equal to the color at both
+//    extremities, an agent that leaves by port i enters the next node by
+//    port i; hence (paper §4.2) its incoming port carries no extra
+//    information and WLOG the transition function is
+//        pi : S x {1, 2} -> S        (input: degree of the node entered)
+//    with output function lambda : S -> {-1, 0, 1, ...}. Its tabular form
+//    has D = 2 and is entry-port-oblivious by construction.
+//  * TreeAutomaton (Theorem 4.3): the full (i, d) alphabet over trees of
+//    maximum degree 3 — tabular form with D = 3.
+//
+// The compiled configuration engine (sim/compiled.hpp) consumes the
+// tabular form directly; agents expose it through the Agent::tabular()
+// capability so verification dispatches without dynamic_cast.
 #pragma once
 
 #include <array>
@@ -20,6 +30,46 @@
 #include "util/rng.hpp"
 
 namespace rvt::sim {
+
+/// Deterministic automaton over port-labeled trees of maximum degree
+/// `max_degree`, in the paper's normal form: in every round the agent
+/// first transitions on the input symbol (entry port i, degree d) of the
+/// node it occupies — except the very first round, which acts from
+/// `initial` without a transition — and then acts with lambda(state):
+/// kStay, or an exit-port candidate reduced mod d by the simulator.
+///
+/// The transition table is flattened (state-major, then entry port, then
+/// degree) so engines can index it without pointer chasing:
+///     delta[(s * (D + 1) + (i + 1)) * D + (d - 1)]
+/// for i in {-1, 0, ..., D-1} and d in {1, ..., D}.
+struct TabularAutomaton {
+  int initial = 0;
+  int max_degree = 0;  ///< D >= 1; inputs with d > D are out of model
+  std::vector<int> delta;  ///< flattened; size num_states() * (D+1) * D
+  std::vector<int> lambda;  ///< lambda[s]: kStay or port candidate >= 0
+
+  int num_states() const { return static_cast<int>(lambda.size()); }
+
+  /// Next state on entering through port `in_port` (-1 after a null move)
+  /// a node of degree d (1 <= d <= max_degree).
+  int next(int s, int in_port, int d) const {
+    return delta[static_cast<std::size_t>(
+        (s * (max_degree + 1) + (in_port + 1)) * max_degree + (d - 1))];
+  }
+
+  /// True iff delta ignores the entry port (all (i, d) rows of a state
+  /// agree across i). Port-oblivious automata — every LineAutomaton, and
+  /// every lift_to_tree_automaton victim — admit a smaller configuration
+  /// projection in the compiled engine (the entry port is then a function
+  /// of the predecessor configuration).
+  bool port_oblivious() const;
+
+  /// Throws std::invalid_argument on malformed tables.
+  void validate() const;
+
+  friend bool operator==(const TabularAutomaton&, const TabularAutomaton&) =
+      default;
+};
 
 struct LineAutomaton {
   int initial = 0;
@@ -40,15 +90,42 @@ struct LineAutomaton {
   /// pi'(s) = pi(s, 2): the degree-2 restriction whose transition digraph
   /// drives Theorem 4.2.
   int next_internal(int s) const { return delta[s][1]; }
+
+  /// The tabular form (D = 2, entry-port-oblivious). Validates.
+  TabularAutomaton tabular() const;
 };
 
-/// Adapter running a LineAutomaton under the generic Agent interface with
-/// the paper-exact round semantics: the first action is lambda(initial)
-/// with no transition; every later round first transitions on the entered
-/// node's degree, then acts. Degrees > 2 are rejected (line automata).
-class LineAutomatonAgent final : public Agent {
+/// Deterministic automaton over trees of maximum degree <= 3 — the victim
+/// model of the Theorem 4.3 lower bound. Inputs are the paper's (i, d)
+/// symbols: entry port i in {-1, 0, 1, 2} and degree d in {1, 2, 3}.
+struct TreeAutomaton {
+  int initial = 0;
+  /// delta[s][i+1][d-1] for i in {-1,0,1,2}, d in {1,2,3}.
+  std::vector<std::array<std::array<int, 3>, 4>> delta;
+  /// lambda[s]: kStay or a port candidate (reduced mod degree on acting).
+  std::vector<int> lambda;
+
+  int num_states() const { return static_cast<int>(delta.size()); }
+  void validate() const;
+
+  friend bool operator==(const TreeAutomaton&, const TreeAutomaton&) =
+      default;
+
+  /// The tabular form (D = 3). Validates.
+  TabularAutomaton tabular() const;
+};
+
+/// Adapter running any TabularAutomaton under the generic Agent interface
+/// with the paper-exact round semantics: the first action is
+/// lambda(initial) with no transition; every later round first transitions
+/// on the entered node's (entry port, degree) input, then acts.
+/// Observations outside the automaton's model (degree > max_degree) throw
+/// std::logic_error. Exposes the table through Agent::tabular() so the
+/// verification dispatcher can route fresh agents to the compiled engine.
+class TabularAutomatonAgent : public Agent {
  public:
-  explicit LineAutomatonAgent(LineAutomaton a, std::string name = "automaton");
+  explicit TabularAutomatonAgent(TabularAutomaton a,
+                                 std::string name = "tabular");
 
   int step(const Observation& obs) override;
   std::uint64_t memory_bits() const override;
@@ -56,20 +133,31 @@ class LineAutomatonAgent final : public Agent {
   std::uint64_t state_signature() const override {
     return (static_cast<std::uint64_t>(state_) << 1) | (first_ ? 1 : 0);
   }
+  const TabularAutomaton* tabular() const override { return &a_; }
+  /// True until the first step(): the compiled engine derives trajectories
+  /// from the initial configuration, so only fresh agents qualify.
+  bool fresh() const override { return first_; }
 
   int state() const { return state_; }
 
-  /// The underlying transition tables (for the compiled engine fast path).
-  const LineAutomaton& automaton() const { return a_; }
-  /// True until the first step(): the compiled engine derives trajectories
-  /// from the initial configuration, so only fresh agents qualify.
-  bool fresh() const { return first_; }
-
  private:
-  LineAutomaton a_;
+  TabularAutomaton a_;
   std::string name_;
   int state_ = 0;
   bool first_ = true;
+};
+
+/// LineAutomaton under the Agent interface (thin constructor over
+/// TabularAutomatonAgent; degrees > 2 are rejected — line automata).
+class LineAutomatonAgent final : public TabularAutomatonAgent {
+ public:
+  explicit LineAutomatonAgent(LineAutomaton a, std::string name = "automaton");
+};
+
+/// TreeAutomaton under the Agent interface (degree <= 3).
+class TreeAutomatonAgent final : public TabularAutomatonAgent {
+ public:
+  explicit TreeAutomatonAgent(TreeAutomaton a, std::string name = "tree-fsm");
 };
 
 /// The 4-state basic-walk automaton: crosses one edge per round and bounces
@@ -87,40 +175,6 @@ LineAutomaton ping_pong_walker(int p);
 /// in {-1, 0, 1}. Used to exercise the adversaries beyond hand-built
 /// walkers.
 LineAutomaton random_line_automaton(int num_states, util::Rng& rng);
-
-/// Deterministic automaton over trees of maximum degree <= 3 — the victim
-/// model of the Theorem 4.3 lower bound. Inputs are the paper's (i, d)
-/// symbols: entry port i in {-1, 0, 1, 2} and degree d in {1, 2, 3}.
-struct TreeAutomaton {
-  int initial = 0;
-  /// delta[s][i+1][d-1] for i in {-1,0,1,2}, d in {1,2,3}.
-  std::vector<std::array<std::array<int, 3>, 4>> delta;
-  /// lambda[s]: kStay or a port candidate (reduced mod degree on acting).
-  std::vector<int> lambda;
-
-  int num_states() const { return static_cast<int>(delta.size()); }
-  void validate() const;
-};
-
-class TreeAutomatonAgent final : public Agent {
- public:
-  explicit TreeAutomatonAgent(TreeAutomaton a, std::string name = "tree-fsm");
-
-  int step(const Observation& obs) override;
-  std::uint64_t memory_bits() const override;
-  std::string name() const override { return name_; }
-  std::uint64_t state_signature() const override {
-    return (static_cast<std::uint64_t>(state_) << 1) | (first_ ? 1 : 0);
-  }
-
-  int state() const { return state_; }
-
- private:
-  TreeAutomaton a_;
-  std::string name_;
-  int state_ = 0;
-  bool first_ = true;
-};
 
 /// Uniformly random TreeAutomaton with lambda values in {-1, 0, 1, 2}.
 TreeAutomaton random_tree_automaton(int num_states, util::Rng& rng);

@@ -4,30 +4,38 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "sim/sweep.hpp"
+
 namespace rvt::sim {
 
-CompiledLineEngine::CompiledLineEngine(const tree::Tree& line,
-                                       const LineAutomaton& a)
-    : tree_(&line), n_(line.node_count()) {
+CompiledConfigEngine::CompiledConfigEngine(const tree::Tree& t,
+                                           const TabularAutomaton& a)
+    : tree_(&t), n_(t.node_count()) {
   if (n_ < 2) {
-    throw std::invalid_argument("CompiledLineEngine: need >= 2 nodes");
+    throw std::invalid_argument("CompiledConfigEngine: need >= 2 nodes");
   }
-  if (line.max_degree() > 2) {
-    throw std::invalid_argument("CompiledLineEngine: tree is not a line");
+  a.validate();
+  if (t.max_degree() > a.max_degree) {
+    throw std::invalid_argument(
+        "CompiledConfigEngine: tree degree exceeds the automaton's model");
+  }
+  if (n_ >= (1 << 24)) {  // nbrev_ packs the neighbor into 24 bits
+    throw std::invalid_argument("CompiledConfigEngine: tree too large");
   }
   // Flatten the substrate: the orbit walk is the hot loop of every
   // certification, and the generic Tree accessors cost several
-  // indirections per step. nbrev_ packs (neighbor << 2 | reverse_port)
-  // into one load.
+  // indirections per step. nbrev_ packs (neighbor << 8 | reverse_port)
+  // into one load (ports fit 8 bits: max_degree <= 255 by validate()).
+  max_deg_ = a.max_degree;
   deg_.resize(static_cast<std::size_t>(n_));
-  nbrev_.resize(static_cast<std::size_t>(n_) * 2);
+  nbrev_.resize(static_cast<std::size_t>(n_) * max_deg_);
   for (tree::NodeId v = 0; v < n_; ++v) {
-    const int d = line.degree(v);
+    const int d = t.degree(v);
     deg_[v] = static_cast<std::uint8_t>(d);
     for (tree::Port p = 0; p < d; ++p) {
-      nbrev_[2 * v + p] =
-          (static_cast<std::uint32_t>(line.neighbor(v, p)) << 2) |
-          static_cast<std::uint32_t>(line.reverse_port(v, p));
+      nbrev_[static_cast<std::size_t>(v) * max_deg_ + p] =
+          (static_cast<std::uint32_t>(t.neighbor(v, p)) << 8) |
+          static_cast<std::uint32_t>(t.reverse_port(v, p));
     }
   }
   orbits_.resize(static_cast<std::size_t>(n_));
@@ -38,52 +46,67 @@ CompiledLineEngine::CompiledLineEngine(const tree::Tree& line,
   bind_automaton(a);
 }
 
-void CompiledLineEngine::rebind(const LineAutomaton& a) {
+void CompiledConfigEngine::rebind(const TabularAutomaton& a) {
   ++epoch_;  // cached orbits belong to the previous automaton
   bind_automaton(a);
 }
 
-void CompiledLineEngine::bind_automaton(const LineAutomaton& a) {
+void CompiledConfigEngine::bind_automaton(const TabularAutomaton& a) {
   a.validate();
-  if (a.num_states() >= (1 << 28)) {
-    throw std::invalid_argument("CompiledLineEngine: too many states");
+  if (a.max_degree != max_deg_) {
+    throw std::invalid_argument(
+        "CompiledConfigEngine: rebind must keep max_degree (the substrate "
+        "tables are laid out per degree)");
+  }
+  if (a.num_states() >= (1 << 23)) {
+    throw std::invalid_argument("CompiledConfigEngine: too many states");
   }
   automaton_ = a;
-  const int K = automaton_.num_states();
-  delta_.resize(static_cast<std::size_t>(K) * 2);
-  for (int s = 0; s < K; ++s) {
-    delta_[2 * s] = automaton_.delta[s][0];
-    delta_[2 * s + 1] = automaton_.delta[s][1];
+  delta_.assign(automaton_.delta.begin(), automaton_.delta.end());
+  port_slots_ = automaton_.port_oblivious() ? 1 : max_deg_ + 1;
+  const std::uint64_t walk_space = static_cast<std::uint64_t>(
+                                       automaton_.num_states()) *
+                                   2 * static_cast<std::uint64_t>(n_) *
+                                   static_cast<std::uint64_t>(port_slots_);
+  if (walk_space > (std::uint64_t{1} << 31)) {
+    throw std::invalid_argument(
+        "CompiledConfigEngine: state space too large");
   }
-  const std::uint64_t sn_space = static_cast<std::uint64_t>(K) * 2 *
-                                 static_cast<std::uint64_t>(n_);
-  if (sn_space > (std::uint64_t{1} << 31)) {
-    throw std::invalid_argument("CompiledLineEngine: state space too large");
-  }
-  if (sn_space > stamps_.size()) {
-    stamps_.resize(sn_space);  // new slots start with epoch 0 (unstamped)
+  if (walk_space > stamps_.size()) {
+    stamps_.resize(walk_space);  // new slots start with epoch 0 (unstamped)
   }
 }
 
-std::uint64_t CompiledLineEngine::num_configs() const {
+std::uint64_t CompiledConfigEngine::num_configs() const {
   return static_cast<std::uint64_t>(automaton_.num_states()) * 2 *
-         static_cast<std::uint64_t>(n_) * 3;
+         static_cast<std::uint64_t>(n_) *
+         static_cast<std::uint64_t>(max_deg_ + 1);
 }
 
-// One stamped walk over the autonomous (signature, node) projection
-// recovers the full rho form in exactly mu + lambda + 1 steps: the walk
-// stops at the first already-visited pair. A pair stamped by THIS walk
-// closes the cycle (sn_mu = first visit, lambda = index gap); a pair
-// stamped by an EARLIER orbit of the same epoch means the trajectory
-// merged into that orbit, whose cycle is inherited wholesale. The entry
-// port is determined by the predecessor pair, so full-configuration
-// periodicity starts at sn_mu or one step later — decided by comparing the
-// entry ports at the two ends of the seam.
-void CompiledLineEngine::extract_orbit(tree::NodeId start,
-                                       Orbit& out) const {
+std::uint64_t CompiledConfigEngine::stamp_entries(const tree::Tree& t,
+                                                  const TabularAutomaton& a) {
+  const std::uint64_t slots = a.port_oblivious() ? 1 : a.max_degree + 1;
+  return static_cast<std::uint64_t>(a.num_states()) * 2 *
+         static_cast<std::uint64_t>(t.node_count()) * slots;
+}
+
+// One stamped walk over the autonomous projection — (signature, node) for
+// port-oblivious automata, the full (signature, node, entry port)
+// configuration otherwise — recovers the full rho form in exactly
+// mu + lambda + 1 steps: the walk stops at the first already-visited
+// point. A point stamped by THIS walk closes the cycle (sn_mu = first
+// visit, lambda = index gap); a point stamped by an EARLIER orbit of the
+// same epoch means the trajectory merged into that orbit, whose cycle is
+// inherited wholesale. Under the oblivious projection the entry port is
+// determined by the predecessor pair, so full-configuration periodicity
+// starts at sn_mu or one step later — decided by comparing the entry
+// ports at the two ends of the seam. When the walked space is the full
+// configuration the seam comparison is an equality by construction and
+// mu == sn_mu.
+void CompiledConfigEngine::extract_orbit(tree::NodeId start,
+                                         Orbit& out) const {
   // Stepper over an unpacked (sig, node, in_port) configuration, reading
-  // only the flattened tables. Degrees on a line are 1 or 2, so
-  // `action mod degree` is a mask.
+  // only the flattened tables.
   struct Conf {
     std::int32_t sig;
     tree::NodeId node;
@@ -93,16 +116,23 @@ void CompiledLineEngine::extract_orbit(tree::NodeId start,
   const std::uint32_t* nbrev = nbrev_.data();
   const std::int32_t* delta = delta_.data();
   const int* lam = automaton_.lambda.data();
-  const auto step = [deg, nbrev, delta, lam](const Conf& c) {
+  const std::int32_t D = max_deg_;
+  const auto step = [deg, nbrev, delta, lam, D](const Conf& c) {
     const int d = deg[c.node];
-    const std::int32_t s2 = (c.sig & 1)
-                                ? (c.sig >> 1)
-                                : delta[(c.sig & ~1) | (d - 1)];
+    const std::int32_t s2 =
+        (c.sig & 1)
+            ? (c.sig >> 1)
+            : delta[(static_cast<std::size_t>(c.sig >> 1) * (D + 1) +
+                     (c.in_port + 1)) *
+                        D +
+                    (d - 1)];
     const int act = lam[s2];
     if (act == kStay) return Conf{s2 << 1, c.node, -1};
-    const std::uint32_t packed = nbrev[2 * c.node + (act & (d - 1))];
-    return Conf{s2 << 1, static_cast<tree::NodeId>(packed >> 2),
-                static_cast<tree::Port>(packed & 3)};
+    const int outp = act < d ? act : act % d;
+    const std::uint32_t packed =
+        nbrev[static_cast<std::size_t>(c.node) * D + outp];
+    return Conf{s2 << 1, static_cast<tree::NodeId>(packed >> 8),
+                static_cast<tree::Port>(packed & 255)};
   };
 
   out.node.clear();
@@ -111,11 +141,15 @@ void CompiledLineEngine::extract_orbit(tree::NodeId start,
   const std::uint32_t self = static_cast<std::uint32_t>(start);
   const std::uint32_t sig_span =
       static_cast<std::uint32_t>(automaton_.num_states()) * 2;
+  const std::int32_t pslots = port_slots_;
   std::uint64_t hit_index = 0;
   std::uint32_t hit_owner = 0, hit_j = 0;
   for (std::uint64_t i = 0;; ++i) {
-    Stamp& stamp =
-        stamps_[static_cast<std::size_t>(cur.node) * sig_span + cur.sig];
+    const std::int32_t pslot = pslots == 1 ? 0 : cur.in_port + 1;
+    Stamp& stamp = stamps_[(static_cast<std::size_t>(cur.node) * pslots +
+                            pslot) *
+                               sig_span +
+                           cur.sig];
     if (stamp.epoch == epoch_) {
       hit_index = i;
       hit_owner = stamp.owner;
@@ -124,7 +158,7 @@ void CompiledLineEngine::extract_orbit(tree::NodeId start,
     }
     stamp = {epoch_, self, static_cast<std::uint32_t>(i)};
     out.node.push_back(cur.node);
-    out.in_port.push_back(static_cast<std::int8_t>(cur.in_port));
+    out.in_port.push_back(static_cast<std::int16_t>(cur.in_port));
     cur = step(cur);
   }
 
@@ -138,7 +172,7 @@ void CompiledLineEngine::extract_orbit(tree::NodeId start,
     } else {
       out.mu = out.sn_mu + 1;
       out.node.push_back(cur.node);  // == node[sn_mu]: same projection pair
-      out.in_port.push_back(static_cast<std::int8_t>(cur.in_port));
+      out.in_port.push_back(static_cast<std::int16_t>(cur.in_port));
     }
   } else {
     // Merged into orbit `hit_owner` at its step hit_j after hit_index own
@@ -153,15 +187,16 @@ void CompiledLineEngine::extract_orbit(tree::NodeId start,
                              host.sn_mu)) %
         host.lambda;
     const std::uint64_t need = out.sn_mu + out.lambda + 1;
-    // At the merge step itself the walker keeps ITS OWN entry port (the
-    // port is determined by the predecessor pair, and the walker's
-    // predecessor differs from the host's); from the next step on the
-    // predecessors coincide and the host's records apply.
+    // At the merge step itself the walker keeps ITS OWN entry port (under
+    // the oblivious projection the port is determined by the predecessor
+    // pair, and the walker's predecessor differs from the host's; in the
+    // full-configuration walk the ports coincide anyway); from the next
+    // step on the host's records apply.
     std::uint64_t m = hit_j;  // rolling index into the host's arrays
     for (std::uint64_t i = hit_index; i < need; ++i) {
       out.node.push_back(host.node[m]);
       out.in_port.push_back(i == hit_index
-                                ? static_cast<std::int8_t>(cur.in_port)
+                                ? static_cast<std::int16_t>(cur.in_port)
                                 : host.in_port[m]);
       if (++m == host.node.size()) m = host.mu;
     }
@@ -182,7 +217,7 @@ void CompiledLineEngine::extract_orbit(tree::NodeId start,
   }
 }
 
-const std::vector<std::uint8_t>& CompiledLineEngine::cycle_collisions(
+const std::vector<std::uint8_t>& CompiledConfigEngine::cycle_collisions(
     std::uint32_t root) const {
   auto& table = collision_[root];
   if (collision_epoch_[root] == epoch_) return table;
@@ -220,10 +255,10 @@ const std::vector<std::uint8_t>& CompiledLineEngine::cycle_collisions(
   return table;
 }
 
-const CompiledLineEngine::Orbit& CompiledLineEngine::orbit(
+const CompiledConfigEngine::Orbit& CompiledConfigEngine::orbit(
     tree::NodeId start) const {
   if (start < 0 || start >= n_) {
-    throw std::invalid_argument("CompiledLineEngine::orbit: bad start");
+    throw std::invalid_argument("CompiledConfigEngine::orbit: bad start");
   }
   const std::size_t slot = static_cast<std::size_t>(start);
   if (orbit_epoch_[slot] != epoch_) {
@@ -233,9 +268,9 @@ const CompiledLineEngine::Orbit& CompiledLineEngine::orbit(
   return orbits_[slot];
 }
 
-CompiledVerdict verify_never_meet_compiled(const CompiledLineEngine& engine_a,
-                                           const CompiledLineEngine& engine_b,
-                                           const RunConfig& cfg) {
+Verdict verify_never_meet_compiled(const CompiledConfigEngine& engine_a,
+                                   const CompiledConfigEngine& engine_b,
+                                   const RunConfig& cfg) {
   if (&engine_a.tree() != &engine_b.tree()) {
     throw std::invalid_argument(
         "verify_never_meet_compiled: engines over different trees");
@@ -258,6 +293,42 @@ CompiledVerdict verify_never_meet_compiled(const CompiledLineEngine& engine_a,
   const auto& B = engine_b.orbit(cfg.start_b);
   const std::uint64_t da = cfg.delay_a, db = cfg.delay_b;
   const std::uint64_t M = cfg.max_rounds;
+
+  Verdict r;
+  r.engine = VerifyEngine::kCompiled;
+
+  // While exactly one agent walks (the other still parked), a meeting
+  // means the walker's orbit visits the parked agent's start: an O(1)
+  // first-visit lookup, independent of the delays.
+  bool meet_found = false;
+  std::uint64_t t_meet = 0;
+  const std::uint64_t d_early = std::min(da, db);
+  const std::uint64_t d_late = std::max(da, db);
+  if (d_late > d_early && d_early < M) {
+    const CompiledConfigEngine::Orbit& walker = da > db ? B : A;
+    const tree::NodeId parked = da > db ? cfg.start_a : cfg.start_b;
+    const std::uint32_t fv = walker.first_visit[parked];
+    const std::uint64_t limit = std::min(d_late, M) - d_early;
+    if (fv != CompiledConfigEngine::Orbit::kNever && fv <= limit) {
+      meet_found = true;
+      t_meet = d_early + fv;
+    }
+  }
+  if (d_late >= M) {
+    // The later agent never acts within the horizon: the legacy loop never
+    // snapshots a joint configuration, so no certificate is possible and
+    // the walker-onto-parked meeting above is the only observable event.
+    // (Also keeps the joint-parameter arithmetic below overflow-free: from
+    // here on da, db < M.)
+    if (meet_found) {  // t_meet <= M by the phase limit above
+      r.met = true;
+      r.meeting_round = t_meet - 1;  // legacy reports round() - 1
+      r.rounds_checked = t_meet;
+    } else {
+      r.rounds_checked = M;
+    }
+    return r;
+  }
 
   // Joint sequence parameters, seen through the legacy verifier's eyes: it
   // snapshots from round t0 on; the joint configuration is in its cycle
@@ -286,28 +357,12 @@ CompiledVerdict verify_never_meet_compiled(const CompiledLineEngine& engine_a,
   while (window < lam_joint || window - 1 < mu_joint) window <<= 1;
   const std::uint64_t t_detect = t0 + (window - 1) + lam_joint;
 
-  // Earliest meeting, if any, over the transient — in three phases whose
-  // cost is independent of the delays. Rounds where both agents are still
-  // parked cannot meet (distinct starts). While exactly one agent walks,
-  // a meeting means its orbit visits the parked agent's start: an O(1)
-  // first-visit lookup. Once both walk, the few remaining pre-cycle rounds
-  // are scanned with rolling (division-free) array indices.
-  bool meet_found = false;
-  std::uint64_t t_meet = 0;
-  const std::uint64_t d_early = std::min(da, db);
-  const std::uint64_t d_late = std::max(da, db);
-  if (d_late > d_early && d_early < M) {
-    const CompiledLineEngine::Orbit& walker = da > db ? B : A;
-    const tree::NodeId parked = da > db ? cfg.start_a : cfg.start_b;
-    const std::uint32_t fv = walker.first_visit[parked];
-    const std::uint64_t limit = std::min(d_late, M) - d_early;
-    if (fv != CompiledLineEngine::Orbit::kNever && fv <= limit) {
-      meet_found = true;
-      t_meet = d_early + fv;
-    }
-  }
-  if (!meet_found && d_late < M) {
-    // Both active from round d_late + 1 on; seed the rolling array
+  // Earliest meeting, if any, over the remaining transient (rounds where
+  // both agents are still parked cannot meet — distinct starts; the
+  // one-walker phase was answered above): the few pre-cycle rounds once
+  // both walk are scanned with rolling (division-free) array indices.
+  if (!meet_found) {
+    // Both active from round d_late + 1 <= M on; seed the rolling array
     // indices at round d_late (one wrap division each, loop-free after).
     const std::uint64_t sa = d_late - da;  // steps taken by round d_late
     const std::uint64_t sb = d_late - db;
@@ -348,7 +403,7 @@ CompiledVerdict verify_never_meet_compiled(const CompiledLineEngine& engine_a,
     bool scan_cycle;
     const std::vector<std::uint8_t>* collisions = nullptr;
     if (&engine_a == &engine_b && A.cycle_root == B.cycle_root &&
-        A.lambda <= CompiledLineEngine::kCollisionLimit) {
+        A.lambda <= CompiledConfigEngine::kCollisionLimit) {
       const auto& table = engine_a.cycle_collisions(A.cycle_root);
       if (!table.empty()) collisions = &table;  // empty: build gave up
     }
@@ -398,7 +453,6 @@ CompiledVerdict verify_never_meet_compiled(const CompiledLineEngine& engine_a,
   // Assemble the verdict exactly as the legacy loop would have: a meeting
   // is checked before the cycle certificate within each round, and nothing
   // past max_rounds is observed.
-  CompiledVerdict r;
   if (meet_found && t_meet <= M && t_meet <= t_detect) {
     r.met = true;
     r.meeting_round = t_meet - 1;  // legacy reports round() - 1
@@ -411,6 +465,51 @@ CompiledVerdict verify_never_meet_compiled(const CompiledLineEngine& engine_a,
     r.rounds_checked = M;
   }
   return r;
+}
+
+std::vector<Verdict> verify_grid(const CompiledConfigEngine& engine_a,
+                                 const CompiledConfigEngine& engine_b,
+                                 std::span<const PairQuery> queries,
+                                 std::uint64_t max_rounds,
+                                 unsigned num_threads) {
+  if (&engine_a.tree() != &engine_b.tree()) {
+    throw std::invalid_argument("verify_grid: engines over different trees");
+  }
+  if (max_rounds == 0) {
+    throw std::invalid_argument("verify_grid: max_rounds must be > 0");
+  }
+  const tree::NodeId n = engine_a.tree().node_count();
+  for (const PairQuery& q : queries) {
+    if (q.start_a < 0 || q.start_a >= n || q.start_b < 0 || q.start_b >= n) {
+      throw std::invalid_argument("verify_grid: start range");
+    }
+    if (q.start_a == q.start_b) {
+      throw std::invalid_argument("verify_grid: starts must differ");
+    }
+  }
+  // Warm every cache a query can touch — orbits for both endpoints and the
+  // per-cycle collision tables of shared cycles — serially, so the queries
+  // themselves are read-only and safe to fan across workers.
+  const bool same_engine = &engine_a == &engine_b;
+  for (const PairQuery& q : queries) {
+    const auto& A = engine_a.orbit(q.start_a);
+    const auto& B = engine_b.orbit(q.start_b);
+    if (same_engine && A.cycle_root == B.cycle_root &&
+        A.lambda <= CompiledConfigEngine::kCollisionLimit) {
+      engine_a.cycle_collisions(A.cycle_root);
+    }
+  }
+  std::vector<std::size_t> index(queries.size());
+  std::iota(index.begin(), index.end(), std::size_t{0});
+  return sweep_instances(
+      index,
+      [&](const std::size_t& i) {
+        const PairQuery& q = queries[i];
+        return verify_never_meet_compiled(
+            engine_a, engine_b,
+            RunConfig{q.start_a, q.start_b, q.delay_a, q.delay_b, max_rounds});
+      },
+      num_threads);
 }
 
 }  // namespace rvt::sim

@@ -1,21 +1,25 @@
-// Compiled joint-configuration engine for line automata (perf core of the
-// lower-bound certification pipeline).
+// Compiled joint-configuration engine for tabular automata (perf core of
+// the lower-bound certification pipeline).
 //
-// A LineAutomaton on a port-labeled line has a finite single-agent
+// A TabularAutomaton on ANY port-labeled tree has a finite single-agent
 // configuration space
-//     (state, first-step flag, node, entry port)   —   at most K*2*n*3
+//     (state, first-step flag, node, entry port)  —  at most K*2*n*(D+1)
 // points, and its dynamics is a deterministic self-map F of that space. A
 // single-agent trajectory is therefore a rho-shaped orbit (tail of length
-// mu followed by a cycle of length lambda); the engine extracts it with
-// Brent's cycle finding over F and caches it per start node. F itself is
-// compiled ahead of the walk: the tree's adjacency and the automaton's
-// transition tables are flattened into contiguous successor arrays
-// (per-(node, port) and per-(state, degree)), so one orbit step is a
-// handful of indexed loads with no virtual dispatch, no Observation
-// construction and no snapshot hashing. (A dense per-configuration
-// successor table was benchmarked here and rejected: it costs O(space)
-// per automaton rebind while a whole battery of queries only ever touches
-// the reachable orbits, which are far smaller.)
+// mu followed by a cycle of length lambda); the engine extracts it with a
+// stamped walk over F and caches it per start node. F itself is compiled
+// ahead of the walk: the tree's adjacency and the automaton's transition
+// tables are flattened into contiguous successor arrays (per-(node, port)
+// and per-(state, entry port, degree)), so one orbit step is a handful of
+// indexed loads with no virtual dispatch, no Observation construction and
+// no snapshot hashing. Entry-port-oblivious automata — every line
+// automaton, every lifted victim — keep the smaller (state, node)
+// projection the original line engine walked (the entry port is then a
+// function of the predecessor configuration); port-sensitive automata walk
+// the full space. (A dense per-configuration successor table was
+// benchmarked here and rejected: it costs O(space) per automaton rebind
+// while a whole battery of queries only ever touches the reachable orbits,
+// which are far smaller.)
 //
 // Joint two-agent verification needs no joint stepping at all: the two
 // agents evolve independently, so the joint configuration sequence observed
@@ -30,44 +34,40 @@
 // have reported — is reconstructed analytically, so the compiled engine is
 // a drop-in replacement validated field-for-field by differential tests.
 // Start delays only shift the alignment of the two orbits, so sweeping a
-// delay grid against one engine re-uses every orbit.
+// whole (start-pair x delay) grid against one engine re-uses every orbit;
+// verify_grid() answers such grids batched, optionally fanning the
+// (read-only, post-warmup) queries across sweep_instances workers.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/automaton.hpp"
 #include "sim/simulator.hpp"
+#include "sim/verdict.hpp"
 #include "tree/tree.hpp"
 
 namespace rvt::sim {
 
-/// Verdict mirror of lowerbound::NeverMeetResult (kept here so sim/ does not
-/// depend on lowerbound/); lowerbound/verify.cpp translates.
-struct CompiledVerdict {
-  bool met = false;
-  std::uint64_t meeting_round = 0;
-  bool certified_forever = false;
-  std::uint64_t cycle_length = 0;
-  std::uint64_t rounds_checked = 0;
-};
-
-/// Compiled dynamics + per-start orbit cache for one (line, automaton)
+/// Compiled dynamics + per-start orbit cache for one (tree, automaton)
 /// pair. Reuse the same engine across many start pairs and delays (e.g.
-/// the E10 battery) — orbits are computed once per start node — and
-/// rebind() it to sweep automata over a fixed line without reallocating.
-/// Not thread-safe: use one engine per sweep worker.
-class CompiledLineEngine {
+/// the E10/E11 batteries) — orbits are computed once per start node — and
+/// rebind() it to sweep automata over a fixed tree without reallocating.
+/// Lazy caches make the engine non-thread-safe in general: use one engine
+/// per sweep worker, or pre-warm via verify_grid and share read-only.
+class CompiledConfigEngine {
  public:
-  /// Throws std::invalid_argument if the tree is not a line with >= 2 nodes
-  /// (max degree <= 2) or the automaton is malformed. The tree reference
-  /// must outlive the engine; the automaton is copied.
-  CompiledLineEngine(const tree::Tree& line, const LineAutomaton& a);
+  /// Throws std::invalid_argument if the automaton is malformed, the tree
+  /// has fewer than 2 nodes, or the tree's max degree exceeds the
+  /// automaton's (the table has no entries for such inputs). The tree
+  /// reference must outlive the engine; the automaton is copied.
+  CompiledConfigEngine(const tree::Tree& t, const TabularAutomaton& a);
 
-  /// Swaps in a new automaton over the same line, invalidating cached
+  /// Swaps in a new automaton over the same tree, invalidating cached
   /// orbits (references returned by orbit() become stale) but keeping all
   /// buffer capacity — the zero-allocation path for exhaustive sweeps.
-  void rebind(const LineAutomaton& a);
+  void rebind(const TabularAutomaton& a);
 
   /// rho decomposition of the single-agent orbit from a start node:
   /// node[k] is the node occupied after k steps (node[0] == start), stored
@@ -75,11 +75,13 @@ class CompiledLineEngine {
   /// never empty (the initial "first step pending" configuration cannot
   /// recur), so mu >= 1.
   ///
-  /// mu and lambda describe the FULL configuration (incl. entry port); the
-  /// walk itself runs over the autonomous (state, node) projection — the
-  /// entry port is a function of the predecessor pair — so sn_mu (the
-  /// projection's tail, mu or mu - 1) and the per-step entry ports are
-  /// kept for orbit-merging bookkeeping.
+  /// mu and lambda describe the FULL configuration (incl. entry port). For
+  /// port-oblivious automata the walk itself runs over the autonomous
+  /// (state, node) projection — the entry port is a function of the
+  /// predecessor pair — so sn_mu (the projection's tail, mu or mu - 1) and
+  /// the per-step entry ports are kept for orbit-merging bookkeeping; for
+  /// port-sensitive automata the walked space IS the full configuration
+  /// and sn_mu == mu.
   struct Orbit {
     std::uint64_t mu = 0;
     std::uint64_t lambda = 0;
@@ -92,7 +94,7 @@ class CompiledLineEngine {
     std::uint32_t cycle_root = 0;
     std::uint64_t cycle_phase = 0;
     std::vector<tree::NodeId> node;
-    std::vector<std::int8_t> in_port;  ///< entry port after k steps
+    std::vector<std::int16_t> in_port;  ///< entry port after k steps
     /// first_visit[w]: first step at which the orbit occupies node w
     /// (kNever if it never does). Answers "can the walker hit a parked
     /// agent?" in O(1), making delayed-start queries O(1) in the delay.
@@ -104,7 +106,7 @@ class CompiledLineEngine {
                  ? node[k]
                  : node[mu + (k - mu) % lambda];
     }
-    std::int8_t in_port_at(std::uint64_t k) const {
+    std::int16_t in_port_at(std::uint64_t k) const {
       return k < in_port.size()
                  ? in_port[k]
                  : in_port[mu + (k - mu) % lambda];
@@ -115,41 +117,51 @@ class CompiledLineEngine {
   const Orbit& orbit(tree::NodeId start) const;
 
   const tree::Tree& tree() const { return *tree_; }
-  const LineAutomaton& automaton() const { return automaton_; }
-  /// Size of the configuration space (K * 2 * n * 3); every orbit satisfies
-  /// mu + lambda <= num_configs().
+  const TabularAutomaton& automaton() const { return automaton_; }
+  /// Size of the full configuration space (K * 2 * n * (D+1)); every orbit
+  /// satisfies mu + lambda <= num_configs().
   std::uint64_t num_configs() const;
+  /// Entries of the visit-stamp table this binding needs — K * 2 * n for a
+  /// port-oblivious automaton, K * 2 * n * (D+1) otherwise. The
+  /// verification dispatcher budgets on this before building an engine.
+  static std::uint64_t stamp_entries(const tree::Tree& t,
+                                     const TabularAutomaton& a);
 
  private:
-  void bind_automaton(const LineAutomaton& a);
+  void bind_automaton(const TabularAutomaton& a);
   void extract_orbit(tree::NodeId start, Orbit& out) const;
 
   const tree::Tree* tree_;
-  LineAutomaton automaton_;
+  TabularAutomaton automaton_;
   std::int32_t n_ = 0;
+  std::int32_t max_deg_ = 0;   ///< automaton_.max_degree
+  std::int32_t port_slots_ = 1;  ///< stamped entry-port slots: 1 or D+1
   // Flattened successor tables: substrate per (node, port), transitions
-  // per (state, degree).
+  // per (state, entry port, degree).
   std::vector<std::uint8_t> deg_;     ///< deg_[v]
-  std::vector<std::uint32_t> nbrev_;  ///< (neighbor << 2 | rev_port) per port
-  std::vector<std::int32_t> delta_;   ///< delta_[2s + (deg-1)]
+  std::vector<std::uint32_t> nbrev_;  ///< (neighbor << 8 | rev_port) per port
+  std::vector<std::int32_t> delta_;   ///< delta_[(s*(D+1) + i+1)*D + d-1]
   // Orbit cache, epoch-invalidated by rebind() so slots and their node
   // vectors keep their capacity across automata.
   mutable std::vector<Orbit> orbits_;
   mutable std::vector<std::uint32_t> orbit_epoch_;
   mutable std::uint32_t epoch_ = 1;
-  // Visit stamps over the (state-signature, node) projection, shared by
-  // every orbit of the current epoch: a walk stops the moment it touches
-  // any already-extracted orbit and inherits that orbit's cycle instead of
-  // re-walking it, so each configuration is visited at most once per
-  // automaton no matter how many starts are queried.
+  // Visit stamps over the walked projection — (state-signature, node) when
+  // the automaton is port-oblivious, (state-signature, node, entry port)
+  // otherwise — shared by every orbit of the current epoch: a walk stops
+  // the moment it touches any already-extracted orbit and inherits that
+  // orbit's cycle instead of re-walking it, so each configuration is
+  // visited at most once per automaton no matter how many starts are
+  // queried.
   struct Stamp {
     std::uint32_t epoch = 0;
-    std::uint32_t owner = 0;  ///< start node whose walk stamped this pair
+    std::uint32_t owner = 0;  ///< start node whose walk stamped this config
     std::uint32_t index = 0;  ///< step index within that walk
   };
-  // Node-major layout (node * 2K + sig): on a line the node moves by at
-  // most one per step while the state may jump, so consecutive walk steps
-  // touch neighboring blocks — the walk stays cache-resident.
+  // Node-major layout ((node * port_slots + pslot) * 2K + sig): the node
+  // moves by at most one edge per step while the state may jump, so
+  // consecutive walk steps touch neighboring blocks — the walk stays
+  // cache-resident.
   mutable std::vector<Stamp> stamps_;
   // Per-cycle collision tables (indexed by cycle_root): entry Delta is
   // nonzero iff two positions of the cycle at gap Delta occupy the same
@@ -167,15 +179,52 @@ class CompiledLineEngine {
   static constexpr std::uint64_t kCollisionLimit = 512;
 };
 
-/// Table-driven equivalent of lowerbound::verify_never_meet for two line
-/// automata on the SAME tree object (pass the same engine twice for
-/// identical agents). Produces field-for-field the result the legacy
+/// Line-automaton convenience over CompiledConfigEngine: constructs from
+/// the historical LineAutomaton table format and insists the substrate is
+/// a line (the degree cap falls out of the automaton's max_degree == 2).
+class CompiledLineEngine : public CompiledConfigEngine {
+ public:
+  CompiledLineEngine(const tree::Tree& line, const LineAutomaton& a)
+      : CompiledConfigEngine(line, a.tabular()) {}
+
+  using CompiledConfigEngine::rebind;
+  void rebind(const LineAutomaton& a) {
+    CompiledConfigEngine::rebind(a.tabular());
+  }
+};
+
+/// Table-driven equivalent of lowerbound::verify_never_meet for two
+/// tabular automata on the SAME tree object (pass the same engine twice
+/// for identical agents). Produces field-for-field the result the legacy
 /// Brent-certificate stepper computes, in O(mu + lambda) table work per
 /// agent instead of up to max_rounds interpreted rounds. Throws
 /// std::invalid_argument on bad config (max_rounds == 0, equal or
 /// out-of-range starts, engines over different trees).
-CompiledVerdict verify_never_meet_compiled(const CompiledLineEngine& engine_a,
-                                           const CompiledLineEngine& engine_b,
-                                           const RunConfig& cfg);
+Verdict verify_never_meet_compiled(const CompiledConfigEngine& engine_a,
+                                   const CompiledConfigEngine& engine_b,
+                                   const RunConfig& cfg);
+
+/// One point of a batched verdict grid: a start pair plus per-agent start
+/// delays. max_rounds is shared by the whole grid (verify_grid argument).
+struct PairQuery {
+  tree::NodeId start_a = -1;
+  tree::NodeId start_b = -1;
+  std::uint64_t delay_a = 0;
+  std::uint64_t delay_b = 0;
+};
+
+/// Batched verify_never_meet_compiled over a (start-pair x delay) grid:
+/// answers[i] corresponds to queries[i]. All orbits (and the collision
+/// tables the queries can touch) are warmed up serially first, so with
+/// num_threads != 1 the per-query work is read-only and fans across
+/// sweep_instances workers with deterministic result ordering;
+/// num_threads == 0 uses one worker per hardware thread (RVT_SWEEP_THREADS
+/// overrides). Every query must be valid (distinct in-range starts) — the
+/// first failure is rethrown after the workers join, like any sweep.
+std::vector<Verdict> verify_grid(const CompiledConfigEngine& engine_a,
+                                 const CompiledConfigEngine& engine_b,
+                                 std::span<const PairQuery> queries,
+                                 std::uint64_t max_rounds,
+                                 unsigned num_threads = 1);
 
 }  // namespace rvt::sim

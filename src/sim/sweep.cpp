@@ -1,15 +1,30 @@
 #include "sim/sweep.hpp"
 
+#include <cerrno>
 #include <cstdlib>
-#include <string>
 
 namespace rvt::sim {
 
 unsigned resolve_sweep_threads(unsigned requested) {
   if (requested > 0) return requested;
+  // RVT_SWEEP_THREADS must be a whole base-10 positive integer to take
+  // effect; "0", trailing junk, negatives, overflow and empty strings are
+  // rejected deterministically (fall through to hardware concurrency)
+  // rather than silently parsed as a prefix. Values past kMaxSweepThreads
+  // are clamped — a pool larger than that only adds scheduler churn.
   if (const char* env = std::getenv("RVT_SWEEP_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<unsigned>(v);
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    // strtol would skip leading whitespace and accept a sign; insist the
+    // whole string is plain digits.
+    const bool parsed = env[0] >= '0' && env[0] <= '9' && *end == '\0' &&
+                        errno != ERANGE;
+    if (parsed && v > 0) {
+      return v <= static_cast<long>(kMaxSweepThreads)
+                 ? static_cast<unsigned>(v)
+                 : kMaxSweepThreads;
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;

@@ -23,9 +23,17 @@
 
 namespace rvt::sim {
 
+/// Hard cap on the pool size an RVT_SWEEP_THREADS override can request;
+/// larger values are clamped.
+inline constexpr unsigned kMaxSweepThreads = 1024;
+
 /// Worker count actually used for `requested` threads: 0 means "one per
 /// hardware thread" (overridable via the RVT_SWEEP_THREADS environment
-/// variable, useful to pin CI runs); the result is always >= 1.
+/// variable, useful to pin CI runs); the result is always >= 1 and at most
+/// kMaxSweepThreads when taken from the environment. Malformed or
+/// non-positive RVT_SWEEP_THREADS values (garbage, trailing junk, "0",
+/// negatives, overflow) are rejected deterministically and fall back to
+/// hardware concurrency.
 unsigned resolve_sweep_threads(unsigned requested);
 
 template <typename Instance, typename Fn>

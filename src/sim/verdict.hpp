@@ -1,0 +1,49 @@
+// The shared verification verdict (one type for every engine).
+//
+// Both the compiled configuration engine (sim/compiled.hpp) and the legacy
+// per-round reference stepper (lowerbound/verify.cpp) answer the same
+// question — does a specific agent pair on a specific instance ever meet,
+// and if not, is non-meeting certified forever by a configuration cycle? —
+// so they share one verdict struct. `engine` records which engine actually
+// produced the verdict: the dispatcher in lowerbound::verify_never_meet
+// picks an engine by capability and budget, and a silent fallback to the
+// (orders of magnitude slower) reference stepper used to be invisible to
+// callers; benches now assert on the field.
+#pragma once
+
+#include <cstdint>
+
+namespace rvt::sim {
+
+/// Which engine produced a Verdict.
+enum class VerifyEngine : std::uint8_t {
+  kNone = 0,   ///< default-constructed / not yet verified
+  kCompiled,   ///< compiled configuration engine (sim/compiled.hpp)
+  kReference,  ///< legacy per-round Brent stepper (lowerbound/verify.cpp)
+};
+
+inline const char* to_string(VerifyEngine e) {
+  switch (e) {
+    case VerifyEngine::kCompiled:
+      return "compiled";
+    case VerifyEngine::kReference:
+      return "reference";
+    default:
+      return "none";
+  }
+}
+
+struct Verdict {
+  bool met = false;                 ///< construction FAILED if true
+  std::uint64_t meeting_round = 0;  ///< valid when met
+  bool certified_forever = false;   ///< configuration cycle found
+  std::uint64_t cycle_length = 0;   ///< period of the certified cycle
+  std::uint64_t rounds_checked = 0;
+  VerifyEngine engine = VerifyEngine::kNone;
+};
+
+/// Historical name from when the compiled engine kept its own mirror of
+/// lowerbound::NeverMeetResult; both are now the same type.
+using CompiledVerdict = Verdict;
+
+}  // namespace rvt::sim

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "lowerbound/verify.hpp"
@@ -28,14 +30,35 @@ tree::Tree random_line(int n, util::Rng& rng) {
   }
 }
 
-/// Steps a fresh LineAutomatonAgent through the single-agent round
+/// A random max-degree-3 tree assembled from the Theorem 4.3 families
+/// (side trees, optionally joined two-sided) with randomized ports — the
+/// substrate mix for the tree-generalized engine tests.
+tree::Tree random_degree3_tree(util::Rng& rng) {
+  const int i = 3 + static_cast<int>(rng.index(4));
+  const std::uint64_t mask = rng.uniform(0, (1ull << (i - 1)) - 1);
+  tree::Tree t = tree::Tree::single_node();
+  if (rng.coin()) {
+    t = tree::side_tree(i, mask);
+  } else {
+    const int j = 3 + static_cast<int>(rng.index(3));
+    const tree::Tree left = tree::side_tree(i, mask);
+    const tree::Tree right =
+        tree::side_tree(j, rng.uniform(0, (1ull << (j - 1)) - 1));
+    t = tree::two_sided_tree(left, right,
+                             2 + 2 * static_cast<int>(rng.index(3)))
+            .tree;
+  }
+  return rng.coin() ? tree::randomize_ports(t, rng) : t;
+}
+
+/// Steps a fresh TabularAutomatonAgent through the single-agent round
 /// semantics of TwoAgentRun, returning the position (node + entry port)
 /// after each round.
 std::vector<tree::WalkPos> interpreted_trajectory(const tree::Tree& t,
-                                                  const LineAutomaton& a,
+                                                  const TabularAutomaton& a,
                                                   tree::NodeId start,
                                                   std::uint64_t rounds) {
-  LineAutomatonAgent agent(a);
+  TabularAutomatonAgent agent(a);
   tree::WalkPos pos{start, -1};
   std::vector<tree::WalkPos> out{pos};
   for (std::uint64_t r = 0; r < rounds; ++r) {
@@ -70,7 +93,7 @@ TEST(CompiledOrbit, MatchesInterpretedTrajectoryAndIsRho) {
       ASSERT_GE(orbit.mu, 1u);  // the first-step-pending config can't recur
       ASSERT_GE(orbit.lambda, 1u);
       const std::uint64_t horizon = orbit.mu + 2 * orbit.lambda + 5;
-      const auto traj = interpreted_trajectory(t, a, start, horizon);
+      const auto traj = interpreted_trajectory(t, a.tabular(), start, horizon);
       for (std::uint64_t k = 0; k <= horizon; ++k) {
         ASSERT_EQ(orbit.node_at(k), traj[k].node)
             << "rep " << rep << " start " << start << " k " << k;
@@ -152,6 +175,8 @@ TEST(CompiledVerify, DifferentialAgainstReferenceStepper) {
     LineAutomatonAgent ca(a), cb(b);
     const auto fast = lowerbound::verify_never_meet(t, ca, cb, cfg);
     EXPECT_TRUE(ca.fresh());  // compiled path does not step the agents
+    ASSERT_EQ(fast.engine, VerifyEngine::kCompiled) << "rep " << rep;
+    ASSERT_EQ(ref.engine, VerifyEngine::kReference) << "rep " << rep;
 
     ASSERT_EQ(fast.met, ref.met) << "rep " << rep;
     ASSERT_EQ(fast.certified_forever, ref.certified_forever) << "rep " << rep;
@@ -186,6 +211,49 @@ TEST(CompiledVerify, DirectEngineMatchesDispatcherAcrossPairsAndDelays) {
         ASSERT_EQ(direct.met, ref.met) << u << " " << v << " " << delay;
         ASSERT_EQ(direct.certified_forever, ref.certified_forever);
         ASSERT_EQ(direct.cycle_length, ref.cycle_length);
+      }
+    }
+  }
+}
+
+TEST(CompiledVerify, ExtremeDelaysMatchReference) {
+  // Delays at and beyond the horizon — including UINT64_MAX — must not
+  // wrap the joint-cycle arithmetic: the later agent never acts within
+  // max_rounds, so only a walker-onto-parked meeting is observable and no
+  // certificate is possible.
+  util::Rng rng(0xdeeeull);
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  for (int rep = 0; rep < 25; ++rep) {
+    const int n = 4 + static_cast<int>(rng.index(6));
+    const tree::Tree t = random_line(n, rng);
+    const auto a =
+        random_line_automaton(1 + static_cast<int>(rng.index(6)), rng);
+    const std::uint64_t M = 1 + rng.uniform(0, 80);
+    const std::uint64_t extremes[] = {0, M - 1, M, M + 7, kMax - 1, kMax};
+    for (const std::uint64_t dl : extremes) {
+      for (const std::uint64_t dr : {std::uint64_t{0}, M, kMax}) {
+        RunConfig cfg;
+        cfg.start_a = static_cast<tree::NodeId>(rng.index(n));
+        do {
+          cfg.start_b = static_cast<tree::NodeId>(rng.index(n));
+        } while (cfg.start_b == cfg.start_a);
+        cfg.delay_a = dl;
+        cfg.delay_b = dr;
+        cfg.max_rounds = M;
+        const CompiledLineEngine engine(t, a);
+        const auto fast = verify_never_meet_compiled(engine, engine, cfg);
+        LineAutomatonAgent ra(a), rb(a);
+        const auto ref =
+            lowerbound::verify_never_meet_reference(t, ra, rb, cfg);
+        ASSERT_EQ(fast.met, ref.met) << rep << " " << dl << " " << dr;
+        ASSERT_EQ(fast.meeting_round, ref.meeting_round)
+            << rep << " " << dl << " " << dr;
+        ASSERT_EQ(fast.certified_forever, ref.certified_forever)
+            << rep << " " << dl << " " << dr;
+        ASSERT_EQ(fast.cycle_length, ref.cycle_length)
+            << rep << " " << dl << " " << dr;
+        ASSERT_EQ(fast.rounds_checked, ref.rounds_checked)
+            << rep << " " << dl << " " << dr;
       }
     }
   }
@@ -256,6 +324,264 @@ TEST(SweepInstances, PropagatesExceptions) {
     return x;
   };
   EXPECT_THROW(sweep_instances(items, fn, 3), std::runtime_error);
+}
+
+// --- Tree-generalized engine ------------------------------------------------
+
+TEST(CompiledConfig, OrbitMatchesInterpretedTrajectoryOnTrees) {
+  util::Rng rng(2024);
+  for (int rep = 0; rep < 30; ++rep) {
+    const tree::Tree t = random_degree3_tree(rng);
+    // Mix port-sensitive victims (random TreeAutomaton) with port-oblivious
+    // ones (lifted line automata) so both walk projections are exercised.
+    const TabularAutomaton a =
+        rep % 2 == 0
+            ? random_tree_automaton(1 + static_cast<int>(rng.index(6)), rng)
+                  .tabular()
+            : lift_to_tree_automaton(
+                  random_line_automaton(
+                      1 + static_cast<int>(rng.index(6)), rng))
+                  .tabular();
+    const CompiledConfigEngine engine(t, a);
+    for (tree::NodeId start = 0; start < t.node_count(); ++start) {
+      const auto& orbit = engine.orbit(start);
+      ASSERT_GE(orbit.mu, 1u);
+      ASSERT_GE(orbit.lambda, 1u);
+      ASSERT_LE(orbit.mu + orbit.lambda, engine.num_configs());
+      const std::uint64_t horizon = orbit.mu + 2 * orbit.lambda + 5;
+      const auto traj = interpreted_trajectory(t, a, start, horizon);
+      for (std::uint64_t k = 0; k <= horizon; ++k) {
+        ASSERT_EQ(orbit.node_at(k), traj[k].node)
+            << "rep " << rep << " start " << start << " k " << k;
+        ASSERT_EQ(orbit.in_port_at(k), traj[k].in_port)
+            << "rep " << rep << " start " << start << " k " << k;
+      }
+      for (std::uint64_t k = orbit.mu; k < orbit.mu + orbit.lambda; ++k) {
+        ASSERT_EQ(orbit.node_at(k), orbit.node_at(k + orbit.lambda));
+        ASSERT_EQ(orbit.in_port_at(k), orbit.in_port_at(k + orbit.lambda));
+      }
+    }
+  }
+}
+
+// The tree-generalized acceptance differential: TreeAutomaton pairs (both
+// genuinely port-sensitive and lifted line automata) on random degree-3
+// trees must match the legacy Brent stepper field for field, and the
+// dispatcher must route every fresh pair through the compiled engine.
+TEST(CompiledConfig, DifferentialOnRandomDegree3Trees) {
+  util::Rng rng(0x43ull);
+  int certified = 0, met = 0, exhausted = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    const tree::Tree t = random_degree3_tree(rng);
+    const int n = t.node_count();
+    const bool lifted = rng.index(3) == 0;
+    const TreeAutomaton a =
+        lifted ? lift_to_tree_automaton(random_line_automaton(
+                     1 + static_cast<int>(rng.index(8)), rng))
+               : random_tree_automaton(
+                     1 + static_cast<int>(rng.index(8)), rng);
+    const bool identical = rng.index(4) != 0;
+    const TreeAutomaton b =
+        identical
+            ? a
+            : random_tree_automaton(1 + static_cast<int>(rng.index(8)), rng);
+    RunConfig cfg;
+    cfg.start_a = static_cast<tree::NodeId>(rng.index(n));
+    do {
+      cfg.start_b = static_cast<tree::NodeId>(rng.index(n));
+    } while (cfg.start_b == cfg.start_a);
+    cfg.delay_a = rng.index(3) == 0 ? rng.uniform(0, 40) : 0;
+    cfg.delay_b = rng.index(3) == 0 ? rng.uniform(0, 40) : 0;
+    switch (rng.index(3)) {
+      case 0:
+        cfg.max_rounds = rng.uniform(1, 30);
+        break;
+      case 1:
+        cfg.max_rounds = rng.uniform(31, 3000);
+        break;
+      default:
+        cfg.max_rounds = 1000000;
+        break;
+    }
+
+    TreeAutomatonAgent ra(a), rb(b);
+    const auto ref = lowerbound::verify_never_meet_reference(t, ra, rb, cfg);
+    TreeAutomatonAgent ca(a), cb(b);
+    const auto fast = lowerbound::verify_never_meet(t, ca, cb, cfg);
+    EXPECT_TRUE(ca.fresh());
+    ASSERT_EQ(fast.engine, VerifyEngine::kCompiled) << "rep " << rep;
+
+    ASSERT_EQ(fast.met, ref.met) << "rep " << rep;
+    ASSERT_EQ(fast.certified_forever, ref.certified_forever) << "rep " << rep;
+    ASSERT_EQ(fast.cycle_length, ref.cycle_length) << "rep " << rep;
+    ASSERT_EQ(fast.meeting_round, ref.meeting_round) << "rep " << rep;
+    ASSERT_EQ(fast.rounds_checked, ref.rounds_checked) << "rep " << rep;
+    certified += ref.certified_forever;
+    met += ref.met;
+    exhausted += !ref.met && !ref.certified_forever;
+  }
+  // The case mix must exercise all three outcome classes.
+  EXPECT_GE(certified, 15);
+  EXPECT_GE(met, 15);
+  EXPECT_GE(exhausted, 15);
+}
+
+TEST(CompiledConfig, RejectsSubstratesOutsideTheDegreeModel) {
+  util::Rng rng(12);
+  const auto line2 = random_line_automaton(3, rng).tabular();  // D = 2
+  EXPECT_THROW(CompiledConfigEngine(tree::star(3), line2),
+               std::invalid_argument);
+  const auto tree3 = random_tree_automaton(3, rng).tabular();  // D = 3
+  EXPECT_NO_THROW(CompiledConfigEngine(tree::star(3), tree3));
+  EXPECT_THROW(CompiledConfigEngine(tree::star(4), tree3),
+               std::invalid_argument);
+  // rebind must keep the degree model (substrate tables are per-degree).
+  CompiledConfigEngine engine(tree::line(5), tree3);
+  EXPECT_THROW(engine.rebind(line2), std::invalid_argument);
+}
+
+// --- Batched verdict grids --------------------------------------------------
+
+TEST(VerifyGrid, MatchesPerQueryVerdictsAndIsDeterministic) {
+  util::Rng rng(314);
+  const tree::Tree t = random_degree3_tree(rng);
+  const auto a = random_tree_automaton(4, rng).tabular();
+  const CompiledConfigEngine engine(t, a);
+  std::vector<PairQuery> queries;
+  for (tree::NodeId u = 0; u < t.node_count(); ++u) {
+    for (tree::NodeId v = 0; v < t.node_count(); ++v) {
+      if (u == v) continue;
+      for (const std::uint64_t d : {0ull, 1ull, 7ull, 31ull}) {
+        queries.push_back({u, v, d, 0});
+      }
+    }
+  }
+  constexpr std::uint64_t kHorizon = 100000;
+  const auto serial = verify_grid(engine, engine, queries, kHorizon, 1);
+  ASSERT_EQ(serial.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& q = queries[i];
+    const auto one = verify_never_meet_compiled(
+        engine, engine, {q.start_a, q.start_b, q.delay_a, q.delay_b,
+                         kHorizon});
+    ASSERT_EQ(serial[i].met, one.met) << i;
+    ASSERT_EQ(serial[i].meeting_round, one.meeting_round) << i;
+    ASSERT_EQ(serial[i].certified_forever, one.certified_forever) << i;
+    ASSERT_EQ(serial[i].cycle_length, one.cycle_length) << i;
+    ASSERT_EQ(serial[i].rounds_checked, one.rounds_checked) << i;
+    ASSERT_EQ(serial[i].engine, VerifyEngine::kCompiled) << i;
+  }
+  for (const unsigned threads : {2u, 4u}) {
+    const auto parallel = verify_grid(engine, engine, queries, kHorizon,
+                                      threads);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(parallel[i].met, serial[i].met) << threads << " " << i;
+      ASSERT_EQ(parallel[i].rounds_checked, serial[i].rounds_checked)
+          << threads << " " << i;
+      ASSERT_EQ(parallel[i].cycle_length, serial[i].cycle_length)
+          << threads << " " << i;
+    }
+  }
+}
+
+TEST(VerifyGrid, ValidatesQueriesUpFront) {
+  util::Rng rng(6);
+  const tree::Tree t = tree::line(5);
+  const CompiledLineEngine engine(t, random_line_automaton(3, rng));
+  const std::vector<PairQuery> empty;
+  EXPECT_TRUE(verify_grid(engine, engine, empty, 10).empty());
+  const std::vector<PairQuery> equal_starts{{2, 2, 0, 0}};
+  EXPECT_THROW(verify_grid(engine, engine, equal_starts, 10),
+               std::invalid_argument);
+  const std::vector<PairQuery> out_of_range{{0, 9, 0, 0}};
+  EXPECT_THROW(verify_grid(engine, engine, out_of_range, 10),
+               std::invalid_argument);
+  const std::vector<PairQuery> ok{{0, 1, 0, 0}};
+  EXPECT_THROW(verify_grid(engine, engine, ok, 0), std::invalid_argument);
+}
+
+// --- Dispatch boundaries ----------------------------------------------------
+
+TEST(VerifyDispatch, EngineBudgetBoundary) {
+  // compiled_engine_fits is pure arithmetic over stamp_entries; probe the
+  // exact threshold. A port-oblivious automaton with K states on an n-node
+  // tree needs K * 2 * n stamps.
+  const tree::Tree t = tree::line(8);
+  LineAutomaton a;
+  const int k_fit = 1 << 20;  // 2^20 * 2 * 8 == 2^24 == budget: fits
+  a.delta.assign(k_fit, {0, 0});
+  a.lambda.assign(k_fit, kStay);
+  EXPECT_TRUE(lowerbound::compiled_engine_fits(t, a.tabular()));
+  a.delta.resize(k_fit + 1, {0, 0});  // one state past the boundary
+  a.lambda.resize(k_fit + 1, kStay);
+  const auto big = a.tabular();
+  EXPECT_FALSE(lowerbound::compiled_engine_fits(t, big));
+  EXPECT_EQ(CompiledConfigEngine::stamp_entries(t, big),
+            (std::uint64_t{1} << 24) + 16);
+
+  // End to end: the over-budget pair must fall back to the reference
+  // stepper (all states stay put, so the reference certifies instantly).
+  LineAutomatonAgent x(a), y(a);
+  const auto r = lowerbound::verify_never_meet(t, x, y, {0, 4, 0, 0, 1000});
+  EXPECT_EQ(r.engine, VerifyEngine::kReference);
+  EXPECT_TRUE(r.certified_forever);
+}
+
+TEST(VerifyDispatch, NonFreshAgentsFallBackToReferenceAndReportIt) {
+  const tree::Tree t = tree::line_edge_colored(6, 0);
+  const auto a = ping_pong_walker(2);
+  LineAutomatonAgent x(a), y(a);
+  ASSERT_NE(x.tabular(), nullptr);  // capability is there...
+  (void)x.step({-1, 2});
+  EXPECT_FALSE(x.fresh());  // ...but the configuration is no longer initial
+  const auto r = lowerbound::verify_never_meet(t, x, y, {1, 4, 0, 0, 100000});
+  EXPECT_EQ(r.engine, VerifyEngine::kReference);
+
+  LineAutomatonAgent fx(a), fy(a);
+  const auto f =
+      lowerbound::verify_never_meet(t, fx, fy, {1, 4, 0, 0, 100000});
+  EXPECT_EQ(f.engine, VerifyEngine::kCompiled);
+}
+
+// --- Sweep-thread resolution ------------------------------------------------
+
+class SweepThreadsEnv : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("RVT_SWEEP_THREADS"); }
+  static unsigned hardware_fallback() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+};
+
+TEST_F(SweepThreadsEnv, ExplicitRequestWinsOverEnvironment) {
+  setenv("RVT_SWEEP_THREADS", "3", 1);
+  EXPECT_EQ(resolve_sweep_threads(7), 7u);
+}
+
+TEST_F(SweepThreadsEnv, EnvOverridesWhenUnrequested) {
+  setenv("RVT_SWEEP_THREADS", "3", 1);
+  EXPECT_EQ(resolve_sweep_threads(0), 3u);
+}
+
+TEST_F(SweepThreadsEnv, ZeroMeansHardwareThreads) {
+  setenv("RVT_SWEEP_THREADS", "0", 1);
+  EXPECT_EQ(resolve_sweep_threads(0), hardware_fallback());
+  unsetenv("RVT_SWEEP_THREADS");
+  EXPECT_EQ(resolve_sweep_threads(0), hardware_fallback());
+}
+
+TEST_F(SweepThreadsEnv, GarbageValuesAreRejectedDeterministically) {
+  for (const char* bad : {"abc", "3x", "", " 4", "-2", "2.5",
+                          "99999999999999999999999"}) {
+    setenv("RVT_SWEEP_THREADS", bad, 1);
+    EXPECT_EQ(resolve_sweep_threads(0), hardware_fallback()) << bad;
+  }
+}
+
+TEST_F(SweepThreadsEnv, OversizedValuesAreClamped) {
+  setenv("RVT_SWEEP_THREADS", "100000", 1);
+  EXPECT_EQ(resolve_sweep_threads(0), kMaxSweepThreads);
 }
 
 class NegativeActionAgent final : public Agent {
