@@ -1,24 +1,32 @@
-// Shared helpers for the experiment harnesses (E1..E10).
+// Shared helpers for the experiment harnesses (E1..E11).
 //
 // Each bench binary reproduces one experiment from EXPERIMENTS.md: it runs
 // without arguments, prints its seed, the table of results, and a PASS /
 // FAIL verdict line summarizing whether the paper's qualitative claim held
 // in this run. Benches additionally record wall-time (total, and per
-// verification engine where both are exercised) and can dump a
-// machine-readable BENCH_<ID>.json report so perf can be tracked PR over
-// PR.
+// verification engine where both are exercised) and dump a
+// machine-readable BENCH_<ID>.json report (util/bench_report.hpp — the
+// schema is validated at write time, so a malformed report fails the
+// bench) so perf can be tracked PR over PR.
+//
+// Timing discipline: the engine shoot-outs use steady_min_seconds() —
+// warm-up passes followed by the MINIMUM over N timed repeats, measured
+// in per-thread CPU time — so the recorded numbers track the steady
+// state of the pipeline (caches populated, allocations amortized, branch
+// predictors trained) instead of a single cold wall-clock shot at the
+// mercy of co-tenant scheduling noise. Both engines of a shoot-out are
+// measured identically, so the recorded ratio is unaffected; the repeat
+// counts land in the JSON (compiled_repeats / reference_repeats) for
+// trajectory comparability.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
-#include <cstdio>
-#include <fstream>
+#include <ctime>
 #include <iostream>
-#include <stdexcept>
 #include <string>
-#include <utility>
-#include <vector>
 
+#include "util/bench_report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -50,101 +58,50 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Machine-readable bench report, written as BENCH_<ID>.json. Records
-/// scalar metrics (wall times, speedups, counters) plus the printed table
-/// rows, so the perf trajectory of an experiment can be tracked across
-/// commits without parsing the human-facing output.
-class JsonReport {
+/// Per-thread CPU-time stopwatch: immune to preemption by co-tenants,
+/// which on shared runners can inflate wall time arbitrarily. Only valid
+/// around single-threaded work (the engine shoot-outs are, by design).
+class CpuTimer {
  public:
-  explicit JsonReport(std::string id) : id_(std::move(id)) {}
-
-  void metric(const std::string& key, double value) {
-    numbers_.emplace_back(key, value);
-  }
-  void note(const std::string& key, const std::string& value) {
-    strings_.emplace_back(key, value);
-  }
-  void table(const util::Table& t) { table_ = &t; }
-
-  /// Writes BENCH_<ID>.json in the working directory; returns the path.
-  /// Throws std::runtime_error if the file cannot be written — a missing
-  /// perf artifact must fail the bench, not vanish silently.
-  std::string write() const {
-    const std::string path = "BENCH_" + id_ + ".json";
-    std::ofstream os(path);
-    os << "{\n  \"id\": " << quote(id_) << ",\n  \"seed\": " << kDefaultSeed;
-    for (const auto& [k, v] : strings_) {
-      os << ",\n  " << quote(k) << ": " << quote(v);
-    }
-    for (const auto& [k, v] : numbers_) {
-      os << ",\n  " << quote(k) << ": " << format_number(v);
-    }
-    if (table_ != nullptr) {
-      os << ",\n  \"columns\": ";
-      write_string_array(os, table_->header());
-      os << ",\n  \"rows\": [";
-      const auto& rows = table_->row_data();
-      for (std::size_t i = 0; i < rows.size(); ++i) {
-        os << (i ? ",\n    " : "\n    ");
-        write_string_array(os, rows[i]);
-      }
-      os << "\n  ]";
-    }
-    os << "\n}\n";
-    os.flush();
-    if (!os.good()) {
-      throw std::runtime_error("JsonReport: cannot write " + path);
-    }
-    return path;
-  }
+  CpuTimer() : start_(now()) {}
+  double seconds() const { return now() - start_; }
 
  private:
-  static std::string quote(const std::string& s) {
-    std::string out = "\"";
-    for (const char c : s) {
-      switch (c) {
-        case '"':
-          out += "\\\"";
-          break;
-        case '\\':
-          out += "\\\\";
-          break;
-        case '\n':
-          out += "\\n";
-          break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    out += '"';
-    return out;
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
   }
+  double start_;
+};
 
-  static std::string format_number(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
-    return buf;
+/// Steady-state timing: run fn() `warmup` times untimed, then `repeats`
+/// timed runs and return the MINIMUM per-thread CPU time. The warm-up
+/// populates caches (orbit caches, allocator pools, page tables); the
+/// min over repeats rejects residual noise (interrupt handling, cache
+/// pollution from neighbors) — together they measure the workload's
+/// steady-state throughput rather than one cold shot.
+template <typename Fn>
+double steady_min_seconds(int warmup, int repeats, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = -1.0;
+  for (int i = 0; i < repeats; ++i) {
+    CpuTimer timer;
+    fn();
+    const double s = timer.seconds();
+    if (best < 0.0 || s < best) best = s;
   }
+  return best < 0.0 ? 0.0 : best;
+}
 
-  static void write_string_array(std::ostream& os,
-                                 const std::vector<std::string>& cells) {
-    os << "[";
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      os << (i ? ", " : "") << quote(cells[i]);
-    }
-    os << "]";
-  }
-
-  std::string id_;
-  std::vector<std::pair<std::string, std::string>> strings_;
-  std::vector<std::pair<std::string, double>> numbers_;
-  const util::Table* table_ = nullptr;
+/// Bench-flavored BenchReport: stamps the shared bench seed. The
+/// historical name JsonReport survives for the benches that predate the
+/// schema helper.
+class JsonReport : public util::BenchReport {
+ public:
+  explicit JsonReport(std::string id)
+      : util::BenchReport(std::move(id), kDefaultSeed) {}
 };
 
 }  // namespace rvt::bench

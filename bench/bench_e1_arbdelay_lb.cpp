@@ -11,9 +11,12 @@
 // The instance grid fans across cores via sweep_instances, and the
 // certification itself runs on the compiled configuration engine
 // (sim/compiled.hpp). After the table, the SAME set of certified instances
-// is re-verified with both the compiled engine and the legacy interpretive
-// stepper, and the two wall-clocks (plus the speedup) land in
-// BENCH_E1.json.
+// is re-verified with both engines: the compiled side runs the fused
+// enumeration pipeline (sim/enumeration.hpp — per-case engines kept
+// alive, orbits batched through the SIMD-dispatched stepper and carried
+// across the steady-state min-of-N repeats by a cross-worker OrbitCache)
+// against the legacy interpretive stepper; the two wall-clocks, the
+// speedup and the pipeline telemetry land in BENCH_E1.json.
 //
 // Usage: bench_e1_arbdelay_lb [horizon] — the optional horizon (default
 // 300000000) caps the never-meet search; CI smoke runs pass a reduced one.
@@ -27,6 +30,9 @@
 #include "lowerbound/verify.hpp"
 #include "sim/automaton.hpp"
 #include "sim/compiled.hpp"
+#include "sim/enumeration.hpp"
+#include "sim/orbit_cache.hpp"
+#include "sim/simd.hpp"
 #include "sim/sweep.hpp"
 #include "util/math.hpp"
 
@@ -52,55 +58,70 @@ struct TimedCase {
 /// start-offset schedules (delay pair (theta + d, d) for d = 0..15). The
 /// paper's model says only the relative delay matters, so every point must
 /// certify never-meet with the same cycle — an invariance battery over the
-/// adversarial schedule. The compiled engine answers the whole grid as one
-/// verify_grid batch from one pair of rho orbits — delays only shift their
-/// alignment — while the legacy stepper re-simulates every schedule to its
-/// Brent certificate. `checksum` accumulates the verdicts so the work
-/// cannot be optimized away and both engines can be cross-checked for
-/// agreement.
+/// adversarial schedule. The compiled engine answers each case's grid on
+/// the fused enumeration pipeline from one pair of rho orbits — delays
+/// only shift their alignment — while the legacy stepper re-simulates
+/// every schedule to its Brent certificate. `checksum` accumulates the
+/// verdicts so the work cannot be optimized away and both engines can be
+/// cross-checked for agreement.
+///
+/// NOTE: E1 horizons differ per case while a context carries ONE
+/// max_rounds, so each case gets its own context over a single-grid span;
+/// engines, buffers and cached orbits still persist across the min-of-N
+/// repeats because the contexts live outside the timed lambda.
 constexpr std::uint64_t kDelayGrid = 16;
 
-double time_compiled(const std::vector<TimedCase>& cases, int repeats,
-                     std::uint64_t& checksum) {
-  checksum = 0;
-  bench::WallTimer timer;
-  std::vector<sim::PairQuery> grid(kDelayGrid);
-  for (int rep = 0; rep < repeats; ++rep) {
-    for (const auto& c : cases) {
-      const sim::CompiledConfigEngine engine(c.line, c.a.tabular());
-      for (std::uint64_t d = 0; d < kDelayGrid; ++d) {
-        grid[d] = {c.cfg.start_a, c.cfg.start_b, c.cfg.delay_a + d,
-                   c.cfg.delay_b + d};
-      }
-      // Single-threaded batch: the shoot-out isolates the engine change.
-      const auto verdicts =
-          sim::verify_grid(engine, engine, grid, c.cfg.max_rounds, 1);
-      for (const auto& r : verdicts) {
-        checksum += r.cycle_length + (r.met ? 1 : 0);
-      }
-    }
-  }
-  return timer.seconds();
-}
+struct CompiledBattery {
+  std::vector<sim::EnumGrid> grids;          // one single-grid span per case
+  std::vector<sim::TabularAutomaton> tabs;   // per-case automata
+  std::vector<sim::EnumerationContext> ctxs;
 
-double time_reference(const std::vector<TimedCase>& cases, int repeats,
-                      std::uint64_t& checksum) {
-  checksum = 0;
-  bench::WallTimer timer;
-  for (int rep = 0; rep < repeats; ++rep) {
+  CompiledBattery(const std::vector<TimedCase>& cases, sim::OrbitCache* cache) {
+    grids.reserve(cases.size());
+    tabs.reserve(cases.size());
     for (const auto& c : cases) {
+      sim::EnumGrid grid;
+      grid.tree = &c.line;
       for (std::uint64_t d = 0; d < kDelayGrid; ++d) {
-        sim::RunConfig cfg = c.cfg;
-        cfg.delay_a += d;
-        cfg.delay_b += d;
-        sim::LineAutomatonAgent u(c.a), v(c.a);
-        const auto r =
-            lowerbound::verify_never_meet_reference(c.line, u, v, cfg);
+        grid.queries.push_back({c.cfg.start_a, c.cfg.start_b,
+                                c.cfg.delay_a + d, c.cfg.delay_b + d});
+      }
+      grids.push_back(std::move(grid));
+      tabs.push_back(c.a.tabular());
+    }
+    ctxs.reserve(cases.size());
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      ctxs.emplace_back(std::span<const sim::EnumGrid>(&grids[i], 1),
+                        cases[i].cfg.max_rounds, cache);
+    }
+  }
+
+  std::uint64_t run() {
+    std::uint64_t checksum = 0;
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+      ctxs[i].bind(tabs[i]);
+      for (const auto& r : ctxs[i].verify(0)) {
         checksum += r.cycle_length + (r.met ? 1 : 0);
       }
     }
+    return checksum;
   }
-  return timer.seconds();
+};
+
+std::uint64_t run_reference(const std::vector<TimedCase>& cases) {
+  std::uint64_t checksum = 0;
+  for (const auto& c : cases) {
+    for (std::uint64_t d = 0; d < kDelayGrid; ++d) {
+      sim::RunConfig cfg = c.cfg;
+      cfg.delay_a += d;
+      cfg.delay_b += d;
+      sim::LineAutomatonAgent u(c.a), v(c.a);
+      const auto r =
+          lowerbound::verify_never_meet_reference(c.line, u, v, cfg);
+      checksum += r.cycle_length + (r.met ? 1 : 0);
+    }
+  }
+  return checksum;
 }
 
 }  // namespace
@@ -196,17 +217,29 @@ int main(int argc, char** argv) {
 
   // Engine shoot-out on the certification workload the table was built
   // from: identical (line, automaton, start-pair, delay, horizon) calls,
-  // compiled configuration engine vs legacy per-round stepper.
-  const int repeats = 5;
+  // fused compiled pipeline vs legacy per-round stepper, both timed as
+  // steady-state min-of-N.
+  constexpr int kRepeats = 5;
+  sim::OrbitCache cache;
+  CompiledBattery battery(timed, &cache);
   std::uint64_t compiled_sum = 0, reference_sum = 0;
-  const double compiled_s = time_compiled(timed, repeats, compiled_sum);
-  const double reference_s = time_reference(timed, repeats, reference_sum);
+  const double compiled_s =
+      bench::steady_min_seconds(/*warmup=*/1, kRepeats, [&] {
+        compiled_sum = battery.run();
+      });
+  const double reference_s =
+      bench::steady_min_seconds(/*warmup=*/0, kRepeats, [&] {
+        reference_sum = run_reference(timed);
+      });
   all_ok = all_ok && compiled_sum == reference_sum;  // engines must agree
+  const auto cache_stats = cache.stats();
+  all_ok = all_ok && cache_stats.hits > 0;  // timed passes hit the cache
   const double speedup = compiled_s > 0 ? reference_s / compiled_s : 0.0;
   std::cout << "\ncertification workload (" << timed.size()
-            << " instances x " << kDelayGrid << " delays x " << repeats
-            << " repeats):\n"
-            << "  compiled engine:  " << compiled_s << " s\n"
+            << " instances x " << kDelayGrid << " delays, min of "
+            << kRepeats << " repeats):\n"
+            << "  compiled engine:  " << compiled_s << " s (warm orbit "
+            << "cache, simd=" << sim::simd_path_name() << ")\n"
             << "  legacy stepper:   " << reference_s << " s\n"
             << "  speedup:          " << speedup << "x\n";
 
@@ -214,10 +247,17 @@ int main(int argc, char** argv) {
   report.metric("sweep_seconds", sweep_seconds);
   report.metric("instances", static_cast<double>(timed.size()));
   report.metric("delay_grid", static_cast<double>(kDelayGrid));
-  report.metric("verify_repeats", repeats);
-  report.metric("compiled_seconds", compiled_s);
-  report.metric("reference_seconds", reference_s);
-  report.metric("speedup", speedup);
+  util::EngineComparison comparison;
+  comparison.compiled_seconds = compiled_s;
+  comparison.reference_seconds = reference_s;
+  comparison.compiled_repeats = kRepeats;
+  comparison.reference_repeats = kRepeats;
+  comparison.engine = "compiled";
+  comparison.threads = 1;
+  comparison.simd = sim::simd_path_name();
+  comparison.orbit_cache_hits = cache_stats.hits;
+  comparison.orbit_cache_misses = cache_stats.misses;
+  util::add_engine_comparison(report, comparison);
   report.table(table);
   std::cout << "report: " << report.write() << "\n";
 

@@ -1,5 +1,6 @@
 #include "sim/automaton.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "util/math.hpp"
@@ -7,17 +8,16 @@
 namespace rvt::sim {
 
 bool TabularAutomaton::port_oblivious() const {
+  // All D + 1 entry-port rows of a state agree iff the overlapping block
+  // compare rows[0..D-1] == rows[1..D] holds (equality chains through the
+  // overlap) — one memcmp per state instead of a scalar triple loop; this
+  // runs on every engine rebind of an enumeration sweep.
   const int D = max_degree;
+  const std::size_t row_block = static_cast<std::size_t>(D) * D;
   for (int s = 0; s < num_states(); ++s) {
-    const std::size_t base =
-        static_cast<std::size_t>(s) * (D + 1) * D;  // row i = -1
-    for (int i = 1; i <= D; ++i) {
-      for (int d = 0; d < D; ++d) {
-        if (delta[base + static_cast<std::size_t>(i) * D + d] !=
-            delta[base + d]) {
-          return false;
-        }
-      }
+    const int* base = delta.data() + static_cast<std::size_t>(s) * (D + 1) * D;
+    if (std::memcmp(base, base + D, row_block * sizeof(int)) != 0) {
+      return false;
     }
   }
   return true;

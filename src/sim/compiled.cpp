@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sim/sweep.hpp"
+#include "sim/verify_core.hpp"
 
 namespace rvt::sim {
 
@@ -25,13 +26,16 @@ CompiledConfigEngine::CompiledConfigEngine(const tree::Tree& t,
   // Flatten the substrate: the orbit walk is the hot loop of every
   // certification, and the generic Tree accessors cost several
   // indirections per step. nbrev_ packs (neighbor << 8 | reverse_port)
-  // into one load (ports fit 8 bits: max_degree <= 255 by validate()).
+  // into one load (ports fit 8 bits: max_degree <= 255 by validate());
+  // deg32_ mirrors deg_ widened to 32 bits for the SIMD gather path.
   max_deg_ = a.max_degree;
   deg_.resize(static_cast<std::size_t>(n_));
+  deg32_.resize(static_cast<std::size_t>(n_));
   nbrev_.resize(static_cast<std::size_t>(n_) * max_deg_);
   for (tree::NodeId v = 0; v < n_; ++v) {
     const int d = t.degree(v);
     deg_[v] = static_cast<std::uint8_t>(d);
+    deg32_[v] = d;
     for (tree::Port p = 0; p < d; ++p) {
       nbrev_[static_cast<std::size_t>(v) * max_deg_ + p] =
           (static_cast<std::uint32_t>(t.neighbor(v, p)) << 8) |
@@ -40,15 +44,27 @@ CompiledConfigEngine::CompiledConfigEngine(const tree::Tree& t,
   }
   orbits_.resize(static_cast<std::size_t>(n_));
   orbit_epoch_.assign(static_cast<std::size_t>(n_), 0);
-  collision_.resize(static_cast<std::size_t>(n_));
-  collision_epoch_.assign(static_cast<std::size_t>(n_), 0);
   node_positions_.resize(static_cast<std::size_t>(n_));
+  if (n_ <= kCollisionIndexMaxN) {
+    const std::size_t nn = static_cast<std::size_t>(n_) * n_;
+    cindex_epoch_.assign(nn, 0);
+    cindex_slot_.resize(nn);
+  }
   bind_automaton(a);
 }
 
 void CompiledConfigEngine::rebind(const TabularAutomaton& a) {
   ++epoch_;  // cached orbits belong to the previous automaton
+  shared_.reset();
   bind_automaton(a);
+  tables_valid_ = true;
+}
+
+void CompiledConfigEngine::rebind_adopted(
+    std::shared_ptr<const OrbitSet> set) {
+  ++epoch_;  // cached orbits belong to the previous automaton
+  shared_ = std::move(set);
+  tables_valid_ = false;
 }
 
 void CompiledConfigEngine::bind_automaton(const TabularAutomaton& a) {
@@ -63,6 +79,17 @@ void CompiledConfigEngine::bind_automaton(const TabularAutomaton& a) {
   }
   automaton_ = a;
   delta_.assign(automaton_.delta.begin(), automaton_.delta.end());
+  // Pre-reduce the action per (state, degree): lambda[s] mod d, or -1 for
+  // kStay — the steppers then index actd_ instead of dividing per step.
+  const int K = automaton_.num_states();
+  actd_.resize(static_cast<std::size_t>(K) * max_deg_);
+  for (int s = 0; s < K; ++s) {
+    const int act = automaton_.lambda[s];
+    for (int d = 1; d <= max_deg_; ++d) {
+      actd_[static_cast<std::size_t>(s) * max_deg_ + (d - 1)] =
+          act == kStay ? -1 : (act < d ? act : act % d);
+    }
+  }
   port_slots_ = automaton_.port_oblivious() ? 1 : max_deg_ + 1;
   const std::uint64_t walk_space = static_cast<std::uint64_t>(
                                        automaton_.num_states()) *
@@ -90,6 +117,53 @@ std::uint64_t CompiledConfigEngine::stamp_entries(const tree::Tree& t,
          static_cast<std::uint64_t>(t.node_count()) * slots;
 }
 
+void CompiledConfigEngine::build_first_visit(Orbit& out, std::int32_t n) {
+  // The tail plus one full cycle covers every node the orbit ever touches.
+  out.first_visit.assign(static_cast<std::size_t>(n), Orbit::kNever);
+  for (std::uint32_t k = 0; k < out.node.size(); ++k) {
+    std::uint32_t& fv = out.first_visit[out.node[k]];
+    if (fv == Orbit::kNever) fv = k;
+  }
+}
+
+// Splice `out` — whose own prefix (hit_index steps) is already recorded in
+// out.node/out.in_port — into completed orbit `host`, hit at host step
+// hit_j. At the merge step itself the walker keeps ITS OWN entry port
+// (`seam_port`: under the oblivious projection the port is determined by
+// the predecessor pair, and the walker's predecessor differs from the
+// host's; in the full-configuration walk the ports coincide anyway); from
+// the next step on the host's records apply. The final seam comparison
+// decides whether full-configuration periodicity starts at sn_mu or one
+// step later.
+void CompiledConfigEngine::finalize_merged(Orbit& out, const Orbit& host,
+                                           std::uint64_t hit_index,
+                                           std::uint32_t hit_j,
+                                           std::int16_t seam_port) const {
+  out.lambda = host.lambda;
+  out.sn_mu = hit_index + (host.sn_mu > hit_j ? host.sn_mu - hit_j : 0);
+  out.cycle_root = host.cycle_root;
+  // This orbit enters the cycle at host step max(hit_j, host.sn_mu).
+  out.cycle_phase =
+      (host.cycle_phase + (std::max<std::uint64_t>(hit_j, host.sn_mu) -
+                           host.sn_mu)) %
+      host.lambda;
+  const std::uint64_t need = out.sn_mu + out.lambda + 1;
+  std::uint64_t m = hit_j;  // rolling index into the host's arrays
+  for (std::uint64_t i = hit_index; i < need; ++i) {
+    out.node.push_back(host.node[m]);
+    out.in_port.push_back(i == hit_index ? seam_port : host.in_port[m]);
+    if (++m == host.node.size()) m = host.mu;
+  }
+  if (out.in_port[out.sn_mu] == out.in_port[out.sn_mu + out.lambda]) {
+    out.mu = out.sn_mu;
+    out.node.pop_back();
+    out.in_port.pop_back();
+  } else {
+    out.mu = out.sn_mu + 1;
+  }
+  build_first_visit(out, n_);
+}
+
 // One stamped walk over the autonomous projection — (signature, node) for
 // port-oblivious automata, the full (signature, node, entry port)
 // configuration otherwise — recovers the full rho form in exactly
@@ -115,9 +189,9 @@ void CompiledConfigEngine::extract_orbit(tree::NodeId start,
   const std::uint8_t* deg = deg_.data();
   const std::uint32_t* nbrev = nbrev_.data();
   const std::int32_t* delta = delta_.data();
-  const int* lam = automaton_.lambda.data();
+  const std::int32_t* actd = actd_.data();
   const std::int32_t D = max_deg_;
-  const auto step = [deg, nbrev, delta, lam, D](const Conf& c) {
+  const auto step = [deg, nbrev, delta, actd, D](const Conf& c) {
     const int d = deg[c.node];
     const std::int32_t s2 =
         (c.sig & 1)
@@ -126,15 +200,20 @@ void CompiledConfigEngine::extract_orbit(tree::NodeId start,
                      (c.in_port + 1)) *
                         D +
                     (d - 1)];
-    const int act = lam[s2];
-    if (act == kStay) return Conf{s2 << 1, c.node, -1};
-    const int outp = act < d ? act : act % d;
+    const int outp = actd[static_cast<std::size_t>(s2) * D + (d - 1)];
+    if (outp < 0) return Conf{s2 << 1, c.node, -1};
     const std::uint32_t packed =
         nbrev[static_cast<std::size_t>(c.node) * D + outp];
     return Conf{s2 << 1, static_cast<tree::NodeId>(packed >> 8),
                 static_cast<tree::Port>(packed & 255)};
   };
 
+  if (!tables_valid_) {
+    throw std::logic_error(
+        "CompiledConfigEngine: extraction after rebind_adopted — the "
+        "compiled tables belong to an older binding (full rebind needed)");
+  }
+  ++extracted_count_;
   out.node.clear();
   out.in_port.clear();
   Conf cur{(automaton_.initial << 1) | 1, start, -1};
@@ -174,84 +253,110 @@ void CompiledConfigEngine::extract_orbit(tree::NodeId start,
       out.node.push_back(cur.node);  // == node[sn_mu]: same projection pair
       out.in_port.push_back(static_cast<std::int16_t>(cur.in_port));
     }
+    build_first_visit(out, n_);
   } else {
     // Merged into orbit `hit_owner` at its step hit_j after hit_index own
-    // steps: inherit its cycle, then decide the seam exactly as above.
-    const Orbit& host = orbits_[hit_owner];
-    out.lambda = host.lambda;
-    out.sn_mu = hit_index + (host.sn_mu > hit_j ? host.sn_mu - hit_j : 0);
-    out.cycle_root = host.cycle_root;
-    // This orbit enters the cycle at host step max(hit_j, host.sn_mu).
-    out.cycle_phase =
-        (host.cycle_phase + (std::max<std::uint64_t>(hit_j, host.sn_mu) -
-                             host.sn_mu)) %
-        host.lambda;
-    const std::uint64_t need = out.sn_mu + out.lambda + 1;
-    // At the merge step itself the walker keeps ITS OWN entry port (under
-    // the oblivious projection the port is determined by the predecessor
-    // pair, and the walker's predecessor differs from the host's; in the
-    // full-configuration walk the ports coincide anyway); from the next
-    // step on the host's records apply.
-    std::uint64_t m = hit_j;  // rolling index into the host's arrays
-    for (std::uint64_t i = hit_index; i < need; ++i) {
-      out.node.push_back(host.node[m]);
-      out.in_port.push_back(i == hit_index
-                                ? static_cast<std::int16_t>(cur.in_port)
-                                : host.in_port[m]);
-      if (++m == host.node.size()) m = host.mu;
-    }
-    if (out.in_port[out.sn_mu] == out.in_port[out.sn_mu + out.lambda]) {
-      out.mu = out.sn_mu;
-      out.node.pop_back();
-      out.in_port.pop_back();
-    } else {
-      out.mu = out.sn_mu + 1;
-    }
-  }
-
-  // The tail plus one full cycle covers every node the orbit ever touches.
-  out.first_visit.assign(static_cast<std::size_t>(n_), Orbit::kNever);
-  for (std::uint32_t k = 0; k < out.node.size(); ++k) {
-    std::uint32_t& fv = out.first_visit[out.node[k]];
-    if (fv == Orbit::kNever) fv = k;
+    // steps: inherit its cycle and splice the tail.
+    finalize_merged(out, orbits_[hit_owner], hit_index, hit_j,
+                    static_cast<std::int16_t>(cur.in_port));
   }
 }
 
-const std::vector<std::uint8_t>& CompiledConfigEngine::cycle_collisions(
-    std::uint32_t root) const {
-  auto& table = collision_[root];
-  if (collision_epoch_[root] == epoch_) return table;
-  const Orbit& r = orbits_[root];
-  const std::uint64_t lambda = r.lambda;
-  const tree::NodeId* cyc = r.node.data() + r.sn_mu;
-  // The pairwise-gap build is quadratic in per-node occupancy; degenerate
-  // cycles (e.g. stay-heavy automata parked on one node) would cost more
-  // than the scans the table saves, so give up beyond a linear budget and
-  // leave the table empty — callers then fall back to scanning.
-  std::uint64_t budget = 8 * lambda + 64;
-  table.assign(lambda, 0);
-  for (std::uint64_t i = 0; i < lambda; ++i) {
-    node_positions_[cyc[i]].push_back(static_cast<std::uint32_t>(i));
+std::span<const std::uint8_t> CompiledConfigEngine::cycle_pair_collisions(
+    std::uint32_t root_a, std::uint32_t root_b) const {
+  const std::size_t ckey =
+      static_cast<std::size_t>(root_a) * n_ + root_b;
+  if (shared_ != nullptr) {
+    if (!shared_->collision_index.empty()) {
+      const std::int32_t idx = shared_->collision_index[ckey];
+      if (idx >= 0) return shared_->collisions[idx].table;
+    } else {
+      for (const CyclePair& p : shared_->collisions) {
+        if (p.root_a == root_a && p.root_b == root_b) return p.table;
+      }
+    }
+    // Not published for this pair: build locally below (the root orbits
+    // may live in the shared set — orbit() serves them transparently).
+  }
+  const bool dense = !cindex_epoch_.empty();
+  if (dense && cindex_epoch_[ckey] == epoch_) {
+    return collision_[cindex_slot_[ckey]].table;
+  }
+  CyclePair* slot = nullptr;
+  std::size_t slot_index = 0;
+  if (dense) {
+    // The dense index is authoritative: a miss means the pair is not
+    // built this epoch — recycle any stale entry without scanning.
+    for (std::size_t i = 0; i < collision_.size(); ++i) {
+      if (collision_[i].epoch != epoch_) {
+        slot = &collision_[i];
+        slot_index = i;
+        break;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < collision_.size(); ++i) {
+      CyclePair& p = collision_[i];
+      if (p.epoch == epoch_) {
+        if (p.root_a == root_a && p.root_b == root_b) return p.table;
+      } else if (slot == nullptr) {
+        slot = &p;  // recycle a stale slot (keeps its table capacity)
+        slot_index = i;
+      }
+    }
+  }
+  if (slot == nullptr) {
+    slot_index = collision_.size();
+    slot = &collision_.emplace_back();
+  }
+  slot->root_a = root_a;
+  slot->root_b = root_b;
+  slot->epoch = epoch_;
+  if (dense) {
+    cindex_epoch_[ckey] = epoch_;
+    cindex_slot_[ckey] = static_cast<std::uint32_t>(slot_index);
+  }
+  auto& table = slot->table;
+  table.clear();
+  const Orbit& ra = orbit(static_cast<tree::NodeId>(root_a));
+  const Orbit& rb = orbit(static_cast<tree::NodeId>(root_b));
+  const std::uint64_t la = ra.lambda, lb = rb.lambda;
+  if (la > kCollisionLimit || lb > kCollisionLimit) {
+    return table;  // empty: callers scan
+  }
+  const std::uint64_t g = la == lb ? la : std::gcd(la, lb);
+  const tree::NodeId* cyc_a = ra.node.data() + ra.sn_mu;
+  const tree::NodeId* cyc_b = rb.node.data() + rb.sn_mu;
+  // Mark every alignment class (i - j mod g) that co-locates position i
+  // of cycle a with position j of cycle b. The build is quadratic in
+  // per-node occupancy; degenerate cycles (e.g. stay-heavy automata
+  // parked on one node) would cost more than the scans the table saves,
+  // so give up beyond a linear budget and leave the table empty —
+  // callers then fall back to scanning.
+  const std::uint64_t budget = 8 * (la + lb) + 64;
+  table.assign(g, 0);
+  for (std::uint64_t j = 0; j < lb; ++j) {
+    node_positions_[cyc_b[j]].push_back(static_cast<std::uint32_t>(j % g));
   }
   bool aborted = false;
-  for (std::uint64_t i = 0; i < lambda; ++i) {
-    auto& positions = node_positions_[cyc[i]];
-    if (positions.empty()) continue;  // already folded in
-    const std::uint64_t cost = positions.size() * positions.size();
-    if (!aborted && cost <= budget) {
-      budget -= cost;
-      for (const std::uint32_t p : positions) {
-        for (const std::uint32_t q : positions) {
-          table[q >= p ? q - p : q + lambda - p] = 1;
-        }
-      }
-    } else {
+  std::uint64_t marks = 0;
+  std::uint32_t im = 0;  // i mod g, maintained incrementally
+  for (std::uint64_t i = 0; i < la; ++i) {
+    const auto& positions = node_positions_[cyc_a[i]];
+    marks += positions.size();
+    if (marks > budget) {
       aborted = true;
+      break;
     }
-    positions.clear();
+    for (const std::uint32_t jm : positions) {
+      table[im >= jm ? im - jm : im + g - jm] = 1;
+    }
+    if (++im == g) im = 0;
+  }
+  for (std::uint64_t j = 0; j < lb; ++j) {
+    node_positions_[cyc_b[j]].clear();
   }
   if (aborted) table.clear();
-  collision_epoch_[root] = epoch_;
   return table;
 }
 
@@ -261,11 +366,88 @@ const CompiledConfigEngine::Orbit& CompiledConfigEngine::orbit(
     throw std::invalid_argument("CompiledConfigEngine::orbit: bad start");
   }
   const std::size_t slot = static_cast<std::size_t>(start);
+  if (shared_ != nullptr && slot < shared_->has_orbit.size() &&
+      shared_->has_orbit[slot]) {
+    return shared_->orbits[slot];
+  }
   if (orbit_epoch_[slot] != epoch_) {
     extract_orbit(start, orbits_[slot]);
     orbit_epoch_[slot] = epoch_;
   }
   return orbits_[slot];
+}
+
+void CompiledConfigEngine::warm_orbits(
+    std::span<const tree::NodeId> starts) const {
+  // Deduplicate and drop already-served starts; batch the rest.
+  tree::NodeId pending[kBatchWalks];
+  std::size_t filled = 0;
+  auto& seen = warm_seen_;
+  seen.assign(static_cast<std::size_t>(n_), 0);
+  for (const tree::NodeId start : starts) {
+    if (start < 0 || start >= n_) {
+      throw std::invalid_argument("CompiledConfigEngine::warm_orbits: range");
+    }
+    const std::size_t slot = static_cast<std::size_t>(start);
+    if (seen[slot]) continue;
+    seen[slot] = 1;
+    if (shared_ != nullptr && slot < shared_->has_orbit.size() &&
+        shared_->has_orbit[slot]) {
+      continue;
+    }
+    if (orbit_epoch_[slot] == epoch_) continue;
+    pending[filled++] = start;
+    if (filled == kBatchWalks) {
+      extract_orbits_batch({pending, filled});
+      filled = 0;
+    }
+  }
+  if (filled > 0) extract_orbits_batch({pending, filled});
+}
+
+void CompiledConfigEngine::adopt_shared_orbits(
+    std::shared_ptr<const OrbitSet> set) {
+  shared_ = std::move(set);
+}
+
+std::shared_ptr<const CompiledConfigEngine::OrbitSet>
+CompiledConfigEngine::snapshot_orbits() const {
+  auto set = std::make_shared<OrbitSet>();
+  const std::size_t n = static_cast<std::size_t>(n_);
+  set->orbits.resize(n);
+  set->has_orbit.assign(n, 0);
+  std::size_t bytes = sizeof(OrbitSet) + n * (sizeof(Orbit) + 1);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (orbit_epoch_[s] == epoch_) {
+      set->orbits[s] = orbits_[s];
+      set->has_orbit[s] = 1;
+      bytes += orbits_[s].node.size() * sizeof(tree::NodeId) +
+               orbits_[s].in_port.size() * sizeof(std::int16_t) +
+               orbits_[s].first_visit.size() * sizeof(std::uint32_t);
+    }
+  }
+  if (!cindex_epoch_.empty()) {
+    set->collision_index.assign(static_cast<std::size_t>(n_) * n_, -1);
+  }
+  std::size_t live = 0;
+  for (const CyclePair& p : collision_) {
+    live += p.epoch == epoch_ ? 1 : 0;
+  }
+  set->collisions.reserve(live);
+  for (const CyclePair& p : collision_) {
+    if (p.epoch == epoch_) {
+      if (!set->collision_index.empty()) {
+        set->collision_index[static_cast<std::size_t>(p.root_a) * n_ +
+                             p.root_b] =
+            static_cast<std::int32_t>(set->collisions.size());
+      }
+      set->collisions.push_back(p);
+      bytes += sizeof(CyclePair) + p.table.size();
+    }
+  }
+  bytes += set->collision_index.size() * sizeof(std::int32_t);
+  set->bytes = bytes;
+  return set;
 }
 
 Verdict verify_never_meet_compiled(const CompiledConfigEngine& engine_a,
@@ -288,183 +470,21 @@ Verdict verify_never_meet_compiled(const CompiledConfigEngine& engine_a,
     throw std::invalid_argument(
         "verify_never_meet_compiled: starts must differ");
   }
-
+  const bool same_engine = &engine_a == &engine_b;
+  if (same_engine) {
+    // Batch the two walks when both are missing; a warmed engine skips
+    // the batching machinery entirely (orbit_cached is two compares).
+    tree::NodeId both[2];
+    std::size_t missing = 0;
+    if (!engine_a.orbit_cached(cfg.start_a)) both[missing++] = cfg.start_a;
+    if (!engine_a.orbit_cached(cfg.start_b)) both[missing++] = cfg.start_b;
+    if (missing > 0) engine_a.warm_orbits({both, missing});
+  }
   const auto& A = engine_a.orbit(cfg.start_a);
   const auto& B = engine_b.orbit(cfg.start_b);
-  const std::uint64_t da = cfg.delay_a, db = cfg.delay_b;
-  const std::uint64_t M = cfg.max_rounds;
-
-  Verdict r;
-  r.engine = VerifyEngine::kCompiled;
-
-  // While exactly one agent walks (the other still parked), a meeting
-  // means the walker's orbit visits the parked agent's start: an O(1)
-  // first-visit lookup, independent of the delays.
-  bool meet_found = false;
-  std::uint64_t t_meet = 0;
-  const std::uint64_t d_early = std::min(da, db);
-  const std::uint64_t d_late = std::max(da, db);
-  if (d_late > d_early && d_early < M) {
-    const CompiledConfigEngine::Orbit& walker = da > db ? B : A;
-    const tree::NodeId parked = da > db ? cfg.start_a : cfg.start_b;
-    const std::uint32_t fv = walker.first_visit[parked];
-    const std::uint64_t limit = std::min(d_late, M) - d_early;
-    if (fv != CompiledConfigEngine::Orbit::kNever && fv <= limit) {
-      meet_found = true;
-      t_meet = d_early + fv;
-    }
-  }
-  if (d_late >= M) {
-    // The later agent never acts within the horizon: the legacy loop never
-    // snapshots a joint configuration, so no certificate is possible and
-    // the walker-onto-parked meeting above is the only observable event.
-    // (Also keeps the joint-parameter arithmetic below overflow-free: from
-    // here on da, db < M.)
-    if (meet_found) {  // t_meet <= M by the phase limit above
-      r.met = true;
-      r.meeting_round = t_meet - 1;  // legacy reports round() - 1
-      r.rounds_checked = t_meet;
-    } else {
-      r.rounds_checked = M;
-    }
-    return r;
-  }
-
-  // Joint sequence parameters, seen through the legacy verifier's eyes: it
-  // snapshots from round t0 on; the joint configuration is in its cycle
-  // once both per-agent orbits are (from round Tc on), and its minimal
-  // period is the lcm of the per-agent cycle lengths. Orbits that merged
-  // share a cycle, so the equal-lambda case is the common one — take it
-  // without any division.
-  const std::uint64_t t0 = std::max({da, db, std::uint64_t{1}});
-  const std::uint64_t Tc = std::max(da + A.mu, db + B.mu);
-  std::uint64_t gcd_l, lam_joint;
-  if (A.lambda == B.lambda) {
-    gcd_l = A.lambda;
-    lam_joint = A.lambda;
-  } else {
-    gcd_l = std::gcd(A.lambda, B.lambda);
-    lam_joint = A.lambda / gcd_l * B.lambda;
-  }
-  const std::uint64_t mu_joint = Tc > t0 ? Tc - t0 : 0;
-
-  // Brent's algorithm in the legacy stepper re-anchors at snapshot indices
-  // 2^k - 1 with window 2^k; it certifies from the first anchor that lies
-  // in the cycle with a window spanning one period, exactly lam_joint
-  // snapshots later. (Tail configurations never recur — the joint orbit is
-  // rho-shaped — so no earlier anchor can match.)
-  std::uint64_t window = 1;
-  while (window < lam_joint || window - 1 < mu_joint) window <<= 1;
-  const std::uint64_t t_detect = t0 + (window - 1) + lam_joint;
-
-  // Earliest meeting, if any, over the remaining transient (rounds where
-  // both agents are still parked cannot meet — distinct starts; the
-  // one-walker phase was answered above): the few pre-cycle rounds once
-  // both walk are scanned with rolling (division-free) array indices.
-  if (!meet_found) {
-    // Both active from round d_late + 1 <= M on; seed the rolling array
-    // indices at round d_late (one wrap division each, loop-free after).
-    const std::uint64_t sa = d_late - da;  // steps taken by round d_late
-    const std::uint64_t sb = d_late - db;
-    std::uint64_t ia = sa < A.node.size() ? sa : A.mu + (sa - A.mu) % A.lambda;
-    std::uint64_t ib = sb < B.node.size() ? sb : B.mu + (sb - B.mu) % B.lambda;
-    for (std::uint64_t r = d_late + 1, hi = std::min(Tc - 1, M); r <= hi;
-         ++r) {
-      if (++ia == A.node.size()) ia = A.mu;
-      if (++ib == B.node.size()) ib = B.mu;
-      if (A.node[ia] == B.node[ib]) {
-        meet_found = true;
-        t_meet = r;
-        break;
-      }
-    }
-  }
-  if (!meet_found && Tc <= M) {
-    // Both in-cycle: the joint node-pair sequence from round Tc is purely
-    // periodic with period lam_joint, and a meeting within it must be
-    // proven absent (certification) or located (first round). Three
-    // strategies, cheapest first:
-    //  1. Same cycle of the same engine: the agents sit in one cycle at a
-    //     constant phase gap, so the per-cycle collision table answers
-    //     existence in O(1) — the common case of an exhaustive all-pairs
-    //     battery, where it turns every certified pair into table lookups.
-    //  2. Commensurate cycles (lam_joint comparable to the cycles): scan
-    //     one period directly with rolling indices.
-    //  3. Near-coprime cycles (lam_joint blown up): decide existence by
-    //     residue intersection — a meeting at round r >= Tc needs cycle
-    //     indices i, j with equal nodes and
-    //         r == da + A.mu + i (mod A.lambda)
-    //           == db + B.mu + j (mod B.lambda),
-    //     solvable iff both sides agree modulo gcd — sorted intersection
-    //     in O((la + lb) log la).
-    // Only if a meeting exists at all is the period scanned for its first
-    // round (that scan is bounded by the meeting round itself, i.e. never
-    // more work than the legacy stepper).
-    bool scan_cycle;
-    const std::vector<std::uint8_t>* collisions = nullptr;
-    if (&engine_a == &engine_b && A.cycle_root == B.cycle_root &&
-        A.lambda <= CompiledConfigEngine::kCollisionLimit) {
-      const auto& table = engine_a.cycle_collisions(A.cycle_root);
-      if (!table.empty()) collisions = &table;  // empty: build gave up
-    }
-    if (collisions != nullptr) {
-      const std::uint64_t lhs = B.cycle_phase + da + A.sn_mu;
-      const std::uint64_t rhs = A.cycle_phase + db + B.sn_mu;
-      const std::uint64_t delta =
-          lhs >= rhs ? (lhs - rhs) % A.lambda
-                     : (A.lambda - (rhs - lhs) % A.lambda) % A.lambda;
-      scan_cycle = (*collisions)[delta] != 0;
-    } else if (lam_joint <= 4 * (A.lambda + B.lambda)) {
-      scan_cycle = true;
-    } else {
-      const std::uint64_t g = gcd_l;
-      std::vector<std::uint64_t> occ_a;
-      occ_a.reserve(A.lambda);
-      for (std::uint64_t i = 0; i < A.lambda; ++i) {
-        const std::uint64_t w = static_cast<std::uint64_t>(A.node[A.mu + i]);
-        occ_a.push_back((w << 32) | ((da + A.mu + i) % g));
-      }
-      std::sort(occ_a.begin(), occ_a.end());
-      scan_cycle = false;
-      for (std::uint64_t j = 0; j < B.lambda && !scan_cycle; ++j) {
-        const std::uint64_t w = static_cast<std::uint64_t>(B.node[B.mu + j]);
-        scan_cycle = std::binary_search(occ_a.begin(), occ_a.end(),
-                                        (w << 32) | ((db + B.mu + j) % g));
-      }
-    }
-    if (scan_cycle) {
-      const tree::NodeId* cyc_a = A.node.data() + A.mu;
-      const tree::NodeId* cyc_b = B.node.data() + B.mu;
-      std::uint64_t ia = (Tc - da - A.mu) % A.lambda;
-      std::uint64_t ib = (Tc - db - B.mu) % B.lambda;
-      for (std::uint64_t r = Tc, hi = std::min(Tc + lam_joint - 1, M);
-           r <= hi; ++r) {
-        if (cyc_a[ia] == cyc_b[ib]) {
-          meet_found = true;
-          t_meet = r;
-          break;
-        }
-        if (++ia == A.lambda) ia = 0;
-        if (++ib == B.lambda) ib = 0;
-      }
-    }
-  }
-
-  // Assemble the verdict exactly as the legacy loop would have: a meeting
-  // is checked before the cycle certificate within each round, and nothing
-  // past max_rounds is observed.
-  if (meet_found && t_meet <= M && t_meet <= t_detect) {
-    r.met = true;
-    r.meeting_round = t_meet - 1;  // legacy reports round() - 1
-    r.rounds_checked = t_meet;
-  } else if (t_detect <= M) {
-    r.certified_forever = true;
-    r.cycle_length = lam_joint;
-    r.rounds_checked = t_detect;
-  } else {
-    r.rounds_checked = M;
-  }
-  return r;
+  return detail::verify_pair_core(engine_a, A, B, same_engine, cfg.start_a,
+                                  cfg.start_b, cfg.delay_a, cfg.delay_b,
+                                  cfg.max_rounds);
 }
 
 std::vector<Verdict> verify_grid(const CompiledConfigEngine& engine_a,
@@ -487,17 +507,61 @@ std::vector<Verdict> verify_grid(const CompiledConfigEngine& engine_a,
       throw std::invalid_argument("verify_grid: starts must differ");
     }
   }
-  // Warm every cache a query can touch — orbits for both endpoints and the
-  // per-cycle collision tables of shared cycles — serially, so the queries
-  // themselves are read-only and safe to fan across workers.
+  // Warm every cache a query can touch — orbits for both endpoints (via
+  // the batched stepper) and the per-cycle collision tables of shared
+  // cycles — serially, so the queries themselves are read-only and safe to
+  // fan across workers.
   const bool same_engine = &engine_a == &engine_b;
-  for (const PairQuery& q : queries) {
-    const auto& A = engine_a.orbit(q.start_a);
-    const auto& B = engine_b.orbit(q.start_b);
-    if (same_engine && A.cycle_root == B.cycle_root &&
-        A.lambda <= CompiledConfigEngine::kCollisionLimit) {
-      engine_a.cycle_collisions(A.cycle_root);
+  {
+    // Feed uncached starts straight into batch-sized buffers — no starts
+    // vector, no per-call allocation; a fully warmed engine degrades this
+    // pass to two orbit_cached compares per query.
+    tree::NodeId pa[CompiledConfigEngine::kBatchWalks];
+    tree::NodeId pb[CompiledConfigEngine::kBatchWalks];
+    std::size_t fa = 0, fb = 0;
+    for (const PairQuery& q : queries) {
+      if (!engine_a.orbit_cached(q.start_a)) {
+        pa[fa++] = q.start_a;
+        if (fa == CompiledConfigEngine::kBatchWalks) {
+          engine_a.warm_orbits({pa, fa});
+          fa = 0;
+        }
+      }
+      auto& eb = same_engine ? engine_a : engine_b;
+      auto& pend = same_engine ? pa : pb;
+      auto& fill = same_engine ? fa : fb;
+      if (!eb.orbit_cached(q.start_b)) {
+        pend[fill++] = q.start_b;
+        if (fill == CompiledConfigEngine::kBatchWalks) {
+          eb.warm_orbits({pend, fill});
+          fill = 0;
+        }
+      }
     }
+    if (fa > 0) engine_a.warm_orbits({pa, fa});
+    if (fb > 0) engine_b.warm_orbits({pb, fb});
+  }
+  if (same_engine) {
+    for (const PairQuery& q : queries) {
+      const auto& A = engine_a.orbit(q.start_a);
+      const auto& B = engine_b.orbit(q.start_b);
+      if (A.lambda <= CompiledConfigEngine::kCollisionLimit &&
+          B.lambda <= CompiledConfigEngine::kCollisionLimit) {
+        engine_a.cycle_pair_collisions(A.cycle_root, B.cycle_root);
+      }
+    }
+  }
+  if (num_threads == 1) {
+    // Serial fast path: answer in place, no index indirection.
+    std::vector<Verdict> out(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const PairQuery& q = queries[i];
+      out[i] = detail::verify_pair_core(
+          engine_a, engine_a.orbit(q.start_a), engine_b.orbit(q.start_b),
+          same_engine, q.start_a, q.start_b, q.delay_a, q.delay_b,
+          max_rounds);
+    }
+    return out;
   }
   std::vector<std::size_t> index(queries.size());
   std::iota(index.begin(), index.end(), std::size_t{0});
@@ -505,9 +569,10 @@ std::vector<Verdict> verify_grid(const CompiledConfigEngine& engine_a,
       index,
       [&](const std::size_t& i) {
         const PairQuery& q = queries[i];
-        return verify_never_meet_compiled(
-            engine_a, engine_b,
-            RunConfig{q.start_a, q.start_b, q.delay_a, q.delay_b, max_rounds});
+        return detail::verify_pair_core(
+            engine_a, engine_a.orbit(q.start_a), engine_b.orbit(q.start_b),
+            same_engine, q.start_a, q.start_b, q.delay_a, q.delay_b,
+            max_rounds);
       },
       num_threads);
 }

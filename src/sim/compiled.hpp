@@ -21,6 +21,17 @@
 // while a whole battery of queries only ever touches the reachable orbits,
 // which are far smaller.)
 //
+// Orbits can be extracted one start at a time (orbit()) or in batches
+// (warm_orbits()): the batched stepper advances up to 8 independent walks
+// through one interleaved loop over the flattened tables — AVX2 gathers
+// when the build and CPU support them (sim/simd.hpp), a structurally
+// identical scalar lane loop otherwise — so the memory-level parallelism
+// a single serial load chain leaves on the table is filled by the other
+// walks. Batches share the stamp table, so walks merge into each other
+// mid-batch; the resolution pass reconstructs every lane's rho form
+// exactly (including mutual-merge dependency cycles), and the resulting
+// orbits are field-identical to one-at-a-time extraction.
+//
 // Joint two-agent verification needs no joint stepping at all: the two
 // agents evolve independently, so the joint configuration sequence observed
 // by the legacy verifier (lowerbound/verify.cpp) is the componentwise pair
@@ -36,10 +47,12 @@
 // Start delays only shift the alignment of the two orbits, so sweeping a
 // whole (start-pair x delay) grid against one engine re-uses every orbit;
 // verify_grid() answers such grids batched, optionally fanning the
-// (read-only, post-warmup) queries across sweep_instances workers.
+// (read-only, post-warmup) queries across sweep_instances workers, and
+// sim/enumeration.hpp fuses rebind + grid for exhaustive batteries.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -55,7 +68,9 @@ namespace rvt::sim {
 /// the E10/E11 batteries) — orbits are computed once per start node — and
 /// rebind() it to sweep automata over a fixed tree without reallocating.
 /// Lazy caches make the engine non-thread-safe in general: use one engine
-/// per sweep worker, or pre-warm via verify_grid and share read-only.
+/// per sweep worker, or pre-warm via verify_grid/warm_orbits and share
+/// read-only. adopt_shared_orbits() lets workers serve orbits published by
+/// another engine (sim/orbit_cache.hpp) instead of re-extracting them.
 class CompiledConfigEngine {
  public:
   /// Throws std::invalid_argument if the automaton is malformed, the tree
@@ -65,8 +80,9 @@ class CompiledConfigEngine {
   CompiledConfigEngine(const tree::Tree& t, const TabularAutomaton& a);
 
   /// Swaps in a new automaton over the same tree, invalidating cached
-  /// orbits (references returned by orbit() become stale) but keeping all
-  /// buffer capacity — the zero-allocation path for exhaustive sweeps.
+  /// orbits (references returned by orbit() become stale, adopted shared
+  /// sets are dropped) but keeping all buffer capacity — the
+  /// zero-allocation path for exhaustive sweeps.
   void rebind(const TabularAutomaton& a);
 
   /// rho decomposition of the single-agent orbit from a start node:
@@ -90,7 +106,10 @@ class CompiledConfigEngine {
     /// cycle, and this orbit's entry phase in that orbit's cycle
     /// coordinates. Two orbits of one engine share a cycle iff their
     /// cycle_root matches; their relative phase then decides meeting
-    /// existence via the per-cycle collision table.
+    /// existence via the per-cycle collision table. (Which start owns a
+    /// shared cycle depends on extraction order — one-at-a-time and
+    /// batched extraction may pick different roots — but root equality,
+    /// phases and collision answers are consistent within an epoch.)
     std::uint32_t cycle_root = 0;
     std::uint64_t cycle_phase = 0;
     std::vector<tree::NodeId> node;
@@ -113,8 +132,97 @@ class CompiledConfigEngine {
     }
   };
 
+  /// Collision table of one (cycle, cycle) pair, cached per ordered
+  /// (cycle_root_a, cycle_root_b): entry c is nonzero iff positions i of
+  /// root_a's cycle and j of root_b's cycle with i - j == c (mod g),
+  /// g = gcd(lambda_a, lambda_b), put both agents on one node — the O(1)
+  /// answer to "can two agents locked into these cycles at a given
+  /// alignment ever meet" (once both are in-cycle, their position pair
+  /// sweeps exactly the alignment class i - j mod g). A root pair with
+  /// root_a == root_b is the classic same-cycle case (g = lambda). An
+  /// EMPTY table means the build gave up (degenerate occupancy); callers
+  /// fall back to scanning one joint period.
+  struct CyclePair {
+    std::uint32_t root_a = 0;
+    std::uint32_t root_b = 0;
+    std::uint32_t epoch = 0;       ///< binding the table belongs to
+    std::vector<std::uint8_t> table;  ///< g entries; empty = gave up
+  };
+
+  /// An immutable bundle of extracted orbits + collision tables for one
+  /// (tree, automaton) binding — the unit the cross-worker orbit cache
+  /// (sim/orbit_cache.hpp) shares. Produced by snapshot_orbits() on the
+  /// engine that extracted them; consumed read-only via
+  /// adopt_shared_orbits() by every other worker of the same binding.
+  struct OrbitSet {
+    std::vector<Orbit> orbits;            ///< indexed by start node
+    std::vector<std::uint8_t> has_orbit;  ///< 1 iff orbits[start] populated
+    /// Published cycle-pair collision tables (epoch field unused). A pair
+    /// present with an empty table means the build gave up — consumers
+    /// fall back to scanning, never re-running the build.
+    std::vector<CyclePair> collisions;
+    /// Dense (root_a * n + root_b) -> collisions index (-1 = absent),
+    /// present when the tree is small enough (kCollisionIndexMaxN);
+    /// otherwise consumers scan `collisions` linearly.
+    std::vector<std::int32_t> collision_index;
+    std::size_t bytes = 0;  ///< approximate footprint, for cache budgeting
+  };
+
   /// Orbit from `start`, built on first use and cached until rebind().
+  /// Serves from an adopted shared set when one covers `start`.
   const Orbit& orbit(tree::NodeId start) const;
+
+  /// True iff orbit(start) would be served without extraction (local
+  /// cache or adopted shared set) — the cheap guard batch warm-up loops
+  /// use to skip the batching machinery on fully warmed engines.
+  bool orbit_cached(tree::NodeId start) const {
+    const std::size_t slot = static_cast<std::size_t>(start);
+    if (shared_ != nullptr && slot < shared_->has_orbit.size() &&
+        shared_->has_orbit[slot]) {
+      return true;
+    }
+    return orbit_epoch_[slot] == epoch_;
+  }
+
+  /// Extracts every not-yet-cached orbit among `starts` (duplicates fine)
+  /// with the batched multi-walk stepper — up to 8 walks advance through
+  /// one interleaved loop (AVX2 gathers when available, scalar lanes
+  /// otherwise). Equivalent to calling orbit() per start, but fills the
+  /// memory-level parallelism a single walk's serial load chain leaves
+  /// unused. Starts already covered by an adopted shared set or the local
+  /// cache are skipped.
+  void warm_orbits(std::span<const tree::NodeId> starts) const;
+
+  /// Serve orbit()/cycle_pair_collisions() hits from `set` (published by
+  /// another engine of the same (tree, automaton) binding) instead of
+  /// extracting locally; starts the set does not cover still extract
+  /// locally. Dropped by the next rebind(). Passing nullptr detaches.
+  void adopt_shared_orbits(std::shared_ptr<const OrbitSet> set);
+
+  /// Rebind served ENTIRELY by a published set: invalidates the local
+  /// orbit cache and adopts `set` WITHOUT recompiling the transition
+  /// tables — the cross-worker cache-hit fast path (the per-rebind table
+  /// compilation is pure waste when every queried orbit is already in
+  /// the set). The engine's compiled tables then belong to a previous
+  /// binding, so extraction is refused (std::logic_error) until the next
+  /// full rebind(): callers must ensure the set covers every start (and
+  /// cycle root) their queries touch — sim/enumeration.hpp checks
+  /// coverage before taking this path. automaton() keeps reporting the
+  /// last COMPILED automaton.
+  void rebind_adopted(std::shared_ptr<const OrbitSet> set);
+  /// True iff an adopted shared set is currently attached.
+  bool serving_shared_orbits() const { return shared_ != nullptr; }
+
+  /// Copies every locally extracted orbit and collision table of the
+  /// current binding into a publishable OrbitSet (adopted shared data is
+  /// not re-published). The engine keeps its buffers — snapshotting does
+  /// not disturb the zero-allocation rebind loop.
+  std::shared_ptr<const OrbitSet> snapshot_orbits() const;
+
+  /// Number of orbits this engine extracted by walking (cache hits —
+  /// local or shared — do not count). The cross-worker cache tests assert
+  /// on this to prove no orbit is ever extracted twice per binding.
+  std::uint64_t orbits_extracted() const { return extracted_count_; }
 
   const tree::Tree& tree() const { return *tree_; }
   const TabularAutomaton& automaton() const { return automaton_; }
@@ -130,6 +238,17 @@ class CompiledConfigEngine {
  private:
   void bind_automaton(const TabularAutomaton& a);
   void extract_orbit(tree::NodeId start, Orbit& out) const;
+  /// Batched multi-walk extraction of the given (deduplicated, uncached)
+  /// starts; implemented in compiled_batch.cpp with scalar and AVX2 lane
+  /// steppers behind sim/simd.hpp dispatch.
+  void extract_orbits_batch(std::span<const tree::NodeId> starts) const;
+  /// Splices `out` (whose own prefix of `hit_index` steps is already
+  /// recorded) into completed orbit `host`, which it hit at host step
+  /// `hit_j` with entry port `seam_port` — shared by the one-walk and
+  /// batched extraction paths.
+  void finalize_merged(Orbit& out, const Orbit& host, std::uint64_t hit_index,
+                       std::uint32_t hit_j, std::int16_t seam_port) const;
+  static void build_first_visit(Orbit& out, std::int32_t n);
 
   const tree::Tree* tree_;
   TabularAutomaton automaton_;
@@ -139,13 +258,25 @@ class CompiledConfigEngine {
   // Flattened successor tables: substrate per (node, port), transitions
   // per (state, entry port, degree).
   std::vector<std::uint8_t> deg_;     ///< deg_[v]
+  std::vector<std::int32_t> deg32_;   ///< deg_[v] widened for SIMD gathers
   std::vector<std::uint32_t> nbrev_;  ///< (neighbor << 8 | rev_port) per port
   std::vector<std::int32_t> delta_;   ///< delta_[(s*(D+1) + i+1)*D + d-1]
+  /// Resolved action per (state, degree): lambda[s] reduced mod d, or -1
+  /// for kStay — removes the per-step modulo from both steppers and gives
+  /// the SIMD path a division-free gather.
+  std::vector<std::int32_t> actd_;
   // Orbit cache, epoch-invalidated by rebind() so slots and their node
   // vectors keep their capacity across automata.
   mutable std::vector<Orbit> orbits_;
   mutable std::vector<std::uint32_t> orbit_epoch_;
   mutable std::uint32_t epoch_ = 1;
+  mutable std::uint64_t extracted_count_ = 0;
+  /// False after rebind_adopted(): the compiled tables belong to an older
+  /// binding, so extraction must be refused until a full rebind().
+  bool tables_valid_ = true;
+  /// Read-only orbit set published by another engine of this binding;
+  /// consulted before the local cache, dropped on rebind().
+  std::shared_ptr<const OrbitSet> shared_;
   // Visit stamps over the walked projection — (state-signature, node) when
   // the automaton is port-oblivious, (state-signature, node, entry port)
   // otherwise — shared by every orbit of the current epoch: a walk stops
@@ -163,20 +294,50 @@ class CompiledConfigEngine {
   // consecutive walk steps touch neighboring blocks — the walk stays
   // cache-resident.
   mutable std::vector<Stamp> stamps_;
-  // Per-cycle collision tables (indexed by cycle_root): entry Delta is
-  // nonzero iff two positions of the cycle at gap Delta occupy the same
-  // node — the O(1) answer to "can two agents locked into this cycle at
-  // phase gap Delta ever meet". Built lazily, epoch-gated, only for
-  // cycles up to kCollisionLimit.
-  mutable std::vector<std::vector<std::uint8_t>> collision_;
-  mutable std::vector<std::uint32_t> collision_epoch_;
+  // Cycle-pair collision tables, built lazily per ordered
+  // (cycle_root_a, cycle_root_b) and epoch-gated; slots plus their table
+  // capacity are recycled across rebinds. On small trees
+  // (n <= kCollisionIndexMaxN) the epoch-stamped dense index below makes
+  // the lookup O(1) — the battery loops refresh a pair state millions of
+  // times per sweep — while large trees fall back to a linear scan of
+  // the handful of entries.
+  mutable std::vector<CyclePair> collision_;
+  mutable std::vector<std::uint32_t> cindex_epoch_;  ///< n*n, 0 = stale
+  mutable std::vector<std::uint32_t> cindex_slot_;   ///< index into collision_
   mutable std::vector<std::vector<std::uint32_t>> node_positions_;  // scratch
+  mutable std::vector<std::uint8_t> warm_seen_;  // warm_orbits dedupe scratch
 
  public:
-  /// Collision table of the cycle owned by `root` (an Orbit::cycle_root of
-  /// this engine, extracted this epoch).
-  const std::vector<std::uint8_t>& cycle_collisions(std::uint32_t root) const;
+  /// Collision table of the ordered cycle pair (root_a, root_b) — both
+  /// Orbit::cycle_root values of this engine, extracted this epoch; see
+  /// CyclePair for semantics. Lazily built; pairs with a cycle longer
+  /// than kCollisionLimit return an empty span ("scan instead"), as do
+  /// builds that gave up.
+  std::span<const std::uint8_t> cycle_pair_collisions(
+      std::uint32_t root_a, std::uint32_t root_b) const;
+
+  /// Inline fast path of cycle_pair_collisions: answers dense-index hits
+  /// (shared or local) without the out-of-line call — the per-pair lookup
+  /// the battery loops make millions of times per sweep.
+  std::span<const std::uint8_t> cycle_pair_lookup(std::uint32_t root_a,
+                                                  std::uint32_t root_b) const {
+    const std::size_t ckey = static_cast<std::size_t>(root_a) * n_ + root_b;
+    if (shared_ != nullptr) {
+      if (!shared_->collision_index.empty()) {
+        const std::int32_t idx = shared_->collision_index[ckey];
+        if (idx >= 0) return shared_->collisions[idx].table;
+      }
+    } else if (!cindex_epoch_.empty() && cindex_epoch_[ckey] == epoch_) {
+      return collision_[cindex_slot_[ckey]].table;
+    }
+    return cycle_pair_collisions(root_a, root_b);
+  }
   static constexpr std::uint64_t kCollisionLimit = 512;
+  /// Largest node count for which the dense cycle-pair index (n*n
+  /// entries) is kept; larger substrates use a linear table scan.
+  static constexpr std::int32_t kCollisionIndexMaxN = 256;
+  /// Lanes the batched stepper advances per batch.
+  static constexpr std::size_t kBatchWalks = 8;
 };
 
 /// Line-automaton convenience over CompiledConfigEngine: constructs from
@@ -215,12 +376,13 @@ struct PairQuery {
 
 /// Batched verify_never_meet_compiled over a (start-pair x delay) grid:
 /// answers[i] corresponds to queries[i]. All orbits (and the collision
-/// tables the queries can touch) are warmed up serially first, so with
-/// num_threads != 1 the per-query work is read-only and fans across
-/// sweep_instances workers with deterministic result ordering;
-/// num_threads == 0 uses one worker per hardware thread (RVT_SWEEP_THREADS
-/// overrides). Every query must be valid (distinct in-range starts) — the
-/// first failure is rethrown after the workers join, like any sweep.
+/// tables the queries can touch) are warmed up serially first (via the
+/// batched stepper), so with num_threads != 1 the per-query work is
+/// read-only and fans across sweep_instances workers with deterministic
+/// result ordering; num_threads == 0 uses one worker per hardware thread
+/// (RVT_SWEEP_THREADS overrides). Every query must be valid (distinct
+/// in-range starts) — the first failure is rethrown after the workers
+/// join, like any sweep.
 std::vector<Verdict> verify_grid(const CompiledConfigEngine& engine_a,
                                  const CompiledConfigEngine& engine_b,
                                  std::span<const PairQuery> queries,

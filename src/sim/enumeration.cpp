@@ -1,0 +1,303 @@
+#include "sim/enumeration.hpp"
+
+#include <stdexcept>
+
+#include "sim/verify_core.hpp"
+
+namespace rvt::sim {
+
+EnumerationContext::EnumerationContext(std::span<const EnumGrid> grids,
+                                       std::uint64_t max_rounds,
+                                       OrbitCache* cache)
+    : grids_(grids), max_rounds_(max_rounds), cache_(cache) {
+  if (max_rounds_ == 0) {
+    throw std::invalid_argument(
+        "EnumerationContext: max_rounds must be > 0");
+  }
+  slots_.resize(grids_.size());
+  for (std::size_t g = 0; g < grids_.size(); ++g) {
+    const EnumGrid& grid = grids_[g];
+    if (grid.tree == nullptr || grid.tree->node_count() < 2) {
+      throw std::invalid_argument(
+          "EnumerationContext: grid needs a tree with >= 2 nodes");
+    }
+    const tree::NodeId n = grid.tree->node_count();
+    Slot& slot = slots_[g];
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+    for (const PairQuery& q : grid.queries) {
+      if (q.start_a < 0 || q.start_a >= n || q.start_b < 0 ||
+          q.start_b >= n) {
+        throw std::invalid_argument("EnumerationContext: start range");
+      }
+      if (q.start_a == q.start_b) {
+        throw std::invalid_argument(
+            "EnumerationContext: starts must differ");
+      }
+      for (const tree::NodeId s : {q.start_a, q.start_b}) {
+        if (!seen[static_cast<std::size_t>(s)]) {
+          seen[static_cast<std::size_t>(s)] = 1;
+          slot.warm_starts.push_back(s);
+        }
+      }
+    }
+    slot.orbit_ptr.assign(static_cast<std::size_t>(n), nullptr);
+    if (cache_ != nullptr) slot.tree_key = tree_orbit_key(*grid.tree);
+  }
+}
+
+void EnumerationContext::bind(const TabularAutomaton& a) {
+  automaton_ = &a;
+  ++serial_;
+  automaton_key_valid_ = false;
+}
+
+EnumerationContext::Slot& EnumerationContext::prepare(std::size_t g) {
+  if (automaton_ == nullptr) {
+    throw std::logic_error("EnumerationContext: bind() an automaton first");
+  }
+  Slot& slot = slots_[g];
+  if (slot.warmed_serial == serial_) return slot;
+  const bool constructed = !slot.engine.has_value();
+  if (constructed) {
+    slot.engine.emplace(*grids_[g].tree, *automaton_);
+  }
+  const bool bound = slot.bound_serial == serial_;  // via prepare_scan
+  slot.cache_hit = false;
+  if (!bound) ++stats_.bindings;
+  if (cache_ != nullptr) {
+    if (!automaton_key_valid_) {
+      automaton_key_ = automaton_orbit_key(*automaton_);
+      automaton_key_valid_ = true;
+    }
+    const OrbitKey key = combine_orbit_keys(slot.tree_key, automaton_key_);
+    auto set = cache_->acquire(key);
+    if (set != nullptr) {
+      // Adopt only if the published set covers every start this grid
+      // queries (it does when the key was published by a same-grid
+      // worker; a different grid's publication may not) — then the
+      // engine skips recompiling its tables entirely, and prefetching
+      // the set's buffers hides their DRAM latency behind the rest of
+      // the preparation.
+      bool covered = true;
+      for (const tree::NodeId s : slot.warm_starts) {
+        if (!set->has_orbit[static_cast<std::size_t>(s)]) {
+          covered = false;
+          break;
+        }
+        const auto& o = set->orbits[static_cast<std::size_t>(s)];
+        // The orbit pointers come straight from the set (stable: the
+        // engine holds the shared_ptr until its next rebind), and the
+        // prefetches pull the buffers the verdict loop will touch.
+        slot.orbit_ptr[static_cast<std::size_t>(s)] = &o;
+        __builtin_prefetch(o.node.data());
+        __builtin_prefetch(o.first_visit.data());
+      }
+      if (covered) {
+        slot.engine->rebind_adopted(std::move(set));
+        slot.cache_hit = true;
+        ++stats_.cache_hits;
+        slot.bound_serial = serial_;
+        slot.warmed_serial = serial_;
+        return slot;
+      } else {
+        // Partial coverage: bind fully and extract the gaps locally (we
+        // hold no claim, so nothing is published).
+        if (!constructed && !bound) slot.engine->rebind(*automaton_);
+        slot.engine->adopt_shared_orbits(std::move(set));
+        slot.engine->warm_orbits(slot.warm_starts);
+        slot.cache_hit = true;
+        ++stats_.cache_hits;
+      }
+    } else {
+      // We hold the claim: extract the whole grid's needs (orbits via the
+      // batched stepper, collision tables of shared cycles) and publish.
+      ++stats_.cache_misses;
+      try {
+        if (!constructed && !bound) slot.engine->rebind(*automaton_);
+        const CompiledConfigEngine& e = *slot.engine;
+        e.warm_orbits(slot.warm_starts);
+        tree::NodeId pa = -1, pb = -1;
+        for (const PairQuery& q : grids_[g].queries) {
+          if (q.start_a == pa && q.start_b == pb) continue;  // delay run
+          pa = q.start_a;
+          pb = q.start_b;
+          const auto& A = e.orbit(q.start_a);
+          const auto& B = e.orbit(q.start_b);
+          if (A.lambda <= CompiledConfigEngine::kCollisionLimit &&
+              B.lambda <= CompiledConfigEngine::kCollisionLimit) {
+            e.cycle_pair_collisions(A.cycle_root, B.cycle_root);
+          }
+        }
+        cache_->publish(key, e.snapshot_orbits());
+      } catch (...) {
+        cache_->abandon(key);
+        throw;
+      }
+    }
+  } else {
+    if (!constructed && !bound) slot.engine->rebind(*automaton_);
+    slot.engine->warm_orbits(slot.warm_starts);
+  }
+  // Orbit references are stable for the rest of the binding (every start
+  // a query can touch is warmed); snapshot them for the verdict loops.
+  for (const tree::NodeId s : slot.warm_starts) {
+    slot.orbit_ptr[static_cast<std::size_t>(s)] = &slot.engine->orbit(s);
+  }
+  slot.bound_serial = serial_;
+  slot.warmed_serial = serial_;
+  return slot;
+}
+
+EnumerationContext::Slot& EnumerationContext::prepare_scan(std::size_t g) {
+  if (automaton_ == nullptr) {
+    throw std::logic_error("EnumerationContext: bind() an automaton first");
+  }
+  if (cache_ != nullptr) return prepare(g);  // cached sweeps warm fully
+  Slot& slot = slots_[g];
+  if (slot.bound_serial == serial_) return slot;
+  if (!slot.engine.has_value()) {
+    slot.engine.emplace(*grids_[g].tree, *automaton_);
+  } else {
+    slot.engine->rebind(*automaton_);
+  }
+  slot.cache_hit = false;
+  ++stats_.bindings;
+  slot.bound_serial = serial_;
+  return slot;
+}
+
+void EnumerationContext::prefetch_next(std::size_t g) {
+  if (cache_ == nullptr || !automaton_key_valid_) return;
+  const std::size_t h = g + 1;
+  if (h >= grids_.size()) return;
+  Slot& next = slots_[h];
+  if (next.bound_serial == serial_) return;  // already prepared
+  const CompiledConfigEngine::OrbitSet* set =
+      cache_->peek(combine_orbit_keys(next.tree_key, automaton_key_));
+  if (set == nullptr) return;
+  // Pull everything the next binding's verdict loop will touch: the
+  // published sets live in DRAM between passes (the working set of a
+  // battery far exceeds the caches), and the current grid's ~microseconds
+  // of query work are exactly the lead time needed to hide that latency.
+  const char* headers =
+      reinterpret_cast<const char*>(set->orbits.data());
+  const std::size_t header_bytes =
+      set->orbits.size() * sizeof(CompiledConfigEngine::Orbit);
+  for (std::size_t off = 0; off < header_bytes; off += 64) {
+    __builtin_prefetch(headers + off);
+  }
+  const char* cindex =
+      reinterpret_cast<const char*>(set->collision_index.data());
+  const std::size_t cindex_bytes =
+      set->collision_index.size() * sizeof(std::int32_t);
+  for (std::size_t off = 0; off < cindex_bytes; off += 64) {
+    __builtin_prefetch(cindex + off);
+  }
+  for (const auto& pair : set->collisions) {
+    __builtin_prefetch(pair.table.data());
+  }
+  for (const tree::NodeId s : next.warm_starts) {
+    if (!set->has_orbit[static_cast<std::size_t>(s)]) return;
+    const auto& o = set->orbits[static_cast<std::size_t>(s)];
+    __builtin_prefetch(o.node.data());
+    __builtin_prefetch(o.first_visit.data());
+  }
+}
+
+namespace {
+
+/// Battery grids are pair-major runs of delays: refresh the pair-invariant
+/// state only when the (start_a, start_b) pair changes.
+inline void refresh_pair(detail::PairState& st,
+                         const CompiledConfigEngine& e,
+                         const CompiledConfigEngine::Orbit* const* optr,
+                         const PairQuery& q) {
+  if (st.start_a != q.start_a || st.start_b != q.start_b) {
+    st = detail::make_pair_state(e, *optr[q.start_a], *optr[q.start_b],
+                                 /*same_engine=*/true, q.start_a, q.start_b);
+  }
+}
+
+}  // namespace
+
+std::span<const Verdict> EnumerationContext::verify(std::size_t g) {
+  Slot& slot = prepare(g);
+  prefetch_next(g);
+  const CompiledConfigEngine& e = *slot.engine;
+  const auto* optr = slot.orbit_ptr.data();
+  const auto& queries = grids_[g].queries;
+  const bool cache_hit = slot.cache_hit;
+  verdicts_.resize(queries.size());
+  detail::PairState st;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const PairQuery& q = queries[i];
+    refresh_pair(st, e, optr, q);
+    verdicts_[i] =
+        detail::verify_with_state(st, q.delay_a, q.delay_b, max_rounds_);
+    verdicts_[i].cache_hit = cache_hit;
+  }
+  stats_.queries += queries.size();
+  return {verdicts_.data(), queries.size()};
+}
+
+std::ptrdiff_t EnumerationContext::first_unmet(std::size_t g) {
+  Slot& slot = prepare_scan(g);
+  const CompiledConfigEngine& e = *slot.engine;
+  const auto& queries = grids_[g].queries;
+  detail::PairState st;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const PairQuery& q = queries[i];
+    if (st.start_a != q.start_a || st.start_b != q.start_b) {
+      // orbit() extracts on demand: a scan that defeats on the first
+      // pairs only ever walks those pairs' orbits.
+      st = detail::make_pair_state(e, e.orbit(q.start_a),
+                                   e.orbit(q.start_b),
+                                   /*same_engine=*/true, q.start_a,
+                                   q.start_b);
+    }
+    ++stats_.queries;
+    if (!detail::met_with_state(st, q.delay_a, q.delay_b, max_rounds_)) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+std::uint64_t EnumerationContext::count_unmet(std::size_t g) {
+  Slot& slot = prepare(g);
+  prefetch_next(g);
+  const CompiledConfigEngine& e = *slot.engine;
+  const auto* optr = slot.orbit_ptr.data();
+  const auto& queries = grids_[g].queries;
+  std::uint64_t unmet = 0;
+  const PairQuery* qdata = queries.data();
+  const std::size_t nq = queries.size();
+  std::size_t i = 0;
+  while (i < nq) {
+    const PairQuery& q = qdata[i];
+    std::size_t j = i + 1;
+    while (j < nq && qdata[j].start_a == q.start_a &&
+           qdata[j].start_b == q.start_b) {
+      ++j;
+    }
+    const detail::PairState st = detail::make_pair_state(
+        e, *optr[q.start_a], *optr[q.start_b], /*same_engine=*/true,
+        q.start_a, q.start_b);
+    unmet += detail::count_unmet_run(st, qdata + i, j - i, max_rounds_);
+    i = j;
+  }
+  stats_.queries += queries.size();
+  return unmet;
+}
+
+EnumTelemetry EnumerationContext::telemetry() const {
+  EnumTelemetry t = stats_;
+  for (const Slot& slot : slots_) {
+    if (slot.engine.has_value()) {
+      t.orbits_extracted += slot.engine->orbits_extracted();
+    }
+  }
+  return t;
+}
+
+}  // namespace rvt::sim

@@ -1,0 +1,184 @@
+// Fused rebind + grid enumeration.
+//
+// The exhaustive batteries (E10-style: every K-state automaton against a
+// fixed set of instances, E11-style: a victim per instance against its
+// start-pair x delay grid) used to drive verify_grid() per automaton —
+// paying, per (automaton, tree), a verdict-vector allocation, an index
+// indirection, a re-validation of the same grid, and a second pass over
+// the queries to warm orbits. EnumerationContext fuses the whole
+// per-automaton pipeline into one object that lives for a worker's entire
+// sweep:
+//
+//   bind(a)          swap the automaton in (engines rebind lazily,
+//                    keeping every buffer),
+//   verify(g)        answer grid g into a reused verdict buffer —
+//                    orbits warmed by the batched stepper, queries
+//                    answered by the inlined verdict core,
+//   first_unmet(g)   the adaptive variant: scan grid g until the first
+//                    defeat (verdict with met == false), early-exiting —
+//                    the shape of a "smallest defeating instance" search.
+//
+// Grids are validated once at construction; the steady state allocates
+// nothing. When an OrbitCache is attached, each binding's orbits are
+// acquired from / published to it, so a battery shared by several workers
+// (or repeated passes of one worker) extracts each orbit once per machine
+// — every verdict carries the cache_hit flag for telemetry.
+//
+// sweep_enumeration() fans an automaton range across workers, one context
+// per worker (sweep_indexed), with deterministic result ordering and
+// aggregated telemetry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/compiled.hpp"
+#include "sim/orbit_cache.hpp"
+#include "sim/sweep.hpp"
+#include "sim/verdict.hpp"
+
+namespace rvt::sim {
+
+/// One grid of an enumeration battery: a substrate tree plus the
+/// (start-pair x delay) queries to answer on it. Both agents run the
+/// bound automaton (the enumeration model: two identical anonymous
+/// agents). The tree must outlive every context using the grid.
+struct EnumGrid {
+  const tree::Tree* tree = nullptr;
+  std::vector<PairQuery> queries;
+};
+
+/// Telemetry aggregated across the workers of one sweep_enumeration call
+/// (or collected manually from a directly-driven context).
+struct EnumTelemetry {
+  std::uint64_t queries = 0;           ///< verdicts produced
+  std::uint64_t bindings = 0;          ///< (automaton, grid) preparations
+  std::uint64_t cache_hits = 0;        ///< bindings served by the cache
+  std::uint64_t cache_misses = 0;      ///< bindings extracted locally
+  std::uint64_t orbits_extracted = 0;  ///< orbit walks actually run
+  double hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Per-worker state of a fused enumeration sweep. Not thread-safe; build
+/// one per worker (sweep_enumeration does). Grids and the optional cache
+/// must outlive the context.
+class EnumerationContext {
+ public:
+  /// Validates every grid up front (non-null tree, >= 2 nodes, distinct
+  /// in-range starts, max_rounds > 0) and throws std::invalid_argument on
+  /// the first violation — verify()/first_unmet() then run unchecked.
+  EnumerationContext(std::span<const EnumGrid> grids,
+                     std::uint64_t max_rounds, OrbitCache* cache = nullptr);
+
+  /// Makes `a` the automaton under test. Engines rebind lazily on the
+  /// next verify()/first_unmet() per grid, so early-exiting a binding
+  /// costs nothing for the grids never touched. `a` must stay alive until
+  /// the next bind().
+  void bind(const TabularAutomaton& a);
+
+  /// Verdicts of grid g under the bound automaton, in query order. The
+  /// span aliases an internal buffer reused by the next verify() call on
+  /// this context. Every verdict's cache_hit flag reports whether the
+  /// binding's orbits came from the attached cache.
+  std::span<const Verdict> verify(std::size_t g);
+
+  /// Index of the first query of grid g whose verdict has met == false
+  /// (the automaton is DEFEATED: non-meeting certified or horizon
+  /// exhausted), or -1 if every query meets. Early-exits: queries past
+  /// the first defeat are not answered — and without an attached cache
+  /// the binding is prepared LAZILY (orbits extract as the scan touches
+  /// them), so an adaptive sweep that defeats most automata on their
+  /// first pairs never pays for the whole grid's warm-up.
+  std::ptrdiff_t first_unmet(std::size_t g);
+
+  /// Number of grid-g queries with met == false, without materializing
+  /// verdicts — the accumulation shape of defeat-density profiles, where
+  /// the verdict buffer writes would be the largest remaining per-query
+  /// cost. Equals counting met == false over verify(g).
+  std::uint64_t count_unmet(std::size_t g);
+
+  std::size_t grid_count() const { return grids_.size(); }
+  /// Telemetry accumulated by this context so far (orbits_extracted sums
+  /// over the engines built so far).
+  EnumTelemetry telemetry() const;
+
+ private:
+  struct Slot {
+    std::optional<CompiledConfigEngine> engine;
+    OrbitKey tree_key;
+    std::vector<tree::NodeId> warm_starts;  ///< unique starts of the grid
+    /// Orbit pointer per start node, refreshed by prepare(): the verdict
+    /// loop then reads two pointers per query instead of going through
+    /// the engine's epoch-checked orbit() lookup.
+    std::vector<const CompiledConfigEngine::Orbit*> orbit_ptr;
+    std::uint64_t bound_serial = 0;   ///< engine bound to this binding
+    std::uint64_t warmed_serial = 0;  ///< orbits warmed + orbit_ptr valid
+    bool cache_hit = false;
+  };
+
+  /// Ensures slot g's engine is bound to the current automaton with its
+  /// orbits warmed (or adopted from the cache); returns the slot.
+  Slot& prepare(std::size_t g);
+  /// Binding only (no warm-up, no cache, orbit_ptr not refreshed) — the
+  /// lazy path of first_unmet().
+  Slot& prepare_scan(std::size_t g);
+  /// Prefetch hint: while grid g's queries run, pull grid g + 1's
+  /// published set (if any) toward the caches so the next prepare() does
+  /// not stall on DRAM. Wrong guesses are harmless.
+  void prefetch_next(std::size_t g);
+
+  std::span<const EnumGrid> grids_;
+  std::uint64_t max_rounds_;
+  OrbitCache* cache_;
+  const TabularAutomaton* automaton_ = nullptr;
+  std::uint64_t serial_ = 0;
+  OrbitKey automaton_key_;
+  bool automaton_key_valid_ = false;
+  std::vector<Slot> slots_;
+  std::vector<Verdict> verdicts_;
+  EnumTelemetry stats_;
+};
+
+/// Fans fn(ctx, index) for index in [0, count) across sweep workers, one
+/// EnumerationContext per worker, with deterministic result ordering
+/// (results[i] == fn(ctx, i) regardless of thread count — automata must
+/// therefore be derivable from the index alone, the usual enumeration
+/// shape). num_threads == 0 means one worker per hardware thread
+/// (RVT_SWEEP_THREADS overrides). Telemetry from every worker context is
+/// summed into *telemetry when given. The first exception thrown by fn is
+/// rethrown after the workers join.
+template <typename Fn>
+auto sweep_enumeration(std::span<const EnumGrid> grids, std::uint64_t count,
+                       std::uint64_t max_rounds, Fn fn,
+                       unsigned num_threads = 0, OrbitCache* cache = nullptr,
+                       EnumTelemetry* telemetry = nullptr)
+    -> std::vector<std::invoke_result_t<Fn&, EnumerationContext&,
+                                        std::uint64_t>> {
+  std::mutex stats_mu;
+  auto results = sweep_indexed(
+      count,
+      [&] { return EnumerationContext(grids, max_rounds, cache); },
+      [&](EnumerationContext& ctx, std::uint64_t i) { return fn(ctx, i); },
+      [&](EnumerationContext& ctx) {
+        if (telemetry == nullptr) return;
+        const EnumTelemetry t = ctx.telemetry();
+        const std::lock_guard<std::mutex> lk(stats_mu);
+        telemetry->queries += t.queries;
+        telemetry->bindings += t.bindings;
+        telemetry->cache_hits += t.cache_hits;
+        telemetry->cache_misses += t.cache_misses;
+        telemetry->orbits_extracted += t.orbits_extracted;
+      },
+      num_threads);
+  return results;
+}
+
+}  // namespace rvt::sim

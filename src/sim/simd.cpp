@@ -1,0 +1,50 @@
+#include "sim/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rvt::sim {
+
+namespace {
+
+bool env_forces_scalar() {
+  const char* env = std::getenv("RVT_SIMD");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "OFF") == 0 || std::strcmp(env, "scalar") == 0;
+}
+
+bool detect_available() {
+#if defined(RVT_SIMD_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  if (env_forces_scalar()) return false;
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{detect_available()};
+  return enabled;
+}
+
+}  // namespace
+
+bool simd_available() {
+  static const bool available = detect_available();
+  return available;
+}
+
+bool simd_enabled() {
+  return simd_available() && enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_simd_enabled(bool enabled) {
+  enabled_flag().store(enabled && simd_available(),
+                       std::memory_order_relaxed);
+}
+
+const char* simd_path_name() { return simd_enabled() ? "avx2" : "scalar"; }
+
+}  // namespace rvt::sim

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -35,6 +36,72 @@ inline constexpr unsigned kMaxSweepThreads = 1024;
 /// negatives, overflow) are rejected deterministically and fall back to
 /// hardware concurrency.
 unsigned resolve_sweep_threads(unsigned requested);
+
+/// Indexed sweep with per-worker context: each worker constructs ONE
+/// context via make_ctx() and reuses it across every index it claims —
+/// the harness shape for fused enumeration loops, where the context holds
+/// rebindable engines and verdict buffers whose allocations must amortize
+/// across the whole sweep rather than recur per instance. Result ordering
+/// is deterministic (results[i] == fn(ctx, i)); after a worker's loop
+/// drains, finish(ctx) runs once on its context (telemetry collection —
+/// it may run concurrently across workers, so aggregate atomically).
+/// Exceptions from fn are captured and the first is rethrown after join.
+template <typename MakeCtx, typename Fn, typename Finish>
+auto sweep_indexed(std::uint64_t count, MakeCtx make_ctx, Fn fn,
+                   Finish finish, unsigned num_threads = 0)
+    -> std::vector<std::invoke_result_t<
+        Fn&, std::invoke_result_t<MakeCtx&>&, std::uint64_t>> {
+  using Ctx = std::invoke_result_t<MakeCtx&>;
+  using Result = std::invoke_result_t<Fn&, Ctx&, std::uint64_t>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "sweep_indexed: result type must be default-constructible");
+  static_assert(!std::is_same_v<Result, bool>,
+                "sweep_indexed: bool results race in std::vector<bool> "
+                "(elements share words); return char or int instead");
+  std::vector<Result> results(count);
+  if (count == 0) return results;
+
+  std::size_t workers = resolve_sweep_threads(num_threads);
+  workers = std::min<std::size_t>(workers, count);
+  if (workers <= 1) {
+    Ctx ctx = make_ctx();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      results[i] = fn(ctx, i);
+    }
+    finish(ctx);
+    return results;
+  }
+
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto work = [&] {
+    // The whole body is guarded: an exception escaping a std::thread
+    // (from make_ctx or finish just as much as from fn) would terminate
+    // the process instead of being rethrown after the join.
+    try {
+      Ctx ctx = make_ctx();
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::uint64_t i =
+            next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        results[i] = fn(ctx, i);
+      }
+      finish(ctx);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
 
 template <typename Instance, typename Fn>
 auto sweep_instances(const std::vector<Instance>& instances, Fn fn,

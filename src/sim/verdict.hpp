@@ -40,6 +40,12 @@ struct Verdict {
   std::uint64_t cycle_length = 0;   ///< period of the certified cycle
   std::uint64_t rounds_checked = 0;
   VerifyEngine engine = VerifyEngine::kNone;
+  /// True iff the orbits this verdict was answered from came out of the
+  /// cross-worker orbit cache (sim/orbit_cache.hpp) instead of being
+  /// extracted by the answering engine — throughput telemetry the benches
+  /// aggregate into their JSON reports and assert on. Never affects the
+  /// verdict fields above.
+  bool cache_hit = false;
 };
 
 /// Historical name from when the compiled engine kept its own mirror of

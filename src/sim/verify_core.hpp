@@ -1,0 +1,381 @@
+// The per-query verdict core of the compiled engine, inlinable into batch
+// loops.
+//
+// The verdict reconstruction (see sim/compiled.hpp for the math) splits
+// three ways, matching how the battery loops consume it:
+//
+//   make_pair_state()    pair-invariant work — orbit headers, the cycle
+//                        relationship (gcd/lcm, the cycle-pair collision
+//                        table) and the first-visit lookups. Battery
+//                        grids are pair-major runs of delays, so this
+//                        runs once per (start_a, start_b).
+//   scan_meeting()       delay-dependent search for the earliest meeting
+//                        (one-walker phase, transient scan, in-cycle
+//                        collision decision + first-round scan).
+//   verify_with_state()  the full five-field verdict (Brent detection
+//                        round, certificate cycle length) — what
+//                        verify()/verify_grid return.
+//   met_with_state()     the met/unmet classification alone — what
+//                        defeat counting needs; skips the Brent window
+//                        arithmetic entirely on the (majority) unmet
+//                        outcomes.
+//
+// Everything assumes validated inputs (distinct in-range starts,
+// max_rounds > 0, orbits fetched from the right engines):
+// sim::verify_never_meet_compiled wraps the checks for single calls,
+// while the grid/enumeration paths validate a whole batch once.
+//
+// Micro-structure tuned for the exhaustive-battery workloads (millions of
+// queries against tiny orbits): the Brent detection window is a bit_ceil
+// instead of a shift loop, and every modulo whose numerator is almost
+// always within a couple of periods goes through wrap_mod's subtract-first
+// path — integer division only on the rare large-delay query.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/compiled.hpp"
+#include "sim/verdict.hpp"
+
+namespace rvt::sim::detail {
+
+/// x mod m for x that is usually < 2m (orbit tails and battery delays are
+/// small next to the cycle): two conditional subtracts cover the common
+/// cases before paying for a division.
+inline std::uint64_t wrap_mod(std::uint64_t x, std::uint64_t m) {
+  if (x < m) return x;
+  x -= m;
+  if (x < m) return x;
+  x -= m;
+  if (x < m) return x;
+  return x % m;
+}
+
+/// Pair-invariant half of the verdict: everything about (A, B) that does
+/// not depend on the delays. Valid as long as the two orbits are (i.e.
+/// until the owning engine rebinds).
+struct PairState {
+  const CompiledConfigEngine::Orbit* A = nullptr;
+  const CompiledConfigEngine::Orbit* B = nullptr;
+  tree::NodeId start_a = -1;
+  tree::NodeId start_b = -1;
+  std::uint64_t lam_a = 0, lam_b = 0;
+  std::uint64_t gcd_l = 0, lam_joint = 0;
+  /// Cached orbit headers: the delay loop reads these from the (hot)
+  /// state instead of re-chasing the Orbit structs per query.
+  std::uint64_t mu_a = 0, mu_b = 0;
+  std::size_t size_a = 0, size_b = 0;
+  const tree::NodeId* na = nullptr;  ///< A.node.data()
+  const tree::NodeId* nb = nullptr;  ///< B.node.data()
+  /// First-visit steps for the one-walker phase: B's orbit onto parked
+  /// start_a (used when delay_a > delay_b) and vice versa.
+  std::uint32_t fv_b_at_a = 0;
+  std::uint32_t fv_a_at_b = 0;
+  /// Cycle-pair collision table (gcd_l entries), or nullptr when
+  /// unavailable (different engines, cycles past kCollisionLimit, build
+  /// gave up) — the fallbacks scan or intersect residues instead.
+  const std::uint8_t* collisions = nullptr;
+  /// Alignment bases: the collision class for delays (da, db) is
+  /// (lhs0 + db) - (rhs0 + da) mod gcd_l.
+  std::uint64_t lhs0 = 0, rhs0 = 0;
+};
+
+inline PairState make_pair_state(const CompiledConfigEngine& engine_a,
+                                 const CompiledConfigEngine::Orbit& A,
+                                 const CompiledConfigEngine::Orbit& B,
+                                 bool same_engine, tree::NodeId start_a,
+                                 tree::NodeId start_b) {
+  PairState st;
+  st.A = &A;
+  st.B = &B;
+  st.start_a = start_a;
+  st.start_b = start_b;
+  st.lam_a = A.lambda;
+  st.lam_b = B.lambda;
+  // Orbits that merged share a cycle, so the equal-lambda case is the
+  // common one — take it without any division.
+  if (st.lam_a == st.lam_b) {
+    st.gcd_l = st.lam_a;
+    st.lam_joint = st.lam_a;
+  } else {
+    st.gcd_l = std::gcd(st.lam_a, st.lam_b);
+    st.lam_joint = st.lam_a / st.gcd_l * st.lam_b;
+  }
+  st.mu_a = A.mu;
+  st.mu_b = B.mu;
+  st.size_a = A.node.size();
+  st.size_b = B.node.size();
+  st.na = A.node.data();
+  st.nb = B.node.data();
+  st.fv_b_at_a = B.first_visit[start_a];
+  st.fv_a_at_b = A.first_visit[start_b];
+  if (same_engine && st.lam_a <= CompiledConfigEngine::kCollisionLimit &&
+      st.lam_b <= CompiledConfigEngine::kCollisionLimit) {
+    const auto table =
+        engine_a.cycle_pair_lookup(A.cycle_root, B.cycle_root);
+    if (!table.empty()) {  // empty: build gave up, fall back to scanning
+      st.collisions = table.data();
+      st.lhs0 = A.cycle_phase + B.sn_mu;
+      st.rhs0 = B.cycle_phase + A.sn_mu;
+    }
+  }
+  return st;
+}
+
+/// Delay-dependent meeting search. Returns whether the later agent acts
+/// within the horizon at all (`late` = it does not), whether a meeting
+/// was found, and its round (<= M by construction).
+///
+/// With kExistenceOnly the in-cycle phase may report a meeting WITHOUT
+/// locating its first round (t_meet is then a round <= the true one):
+/// when the collision table says the joint cycle meets and the whole
+/// first period fits the horizon (Tc + lam_joint - 1 <= M), the earliest
+/// meeting provably lies within both the horizon and the Brent detection
+/// round (which is always >= Tc + lam_joint), so met/unmet
+/// classification needs no scan. Only met_with_state may use this mode.
+struct MeetScan {
+  bool late = false;
+  bool meet = false;
+  /// Meeting found in the one-walker phase: t_meet <= t0 there, which is
+  /// always <= the Brent detection round — classification can skip the
+  /// window arithmetic.
+  bool early = false;
+  std::uint64_t t_meet = 0;
+};
+
+template <bool kExistenceOnly = false>
+inline MeetScan scan_meeting(const PairState& st, std::uint64_t da,
+                             std::uint64_t db, std::uint64_t M) {
+  MeetScan s;
+
+  // While exactly one agent walks (the other still parked), a meeting
+  // means the walker's orbit visits the parked agent's start: an O(1)
+  // first-visit lookup, independent of the delays.
+  const std::uint64_t d_early = std::min(da, db);
+  const std::uint64_t d_late = std::max(da, db);
+  if (d_late > d_early && d_early < M) {
+    const std::uint32_t fv = da > db ? st.fv_b_at_a : st.fv_a_at_b;
+    const std::uint64_t limit = std::min(d_late, M) - d_early;
+    if (fv != CompiledConfigEngine::Orbit::kNever && fv <= limit) {
+      s.meet = true;
+      s.early = true;
+      s.t_meet = d_early + fv;
+    }
+  }
+  if (d_late >= M) {
+    // The later agent never acts within the horizon: the legacy loop
+    // never snapshots a joint configuration, so no certificate is
+    // possible and the walker-onto-parked meeting above is the only
+    // observable event. (Also keeps the joint arithmetic below
+    // overflow-free: from here on da, db < M.)
+    s.late = true;
+    return s;
+  }
+
+  const std::uint64_t Tc = std::max(da + st.mu_a, db + st.mu_b);
+
+  // Earliest meeting, if any, over the remaining transient (rounds where
+  // both agents are still parked cannot meet — distinct starts; the
+  // one-walker phase was answered above): the few pre-cycle rounds once
+  // both walk are scanned with rolling (division-free) array indices.
+  if (!s.meet && Tc > d_late + 1) {
+    // Both active from round d_late + 1 <= M on; seed the rolling array
+    // indices at round d_late (wrap_mod each, loop-free after).
+    const std::uint64_t sa = d_late - da;  // steps taken by round d_late
+    const std::uint64_t sb = d_late - db;
+    std::uint64_t ia =
+        sa < st.size_a ? sa : st.mu_a + wrap_mod(sa - st.mu_a, st.lam_a);
+    std::uint64_t ib =
+        sb < st.size_b ? sb : st.mu_b + wrap_mod(sb - st.mu_b, st.lam_b);
+    for (std::uint64_t t = d_late + 1, hi = std::min(Tc - 1, M); t <= hi;
+         ++t) {
+      if (++ia == st.size_a) ia = st.mu_a;
+      if (++ib == st.size_b) ib = st.mu_b;
+      if (st.na[ia] == st.nb[ib]) {
+        s.meet = true;
+        s.t_meet = t;
+        break;
+      }
+    }
+  }
+  if (!s.meet && Tc <= M) {
+    // Both in-cycle: the joint node-pair sequence from round Tc is purely
+    // periodic with period lam_joint, and a meeting within it must be
+    // proven absent (certification) or located (first round). Three
+    // strategies, cheapest first:
+    //  1. Cycle-pair collision table: once both agents are in-cycle their
+    //     position pair sweeps exactly one alignment class i - j mod
+    //     gcd(lambda_a, lambda_b), so existence is one table lookup —
+    //     the common case of an exhaustive battery, whatever cycles the
+    //     two starts landed in.
+    //  2. Commensurate cycles (lam_joint comparable to the cycles): scan
+    //     one period directly with rolling indices.
+    //  3. Near-coprime cycles (lam_joint blown up): decide existence by
+    //     residue intersection — a meeting at round r >= Tc needs cycle
+    //     indices i, j with equal nodes and
+    //         r == da + A.mu + i (mod A.lambda)
+    //           == db + B.mu + j (mod B.lambda),
+    //     solvable iff both sides agree modulo gcd — sorted intersection
+    //     in O((la + lb) log la).
+    // Only if a meeting exists at all is the period scanned for its first
+    // round (that scan is bounded by the meeting round itself, i.e. never
+    // more work than the legacy stepper).
+    bool scan_cycle;
+    if (st.collisions != nullptr) {
+      const std::uint64_t lhs = st.lhs0 + db;
+      const std::uint64_t rhs = st.rhs0 + da;
+      std::uint64_t c;
+      if (lhs >= rhs) {
+        c = wrap_mod(lhs - rhs, st.gcd_l);
+      } else {
+        const std::uint64_t x = wrap_mod(rhs - lhs, st.gcd_l);
+        c = x == 0 ? 0 : st.gcd_l - x;
+      }
+      scan_cycle = st.collisions[c] != 0;
+    } else if (st.lam_joint <= 4 * (st.lam_a + st.lam_b)) {
+      scan_cycle = true;
+    } else {
+      const std::uint64_t g = st.gcd_l;
+      std::vector<std::uint64_t> occ_a;
+      occ_a.reserve(st.lam_a);
+      for (std::uint64_t i = 0; i < st.lam_a; ++i) {
+        const std::uint64_t w =
+            static_cast<std::uint64_t>(st.na[st.mu_a + i]);
+        occ_a.push_back((w << 32) | ((da + st.mu_a + i) % g));
+      }
+      std::sort(occ_a.begin(), occ_a.end());
+      scan_cycle = false;
+      for (std::uint64_t j = 0; j < st.lam_b && !scan_cycle; ++j) {
+        const std::uint64_t w =
+            static_cast<std::uint64_t>(st.nb[st.mu_b + j]);
+        scan_cycle = std::binary_search(occ_a.begin(), occ_a.end(),
+                                        (w << 32) | ((db + st.mu_b + j) % g));
+      }
+    }
+    if constexpr (kExistenceOnly) {
+      if (scan_cycle && st.collisions != nullptr &&
+          Tc + st.lam_joint - 1 <= M) {
+        // A meeting exists somewhere in [Tc, Tc + lam_joint - 1], all of
+        // which is inside the horizon and before the detection round.
+        s.meet = true;
+        s.t_meet = Tc;  // lower bound on the true round; enough to classify
+        return s;
+      }
+    }
+    if (scan_cycle) {
+      const tree::NodeId* cyc_a = st.na + st.mu_a;
+      const tree::NodeId* cyc_b = st.nb + st.mu_b;
+      std::uint64_t ia = wrap_mod(Tc - da - st.mu_a, st.lam_a);
+      std::uint64_t ib = wrap_mod(Tc - db - st.mu_b, st.lam_b);
+      for (std::uint64_t t = Tc, hi = std::min(Tc + st.lam_joint - 1, M);
+           t <= hi; ++t) {
+        if (cyc_a[ia] == cyc_b[ib]) {
+          s.meet = true;
+          s.t_meet = t;
+          break;
+        }
+        if (++ia == st.lam_a) ia = 0;
+        if (++ib == st.lam_b) ib = 0;
+      }
+    }
+  }
+  return s;
+}
+
+/// The round at which Brent's algorithm in the legacy stepper certifies:
+/// it re-anchors at snapshot indices 2^k - 1 with window 2^k and
+/// certifies from the first anchor in the cycle with a window spanning
+/// one period, exactly lam_joint snapshots later. (Tail configurations
+/// never recur — the joint orbit is rho-shaped — so no earlier anchor
+/// can match.) Requires da, db < M.
+inline std::uint64_t detect_round(const PairState& st, std::uint64_t da,
+                                  std::uint64_t db) {
+  const std::uint64_t t0 = std::max({da, db, std::uint64_t{1}});
+  const std::uint64_t Tc = std::max(da + st.mu_a, db + st.mu_b);
+  const std::uint64_t mu_joint = Tc > t0 ? Tc - t0 : 0;
+  const std::uint64_t window =
+      std::bit_ceil(std::max(st.lam_joint, mu_joint + 1));
+  return t0 + (window - 1) + st.lam_joint;
+}
+
+/// Delay-dependent half of the full verdict for delays (da, db) under
+/// horizon M — field-for-field what the legacy stepper reports: a meeting
+/// is checked before the cycle certificate within each round, and nothing
+/// past max_rounds is observed.
+inline Verdict verify_with_state(const PairState& st, std::uint64_t da,
+                                 std::uint64_t db, std::uint64_t M) {
+  const MeetScan s = scan_meeting(st, da, db, M);
+  Verdict r;
+  r.engine = VerifyEngine::kCompiled;
+  if (s.late) {
+    if (s.meet) {  // t_meet <= M by the one-walker phase limit
+      r.met = true;
+      r.meeting_round = s.t_meet - 1;  // legacy reports round() - 1
+      r.rounds_checked = s.t_meet;
+    } else {
+      r.rounds_checked = M;
+    }
+    return r;
+  }
+  const std::uint64_t t_detect = detect_round(st, da, db);
+  if (s.meet && s.t_meet <= t_detect) {
+    r.met = true;
+    r.meeting_round = s.t_meet - 1;  // legacy reports round() - 1
+    r.rounds_checked = s.t_meet;
+  } else if (t_detect <= M) {
+    r.certified_forever = true;
+    r.cycle_length = st.lam_joint;
+    r.rounds_checked = t_detect;
+  } else {
+    r.rounds_checked = M;
+  }
+  return r;
+}
+
+/// met/unmet classification alone — exactly verify_with_state().met, but
+/// the (majority) unmet outcomes skip the Brent window arithmetic and the
+/// verdict assembly. The defeat-counting loops live on this.
+inline bool met_with_state(const PairState& st, std::uint64_t da,
+                           std::uint64_t db, std::uint64_t M) {
+  const MeetScan s = scan_meeting<true>(st, da, db, M);
+  if (!s.meet) return false;
+  // One-walker meetings (and the late case, whose only observable event
+  // is one) have t_meet <= t0 <= the detection round by construction.
+  if (s.early || s.late) return true;
+  return s.t_meet <= detect_round(st, da, db);
+}
+
+/// Unmet count over a pair-major run of queries sharing one PairState.
+/// Flattened so the classification inlines and the pair state stays hot
+/// across the delay run — the innermost loop of defeat-density profiles.
+__attribute__((flatten)) inline std::uint64_t count_unmet_run(
+    const PairState& st, const PairQuery* qs, std::size_t len,
+    std::uint64_t M) {
+  std::uint64_t unmet = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    unmet += met_with_state(st, qs[i].delay_a, qs[i].delay_b, M) ? 0 : 1;
+  }
+  return unmet;
+}
+
+/// Core of verify_never_meet_compiled over pre-fetched orbits, for
+/// one-off calls. `A`/`B` must be `engine_a.orbit(start_a)` /
+/// `engine_b.orbit(start_b)` and `same_engine` must be
+/// (&engine_a == &engine_b); the caller guarantees start_a != start_b,
+/// both in range, and M > 0.
+inline Verdict verify_pair_core(const CompiledConfigEngine& engine_a,
+                                const CompiledConfigEngine::Orbit& A,
+                                const CompiledConfigEngine::Orbit& B,
+                                bool same_engine, tree::NodeId start_a,
+                                tree::NodeId start_b, std::uint64_t da,
+                                std::uint64_t db, std::uint64_t M) {
+  return verify_with_state(
+      make_pair_state(engine_a, A, B, same_engine, start_a, start_b), da,
+      db, M);
+}
+
+}  // namespace rvt::sim::detail

@@ -1,0 +1,154 @@
+#include "util/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rvt::util {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void write_string_array(std::ostream& os,
+                        const std::vector<std::string>& cells) {
+  os << "[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os << (i ? ", " : "") << quote(cells[i]);
+  }
+  os << "]";
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string id, std::uint64_t seed)
+    : id_(std::move(id)), seed_(seed) {}
+
+void BenchReport::metric(const std::string& key, double value) {
+  numbers_.emplace_back(key, value);
+}
+
+void BenchReport::note(const std::string& key, const std::string& value) {
+  strings_.emplace_back(key, value);
+}
+
+void BenchReport::validate() const {
+  if (id_.empty()) {
+    throw std::runtime_error("BenchReport: empty id");
+  }
+  std::unordered_set<std::string> keys{"id", "seed", "columns", "rows"};
+  const auto claim = [&](const std::string& key) {
+    if (key.empty()) {
+      throw std::runtime_error("BenchReport " + id_ + ": empty key");
+    }
+    if (!keys.insert(key).second) {
+      throw std::runtime_error("BenchReport " + id_ + ": duplicate key '" +
+                               key + "'");
+    }
+  };
+  for (const auto& [k, v] : strings_) claim(k);
+  for (const auto& [k, v] : numbers_) {
+    claim(k);
+    if (!std::isfinite(v)) {
+      throw std::runtime_error("BenchReport " + id_ + ": metric '" + k +
+                               "' is not finite");
+    }
+  }
+  if (table_ != nullptr) {
+    const std::size_t width = table_->header().size();
+    for (std::size_t i = 0; i < table_->row_data().size(); ++i) {
+      if (table_->row_data()[i].size() != width) {
+        throw std::runtime_error(
+            "BenchReport " + id_ + ": row " + std::to_string(i) + " has " +
+            std::to_string(table_->row_data()[i].size()) + " cells, header " +
+            std::to_string(width));
+      }
+    }
+  }
+}
+
+std::string BenchReport::write() const {
+  validate();
+  const std::string path = "BENCH_" + id_ + ".json";
+  std::ofstream os(path);
+  os << "{\n  \"id\": " << quote(id_) << ",\n  \"seed\": " << seed_;
+  for (const auto& [k, v] : strings_) {
+    os << ",\n  " << quote(k) << ": " << quote(v);
+  }
+  for (const auto& [k, v] : numbers_) {
+    os << ",\n  " << quote(k) << ": " << format_number(v);
+  }
+  if (table_ != nullptr) {
+    os << ",\n  \"columns\": ";
+    write_string_array(os, table_->header());
+    os << ",\n  \"rows\": [";
+    const auto& rows = table_->row_data();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      os << (i ? ",\n    " : "\n    ");
+      write_string_array(os, rows[i]);
+    }
+    os << "\n  ]";
+  }
+  os << "\n}\n";
+  os.flush();
+  if (!os.good()) {
+    throw std::runtime_error("BenchReport: cannot write " + path);
+  }
+  return path;
+}
+
+void add_engine_comparison(BenchReport& report, const EngineComparison& c) {
+  report.metric("compiled_seconds", c.compiled_seconds);
+  report.metric("reference_seconds", c.reference_seconds);
+  report.metric("speedup", c.compiled_seconds > 0
+                               ? c.reference_seconds / c.compiled_seconds
+                               : 0.0);
+  report.metric("compiled_repeats", c.compiled_repeats);
+  report.metric("reference_repeats", c.reference_repeats);
+  report.note("engine", c.engine);
+  report.metric("threads", c.threads);
+  report.note("simd", c.simd);
+  report.metric("orbit_cache_hits", static_cast<double>(c.orbit_cache_hits));
+  report.metric("orbit_cache_misses",
+                static_cast<double>(c.orbit_cache_misses));
+  const std::uint64_t total = c.orbit_cache_hits + c.orbit_cache_misses;
+  report.metric("orbit_cache_hit_rate",
+                total == 0 ? 0.0
+                           : static_cast<double>(c.orbit_cache_hits) /
+                                 static_cast<double>(total));
+}
+
+}  // namespace rvt::util

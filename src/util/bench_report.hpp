@@ -1,0 +1,82 @@
+// Machine-readable bench reports (BENCH_<ID>.json) with a validated
+// schema.
+//
+// Every experiment harness dumps one JSON report so perf can be tracked
+// PR over PR. Historically each bench appended ad-hoc keys, so the
+// reports drifted apart and a malformed row (wrong arity, duplicate key)
+// vanished silently into the artifact. This module makes the report a
+// library type with WRITE-TIME VALIDATION — a malformed report throws,
+// which fails the bench — and factors the shared engine-comparison
+// schema so E1/E10/E11 emit the same keys:
+//
+//   compiled_seconds, reference_seconds, speedup   the shoot-out
+//   compiled_repeats, reference_repeats            min-of-N settings
+//   engine                                         engine asserted on
+//   threads                                        sweep worker count
+//   simd                                           batched-stepper path
+//   orbit_cache_hits / _misses / _hit_rate         cache telemetry
+//
+// Lives in util (not bench/) so the validation rules are unit-testable
+// like any library code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace rvt::util {
+
+class BenchReport {
+ public:
+  /// `seed` is recorded as the report's "seed" field.
+  BenchReport(std::string id, std::uint64_t seed);
+
+  /// Scalar metric. Keys must be unique across metric() and note().
+  void metric(const std::string& key, double value);
+  /// String annotation. Keys must be unique across metric() and note().
+  void note(const std::string& key, const std::string& value);
+  /// Attaches the printed table; rows are validated against its header.
+  void table(const util::Table& t) { table_ = &t; }
+
+  /// Writes BENCH_<ID>.json in the working directory; returns the path.
+  /// Validates first and throws std::runtime_error on a malformed report
+  /// — empty id, empty or duplicate key, non-finite metric, or a table
+  /// row whose arity differs from the header — and if the file cannot be
+  /// written: a missing or malformed perf artifact must fail the bench,
+  /// not vanish silently.
+  std::string write() const;
+
+  /// The validation half of write(), exposed for tests and for benches
+  /// that want to fail fast before the timed phases.
+  void validate() const;
+
+ private:
+  std::string id_;
+  std::uint64_t seed_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+  std::vector<std::pair<std::string, double>> numbers_;
+  const util::Table* table_ = nullptr;
+};
+
+/// The shared engine-shoot-out schema. Benches fill one of these and call
+/// add_engine_comparison() so every report lands the same keys.
+struct EngineComparison {
+  double compiled_seconds = 0;
+  double reference_seconds = 0;
+  int compiled_repeats = 1;   ///< min-of-N repeats of the compiled side
+  int reference_repeats = 1;  ///< min-of-N repeats of the reference side
+  std::string engine;         ///< engine the bench asserted on
+  unsigned threads = 1;       ///< sweep worker count of the timed phase
+  std::string simd;           ///< sim::simd_path_name() at run time
+  std::uint64_t orbit_cache_hits = 0;
+  std::uint64_t orbit_cache_misses = 0;
+};
+
+/// Emits the standardized keys (speedup and hit rate are derived here so
+/// every bench computes them identically).
+void add_engine_comparison(BenchReport& report, const EngineComparison& c);
+
+}  // namespace rvt::util

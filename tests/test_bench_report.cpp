@@ -1,0 +1,112 @@
+// Schema validation of the machine-readable bench reports
+// (util/bench_report.hpp): a malformed report must THROW — i.e. fail the
+// bench — not silently land a broken BENCH_<ID>.json artifact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/bench_report.hpp"
+#include "util/table.hpp"
+
+namespace rvt::util {
+namespace {
+
+TEST(BenchReport, WellFormedReportValidates) {
+  BenchReport report("TST", 42);
+  report.metric("compiled_seconds", 0.5);
+  report.note("engine", "compiled");
+  util::Table table({"a", "b"});
+  table.row(1, 2);
+  report.table(table);
+  EXPECT_NO_THROW(report.validate());
+}
+
+TEST(BenchReport, EmptyIdIsMalformed) {
+  BenchReport report("", 1);
+  EXPECT_THROW(report.validate(), std::runtime_error);
+}
+
+TEST(BenchReport, DuplicateKeysAreMalformed) {
+  BenchReport report("TST", 1);
+  report.metric("speedup", 1.0);
+  report.metric("speedup", 2.0);
+  EXPECT_THROW(report.validate(), std::runtime_error);
+
+  BenchReport mixed("TST", 1);
+  mixed.note("engine", "compiled");
+  mixed.metric("engine", 3.0);  // collides across note/metric too
+  EXPECT_THROW(mixed.validate(), std::runtime_error);
+
+  BenchReport reserved("TST", 1);
+  reserved.metric("seed", 7.0);  // collides with the built-in field
+  EXPECT_THROW(reserved.validate(), std::runtime_error);
+}
+
+TEST(BenchReport, EmptyKeyAndNonFiniteMetricAreMalformed) {
+  BenchReport report("TST", 1);
+  report.metric("", 1.0);
+  EXPECT_THROW(report.validate(), std::runtime_error);
+
+  BenchReport nan_report("TST", 1);
+  nan_report.metric("speedup", std::nan(""));
+  EXPECT_THROW(nan_report.validate(), std::runtime_error);
+
+  BenchReport inf_report("TST", 1);
+  inf_report.metric("speedup", INFINITY);
+  EXPECT_THROW(inf_report.validate(), std::runtime_error);
+}
+
+TEST(BenchReport, MalformedTableRowIsAFailure) {
+  // The Table itself refuses rows whose arity disagrees with the header,
+  // so a malformed row can never reach the JSON artifact silently.
+  util::Table table({"a", "b", "c"});
+  EXPECT_THROW(table.add_row({"1", "2"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3", "4"}), std::invalid_argument);
+}
+
+TEST(BenchReport, EngineComparisonEmitsStandardizedKeys) {
+  BenchReport report("TST", 9);
+  EngineComparison c;
+  c.compiled_seconds = 0.25;
+  c.reference_seconds = 1.0;
+  c.compiled_repeats = 5;
+  c.reference_repeats = 1;
+  c.engine = "compiled";
+  c.threads = 2;
+  c.simd = "avx2";
+  c.orbit_cache_hits = 30;
+  c.orbit_cache_misses = 10;
+  add_engine_comparison(report, c);
+  EXPECT_NO_THROW(report.validate());
+
+  const std::string path = report.write();
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string json = ss.str();
+  for (const char* key :
+       {"\"compiled_seconds\": 0.25", "\"reference_seconds\": 1",
+        "\"speedup\": 4", "\"compiled_repeats\": 5",
+        "\"reference_repeats\": 1", "\"engine\": \"compiled\"",
+        "\"threads\": 2", "\"simd\": \"avx2\"", "\"orbit_cache_hits\": 30",
+        "\"orbit_cache_misses\": 10", "\"orbit_cache_hit_rate\": 0.75"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, AddingComparisonTwiceIsCaughtAsDuplicate) {
+  BenchReport report("TST", 9);
+  EngineComparison c;
+  add_engine_comparison(report, c);
+  add_engine_comparison(report, c);
+  EXPECT_THROW(report.validate(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rvt::util

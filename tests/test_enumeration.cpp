@@ -1,0 +1,212 @@
+// Fused rebind+grid enumeration (sim/enumeration.hpp): the context's
+// verify()/count_unmet()/first_unmet() must agree query-for-query with
+// the unfused verify_grid() path, across rebinds, grids, thread counts
+// and cache attachment.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/automaton.hpp"
+#include "sim/compiled.hpp"
+#include "sim/enumeration.hpp"
+#include "sim/orbit_cache.hpp"
+#include "tree/builders.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::sim {
+namespace {
+
+std::vector<EnumGrid> small_grids(const std::vector<tree::Tree>& trees) {
+  std::vector<EnumGrid> grids;
+  for (const auto& t : trees) {
+    EnumGrid grid;
+    grid.tree = &t;
+    for (tree::NodeId u = 0; u < t.node_count(); ++u) {
+      for (tree::NodeId v = u + 1; v < t.node_count(); ++v) {
+        for (const std::uint64_t d : {0ull, 1ull, 7ull}) {
+          grid.queries.push_back({u, v, d, 0});
+        }
+      }
+    }
+    grids.push_back(std::move(grid));
+  }
+  return grids;
+}
+
+TEST(Enumeration, MatchesVerifyGridFieldForFieldAcrossRebinds) {
+  util::Rng rng(0xe9u);
+  std::vector<tree::Tree> trees;
+  trees.push_back(tree::line_edge_colored(7, 0));
+  trees.push_back(tree::line_symmetric_colored(9));
+  const auto grids = small_grids(trees);
+  constexpr std::uint64_t kHorizon = 150000;
+
+  EnumerationContext ctx(grids, kHorizon);
+  for (int rep = 0; rep < 12; ++rep) {
+    const TabularAutomaton a =
+        random_line_automaton(1 + static_cast<int>(rng.index(5)), rng)
+            .tabular();
+    ctx.bind(a);
+    for (std::size_t g = 0; g < grids.size(); ++g) {
+      const auto fused = ctx.verify(g);
+      // Unfused reference: a fresh engine through verify_grid.
+      const CompiledConfigEngine engine(*grids[g].tree, a);
+      const auto unfused =
+          verify_grid(engine, engine, grids[g].queries, kHorizon, 1);
+      ASSERT_EQ(fused.size(), unfused.size());
+      std::uint64_t unmet = 0;
+      std::ptrdiff_t first = -1;
+      for (std::size_t i = 0; i < fused.size(); ++i) {
+        ASSERT_EQ(fused[i].met, unfused[i].met) << rep << " " << g << " " << i;
+        ASSERT_EQ(fused[i].meeting_round, unfused[i].meeting_round)
+            << rep << " " << g << " " << i;
+        ASSERT_EQ(fused[i].certified_forever, unfused[i].certified_forever)
+            << rep << " " << g << " " << i;
+        ASSERT_EQ(fused[i].cycle_length, unfused[i].cycle_length)
+            << rep << " " << g << " " << i;
+        ASSERT_EQ(fused[i].rounds_checked, unfused[i].rounds_checked)
+            << rep << " " << g << " " << i;
+        ASSERT_EQ(fused[i].engine, VerifyEngine::kCompiled);
+        EXPECT_FALSE(fused[i].cache_hit);  // no cache attached
+        if (!fused[i].met) {
+          ++unmet;
+          if (first < 0) first = static_cast<std::ptrdiff_t>(i);
+        }
+      }
+      // The counting/scanning variants are definitionally tied to
+      // verify() — and note verify() was called FIRST, so first_unmet
+      // here also covers the already-prepared path.
+      ASSERT_EQ(ctx.count_unmet(g), unmet) << rep << " " << g;
+      ASSERT_EQ(ctx.first_unmet(g), first) << rep << " " << g;
+    }
+  }
+  const auto telemetry = ctx.telemetry();
+  EXPECT_GT(telemetry.queries, 0u);
+  EXPECT_GT(telemetry.orbits_extracted, 0u);
+  EXPECT_EQ(telemetry.cache_hits + telemetry.cache_misses, 0u);
+}
+
+TEST(Enumeration, LazyFirstUnmetMatchesPreparedScan) {
+  util::Rng rng(0x1a2);
+  std::vector<tree::Tree> trees;
+  trees.push_back(tree::line(8));
+  const auto grids = small_grids(trees);
+  for (int rep = 0; rep < 20; ++rep) {
+    const TabularAutomaton a =
+        random_line_automaton(1 + static_cast<int>(rng.index(5)), rng)
+            .tabular();
+    // Fresh binding, first_unmet first: the lazy (scan-prepared) path.
+    EnumerationContext lazy(grids, 150000);
+    lazy.bind(a);
+    const auto from_lazy = lazy.first_unmet(0);
+    // Fresh binding, verify first: the fully-prepared path.
+    EnumerationContext warm(grids, 150000);
+    warm.bind(a);
+    (void)warm.verify(0);
+    ASSERT_EQ(warm.first_unmet(0), from_lazy) << rep;
+  }
+}
+
+TEST(Enumeration, CacheHitsAreFlaggedOnVerdicts) {
+  util::Rng rng(31);
+  std::vector<tree::Tree> trees;
+  trees.push_back(tree::line_edge_colored(6, 1));
+  const auto grids = small_grids(trees);
+  const TabularAutomaton a = random_line_automaton(3, rng).tabular();
+
+  OrbitCache cache;
+  EnumerationContext publisher(grids, 100000, &cache);
+  publisher.bind(a);
+  for (const auto& v : publisher.verify(0)) {
+    EXPECT_FALSE(v.cache_hit);  // first visit extracts and publishes
+  }
+  EnumerationContext consumer(grids, 100000, &cache);
+  consumer.bind(a);
+  for (const auto& v : consumer.verify(0)) {
+    EXPECT_TRUE(v.cache_hit);  // served from the published set
+  }
+  // The consumer never extracted a thing.
+  EXPECT_EQ(consumer.telemetry().orbits_extracted, 0u);
+  EXPECT_EQ(cache.stats().publishes, 1u);
+
+  // Verdicts agree regardless of who served them.
+  publisher.bind(a);
+  consumer.bind(a);
+  const auto from_publisher = publisher.verify(0);
+  std::vector<Verdict> copied(from_publisher.begin(), from_publisher.end());
+  const auto from_consumer = consumer.verify(0);
+  for (std::size_t i = 0; i < copied.size(); ++i) {
+    ASSERT_EQ(copied[i].met, from_consumer[i].met) << i;
+    ASSERT_EQ(copied[i].cycle_length, from_consumer[i].cycle_length) << i;
+    ASSERT_EQ(copied[i].rounds_checked, from_consumer[i].rounds_checked) << i;
+  }
+}
+
+TEST(Enumeration, SweepIsDeterministicAcrossThreadCounts) {
+  std::vector<tree::Tree> trees;
+  trees.push_back(tree::line_edge_colored(7, 0));
+  trees.push_back(tree::line(5));
+  const auto grids = small_grids(trees);
+  const auto fn = [](EnumerationContext& ctx, std::uint64_t i) {
+    util::Rng rng(1000 + i);  // per-index randomness: index-derivable
+    const TabularAutomaton a =
+        random_line_automaton(1 + static_cast<int>(rng.index(5)), rng)
+            .tabular();
+    ctx.bind(a);
+    std::uint64_t unmet = 0;
+    for (std::size_t g = 0; g < ctx.grid_count(); ++g) {
+      unmet += ctx.count_unmet(g);
+    }
+    return unmet;
+  };
+  const auto serial = sweep_enumeration(grids, 40, 100000, fn, 1);
+  for (const unsigned threads : {2u, 5u}) {
+    OrbitCache cache;
+    const auto parallel =
+        sweep_enumeration(grids, 40, 100000, fn, threads, &cache);
+    ASSERT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(Enumeration, ValidatesGridsAndBindingUpFront) {
+  std::vector<tree::Tree> trees;
+  trees.push_back(tree::line(5));
+  {
+    std::vector<EnumGrid> grids{{nullptr, {}}};
+    EXPECT_THROW(EnumerationContext(grids, 10), std::invalid_argument);
+  }
+  {
+    std::vector<EnumGrid> grids{{&trees[0], {{2, 2, 0, 0}}}};
+    EXPECT_THROW(EnumerationContext(grids, 10), std::invalid_argument);
+  }
+  {
+    std::vector<EnumGrid> grids{{&trees[0], {{0, 9, 0, 0}}}};
+    EXPECT_THROW(EnumerationContext(grids, 10), std::invalid_argument);
+  }
+  {
+    std::vector<EnumGrid> grids{{&trees[0], {{0, 1, 0, 0}}}};
+    EXPECT_THROW(EnumerationContext(grids, 0), std::invalid_argument);
+    EnumerationContext ctx(grids, 10);
+    EXPECT_THROW(ctx.verify(0), std::logic_error);  // bind() first
+  }
+}
+
+TEST(Enumeration, SweepPropagatesExceptions) {
+  std::vector<tree::Tree> trees;
+  trees.push_back(tree::line(5));
+  const auto grids = small_grids(trees);
+  EXPECT_THROW(
+      sweep_enumeration(grids, 10, 1000,
+                        [](EnumerationContext&, std::uint64_t i)
+                            -> std::uint64_t {
+                          if (i == 7) throw std::runtime_error("boom");
+                          return i;
+                        },
+                        3),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rvt::sim

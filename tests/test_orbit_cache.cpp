@@ -1,0 +1,231 @@
+// Sharded cross-worker orbit cache (sim/orbit_cache.hpp): keying,
+// claim/publish/abandon protocol, epoch invalidation, and — the load-
+// bearing guarantee — that under many workers racing rebinds and lookups
+// no orbit is ever extracted twice for one (automaton hash, epoch) on a
+// single machine. The races run under the ASan/UBSan CI job like every
+// tier-1 test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/automaton.hpp"
+#include "sim/compiled.hpp"
+#include "sim/enumeration.hpp"
+#include "sim/orbit_cache.hpp"
+#include "tree/builders.hpp"
+#include "util/rng.hpp"
+
+namespace rvt::sim {
+namespace {
+
+TEST(OrbitKeys, DistinguishBindings) {
+  util::Rng rng(5);
+  const tree::Tree line8 = tree::line(8);
+  const tree::Tree line9 = tree::line(9);
+  const tree::Tree colored = tree::line_edge_colored(8, 0);
+  EXPECT_EQ(tree_orbit_key(line8), tree_orbit_key(tree::line(8)));
+  EXPECT_NE(tree_orbit_key(line8), tree_orbit_key(line9));
+  EXPECT_NE(tree_orbit_key(line8), tree_orbit_key(colored));
+
+  const auto a = random_line_automaton(3, rng).tabular();
+  auto b = a;
+  EXPECT_EQ(automaton_orbit_key(a), automaton_orbit_key(b));
+  b.initial = (b.initial + 1) % b.num_states();
+  EXPECT_NE(automaton_orbit_key(a), automaton_orbit_key(b));
+
+  const auto ka = combine_orbit_keys(tree_orbit_key(line8),
+                                     automaton_orbit_key(a));
+  const auto kb = combine_orbit_keys(tree_orbit_key(line9),
+                                     automaton_orbit_key(a));
+  EXPECT_NE(ka, kb);
+}
+
+TEST(OrbitCache, ClaimPublishAcquireRoundTrip) {
+  OrbitCache cache(4, 1024);
+  const OrbitKey key{123, 456};
+  // First acquire claims.
+  EXPECT_EQ(cache.acquire(key), nullptr);
+  auto set = std::make_shared<CompiledConfigEngine::OrbitSet>();
+  set->bytes = 100;
+  cache.publish(key, set);
+  // Now it hits, lock-free.
+  const auto got = cache.acquire(key);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got.get(), set.get());
+  EXPECT_EQ(cache.peek(key), set.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.publishes, 1u);
+  EXPECT_EQ(cache.bytes(), 100u);
+
+  // Epoch advance invalidates: the key must be re-claimed.
+  cache.advance_epoch();
+  EXPECT_EQ(cache.peek(key), nullptr);
+  EXPECT_EQ(cache.acquire(key), nullptr);
+  cache.abandon(key);  // give the claim back without publishing
+  EXPECT_EQ(cache.acquire(key), nullptr);  // claimable again
+  cache.abandon(key);
+}
+
+TEST(OrbitCache, BudgetRejectsOversizedPublishes) {
+  OrbitCache cache(2, 64, /*max_bytes=*/128);
+  const OrbitKey key{7, 8};
+  EXPECT_EQ(cache.acquire(key), nullptr);
+  auto big = std::make_shared<CompiledConfigEngine::OrbitSet>();
+  big->bytes = 1000;  // over budget
+  cache.publish(key, big);
+  EXPECT_EQ(cache.stats().rejects, 1u);
+  EXPECT_EQ(cache.peek(key), nullptr);  // not inserted
+  // The key is claimable again (waiters re-contend after a reject).
+  EXPECT_EQ(cache.acquire(key), nullptr);
+  cache.abandon(key);
+}
+
+/// The concurrency battery: `workers` threads sweep the same automaton
+/// range over the same grids through one shared cache, across several
+/// epochs. Every (automaton, tree) binding must be extracted exactly
+/// once per epoch MACHINE-WIDE (publishers extract, everyone else blocks
+/// then adopts), which the engine extraction counters prove.
+TEST(OrbitCache, NoOrbitExtractedTwicePerBindingAcrossRacingWorkers) {
+  // Deterministic automaton list, shared by every worker.
+  constexpr std::uint64_t kAutomata = 24;
+  constexpr unsigned kWorkers = 8;
+  constexpr int kEpochs = 3;
+  util::Rng rng(0xcac4e);
+  std::vector<TabularAutomaton> automata;
+  for (std::uint64_t i = 0; i < kAutomata; ++i) {
+    automata.push_back(
+        random_line_automaton(1 + static_cast<int>(rng.index(4)), rng)
+            .tabular());
+  }
+  // The cache is content-addressed, so random draws that happen to
+  // produce identical tables share one key — count the distinct ones.
+  std::uint64_t distinct = 0;
+  for (std::uint64_t i = 0; i < kAutomata; ++i) {
+    bool fresh = true;
+    for (std::uint64_t j = 0; j < i; ++j) {
+      if (automata[i] == automata[j]) {
+        fresh = false;
+        break;
+      }
+    }
+    distinct += fresh ? 1 : 0;
+  }
+  ASSERT_GT(distinct, kAutomata / 2);  // the draw is actually diverse
+  std::vector<tree::Tree> trees;
+  trees.push_back(tree::line(6));
+  trees.push_back(tree::line_edge_colored(7, 0));
+  trees.push_back(tree::line_symmetric_colored(9));
+  std::vector<EnumGrid> grids;
+  std::uint64_t starts_per_automaton = 0;
+  for (const auto& t : trees) {
+    EnumGrid grid;
+    grid.tree = &t;
+    for (tree::NodeId u = 0; u < t.node_count(); ++u) {
+      for (tree::NodeId v = u + 1; v < t.node_count(); ++v) {
+        grid.queries.push_back({u, v, 0, 0});
+        grid.queries.push_back({u, v, 3, 0});
+      }
+    }
+    starts_per_automaton += t.node_count();  // every start is queried
+    grids.push_back(std::move(grid));
+  }
+
+  OrbitCache cache(4);  // few shards: force real contention
+  // The index space repeats every automaton kDup times, so the same
+  // (automaton, tree) keys race across workers — without the cache each
+  // binding would be extracted up to kDup times.
+  constexpr std::uint64_t kDup = 6;
+  std::vector<std::vector<std::uint64_t>> per_epoch_counts;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    EnumTelemetry telemetry;
+    const auto counts = sweep_enumeration(
+        grids, kAutomata * kDup, /*max_rounds=*/100000,
+        [&](EnumerationContext& ctx, std::uint64_t i) {
+          ctx.bind(automata[i % kAutomata]);
+          std::uint64_t unmet = 0;
+          for (std::size_t g = 0; g < ctx.grid_count(); ++g) {
+            unmet += ctx.count_unmet(g);
+          }
+          return unmet;
+        },
+        kWorkers, &cache, &telemetry);
+    per_epoch_counts.push_back(counts);
+
+    // THE guarantee: each distinct (automaton, tree) binding extracted
+    // once per machine — the publisher walks each queried start exactly
+    // once.
+    EXPECT_EQ(telemetry.orbits_extracted, distinct * starts_per_automaton)
+        << "epoch " << epoch;
+    EXPECT_EQ(telemetry.cache_misses, distinct * trees.size())
+        << "epoch " << epoch;
+    EXPECT_GT(telemetry.cache_hits, 0u) << "epoch " << epoch;
+    EXPECT_EQ(telemetry.cache_hits + telemetry.cache_misses,
+              telemetry.bindings)
+        << "epoch " << epoch;
+
+    // Quiesced between sweeps: invalidate and go again.
+    cache.advance_epoch();
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.publishes,
+            static_cast<std::uint64_t>(kEpochs) * distinct * trees.size());
+  EXPECT_EQ(stats.rejects, 0u);
+
+  // Verdict counts are identical across epochs and match a cache-less
+  // single-threaded sweep.
+  EnumTelemetry solo_telemetry;
+  const auto solo = sweep_enumeration(
+      grids, kAutomata * kDup, /*max_rounds=*/100000,
+      [&](EnumerationContext& ctx, std::uint64_t i) {
+        ctx.bind(automata[i % kAutomata]);
+        std::uint64_t unmet = 0;
+        for (std::size_t g = 0; g < ctx.grid_count(); ++g) {
+          unmet += ctx.count_unmet(g);
+        }
+        return unmet;
+      },
+      1, nullptr, &solo_telemetry);
+  EXPECT_EQ(solo_telemetry.cache_hits, 0u);
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    EXPECT_EQ(per_epoch_counts[epoch], solo) << "epoch " << epoch;
+  }
+}
+
+/// Raw acquire/publish race on one key: exactly one claimer, everyone
+/// else blocks until the publish and adopts the same set.
+TEST(OrbitCache, SingleKeyRaceHasOnePublisher) {
+  for (int round = 0; round < 20; ++round) {
+    OrbitCache cache(1);
+    const OrbitKey key{99, static_cast<std::uint64_t>(round)};
+    constexpr unsigned kThreads = 8;
+    std::atomic<int> claimers{0};
+    std::atomic<int> adopters{0};
+    std::vector<std::thread> pool;
+    for (unsigned w = 0; w < kThreads; ++w) {
+      pool.emplace_back([&] {
+        auto set = cache.acquire(key);
+        if (set == nullptr) {
+          claimers.fetch_add(1);
+          auto published =
+              std::make_shared<CompiledConfigEngine::OrbitSet>();
+          published->bytes = 1;
+          cache.publish(key, std::move(published));
+        } else {
+          adopters.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    EXPECT_EQ(claimers.load(), 1) << "round " << round;
+    EXPECT_EQ(adopters.load(), static_cast<int>(kThreads) - 1)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace rvt::sim
