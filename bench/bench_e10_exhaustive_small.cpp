@@ -134,10 +134,10 @@ std::vector<sim::EnumGrid> make_grids(const std::vector<BatteryTree>& battery,
     for (const auto& [u, v] : bt.pairs) {
       if (with_delays) {
         for (const std::uint64_t d : kProfileDelays) {
-          grid.queries.push_back({u, v, d, 0});
+          grid.push({u, v, d, 0});
         }
       } else {
-        grid.queries.push_back({u, v, 0, 0});
+        grid.push({u, v, 0, 0});
       }
     }
     grids.push_back(std::move(grid));
@@ -287,6 +287,7 @@ int main() {
             << telemetry.hit_rate() << ")\n";
 
   bench::JsonReport report("E10");
+  report.workload("rendezvous", 2);
   report.metric("sweep_seconds", sweep_seconds);
   report.metric("profile_automata", static_cast<double>(sample.size()));
   report.metric("profile_defeats", static_cast<double>(compiled_sum));

@@ -64,12 +64,13 @@ struct Built {
 };
 
 /// All distinct (u < v) start pairs crossed with the delay grid.
-std::vector<sim::PairQuery> battery_grid(const tree::Tree& t) {
-  std::vector<sim::PairQuery> grid;
+sim::EnumGrid battery_grid(const tree::Tree& t) {
+  sim::EnumGrid grid;
+  grid.tree = &t;
   for (tree::NodeId u = 0; u < t.node_count(); ++u) {
     for (tree::NodeId v = u + 1; v < t.node_count(); ++v) {
       for (const std::uint64_t d : kBatteryDelays) {
-        grid.push_back({u, v, d, 0});
+        grid.push({u, v, d, 0});
       }
     }
   }
@@ -152,12 +153,11 @@ int main(int argc, char** argv) {
   grids.reserve(usable.size());
   tabs.reserve(usable.size());
   for (const std::size_t idx : usable) {
-    grids.push_back({&built[idx].inst.instance,
-                     battery_grid(built[idx].inst.instance)});
+    grids.push_back(battery_grid(built[idx].inst.instance));
     tabs.push_back(victims[idx].a.tabular());
   }
   std::uint64_t queries = 0;
-  for (const auto& g : grids) queries += g.queries.size();
+  for (const auto& g : grids) queries += g.query_count();
 
   sim::OrbitCache cache;
   sim::EnumerationContext ctx(grids, kBatteryHorizon, &cache);
@@ -178,13 +178,13 @@ int main(int argc, char** argv) {
       bench::steady_min_seconds(/*warmup=*/0, kReferenceRepeats, [&] {
         for (std::size_t g = 0; g < grids.size(); ++g) {
           const std::size_t idx = usable[g];
-          reference[g].resize(grids[g].queries.size());
-          for (std::size_t q = 0; q < grids[g].queries.size(); ++q) {
-            const auto& pq = grids[g].queries[q];
+          reference[g].resize(grids[g].query_count());
+          for (std::size_t q = 0; q < grids[g].query_count(); ++q) {
+            const auto pq = grids[g].query(q);
             sim::TreeAutomatonAgent x(victims[idx].a), y(victims[idx].a);
             reference[g][q] = lowerbound::verify_never_meet_reference(
                 built[idx].inst.instance, x, y,
-                {pq.start_a, pq.start_b, pq.delay_a, pq.delay_b,
+                {pq.starts[0], pq.starts[1], pq.delays[0], pq.delays[1],
                  kBatteryHorizon});
           }
         }
@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t certified = 0, mismatches = 0;
   for (std::size_t g = 0; g < grids.size(); ++g) {
-    for (std::size_t q = 0; q < grids[g].queries.size(); ++q) {
+    for (std::size_t q = 0; q < grids[g].query_count(); ++q) {
       const auto& c = compiled[g][q];
       const auto& r = reference[g][q];
       if (c.met != r.met || c.meeting_round != r.meeting_round ||
@@ -223,6 +223,7 @@ int main(int argc, char** argv) {
             << cache_stats.misses << " misses\n";
 
   bench::JsonReport report("E11");
+  report.workload("rendezvous", 2);
   report.metric("sweep_seconds", sweep_seconds);
   report.metric("instances", static_cast<double>(usable.size()));
   report.metric("battery_queries", static_cast<double>(queries));

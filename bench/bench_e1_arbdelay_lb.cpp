@@ -83,8 +83,8 @@ struct CompiledBattery {
       sim::EnumGrid grid;
       grid.tree = &c.line;
       for (std::uint64_t d = 0; d < kDelayGrid; ++d) {
-        grid.queries.push_back({c.cfg.start_a, c.cfg.start_b,
-                                c.cfg.delay_a + d, c.cfg.delay_b + d});
+        grid.push({c.cfg.start_a, c.cfg.start_b, c.cfg.delay_a + d,
+                   c.cfg.delay_b + d});
       }
       grids.push_back(std::move(grid));
       tabs.push_back(c.a.tabular());
@@ -244,6 +244,7 @@ int main(int argc, char** argv) {
             << "  speedup:          " << speedup << "x\n";
 
   bench::JsonReport report("E1");
+  report.workload("rendezvous", 2);
   report.metric("sweep_seconds", sweep_seconds);
   report.metric("instances", static_cast<double>(timed.size()));
   report.metric("delay_grid", static_cast<double>(kDelayGrid));

@@ -144,6 +144,7 @@ int main() {
   table.print(std::cout);
 
   bench::JsonReport report("E3");
+  report.workload("rendezvous", 2);
   report.metric("sweep_seconds", total.seconds());
   report.table(table);
   std::cout << "report: " << report.write() << "\n";

@@ -1,4 +1,5 @@
-// Command-line driver: run a rendezvous on a tree supplied as text.
+// Command-line driver: run a rendezvous (or a k-agent gathering verdict)
+// on a tree supplied as text.
 //
 // Usage:
 //   rvt_cli <tree-file|-> <u> <v> [options]
@@ -8,51 +9,241 @@
 //     --timed-explo                  Thm 4.1 agent with real Explo tours
 //     --dot FILE                     write the instance as Graphviz DOT
 //
+//   rvt_cli gather <tree-file|-> <s0,s1,...> [options]
+//     --delays d0,d1,...             per-agent start delays (default all 0)
+//     --automaton basic|pingpong:<p>|random:<K>[:<seed>]
+//                                    the identical automaton all k agents
+//                                    run (default basic)
+//     --lift                         lift the line automaton to the
+//                                    degree-3 alphabet (Thm 4.3 victims)
+//     --max-rounds N                 horizon (default 1000000)
+//     --reference                    cross-check the compiled verdict
+//                                    against the interpreting
+//                                    run_gathering, field for field
+//   answered by sim::verify_never_gather_compiled on the k-tuple verdict
+//   core; equal starts are allowed (co-located agents stay merged).
+//
 // The tree format is tree/io.hpp's: node count, then "u v port_u port_v"
-// per edge; '-' reads stdin. Exit code: 0 met, 2 not met, 1 usage/infeasible.
+// per edge; '-' reads stdin. Exit code: 0 met/gathered, 2 not
+// met/not gathered, 1 usage/infeasible/mismatch.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/baseline.hpp"
 #include "core/prime_protocol.hpp"
 #include "core/rendezvous_agent.hpp"
+#include "sim/automaton.hpp"
+#include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
 #include "tree/canonical.hpp"
 #include "tree/io.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: rvt_cli <tree-file|-> <u> <v> [--agent "
                "thm41|baseline|prime] [--delay-a N] [--delay-b N] "
-               "[--max-rounds N] [--timed-explo] [--dot FILE]\n";
+               "[--max-rounds N] [--timed-explo] [--dot FILE]\n"
+               "       rvt_cli gather <tree-file|-> <s0,s1,...> "
+               "[--delays d0,d1,...] [--automaton "
+               "basic|pingpong:<p>|random:<K>[:<seed>]] [--lift] "
+               "[--max-rounds N] [--reference]\n";
   return 1;
+}
+
+std::string read_tree_text(const char* arg, bool& ok) {
+  ok = true;
+  if (std::strcmp(arg, "-") == 0) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream f(arg);
+  if (!f) {
+    std::cerr << "cannot open " << arg << "\n";
+    ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// "1,2,3" -> {1, 2, 3}; returns false on junk.
+bool parse_u64_list(const std::string& text, std::vector<std::uint64_t>& out) {
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) return false;
+    char* end = nullptr;
+    out.push_back(std::strtoull(item.c_str(), &end, 10));
+    if (end == nullptr || *end != '\0') return false;
+  }
+  return !out.empty();
+}
+
+int run_gather_mode(int argc, char** argv) {
+  using namespace rvt;
+  if (argc < 4) return usage();
+  bool ok = false;
+  const std::string text = read_tree_text(argv[2], ok);
+  if (!ok) return 1;
+  tree::Tree t = tree::Tree::single_node();
+  try {
+    t = tree::from_text(text);
+  } catch (const std::exception& e) {
+    std::cerr << "bad tree: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::vector<std::uint64_t> starts_raw;
+  if (!parse_u64_list(argv[3], starts_raw)) {
+    std::cerr << "bad start list: " << argv[3] << "\n";
+    return 1;
+  }
+  std::vector<std::uint64_t> delays;
+  std::string automaton_spec = "basic";
+  bool lift = false, reference = false;
+  std::uint64_t max_rounds = 1000000ull;
+  for (int i = 4; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << a << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--delays") {
+      if (!parse_u64_list(next(), delays)) {
+        std::cerr << "bad delay list\n";
+        return 1;
+      }
+    } else if (a == "--automaton") {
+      automaton_spec = next();
+    } else if (a == "--lift") {
+      lift = true;
+    } else if (a == "--max-rounds") {
+      max_rounds = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--reference") {
+      reference = true;
+    } else {
+      return usage();
+    }
+  }
+
+  // Resolve the automaton spec into the tabular form all k agents run.
+  sim::LineAutomaton line_automaton;
+  if (automaton_spec == "basic") {
+    line_automaton = sim::basic_walker_automaton();
+  } else if (automaton_spec.rfind("pingpong:", 0) == 0) {
+    const int p = std::atoi(automaton_spec.c_str() + 9);
+    if (p < 1) {
+      std::cerr << "pingpong needs p >= 1\n";
+      return 1;
+    }
+    line_automaton = sim::ping_pong_walker(p);
+  } else if (automaton_spec.rfind("random:", 0) == 0) {
+    std::vector<std::uint64_t> kv;
+    if (!parse_u64_list(automaton_spec.substr(7), kv) || kv.empty() ||
+        kv.size() > 2 || kv[0] == 0) {
+      std::cerr << "random needs K[:seed] with K >= 1\n";
+      return 1;
+    }
+    util::Rng rng(kv.size() > 1 ? kv[1] : 0x5eed2010ull);
+    line_automaton =
+        sim::random_line_automaton(static_cast<int>(kv[0]), rng);
+  } else {
+    std::cerr << "unknown automaton: " << automaton_spec << "\n";
+    return 1;
+  }
+  const sim::TabularAutomaton automaton =
+      lift ? sim::lift_to_tree_automaton(line_automaton).tabular()
+           : line_automaton.tabular();
+
+  std::vector<tree::NodeId> starts;
+  for (const std::uint64_t s : starts_raw) {
+    if (s >= static_cast<std::uint64_t>(t.node_count())) {
+      std::cerr << "start " << s << " out of range [0, " << t.node_count()
+                << ")\n";
+      return 1;
+    }
+    starts.push_back(static_cast<tree::NodeId>(s));
+  }
+  std::cout << "tree: n=" << t.node_count() << " max-degree "
+            << t.max_degree() << "; k=" << starts.size()
+            << " agents; automaton " << automaton_spec
+            << (lift ? " (lifted)" : "") << "; horizon " << max_rounds
+            << "\n";
+
+  sim::GatherVerdict verdict;
+  try {
+    const sim::CompiledConfigEngine engine(t, automaton);
+    verdict =
+        sim::verify_never_gather_compiled(engine, starts, delays, max_rounds);
+  } catch (const std::exception& e) {
+    std::cerr << "cannot verify: " << e.what()
+              << (t.max_degree() > automaton.max_degree
+                      ? " (try --lift for degree-3 trees)"
+                      : "")
+              << "\n";
+    return 1;
+  }
+  if (verdict.gathered) {
+    std::cout << "GATHERED at node " << verdict.gather_node << " in round "
+              << verdict.gather_round << " (compiled k-tuple core)\n";
+  } else if (verdict.certified_forever) {
+    std::cout << "never gathers (certified forever; joint cycle "
+              << verdict.cycle_length << ")\n";
+  } else {
+    std::cout << "no gathering within " << max_rounds << " rounds\n";
+  }
+
+  if (reference) {
+    std::vector<std::unique_ptr<sim::TabularAutomatonAgent>> agents;
+    std::vector<sim::Agent*> raw;
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      agents.push_back(std::make_unique<sim::TabularAutomatonAgent>(automaton));
+      raw.push_back(agents.back().get());
+    }
+    const auto ref =
+        sim::run_gathering(t, raw, {starts, delays, max_rounds});
+    const bool match =
+        ref.gathered == verdict.gathered &&
+        (!ref.gathered || (ref.gather_round == verdict.gather_round &&
+                           ref.gather_node == verdict.gather_node)) &&
+        ref.rounds_executed == verdict.rounds_checked;
+    std::cout << "reference cross-check: "
+              << (match ? "MATCH" : "MISMATCH") << " (run_gathering: "
+              << (ref.gathered ? "gathered round " +
+                                     std::to_string(ref.gather_round) +
+                                     " node " +
+                                     std::to_string(ref.gather_node)
+                               : "not gathered")
+              << ", " << ref.rounds_executed << " rounds)\n";
+    if (!match) return 1;
+  }
+  return verdict.gathered ? 0 : 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace rvt;
+  if (argc >= 2 && std::strcmp(argv[1], "gather") == 0) {
+    return run_gather_mode(argc, argv);
+  }
   if (argc < 4) return usage();
 
-  std::string text;
-  if (std::strcmp(argv[1], "-") == 0) {
-    std::ostringstream ss;
-    ss << std::cin.rdbuf();
-    text = ss.str();
-  } else {
-    std::ifstream f(argv[1]);
-    if (!f) {
-      std::cerr << "cannot open " << argv[1] << "\n";
-      return 1;
-    }
-    std::ostringstream ss;
-    ss << f.rdbuf();
-    text = ss.str();
-  }
+  bool read_ok = false;
+  const std::string text = read_tree_text(argv[1], read_ok);
+  if (!read_ok) return 1;
 
   tree::Tree t = tree::Tree::single_node();
   try {

@@ -487,6 +487,44 @@ Verdict verify_never_meet_compiled(const CompiledConfigEngine& engine_a,
                                   cfg.max_rounds);
 }
 
+GatherVerdict verify_never_gather_compiled(
+    const CompiledConfigEngine& engine, std::span<const tree::NodeId> starts,
+    std::span<const std::uint64_t> delays, std::uint64_t max_rounds) {
+  const std::size_t k = starts.size();
+  if (k < 2) {
+    throw std::invalid_argument(
+        "verify_never_gather_compiled: need >= 2 agents");
+  }
+  if (k > kMaxGatherAgents) {
+    throw std::invalid_argument(
+        "verify_never_gather_compiled: too many agents");
+  }
+  if (!delays.empty() && delays.size() != k) {
+    throw std::invalid_argument(
+        "verify_never_gather_compiled: delays size mismatch");
+  }
+  if (max_rounds == 0) {
+    throw std::invalid_argument(
+        "verify_never_gather_compiled: max_rounds must be > 0");
+  }
+  const tree::NodeId n = engine.tree().node_count();
+  for (const tree::NodeId s : starts) {
+    if (s < 0 || s >= n) {
+      throw std::invalid_argument(
+          "verify_never_gather_compiled: start out of range");
+    }
+  }
+  // Batched warm-up through the same stepper the pair pipeline uses
+  // (duplicates and already-served starts are skipped inside).
+  engine.warm_orbits(starts);
+  const CompiledConfigEngine::Orbit* orbs[kMaxGatherAgents];
+  for (std::size_t i = 0; i < k; ++i) orbs[i] = &engine.orbit(starts[i]);
+  const std::uint64_t zeros[kMaxGatherAgents] = {};
+  return detail::gather_with_state(
+      detail::make_tuple_state(engine, orbs, starts.data(), k),
+      delays.empty() ? zeros : delays.data(), max_rounds);
+}
+
 std::vector<Verdict> verify_grid(const CompiledConfigEngine& engine_a,
                                  const CompiledConfigEngine& engine_b,
                                  std::span<const PairQuery> queries,

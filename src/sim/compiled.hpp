@@ -365,6 +365,26 @@ Verdict verify_never_meet_compiled(const CompiledConfigEngine& engine_a,
                                    const CompiledConfigEngine& engine_b,
                                    const RunConfig& cfg);
 
+/// Table-driven equivalent of sim::run_gathering for k identical agents
+/// (the enumeration model: one automaton, one engine) on the engine's
+/// tree. `starts` holds the k >= 2 start nodes (equal starts ALLOWED —
+/// co-located identical agents with equal delays stay merged, exactly as
+/// the interpreting reference behaves); `delays` is empty (all zero) or
+/// one delay per agent. Produces field-for-field the GatherResult the
+/// per-round reference computes — gathered / gather_round / gather_node,
+/// and rounds_checked == its rounds_executed — in O(sum mu_i + lcm lambda_i)
+/// table work instead of up to max_rounds interpreted rounds, plus the
+/// never-gather certificate the reference cannot give (see GatherVerdict).
+/// Orbits are warmed through the same batched stepper and (when the engine
+/// adopted a published set) the same cross-worker cache as the pair
+/// pipeline — orbits are per-agent, so nothing about extraction, cache
+/// keys or the claim/publish protocol is gathering-specific. Throws
+/// std::invalid_argument on bad config (k < 2, k > kMaxGatherAgents,
+/// delay arity mismatch, out-of-range start, max_rounds == 0).
+GatherVerdict verify_never_gather_compiled(
+    const CompiledConfigEngine& engine, std::span<const tree::NodeId> starts,
+    std::span<const std::uint64_t> delays, std::uint64_t max_rounds);
+
 /// One point of a batched verdict grid: a start pair plus per-agent start
 /// delays. max_rounds is shared by the whole grid (verify_grid argument).
 struct PairQuery {

@@ -1,5 +1,6 @@
 #include "sim/enumeration.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "sim/verify_core.hpp"
@@ -21,27 +22,47 @@ EnumerationContext::EnumerationContext(std::span<const EnumGrid> grids,
       throw std::invalid_argument(
           "EnumerationContext: grid needs a tree with >= 2 nodes");
     }
+    if (grid.agents < 2 || grid.agents > kMaxGatherAgents) {
+      throw std::invalid_argument(
+          "EnumerationContext: grid arity out of [2, kMaxGatherAgents]");
+    }
+    if (grid.starts.size() % grid.agents != 0 ||
+        grid.delays.size() != grid.starts.size()) {
+      throw std::invalid_argument(
+          "EnumerationContext: grid storage is not k-fold (starts/delays "
+          "must hold `agents` entries per query)");
+    }
     const tree::NodeId n = grid.tree->node_count();
     Slot& slot = slots_[g];
+    slot.meet_ok = grid.agents == 2;
     std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
-    for (const PairQuery& q : grid.queries) {
-      if (q.start_a < 0 || q.start_a >= n || q.start_b < 0 ||
-          q.start_b >= n) {
-        throw std::invalid_argument("EnumerationContext: start range");
-      }
-      if (q.start_a == q.start_b) {
-        throw std::invalid_argument(
-            "EnumerationContext: starts must differ");
-      }
-      for (const tree::NodeId s : {q.start_a, q.start_b}) {
-        if (!seen[static_cast<std::size_t>(s)]) {
-          seen[static_cast<std::size_t>(s)] = 1;
-          slot.warm_starts.push_back(s);
+    const std::size_t k = grid.agents;
+    for (std::size_t q = 0; q < grid.query_count(); ++q) {
+      const tree::NodeId* s = grid.starts.data() + q * k;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (s[i] < 0 || s[i] >= n) {
+          throw std::invalid_argument("EnumerationContext: start range");
+        }
+        if (!seen[static_cast<std::size_t>(s[i])]) {
+          seen[static_cast<std::size_t>(s[i])] = 1;
+          slot.warm_starts.push_back(s[i]);
         }
       }
+      // Equal starts are legal (gathering permits co-located agents) but
+      // disqualify the grid from the meet API, whose pair semantics
+      // require distinct agents.
+      if (k == 2 && s[0] == s[1]) slot.meet_ok = false;
     }
     slot.orbit_ptr.assign(static_cast<std::size_t>(n), nullptr);
     if (cache_ != nullptr) slot.tree_key = tree_orbit_key(*grid.tree);
+  }
+}
+
+void EnumerationContext::require_meet(std::size_t g) const {
+  if (!slots_[g].meet_ok) {
+    throw std::invalid_argument(
+        "EnumerationContext: the meet API needs a 2-agent grid with "
+        "distinct starts per query (use the gathering API otherwise)");
   }
 }
 
@@ -110,22 +131,32 @@ EnumerationContext::Slot& EnumerationContext::prepare(std::size_t g) {
       }
     } else {
       // We hold the claim: extract the whole grid's needs (orbits via the
-      // batched stepper, collision tables of shared cycles) and publish.
+      // batched stepper, collision tables of the cycles any query pair
+      // can touch) and publish.
       ++stats_.cache_misses;
       try {
         if (!constructed && !bound) slot.engine->rebind(*automaton_);
         const CompiledConfigEngine& e = *slot.engine;
         e.warm_orbits(slot.warm_starts);
-        tree::NodeId pa = -1, pb = -1;
-        for (const PairQuery& q : grids_[g].queries) {
-          if (q.start_a == pa && q.start_b == pb) continue;  // delay run
-          pa = q.start_a;
-          pb = q.start_b;
-          const auto& A = e.orbit(q.start_a);
-          const auto& B = e.orbit(q.start_b);
-          if (A.lambda <= CompiledConfigEngine::kCollisionLimit &&
-              B.lambda <= CompiledConfigEngine::kCollisionLimit) {
-            e.cycle_pair_collisions(A.cycle_root, B.cycle_root);
+        const EnumGrid& grid = grids_[g];
+        const std::size_t k = grid.agents;
+        const tree::NodeId* prev = nullptr;
+        for (std::size_t q = 0; q < grid.query_count(); ++q) {
+          const tree::NodeId* s = grid.starts.data() + q * k;
+          if (prev != nullptr &&
+              std::memcmp(prev, s, k * sizeof(tree::NodeId)) == 0) {
+            continue;  // delay run: same tuple, same tables
+          }
+          prev = s;
+          for (std::size_t i = 0; i < k; ++i) {
+            const auto& A = e.orbit(s[i]);
+            for (std::size_t j = i + 1; j < k; ++j) {
+              const auto& B = e.orbit(s[j]);
+              if (A.lambda <= CompiledConfigEngine::kCollisionLimit &&
+                  B.lambda <= CompiledConfigEngine::kCollisionLimit) {
+                e.cycle_pair_collisions(A.cycle_root, B.cycle_root);
+              }
+            }
           }
         }
         cache_->publish(key, e.snapshot_orbits());
@@ -211,52 +242,70 @@ namespace {
 inline void refresh_pair(detail::PairState& st,
                          const CompiledConfigEngine& e,
                          const CompiledConfigEngine::Orbit* const* optr,
-                         const PairQuery& q) {
-  if (st.start_a != q.start_a || st.start_b != q.start_b) {
-    st = detail::make_pair_state(e, *optr[q.start_a], *optr[q.start_b],
-                                 /*same_engine=*/true, q.start_a, q.start_b);
+                         const tree::NodeId* s) {
+  if (st.start_a != s[0] || st.start_b != s[1]) {
+    st = detail::make_pair_state(e, *optr[s[0]], *optr[s[1]],
+                                 /*same_engine=*/true, s[0], s[1]);
   }
+}
+
+/// Tuple-major analogue: refresh the tuple-invariant state only when the
+/// k-tuple of starts changes.
+inline void refresh_tuple(detail::TupleState& st,
+                          const CompiledConfigEngine& e,
+                          const CompiledConfigEngine::Orbit* const* optr,
+                          const tree::NodeId* s, std::size_t k) {
+  if (st.k == k &&
+      std::memcmp(st.start, s, k * sizeof(tree::NodeId)) == 0) {
+    return;
+  }
+  const CompiledConfigEngine::Orbit* orbs[kMaxGatherAgents];
+  for (std::size_t i = 0; i < k; ++i) orbs[i] = optr[s[i]];
+  st = detail::make_tuple_state(e, orbs, s, k);
 }
 
 }  // namespace
 
 std::span<const Verdict> EnumerationContext::verify(std::size_t g) {
+  require_meet(g);
   Slot& slot = prepare(g);
   prefetch_next(g);
   const CompiledConfigEngine& e = *slot.engine;
   const auto* optr = slot.orbit_ptr.data();
-  const auto& queries = grids_[g].queries;
+  const EnumGrid& grid = grids_[g];
+  const std::size_t nq = grid.query_count();
   const bool cache_hit = slot.cache_hit;
-  verdicts_.resize(queries.size());
+  verdicts_.resize(nq);
   detail::PairState st;
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    const PairQuery& q = queries[i];
-    refresh_pair(st, e, optr, q);
-    verdicts_[i] =
-        detail::verify_with_state(st, q.delay_a, q.delay_b, max_rounds_);
+  for (std::size_t i = 0; i < nq; ++i) {
+    const tree::NodeId* s = grid.starts.data() + 2 * i;
+    const std::uint64_t* d = grid.delays.data() + 2 * i;
+    refresh_pair(st, e, optr, s);
+    verdicts_[i] = detail::verify_with_state(st, d[0], d[1], max_rounds_);
     verdicts_[i].cache_hit = cache_hit;
   }
-  stats_.queries += queries.size();
-  return {verdicts_.data(), queries.size()};
+  stats_.queries += nq;
+  return {verdicts_.data(), nq};
 }
 
 std::ptrdiff_t EnumerationContext::first_unmet(std::size_t g) {
+  require_meet(g);
   Slot& slot = prepare_scan(g);
   const CompiledConfigEngine& e = *slot.engine;
-  const auto& queries = grids_[g].queries;
+  const EnumGrid& grid = grids_[g];
+  const std::size_t nq = grid.query_count();
   detail::PairState st;
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    const PairQuery& q = queries[i];
-    if (st.start_a != q.start_a || st.start_b != q.start_b) {
+  for (std::size_t i = 0; i < nq; ++i) {
+    const tree::NodeId* s = grid.starts.data() + 2 * i;
+    const std::uint64_t* d = grid.delays.data() + 2 * i;
+    if (st.start_a != s[0] || st.start_b != s[1]) {
       // orbit() extracts on demand: a scan that defeats on the first
       // pairs only ever walks those pairs' orbits.
-      st = detail::make_pair_state(e, e.orbit(q.start_a),
-                                   e.orbit(q.start_b),
-                                   /*same_engine=*/true, q.start_a,
-                                   q.start_b);
+      st = detail::make_pair_state(e, e.orbit(s[0]), e.orbit(s[1]),
+                                   /*same_engine=*/true, s[0], s[1]);
     }
     ++stats_.queries;
-    if (!detail::met_with_state(st, q.delay_a, q.delay_b, max_rounds_)) {
+    if (!detail::met_with_state(st, d[0], d[1], max_rounds_)) {
       return static_cast<std::ptrdiff_t>(i);
     }
   }
@@ -264,30 +313,107 @@ std::ptrdiff_t EnumerationContext::first_unmet(std::size_t g) {
 }
 
 std::uint64_t EnumerationContext::count_unmet(std::size_t g) {
+  require_meet(g);
   Slot& slot = prepare(g);
   prefetch_next(g);
   const CompiledConfigEngine& e = *slot.engine;
   const auto* optr = slot.orbit_ptr.data();
-  const auto& queries = grids_[g].queries;
+  const EnumGrid& grid = grids_[g];
   std::uint64_t unmet = 0;
-  const PairQuery* qdata = queries.data();
-  const std::size_t nq = queries.size();
+  const tree::NodeId* sdata = grid.starts.data();
+  const std::uint64_t* ddata = grid.delays.data();
+  const std::size_t nq = grid.query_count();
   std::size_t i = 0;
   while (i < nq) {
-    const PairQuery& q = qdata[i];
+    const tree::NodeId* s = sdata + 2 * i;
     std::size_t j = i + 1;
-    while (j < nq && qdata[j].start_a == q.start_a &&
-           qdata[j].start_b == q.start_b) {
+    while (j < nq && sdata[2 * j] == s[0] && sdata[2 * j + 1] == s[1]) {
       ++j;
     }
     const detail::PairState st = detail::make_pair_state(
-        e, *optr[q.start_a], *optr[q.start_b], /*same_engine=*/true,
-        q.start_a, q.start_b);
-    unmet += detail::count_unmet_run(st, qdata + i, j - i, max_rounds_);
+        e, *optr[s[0]], *optr[s[1]], /*same_engine=*/true, s[0], s[1]);
+    unmet += detail::count_unmet_run(st, ddata + 2 * i, j - i, max_rounds_);
     i = j;
   }
-  stats_.queries += queries.size();
+  stats_.queries += nq;
   return unmet;
+}
+
+std::span<const GatherVerdict> EnumerationContext::verify_gather(
+    std::size_t g) {
+  Slot& slot = prepare(g);
+  prefetch_next(g);
+  const CompiledConfigEngine& e = *slot.engine;
+  const auto* optr = slot.orbit_ptr.data();
+  const EnumGrid& grid = grids_[g];
+  const std::size_t k = grid.agents;
+  const std::size_t nq = grid.query_count();
+  const bool cache_hit = slot.cache_hit;
+  gather_verdicts_.resize(nq);
+  detail::TupleState st;
+  for (std::size_t i = 0; i < nq; ++i) {
+    const tree::NodeId* s = grid.starts.data() + k * i;
+    const std::uint64_t* d = grid.delays.data() + k * i;
+    refresh_tuple(st, e, optr, s, k);
+    gather_verdicts_[i] = detail::gather_with_state(st, d, max_rounds_);
+    gather_verdicts_[i].cache_hit = cache_hit;
+  }
+  stats_.queries += nq;
+  return {gather_verdicts_.data(), nq};
+}
+
+std::ptrdiff_t EnumerationContext::first_ungathered(std::size_t g) {
+  Slot& slot = prepare_scan(g);
+  const CompiledConfigEngine& e = *slot.engine;
+  const EnumGrid& grid = grids_[g];
+  const std::size_t k = grid.agents;
+  const std::size_t nq = grid.query_count();
+  detail::TupleState st;
+  for (std::size_t i = 0; i < nq; ++i) {
+    const tree::NodeId* s = grid.starts.data() + k * i;
+    const std::uint64_t* d = grid.delays.data() + k * i;
+    if (st.k != k ||
+        std::memcmp(st.start, s, k * sizeof(tree::NodeId)) != 0) {
+      // orbit() extracts on demand, like the first_unmet scan.
+      const CompiledConfigEngine::Orbit* orbs[kMaxGatherAgents];
+      for (std::size_t a = 0; a < k; ++a) orbs[a] = &e.orbit(s[a]);
+      st = detail::make_tuple_state(e, orbs, s, k);
+    }
+    ++stats_.queries;
+    if (!detail::scan_gather(st, d, max_rounds_).gathered) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+std::uint64_t EnumerationContext::count_ungathered(std::size_t g) {
+  Slot& slot = prepare(g);
+  prefetch_next(g);
+  const CompiledConfigEngine& e = *slot.engine;
+  const auto* optr = slot.orbit_ptr.data();
+  const EnumGrid& grid = grids_[g];
+  const std::size_t k = grid.agents;
+  const tree::NodeId* sdata = grid.starts.data();
+  const std::uint64_t* ddata = grid.delays.data();
+  const std::size_t nq = grid.query_count();
+  std::uint64_t ungathered = 0;
+  detail::TupleState st;
+  std::size_t i = 0;
+  while (i < nq) {
+    const tree::NodeId* s = sdata + k * i;
+    std::size_t j = i + 1;
+    while (j < nq &&
+           std::memcmp(sdata + k * j, s, k * sizeof(tree::NodeId)) == 0) {
+      ++j;
+    }
+    refresh_tuple(st, e, optr, s, k);
+    ungathered +=
+        detail::count_ungathered_run(st, ddata + k * i, j - i, max_rounds_);
+    i = j;
+  }
+  stats_.queries += nq;
+  return ungathered;
 }
 
 EnumTelemetry EnumerationContext::telemetry() const {

@@ -18,6 +18,13 @@
 //                    defeat (verdict with met == false), early-exiting —
 //                    the shape of a "smallest defeating instance" search.
 //
+// Grids are k-AGENT (EnumGrid::agents, flat query-major start/delay
+// storage): the meet API above is the k = 2 specialization, and the
+// gathering API — verify_gather / count_ungathered / first_ungathered —
+// serves any arity through the k-tuple verdict core
+// (sim/verify_core.hpp), over the very same engines, warmed orbits and
+// cache protocol (orbits are per-agent; nothing below this layer knows k).
+//
 // Grids are validated once at construction; the steady state allocates
 // nothing. When an OrbitCache is attached, each binding's orbits are
 // acquired from / published to it, so a battery shared by several workers
@@ -30,9 +37,11 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/compiled.hpp"
@@ -42,13 +51,69 @@
 
 namespace rvt::sim {
 
+/// One query of a k-agent enumeration grid, viewing the grid's flat
+/// storage: the agents' start nodes and start delays. The pair query of
+/// the PR 1-3 pipeline is exactly the k = 2 case.
+struct GatherQuery {
+  std::span<const tree::NodeId> starts;
+  std::span<const std::uint64_t> delays;
+  std::size_t agents() const { return starts.size(); }
+};
+
 /// One grid of an enumeration battery: a substrate tree plus the
-/// (start-pair x delay) queries to answer on it. Both agents run the
-/// bound automaton (the enumeration model: two identical anonymous
-/// agents). The tree must outlive every context using the grid.
+/// (start-tuple x delay) queries to answer on it. All `agents` agents of
+/// a query run the bound automaton (the enumeration model: k identical
+/// anonymous agents); the grid's arity is fixed, and starts/delays are
+/// stored flat, query-major, `agents` entries per query — the shape the
+/// verdict loops stream. Pair grids (agents == 2) are the same type: push
+/// PairQuery points and the meet API (verify/count_unmet/first_unmet)
+/// consumes them, while the gathering API serves any arity, k = 2
+/// included. The tree must outlive every context using the grid.
 struct EnumGrid {
   const tree::Tree* tree = nullptr;
-  std::vector<PairQuery> queries;
+  std::size_t agents = 2;             ///< k, fixed per grid (>= 2)
+  std::vector<tree::NodeId> starts;   ///< query-major, `agents` per query
+  std::vector<std::uint64_t> delays;  ///< same shape as starts
+
+  EnumGrid() = default;
+  EnumGrid(const tree::Tree* t, std::size_t k) : tree(t), agents(k) {}
+  /// Convenience for the historical pair-grid literals: a tree plus pair
+  /// queries (agents == 2).
+  EnumGrid(const tree::Tree* t, std::initializer_list<PairQuery> qs)
+      : tree(t) {
+    for (const PairQuery& q : qs) push(q);
+  }
+
+  std::size_t query_count() const {
+    return agents == 0 ? 0 : starts.size() / agents;
+  }
+  GatherQuery query(std::size_t i) const {
+    return {{starts.data() + i * agents, agents},
+            {delays.data() + i * agents, agents}};
+  }
+  /// Appends one k-tuple query; `d` may be empty (all-zero delays) or one
+  /// delay per agent. Arity mismatches throw here — two compensating
+  /// mis-sized pushes would pass the context's aggregate-shape validation
+  /// while silently misaligning delays across queries.
+  void push(std::span<const tree::NodeId> s,
+            std::span<const std::uint64_t> d) {
+    if (s.size() != agents || (!d.empty() && d.size() != s.size())) {
+      throw std::invalid_argument(
+          "EnumGrid::push: query arity must match the grid's agents "
+          "(delays empty or one per agent)");
+    }
+    starts.insert(starts.end(), s.begin(), s.end());
+    if (d.empty()) {
+      delays.insert(delays.end(), s.size(), 0);
+    } else {
+      delays.insert(delays.end(), d.begin(), d.end());
+    }
+  }
+  /// The k = 2 specialization: appends a pair query.
+  void push(const PairQuery& q) {
+    starts.insert(starts.end(), {q.start_a, q.start_b});
+    delays.insert(delays.end(), {q.delay_a, q.delay_b});
+  }
 };
 
 /// Telemetry aggregated across the workers of one sweep_enumeration call
@@ -72,38 +137,63 @@ struct EnumTelemetry {
 /// must outlive the context.
 class EnumerationContext {
  public:
-  /// Validates every grid up front (non-null tree, >= 2 nodes, distinct
-  /// in-range starts, max_rounds > 0) and throws std::invalid_argument on
-  /// the first violation — verify()/first_unmet() then run unchecked.
+  /// Validates every grid up front (non-null tree, >= 2 nodes, arity
+  /// within [2, kMaxGatherAgents], starts/delays of matching k-fold
+  /// shape, in-range starts, max_rounds > 0) and throws
+  /// std::invalid_argument on the first violation — the query loops then
+  /// run unchecked. Equal starts within a query are allowed (the
+  /// gathering model permits co-located agents); the MEET API addition-
+  /// ally requires agents == 2 and pairwise-distinct starts and throws
+  /// std::invalid_argument from verify()/count_unmet()/first_unmet() on
+  /// grids that violate it.
   EnumerationContext(std::span<const EnumGrid> grids,
                      std::uint64_t max_rounds, OrbitCache* cache = nullptr);
 
   /// Makes `a` the automaton under test. Engines rebind lazily on the
-  /// next verify()/first_unmet() per grid, so early-exiting a binding
-  /// costs nothing for the grids never touched. `a` must stay alive until
-  /// the next bind().
+  /// next query call per grid, so early-exiting a binding costs nothing
+  /// for the grids never touched. `a` must stay alive until the next
+  /// bind().
   void bind(const TabularAutomaton& a);
 
-  /// Verdicts of grid g under the bound automaton, in query order. The
-  /// span aliases an internal buffer reused by the next verify() call on
-  /// this context. Every verdict's cache_hit flag reports whether the
-  /// binding's orbits came from the attached cache.
+  /// Meet verdicts of pair grid g under the bound automaton, in query
+  /// order. The span aliases an internal buffer reused by the next
+  /// verify() call on this context. Every verdict's cache_hit flag
+  /// reports whether the binding's orbits came from the attached cache.
   std::span<const Verdict> verify(std::size_t g);
 
-  /// Index of the first query of grid g whose verdict has met == false
-  /// (the automaton is DEFEATED: non-meeting certified or horizon
-  /// exhausted), or -1 if every query meets. Early-exits: queries past
-  /// the first defeat are not answered — and without an attached cache
-  /// the binding is prepared LAZILY (orbits extract as the scan touches
-  /// them), so an adaptive sweep that defeats most automata on their
-  /// first pairs never pays for the whole grid's warm-up.
+  /// Index of the first query of pair grid g whose verdict has
+  /// met == false (the automaton is DEFEATED: non-meeting certified or
+  /// horizon exhausted), or -1 if every query meets. Early-exits: queries
+  /// past the first defeat are not answered — and without an attached
+  /// cache the binding is prepared LAZILY (orbits extract as the scan
+  /// touches them), so an adaptive sweep that defeats most automata on
+  /// their first pairs never pays for the whole grid's warm-up.
   std::ptrdiff_t first_unmet(std::size_t g);
 
-  /// Number of grid-g queries with met == false, without materializing
-  /// verdicts — the accumulation shape of defeat-density profiles, where
-  /// the verdict buffer writes would be the largest remaining per-query
-  /// cost. Equals counting met == false over verify(g).
+  /// Number of pair-grid-g queries with met == false, without
+  /// materializing verdicts — the accumulation shape of defeat-density
+  /// profiles, where the verdict buffer writes would be the largest
+  /// remaining per-query cost. Equals counting met == false over
+  /// verify(g).
   std::uint64_t count_unmet(std::size_t g);
+
+  /// Gathering verdicts of grid g (any arity, k = 2 included) under the
+  /// bound automaton, in query order — each field-for-field what
+  /// sim::run_gathering would report for that query, answered by the
+  /// k-tuple verdict core over the same warmed orbits the meet API uses.
+  /// The span aliases an internal buffer reused by the next
+  /// verify_gather() call; cache_hit telemetry as for verify().
+  std::span<const GatherVerdict> verify_gather(std::size_t g);
+
+  /// Index of the first query of grid g whose gathering verdict has
+  /// gathered == false, or -1 if every query gathers. Early-exits and
+  /// (without a cache) prepares lazily, like first_unmet.
+  std::ptrdiff_t first_ungathered(std::size_t g);
+
+  /// Number of grid-g queries with gathered == false, without
+  /// materializing verdicts. Equals counting gathered == false over
+  /// verify_gather(g).
+  std::uint64_t count_ungathered(std::size_t g);
 
   std::size_t grid_count() const { return grids_.size(); }
   /// Telemetry accumulated by this context so far (orbits_extracted sums
@@ -116,13 +206,19 @@ class EnumerationContext {
     OrbitKey tree_key;
     std::vector<tree::NodeId> warm_starts;  ///< unique starts of the grid
     /// Orbit pointer per start node, refreshed by prepare(): the verdict
-    /// loop then reads two pointers per query instead of going through
-    /// the engine's epoch-checked orbit() lookup.
+    /// loop then reads k pointers per query instead of going through the
+    /// engine's epoch-checked orbit() lookup.
     std::vector<const CompiledConfigEngine::Orbit*> orbit_ptr;
     std::uint64_t bound_serial = 0;   ///< engine bound to this binding
     std::uint64_t warmed_serial = 0;  ///< orbits warmed + orbit_ptr valid
     bool cache_hit = false;
+    /// Grid qualifies for the meet API: agents == 2 with pairwise
+    /// distinct starts per query (precomputed by the constructor).
+    bool meet_ok = false;
   };
+
+  /// Throws unless grid g qualifies for the meet API (see meet_ok).
+  void require_meet(std::size_t g) const;
 
   /// Ensures slot g's engine is bound to the current automaton with its
   /// orbits warmed (or adopted from the cache); returns the slot.
@@ -144,6 +240,7 @@ class EnumerationContext {
   bool automaton_key_valid_ = false;
   std::vector<Slot> slots_;
   std::vector<Verdict> verdicts_;
+  std::vector<GatherVerdict> gather_verdicts_;
   EnumTelemetry stats_;
 };
 

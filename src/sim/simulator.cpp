@@ -87,15 +87,20 @@ GatherResult run_gathering(const tree::Tree& t,
       const tree::NodeId next = t.neighbor(pos[i].node, out);
       pos[i] = {next, t.reverse_port(pos[i].node, out)};
     }
+    // Gathering demands ALL k agents on one node: resolve the common node
+    // first and only report it once every position matched — a strict
+    // subset meeting somewhere (e.g. two of three agents colliding) must
+    // never be reported as a gathering.
+    const tree::NodeId everyone_at = pos[0].node;
     bool all_same = true;
     for (std::size_t i = 1; i < k; ++i) {
-      all_same = all_same && pos[i].node == pos[0].node;
+      all_same = all_same && pos[i].node == everyone_at;
     }
     r.rounds_executed = round + 1;
     if (all_same) {
       r.gathered = true;
       r.gather_round = round;
-      r.gather_node = pos[0].node;
+      r.gather_node = everyone_at;
       break;
     }
   }

@@ -11,6 +11,7 @@
 // callers; benches now assert on the field.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace rvt::sim {
@@ -51,5 +52,37 @@ struct Verdict {
 /// Historical name from when the compiled engine kept its own mirror of
 /// lowerbound::NeverMeetResult; both are now the same type.
 using CompiledVerdict = Verdict;
+
+/// Most agents a gathering query may carry (paper §1.3: k >= 2 agents must
+/// co-locate). A compile-time cap keeps the k-tuple verdict core's state on
+/// the stack — battery loops refresh it millions of times — and 8 is far
+/// above the k = 3, 4 the gathering workloads exercise.
+inline constexpr std::size_t kMaxGatherAgents = 8;
+
+/// Verdict of a k-agent gathering query, mirroring sim::GatherResult (the
+/// interpreting reference in sim/simulator.cpp) field for field where both
+/// can speak: `gathered`/`gather_round`/`gather_node` match the reference
+/// exactly, and `rounds_checked` equals the reference's rounds_executed
+/// (the gathering round when gathered, the full horizon otherwise — the
+/// reference has no early-out certificate). `certified_forever` is
+/// compiled-only enrichment: the k-fold joint configuration is periodic
+/// once every agent is in-cycle, so scanning one joint period (or proving
+/// some pair can never co-locate in-cycle) certifies never-gathering
+/// beyond any horizon, which the per-round reference cannot do.
+struct GatherVerdict {
+  bool gathered = false;             ///< construction FAILED if true
+  std::uint64_t gather_round = 0;    ///< valid when gathered
+  std::int32_t gather_node = -1;     ///< tree::NodeId; valid when gathered
+  bool certified_forever = false;    ///< never-gather proven for all rounds
+  std::uint64_t cycle_length = 0;    ///< joint period (lcm of the k cycle
+                                     ///< lengths) when certified; 0 when
+                                     ///< the lcm overflowed (a pairwise
+                                     ///< table certificate needs no period)
+  std::uint64_t rounds_checked = 0;  ///< == reference rounds_executed
+  VerifyEngine engine = VerifyEngine::kNone;
+  /// Same telemetry as Verdict::cache_hit: orbits served by the
+  /// cross-worker cache rather than extracted by the answering engine.
+  bool cache_hit = false;
+};
 
 }  // namespace rvt::sim

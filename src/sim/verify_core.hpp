@@ -350,14 +350,16 @@ inline bool met_with_state(const PairState& st, std::uint64_t da,
 }
 
 /// Unmet count over a pair-major run of queries sharing one PairState.
-/// Flattened so the classification inlines and the pair state stays hot
-/// across the delay run — the innermost loop of defeat-density profiles.
+/// `delays` is the flat k = 2 delay storage of the grid (delay_a, delay_b
+/// per query, `len` queries). Flattened so the classification inlines and
+/// the pair state stays hot across the delay run — the innermost loop of
+/// defeat-density profiles.
 __attribute__((flatten)) inline std::uint64_t count_unmet_run(
-    const PairState& st, const PairQuery* qs, std::size_t len,
+    const PairState& st, const std::uint64_t* delays, std::size_t len,
     std::uint64_t M) {
   std::uint64_t unmet = 0;
   for (std::size_t i = 0; i < len; ++i) {
-    unmet += met_with_state(st, qs[i].delay_a, qs[i].delay_b, M) ? 0 : 1;
+    unmet += met_with_state(st, delays[2 * i], delays[2 * i + 1], M) ? 0 : 1;
   }
   return unmet;
 }
@@ -376,6 +378,277 @@ inline Verdict verify_pair_core(const CompiledConfigEngine& engine_a,
   return verify_with_state(
       make_pair_state(engine_a, A, B, same_engine, start_a, start_b), da,
       db, M);
+}
+
+// ---- k-tuple gathering composition (paper §1.3) ---------------------------
+//
+// k identical agents evolve independently, so the joint configuration is
+// the componentwise k-tuple of rho orbits: pre-period max_i(d_i + mu_i)
+// and period lcm(lambda_1, ..., lambda_k) once every agent is in-cycle.
+// The verdict splits exactly like the pair case:
+//
+//   make_tuple_state()  tuple-invariant work — per-agent orbit headers,
+//                       the saturating lcm of the k cycle lengths, and one
+//                       cycle-PAIR collision filter per unordered agent
+//                       pair (the existing tables, indexed mod the
+//                       pairwise gcds — nothing k-specific is built).
+//   scan_gather()       delay-dependent search for the earliest round all
+//                       k positions coincide: the all-parked window, the
+//                       transient scan with k rolling indices, and the
+//                       in-cycle phase gated by the pairwise filter — a
+//                       gathering at t >= Tc co-locates EVERY pair, so one
+//                       zero table entry refutes the whole period without
+//                       scanning it (the common exit of exhaustive
+//                       batteries); only tuples every pair of which can
+//                       collide pay the lcm-bounded scan.
+//   gather_with_state() the full GatherVerdict, field-for-field what
+//                       sim::run_gathering reports (the k = 2
+//                       instantiation agrees verdict-for-verdict with the
+//                       pair core above — differential-tested).
+//
+// Inputs are validated by sim::verify_never_gather_compiled or the
+// enumeration context: 2 <= k <= kMaxGatherAgents, in-range starts (equal
+// starts ALLOWED — co-located identical agents with equal delays stay
+// merged), M > 0, all orbits from ONE engine.
+
+/// lcm(a, b) saturating at 2^63 (any value above every reachable horizon):
+/// joint periods past the horizon are never scanned nor certified against,
+/// so the exact value stops mattering once it cannot fit.
+inline constexpr std::uint64_t kLcmSaturated = std::uint64_t{1} << 63;
+
+inline std::uint64_t saturating_lcm(std::uint64_t a, std::uint64_t b) {
+  if (a >= kLcmSaturated || b >= kLcmSaturated) return kLcmSaturated;
+  const std::uint64_t q = a / std::gcd(a, b);
+  if (q > kLcmSaturated / b) return kLcmSaturated;
+  return q * b;
+}
+
+/// Tuple-invariant half of the gathering verdict: everything about the k
+/// start nodes that does not depend on the delays. Valid as long as the
+/// orbits are (until the owning engine rebinds).
+struct TupleState {
+  std::size_t k = 0;
+  const CompiledConfigEngine::Orbit* orb[kMaxGatherAgents] = {};
+  tree::NodeId start[kMaxGatherAgents] = {};
+  /// Cached orbit headers, hot across a tuple-major run of delays.
+  std::uint64_t mu[kMaxGatherAgents] = {};
+  std::uint64_t lam[kMaxGatherAgents] = {};
+  std::size_t size[kMaxGatherAgents] = {};
+  const tree::NodeId* nodes[kMaxGatherAgents] = {};
+  /// lcm of the k cycle lengths (the joint period once all are in-cycle),
+  /// saturated at kLcmSaturated — certification requires the exact value.
+  std::uint64_t lam_joint = 1;
+  bool lam_joint_exact = true;
+  /// One collision filter per unordered pair (i < j), in nested-loop
+  /// order: the pair's cycle-PAIR table (nullptr when unavailable — no
+  /// table means no prefilter, never a wrong answer), its gcd, and the
+  /// alignment bases such that the class swept by delays (d_i, d_j) is
+  /// (lhs0 + d_j) - (rhs0 + d_i) mod g — exactly PairState's convention.
+  struct PairFilter {
+    const std::uint8_t* table = nullptr;
+    std::uint64_t g = 1;
+    std::uint64_t lhs0 = 0, rhs0 = 0;
+  };
+  PairFilter pair[kMaxGatherAgents * (kMaxGatherAgents - 1) / 2] = {};
+};
+
+inline TupleState make_tuple_state(
+    const CompiledConfigEngine& engine,
+    const CompiledConfigEngine::Orbit* const* orbs,
+    const tree::NodeId* starts, std::size_t k) {
+  TupleState st;
+  st.k = k;
+  for (std::size_t i = 0; i < k; ++i) {
+    const CompiledConfigEngine::Orbit& o = *orbs[i];
+    st.orb[i] = &o;
+    st.start[i] = starts[i];
+    st.mu[i] = o.mu;
+    st.lam[i] = o.lambda;
+    st.size[i] = o.node.size();
+    st.nodes[i] = o.node.data();
+    st.lam_joint = saturating_lcm(st.lam_joint, o.lambda);
+  }
+  st.lam_joint_exact = st.lam_joint < kLcmSaturated;
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j, ++p) {
+      TupleState::PairFilter& pf = st.pair[p];
+      const CompiledConfigEngine::Orbit& A = *orbs[i];
+      const CompiledConfigEngine::Orbit& B = *orbs[j];
+      pf.g = A.lambda == B.lambda ? A.lambda : std::gcd(A.lambda, B.lambda);
+      if (A.lambda <= CompiledConfigEngine::kCollisionLimit &&
+          B.lambda <= CompiledConfigEngine::kCollisionLimit) {
+        const auto table =
+            engine.cycle_pair_lookup(A.cycle_root, B.cycle_root);
+        if (!table.empty()) {
+          pf.table = table.data();
+          pf.lhs0 = A.cycle_phase + B.sn_mu;
+          pf.rhs0 = B.cycle_phase + A.sn_mu;
+        }
+      }
+    }
+  }
+  return st;
+}
+
+/// Delay-dependent gathering search. `certified` means no gathering can
+/// ever occur (at ANY round, not just within the horizon): the transient
+/// was fully scanned and the in-cycle phase either refuted by a pairwise
+/// collision table or scanned over one full joint period inside M.
+struct GatherScan {
+  bool gathered = false;
+  bool certified = false;
+  std::uint64_t t_gather = 0;  ///< 1-based tick count, <= M when gathered
+  tree::NodeId node = -1;
+};
+
+inline GatherScan scan_gather(const TupleState& st, const std::uint64_t* d,
+                              std::uint64_t M) {
+  GatherScan s;
+  const std::size_t k = st.k;
+  // Position of agent i after t ticks: node_i[min_cycle(t - d_i)] once
+  // t > d_i, its start before. Tc is the first tick with every agent
+  // in-cycle.
+  std::uint64_t d_min = d[0];
+  std::uint64_t Tc = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    d_min = std::min(d_min, d[i]);
+    Tc = std::max(Tc, d[i] + st.mu[i]);
+  }
+
+  // All-parked window [1, d_min]: every position is still its start, so
+  // the whole window collapses to one all-starts-equal check (identical
+  // co-located agents gather before anyone moves).
+  if (d_min >= 1) {
+    bool all = true;
+    for (std::size_t i = 1; i < k; ++i) all = all && st.start[i] == st.start[0];
+    if (all) {  // M >= 1, so tick 1 is always inside the horizon
+      s.gathered = true;
+      s.t_gather = 1;
+      s.node = st.start[0];
+      return s;
+    }
+  }
+
+  // Transient scan over [d_min + 1, min(Tc - 1, M)] with k rolling
+  // indices: each index holds steps-taken (0 while parked), wrapping into
+  // its cycle at the array end. Covers the one-walker phases and the
+  // pre-cycle rounds in one loop.
+  std::uint64_t idx[kMaxGatherAgents] = {};
+  const std::uint64_t hi1 = std::min(Tc - 1, M);  // Tc >= 1 (mu >= 1)
+  for (std::uint64_t t = d_min + 1; t <= hi1; ++t) {
+    bool all = true;
+    tree::NodeId at = -1;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (t > d[i] && ++idx[i] == st.size[i]) idx[i] = st.mu[i];
+      const tree::NodeId w = st.nodes[i][idx[i]];
+      if (i == 0) {
+        at = w;
+      } else {
+        all = all && w == at;
+      }
+    }
+    if (all) {
+      s.gathered = true;
+      s.t_gather = t;
+      s.node = at;
+      return s;
+    }
+  }
+  if (Tc > M) return s;  // horizon ends before the joint cycle starts
+
+  // In-cycle phase: from tick Tc the joint tuple is periodic with period
+  // lam_joint. A gathering at t >= Tc puts EVERY pair (i, j) on one node
+  // at a round compatible with its alignment class (d_j - d_i shifted by
+  // the cycle phases, mod gcd(lambda_i, lambda_j)) — so one zero table
+  // entry certifies the whole period gathering-free without scanning it.
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j, ++p) {
+      const TupleState::PairFilter& pf = st.pair[p];
+      if (pf.table == nullptr) continue;  // no table: cannot prefilter
+      const std::uint64_t lhs = pf.lhs0 + d[j];
+      const std::uint64_t rhs = pf.rhs0 + d[i];
+      std::uint64_t c;
+      if (lhs >= rhs) {
+        c = wrap_mod(lhs - rhs, pf.g);
+      } else {
+        const std::uint64_t x = wrap_mod(rhs - lhs, pf.g);
+        c = x == 0 ? 0 : pf.g - x;
+      }
+      if (pf.table[c] == 0) {
+        // Pair (i, j) never co-locates at any t >= Tc; the transient was
+        // scanned above (Tc <= M), so no gathering ever happens — a
+        // certificate independent of the joint period's size.
+        s.certified = true;
+        return s;
+      }
+    }
+  }
+  // Every pair can collide somewhere: scan the joint period (capped by
+  // the horizon). Certification requires the full period inside M.
+  const bool full_period =
+      st.lam_joint_exact && st.lam_joint <= M - Tc + 1;
+  const std::uint64_t hi2 = full_period ? Tc + st.lam_joint - 1 : M;
+  for (std::size_t i = 0; i < k; ++i) {
+    idx[i] = st.mu[i] + wrap_mod(Tc - d[i] - st.mu[i], st.lam[i]);
+  }
+  for (std::uint64_t t = Tc; t <= hi2; ++t) {
+    bool all = true;
+    const tree::NodeId at = st.nodes[0][idx[0]];
+    for (std::size_t i = 1; i < k && all; ++i) {
+      all = st.nodes[i][idx[i]] == at;
+    }
+    if (all) {
+      s.gathered = true;
+      s.t_gather = t;
+      s.node = at;
+      return s;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      if (++idx[i] == st.size[i]) idx[i] = st.mu[i];
+    }
+  }
+  s.certified = full_period;
+  return s;
+}
+
+/// Delay-dependent half of the full gathering verdict under horizon M —
+/// field-for-field what sim::run_gathering reports (gather_round is its
+/// 0-based round, rounds_checked its rounds_executed), plus the
+/// compiled-only never-gather certificate.
+inline GatherVerdict gather_with_state(const TupleState& st,
+                                       const std::uint64_t* d,
+                                       std::uint64_t M) {
+  const GatherScan s = scan_gather(st, d, M);
+  GatherVerdict r;
+  r.engine = VerifyEngine::kCompiled;
+  if (s.gathered) {
+    r.gathered = true;
+    r.gather_round = s.t_gather - 1;  // reference reports the round index
+    r.gather_node = s.node;
+    r.rounds_checked = s.t_gather;
+  } else {
+    r.certified_forever = s.certified;
+    // A pairwise-table certificate needs no period; report it only when
+    // the joint period actually backed the scan (and is exact).
+    if (s.certified && st.lam_joint_exact) r.cycle_length = st.lam_joint;
+    r.rounds_checked = M;  // the reference executes every round
+  }
+  return r;
+}
+
+/// Ungathered count over a tuple-major run of queries sharing one
+/// TupleState; `delays` strides st.k per query. The gathering analogue of
+/// count_unmet_run.
+__attribute__((flatten)) inline std::uint64_t count_ungathered_run(
+    const TupleState& st, const std::uint64_t* delays, std::size_t len,
+    std::uint64_t M) {
+  std::uint64_t ungathered = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    ungathered += scan_gather(st, delays + i * st.k, M).gathered ? 0 : 1;
+  }
+  return ungathered;
 }
 
 }  // namespace rvt::sim::detail

@@ -57,6 +57,11 @@ void write_string_array(std::ostream& os,
 BenchReport::BenchReport(std::string id, std::uint64_t seed)
     : id_(std::move(id)), seed_(seed) {}
 
+void BenchReport::workload(const std::string& name, std::uint64_t agents) {
+  workload_ = name;
+  agents_ = agents;
+}
+
 void BenchReport::metric(const std::string& key, double value) {
   numbers_.emplace_back(key, value);
 }
@@ -69,7 +74,14 @@ void BenchReport::validate() const {
   if (id_.empty()) {
     throw std::runtime_error("BenchReport: empty id");
   }
-  std::unordered_set<std::string> keys{"id", "seed", "columns", "rows"};
+  if (workload_.empty() || agents_ == 0) {
+    throw std::runtime_error(
+        "BenchReport " + id_ +
+        ": workload() must declare the measured predicate and its agent "
+        "count (the shared schema's \"workload\"/\"agents\" fields)");
+  }
+  std::unordered_set<std::string> keys{"id",      "seed", "columns",
+                                       "rows",    "workload", "agents"};
   const auto claim = [&](const std::string& key) {
     if (key.empty()) {
       throw std::runtime_error("BenchReport " + id_ + ": empty key");
@@ -105,6 +117,8 @@ std::string BenchReport::write() const {
   const std::string path = "BENCH_" + id_ + ".json";
   std::ofstream os(path);
   os << "{\n  \"id\": " << quote(id_) << ",\n  \"seed\": " << seed_;
+  os << ",\n  \"workload\": " << quote(workload_)
+     << ",\n  \"agents\": " << agents_;
   for (const auto& [k, v] : strings_) {
     os << ",\n  " << quote(k) << ": " << quote(v);
   }

@@ -9,6 +9,8 @@
 // which fails the bench — and factors the shared engine-comparison
 // schema so E1/E10/E11 emit the same keys:
 //
+//   workload, agents                               measured predicate + k
+//                                                  (required, see below)
 //   compiled_seconds, reference_seconds, speedup   the shoot-out
 //   compiled_repeats, reference_repeats            min-of-N settings
 //   engine                                         engine asserted on
@@ -34,6 +36,14 @@ class BenchReport {
   /// `seed` is recorded as the report's "seed" field.
   BenchReport(std::string id, std::uint64_t seed);
 
+  /// REQUIRED schema fields: the certified predicate the report measures
+  /// ("rendezvous", "gathering", ...) and the number of agents per query
+  /// (k; for a report spanning several arities, the largest one — rows
+  /// carry the per-battery k). Emitted as the "workload" and "agents"
+  /// keys; validate() rejects a report that never declared them, so every
+  /// BENCH_E*.json artifact records what workload its numbers price.
+  void workload(const std::string& name, std::uint64_t agents);
+
   /// Scalar metric. Keys must be unique across metric() and note().
   void metric(const std::string& key, double value);
   /// String annotation. Keys must be unique across metric() and note().
@@ -56,6 +66,8 @@ class BenchReport {
  private:
   std::string id_;
   std::uint64_t seed_;
+  std::string workload_;       ///< empty until workload() declares it
+  std::uint64_t agents_ = 0;   ///< 0 until workload() declares it
   std::vector<std::pair<std::string, std::string>> strings_;
   std::vector<std::pair<std::string, double>> numbers_;
   const util::Table* table_ = nullptr;

@@ -18,6 +18,7 @@ namespace {
 
 TEST(BenchReport, WellFormedReportValidates) {
   BenchReport report("TST", 42);
+  report.workload("rendezvous", 2);
   report.metric("compiled_seconds", 0.5);
   report.note("engine", "compiled");
   util::Table table({"a", "b"});
@@ -33,30 +34,36 @@ TEST(BenchReport, EmptyIdIsMalformed) {
 
 TEST(BenchReport, DuplicateKeysAreMalformed) {
   BenchReport report("TST", 1);
+  report.workload("rendezvous", 2);
   report.metric("speedup", 1.0);
   report.metric("speedup", 2.0);
   EXPECT_THROW(report.validate(), std::runtime_error);
 
   BenchReport mixed("TST", 1);
+  mixed.workload("rendezvous", 2);
   mixed.note("engine", "compiled");
   mixed.metric("engine", 3.0);  // collides across note/metric too
   EXPECT_THROW(mixed.validate(), std::runtime_error);
 
   BenchReport reserved("TST", 1);
+  reserved.workload("rendezvous", 2);
   reserved.metric("seed", 7.0);  // collides with the built-in field
   EXPECT_THROW(reserved.validate(), std::runtime_error);
 }
 
 TEST(BenchReport, EmptyKeyAndNonFiniteMetricAreMalformed) {
   BenchReport report("TST", 1);
+  report.workload("rendezvous", 2);
   report.metric("", 1.0);
   EXPECT_THROW(report.validate(), std::runtime_error);
 
   BenchReport nan_report("TST", 1);
+  nan_report.workload("rendezvous", 2);
   nan_report.metric("speedup", std::nan(""));
   EXPECT_THROW(nan_report.validate(), std::runtime_error);
 
   BenchReport inf_report("TST", 1);
+  inf_report.workload("rendezvous", 2);
   inf_report.metric("speedup", INFINITY);
   EXPECT_THROW(inf_report.validate(), std::runtime_error);
 }
@@ -71,6 +78,7 @@ TEST(BenchReport, MalformedTableRowIsAFailure) {
 
 TEST(BenchReport, EngineComparisonEmitsStandardizedKeys) {
   BenchReport report("TST", 9);
+  report.workload("gathering", 3);
   EngineComparison c;
   c.compiled_seconds = 0.25;
   c.reference_seconds = 1.0;
@@ -100,8 +108,53 @@ TEST(BenchReport, EngineComparisonEmitsStandardizedKeys) {
   std::remove(path.c_str());
 }
 
+TEST(BenchReport, WorkloadAndAgentsAreRequiredSchemaFields) {
+  // A report that never declared its workload is malformed: every
+  // BENCH_E*.json must record what predicate (and how many agents per
+  // query) its numbers price.
+  BenchReport undeclared("TST", 1);
+  undeclared.metric("speedup", 1.0);
+  EXPECT_THROW(undeclared.validate(), std::runtime_error);
+
+  BenchReport empty_name("TST", 1);
+  empty_name.workload("", 2);
+  EXPECT_THROW(empty_name.validate(), std::runtime_error);
+
+  BenchReport zero_agents("TST", 1);
+  zero_agents.workload("gathering", 0);
+  EXPECT_THROW(zero_agents.validate(), std::runtime_error);
+}
+
+TEST(BenchReport, WorkloadAndAgentsLandInTheJson) {
+  BenchReport report("TST", 5);
+  report.workload("gathering", 4);
+  const std::string path = report.write();
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string json = ss.str();
+  for (const char* key : {"\"workload\": \"gathering\"", "\"agents\": 4"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, WorkloadAndAgentsKeysAreReserved) {
+  // metric()/note() may not re-emit the schema's own keys.
+  BenchReport dup_workload("TST", 1);
+  dup_workload.workload("rendezvous", 2);
+  dup_workload.note("workload", "again");
+  EXPECT_THROW(dup_workload.validate(), std::runtime_error);
+
+  BenchReport dup_agents("TST", 1);
+  dup_agents.workload("rendezvous", 2);
+  dup_agents.metric("agents", 2.0);
+  EXPECT_THROW(dup_agents.validate(), std::runtime_error);
+}
+
 TEST(BenchReport, AddingComparisonTwiceIsCaughtAsDuplicate) {
   BenchReport report("TST", 9);
+  report.workload("rendezvous", 2);
   EngineComparison c;
   add_engine_comparison(report, c);
   add_engine_comparison(report, c);

@@ -26,7 +26,7 @@ std::vector<EnumGrid> small_grids(const std::vector<tree::Tree>& trees) {
     for (tree::NodeId u = 0; u < t.node_count(); ++u) {
       for (tree::NodeId v = u + 1; v < t.node_count(); ++v) {
         for (const std::uint64_t d : {0ull, 1ull, 7ull}) {
-          grid.queries.push_back({u, v, d, 0});
+          grid.push({u, v, d, 0});
         }
       }
     }
@@ -51,10 +51,17 @@ TEST(Enumeration, MatchesVerifyGridFieldForFieldAcrossRebinds) {
     ctx.bind(a);
     for (std::size_t g = 0; g < grids.size(); ++g) {
       const auto fused = ctx.verify(g);
-      // Unfused reference: a fresh engine through verify_grid.
+      // Unfused reference: a fresh engine through verify_grid (the pair
+      // API — rebuild its PairQuery view from the k = 2 flat grid).
+      std::vector<PairQuery> pair_queries;
+      for (std::size_t q = 0; q < grids[g].query_count(); ++q) {
+        const auto gq = grids[g].query(q);
+        pair_queries.push_back(
+            {gq.starts[0], gq.starts[1], gq.delays[0], gq.delays[1]});
+      }
       const CompiledConfigEngine engine(*grids[g].tree, a);
       const auto unfused =
-          verify_grid(engine, engine, grids[g].queries, kHorizon, 1);
+          verify_grid(engine, engine, pair_queries, kHorizon, 1);
       ASSERT_EQ(fused.size(), unfused.size());
       std::uint64_t unmet = 0;
       std::ptrdiff_t first = -1;
@@ -178,18 +185,49 @@ TEST(Enumeration, ValidatesGridsAndBindingUpFront) {
     EXPECT_THROW(EnumerationContext(grids, 10), std::invalid_argument);
   }
   {
+    // Equal starts are VALID grids now (the gathering model allows
+    // co-located agents) but the meet API must refuse them.
     std::vector<EnumGrid> grids{{&trees[0], {{2, 2, 0, 0}}}};
-    EXPECT_THROW(EnumerationContext(grids, 10), std::invalid_argument);
+    EnumerationContext ctx(grids, 10);
+    EXPECT_THROW(ctx.verify(0), std::invalid_argument);
+    EXPECT_THROW(ctx.count_unmet(0), std::invalid_argument);
+    EXPECT_THROW(ctx.first_unmet(0), std::invalid_argument);
   }
   {
     std::vector<EnumGrid> grids{{&trees[0], {{0, 9, 0, 0}}}};
     EXPECT_THROW(EnumerationContext(grids, 10), std::invalid_argument);
   }
   {
+    // Arity out of range and ragged k-fold storage are rejected up front.
+    EnumGrid bad_arity(&trees[0], std::size_t{1});
+    bad_arity.starts = {0};
+    bad_arity.delays = {0};
+    std::vector<EnumGrid> grids{bad_arity};
+    EXPECT_THROW(EnumerationContext(grids, 10), std::invalid_argument);
+
+    EnumGrid ragged(&trees[0], std::size_t{3});
+    ragged.starts = {0, 1, 2, 3};  // not a multiple of 3
+    ragged.delays = {0, 0, 0, 0};
+    std::vector<EnumGrid> ragged_grids{ragged};
+    EXPECT_THROW(EnumerationContext(ragged_grids, 10),
+                 std::invalid_argument);
+
+    // push() itself refuses arity mismatches — compensating mis-sized
+    // pushes must not be able to misalign delays across queries.
+    EnumGrid g3(&trees[0], std::size_t{3});
+    const std::vector<tree::NodeId> two{0, 1};
+    const std::vector<tree::NodeId> three{0, 1, 2};
+    const std::vector<std::uint64_t> short_delays{5, 6};
+    EXPECT_THROW(g3.push(two, {}), std::invalid_argument);
+    EXPECT_THROW(g3.push(three, short_delays), std::invalid_argument);
+    EXPECT_NO_THROW(g3.push(three, {}));
+  }
+  {
     std::vector<EnumGrid> grids{{&trees[0], {{0, 1, 0, 0}}}};
     EXPECT_THROW(EnumerationContext(grids, 0), std::invalid_argument);
     EnumerationContext ctx(grids, 10);
     EXPECT_THROW(ctx.verify(0), std::logic_error);  // bind() first
+    EXPECT_THROW(ctx.verify_gather(0), std::logic_error);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/rendezvous_agent.hpp"
+#include "sim/automaton.hpp"
 #include "sim/simulator.hpp"
 #include "tree/builders.hpp"
 #include "util/rng.hpp"
@@ -87,6 +88,35 @@ TEST(Gathering, TwoAgentsMatchesRendezvous) {
   ASSERT_TRUE(r.met);
   EXPECT_EQ(g.gather_round, r.meeting_round);
   EXPECT_EQ(g.gather_node, r.meeting_node);
+}
+
+TEST(Gathering, StrictSubsetMeetingIsNotGathered) {
+  // Regression: gathering requires ALL k agents on one node. A strict
+  // subset co-located somewhere — here agents 0 and 1, merged at node 1
+  // every single round — must never be reported as a gathering while
+  // agent 2 sits elsewhere.
+  const Tree t = tree::line(6);
+  sim::LineAutomaton stay;
+  stay.initial = 0;
+  stay.delta.assign(1, {0, 0});
+  stay.lambda.assign(1, sim::kStay);
+  sim::LineAutomatonAgent a(stay), b(stay), c(stay);
+  const std::vector<sim::Agent*> agents{&a, &b, &c};
+  const auto r =
+      sim::run_gathering(t, agents, {{1, 1, 4}, {}, 500});
+  EXPECT_FALSE(r.gathered);
+  EXPECT_EQ(r.rounds_executed, 500u);
+
+  // The same subset meeting with the non-member in the LEADING slot of
+  // the position array: a detection that anchored on any single agent's
+  // node (instead of requiring all k to coincide) would get one of these
+  // two orderings wrong.
+  sim::LineAutomatonAgent a2(stay), b2(stay), c2(stay);
+  const std::vector<sim::Agent*> reordered{&a2, &b2, &c2};
+  const auto r2 =
+      sim::run_gathering(t, reordered, {{4, 1, 1}, {}, 500});
+  EXPECT_FALSE(r2.gathered);
+  EXPECT_EQ(r2.rounds_executed, 500u);
 }
 
 TEST(Gathering, ValidatesConfig) {

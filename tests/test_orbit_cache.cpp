@@ -127,8 +127,8 @@ TEST(OrbitCache, NoOrbitExtractedTwicePerBindingAcrossRacingWorkers) {
     grid.tree = &t;
     for (tree::NodeId u = 0; u < t.node_count(); ++u) {
       for (tree::NodeId v = u + 1; v < t.node_count(); ++v) {
-        grid.queries.push_back({u, v, 0, 0});
-        grid.queries.push_back({u, v, 3, 0});
+        grid.push({u, v, 0, 0});
+        grid.push({u, v, 3, 0});
       }
     }
     starts_per_automaton += t.node_count();  // every start is queried
