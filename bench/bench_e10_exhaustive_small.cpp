@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "dist/workload.hpp"
 #include "lowerbound/verify.hpp"
 #include "sim/automaton.hpp"
 #include "sim/enumeration.hpp"
@@ -45,115 +46,32 @@ namespace {
 
 using namespace rvt;
 
-constexpr std::uint64_t kHorizon = 300000;
+constexpr std::uint64_t kHorizon = dist::kE10Horizon;
 
-/// All feasible start pairs of one battery tree, in battery order.
-struct BatteryTree {
-  tree::Tree t = tree::Tree::single_node();
-  std::vector<std::pair<tree::NodeId, tree::NodeId>> pairs;
-};
+// Battery construction, automaton enumeration order and the profile
+// delay grid live in dist/workload.{hpp,cpp} — the SAME definitions the
+// distributed shard runner (bench E13, `rvt_cli shard`) enumerates, so
+// the single-process counts here and the merged shard counts are
+// comparable bit for bit.
+using dist::BatteryTree;
+using dist::battery_instances;
 
-/// Battery: lines n = 3..max_n, three labelings each, every pair that is
-/// not perfectly symmetrizable (so rendezvous is required). Ordered by n.
-std::vector<BatteryTree> make_battery(int max_n) {
-  std::vector<BatteryTree> out;
-  for (int n = 3; n <= max_n; ++n) {
-    std::vector<tree::Tree> labelings;
-    labelings.push_back(tree::line(n));
-    labelings.push_back(tree::line_edge_colored(n, 0));
-    labelings.push_back(tree::line_edge_colored(n, 1));
-    if (n % 2 == 0) {  // odd edge count: the Thm 3.1 mirror coloring
-      labelings.push_back(tree::line_symmetric_colored(n - 1));
-    }
-    for (auto& t : labelings) {
-      BatteryTree bt;
-      bt.t = std::move(t);
-      for (tree::NodeId u = 0; u < n; ++u) {
-        for (tree::NodeId v = u + 1; v < n; ++v) {
-          if (tree::perfectly_symmetrizable(bt.t, u, v)) continue;
-          bt.pairs.emplace_back(u, v);
-        }
-      }
-      if (!bt.pairs.empty()) out.push_back(std::move(bt));
-    }
-  }
-  return out;
-}
 
-std::size_t battery_instances(const std::vector<BatteryTree>& battery) {
-  std::size_t n = 0;
-  for (const auto& bt : battery) n += bt.pairs.size();
-  return n;
-}
-
-/// The idx-th K-state automaton under the enumeration order
-/// delta-combo-major, then lambda-combo, then initial state.
 sim::LineAutomaton automaton_at(int K, std::uint64_t idx) {
-  sim::LineAutomaton a;
-  a.initial = static_cast<int>(idx % K);
-  idx /= K;
-  std::uint64_t lc = 1;
-  for (int i = 0; i < K; ++i) lc *= 3;
-  std::uint64_t l = idx % lc;
-  std::uint64_t d = idx / lc;
-  a.delta.assign(K, {0, 0});
-  a.lambda.assign(K, sim::kStay);
-  for (int s = 0; s < K; ++s) {
-    for (int deg = 0; deg < 2; ++deg) {
-      a.delta[s][deg] = static_cast<int>(d % K);
-      d /= K;
-    }
-  }
-  for (int s = 0; s < K; ++s) {
-    a.lambda[s] = static_cast<int>(l % 3) - 1;
-    l /= 3;
-  }
-  return a;
+  return dist::line_automaton_at(K, idx);
 }
 
 std::uint64_t automaton_count(int K) {
-  std::uint64_t c = static_cast<std::uint64_t>(K);  // initial states
-  for (int i = 0; i < 2 * K; ++i) c *= K;           // delta combos
-  for (int i = 0; i < K; ++i) c *= 3;               // lambda combos
-  return c;
+  return dist::line_automaton_count(K);
 }
-
-/// Battery trees as fused-enumeration grids: the adaptive defeat sweep
-/// uses simultaneous starts only; the defeat-density profile crosses
-/// every pair with the delay grid (the Thm 3.1 adversary's weapon is
-/// exactly the start delay).
-constexpr std::uint64_t kProfileDelays[] = {0, 1, 7, 31};
 
 std::vector<sim::EnumGrid> make_grids(const std::vector<BatteryTree>& battery,
                                       bool with_delays) {
-  std::vector<sim::EnumGrid> grids;
-  grids.reserve(battery.size());
-  for (const auto& bt : battery) {
-    sim::EnumGrid grid;
-    grid.tree = &bt.t;
-    for (const auto& [u, v] : bt.pairs) {
-      if (with_delays) {
-        for (const std::uint64_t d : kProfileDelays) {
-          grid.push({u, v, d, 0});
-        }
-      } else {
-        grid.push({u, v, 0, 0});
-      }
-    }
-    grids.push_back(std::move(grid));
-  }
-  return grids;
+  return dist::make_battery_grids(battery, with_delays);
 }
 
 std::vector<std::pair<int, std::uint64_t>> profile_sample() {
-  std::vector<std::pair<int, std::uint64_t>> sample;
-  for (int K = 1; K <= 3; ++K) {
-    const std::uint64_t stride = K < 3 ? 1 : 64;
-    for (std::uint64_t idx = 0; idx < automaton_count(K); idx += stride) {
-      sample.emplace_back(K, idx);
-    }
-  }
-  return sample;
+  return dist::make_profile_sample();
 }
 
 /// One full defeat-density profile pass on the fused pipeline (the unit
@@ -181,7 +99,7 @@ std::uint64_t run_reference_profile(const std::vector<BatteryTree>& battery) {
     const auto a = automaton_at(K, idx);
     for (const auto& bt : battery) {
       for (const auto& [u, v] : bt.pairs) {
-        for (const std::uint64_t d : kProfileDelays) {
+        for (const std::uint64_t d : dist::kE10ProfileDelays) {
           sim::LineAutomatonAgent x(a), y(a);
           const auto r = lowerbound::verify_never_meet_reference(
               bt.t, x, y, {u, v, d, 0, kHorizon});
@@ -204,7 +122,7 @@ int main() {
   util::Table table({"K", "automata", "survivors", "defeat frontier n",
                      "battery instances"});
   bool all_ok = true;
-  const auto battery = make_battery(14);
+  const auto battery = dist::make_line_battery(14);
   const auto sweep_grids = make_grids(battery, /*with_delays=*/false);
   const auto profile_grids = make_grids(battery, /*with_delays=*/true);
 
@@ -275,7 +193,7 @@ int main() {
   const double speedup = compiled_s > 0 ? reference_s / compiled_s : 0.0;
   std::cout << "\ndefeat-density profile workload (" << sample.size()
             << " automata x " << battery_instances(battery)
-            << " instances x " << std::size(kProfileDelays)
+            << " instances x " << std::size(dist::kE10ProfileDelays)
             << " delays, single-threaded):\n"
             << "  compiled engine:  " << compiled_s << " s (min of "
             << kCompiledRepeats << ", warm orbit cache, simd="

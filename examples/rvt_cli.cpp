@@ -9,6 +9,19 @@
 //     --timed-explo                  Thm 4.1 agent with real Explo tours
 //     --dot FILE                     write the instance as Graphviz DOT
 //
+//   rvt_cli shard plan --workload e10[:<max_n>] --shards N --out FILE
+//   rvt_cli shard run <plan-file> <shard-index> --journal-dir DIR
+//                     [--cache-dir DIR]
+//   rvt_cli shard merge <plan-file> --journal-dir DIR [--expect-defeats N]
+//     The distributed-enumeration driver (src/dist/): `plan` partitions
+//     a workload into content-addressed shard specs; `run` executes one
+//     shard into a crash-safe journal, resuming a killed run at the
+//     first uncommitted index (an optional --cache-dir makes a shared
+//     filesystem the cross-process orbit-cache tier); `merge` validates
+//     and totals the sealed journals — bit-identical to a
+//     single-process sweep. Exit codes: 0 ok, 1 usage/validation
+//     failure/count mismatch.
+//
 //   rvt_cli gather <tree-file|-> <s0,s1,...> [options]
 //     --delays d0,d1,...             per-agent start delays (default all 0)
 //     --automaton basic|pingpong:<p>|random:<K>[:<seed>]
@@ -37,6 +50,11 @@
 #include "core/baseline.hpp"
 #include "core/prime_protocol.hpp"
 #include "core/rendezvous_agent.hpp"
+#include "dist/merge.hpp"
+#include "dist/runner.hpp"
+#include "dist/serialize.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/workload.hpp"
 #include "sim/automaton.hpp"
 #include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
@@ -53,8 +71,193 @@ int usage() {
                "       rvt_cli gather <tree-file|-> <s0,s1,...> "
                "[--delays d0,d1,...] [--automaton "
                "basic|pingpong:<p>|random:<K>[:<seed>]] [--lift] "
-               "[--max-rounds N] [--reference]\n";
+               "[--max-rounds N] [--reference]\n"
+               "       rvt_cli shard plan --workload e10[:<max_n>] "
+               "--shards N --out FILE\n"
+               "       rvt_cli shard run <plan-file> <shard-index> "
+               "--journal-dir DIR [--cache-dir DIR]\n"
+               "       rvt_cli shard merge <plan-file> --journal-dir DIR "
+               "[--expect-defeats N]\n";
   return 1;
+}
+
+/// Strict u64 parse: the whole token must be digits — a typoed count in
+/// a CI assertion must be a usage error, never a silent truncation.
+bool parse_u64_strict(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+int run_shard_mode(int argc, char** argv) {
+  using namespace rvt;
+  if (argc < 3) return usage();
+  const std::string verb = argv[2];
+
+  if (verb == "plan") {
+    std::string workload_spec = "e10";
+    unsigned shards = 4;
+    std::string out;
+    for (int i = 3; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::cerr << a << " needs a value\n";
+          std::exit(1);
+        }
+        return argv[++i];
+      };
+      if (a == "--workload") {
+        workload_spec = next();
+      } else if (a == "--shards") {
+        std::uint64_t n = 0;
+        if (!parse_u64_strict(next(), n) || n == 0 || n > 1u << 20) {
+          std::cerr << "bad shard count: " << argv[i] << "\n";
+          return 1;
+        }
+        shards = static_cast<unsigned>(n);
+      } else if (a == "--out") {
+        out = next();
+      } else {
+        return usage();
+      }
+    }
+    if (out.empty() || shards == 0) return usage();
+    try {
+      const auto w = dist::EnumWorkload::parse(workload_spec);
+      const dist::ShardPlan plan = dist::make_shard_plan(*w, shards);
+      dist::write_plan(out, plan);
+      std::cout << "plan: workload " << w->spec() << ", " << plan.count
+                << " indices, " << plan.shards.size()
+                << " shards, fingerprint "
+                << dist::shard_id_hex(plan.fingerprint) << "\n";
+      for (std::size_t i = 0; i < plan.shards.size(); ++i) {
+        const auto& s = plan.shards[i];
+        std::cout << "  shard " << i << ": [" << s.begin << ", " << s.end
+                  << ") id " << dist::shard_id_hex(s.id) << "\n";
+      }
+      std::cout << "wrote " << out << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "shard plan: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  if (verb == "run") {
+    if (argc < 5) return usage();
+    const std::string plan_path = argv[3];
+    // A typoed shard index must be a usage error, not a silent re-run
+    // of shard 0.
+    std::uint64_t shard_parsed = 0;
+    if (!parse_u64_strict(argv[4], shard_parsed)) {
+      std::cerr << "bad shard index: " << argv[4] << "\n";
+      return 1;
+    }
+    const std::size_t shard_index = static_cast<std::size_t>(shard_parsed);
+    std::string journal_dir, cache_dir;
+    for (int i = 5; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::cerr << a << " needs a value\n";
+          std::exit(1);
+        }
+        return argv[++i];
+      };
+      if (a == "--journal-dir") {
+        journal_dir = next();
+      } else if (a == "--cache-dir") {
+        cache_dir = next();
+      } else {
+        return usage();
+      }
+    }
+    if (journal_dir.empty()) return usage();
+    try {
+      const dist::ShardPlan plan = dist::load_plan(plan_path);
+      const auto w = dist::EnumWorkload::parse(plan.workload_spec);
+      sim::OrbitCache cache;
+      std::unique_ptr<dist::FsOrbitStore> tier;
+      if (!cache_dir.empty()) {
+        tier = std::make_unique<dist::FsOrbitStore>(cache_dir);
+        cache.set_backing(tier.get());
+      }
+      const dist::ShardRunStats stats =
+          dist::run_shard(*w, plan, shard_index, journal_dir, &cache);
+      const auto cs = cache.stats();
+      if (stats.already_complete) {
+        std::cout << "shard " << shard_index
+                  << ": already complete (double completion detected), sum "
+                  << stats.sum << "\n";
+      } else {
+        std::cout << "shard " << shard_index << ": resumed past "
+                  << stats.committed_before << ", computed "
+                  << stats.computed << ", sum " << stats.sum
+                  << " (cache: " << cs.hits << " hits, " << cs.tier_hits
+                  << " tier hits, " << cs.tier_stores << " tier stores; "
+                  << stats.telemetry.canonical_collapses
+                  << " canonical collapses)\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "shard run: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  if (verb == "merge") {
+    if (argc < 4) return usage();
+    const std::string plan_path = argv[3];
+    std::string journal_dir;
+    std::uint64_t expect = 0;
+    bool have_expect = false;
+    for (int i = 4; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::cerr << a << " needs a value\n";
+          std::exit(1);
+        }
+        return argv[++i];
+      };
+      if (a == "--journal-dir") {
+        journal_dir = next();
+      } else if (a == "--expect-defeats") {
+        if (!parse_u64_strict(next(), expect)) {
+          std::cerr << "bad expected defeat count: " << argv[i] << "\n";
+          return 1;
+        }
+        have_expect = true;
+      } else {
+        return usage();
+      }
+    }
+    if (journal_dir.empty()) return usage();
+    try {
+      const dist::ShardPlan plan = dist::load_plan(plan_path);
+      const dist::MergeResult merged =
+          dist::merge_journals(plan, journal_dir);
+      for (std::size_t i = 0; i < merged.shards.size(); ++i) {
+        const auto& s = merged.shards[i];
+        std::cout << "shard " << i << ": [" << s.spec.begin << ", "
+                  << s.spec.end << ") defeats " << s.sum << "\n";
+      }
+      std::cout << "merged: " << merged.total << " defeats over "
+                << merged.indices << " indices\n";
+      if (have_expect && merged.total != expect) {
+        std::cerr << "merge: expected " << expect << " defeats, got "
+                  << merged.total << "\n";
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "shard merge: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  return usage();
 }
 
 std::string read_tree_text(const char* arg, bool& ok) {
@@ -236,6 +439,9 @@ int run_gather_mode(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace rvt;
+  if (argc >= 2 && std::strcmp(argv[1], "shard") == 0) {
+    return run_shard_mode(argc, argv);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "gather") == 0) {
     return run_gather_mode(argc, argv);
   }

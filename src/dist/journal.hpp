@@ -1,0 +1,104 @@
+// Crash-safe append-only shard journals.
+//
+// A shard runner streams one fixed-size record per completed enumeration
+// index — the incremental-delay discipline: bounded state per emitted
+// verdict summary, nothing buffered that a crash could lose beyond the
+// record being appended. The file layout is
+//
+//     [ preamble | record | record | ... | DONE record ]
+//
+// where the preamble binds the journal to its shard (shard id, plan
+// fingerprint, index range) and every 32-byte record carries its own
+// checksum. Recovery is a single forward scan: the VALID PREFIX ends at
+// the first truncated, checksum-broken or out-of-order record — a
+// process killed mid-append loses at most the torn tail, and a rerun
+// resumes at the first uncommitted index without recomputing anything
+// before it (JournalWriter::resume truncates the torn tail first, so
+// the file never contains bytes the scan rejected). The DONE record
+// seals the shard with its aggregate; a sealed journal makes a second
+// `shard run` a detected no-op (double-completion), and only sealed
+// journals merge.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dist/shard_plan.hpp"
+
+namespace rvt::dist {
+
+/// What binds a journal to its shard; serialized into the preamble.
+struct JournalHeader {
+  ShardId shard_id;
+  ShardId fingerprint;      ///< plan fingerprint (workload + schema)
+  std::uint64_t begin = 0;  ///< index range of the shard
+  std::uint64_t end = 0;
+};
+
+/// Result of scanning a journal file.
+struct JournalState {
+  JournalHeader header;
+  std::uint64_t next_index = 0;  ///< first index NOT committed
+  std::uint64_t sum = 0;         ///< sum of committed values
+  bool complete = false;         ///< DONE record present and consistent
+  std::uint64_t valid_bytes = 0; ///< prefix a resume may append after
+};
+
+/// Canonical journal filename for a shard (under `dir`).
+std::string journal_path(const std::string& dir, const ShardSpec& spec);
+
+/// Scans `path`. Returns nullopt if the file does not exist; throws
+/// SerializeError if the preamble is missing/corrupt (the journal is
+/// unusable — recreate it). Record-level damage is NOT an error: the
+/// scan stops at the first bad record and reports the valid prefix.
+std::optional<JournalState> read_journal(const std::string& path);
+
+/// Appender. Records must be fed in index order (begin, begin+1, ...);
+/// the writer enforces it — the journal's recovery scan depends on
+/// contiguity. Flushes every record to the stream (the crash-safety
+/// unit is the 32-byte record; a torn tail is dropped by the scan).
+class JournalWriter {
+ public:
+  /// Creates/overwrites `path` with a fresh preamble.
+  static JournalWriter create(const std::string& path,
+                              const JournalHeader& header);
+  /// Opens `path` for appending after state.valid_bytes, truncating the
+  /// torn tail first. Throws SerializeError if the journal is already
+  /// complete (double completion is the CALLER's branch to handle —
+  /// see run_shard) or the state does not match `header`.
+  static JournalWriter resume(const std::string& path,
+                              const JournalHeader& header,
+                              const JournalState& state);
+
+  JournalWriter(JournalWriter&&) = default;
+  JournalWriter& operator=(JournalWriter&&) = default;
+
+  /// Appends the record for `index` (must be the next uncommitted one).
+  void record(std::uint64_t index, std::uint64_t value);
+  /// Seals the journal: every index of [begin, end) must be committed,
+  /// and `total` must equal the running sum (defensive: the aggregate a
+  /// merge trusts is cross-checked at the source).
+  void finish(std::uint64_t total);
+
+  std::uint64_t next_index() const { return next_; }
+  std::uint64_t sum() const { return sum_; }
+
+ private:
+  JournalWriter() = default;
+
+  std::string path_;
+  JournalHeader header_;
+  std::uint64_t next_ = 0;
+  std::uint64_t sum_ = 0;
+  bool finished_ = false;
+  // FILE* under unique_ptr so the type stays movable.
+  struct FileCloser {
+    void operator()(std::FILE* f) const;
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+};
+
+}  // namespace rvt::dist

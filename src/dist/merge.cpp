@@ -1,0 +1,38 @@
+#include "dist/merge.hpp"
+
+namespace rvt::dist {
+
+MergeResult merge_journals(const ShardPlan& plan,
+                           const std::string& journal_dir) {
+  MergeResult out;
+  out.indices = plan.count;
+  for (const ShardSpec& spec : plan.shards) {
+    const std::string path = journal_path(journal_dir, spec);
+    const std::optional<JournalState> state = read_journal(path);
+    if (!state.has_value()) {
+      throw SerializeError("merge: missing journal " + path);
+    }
+    if (!(state->header.shard_id == spec.id) ||
+        !(state->header.fingerprint == plan.fingerprint) ||
+        state->header.begin != spec.begin ||
+        state->header.end != spec.end) {
+      throw SerializeError("merge: journal " + path +
+                           " is bound to a different shard or plan");
+    }
+    if (!state->complete) {
+      throw SerializeError(
+          "merge: journal " + path +
+          " is not sealed (shard incomplete — rerun `shard run`)");
+    }
+    ShardSummary s;
+    s.spec = spec;
+    s.sum = state->sum;
+    s.indices = spec.end - spec.begin;
+    s.path = path;
+    out.total += s.sum;
+    out.shards.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace rvt::dist

@@ -1,0 +1,43 @@
+// Merging shard journals into one battery report.
+//
+// merge_journals() reads every shard's sealed journal under one
+// directory, re-validates the binding end to end — journal preamble
+// matches the plan's shard id / fingerprint / index range, the shard set
+// partitions [0, count) (the plan codec enforces it), every journal is
+// sealed with a self-consistent aggregate — and sums the per-index
+// verdict summaries. Because sweep results are index-deterministic, the
+// merged totals are BIT-IDENTICAL to a single-process run of the same
+// workload, however the index space was partitioned and however many
+// processes (or machines) ran the shards; bench E13 asserts exactly
+// that against the committed single-process E10 count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/journal.hpp"
+
+namespace rvt::dist {
+
+struct ShardSummary {
+  ShardSpec spec;
+  std::uint64_t sum = 0;      ///< shard aggregate (defeats)
+  std::uint64_t indices = 0;  ///< committed indices (== end - begin)
+  std::string path;           ///< journal file merged from
+};
+
+struct MergeResult {
+  std::uint64_t total = 0;    ///< summed verdict summaries (defeats)
+  std::uint64_t indices = 0;  ///< == plan.count
+  std::vector<ShardSummary> shards;
+};
+
+/// Merges every shard of `plan` from journals under `journal_dir`.
+/// Throws SerializeError when any journal is missing, unsealed, corrupt,
+/// or bound to a different shard/fingerprint — a merge must never
+/// silently total a partial or foreign battery.
+MergeResult merge_journals(const ShardPlan& plan,
+                           const std::string& journal_dir);
+
+}  // namespace rvt::dist

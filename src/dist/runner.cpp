@@ -1,0 +1,70 @@
+#include "dist/runner.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace rvt::dist {
+
+ShardRunStats run_shard(const EnumWorkload& w, const ShardPlan& plan,
+                        std::size_t shard_index,
+                        const std::string& journal_dir,
+                        sim::OrbitCache* cache) {
+  if (shard_index >= plan.shards.size()) {
+    throw std::invalid_argument("run_shard: shard index out of range");
+  }
+  if (!(plan.fingerprint == workload_fingerprint(w))) {
+    throw std::invalid_argument(
+        "run_shard: plan fingerprint does not match the workload (different "
+        "battery, spec, or code schema version)");
+  }
+  const ShardSpec& spec = plan.shards[shard_index];
+  std::error_code ec;
+  std::filesystem::create_directories(journal_dir, ec);  // best effort
+  const std::string path = journal_path(journal_dir, spec);
+  JournalHeader header;
+  header.shard_id = spec.id;
+  header.fingerprint = plan.fingerprint;
+  header.begin = spec.begin;
+  header.end = spec.end;
+
+  ShardRunStats stats;
+  std::optional<JournalState> state;
+  try {
+    state = read_journal(path);
+  } catch (const SerializeError&) {
+    state.reset();  // unusable preamble: recreate from scratch
+  }
+  if (state.has_value() &&
+      (!(state->header.shard_id == header.shard_id) ||
+       !(state->header.fingerprint == header.fingerprint) ||
+       state->header.begin != header.begin ||
+       state->header.end != header.end)) {
+    // A journal for a DIFFERENT shard under this shard's filename: the
+    // content addressing makes that a deliberate overwrite or a foreign
+    // artifact — start over rather than splice foreign records.
+    state.reset();
+  }
+  if (state.has_value() && state->complete) {
+    stats.already_complete = true;
+    stats.committed_before = spec.end - spec.begin;
+    stats.sum = state->sum;
+    return stats;
+  }
+
+  JournalWriter writer =
+      state.has_value() ? JournalWriter::resume(path, header, *state)
+                        : JournalWriter::create(path, header);
+  stats.committed_before = writer.next_index() - spec.begin;
+
+  sim::EnumerationContext ctx(w.grids(), w.max_rounds(), cache);
+  for (std::uint64_t i = writer.next_index(); i < spec.end; ++i) {
+    writer.record(i, w.defeats(ctx, i));
+    ++stats.computed;
+  }
+  writer.finish(writer.sum());
+  stats.sum = writer.sum();
+  stats.telemetry = ctx.telemetry();
+  return stats;
+}
+
+}  // namespace rvt::dist

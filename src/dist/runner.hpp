@@ -1,0 +1,44 @@
+// One shard's worth of enumeration, journaled and resumable.
+//
+// run_shard() drives the workload's indices [begin, end) through a fused
+// EnumerationContext (optionally over an OrbitCache whose backing tier
+// is a shared filesystem — the cross-process claim/publish protocol) and
+// appends one verdict-summary record per index to the shard's journal:
+//
+//  * fresh shard  -> journal created, every index computed;
+//  * killed shard -> the journal's valid prefix is kept, the torn tail
+//    truncated, and ONLY the uncommitted indices recompute (resumability
+//    is exact because sweep results are index-deterministic);
+//  * sealed shard -> detected double completion: nothing recomputes,
+//    nothing is appended, the caller sees already_complete.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/journal.hpp"
+#include "dist/workload.hpp"
+#include "sim/orbit_cache.hpp"
+
+namespace rvt::dist {
+
+struct ShardRunStats {
+  std::uint64_t committed_before = 0;  ///< indices resumed past
+  std::uint64_t computed = 0;          ///< indices computed this run
+  bool already_complete = false;       ///< double completion detected
+  std::uint64_t sum = 0;               ///< shard aggregate after the run
+  sim::EnumTelemetry telemetry;        ///< this run's pipeline telemetry
+};
+
+/// Runs shard `shard_index` of `plan` for workload `w`, journaling under
+/// `journal_dir` (created if missing). `cache` may be null (no orbit
+/// sharing); attach an FsOrbitStore-backed cache to share extractions
+/// across the machine boundary. Throws std::invalid_argument if the
+/// plan does not match the workload (fingerprint or shard index), and
+/// SerializeError on unusable journal IO.
+ShardRunStats run_shard(const EnumWorkload& w, const ShardPlan& plan,
+                        std::size_t shard_index,
+                        const std::string& journal_dir,
+                        sim::OrbitCache* cache = nullptr);
+
+}  // namespace rvt::dist

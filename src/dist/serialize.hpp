@@ -1,0 +1,168 @@
+// Binary serialization for the distributed-enumeration subsystem.
+//
+// Every artifact that crosses a process (or machine) boundary — published
+// OrbitSets on the shared-filesystem cache tier, shard plans, shard
+// journals — is written in one framed wire format:
+//
+//     [ WireHeader | payload bytes ]
+//
+// with a 32-byte header carrying magic, format version, payload kind,
+// payload length and a 64-bit FNV-1a checksum of the payload. Readers
+// refuse wrong magic/kind, a version they do not speak, a length that
+// disagrees with the file, and a checksum mismatch — a torn or corrupted
+// artifact must surface as a SerializeError (or a cache-tier miss), never
+// as silently wrong verdict data. Integers are fixed-width little-endian;
+// the codec asserts a little-endian host (every deployment target is).
+//
+// OrbitSet payloads round-trip EXACTLY: the deserialized set binds its
+// orbits into contiguous arenas (sim/orbit_buf.hpp) just like
+// snapshot_orbits() builds them, so adopting a deserialized set via
+// rebind_adopted() is indistinguishable from adopting a locally published
+// one — which is what makes a directory of these files a cross-machine
+// orbit-cache tier (FsOrbitStore): files are named by the 32-hex-digit
+// content key and published via write-temp + atomic rename, the same
+// claim/publish discipline the in-memory cache uses, extended to the
+// filesystem.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/compiled.hpp"
+#include "sim/orbit_cache.hpp"
+
+namespace rvt::dist {
+
+/// Format version of every framed artifact. Bump on ANY layout change:
+/// readers refuse other versions outright (cross-version artifacts are
+/// regenerated, never migrated — they are caches and checkpoints, not
+/// data of record).
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint32_t kWireMagic = 0x52565457;  // "RVTW"
+
+enum class WireKind : std::uint16_t {
+  kOrbitSet = 1,
+  kShardPlan = 2,
+  kJournal = 3,
+};
+
+struct SerializeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a over a byte range — the payload checksum of the wire header
+/// and the per-record checksum of shard journals.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// Append-only little-endian byte sink.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void raw(const void* p, std::size_t n);
+  /// Length-prefixed (u32) byte string.
+  void str(const std::string& s);
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a byte range; any read past the end (or a
+/// malformed length prefix) throws SerializeError.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : b_(bytes) {}
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  void raw(void* p, std::size_t n);
+  std::string str();
+  std::size_t remaining() const { return b_.size() - pos_; }
+  void expect_end() const;
+
+ private:
+  std::span<const std::uint8_t> b_;
+  std::size_t pos_ = 0;
+};
+
+/// Wraps `payload` in the versioned, checksummed frame.
+std::vector<std::uint8_t> frame_payload(WireKind kind,
+                                        std::span<const std::uint8_t> payload);
+
+/// Validates the frame (magic, version, kind, length, checksum) and
+/// returns the payload view into `file`. Throws SerializeError.
+std::span<const std::uint8_t> unframe_payload(
+    WireKind kind, std::span<const std::uint8_t> file);
+
+// ---- OrbitSet codec -------------------------------------------------------
+
+/// Payload (NOT framed) for one published OrbitSet; exact round-trip.
+std::vector<std::uint8_t> serialize_orbit_set(
+    const sim::CompiledConfigEngine::OrbitSet& set);
+
+/// Inverse of serialize_orbit_set over a frame-validated payload; the
+/// returned set's orbits are bound into freshly built contiguous arenas.
+/// Throws SerializeError on any structural violation (lengths that do
+/// not add up, truncation, index out of range).
+std::shared_ptr<const sim::CompiledConfigEngine::OrbitSet>
+deserialize_orbit_set(std::span<const std::uint8_t> payload);
+
+// ---- file helpers ---------------------------------------------------------
+
+/// Writes bytes to `path` via a unique temp file in the same directory +
+/// atomic rename — readers see the old file or the complete new one,
+/// never a prefix. Returns false on any IO failure (nothing is left at
+/// `path` that wasn't there).
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+/// Whole file, or nullopt if it cannot be read.
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+// ---- the filesystem cache tier --------------------------------------------
+
+/// 32-hex-digit rendering of a 128-bit (hi, lo) pair — the one
+/// formatter behind cache filenames, shard ids and log lines.
+std::string hex128(std::uint64_t hi, std::uint64_t lo);
+
+/// 32-hex-digit filename stem of a content key (hi then lo).
+std::string orbit_key_hex(const sim::OrbitKey& key);
+
+/// sim::OrbitStore over a directory (created on construction): one
+/// framed OrbitSet file per content key, published atomically. A missing,
+/// torn or corrupt file is a miss — load() never throws; store() is
+/// best-effort and swallows IO errors (the in-memory tier stays
+/// authoritative). Point several processes' caches at one directory (a
+/// shared filesystem) and the claim/publish protocol extends across
+/// machines: the first process to extract a binding publishes the file,
+/// every other process adopts it.
+class FsOrbitStore final : public sim::OrbitStore {
+ public:
+  explicit FsOrbitStore(std::string dir);
+
+  std::shared_ptr<const sim::CompiledConfigEngine::OrbitSet> load(
+      const sim::OrbitKey& key) override;
+  void store(const sim::OrbitKey& key,
+             const std::shared_ptr<const sim::CompiledConfigEngine::OrbitSet>&
+                 set) override;
+
+  std::string path_for(const sim::OrbitKey& key) const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace rvt::dist

@@ -1,0 +1,81 @@
+// Deterministic, content-addressed partition of an enumeration index
+// space.
+//
+// A shard plan splits a workload's [0, count) index range into
+// contiguous shard specs. Everything is content-addressed:
+//
+//  * the plan FINGERPRINT hashes the workload's full content — spec
+//    string, horizon, every grid's tree structure, arity, start/delay
+//    tables — plus the wire schema version, so a runner handed a plan
+//    built from a different battery (or by an incompatible build)
+//    refuses to run instead of merging garbage;
+//  * each SHARD ID hashes (fingerprint, begin, end), so journal files
+//    are self-identifying: the same workload partitioned the same way
+//    yields the same ids on every machine, and a journal can never be
+//    merged under a plan it does not belong to.
+//
+// Plans serialize through the framed wire format (dist/serialize.hpp)
+// and are immutable once written — `shard run` and `shard merge` both
+// re-derive the workload from the plan's spec string and verify the
+// fingerprint before touching any index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/serialize.hpp"
+#include "dist/workload.hpp"
+
+namespace rvt::dist {
+
+/// 128-bit content hash (two independent FNV-1a streams, like
+/// sim::OrbitKey — collisions are astronomically unlikely at any
+/// realistic plan count).
+struct ShardId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  friend bool operator==(const ShardId&, const ShardId&) = default;
+};
+
+/// Hex form (32 digits) — journal filenames and log lines.
+std::string shard_id_hex(const ShardId& id);
+
+/// One shard: the contiguous index range [begin, end) plus its
+/// content-addressed id.
+struct ShardSpec {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  ShardId id;
+};
+
+struct ShardPlan {
+  std::string workload_spec;  ///< EnumWorkload::parse input
+  std::uint64_t count = 0;    ///< total enumeration indices
+  std::uint64_t max_rounds = 0;
+  ShardId fingerprint;        ///< workload content + wire schema version
+  std::vector<ShardSpec> shards;  ///< contiguous partition of [0, count)
+};
+
+/// Content fingerprint of a workload under the CURRENT wire schema.
+ShardId workload_fingerprint(const EnumWorkload& w);
+
+/// Partitions the workload into `shard_count` near-even contiguous
+/// shards (>= 1; capped at count). Throws std::invalid_argument on an
+/// empty workload or shard_count == 0.
+ShardPlan make_shard_plan(const EnumWorkload& w, unsigned shard_count);
+
+/// Payload codec (framing is the caller's job via frame_payload /
+/// unframe_payload with WireKind::kShardPlan). deserialize_plan
+/// re-validates structure: spec parses, shards partition [0, count)
+/// contiguously, every shard id re-derives — a tampered plan throws
+/// SerializeError.
+std::vector<std::uint8_t> serialize_plan(const ShardPlan& plan);
+ShardPlan deserialize_plan(std::span<const std::uint8_t> payload);
+
+/// Framed-file convenience. write_plan throws SerializeError on IO
+/// failure; load_plan throws SerializeError on any validation failure.
+void write_plan(const std::string& path, const ShardPlan& plan);
+ShardPlan load_plan(const std::string& path);
+
+}  // namespace rvt::dist

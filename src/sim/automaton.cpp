@@ -1,6 +1,7 @@
 #include "sim/automaton.hpp"
 
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
 
 #include "util/math.hpp"
@@ -45,6 +46,60 @@ void TabularAutomaton::validate() const {
   for (const int act : lambda) {
     if (act < -1) throw std::invalid_argument("TabularAutomaton: lambda < -1");
   }
+}
+
+TabularAutomaton canonical_reachable_form(const TabularAutomaton& a) {
+  const int D = a.max_degree;
+  const int K = a.num_states();
+  // BFS closure over every input a tree of max degree <= D can present:
+  // entry port i in {-1 (start / after a stay), 0..d-1} at a node of
+  // degree d in {1..D}. Discovery order is the canonical numbering.
+  std::vector<int> order;
+  std::vector<int> renum(static_cast<std::size_t>(K), -1);
+  order.reserve(static_cast<std::size_t>(K));
+  renum[static_cast<std::size_t>(a.initial)] = 0;
+  order.push_back(a.initial);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const int s = order[head];
+    for (int d = 1; d <= D; ++d) {
+      for (int i = -1; i < d; ++i) {
+        const int t = a.next(s, i, d);
+        if (renum[static_cast<std::size_t>(t)] < 0) {
+          renum[static_cast<std::size_t>(t)] =
+              static_cast<int>(order.size());
+          order.push_back(t);
+        }
+      }
+    }
+  }
+  // Two actions agree on every degree d <= D iff they agree mod
+  // lcm(1..D) (the simulator reduces the action mod the degree acted
+  // from); kStay is preserved as is.
+  int act_mod = 1;
+  for (int d = 2; d <= D; ++d) act_mod = std::lcm(act_mod, d);
+  TabularAutomaton c;
+  c.initial = 0;
+  c.max_degree = D;
+  const int K2 = static_cast<int>(order.size());
+  c.delta.assign(
+      static_cast<std::size_t>(K2) * (D + 1) * static_cast<std::size_t>(D),
+      0);
+  c.lambda.resize(static_cast<std::size_t>(K2));
+  for (int s2 = 0; s2 < K2; ++s2) {
+    const int s = order[static_cast<std::size_t>(s2)];
+    const int act = a.lambda[static_cast<std::size_t>(s)];
+    c.lambda[static_cast<std::size_t>(s2)] =
+        act < 0 ? kStay : act % act_mod;
+    for (int d = 1; d <= D; ++d) {
+      for (int i = -1; i < d; ++i) {
+        c.delta[(static_cast<std::size_t>(s2) * (D + 1) + (i + 1)) * D +
+                (d - 1)] = renum[static_cast<std::size_t>(a.next(s, i, d))];
+      }
+      // Entries with i >= d stay 0: an entry port can never reach the
+      // degree of the node entered, so no tree presents those inputs.
+    }
+  }
+  return c;
 }
 
 void LineAutomaton::validate() const {

@@ -71,6 +71,23 @@ struct TabularAutomaton {
       default;
 };
 
+/// Behavior-preserving canonical form of a tabular automaton, the dedup
+/// key the orbit cache hashes in front of content addressing. Enumerated
+/// tables differ in ways no trajectory can observe: states unreachable
+/// from `initial` (under any input sequence), the numbering of reachable
+/// states, transition entries for impossible inputs (entry port >= the
+/// degree entered), and action values that agree modulo every degree
+/// <= max_degree. The canonical form quotients all four out — reachable
+/// states only, renumbered in BFS discovery order from the initial state
+/// (which becomes state 0), impossible-input entries zeroed, actions
+/// reduced mod lcm(1..max_degree) — so two automata share a canonical
+/// form only if they produce identical trajectories on every tree of
+/// max degree <= max_degree, and equivalent enumerated bindings collapse
+/// into one orbit-cache entry (sim/orbit_cache.hpp's
+/// canonical_automaton_key). Idempotent: a canonical input is returned
+/// unchanged.
+TabularAutomaton canonical_reachable_form(const TabularAutomaton& a);
+
 struct LineAutomaton {
   int initial = 0;
   /// delta[s][d-1] for degree d in {1, 2}.

@@ -1,6 +1,7 @@
 #include "sim/compiled.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
@@ -417,14 +418,50 @@ CompiledConfigEngine::snapshot_orbits() const {
   set->orbits.resize(n);
   set->has_orbit.assign(n, 0);
   std::size_t bytes = sizeof(OrbitSet) + n * (sizeof(Orbit) + 1);
+  // Pass 1: size the arenas, so each field type is ONE allocation for the
+  // whole set (published sets are read in start-node order, and the
+  // serializer copies each arena wholesale).
+  std::size_t nodes = 0, ports = 0, visits = 0;
   for (std::size_t s = 0; s < n; ++s) {
     if (orbit_epoch_[s] == epoch_) {
-      set->orbits[s] = orbits_[s];
-      set->has_orbit[s] = 1;
-      bytes += orbits_[s].node.size() * sizeof(tree::NodeId) +
-               orbits_[s].in_port.size() * sizeof(std::int16_t) +
-               orbits_[s].first_visit.size() * sizeof(std::uint32_t);
+      nodes += orbits_[s].node.size();
+      ports += orbits_[s].in_port.size();
+      visits += orbits_[s].first_visit.size();
     }
+  }
+  set->node_arena.resize(nodes);
+  set->port_arena.resize(ports);
+  set->visit_arena.resize(visits);
+  // Pass 2: copy payloads into the arenas and bind the published orbits'
+  // buffers as windows into them.
+  std::size_t no = 0, po = 0, vo = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (orbit_epoch_[s] != epoch_) continue;
+    const Orbit& src = orbits_[s];
+    Orbit& dst = set->orbits[s];
+    dst.mu = src.mu;
+    dst.lambda = src.lambda;
+    dst.sn_mu = src.sn_mu;
+    dst.cycle_root = src.cycle_root;
+    dst.cycle_phase = src.cycle_phase;
+    std::memcpy(set->node_arena.data() + no, src.node.data(),
+                src.node.size() * sizeof(tree::NodeId));
+    dst.node.bind_external(set->node_arena.data() + no, src.node.size());
+    no += src.node.size();
+    std::memcpy(set->port_arena.data() + po, src.in_port.data(),
+                src.in_port.size() * sizeof(std::int16_t));
+    dst.in_port.bind_external(set->port_arena.data() + po,
+                              src.in_port.size());
+    po += src.in_port.size();
+    std::memcpy(set->visit_arena.data() + vo, src.first_visit.data(),
+                src.first_visit.size() * sizeof(std::uint32_t));
+    dst.first_visit.bind_external(set->visit_arena.data() + vo,
+                                  src.first_visit.size());
+    vo += src.first_visit.size();
+    set->has_orbit[s] = 1;
+    bytes += src.node.size() * sizeof(tree::NodeId) +
+             src.in_port.size() * sizeof(std::int16_t) +
+             src.first_visit.size() * sizeof(std::uint32_t);
   }
   if (!cindex_epoch_.empty()) {
     set->collision_index.assign(static_cast<std::size_t>(n_) * n_, -1);

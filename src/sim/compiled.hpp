@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "sim/automaton.hpp"
+#include "sim/orbit_buf.hpp"
 #include "sim/simulator.hpp"
 #include "sim/verdict.hpp"
 #include "tree/tree.hpp"
@@ -112,12 +113,16 @@ class CompiledConfigEngine {
     /// phases and collision answers are consistent within an epoch.)
     std::uint32_t cycle_root = 0;
     std::uint64_t cycle_phase = 0;
-    std::vector<tree::NodeId> node;
-    std::vector<std::int16_t> in_port;  ///< entry port after k steps
+    /// Payload buffers: engine-local orbits own growable storage exactly
+    /// like the std::vectors they replaced; orbits of a published (or
+    /// deserialized) OrbitSet are windows into the set's contiguous
+    /// arenas (see OrbitSet), one allocation per field type per set.
+    OrbitBuf<tree::NodeId> node;
+    OrbitBuf<std::int16_t> in_port;  ///< entry port after k steps
     /// first_visit[w]: first step at which the orbit occupies node w
     /// (kNever if it never does). Answers "can the walker hit a parked
     /// agent?" in O(1), making delayed-start queries O(1) in the delay.
-    std::vector<std::uint32_t> first_visit;
+    OrbitBuf<std::uint32_t> first_visit;
     static constexpr std::uint32_t kNever = ~0u;
 
     tree::NodeId node_at(std::uint64_t k) const {
@@ -157,6 +162,15 @@ class CompiledConfigEngine {
   struct OrbitSet {
     std::vector<Orbit> orbits;            ///< indexed by start node
     std::vector<std::uint8_t> has_orbit;  ///< 1 iff orbits[start] populated
+    /// Contiguous arenas backing every orbit's payload (the orbits'
+    /// OrbitBufs are bound into these): the cached steady state streams
+    /// one allocation per field type instead of chasing per-orbit heap
+    /// blocks, and serialization copies each arena wholesale. Orbits are
+    /// laid out in start-node order. Never resize these after binding —
+    /// the orbit windows alias their storage.
+    std::vector<tree::NodeId> node_arena;
+    std::vector<std::int16_t> port_arena;
+    std::vector<std::uint32_t> visit_arena;
     /// Published cycle-pair collision tables (epoch field unused). A pair
     /// present with an empty table means the build gave up — consumers
     /// fall back to scanning, never re-running the build.

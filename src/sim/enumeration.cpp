@@ -87,7 +87,12 @@ EnumerationContext::Slot& EnumerationContext::prepare(std::size_t g) {
   if (!bound) ++stats_.bindings;
   if (cache_ != nullptr) {
     if (!automaton_key_valid_) {
-      automaton_key_ = automaton_orbit_key(*automaton_);
+      // Canonical dedup key: equivalent enumerated automata (unreachable
+      // states, renumbering, impossible-input entries) share one cache
+      // entry — and one extraction — per tree.
+      const TabularAutomaton canon = canonical_reachable_form(*automaton_);
+      if (!(canon == *automaton_)) ++stats_.canonical_collapses;
+      automaton_key_ = automaton_orbit_key(canon);
       automaton_key_valid_ = true;
     }
     const OrbitKey key = combine_orbit_keys(slot.tree_key, automaton_key_);

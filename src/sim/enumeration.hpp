@@ -124,6 +124,11 @@ struct EnumTelemetry {
   std::uint64_t cache_hits = 0;        ///< bindings served by the cache
   std::uint64_t cache_misses = 0;      ///< bindings extracted locally
   std::uint64_t orbits_extracted = 0;  ///< orbit walks actually run
+  /// Automata whose canonical reachable form differs from their raw
+  /// table — i.e. bindings the canonical dedup key can merge with an
+  /// equivalent automaton's cache entry. The K = 3 exhaustive battery
+  /// measurably collapses (asserted in tests/test_enumeration.cpp).
+  std::uint64_t canonical_collapses = 0;
   double hit_rate() const {
     const std::uint64_t total = cache_hits + cache_misses;
     return total == 0 ? 0.0
@@ -273,6 +278,7 @@ auto sweep_enumeration(std::span<const EnumGrid> grids, std::uint64_t count,
         telemetry->cache_hits += t.cache_hits;
         telemetry->cache_misses += t.cache_misses;
         telemetry->orbits_extracted += t.orbits_extracted;
+        telemetry->canonical_collapses += t.canonical_collapses;
       },
       num_threads);
   return results;

@@ -1,0 +1,166 @@
+// Orbit payload storage that can live in a per-set arena.
+//
+// A published OrbitSet used to hold one heap allocation per orbit per
+// field (node / in_port / first_visit vectors), so the cached steady
+// state of an enumeration sweep chased pointers into allocations
+// scattered across the heap — and serializing a set meant walking every
+// one of them. OrbitBuf keeps the exact std::vector surface the
+// extraction and verdict code uses (push_back / pop_back / clear /
+// assign / operator[] / data / size), but distinguishes two backing
+// modes:
+//
+//  * OWNING — a growable private buffer, used by the engine-local orbit
+//    cache exactly like the vectors it replaces (capacity survives
+//    clear(), so the zero-allocation rebind loop is unchanged);
+//  * EXTERNAL — a non-owning window into a contiguous arena owned by the
+//    containing OrbitSet (snapshot_orbits() and the deserializer build
+//    these), so a whole set's payload is one allocation per field type
+//    and serialization is a near-memcpy of the arenas.
+//
+// Externally-bound buffers are read-only by contract: they only ever
+// hang off a `shared_ptr<const OrbitSet>`, so nothing calls the mutators
+// — a mutating call on an external buffer detaches into a private copy
+// first, keeping the type memory-safe even if that contract is broken.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+namespace rvt::sim {
+
+template <typename T>
+class OrbitBuf {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "OrbitBuf: payloads are raw-copied between buffers");
+
+ public:
+  OrbitBuf() = default;
+  ~OrbitBuf() {
+    if (owns_) delete[] data_;
+  }
+  OrbitBuf(const OrbitBuf& o) { copy_from(o.data_, o.size_); }
+  OrbitBuf& operator=(const OrbitBuf& o) {
+    if (this != &o) copy_from(o.data_, o.size_);
+    return *this;
+  }
+  OrbitBuf(OrbitBuf&& o) noexcept
+      : data_(o.data_), size_(o.size_), cap_(o.cap_), owns_(o.owns_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.cap_ = 0;
+    o.owns_ = false;
+  }
+  OrbitBuf& operator=(OrbitBuf&& o) noexcept {
+    if (this != &o) {
+      if (owns_) delete[] data_;
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      owns_ = o.owns_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+      o.cap_ = 0;
+      o.owns_ = false;
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* data() const { return data_; }
+  T* data() {
+    detach();  // writable access: never hand out the shared arena
+    return data_;
+  }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& operator[](std::size_t i) {
+    detach();
+    return data_[i];
+  }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  operator std::span<const T>() const { return {data_, size_}; }
+
+  void push_back(T v) {
+    if (size_ == cap_ || !owns_) grow(size_ + 1);
+    data_[size_++] = v;
+  }
+  void pop_back() {
+    detach();
+    --size_;
+  }
+  /// Keeps an owning buffer's capacity (the engine's rebind loop relies
+  /// on it); an external binding is simply dropped.
+  void clear() {
+    if (!owns_) {
+      data_ = nullptr;
+      cap_ = 0;
+    }
+    size_ = 0;
+  }
+  void assign(std::size_t n, T v) {
+    if (n > cap_ || !owns_) grow_discard(n);
+    std::fill(data_, data_ + n, v);
+    size_ = n;
+  }
+
+  /// Binds this buffer as a read-only window into arena memory owned by
+  /// the surrounding structure (which must outlive it). The const_cast is
+  /// confined here: externally-bound buffers are only reachable through
+  /// const objects, and every mutator detaches first.
+  void bind_external(const T* p, std::size_t n) {
+    if (owns_) delete[] data_;
+    data_ = const_cast<T*>(p);
+    size_ = n;
+    cap_ = 0;
+    owns_ = false;
+  }
+  bool external() const { return !owns_ && data_ != nullptr; }
+
+  friend bool operator==(const OrbitBuf& a, const OrbitBuf& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 ||
+            std::memcmp(a.data_, b.data_, a.size_ * sizeof(T)) == 0);
+  }
+
+ private:
+  /// Re-allocates to hold at least `need`, preserving contents (the
+  /// detach path for mutations on an external binding).
+  void grow(std::size_t need) {
+    const std::size_t cap = std::max<std::size_t>(
+        {need, cap_ * 2, 8});
+    T* fresh = new T[cap];
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    if (owns_) delete[] data_;
+    data_ = fresh;
+    cap_ = cap;
+    owns_ = true;
+  }
+  /// Like grow() but contents need not survive (assign overwrites).
+  void grow_discard(std::size_t need) {
+    const std::size_t cap = std::max<std::size_t>({need, cap_, 8});
+    if (owns_) delete[] data_;
+    data_ = new T[cap];
+    cap_ = cap;
+    owns_ = true;
+  }
+  void detach() {
+    if (!owns_ && data_ != nullptr) grow(size_);
+  }
+  void copy_from(const T* p, std::size_t n) {
+    if (n > cap_ || !owns_) grow_discard(n);
+    if (n > 0) std::memcpy(data_, p, n * sizeof(T));
+    size_ = n;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  bool owns_ = false;
+};
+
+}  // namespace rvt::sim

@@ -52,6 +52,10 @@ OrbitKey automaton_orbit_key(const TabularAutomaton& a) {
   return h.key();
 }
 
+OrbitKey canonical_automaton_key(const TabularAutomaton& a) {
+  return automaton_orbit_key(canonical_reachable_form(a));
+}
+
 OrbitKey combine_orbit_keys(const OrbitKey& tree, const OrbitKey& automaton) {
   Fnv2 h;
   h.feed(tree.hi);
@@ -137,6 +141,23 @@ std::shared_ptr<const OrbitCache::OrbitSet> OrbitCache::acquire(
     if (claim == sh.claimed.end()) {
       sh.claimed.push_back(key);
       misses_.fetch_add(1, std::memory_order_relaxed);
+      if (backing_ != nullptr) {
+        // Consult the durable tier WITH the claim held (and the shard
+        // unlocked — the load is IO): workers racing for this key block
+        // on the condvar exactly as for a local extraction, so one
+        // process-wide load serves them all.
+        lk.unlock();
+        std::shared_ptr<const OrbitSet> set = backing_->load(key);
+        if (set != nullptr) {
+          tier_hits_.fetch_add(1, std::memory_order_relaxed);
+          // Install for the waiters (publish_local releases the claim;
+          // a budget reject only means the table stays cold) and serve
+          // the caller directly from the loaded set either way.
+          publish_local(key, set);
+          return set;
+        }
+        return nullptr;  // tier miss: caller extracts and publishes
+      }
       return nullptr;  // caller is now the publisher
     }
     waits_.fetch_add(1, std::memory_order_relaxed);
@@ -146,6 +167,18 @@ std::shared_ptr<const OrbitCache::OrbitSet> OrbitCache::acquire(
 
 void OrbitCache::publish(const OrbitKey& key,
                          std::shared_ptr<const OrbitSet> set) {
+  // Forward to the durable tier BEFORE the local install wakes waiters:
+  // the store is IO and nothing blocks on it, while waiters woken first
+  // would race ahead of the bytes other processes need.
+  if (backing_ != nullptr && set != nullptr) {
+    backing_->store(key, set);
+    tier_stores_.fetch_add(1, std::memory_order_relaxed);
+  }
+  publish_local(key, std::move(set));
+}
+
+void OrbitCache::publish_local(const OrbitKey& key,
+                               std::shared_ptr<const OrbitSet> set) {
   Shard& sh = shard_for(key);
   {
     const std::lock_guard<std::mutex> lk(sh.mu);
@@ -209,7 +242,9 @@ OrbitCache::Stats OrbitCache::stats() const {
           misses_.load(std::memory_order_relaxed),
           waits_.load(std::memory_order_relaxed),
           publishes_.load(std::memory_order_relaxed),
-          rejects_.load(std::memory_order_relaxed)};
+          rejects_.load(std::memory_order_relaxed),
+          tier_hits_.load(std::memory_order_relaxed),
+          tier_stores_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace rvt::sim

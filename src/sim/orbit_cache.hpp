@@ -68,8 +68,41 @@ struct OrbitKey {
 OrbitKey tree_orbit_key(const tree::Tree& t);
 /// Content hash of an automaton's tables.
 OrbitKey automaton_orbit_key(const TabularAutomaton& a);
+/// Content hash of the automaton's canonical reachable form
+/// (sim::canonical_reachable_form): enumerated bindings that differ only
+/// in unreachable states, state numbering, impossible-input entries or
+/// degree-equivalent actions hash to ONE key, so the cache extracts and
+/// publishes their (identical) orbits once. The enumeration pipeline
+/// keys bindings with this; verdicts are unchanged because key-equal
+/// automata produce identical trajectories on every tree the binding
+/// can query.
+OrbitKey canonical_automaton_key(const TabularAutomaton& a);
 /// Order-sensitive combination of two keys.
 OrbitKey combine_orbit_keys(const OrbitKey& tree, const OrbitKey& automaton);
+
+/// Durable second tier behind an OrbitCache: a key-value store of
+/// published OrbitSets shared ACROSS processes (dist/serialize.hpp's
+/// FsOrbitStore backs it with one file per 128-bit content key on a
+/// shared filesystem). The cache consults it with the claim already
+/// held, so the claim/publish discipline extends across the machine
+/// boundary: at most one worker PER PROCESS pays the load, and every
+/// in-memory publish is forwarded for other processes to adopt.
+class OrbitStore {
+ public:
+  virtual ~OrbitStore() = default;
+  /// The stored set for `key`, or nullptr when absent — and on ANY
+  /// failure (unreadable, truncated, corrupt): a broken tier entry must
+  /// degrade to a cache miss, never into an exception on the sweep path.
+  virtual std::shared_ptr<const CompiledConfigEngine::OrbitSet> load(
+      const OrbitKey& key) = 0;
+  /// Best-effort durable publish; failures are swallowed (the in-memory
+  /// tier stays authoritative). Implementations must publish atomically
+  /// (write-temp + rename) so concurrent writers of one key — identical
+  /// payloads by content addressing — can never expose a torn file.
+  virtual void store(
+      const OrbitKey& key,
+      const std::shared_ptr<const CompiledConfigEngine::OrbitSet>& set) = 0;
+};
 
 class OrbitCache {
  public:
@@ -81,6 +114,8 @@ class OrbitCache {
     std::uint64_t waits = 0;      ///< acquire blocked on another's claim
     std::uint64_t publishes = 0;  ///< sets accepted into the cache
     std::uint64_t rejects = 0;    ///< publishes dropped (budget/capacity)
+    std::uint64_t tier_hits = 0;    ///< claims served by the backing tier
+    std::uint64_t tier_stores = 0;  ///< publishes forwarded to the tier
   };
 
   /// `shard_count` is rounded up to a power of two (default 16);
@@ -97,10 +132,19 @@ class OrbitCache {
   OrbitCache(const OrbitCache&) = delete;
   OrbitCache& operator=(const OrbitCache&) = delete;
 
+  /// Attaches a durable backing tier (not owned; must outlive the
+  /// cache). acquire() consults it before granting a claim — a tier hit
+  /// is published into the memory table and served like any other hit —
+  /// and publish() forwards accepted sets to it. NOT thread-safe: attach
+  /// before the workers start, like the constructor parameters.
+  void set_backing(OrbitStore* store) { backing_ = store; }
+
   /// Lock-free on hit: the published set for `key` in the current epoch.
-  /// On miss the caller becomes the key's PUBLISHER (returns nullptr) and
-  /// must call publish() or abandon() for the same key — other workers
-  /// asking for it block until then.
+  /// On miss the backing tier (if any) is consulted — a tier hit is
+  /// published and returned like a memory hit. Otherwise the caller
+  /// becomes the key's PUBLISHER (returns nullptr) and must call
+  /// publish() or abandon() for the same key — other workers asking for
+  /// it block until then.
   std::shared_ptr<const OrbitSet> acquire(const OrbitKey& key);
 
   /// Non-claiming lock-free probe: the published set or nullptr, with no
@@ -157,6 +201,12 @@ class OrbitCache {
     std::vector<OrbitKey> claimed;  ///< keys currently being extracted
   };
 
+  /// The memory-table half of publish(): releases the claim, installs
+  /// the entry, wakes waiters. publish() additionally forwards to the
+  /// backing tier; the tier-hit path of acquire() must not (it would
+  /// re-store the bytes it just loaded).
+  void publish_local(const OrbitKey& key, std::shared_ptr<const OrbitSet> set);
+
   Shard& shard_for(const OrbitKey& key);
   const Shard& shard_for(const OrbitKey& key) const;
   static std::size_t probe_start(const Shard& sh, const OrbitKey& key);
@@ -167,10 +217,11 @@ class OrbitCache {
   std::vector<Shard> shards_;
   std::size_t shard_mask_ = 0;
   std::size_t max_bytes_ = 0;
+  OrbitStore* backing_ = nullptr;
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::size_t> bytes_{0};
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, waits_{0}, publishes_{0},
-      rejects_{0};
+      rejects_{0}, tier_hits_{0}, tier_stores_{0};
 };
 
 }  // namespace rvt::sim

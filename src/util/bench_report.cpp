@@ -62,6 +62,11 @@ void BenchReport::workload(const std::string& name, std::uint64_t agents) {
   agents_ = agents;
 }
 
+void BenchReport::shards(std::uint64_t count) {
+  has_shards_ = true;
+  shards_ = count;
+}
+
 void BenchReport::metric(const std::string& key, double value) {
   numbers_.emplace_back(key, value);
 }
@@ -80,8 +85,15 @@ void BenchReport::validate() const {
         ": workload() must declare the measured predicate and its agent "
         "count (the shared schema's \"workload\"/\"agents\" fields)");
   }
-  std::unordered_set<std::string> keys{"id",      "seed", "columns",
-                                       "rows",    "workload", "agents"};
+  if (has_shards_ && shards_ == 0) {
+    throw std::runtime_error(
+        "BenchReport " + id_ +
+        ": shards() must declare a positive shard count (omit the call "
+        "for non-distributed runs)");
+  }
+  std::unordered_set<std::string> keys{
+      "id",       "seed",   "columns", "rows",
+      "workload", "agents", "shards",  "schema_version"};
   const auto claim = [&](const std::string& key) {
     if (key.empty()) {
       throw std::runtime_error("BenchReport " + id_ + ": empty key");
@@ -117,8 +129,10 @@ std::string BenchReport::write() const {
   const std::string path = "BENCH_" + id_ + ".json";
   std::ofstream os(path);
   os << "{\n  \"id\": " << quote(id_) << ",\n  \"seed\": " << seed_;
+  os << ",\n  \"schema_version\": " << kBenchReportSchemaVersion;
   os << ",\n  \"workload\": " << quote(workload_)
      << ",\n  \"agents\": " << agents_;
+  if (has_shards_) os << ",\n  \"shards\": " << shards_;
   for (const auto& [k, v] : strings_) {
     os << ",\n  " << quote(k) << ": " << quote(v);
   }

@@ -9,8 +9,13 @@
 // which fails the bench — and factors the shared engine-comparison
 // schema so E1/E10/E11 emit the same keys:
 //
+//   schema_version                                 report format version
+//                                                  (emitted always; see
+//                                                  kBenchReportSchemaVersion)
 //   workload, agents                               measured predicate + k
 //                                                  (required, see below)
+//   shards                                         optional: shard count of
+//                                                  a distributed run (>= 1)
 //   compiled_seconds, reference_seconds, speedup   the shoot-out
 //   compiled_repeats, reference_repeats            min-of-N settings
 //   engine                                         engine asserted on
@@ -31,6 +36,15 @@
 
 namespace rvt::util {
 
+/// Version of the report schema this library writes, emitted as every
+/// report's "schema_version" field. History: 1 = the PR 3/4 schema
+/// (workload/agents required, engine-comparison keys); 2 = adds the
+/// always-on schema_version field itself and the optional validated
+/// "shards" field of distributed runs. Reports WITHOUT the field (the
+/// committed version-1 BENCH_E*.json artifacts) remain valid version-1
+/// documents — consumers treat a missing field as version 1.
+inline constexpr std::uint64_t kBenchReportSchemaVersion = 2;
+
 class BenchReport {
  public:
   /// `seed` is recorded as the report's "seed" field.
@@ -43,6 +57,12 @@ class BenchReport {
   /// keys; validate() rejects a report that never declared them, so every
   /// BENCH_E*.json artifact records what workload its numbers price.
   void workload(const std::string& name, std::uint64_t agents);
+
+  /// OPTIONAL schema field: how many shards a distributed run was
+  /// partitioned into (>= 1; validate() rejects a declared 0 — an
+  /// undeclared report simply omits the key, so every pre-distribution
+  /// BENCH_E*.json stays valid).
+  void shards(std::uint64_t count);
 
   /// Scalar metric. Keys must be unique across metric() and note().
   void metric(const std::string& key, double value);
@@ -68,6 +88,8 @@ class BenchReport {
   std::uint64_t seed_;
   std::string workload_;       ///< empty until workload() declares it
   std::uint64_t agents_ = 0;   ///< 0 until workload() declares it
+  bool has_shards_ = false;    ///< shards() declared
+  std::uint64_t shards_ = 0;
   std::vector<std::pair<std::string, std::string>> strings_;
   std::vector<std::pair<std::string, double>> numbers_;
   const util::Table* table_ = nullptr;

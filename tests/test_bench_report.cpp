@@ -152,6 +152,66 @@ TEST(BenchReport, WorkloadAndAgentsKeysAreReserved) {
   EXPECT_THROW(dup_agents.validate(), std::runtime_error);
 }
 
+TEST(BenchReport, SchemaVersionIsAlwaysEmittedAndReserved) {
+  BenchReport report("TSV", 3);
+  report.workload("rendezvous", 2);
+  const std::string path = report.write();
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"schema_version\": " +
+                      std::to_string(kBenchReportSchemaVersion)),
+            std::string::npos)
+      << json;
+  std::remove(path.c_str());
+
+  // The key is the schema's own — metric()/note() may not shadow it.
+  BenchReport dup("TSV", 3);
+  dup.workload("rendezvous", 2);
+  dup.metric("schema_version", 1.0);
+  EXPECT_THROW(dup.validate(), std::runtime_error);
+}
+
+TEST(BenchReport, ShardsFieldIsOptionalValidatedAndReserved) {
+  // Undeclared: valid, and the key is absent from the JSON — every
+  // pre-distribution BENCH_E*.json stays a valid document.
+  BenchReport without("TSH", 4);
+  without.workload("rendezvous", 2);
+  EXPECT_NO_THROW(without.validate());
+  {
+    const std::string path = without.write();
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_EQ(ss.str().find("\"shards\""), std::string::npos);
+    std::remove(path.c_str());
+  }
+
+  // Declared: lands in the JSON; zero is rejected.
+  BenchReport with("TSH", 4);
+  with.workload("rendezvous", 2);
+  with.shards(4);
+  {
+    const std::string path = with.write();
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_NE(ss.str().find("\"shards\": 4"), std::string::npos);
+    std::remove(path.c_str());
+  }
+  BenchReport zero("TSH", 4);
+  zero.workload("rendezvous", 2);
+  zero.shards(0);
+  EXPECT_THROW(zero.validate(), std::runtime_error);
+
+  // Reserved key: a metric may not collide with it.
+  BenchReport dup("TSH", 4);
+  dup.workload("rendezvous", 2);
+  dup.metric("shards", 4.0);
+  EXPECT_THROW(dup.validate(), std::runtime_error);
+}
+
 TEST(BenchReport, AddingComparisonTwiceIsCaughtAsDuplicate) {
   BenchReport report("TST", 9);
   report.workload("rendezvous", 2);

@@ -4,6 +4,7 @@
 // and cache attachment.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -149,6 +150,158 @@ TEST(Enumeration, CacheHitsAreFlaggedOnVerdicts) {
     ASSERT_EQ(copied[i].cycle_length, from_consumer[i].cycle_length) << i;
     ASSERT_EQ(copied[i].rounds_checked, from_consumer[i].rounds_checked) << i;
   }
+}
+
+/// The idx-th K-state line automaton in the E10 enumeration order
+/// (duplicated minimally here: these tests must not depend on dist/).
+LineAutomaton enum_line_automaton(int K, std::uint64_t idx) {
+  LineAutomaton a;
+  a.initial = static_cast<int>(idx % K);
+  idx /= K;
+  std::uint64_t lc = 1;
+  for (int i = 0; i < K; ++i) lc *= 3;
+  std::uint64_t l = idx % lc;
+  std::uint64_t d = idx / lc;
+  a.delta.assign(K, {0, 0});
+  a.lambda.assign(K, kStay);
+  for (int s = 0; s < K; ++s) {
+    for (int deg = 0; deg < 2; ++deg) {
+      a.delta[s][deg] = static_cast<int>(d % K);
+      d /= K;
+    }
+  }
+  for (int s = 0; s < K; ++s) {
+    a.lambda[s] = static_cast<int>(l % 3) - 1;
+    l /= 3;
+  }
+  return a;
+}
+
+TEST(Enumeration, CanonicalFormPreservesBehaviorAndIsIdempotent) {
+  // canonical_reachable_form must be a pure quotient: identical verdicts
+  // on every query, for port-oblivious and port-sensitive tables alike.
+  util::Rng rng(0xca9091ull);
+  const tree::Tree line = tree::line_edge_colored(7, 0);
+  for (int rep = 0; rep < 60; ++rep) {
+    const TabularAutomaton a =
+        rep % 2 == 0
+            ? random_line_automaton(1 + static_cast<int>(rng.index(4)), rng)
+                  .tabular()
+            : lift_to_tree_automaton(random_line_automaton(
+                                         1 + static_cast<int>(rng.index(4)),
+                                         rng))
+                  .tabular();
+    const TabularAutomaton c = canonical_reachable_form(a);
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_EQ(canonical_reachable_form(c), c) << "not idempotent";
+    EXPECT_LE(c.num_states(), a.num_states());
+    const CompiledConfigEngine ea(line, a);
+    const CompiledConfigEngine ec(line, c);
+    for (tree::NodeId u = 0; u < line.node_count(); ++u) {
+      for (tree::NodeId v = u + 1; v < line.node_count(); ++v) {
+        const auto va =
+            verify_never_meet_compiled(ea, ea, {u, v, 3, 0, 50000});
+        const auto vc =
+            verify_never_meet_compiled(ec, ec, {u, v, 3, 0, 50000});
+        ASSERT_EQ(va.met, vc.met) << rep << " " << u << " " << v;
+        ASSERT_EQ(va.meeting_round, vc.meeting_round)
+            << rep << " " << u << " " << v;
+        ASSERT_EQ(va.rounds_checked, vc.rounds_checked)
+            << rep << " " << u << " " << v;
+      }
+    }
+  }
+}
+
+TEST(Enumeration, CanonicalDedupMeasurablyCollapsesK3) {
+  // THE counter: over the full K = 3 enumeration, distinct canonical
+  // keys must be measurably fewer than distinct raw keys — that gap is
+  // exactly the cache entries (and extractions) the dedup key saves.
+  constexpr int K = 3;
+  std::uint64_t count = K;  // initial states
+  for (int i = 0; i < 2 * K; ++i) count *= K;
+  for (int i = 0; i < K; ++i) count *= 3;
+  std::vector<OrbitKey> raw, canon;
+  raw.reserve(count);
+  canon.reserve(count);
+  for (std::uint64_t idx = 0; idx < count; ++idx) {
+    const TabularAutomaton a = enum_line_automaton(K, idx).tabular();
+    raw.push_back(automaton_orbit_key(a));
+    canon.push_back(canonical_automaton_key(a));
+  }
+  const auto distinct = [](std::vector<OrbitKey> keys) {
+    std::sort(keys.begin(), keys.end(), [](const auto& x, const auto& y) {
+      return x.hi != y.hi ? x.hi < y.hi : x.lo < y.lo;
+    });
+    return static_cast<std::uint64_t>(
+        std::unique(keys.begin(), keys.end()) - keys.begin());
+  };
+  const std::uint64_t raw_distinct = distinct(raw);
+  const std::uint64_t canon_distinct = distinct(canon);
+  EXPECT_EQ(raw_distinct, count);  // raw tables are all distinct
+  EXPECT_LT(canon_distinct, raw_distinct);
+  // The collapse is MEASURABLE, not marginal: at K = 3 a large share of
+  // tables waste states unreachable from their initial state.
+  EXPECT_LT(canon_distinct * 10, raw_distinct * 9)
+      << "canonical keys collapse less than 10% at K = 3";
+}
+
+TEST(Enumeration, CanonicalDedupSharesEntriesWithoutChangingVerdicts) {
+  // Two automata differing ONLY in an unreachable state must share one
+  // cache entry (one publish), and the adopter's verdicts must equal
+  // its own cache-less verdicts query for query.
+  std::vector<tree::Tree> trees;
+  trees.push_back(tree::line(6));
+  trees.push_back(tree::line_edge_colored(7, 1));
+  const auto grids = small_grids(trees);
+
+  // State 1 is unreachable from initial 0 (delta pins state 0 to 0):
+  // vary state 1's rows freely.
+  TabularAutomaton a1, a2;
+  {
+    LineAutomaton base;
+    base.initial = 0;
+    base.delta = {{0, 0}, {0, 1}};
+    base.lambda = {1, 0};
+    a1 = base.tabular();
+    base.delta = {{0, 0}, {1, 1}};  // unreachable row differs
+    base.lambda = {1, -1};          // unreachable action differs
+    a2 = base.tabular();
+  }
+  ASSERT_FALSE(a1 == a2);
+  ASSERT_EQ(canonical_automaton_key(a1), canonical_automaton_key(a2));
+  ASSERT_FALSE(automaton_orbit_key(a1) == automaton_orbit_key(a2));
+
+  OrbitCache cache;
+  EnumerationContext cached(grids, 100000, &cache);
+  EnumerationContext plain(grids, 100000, nullptr);
+  for (const TabularAutomaton* a : {&a1, &a2}) {
+    cached.bind(*a);
+    plain.bind(*a);
+    for (std::size_t g = 0; g < grids.size(); ++g) {
+      const auto want_span = plain.verify(g);
+      std::vector<Verdict> want(want_span.begin(), want_span.end());
+      const auto got = cached.verify(g);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i].met, want[i].met) << g << " " << i;
+        ASSERT_EQ(got[i].meeting_round, want[i].meeting_round)
+            << g << " " << i;
+        ASSERT_EQ(got[i].cycle_length, want[i].cycle_length) << g << " " << i;
+        ASSERT_EQ(got[i].rounds_checked, want[i].rounds_checked)
+            << g << " " << i;
+      }
+    }
+  }
+  // One publish per TREE, not per (tree, automaton): a2 adopted a1's
+  // sets wholesale.
+  EXPECT_EQ(cache.stats().publishes, trees.size());
+  // Both automata differ from their (shared) canonical form — the
+  // counter reports each; the SHARING is what publishes just proved.
+  EXPECT_EQ(cached.telemetry().canonical_collapses, 2u);
+  // And a2's bindings were pure cache hits.
+  EXPECT_EQ(cached.telemetry().cache_misses, trees.size());
+  EXPECT_EQ(cached.telemetry().cache_hits, trees.size());
 }
 
 TEST(Enumeration, SweepIsDeterministicAcrossThreadCounts) {

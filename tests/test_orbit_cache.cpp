@@ -102,13 +102,17 @@ TEST(OrbitCache, NoOrbitExtractedTwicePerBindingAcrossRacingWorkers) {
         random_line_automaton(1 + static_cast<int>(rng.index(4)), rng)
             .tabular());
   }
-  // The cache is content-addressed, so random draws that happen to
-  // produce identical tables share one key — count the distinct ones.
+  // The cache is content-addressed by the CANONICAL reachable form, so
+  // random draws that are behaviorally equivalent (identical tables, or
+  // tables differing only in unreachable states / numbering /
+  // impossible-input entries) share one key — count the distinct
+  // canonical forms.
   std::uint64_t distinct = 0;
   for (std::uint64_t i = 0; i < kAutomata; ++i) {
+    const TabularAutomaton ci = canonical_reachable_form(automata[i]);
     bool fresh = true;
     for (std::uint64_t j = 0; j < i; ++j) {
-      if (automata[i] == automata[j]) {
+      if (ci == canonical_reachable_form(automata[j])) {
         fresh = false;
         break;
       }
