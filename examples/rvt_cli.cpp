@@ -13,14 +13,32 @@
 //   rvt_cli shard run <plan-file> <shard-index> --journal-dir DIR
 //                     [--cache-dir DIR]
 //   rvt_cli shard merge <plan-file> --journal-dir DIR [--expect-defeats N]
+//                       [--quarantine FILE]
+//   rvt_cli shard orchestrate <plan-file> --journal-dir DIR
+//                     [--cache-dir DIR] [--runners N] [--max-attempts N]
+//                     [--lease-timeout-ms N] [--child-failpoints SPEC]
+//                     [--quarantine-out FILE]
+//   rvt_cli shard chaos <plan-file> --scenario NAME --journal-dir DIR
+//                     [--cache-dir DIR] [--seed N] [--runners N]
+//                     [--expect-defeats N]
 //     The distributed-enumeration driver (src/dist/): `plan` partitions
 //     a workload into content-addressed shard specs; `run` executes one
 //     shard into a crash-safe journal, resuming a killed run at the
 //     first uncommitted index (an optional --cache-dir makes a shared
 //     filesystem the cross-process orbit-cache tier); `merge` validates
 //     and totals the sealed journals — bit-identical to a
-//     single-process sweep. Exit codes: 0 ok, 1 usage/validation
-//     failure/count mismatch.
+//     single-process sweep (with --quarantine, the manifest's shards
+//     may be missing and are reported as explicit uncovered ranges);
+//     `orchestrate` supervises child runners with lease/requeue/
+//     quarantine recovery (dist/orchestrator.hpp); `chaos` is one
+//     orchestrated run under a seeded fault scenario
+//     (none|child-kill|torn-journal|corrupt-tier|publish-error).
+//     Exit codes: 0 ok, 1 usage/validation failure/count mismatch,
+//     3 partial coverage (orchestrate/chaos with quarantined shards).
+//
+//   RVT_FAILPOINTS=site=action@trigger[;...] arms deterministic fault
+//   injection (util/failpoint.hpp) in THIS process; `orchestrate
+//   --child-failpoints` / `chaos` arm it in first-attempt children.
 //
 //   rvt_cli gather <tree-file|-> <s0,s1,...> [options]
 //     --delays d0,d1,...             per-agent start delays (default all 0)
@@ -39,10 +57,12 @@
 // The tree format is tree/io.hpp's: node count, then "u v port_u port_v"
 // per edge; '-' reads stdin. Exit code: 0 met/gathered, 2 not
 // met/not gathered, 1 usage/infeasible/mismatch.
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +71,7 @@
 #include "core/prime_protocol.hpp"
 #include "core/rendezvous_agent.hpp"
 #include "dist/merge.hpp"
+#include "dist/orchestrator.hpp"
 #include "dist/runner.hpp"
 #include "dist/serialize.hpp"
 #include "dist/shard_plan.hpp"
@@ -60,6 +81,7 @@
 #include "sim/simulator.hpp"
 #include "tree/canonical.hpp"
 #include "tree/io.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -77,7 +99,15 @@ int usage() {
                "       rvt_cli shard run <plan-file> <shard-index> "
                "--journal-dir DIR [--cache-dir DIR]\n"
                "       rvt_cli shard merge <plan-file> --journal-dir DIR "
-               "[--expect-defeats N]\n";
+               "[--expect-defeats N] [--quarantine FILE]\n"
+               "       rvt_cli shard orchestrate <plan-file> --journal-dir "
+               "DIR [--cache-dir DIR] [--runners N] [--max-attempts N] "
+               "[--lease-timeout-ms N] [--child-failpoints SPEC] "
+               "[--quarantine-out FILE]\n"
+               "       rvt_cli shard chaos <plan-file> --scenario "
+               "none|child-kill|torn-journal|corrupt-tier|publish-error "
+               "--journal-dir DIR [--cache-dir DIR] [--seed N] "
+               "[--runners N] [--expect-defeats N]\n";
   return 1;
 }
 
@@ -198,6 +228,19 @@ int run_shard_mode(int argc, char** argv) {
                   << " tier hits, " << cs.tier_stores << " tier stores; "
                   << stats.telemetry.canonical_collapses
                   << " canonical collapses)\n";
+        if (stats.telemetry.tier_retries != 0 ||
+            stats.telemetry.tier_exhausted != 0 ||
+            stats.telemetry.tier_quarantined != 0 ||
+            stats.telemetry.tier_degraded != 0) {
+          std::cout << "tier faults: " << stats.telemetry.tier_retries
+                    << " retries, " << stats.telemetry.tier_exhausted
+                    << " exhausted, " << stats.telemetry.tier_quarantined
+                    << " quarantined"
+                    << (stats.telemetry.tier_degraded != 0
+                            ? ", DEGRADED to compute-through"
+                            : "")
+                    << "\n";
+        }
       }
     } catch (const std::exception& e) {
       std::cerr << "shard run: " << e.what() << "\n";
@@ -209,7 +252,7 @@ int run_shard_mode(int argc, char** argv) {
   if (verb == "merge") {
     if (argc < 4) return usage();
     const std::string plan_path = argv[3];
-    std::string journal_dir;
+    std::string journal_dir, quarantine_path;
     std::uint64_t expect = 0;
     bool have_expect = false;
     for (int i = 4; i < argc; ++i) {
@@ -223,6 +266,8 @@ int run_shard_mode(int argc, char** argv) {
       };
       if (a == "--journal-dir") {
         journal_dir = next();
+      } else if (a == "--quarantine") {
+        quarantine_path = next();
       } else if (a == "--expect-defeats") {
         if (!parse_u64_strict(next(), expect)) {
           std::cerr << "bad expected defeat count: " << argv[i] << "\n";
@@ -236,22 +281,164 @@ int run_shard_mode(int argc, char** argv) {
     if (journal_dir.empty()) return usage();
     try {
       const dist::ShardPlan plan = dist::load_plan(plan_path);
-      const dist::MergeResult merged =
-          dist::merge_journals(plan, journal_dir);
+      std::optional<dist::QuarantineManifest> quarantine;
+      if (!quarantine_path.empty()) {
+        quarantine = dist::load_quarantine_manifest(quarantine_path);
+      }
+      const dist::MergeResult merged = dist::merge_journals(
+          plan, journal_dir, quarantine ? &*quarantine : nullptr);
       for (std::size_t i = 0; i < merged.shards.size(); ++i) {
         const auto& s = merged.shards[i];
         std::cout << "shard " << i << ": [" << s.spec.begin << ", "
                   << s.spec.end << ") defeats " << s.sum << "\n";
       }
+      if (merged.complete()) {
+        std::cout << "merged: " << merged.total << " defeats over "
+                  << merged.indices << " indices\n";
+      } else {
+        // Partial coverage: the total is explicit about what it does
+        // NOT cover — it is a lower bound, never "the" count.
+        std::cout << "merged (PARTIAL): " << merged.total
+                  << " defeats over " << merged.covered << " of "
+                  << merged.indices << " indices; missing:";
+        for (const auto& [b, e] : merged.missing) {
+          std::cout << " [" << b << ", " << e << ")";
+        }
+        std::cout << "\n";
+      }
+      if (have_expect) {
+        if (!merged.complete()) {
+          std::cerr << "merge: cannot assert a defeat count over partial "
+                       "coverage ("
+                    << merged.indices - merged.covered
+                    << " indices missing)\n";
+          return 1;
+        }
+        if (merged.total != expect) {
+          std::cerr << "merge: expected " << expect << " defeats, got "
+                    << merged.total << "\n";
+          return 1;
+        }
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "shard merge: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  if (verb == "orchestrate" || verb == "chaos") {
+    if (argc < 4) return usage();
+    const std::string plan_path = argv[3];
+    std::string journal_dir, cache_dir, child_failpoints, quarantine_out;
+    std::string scenario;
+    std::uint64_t runners = 2, max_attempts = 3, lease_ms = 10000, seed = 1;
+    std::uint64_t expect = 0;
+    bool have_expect = false;
+    for (int i = 4; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::cerr << a << " needs a value\n";
+          std::exit(1);
+        }
+        return argv[++i];
+      };
+      auto next_u64 = [&](std::uint64_t& out) {
+        if (!parse_u64_strict(next(), out)) {
+          std::cerr << "bad value for " << a << ": " << argv[i] << "\n";
+          std::exit(1);
+        }
+      };
+      if (a == "--journal-dir") {
+        journal_dir = next();
+      } else if (a == "--cache-dir") {
+        cache_dir = next();
+      } else if (a == "--runners") {
+        next_u64(runners);
+      } else if (a == "--max-attempts") {
+        next_u64(max_attempts);
+      } else if (a == "--lease-timeout-ms") {
+        next_u64(lease_ms);
+      } else if (a == "--child-failpoints" && verb == "orchestrate") {
+        child_failpoints = next();
+      } else if (a == "--quarantine-out" && verb == "orchestrate") {
+        quarantine_out = next();
+      } else if (a == "--scenario" && verb == "chaos") {
+        scenario = next();
+      } else if (a == "--seed" && verb == "chaos") {
+        next_u64(seed);
+      } else if (a == "--expect-defeats" && verb == "chaos") {
+        next_u64(expect);
+        have_expect = true;
+      } else {
+        return usage();
+      }
+    }
+    if (journal_dir.empty() || runners == 0 || max_attempts == 0) {
+      return usage();
+    }
+    if (verb == "chaos" && scenario.empty()) return usage();
+    try {
+      const dist::ShardPlan plan = dist::load_plan(plan_path);
+      if (verb == "chaos") {
+        const std::uint64_t width =
+            plan.shards.empty() ? 1
+                                : plan.shards[0].end - plan.shards[0].begin;
+        child_failpoints = dist::chaos_failpoint_config(scenario, seed, width);
+        std::cout << "chaos: scenario " << scenario << ", seed " << seed
+                  << ", failpoints \""
+                  << (child_failpoints.empty() ? "(none)" : child_failpoints)
+                  << "\"\n";
+      }
+      dist::OrchestratorConfig cfg;
+      cfg.journal_dir = journal_dir;
+      cfg.max_concurrent = static_cast<unsigned>(runners);
+      cfg.max_attempts = static_cast<unsigned>(max_attempts);
+      cfg.lease_timeout = std::chrono::milliseconds(lease_ms);
+      if (!child_failpoints.empty()) {
+        cfg.first_attempt_env.emplace_back("RVT_FAILPOINTS",
+                                           child_failpoints);
+      }
+      const dist::ShardLauncher launch =
+          dist::cli_shard_launcher(argv[0], plan_path, journal_dir, cache_dir);
+      const dist::OrchestratorReport report =
+          dist::orchestrate(plan, cfg, launch);
+      for (const auto& o : report.shards) {
+        std::cout << "shard " << o.shard_index << ": "
+                  << (o.completed
+                          ? (o.already_complete ? "already complete"
+                                                : "complete")
+                          : "QUARANTINED")
+                  << (o.failures.empty() ? "" : " (" + o.diagnostics() + ")")
+                  << "\n";
+      }
+      std::cout << "orchestrate: " << report.launches << " launches, "
+                << report.requeues << " requeues, " << report.lease_expiries
+                << " lease expiries, " << report.quarantined
+                << " quarantined\n";
+      if (!report.all_complete()) {
+        const dist::QuarantineManifest m =
+            dist::quarantine_manifest(plan, report);
+        const std::string out_path = quarantine_out.empty()
+                                         ? journal_dir + "/quarantine.bin"
+                                         : quarantine_out;
+        dist::write_quarantine_manifest(out_path, m);
+        std::cout << "quarantine manifest: " << out_path << " ("
+                  << m.entries.size() << " shards)\n";
+        return 3;
+      }
+      const dist::MergeResult merged =
+          dist::merge_journals(plan, journal_dir);
       std::cout << "merged: " << merged.total << " defeats over "
                 << merged.indices << " indices\n";
       if (have_expect && merged.total != expect) {
-        std::cerr << "merge: expected " << expect << " defeats, got "
+        std::cerr << verb << ": expected " << expect << " defeats, got "
                   << merged.total << "\n";
         return 1;
       }
     } catch (const std::exception& e) {
-      std::cerr << "shard merge: " << e.what() << "\n";
+      std::cerr << "shard " << verb << ": " << e.what() << "\n";
       return 1;
     }
     return 0;
@@ -439,6 +626,12 @@ int run_gather_mode(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace rvt;
+  try {
+    util::FailPointRegistry::instance().configure_from_env();
+  } catch (const std::exception& e) {
+    std::cerr << "RVT_FAILPOINTS: " << e.what() << "\n";
+    return 1;
+  }
   if (argc >= 2 && std::strcmp(argv[1], "shard") == 0) {
     return run_shard_mode(argc, argv);
   }

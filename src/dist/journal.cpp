@@ -3,6 +3,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "util/failpoint.hpp"
+
 namespace rvt::dist {
 
 namespace {
@@ -183,6 +185,19 @@ void JournalWriter::record(std::uint64_t index, std::uint64_t value) {
   r.index = index;
   r.value = value;
   r.checksum = record_checksum(r);
+  switch (util::failpoint("journal.append")) {
+    case util::FaultAction::kCrash:
+      // The torn-tail fault: die with a PARTIAL record on disk — exactly
+      // what a SIGKILL between fwrite and fflush can leave. The recovery
+      // scan must drop it and a resume recompute only this index on.
+      std::fwrite(&r, 1, 13, file_.get());
+      std::fflush(file_.get());
+      util::failpoint_crash("journal.append");
+    case util::FaultAction::kError:
+      throw SerializeError("journal: injected append fault " + path_);
+    case util::FaultAction::kNone:
+      break;
+  }
   if (std::fwrite(&r, sizeof(r), 1, file_.get()) != 1 ||
       std::fflush(file_.get()) != 0) {
     throw SerializeError("journal: cannot append to " + path_);
@@ -206,6 +221,16 @@ void JournalWriter::finish(std::uint64_t total) {
   r.index = header_.end;
   r.value = total;
   r.checksum = record_checksum(r);
+  switch (util::failpoint("journal.seal")) {
+    case util::FaultAction::kCrash:
+      // Die with every record committed but no seal: a resume recomputes
+      // NOTHING (next_index == end) and only re-seals.
+      util::failpoint_crash("journal.seal");
+    case util::FaultAction::kError:
+      throw SerializeError("journal: injected seal fault " + path_);
+    case util::FaultAction::kNone:
+      break;
+  }
   if (std::fwrite(&r, sizeof(r), 1, file_.get()) != 1 ||
       std::fflush(file_.get()) != 0) {
     throw SerializeError("journal: cannot seal " + path_);

@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "util/failpoint.hpp"
+
 namespace rvt::dist {
 
 ShardRunStats run_shard(const EnumWorkload& w, const ShardPlan& plan,
@@ -19,7 +21,11 @@ ShardRunStats run_shard(const EnumWorkload& w, const ShardPlan& plan,
   }
   const ShardSpec& spec = plan.shards[shard_index];
   std::error_code ec;
-  std::filesystem::create_directories(journal_dir, ec);  // best effort
+  std::filesystem::create_directories(journal_dir, ec);
+  if (ec) {
+    throw SerializeError("run_shard: cannot create journal dir " +
+                         journal_dir + ": " + ec.message());
+  }
   const std::string path = journal_path(journal_dir, spec);
   JournalHeader header;
   header.shard_id = spec.id;
@@ -58,12 +64,31 @@ ShardRunStats run_shard(const EnumWorkload& w, const ShardPlan& plan,
 
   sim::EnumerationContext ctx(w.grids(), w.max_rounds(), cache);
   for (std::uint64_t i = writer.next_index(); i < spec.end; ++i) {
+    // Chaos hook: die (or fail) at a chosen index with every earlier
+    // index durably committed — the canonical mid-shard crash the
+    // orchestrator's requeue path recovers from.
+    switch (util::failpoint("run_shard.index")) {
+      case util::FaultAction::kCrash:
+        util::failpoint_crash("run_shard.index");
+      case util::FaultAction::kError:
+        throw SerializeError("run_shard: injected fault at index " +
+                             std::to_string(i));
+      case util::FaultAction::kNone:
+        break;
+    }
     writer.record(i, w.defeats(ctx, i));
     ++stats.computed;
   }
   writer.finish(writer.sum());
   stats.sum = writer.sum();
   stats.telemetry = ctx.telemetry();
+  if (cache != nullptr && cache->backing() != nullptr) {
+    const sim::OrbitTierFaultStats fs = cache->backing()->fault_stats();
+    stats.telemetry.tier_retries = fs.retries;
+    stats.telemetry.tier_exhausted = fs.exhausted;
+    stats.telemetry.tier_quarantined = fs.quarantined;
+    stats.telemetry.tier_degraded = fs.degraded ? 1 : 0;
+  }
   return stats;
 }
 

@@ -25,6 +25,7 @@
 // filesystem.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -35,6 +36,7 @@
 
 #include "sim/compiled.hpp"
 #include "sim/orbit_cache.hpp"
+#include "util/retry.hpp"
 
 namespace rvt::dist {
 
@@ -49,6 +51,7 @@ enum class WireKind : std::uint16_t {
   kOrbitSet = 1,
   kShardPlan = 2,
   kJournal = 3,
+  kQuarantine = 4,  ///< quarantine manifest (dist/merge.hpp)
 };
 
 struct SerializeError : std::runtime_error {
@@ -148,21 +151,68 @@ std::string orbit_key_hex(const sim::OrbitKey& key);
 /// shared filesystem) and the claim/publish protocol extends across
 /// machines: the first process to extract a binding publishes the file,
 /// every other process adopts it.
+///
+/// Fault handling (the self-healing contract, exercised by bench E14):
+///  * TRANSIENT failures — an existing file that cannot be read, an
+///    atomic publish that fails — retry on the deterministic backoff
+///    schedule of the RetryPolicy (util/retry.hpp);
+///  * CORRUPT files — bytes read fine but the frame or codec refuses —
+///    are renamed aside (".quarantined-<n>" suffix) instead of being
+///    re-read and re-failed on every subsequent miss, and counted;
+///  * PERSISTENT failure — kDegradeAfter consecutive operations
+///    exhausting their retries — DEGRADES the store to compute-through:
+///    every later load is a miss and every store a no-op, so the sweep
+///    stays correct (each process re-extracts privately) and stops
+///    paying for a dead tier. Degradation is sticky for the store's
+///    lifetime; any success before the threshold resets the streak.
+/// Counters are surfaced through stats()/fault_stats() into the shard
+/// runner's telemetry.
 class FsOrbitStore final : public sim::OrbitStore {
  public:
-  explicit FsOrbitStore(std::string dir);
+  explicit FsOrbitStore(std::string dir, util::RetryPolicy retry = {});
 
   std::shared_ptr<const sim::CompiledConfigEngine::OrbitSet> load(
       const sim::OrbitKey& key) override;
   void store(const sim::OrbitKey& key,
              const std::shared_ptr<const sim::CompiledConfigEngine::OrbitSet>&
                  set) override;
+  sim::OrbitTierFaultStats fault_stats() const override;
+
+  /// Consecutive exhausted operations after which the store degrades.
+  static constexpr std::uint64_t kDegradeAfter = 4;
+
+  struct Stats {
+    std::uint64_t loads = 0;            ///< load() calls that went to disk
+    std::uint64_t read_failures = 0;    ///< existing file unreadable (pre-retry)
+    std::uint64_t decode_failures = 0;  ///< frame/codec refused the bytes
+    std::uint64_t quarantined = 0;      ///< corrupt files renamed aside
+    std::uint64_t stores = 0;           ///< store() calls that attempted IO
+    std::uint64_t store_failures = 0;   ///< publishes that exhausted retries
+    std::uint64_t retries = 0;          ///< re-attempts across load + store
+    std::uint64_t exhausted = 0;        ///< operations that failed every attempt
+    bool degraded = false;              ///< compute-through mode entered
+  };
+  Stats stats() const;
 
   std::string path_for(const sim::OrbitKey& key) const;
   const std::string& dir() const { return dir_; }
 
  private:
+  /// An operation exhausted its retries / succeeded: advance or reset
+  /// the consecutive-failure streak that trips degradation.
+  void note_exhausted();
+  void note_ok();
+  /// Renames a corrupt file aside; best-effort (a concurrent quarantine
+  /// of the same file wins the rename race, losers count nothing).
+  void quarantine(const std::string& path);
+
   std::string dir_;
+  util::RetryPolicy retry_;
+  std::atomic<std::uint64_t> loads_{0}, read_failures_{0},
+      decode_failures_{0}, quarantined_{0}, stores_{0}, store_failures_{0},
+      retries_{0}, exhausted_{0};
+  std::atomic<std::uint64_t> failure_streak_{0};
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace rvt::dist

@@ -129,6 +129,16 @@ struct EnumTelemetry {
   /// equivalent automaton's cache entry. The K = 3 exhaustive battery
   /// measurably collapses (asserted in tests/test_enumeration.cpp).
   std::uint64_t canonical_collapses = 0;
+  /// Durable-tier fault handling (filled by the shard runner from the
+  /// cache's backing OrbitStore after a run; zero for in-process sweeps
+  /// with no tier): transient IO failures retried, operations that
+  /// exhausted the retry schedule, corrupt tier files quarantined, and
+  /// whether the tier disabled itself (compute-through — the sweep's
+  /// verdicts are unaffected, only extraction is repaid).
+  std::uint64_t tier_retries = 0;
+  std::uint64_t tier_exhausted = 0;
+  std::uint64_t tier_quarantined = 0;
+  std::uint64_t tier_degraded = 0;  ///< 0/1
   double hit_rate() const {
     const std::uint64_t total = cache_hits + cache_misses;
     return total == 0 ? 0.0
@@ -279,6 +289,10 @@ auto sweep_enumeration(std::span<const EnumGrid> grids, std::uint64_t count,
         telemetry->cache_misses += t.cache_misses;
         telemetry->orbits_extracted += t.orbits_extracted;
         telemetry->canonical_collapses += t.canonical_collapses;
+        telemetry->tier_retries += t.tier_retries;
+        telemetry->tier_exhausted += t.tier_exhausted;
+        telemetry->tier_quarantined += t.tier_quarantined;
+        telemetry->tier_degraded |= t.tier_degraded;
       },
       num_threads);
   return results;

@@ -80,6 +80,18 @@ OrbitKey canonical_automaton_key(const TabularAutomaton& a);
 /// Order-sensitive combination of two keys.
 OrbitKey combine_orbit_keys(const OrbitKey& tree, const OrbitKey& automaton);
 
+/// Fault-handling counters of a durable tier. Every OrbitStore reports
+/// them (zeros when the implementation has no fault handling) so the
+/// shard runner can surface retry/degradation telemetry without knowing
+/// the concrete tier — the counters ride EnumTelemetry into journal-run
+/// output and the bench-report `faults` block.
+struct OrbitTierFaultStats {
+  std::uint64_t retries = 0;      ///< transient IO failures re-attempted
+  std::uint64_t exhausted = 0;    ///< operations that failed every attempt
+  std::uint64_t quarantined = 0;  ///< corrupt tier files renamed aside
+  bool degraded = false;          ///< tier disabled itself (compute-through)
+};
+
 /// Durable second tier behind an OrbitCache: a key-value store of
 /// published OrbitSets shared ACROSS processes (dist/serialize.hpp's
 /// FsOrbitStore backs it with one file per 128-bit content key on a
@@ -90,6 +102,9 @@ OrbitKey combine_orbit_keys(const OrbitKey& tree, const OrbitKey& automaton);
 class OrbitStore {
  public:
   virtual ~OrbitStore() = default;
+  /// Fault counters accumulated so far; default: a tier with no fault
+  /// handling reports zeros.
+  virtual OrbitTierFaultStats fault_stats() const { return {}; }
   /// The stored set for `key`, or nullptr when absent — and on ANY
   /// failure (unreadable, truncated, corrupt): a broken tier entry must
   /// degrade to a cache miss, never into an exception on the sweep path.
@@ -138,6 +153,10 @@ class OrbitCache {
   /// and publish() forwards accepted sets to it. NOT thread-safe: attach
   /// before the workers start, like the constructor parameters.
   void set_backing(OrbitStore* store) { backing_ = store; }
+
+  /// The attached tier (or nullptr) — the shard runner reads its fault
+  /// counters through this after a run.
+  OrbitStore* backing() const { return backing_; }
 
   /// Lock-free on hit: the published set for `key` in the current epoch.
   /// On miss the backing tier (if any) is consulted — a tier hit is

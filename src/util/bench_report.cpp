@@ -67,6 +67,11 @@ void BenchReport::shards(std::uint64_t count) {
   shards_ = count;
 }
 
+void BenchReport::faults(const FaultSummary& f) {
+  has_faults_ = true;
+  faults_ = f;
+}
+
 void BenchReport::metric(const std::string& key, double value) {
   numbers_.emplace_back(key, value);
 }
@@ -91,9 +96,15 @@ void BenchReport::validate() const {
         ": shards() must declare a positive shard count (omit the call "
         "for non-distributed runs)");
   }
+  if (has_faults_ && faults_.scenario.empty()) {
+    throw std::runtime_error(
+        "BenchReport " + id_ +
+        ": faults() must name its chaos scenario (omit the call for "
+        "fault-free runs)");
+  }
   std::unordered_set<std::string> keys{
-      "id",       "seed",   "columns", "rows",
-      "workload", "agents", "shards",  "schema_version"};
+      "id",       "seed",   "columns", "rows",           "workload",
+      "agents",   "shards", "faults",  "schema_version"};
   const auto claim = [&](const std::string& key) {
     if (key.empty()) {
       throw std::runtime_error("BenchReport " + id_ + ": empty key");
@@ -133,6 +144,15 @@ std::string BenchReport::write() const {
   os << ",\n  \"workload\": " << quote(workload_)
      << ",\n  \"agents\": " << agents_;
   if (has_shards_) os << ",\n  \"shards\": " << shards_;
+  if (has_faults_) {
+    os << ",\n  \"faults\": {\n    \"scenario\": " << quote(faults_.scenario)
+       << ",\n    \"seed\": " << faults_.seed
+       << ",\n    \"injected\": " << faults_.injected
+       << ",\n    \"retried\": " << faults_.retried
+       << ",\n    \"degraded\": " << faults_.degraded
+       << ",\n    \"requeued\": " << faults_.requeued
+       << ",\n    \"quarantined\": " << faults_.quarantined << "\n  }";
+  }
   for (const auto& [k, v] : strings_) {
     os << ",\n  " << quote(k) << ": " << quote(v);
   }

@@ -40,10 +40,26 @@ namespace rvt::util {
 /// report's "schema_version" field. History: 1 = the PR 3/4 schema
 /// (workload/agents required, engine-comparison keys); 2 = adds the
 /// always-on schema_version field itself and the optional validated
-/// "shards" field of distributed runs. Reports WITHOUT the field (the
-/// committed version-1 BENCH_E*.json artifacts) remain valid version-1
-/// documents — consumers treat a missing field as version 1.
-inline constexpr std::uint64_t kBenchReportSchemaVersion = 2;
+/// "shards" field of distributed runs; 3 = adds the optional validated
+/// "faults" block of chaos runs (scenario seed + injected/retried/
+/// degraded/requeued/quarantined counters). Reports WITHOUT a given
+/// field remain valid documents of the version that lacked it —
+/// consumers treat missing optional fields as "not a run of that kind",
+/// so no committed BENCH_E*.json artifact needs regeneration.
+inline constexpr std::uint64_t kBenchReportSchemaVersion = 3;
+
+/// The optional "faults" block of a chaos run (bench E14): which seeded
+/// fault scenario was injected and what the recovery machinery did
+/// about it. A fault-free report simply omits the block.
+struct FaultSummary {
+  std::string scenario;           ///< chaos scenario name ("none", ...)
+  std::uint64_t seed = 0;         ///< scenario seed (reproducibility)
+  std::uint64_t injected = 0;     ///< faults fired (failpoint registry)
+  std::uint64_t retried = 0;      ///< transient IO re-attempts
+  std::uint64_t degraded = 0;     ///< stores that entered compute-through
+  std::uint64_t requeued = 0;     ///< shard attempts retried
+  std::uint64_t quarantined = 0;  ///< shards given up on
+};
 
 class BenchReport {
  public:
@@ -63,6 +79,11 @@ class BenchReport {
   /// undeclared report simply omits the key, so every pre-distribution
   /// BENCH_E*.json stays valid).
   void shards(std::uint64_t count);
+
+  /// OPTIONAL schema field: the "faults" block of a chaos run.
+  /// validate() rejects an empty scenario name — an undeclared report
+  /// omits the block entirely.
+  void faults(const FaultSummary& f);
 
   /// Scalar metric. Keys must be unique across metric() and note().
   void metric(const std::string& key, double value);
@@ -90,6 +111,8 @@ class BenchReport {
   std::uint64_t agents_ = 0;   ///< 0 until workload() declares it
   bool has_shards_ = false;    ///< shards() declared
   std::uint64_t shards_ = 0;
+  bool has_faults_ = false;    ///< faults() declared
+  FaultSummary faults_;
   std::vector<std::pair<std::string, std::string>> strings_;
   std::vector<std::pair<std::string, double>> numbers_;
   const util::Table* table_ = nullptr;

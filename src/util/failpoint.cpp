@@ -1,0 +1,250 @@
+#include "util/failpoint.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace rvt::util {
+
+namespace {
+
+/// splitmix64 — the per-hit coin of prob triggers. Keyed on (seed, hit)
+/// only, so a scenario seed replays bit-identically.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct Trigger {
+  enum Kind { kAlways, kHit, kProb } kind = kAlways;
+  std::uint64_t first = 1;  ///< kHit: first firing hit (1-based)
+  std::uint64_t count = 1;  ///< kHit: consecutive firing hits
+  bool forever = false;     ///< kHit: fire on every hit >= first
+  double p = 0.0;           ///< kProb
+  std::uint64_t seed = 0;   ///< kProb
+
+  bool fires(std::uint64_t hit) const {
+    switch (kind) {
+      case kAlways:
+        return true;
+      case kHit:
+        return hit >= first && (forever || hit - first < count);
+      case kProb:
+        return static_cast<double>(splitmix64(seed ^ (hit * 0x2545f4914f6cdd1dull))) <
+               p * 18446744073709551616.0;  // 2^64
+    }
+    return false;
+  }
+};
+
+struct Site {
+  FaultAction action = FaultAction::kNone;
+  Trigger trigger;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+/// Strict u64 parse of a whole token.
+std::uint64_t parse_u64(const std::string& tok, const std::string& what) {
+  std::size_t end = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(tok, &end, 10);
+  } catch (const std::exception&) {
+    end = 0;
+  }
+  if (end == 0 || end != tok.size()) {
+    throw std::invalid_argument("failpoint: bad " + what + " '" + tok + "'");
+  }
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+Trigger parse_trigger(const std::string& text) {
+  Trigger t;
+  if (text == "always") {
+    t.kind = Trigger::kAlways;
+    return t;
+  }
+  if (text.rfind("hit:", 0) == 0) {
+    const std::vector<std::string> parts = split(text.substr(4), ':');
+    if (parts.empty() || parts.size() > 2) {
+      throw std::invalid_argument("failpoint: bad hit trigger '" + text + "'");
+    }
+    t.kind = Trigger::kHit;
+    t.first = parse_u64(parts[0], "hit index");
+    if (t.first == 0) {
+      throw std::invalid_argument("failpoint: hit index is 1-based");
+    }
+    if (parts.size() == 2) {
+      if (parts[1] == "*") {
+        t.forever = true;
+      } else {
+        t.count = parse_u64(parts[1], "hit count");
+        if (t.count == 0) {
+          throw std::invalid_argument("failpoint: hit count must be >= 1");
+        }
+      }
+    }
+    return t;
+  }
+  if (text.rfind("prob:", 0) == 0) {
+    const std::vector<std::string> parts = split(text.substr(5), ':');
+    if (parts.size() != 2) {
+      throw std::invalid_argument("failpoint: prob trigger needs p and seed");
+    }
+    t.kind = Trigger::kProb;
+    std::size_t end = 0;
+    try {
+      t.p = std::stod(parts[0], &end);
+    } catch (const std::exception&) {
+      end = 0;
+    }
+    if (end != parts[0].size() || !(t.p > 0.0) || t.p > 1.0) {
+      throw std::invalid_argument("failpoint: prob p must be in (0, 1]");
+    }
+    t.seed = parse_u64(parts[1], "prob seed");
+    return t;
+  }
+  throw std::invalid_argument("failpoint: unknown trigger '" + text + "'");
+}
+
+std::map<std::string, Site> parse_config(const std::string& config) {
+  std::map<std::string, Site> sites;
+  for (const std::string& clause : split(config, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("failpoint: clause '" + clause +
+                                  "' is not site=action@trigger");
+    }
+    const std::string site = clause.substr(0, eq);
+    const std::string spec = clause.substr(eq + 1);
+    const std::size_t at = spec.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument("failpoint: spec '" + spec +
+                                  "' is not action@trigger");
+    }
+    const std::string action = spec.substr(0, at);
+    Site s;
+    if (action == "err") {
+      s.action = FaultAction::kError;
+    } else if (action == "crash") {
+      s.action = FaultAction::kCrash;
+    } else {
+      throw std::invalid_argument("failpoint: unknown action '" + action +
+                                  "' (err | crash)");
+    }
+    s.trigger = parse_trigger(spec.substr(at + 1));
+    if (!sites.emplace(site, s).second) {
+      throw std::invalid_argument("failpoint: duplicate site '" + site + "'");
+    }
+  }
+  return sites;
+}
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+FailPointRegistry& FailPointRegistry::instance() {
+  static FailPointRegistry r;
+  return r;
+}
+
+void FailPointRegistry::configure(const std::string& config) {
+  std::map<std::string, Site> parsed = parse_config(config);  // may throw
+  State& st = state();
+  const std::lock_guard<std::mutex> lk(st.mu);
+  st.sites = std::move(parsed);
+  detail::g_failpoints_armed.store(!st.sites.empty(),
+                                   std::memory_order_relaxed);
+}
+
+void FailPointRegistry::configure_from_env() {
+  const char* env = std::getenv("RVT_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    configure(env);
+  }
+}
+
+void FailPointRegistry::reset() {
+  State& st = state();
+  const std::lock_guard<std::mutex> lk(st.mu);
+  st.sites.clear();
+  detail::g_failpoints_armed.store(false, std::memory_order_relaxed);
+}
+
+FaultAction FailPointRegistry::evaluate(std::string_view site) {
+  State& st = state();
+  const std::lock_guard<std::mutex> lk(st.mu);
+  const auto it = st.sites.find(std::string(site));
+  if (it == st.sites.end()) return FaultAction::kNone;
+  Site& s = it->second;
+  ++s.hits;
+  if (!s.trigger.fires(s.hits)) return FaultAction::kNone;
+  ++s.fired;
+  return s.action;
+}
+
+std::vector<FailPointRegistry::SiteStats> FailPointRegistry::stats() const {
+  State& st = state();
+  const std::lock_guard<std::mutex> lk(st.mu);
+  std::vector<SiteStats> out;
+  out.reserve(st.sites.size());
+  for (const auto& [name, site] : st.sites) {
+    out.push_back({name, site.hits, site.fired});
+  }
+  return out;
+}
+
+std::uint64_t FailPointRegistry::total_fired() const {
+  State& st = state();
+  const std::lock_guard<std::mutex> lk(st.mu);
+  std::uint64_t total = 0;
+  for (const auto& [name, site] : st.sites) total += site.fired;
+  return total;
+}
+
+void failpoint_crash(std::string_view site) {
+  std::fprintf(stderr, "failpoint: crash at %.*s\n",
+               static_cast<int>(site.size()), site.data());
+  std::fflush(nullptr);
+  ::_exit(kFailpointCrashExitCode);
+}
+
+bool failpoint_error(std::string_view site) {
+  const FaultAction a = failpoint(site);
+  if (a == FaultAction::kCrash) failpoint_crash(site);
+  return a == FaultAction::kError;
+}
+
+}  // namespace rvt::util

@@ -1,0 +1,52 @@
+#include "util/retry.hpp"
+
+#include <thread>
+
+namespace rvt::util {
+
+std::chrono::microseconds RetryPolicy::delay_before(unsigned attempt) const {
+  if (attempt <= 1 || base_delay.count() <= 0) {
+    return std::chrono::microseconds{0};
+  }
+  // base * 2^(attempt-2), saturating into the cap (shift-safe: past 63
+  // doublings everything is capped anyway).
+  const unsigned doublings = attempt - 2;
+  if (doublings >= 63) return max_delay;
+  const std::uint64_t factor = std::uint64_t{1} << doublings;
+  const std::uint64_t base = static_cast<std::uint64_t>(base_delay.count());
+  const std::uint64_t cap = static_cast<std::uint64_t>(max_delay.count());
+  if (base != 0 && factor > cap / base) return max_delay;
+  return std::min(std::chrono::microseconds{base * factor}, max_delay);
+}
+
+RetryPolicy no_delay_policy(unsigned max_attempts) {
+  RetryPolicy p;
+  p.max_attempts = max_attempts;
+  p.base_delay = std::chrono::microseconds{0};
+  p.max_delay = std::chrono::microseconds{0};
+  p.sleep = [](std::chrono::microseconds) {};
+  return p;
+}
+
+bool retry_bool(const RetryPolicy& policy, RetryStats* stats,
+                const std::function<bool()>& op) {
+  const unsigned attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      const std::chrono::microseconds d = policy.delay_before(attempt);
+      if (d.count() > 0 || policy.sleep) {
+        if (policy.sleep) {
+          policy.sleep(d);
+        } else {
+          std::this_thread::sleep_for(d);
+        }
+      }
+      if (stats != nullptr) ++stats->retries;
+    }
+    if (op()) return true;
+  }
+  if (stats != nullptr) ++stats->exhausted;
+  return false;
+}
+
+}  // namespace rvt::util

@@ -212,6 +212,63 @@ TEST(BenchReport, ShardsFieldIsOptionalValidatedAndReserved) {
   EXPECT_THROW(dup.validate(), std::runtime_error);
 }
 
+TEST(BenchReport, FaultsBlockIsOptionalValidatedAndReserved) {
+  // Undeclared: valid and absent — every committed fault-free
+  // BENCH_E*.json stays a valid schema-v3 document without regeneration.
+  BenchReport without("TFL", 6);
+  without.workload("rendezvous", 2);
+  EXPECT_NO_THROW(without.validate());
+  {
+    const std::string path = without.write();
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_EQ(ss.str().find("\"faults\""), std::string::npos);
+    std::remove(path.c_str());
+  }
+
+  // Declared: the nested object lands field-for-field in the JSON.
+  BenchReport with("TFL", 6);
+  with.workload("rendezvous", 2);
+  FaultSummary fs;
+  fs.scenario = "chaos-battery";
+  fs.seed = 7;
+  fs.injected = 10;
+  fs.retried = 3;
+  fs.degraded = 1;
+  fs.requeued = 8;
+  fs.quarantined = 4;
+  with.faults(fs);
+  EXPECT_NO_THROW(with.validate());
+  {
+    const std::string path = with.write();
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string json = ss.str();
+    for (const char* key :
+         {"\"faults\": {", "\"scenario\": \"chaos-battery\"", "\"seed\": 7",
+          "\"injected\": 10", "\"retried\": 3", "\"degraded\": 1",
+          "\"requeued\": 8", "\"quarantined\": 4"}) {
+      EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+    }
+    std::remove(path.c_str());
+  }
+
+  // An anonymous fault block is malformed: numbers without a scenario
+  // name cannot be attributed to an injection campaign.
+  BenchReport anonymous("TFL", 6);
+  anonymous.workload("rendezvous", 2);
+  anonymous.faults(FaultSummary{});
+  EXPECT_THROW(anonymous.validate(), std::runtime_error);
+
+  // Reserved key: a metric/note may not collide with the block.
+  BenchReport dup("TFL", 6);
+  dup.workload("rendezvous", 2);
+  dup.metric("faults", 1.0);
+  EXPECT_THROW(dup.validate(), std::runtime_error);
+}
+
 TEST(BenchReport, AddingComparisonTwiceIsCaughtAsDuplicate) {
   BenchReport report("TST", 9);
   report.workload("rendezvous", 2);

@@ -299,6 +299,64 @@ TEST_F(DistTest, RunShardRefusesForeignPlan) {
                std::invalid_argument);
 }
 
+TEST_F(DistTest, ResumeSurvivesTruncationAtEveryByteBoundary) {
+  // The exhaustive crash sweep: a 32-shard plan keeps one shard's
+  // journal small enough (preamble + ~38 records + seal) to truncate
+  // after EVERY byte length and resume each time. For each prefix the
+  // forward scan must recover exactly the committed records — the
+  // resumed run recomputes precisely the gap, and the sealed sum is
+  // bit-identical to the uninterrupted run's.
+  const auto w = dist::EnumWorkload::parse("e10:4");
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 32);
+  const dist::ShardSpec& spec = plan.shards[0];
+  const std::uint64_t width = spec.end - spec.begin;
+  const std::string jpath = dist::journal_path(path("journals"), spec);
+
+  const dist::ShardRunStats full =
+      dist::run_shard(*w, plan, 0, path("journals"), nullptr);
+  const auto bytes = dist::read_file(jpath);
+  ASSERT_TRUE(bytes.has_value());
+  constexpr std::size_t kPreamble = 64, kRecord = 32;
+  ASSERT_EQ(bytes->size(), kPreamble + (width + 1) * kRecord);
+
+  for (std::size_t len = 0; len <= bytes->size(); ++len) {
+    const std::vector<std::uint8_t> prefix(bytes->begin(),
+                                           bytes->begin() + len);
+    ASSERT_TRUE(dist::write_file_atomic(jpath, prefix)) << len;
+    const dist::ShardRunStats resumed =
+        dist::run_shard(*w, plan, 0, path("journals"), nullptr);
+    // A prefix shorter than the preamble (or ending inside it) cannot
+    // identify the shard: the journal is recreated from scratch. Past
+    // it, every COMPLETE record is kept; a torn record or the missing
+    // seal recomputes exactly the tail. The full file is a detected
+    // double completion.
+    const std::uint64_t committed =
+        len < kPreamble ? 0
+                        : std::min<std::uint64_t>((len - kPreamble) / kRecord,
+                                                  width);
+    if (len == bytes->size()) {
+      EXPECT_TRUE(resumed.already_complete) << len;
+    } else {
+      EXPECT_FALSE(resumed.already_complete) << len;
+      EXPECT_EQ(resumed.committed_before, committed) << len;
+      EXPECT_EQ(resumed.computed, width - committed) << len;
+    }
+    EXPECT_EQ(resumed.sum, full.sum) << len;
+  }
+}
+
+TEST_F(DistTest, RunShardSurfacesJournalDirCreationFailure) {
+  // The journal dir's parent is a regular FILE: create_directories must
+  // fail, and run_shard must surface it as SerializeError instead of
+  // charging on to fopen a path that cannot exist.
+  const auto w = dist::EnumWorkload::parse("e10:4");
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 2);
+  const std::string blocker = path("blocker");
+  ASSERT_TRUE(dist::write_file_atomic(blocker, std::vector<std::uint8_t>{1}));
+  EXPECT_THROW(dist::run_shard(*w, plan, 0, blocker + "/journals"),
+               dist::SerializeError);
+}
+
 TEST_F(DistTest, WorkloadSpecParsing) {
   EXPECT_EQ(dist::EnumWorkload::parse("e10")->spec(), "e10:14");
   EXPECT_EQ(dist::EnumWorkload::parse("e10:5")->spec(), "e10:5");

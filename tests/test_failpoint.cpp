@@ -1,0 +1,138 @@
+// The failpoint registry: configuration parsing, deterministic trigger
+// semantics, counters, and the crash action's exit code. Determinism is
+// the load-bearing property — a chaos scenario must fire at the same
+// hits on every run, or the E14 battery stops being reproducible.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/failpoint.hpp"
+
+namespace rvt {
+namespace {
+
+using util::FailPointRegistry;
+using util::FaultAction;
+
+/// Every test leaves the process-wide registry disarmed.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPointRegistry::instance().reset(); }
+  FailPointRegistry& reg() { return FailPointRegistry::instance(); }
+};
+
+TEST_F(FailpointTest, DisarmedIsNone) {
+  EXPECT_EQ(util::failpoint("any.site"), FaultAction::kNone);
+  EXPECT_EQ(reg().total_fired(), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysTrigger) {
+  reg().configure("s=err@always");
+  EXPECT_EQ(util::failpoint("s"), FaultAction::kError);
+  EXPECT_EQ(util::failpoint("s"), FaultAction::kError);
+  EXPECT_EQ(util::failpoint("other"), FaultAction::kNone);
+  const auto stats = reg().stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].site, "s");
+  EXPECT_EQ(stats[0].hits, 2u);
+  EXPECT_EQ(stats[0].fired, 2u);
+  EXPECT_EQ(reg().total_fired(), 2u);
+}
+
+TEST_F(FailpointTest, HitTriggerFiresOnceAtN) {
+  reg().configure("s=err@hit:3");
+  std::vector<FaultAction> got;
+  for (int i = 0; i < 5; ++i) got.push_back(util::failpoint("s"));
+  EXPECT_EQ(got, (std::vector<FaultAction>{
+                     FaultAction::kNone, FaultAction::kNone,
+                     FaultAction::kError, FaultAction::kNone,
+                     FaultAction::kNone}));
+}
+
+TEST_F(FailpointTest, HitTriggerWithCountAndStar) {
+  reg().configure("a=err@hit:2:2;b=err@hit:3:*");
+  std::vector<bool> a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.push_back(util::failpoint("a") == FaultAction::kError);
+    b.push_back(util::failpoint("b") == FaultAction::kError);
+  }
+  EXPECT_EQ(a, (std::vector<bool>{false, true, true, false, false}));
+  EXPECT_EQ(b, (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST_F(FailpointTest, ProbTriggerIsDeterministicAndSeedSensitive) {
+  const auto draw = [&](const std::string& config) {
+    FailPointRegistry::instance().configure(config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(util::failpoint("p") == FaultAction::kError);
+    }
+    return fired;
+  };
+  const auto run1 = draw("p=err@prob:0.5:42");
+  const auto run2 = draw("p=err@prob:0.5:42");
+  const auto other_seed = draw("p=err@prob:0.5:43");
+  EXPECT_EQ(run1, run2);  // same seed -> identical firing pattern
+  EXPECT_NE(run1, other_seed);
+  // p = 0.5 over 64 hits: both outcomes occur (astronomically certain).
+  EXPECT_NE(std::count(run1.begin(), run1.end(), true), 0);
+  EXPECT_NE(std::count(run1.begin(), run1.end(), true), 64);
+}
+
+TEST_F(FailpointTest, ConfigureReplacesAndResetDisarms) {
+  reg().configure("s=err@always");
+  EXPECT_EQ(util::failpoint("s"), FaultAction::kError);
+  reg().configure("t=err@always");  // replaces the WHOLE config
+  EXPECT_EQ(util::failpoint("s"), FaultAction::kNone);
+  EXPECT_EQ(util::failpoint("t"), FaultAction::kError);
+  reg().reset();
+  EXPECT_EQ(util::failpoint("t"), FaultAction::kNone);
+  EXPECT_TRUE(reg().stats().empty());
+  // An empty configuration disarms too.
+  reg().configure("s=err@always");
+  reg().configure("");
+  EXPECT_EQ(util::failpoint("s"), FaultAction::kNone);
+}
+
+TEST_F(FailpointTest, MalformedConfigThrowsAndKeepsPrevious) {
+  reg().configure("s=err@always");
+  const std::vector<std::string> bad = {
+      "nonsense",          "s=explode@always", "s=err@sometimes",
+      "s=err@hit:0",       "s=err@hit:1:0",    "s=err@hit:x",
+      "s=err@prob:1.5:1",  "s=err@prob:0.5",   "s=err@prob:0.5:x",
+      "=err@always",       "s=err",            "s=err@always;s=err@always"};
+  for (const std::string& config : bad) {
+    EXPECT_THROW(reg().configure(config), std::invalid_argument) << config;
+    // The previous configuration survives a rejected one.
+    EXPECT_EQ(util::failpoint("s"), FaultAction::kError) << config;
+  }
+}
+
+TEST_F(FailpointTest, ConfigureFromEnv) {
+  ::setenv("RVT_FAILPOINTS", "env.site=err@always", 1);
+  reg().configure_from_env();
+  ::unsetenv("RVT_FAILPOINTS");
+  EXPECT_EQ(util::failpoint("env.site"), FaultAction::kError);
+  // Unset variable: no-op, previous config kept.
+  reg().configure_from_env();
+  EXPECT_EQ(util::failpoint("env.site"), FaultAction::kError);
+}
+
+TEST_F(FailpointTest, CrashActionExitsWithTheContractCode) {
+  reg().configure("boom=crash@always");
+  EXPECT_EXIT(util::failpoint_error("boom"),
+              ::testing::ExitedWithCode(util::kFailpointCrashExitCode),
+              "failpoint: crash at boom");
+}
+
+TEST_F(FailpointTest, FailpointErrorConvenience) {
+  EXPECT_FALSE(util::failpoint_error("s"));  // disarmed
+  reg().configure("s=err@hit:2");
+  EXPECT_FALSE(util::failpoint_error("s"));
+  EXPECT_TRUE(util::failpoint_error("s"));
+  EXPECT_FALSE(util::failpoint_error("s"));
+}
+
+}  // namespace
+}  // namespace rvt

@@ -1,0 +1,276 @@
+// The shard-orchestration loop: launch/reap, requeue-on-death,
+// lease-expiry kill of hung runners, bounded attempts into quarantine,
+// and the quarantine manifest's flow into a partial merge. Launchers
+// fork IN-PROCESS children (no CLI dependency), so the loop's recovery
+// decisions are exercised against real processes dying in real ways.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "dist/merge.hpp"
+#include "dist/orchestrator.hpp"
+#include "dist/runner.hpp"
+#include "dist/workload.hpp"
+#include "sim/enumeration.hpp"
+#include "util/failpoint.hpp"
+
+namespace rvt {
+namespace {
+
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "orch-test-" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name()) +
+           "-" + std::to_string(static_cast<unsigned>(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    workload_ = dist::EnumWorkload::parse("e10:4");
+    plan_ = dist::make_shard_plan(*workload_, 4);
+    sim::EnumerationContext ctx(workload_->grids(), workload_->max_rounds(),
+                                nullptr);
+    total_ = 0;
+    for (std::uint64_t i = 0; i < workload_->count(); ++i) {
+      total_ += workload_->defeats(ctx, i);
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string journal_dir() const { return dir_ + "/journals"; }
+
+  /// Forks a child that arms any injected RVT_FAILPOINTS and runs the
+  /// shard — the production runner path, in a disposable process.
+  dist::ShardLauncher fork_launcher() {
+    return [this](std::size_t shard, unsigned /*attempt*/,
+                  const std::vector<std::pair<std::string, std::string>>&
+                      env) -> pid_t {
+      const pid_t pid = ::fork();
+      if (pid != 0) return pid;
+      for (const auto& [k, v] : env) ::setenv(k.c_str(), v.c_str(), 1);
+      try {
+        util::FailPointRegistry::instance().configure_from_env();
+        dist::run_shard(*workload_, plan_, shard, journal_dir(), nullptr);
+      } catch (...) {
+        ::_exit(40);
+      }
+      ::_exit(0);
+    };
+  }
+
+  dist::OrchestratorConfig config() {
+    dist::OrchestratorConfig cfg;
+    cfg.journal_dir = journal_dir();
+    cfg.max_concurrent = 2;
+    cfg.max_attempts = 3;
+    cfg.poll_interval = std::chrono::milliseconds(5);
+    return cfg;
+  }
+
+  std::string dir_;
+  std::unique_ptr<dist::EnumWorkload> workload_;
+  dist::ShardPlan plan_;
+  std::uint64_t total_ = 0;
+};
+
+TEST_F(OrchestratorTest, RejectsAnEmptyConfig) {
+  EXPECT_THROW(
+      dist::orchestrate(plan_, dist::OrchestratorConfig{}, fork_launcher()),
+      std::invalid_argument);
+}
+
+TEST_F(OrchestratorTest, HappyPathRunsEveryShardOnce) {
+  const auto report = dist::orchestrate(plan_, config(), fork_launcher());
+  EXPECT_TRUE(report.all_complete());
+  EXPECT_EQ(report.launches, 4u);
+  EXPECT_EQ(report.requeues, 0u);
+  EXPECT_EQ(report.lease_expiries, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+  for (const auto& o : report.shards) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_FALSE(o.already_complete);
+    EXPECT_TRUE(o.failures.empty());
+  }
+  const auto merged = dist::merge_journals(plan_, journal_dir());
+  EXPECT_EQ(merged.total, total_);
+  EXPECT_TRUE(merged.complete());
+}
+
+TEST_F(OrchestratorTest, SealedShardsAreHonoredWithoutALaunch) {
+  for (std::size_t i = 0; i < plan_.shards.size(); ++i) {
+    dist::run_shard(*workload_, plan_, i, journal_dir(), nullptr);
+  }
+  const auto report = dist::orchestrate(plan_, config(), fork_launcher());
+  EXPECT_TRUE(report.all_complete());
+  EXPECT_EQ(report.launches, 0u);
+  for (const auto& o : report.shards) EXPECT_TRUE(o.already_complete);
+}
+
+TEST_F(OrchestratorTest, CrashedRunnerRequeuesAndConverges) {
+  auto cfg = config();
+  // Attempt 1 of every shard dies at its 3rd index (exit 41); the clean
+  // retry resumes past the 2 committed indices and seals.
+  cfg.first_attempt_env.emplace_back("RVT_FAILPOINTS",
+                                     "run_shard.index=crash@hit:3");
+  const auto report = dist::orchestrate(plan_, cfg, fork_launcher());
+  EXPECT_TRUE(report.all_complete());
+  EXPECT_EQ(report.requeues, 4u);
+  EXPECT_EQ(report.launches, 8u);
+  EXPECT_EQ(report.quarantined, 0u);
+  for (const auto& o : report.shards) {
+    ASSERT_EQ(o.failures.size(), 1u);
+    EXPECT_EQ(o.failures[0].exit_code, util::kFailpointCrashExitCode);
+    EXPECT_NE(o.diagnostics().find("exited 41"), std::string::npos);
+  }
+  EXPECT_EQ(dist::merge_journals(plan_, journal_dir()).total, total_);
+}
+
+TEST_F(OrchestratorTest, HungRunnerLosesItsLeaseAndTheShardConverges) {
+  auto cfg = config();
+  cfg.lease_timeout = std::chrono::milliseconds(150);
+  // Attempt 1 of shard 0 hangs without ever touching its journal; the
+  // lease must expire, the child be killed, and the retry seal the shard.
+  bool hung_once = false;
+  dist::ShardLauncher launch =
+      [&](std::size_t shard, unsigned attempt,
+          const std::vector<std::pair<std::string, std::string>>& env)
+      -> pid_t {
+    if (shard == 0 && attempt == 1) {
+      hung_once = true;
+      const pid_t pid = ::fork();
+      if (pid != 0) return pid;
+      for (;;) ::pause();
+    }
+    return fork_launcher()(shard, attempt, env);
+  };
+  const auto report = dist::orchestrate(plan_, cfg, launch);
+  EXPECT_TRUE(hung_once);
+  EXPECT_TRUE(report.all_complete());
+  EXPECT_EQ(report.lease_expiries, 1u);
+  EXPECT_GE(report.requeues, 1u);
+  ASSERT_EQ(report.shards[0].failures.size(), 1u);
+  EXPECT_TRUE(report.shards[0].failures[0].lease_expired);
+  EXPECT_NE(report.shards[0].diagnostics().find("lease expired"),
+            std::string::npos);
+  EXPECT_EQ(dist::merge_journals(plan_, journal_dir()).total, total_);
+}
+
+TEST_F(OrchestratorTest, ExhaustedAttemptsQuarantineIntoExplicitGaps) {
+  auto cfg = config();
+  cfg.max_attempts = 2;
+  cfg.env_every_attempt = true;  // the fault re-fires on the retry
+  cfg.first_attempt_env.emplace_back("RVT_FAILPOINTS",
+                                     "run_shard.index=crash@hit:2");
+  const auto report = dist::orchestrate(plan_, cfg, fork_launcher());
+  EXPECT_FALSE(report.all_complete());
+  EXPECT_EQ(report.quarantined, 4u);
+  EXPECT_EQ(report.launches, 8u);  // 2 attempts x 4 shards
+  for (const auto& o : report.shards) {
+    EXPECT_FALSE(o.completed);
+    EXPECT_EQ(o.failures.size(), 2u);
+  }
+
+  // The manifest round-trips and turns the plain merge's refusal into
+  // an explicit partial result.
+  const dist::QuarantineManifest manifest =
+      dist::quarantine_manifest(plan_, report);
+  ASSERT_EQ(manifest.entries.size(), 4u);
+  EXPECT_FALSE(manifest.entries[0].diagnostics.empty());
+  const std::string mpath = dir_ + "/quarantine.bin";
+  dist::write_quarantine_manifest(mpath, manifest);
+  const dist::QuarantineManifest loaded =
+      dist::load_quarantine_manifest(mpath);
+  EXPECT_EQ(loaded.fingerprint, plan_.fingerprint);
+  ASSERT_EQ(loaded.entries.size(), 4u);
+  EXPECT_EQ(loaded.entries[2].diagnostics, manifest.entries[2].diagnostics);
+
+  EXPECT_THROW(dist::merge_journals(plan_, journal_dir()),
+               dist::SerializeError);
+  const auto partial = dist::merge_journals(plan_, journal_dir(), &loaded);
+  EXPECT_FALSE(partial.complete());
+  EXPECT_EQ(partial.covered, 0u);
+  EXPECT_EQ(partial.total, 0u);
+  ASSERT_EQ(partial.missing.size(), 4u);
+  std::uint64_t missing = 0;
+  for (const auto& [b, e] : partial.missing) missing += e - b;
+  EXPECT_EQ(missing, plan_.count);
+}
+
+TEST_F(OrchestratorTest, PartialQuarantineMergesTheHealthyShards) {
+  auto cfg = config();
+  cfg.max_attempts = 1;
+  // Only shard 2's launch dies; every other shard runs clean.
+  dist::ShardLauncher launch =
+      [&](std::size_t shard, unsigned attempt,
+          const std::vector<std::pair<std::string, std::string>>& env)
+      -> pid_t {
+    if (shard == 2) {
+      const pid_t pid = ::fork();
+      if (pid != 0) return pid;
+      ::_exit(40);
+    }
+    return fork_launcher()(shard, attempt, env);
+  };
+  const auto report = dist::orchestrate(plan_, cfg, launch);
+  EXPECT_EQ(report.quarantined, 1u);
+
+  const dist::QuarantineManifest manifest =
+      dist::quarantine_manifest(plan_, report);
+  ASSERT_EQ(manifest.entries.size(), 1u);
+  EXPECT_EQ(manifest.entries[0].begin, plan_.shards[2].begin);
+  const auto partial =
+      dist::merge_journals(plan_, journal_dir(), &manifest);
+  EXPECT_FALSE(partial.complete());
+  EXPECT_EQ(partial.covered,
+            plan_.count - (plan_.shards[2].end - plan_.shards[2].begin));
+  ASSERT_EQ(partial.missing.size(), 1u);
+  EXPECT_EQ(partial.missing[0].first, plan_.shards[2].begin);
+  EXPECT_EQ(partial.missing[0].second, plan_.shards[2].end);
+  // The partial total is exactly the healthy shards' sum: completing
+  // shard 2 out-of-band and re-merging plain must land the full total.
+  dist::run_shard(*workload_, plan_, 2, journal_dir(), nullptr);
+  const auto full = dist::merge_journals(plan_, journal_dir());
+  EXPECT_EQ(full.total, total_);
+  EXPECT_EQ(partial.total + (full.total - partial.total), total_);
+  // A sealed journal beats its quarantine entry on a re-merge WITH the
+  // manifest too — completion out-of-band is not forgotten.
+  const auto healed = dist::merge_journals(plan_, journal_dir(), &manifest);
+  EXPECT_TRUE(healed.complete());
+  EXPECT_EQ(healed.total, total_);
+}
+
+TEST_F(OrchestratorTest, ManifestValidationRejectsForeignEntries) {
+  dist::QuarantineManifest m;
+  m.fingerprint = plan_.fingerprint;
+  m.entries.push_back({1, 2, dist::ShardId{9, 9}, "bogus"});
+  EXPECT_THROW(dist::merge_journals(plan_, journal_dir(), &m),
+               dist::SerializeError);
+  dist::QuarantineManifest wrong_plan;
+  wrong_plan.fingerprint = dist::ShardId{1, 2};
+  EXPECT_THROW(dist::merge_journals(plan_, journal_dir(), &wrong_plan),
+               dist::SerializeError);
+}
+
+TEST_F(OrchestratorTest, ChaosConfigsAreWellFormed) {
+  for (const std::string& s : dist::chaos_scenarios()) {
+    const std::string config = dist::chaos_failpoint_config(s, 7, 100);
+    if (s == "none") {
+      EXPECT_TRUE(config.empty());
+    } else {
+      // Every non-trivial scenario must parse as a registry config.
+      util::FailPointRegistry::instance().configure(config);
+      util::FailPointRegistry::instance().reset();
+    }
+  }
+  EXPECT_EQ(dist::chaos_failpoint_config("child-kill", 7, 100),
+            "run_shard.index=crash@hit:8");
+  EXPECT_THROW(dist::chaos_failpoint_config("no-such-scenario", 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rvt

@@ -1,0 +1,111 @@
+// The bounded-backoff engine: exact deterministic schedule (asserted
+// through an injected sleep recorder — no real sleeping, no wall-clock
+// flakiness), success-after-retries, and exhaustion accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/retry.hpp"
+
+namespace rvt {
+namespace {
+
+using std::chrono::microseconds;
+using util::RetryPolicy;
+using util::RetryStats;
+
+RetryPolicy recording_policy(unsigned attempts,
+                             std::vector<microseconds>* slept) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.base_delay = microseconds{100};
+  p.max_delay = microseconds{500};
+  p.sleep = [slept](microseconds d) { slept->push_back(d); };
+  return p;
+}
+
+TEST(RetryTest, DelayScheduleIsExactAndCapped) {
+  RetryPolicy p;
+  p.base_delay = microseconds{100};
+  p.max_delay = microseconds{500};
+  EXPECT_EQ(p.delay_before(1), microseconds{0});  // first attempt is free
+  EXPECT_EQ(p.delay_before(2), microseconds{100});
+  EXPECT_EQ(p.delay_before(3), microseconds{200});
+  EXPECT_EQ(p.delay_before(4), microseconds{400});
+  EXPECT_EQ(p.delay_before(5), microseconds{500});  // capped
+  EXPECT_EQ(p.delay_before(80), microseconds{500});  // shift-safe far out
+}
+
+TEST(RetryTest, FirstTrySuccessCostsNothing) {
+  std::vector<microseconds> slept;
+  RetryStats stats;
+  int calls = 0;
+  EXPECT_TRUE(util::retry_bool(recording_policy(3, &slept), &stats, [&] {
+    ++calls;
+    return true;
+  }));
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST(RetryTest, SucceedsAfterRetriesWithTheExactSchedule) {
+  std::vector<microseconds> slept;
+  RetryStats stats;
+  int calls = 0;
+  EXPECT_TRUE(util::retry_bool(recording_policy(5, &slept), &stats, [&] {
+    return ++calls == 3;  // fails twice, then succeeds
+  }));
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept, (std::vector<microseconds>{microseconds{100},
+                                              microseconds{200}}));
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST(RetryTest, ExhaustionCountsOnceAndStops) {
+  std::vector<microseconds> slept;
+  RetryStats stats;
+  int calls = 0;
+  EXPECT_FALSE(util::retry_bool(recording_policy(3, &slept), &stats, [&] {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 1u);
+}
+
+TEST(RetryTest, ZeroAttemptsStillTriesOnce) {
+  RetryStats stats;
+  int calls = 0;
+  RetryPolicy p = util::no_delay_policy(0);
+  EXPECT_FALSE(util::retry_bool(p, &stats, [&] {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.exhausted, 1u);
+}
+
+TEST(RetryTest, NullStatsIsFine) {
+  EXPECT_TRUE(
+      util::retry_bool(util::no_delay_policy(2), nullptr, [] { return true; }));
+  EXPECT_FALSE(util::retry_bool(util::no_delay_policy(2), nullptr,
+                                [] { return false; }));
+}
+
+TEST(RetryTest, NoDelayPolicyNeverSleepsForReal) {
+  // no_delay_policy substitutes a no-op sleeper; if it ever fell back to
+  // this_thread::sleep_for the chaos drills would serialize on backoff.
+  RetryPolicy p = util::no_delay_policy(4);
+  EXPECT_EQ(p.delay_before(4), microseconds{0});
+  RetryStats stats;
+  EXPECT_FALSE(util::retry_bool(p, &stats, [] { return false; }));
+  EXPECT_EQ(stats.retries, 3u);
+}
+
+}  // namespace
+}  // namespace rvt

@@ -24,6 +24,8 @@
 #include "sim/compiled.hpp"
 #include "sim/orbit_cache.hpp"
 #include "tree/builders.hpp"
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 
 namespace rvt {
@@ -296,13 +298,140 @@ TEST_F(SerializeFsTier, StoreLoadRoundTripAndMissSemantics) {
     ASSERT_TRUE(dist::write_file_atomic(store.path_for(key), bytes));
   }
   EXPECT_EQ(store.load(key), nullptr);
-  // Truncated file: also a miss.
+  // Truncated file: also a miss. (Re-publish first: the corrupt load
+  // above QUARANTINED the file aside.)
+  store.store(key, set);
   {
     auto bytes = *dist::read_file(store.path_for(key));
     bytes.resize(bytes.size() / 3);
     ASSERT_TRUE(dist::write_file_atomic(store.path_for(key), bytes));
   }
   EXPECT_EQ(store.load(key), nullptr);
+}
+
+TEST_F(SerializeFsTier, CorruptFileIsQuarantinedAsideNotRefailed) {
+  util::Rng rng(0xdecade);
+  tree::Tree t = tree::line(5);
+  const TabularAutomaton a = sim::random_line_automaton(2, rng).tabular();
+  const auto set = random_published_set(t, a);
+  const sim::OrbitKey key = sim::combine_orbit_keys(
+      sim::tree_orbit_key(t), sim::canonical_automaton_key(a));
+
+  dist::FsOrbitStore store(dir_);
+  store.store(key, set);
+  auto bytes = *dist::read_file(store.path_for(key));
+  bytes[bytes.size() - 1] ^= 0x01;
+  ASSERT_TRUE(dist::write_file_atomic(store.path_for(key), bytes));
+
+  EXPECT_EQ(store.load(key), nullptr);
+  auto s = store.stats();
+  EXPECT_EQ(s.decode_failures, 1u);
+  EXPECT_EQ(s.quarantined, 1u);
+  EXPECT_FALSE(s.degraded);  // corruption is not tier sickness
+  // The file is renamed aside — evidence kept, re-fail loop broken.
+  EXPECT_FALSE(std::filesystem::exists(store.path_for(key)));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for(key) + ".quarantined-0"));
+  // The next load is a clean miss: no second decode, no second rename.
+  EXPECT_EQ(store.load(key), nullptr);
+  s = store.stats();
+  EXPECT_EQ(s.decode_failures, 1u);
+  EXPECT_EQ(s.quarantined, 1u);
+  // The tier stays healthy: a re-publish serves the key again.
+  store.store(key, set);
+  EXPECT_NE(store.load(key), nullptr);
+  EXPECT_EQ(store.fault_stats().quarantined, 1u);
+}
+
+TEST_F(SerializeFsTier, TransientFaultsRetryOnTheBoundedSchedule) {
+  util::Rng rng(0x7e7af1);
+  tree::Tree t = tree::line(5);
+  const TabularAutomaton a = sim::random_line_automaton(2, rng).tabular();
+  const auto set = random_published_set(t, a);
+  const sim::OrbitKey key = sim::combine_orbit_keys(
+      sim::tree_orbit_key(t), sim::canonical_automaton_key(a));
+  auto& reg = util::FailPointRegistry::instance();
+
+  dist::FsOrbitStore store(dir_, util::no_delay_policy(3));
+  // One injected publish failure: the retry lands the file.
+  reg.configure("fs_store.store=err@hit:1");
+  store.store(key, set);
+  reg.reset();
+  EXPECT_EQ(store.stats().store_failures, 0u);
+  EXPECT_EQ(store.stats().retries, 1u);
+  EXPECT_TRUE(std::filesystem::exists(store.path_for(key)));
+  // One injected read failure on an EXISTING file: retried, then served.
+  reg.configure("fs_store.load=err@hit:1");
+  EXPECT_NE(store.load(key), nullptr);
+  reg.reset();
+  const auto s = store.stats();
+  EXPECT_EQ(s.read_failures, 0u);
+  EXPECT_EQ(s.retries, 2u);
+  EXPECT_EQ(s.exhausted, 0u);
+  EXPECT_FALSE(s.degraded);
+  // An ABSENT file is a miss on the first attempt — never retried.
+  EXPECT_EQ(store.load(sim::OrbitKey{0xabc, 0xdef}), nullptr);
+  EXPECT_EQ(store.stats().retries, 2u);
+}
+
+TEST_F(SerializeFsTier, PersistentFailureDegradesToComputeThrough) {
+  util::Rng rng(0xdead11);
+  tree::Tree t = tree::line(5);
+  const TabularAutomaton a = sim::random_line_automaton(2, rng).tabular();
+  const auto set = random_published_set(t, a);
+  auto& reg = util::FailPointRegistry::instance();
+
+  dist::FsOrbitStore store(dir_, util::no_delay_policy(2));
+  reg.configure("fs_store.store=err@always");
+  for (std::uint64_t i = 0; i < dist::FsOrbitStore::kDegradeAfter; ++i) {
+    store.store(sim::OrbitKey{i + 1, i + 1}, set);
+  }
+  reg.reset();
+  const auto s = store.stats();
+  EXPECT_EQ(s.exhausted, dist::FsOrbitStore::kDegradeAfter);
+  EXPECT_TRUE(s.degraded);
+  EXPECT_TRUE(store.fault_stats().degraded);
+  // Degradation is sticky compute-through: with the fault GONE, stores
+  // are no-ops and loads are misses — the sweep stays correct, the dead
+  // tier stops being paid for.
+  const sim::OrbitKey key{0x77, 0x88};
+  store.store(key, set);
+  EXPECT_FALSE(std::filesystem::exists(store.path_for(key)));
+  EXPECT_EQ(store.load(key), nullptr);
+  EXPECT_EQ(store.stats().stores, dist::FsOrbitStore::kDegradeAfter);
+}
+
+TEST_F(SerializeFsTier, SuccessResetsTheDegradationStreak) {
+  util::Rng rng(0x600d);
+  tree::Tree t = tree::line(5);
+  const TabularAutomaton a = sim::random_line_automaton(2, rng).tabular();
+  const auto set = random_published_set(t, a);
+  auto& reg = util::FailPointRegistry::instance();
+
+  dist::FsOrbitStore store(dir_, util::no_delay_policy(2));
+  // kDegradeAfter - 1 exhausted publishes, then a success, then one
+  // more failure: the streak broke, so the store must NOT be degraded.
+  reg.configure("fs_store.store=err@always");
+  for (std::uint64_t i = 0; i + 1 < dist::FsOrbitStore::kDegradeAfter; ++i) {
+    store.store(sim::OrbitKey{i + 1, i + 1}, set);
+  }
+  reg.reset();
+  store.store(sim::OrbitKey{0x50, 0x50}, set);  // succeeds, resets streak
+  reg.configure("fs_store.store=err@always");
+  store.store(sim::OrbitKey{0x51, 0x51}, set);
+  reg.reset();
+  EXPECT_EQ(store.stats().exhausted, dist::FsOrbitStore::kDegradeAfter);
+  EXPECT_FALSE(store.stats().degraded);
+}
+
+TEST_F(SerializeFsTier, UnframeFailpointSurfacesAsSerializeError) {
+  auto& reg = util::FailPointRegistry::instance();
+  const std::vector<std::uint8_t> framed =
+      dist::frame_payload(dist::WireKind::kShardPlan, {});
+  reg.configure("wire.unframe=err@always");
+  EXPECT_THROW(dist::unframe_payload(dist::WireKind::kShardPlan, framed),
+               dist::SerializeError);
+  reg.reset();
+  EXPECT_NO_THROW(dist::unframe_payload(dist::WireKind::kShardPlan, framed));
 }
 
 TEST_F(SerializeFsTier, SecondCacheAdoptsFirstCachesPublishes) {
