@@ -1,0 +1,317 @@
+// E15 — service tier: the E10 workload dispatched by a network
+// coordinator to runner daemons over loopback TCP must merge
+// bit-identical to the single-process count, with and without a
+// runner dying mid-lease.
+//
+// Two fleet phases against an in-process svc::Coordinator, with the
+// runner daemons launched as real `rvt_cli worker` subprocesses (the
+// same binary a remote host would run):
+//
+//  * CLEAN FLEET: 2 workers drain the sharded battery using the
+//    coordinator's remote orbit store (NetOrbitStore — no local cache
+//    directory on the workers). The merged journal total must equal
+//    the single-process total — 5426593 on the default battery — and
+//    the live metrics endpoint's snapshot must be self-consistent with
+//    the merge: its committed_defeats IS the merged total and its
+//    shards_completed IS the plan's shard count.
+//
+//  * RUNNER-KILL CHAOS: 3 workers, one launched with
+//    RVT_FAILPOINTS='worker.index=crash@hit:25' so it dies (_exit)
+//    mid-first-lease. The unsealed disconnect must requeue the shard
+//    (requeues >= 1 — zero means the fault never fired, which would
+//    make the drill vacuous) and the surviving workers must still
+//    merge bit-identical with nothing quarantined. The chaos phase
+//    reuses the clean phase's content-addressed cache directory, so it
+//    also measures the warm-tier fleet.
+//
+// An optional argv[1] (max_n, default 14) shrinks the battery for
+// quick/CI-reduced runs; the 5426593 constant is only asserted on the
+// default. The BENCH_E15.json report carries the schema's "service"
+// block (runner count, lease churn, journal bytes streamed,
+// time-to-first-sealed-shard) summed over both phases.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dist/merge.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/workload.hpp"
+#include "net/socket.hpp"
+#include "sim/enumeration.hpp"
+#include "sim/orbit_cache.hpp"
+#include "sim/simd.hpp"
+#include "svc/coordinator.hpp"
+
+namespace {
+
+using namespace rvt;
+
+constexpr std::uint64_t kCommittedE10Defeats = 5426593;
+constexpr unsigned kShards = 6;
+
+std::string cli_path(const char* argv0) {
+  const std::filesystem::path self(argv0);
+  return (self.parent_path() / "rvt_cli").string();
+}
+
+bool check(bool ok, const std::string& what) {
+  std::cout << "  [" << (ok ? "ok" : "FAIL") << "] " << what << "\n";
+  return ok;
+}
+
+/// Extracts the integer value of `"key": N` from a metrics snapshot;
+/// returns false when the key is absent.
+bool metrics_u64(const std::string& body, const std::string& key,
+                 std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::strtoull(body.c_str() + at + needle.size(), nullptr, 10);
+  return true;
+}
+
+struct WorkerProc {
+  std::thread thread;
+  // Heap slot so the launcher thread's pointer survives the struct
+  // being moved into the fleet vector.
+  std::unique_ptr<int> status = std::make_unique<int>(-1);
+  int exit_code() const {
+    return WIFEXITED(*status) ? WEXITSTATUS(*status) : -1;
+  }
+};
+
+/// Launches `rvt_cli worker` as a subprocess (optionally with a
+/// RVT_FAILPOINTS value injected) and captures its exit status. A real
+/// child process, not an in-process thread: the chaos drill _exits the
+/// whole worker, and the bench must measure the daemon a remote host
+/// would actually run.
+WorkerProc launch_worker(const std::string& cli, std::uint16_t port,
+                         const std::string& name, const std::string& log,
+                         const std::string& failpoints = "") {
+  std::string cmd;
+  if (!failpoints.empty()) cmd += "RVT_FAILPOINTS='" + failpoints + "' ";
+  cmd += cli + " worker --connect 127.0.0.1:" + std::to_string(port) +
+         " --name " + name + " > " + log + " 2>&1";
+  WorkerProc p;
+  int* status = p.status.get();
+  p.thread = std::thread(
+      [cmd, status]() { *status = std::system(cmd.c_str()); });
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 14;
+  bench::header(
+      "E15 service tier (network coordinator + runner daemons)",
+      "The E10 battery leased shard-by-shard to worker subprocesses over "
+      "loopback TCP must merge\nbit-identical to the single-process count "
+      "— including when a runner is killed mid-lease — and\nthe live "
+      "metrics endpoint must agree with the merged result.");
+
+  bool all_ok = true;
+  const std::string scratch =
+      "e15-scratch-" + std::to_string(static_cast<int>(::getpid()));
+  std::filesystem::remove_all(scratch);
+  std::filesystem::create_directories(scratch);
+  const std::string cli = cli_path(argv[0]);
+
+  // ---- single-process baseline -------------------------------------------
+  const auto workload =
+      dist::EnumWorkload::parse("e10:" + std::to_string(max_n));
+  bench::WallTimer single_timer;
+  std::uint64_t single_total = 0;
+  {
+    sim::OrbitCache cache;
+    sim::EnumerationContext ctx(workload->grids(), workload->max_rounds(),
+                                &cache);
+    for (std::uint64_t i = 0; i < workload->count(); ++i) {
+      single_total += workload->defeats(ctx, i);
+    }
+  }
+  const double single_seconds = single_timer.seconds();
+  std::cout << "single process (e10:" << max_n << "): " << single_total
+            << " defeats (" << single_seconds << " s)\n";
+  if (max_n == 14) {
+    all_ok &= check(single_total == kCommittedE10Defeats,
+                    "single-process total equals the committed 5426593");
+  }
+
+  const dist::ShardPlan plan = dist::make_shard_plan(*workload, kShards);
+  const std::string cache_dir = scratch + "/cache";
+  util::Table table(
+      {"phase", "workers", "leases", "requeues", "expiries", "defeats", "ok"});
+
+  // ---- clean fleet: 2 remote-store workers -------------------------------
+  svc::ServiceReport clean_rep;
+  double clean_seconds = 0, ttfs = 0;
+  {
+    std::cout << "\nclean fleet (" << kShards << " shards, 2 workers, "
+              << "remote orbit store):\n";
+    svc::CoordinatorConfig cfg;
+    cfg.journal_dir = scratch + "/clean-journals";
+    cfg.cache_dir = cache_dir;
+    svc::Coordinator coord(plan, cfg);
+    bench::WallTimer fleet_timer;
+    std::vector<WorkerProc> fleet;
+    fleet.push_back(
+        launch_worker(cli, coord.port(), "w1", scratch + "/w1.log"));
+    fleet.push_back(
+        launch_worker(cli, coord.port(), "w2", scratch + "/w2.log"));
+    const bool drained =
+        coord.wait_complete(std::chrono::milliseconds(30 * 60 * 1000));
+    for (auto& w : fleet) w.thread.join();
+    clean_seconds = fleet_timer.seconds();
+    clean_rep = coord.report();
+    ttfs = clean_rep.time_to_first_sealed_shard_seconds;
+
+    std::uint64_t merged = 0;
+    try {
+      merged = dist::merge_journals(plan, cfg.journal_dir).total;
+    } catch (const std::exception& e) {
+      std::cerr << "clean merge failed: " << e.what() << "\n";
+    }
+    const bool workers_clean =
+        fleet[0].exit_code() == 0 && fleet[1].exit_code() == 0;
+    all_ok &= check(drained && clean_rep.all_complete() &&
+                        clean_rep.shards_completed == kShards,
+                    "all " + std::to_string(kShards) + " shards sealed");
+    all_ok &= check(workers_clean && clean_rep.runners_seen == 2,
+                    "both worker daemons exited cleanly");
+    all_ok &= check(merged == single_total,
+                    "merged " + std::to_string(merged) +
+                        " defeats == single-process total");
+    all_ok &= check(clean_rep.tier_stores >= 1 && clean_rep.tier_hits >= 1,
+                    "remote orbit store served the fleet (" +
+                        std::to_string(clean_rep.tier_stores) + " stores, " +
+                        std::to_string(clean_rep.tier_hits) + " hits)");
+
+    // The live metrics snapshot must agree with the merged journals —
+    // the endpoint is the same counters the merge validates, so any
+    // disagreement means the incremental merge drifted.
+    const std::string body =
+        net::http_get("127.0.0.1", coord.metrics_port(), "/");
+    std::uint64_t m_defeats = 0, m_sealed = 0, m_indices = 0;
+    const bool parsed =
+        body.find("\"kind\": \"service_metrics\"") != std::string::npos &&
+        metrics_u64(body, "committed_defeats", &m_defeats) &&
+        metrics_u64(body, "shards_completed", &m_sealed) &&
+        metrics_u64(body, "committed_indices", &m_indices);
+    all_ok &= check(parsed && m_defeats == merged && m_sealed == kShards &&
+                        m_indices == workload->count(),
+                    "metrics snapshot is self-consistent with the merge "
+                    "(committed_defeats " +
+                        std::to_string(m_defeats) + ")");
+    std::cout << "  fleet wall time " << clean_seconds
+              << " s, time-to-first-sealed-shard " << ttfs << " s\n";
+    table.row("clean", 2, clean_rep.leases_granted, clean_rep.shards_requeued,
+              clean_rep.lease_expiries, merged,
+              merged == single_total ? "yes" : "NO");
+  }
+
+  // ---- runner-kill chaos: 3 workers, one dies mid-lease ------------------
+  svc::ServiceReport chaos_rep;
+  double chaos_seconds = 0;
+  {
+    std::cout << "\nrunner-kill chaos (3 workers, one crashes at its 25th "
+              << "index, warm cache tier):\n";
+    svc::CoordinatorConfig cfg;
+    cfg.journal_dir = scratch + "/chaos-journals";
+    cfg.cache_dir = cache_dir;  // content-addressed: reuse the warm tier
+    svc::Coordinator coord(plan, cfg);
+    bench::WallTimer fleet_timer;
+    std::vector<WorkerProc> fleet;
+    fleet.push_back(launch_worker(cli, coord.port(), "doomed",
+                                  scratch + "/doomed.log",
+                                  "worker.index=crash@hit:25"));
+    fleet.push_back(
+        launch_worker(cli, coord.port(), "w3", scratch + "/w3.log"));
+    fleet.push_back(
+        launch_worker(cli, coord.port(), "w4", scratch + "/w4.log"));
+    const bool drained =
+        coord.wait_complete(std::chrono::milliseconds(30 * 60 * 1000));
+    for (auto& w : fleet) w.thread.join();
+    chaos_seconds = fleet_timer.seconds();
+    chaos_rep = coord.report();
+
+    std::uint64_t merged = 0;
+    try {
+      merged = dist::merge_journals(plan, cfg.journal_dir).total;
+    } catch (const std::exception& e) {
+      std::cerr << "chaos merge failed: " << e.what() << "\n";
+    }
+    const bool doomed_died = fleet[0].exit_code() != 0;
+    const bool survivors_clean =
+        fleet[1].exit_code() == 0 && fleet[2].exit_code() == 0;
+    all_ok &= check(doomed_died,
+                    "the doomed worker actually died (exit code " +
+                        std::to_string(fleet[0].exit_code()) + ")");
+    // Zero requeues would mean the crash never cost a lease — vacuous.
+    all_ok &= check(chaos_rep.shards_requeued >= 1,
+                    "the dropped lease was requeued (" +
+                        std::to_string(chaos_rep.shards_requeued) +
+                        " requeues)");
+    all_ok &= check(drained && chaos_rep.all_complete() &&
+                        chaos_rep.shards_quarantined == 0 && survivors_clean,
+                    "survivors drained every shard, nothing quarantined");
+    all_ok &= check(merged == single_total,
+                    "chaos merge " + std::to_string(merged) +
+                        " defeats == single-process total");
+    std::cout << "  fleet wall time " << chaos_seconds << " s\n";
+    table.row("runner-kill", 3, chaos_rep.leases_granted,
+              chaos_rep.shards_requeued, chaos_rep.lease_expiries, merged,
+              merged == single_total ? "yes" : "NO");
+  }
+
+  table.print(std::cout);
+
+  bench::JsonReport report("E15");
+  report.workload("rendezvous", 2);
+  report.shards(kShards);
+  util::ServiceSummary service;
+  service.runners = clean_rep.runners_seen + chaos_rep.runners_seen;
+  service.leases_granted =
+      clean_rep.leases_granted + chaos_rep.leases_granted;
+  service.leases_expired = clean_rep.lease_expiries + chaos_rep.lease_expiries;
+  service.requeues = clean_rep.shards_requeued + chaos_rep.shards_requeued;
+  service.quarantined =
+      clean_rep.shards_quarantined + chaos_rep.shards_quarantined;
+  service.journal_bytes_streamed =
+      clean_rep.journal_bytes_streamed + chaos_rep.journal_bytes_streamed;
+  service.time_to_first_sealed_shard_seconds = ttfs;
+  report.service(service);
+  report.metric("max_n", max_n);
+  report.metric("single_defeats", static_cast<double>(single_total));
+  report.metric("single_seconds", single_seconds);
+  report.metric("clean_fleet_seconds", clean_seconds);
+  report.metric("chaos_fleet_seconds", chaos_seconds);
+  report.metric("remote_store_gets",
+                static_cast<double>(clean_rep.tier_gets));
+  report.metric("remote_store_hits",
+                static_cast<double>(clean_rep.tier_hits));
+  report.metric("remote_store_stores",
+                static_cast<double>(clean_rep.tier_stores));
+  report.note("simd", sim::simd_path_name());
+  report.table(table);
+  std::cout << "report: " << report.write() << "\n";
+
+  if (all_ok) std::filesystem::remove_all(scratch);
+
+  bench::verdict(
+      all_ok,
+      "the coordinator-dispatched fleet merges bit-identical to the "
+      "single process" +
+          std::string(max_n == 14 ? " (committed 5426593 defeats)" : "") +
+          ", survives a runner kill, and its metrics agree with the merge");
+  return all_ok ? 0 : 1;
+}

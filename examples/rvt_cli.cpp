@@ -16,8 +16,8 @@
 //                       [--quarantine FILE]
 //   rvt_cli shard orchestrate <plan-file> --journal-dir DIR
 //                     [--cache-dir DIR] [--runners N] [--max-attempts N]
-//                     [--lease-timeout-ms N] [--child-failpoints SPEC]
-//                     [--quarantine-out FILE]
+//                     [--lease-timeout-ms N] [--poll-interval-ms N]
+//                     [--child-failpoints SPEC] [--quarantine-out FILE]
 //   rvt_cli shard chaos <plan-file> --scenario NAME --journal-dir DIR
 //                     [--cache-dir DIR] [--seed N] [--runners N]
 //                     [--expect-defeats N]
@@ -40,6 +40,27 @@
 //   injection (util/failpoint.hpp) in THIS process; `orchestrate
 //   --child-failpoints` / `chaos` arm it in first-attempt children.
 //
+//   rvt_cli serve --workload e10[:<max_n>] --shards N --journal-dir DIR
+//                 [--plan FILE] [--cache-dir DIR] [--port N]
+//                 [--metrics-port N] [--port-file FILE] [--max-attempts N]
+//                 [--lease-timeout-ms N] [--poll-interval-ms N]
+//                 [--expect-defeats N] [--quarantine-out FILE]
+//   rvt_cli worker --connect HOST:PORT [--name S] [--cache-dir DIR]
+//                 [--throttle-ms N]
+//     The shard-dispatch service tier (src/svc/): `serve` runs the
+//     network coordinator — it leases shard ranges to remote workers
+//     over TCP, journals their streamed records locally (so requeues
+//     resume from the committed prefix), serves the remote orbit-cache
+//     store, and blocks until every shard is sealed or quarantined.
+//     Live progress is scraped from the metrics listener with any HTTP
+//     client: `curl http://HOST:METRICS_PORT/` returns a bench-report-
+//     style JSON snapshot. --port-file writes "PORT METRICS_PORT" once
+//     both listeners are bound (for scripts racing against startup).
+//     `worker` is the runner daemon: it drains the coordinator and
+//     exits when told kDrained. Without --cache-dir the worker uses the
+//     coordinator's remote orbit store. Exit codes mirror orchestrate:
+//     0 complete, 3 partial coverage (quarantined shards), 1 error.
+//
 //   rvt_cli gather <tree-file|-> <s0,s1,...> [options]
 //     --delays d0,d1,...             per-agent start delays (default all 0)
 //     --automaton basic|pingpong:<p>|random:<K>[:<seed>]
@@ -58,6 +79,7 @@
 // per edge; '-' reads stdin. Exit code: 0 met/gathered, 2 not
 // met/not gathered, 1 usage/infeasible/mismatch.
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -79,6 +101,8 @@
 #include "sim/automaton.hpp"
 #include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
+#include "svc/coordinator.hpp"
+#include "svc/worker.hpp"
 #include "tree/canonical.hpp"
 #include "tree/io.hpp"
 #include "util/failpoint.hpp"
@@ -107,7 +131,17 @@ int usage() {
                "       rvt_cli shard chaos <plan-file> --scenario "
                "none|child-kill|torn-journal|corrupt-tier|publish-error "
                "--journal-dir DIR [--cache-dir DIR] [--seed N] "
-               "[--runners N] [--expect-defeats N]\n";
+               "[--runners N] [--expect-defeats N]\n"
+               "       rvt_cli serve --workload e10[:<max_n>] --shards N "
+               "--journal-dir DIR [--plan FILE] [--cache-dir DIR] "
+               "[--port N] [--metrics-port N] [--port-file FILE] "
+               "[--max-attempts N] [--lease-timeout-ms N] "
+               "[--poll-interval-ms N] [--expect-defeats N] "
+               "[--quarantine-out FILE]\n"
+               "         (metrics: curl http://HOST:METRICS_PORT/ for a "
+               "live JSON snapshot)\n"
+               "       rvt_cli worker --connect HOST:PORT [--name S] "
+               "[--cache-dir DIR] [--throttle-ms N]\n";
   return 1;
 }
 
@@ -333,7 +367,7 @@ int run_shard_mode(int argc, char** argv) {
     std::string journal_dir, cache_dir, child_failpoints, quarantine_out;
     std::string scenario;
     std::uint64_t runners = 2, max_attempts = 3, lease_ms = 10000, seed = 1;
-    std::uint64_t expect = 0;
+    std::uint64_t poll_ms = 20, expect = 0;
     bool have_expect = false;
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
@@ -360,6 +394,8 @@ int run_shard_mode(int argc, char** argv) {
         next_u64(max_attempts);
       } else if (a == "--lease-timeout-ms") {
         next_u64(lease_ms);
+      } else if (a == "--poll-interval-ms") {
+        next_u64(poll_ms);
       } else if (a == "--child-failpoints" && verb == "orchestrate") {
         child_failpoints = next();
       } else if (a == "--quarantine-out" && verb == "orchestrate") {
@@ -375,7 +411,8 @@ int run_shard_mode(int argc, char** argv) {
         return usage();
       }
     }
-    if (journal_dir.empty() || runners == 0 || max_attempts == 0) {
+    if (journal_dir.empty() || runners == 0 || max_attempts == 0 ||
+        poll_ms == 0) {
       return usage();
     }
     if (verb == "chaos" && scenario.empty()) return usage();
@@ -396,6 +433,7 @@ int run_shard_mode(int argc, char** argv) {
       cfg.max_concurrent = static_cast<unsigned>(runners);
       cfg.max_attempts = static_cast<unsigned>(max_attempts);
       cfg.lease_timeout = std::chrono::milliseconds(lease_ms);
+      cfg.poll_interval = std::chrono::milliseconds(poll_ms);
       if (!child_failpoints.empty()) {
         cfg.first_attempt_env.emplace_back("RVT_FAILPOINTS",
                                            child_failpoints);
@@ -445,6 +483,205 @@ int run_shard_mode(int argc, char** argv) {
   }
 
   return usage();
+}
+
+int run_serve_mode(int argc, char** argv) {
+  using namespace rvt;
+  std::string workload_spec = "e10", plan_path, journal_dir, cache_dir;
+  std::string port_file, quarantine_out;
+  std::uint64_t shards = 4, port = 0, metrics_port = 0;
+  std::uint64_t max_attempts = 3, lease_ms = 10000, poll_ms = 20;
+  std::uint64_t expect = 0;
+  bool have_expect = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << a << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    auto next_u64 = [&](std::uint64_t& out) {
+      if (!parse_u64_strict(next(), out)) {
+        std::cerr << "bad value for " << a << ": " << argv[i] << "\n";
+        std::exit(1);
+      }
+    };
+    if (a == "--workload") {
+      workload_spec = next();
+    } else if (a == "--plan") {
+      plan_path = next();
+    } else if (a == "--shards") {
+      next_u64(shards);
+    } else if (a == "--journal-dir") {
+      journal_dir = next();
+    } else if (a == "--cache-dir") {
+      cache_dir = next();
+    } else if (a == "--port") {
+      next_u64(port);
+    } else if (a == "--metrics-port") {
+      next_u64(metrics_port);
+    } else if (a == "--port-file") {
+      port_file = next();
+    } else if (a == "--max-attempts") {
+      next_u64(max_attempts);
+    } else if (a == "--lease-timeout-ms") {
+      next_u64(lease_ms);
+    } else if (a == "--poll-interval-ms") {
+      next_u64(poll_ms);
+    } else if (a == "--expect-defeats") {
+      next_u64(expect);
+      have_expect = true;
+    } else if (a == "--quarantine-out") {
+      quarantine_out = next();
+    } else {
+      return usage();
+    }
+  }
+  if (journal_dir.empty() || shards == 0 || max_attempts == 0 ||
+      poll_ms == 0 || port > 65535 || metrics_port > 65535) {
+    return usage();
+  }
+  try {
+    dist::ShardPlan plan;
+    if (!plan_path.empty()) {
+      plan = dist::load_plan(plan_path);
+    } else {
+      const auto w = dist::EnumWorkload::parse(workload_spec);
+      plan = dist::make_shard_plan(*w, static_cast<unsigned>(shards));
+    }
+    svc::CoordinatorConfig cfg;
+    cfg.journal_dir = journal_dir;
+    cfg.cache_dir = cache_dir;
+    cfg.port = static_cast<std::uint16_t>(port);
+    cfg.metrics_port = static_cast<std::uint16_t>(metrics_port);
+    cfg.max_attempts = static_cast<unsigned>(max_attempts);
+    cfg.lease_timeout = std::chrono::milliseconds(lease_ms);
+    cfg.poll_interval = std::chrono::milliseconds(poll_ms);
+    svc::Coordinator coord(plan, cfg);
+    std::cout << "serve: workload " << plan.workload_spec << ", "
+              << plan.count << " indices, " << plan.shards.size()
+              << " shards; dispatch port " << coord.port()
+              << ", metrics http://127.0.0.1:" << coord.metrics_port()
+              << "/\n"
+              << std::flush;
+    if (!port_file.empty()) {
+      // Written-then-renamed so a polling script never reads a torn
+      // half-written port number.
+      const std::string tmp = port_file + ".tmp";
+      {
+        std::ofstream pf(tmp);
+        pf << coord.port() << " " << coord.metrics_port() << "\n";
+        pf.flush();
+        if (!pf.good()) {
+          std::cerr << "serve: cannot write " << port_file << "\n";
+          return 1;
+        }
+      }
+      if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+        std::cerr << "serve: cannot publish " << port_file << "\n";
+        return 1;
+      }
+    }
+    coord.wait_complete();
+    const svc::ServiceReport rep = coord.report();
+    coord.stop();
+    std::cout << "serve: " << rep.shards_completed << "/" << rep.shards_total
+              << " shards sealed, " << rep.leases_granted << " leases, "
+              << rep.lease_expiries << " lease expiries, "
+              << rep.shards_requeued << " requeues, "
+              << rep.shards_quarantined << " quarantined, "
+              << rep.runners_seen << " runners, "
+              << rep.journal_bytes_streamed << " journal bytes streamed\n";
+    if (!rep.all_complete()) {
+      const dist::QuarantineManifest m = coord.quarantine_manifest();
+      const std::string out_path = quarantine_out.empty()
+                                       ? journal_dir + "/quarantine.bin"
+                                       : quarantine_out;
+      dist::write_quarantine_manifest(out_path, m);
+      const dist::MergeResult merged =
+          dist::merge_journals(plan, journal_dir, &m);
+      std::cout << "quarantine manifest: " << out_path << " ("
+                << m.entries.size() << " shards)\n"
+                << "merged (PARTIAL): " << merged.total << " defeats over "
+                << merged.covered << " of " << merged.indices
+                << " indices\n";
+      return 3;
+    }
+    const dist::MergeResult merged = dist::merge_journals(plan, journal_dir);
+    std::cout << "merged: " << merged.total << " defeats over "
+              << merged.indices << " indices\n";
+    if (have_expect && merged.total != expect) {
+      std::cerr << "serve: expected " << expect << " defeats, got "
+                << merged.total << "\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_worker_mode(int argc, char** argv) {
+  using namespace rvt;
+  std::string connect;
+  svc::WorkerOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << a << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--connect") {
+      connect = next();
+    } else if (a == "--name") {
+      opt.name = next();
+    } else if (a == "--cache-dir") {
+      opt.cache_dir = next();
+    } else if (a == "--throttle-ms") {
+      if (!parse_u64_strict(next(), opt.throttle_ms)) {
+        std::cerr << "bad value for --throttle-ms: " << argv[i] << "\n";
+        return 1;
+      }
+    } else {
+      return usage();
+    }
+  }
+  const std::size_t colon = connect.rfind(':');
+  std::uint64_t port = 0;
+  if (connect.empty() || colon == std::string::npos || colon == 0 ||
+      !parse_u64_strict(connect.c_str() + colon + 1, port) || port == 0 ||
+      port > 65535) {
+    std::cerr << "worker: --connect needs HOST:PORT\n";
+    return usage();
+  }
+  try {
+    const svc::WorkerReport rep = svc::run_worker(
+        connect.substr(0, colon), static_cast<std::uint16_t>(port), opt);
+    std::cout << "worker " << opt.name << ": " << rep.leases << " leases, "
+              << rep.sealed << " sealed, " << rep.revoked << " revoked, "
+              << rep.indices << " indices, " << rep.defeats << " defeats, "
+              << rep.chunks << " chunks\n";
+    if (rep.telemetry.tier_retries != 0 || rep.telemetry.tier_exhausted != 0 ||
+        rep.telemetry.tier_degraded != 0) {
+      std::cout << "tier faults: " << rep.telemetry.tier_retries
+                << " retries, " << rep.telemetry.tier_exhausted
+                << " exhausted"
+                << (rep.telemetry.tier_degraded != 0
+                        ? ", DEGRADED to compute-through"
+                        : "")
+                << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "worker: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 std::string read_tree_text(const char* arg, bool& ok) {
@@ -634,6 +871,12 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "shard") == 0) {
     return run_shard_mode(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return run_serve_mode(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
+    return run_worker_mode(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "gather") == 0) {
     return run_gather_mode(argc, argv);

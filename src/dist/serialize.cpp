@@ -107,8 +107,42 @@ std::vector<std::uint8_t> frame_payload(
   h.payload_checksum = fnv1a64(payload);
   std::vector<std::uint8_t> out(sizeof(WireHeader) + payload.size());
   std::memcpy(out.data(), &h, sizeof(h));
-  std::memcpy(out.data() + sizeof(h), payload.data(), payload.size());
+  if (!payload.empty()) {
+    // Empty payloads are legal frames (several service-tier messages are
+    // header-only) and an empty span's data() may be null.
+    std::memcpy(out.data() + sizeof(h), payload.data(), payload.size());
+  }
   return out;
+}
+
+FrameInfo validate_frame_header(std::span<const std::uint8_t> header) {
+  static_assert(sizeof(WireHeader) == kWireFrameBytes);
+  if (header.size() < sizeof(WireHeader)) {
+    throw SerializeError("wire: file shorter than header");
+  }
+  WireHeader h;
+  std::memcpy(&h, header.data(), sizeof(h));
+  if (h.magic != kWireMagic) {
+    throw SerializeError("wire: bad magic");
+  }
+  if (h.version != kWireVersion) {
+    throw WireVersionError("wire: format version " +
+                           std::to_string(h.version) +
+                           " (this build speaks " +
+                           std::to_string(kWireVersion) + ")");
+  }
+  if (h.reserved != 0) {
+    throw SerializeError("wire: reserved header bytes set");
+  }
+  if (h.payload_bytes > kMaxWirePayloadBytes) {
+    throw SerializeError("wire: payload length " +
+                         std::to_string(h.payload_bytes) +
+                         " exceeds the " +
+                         std::to_string(kMaxWirePayloadBytes) +
+                         "-byte limit");
+  }
+  return {static_cast<WireKind>(h.kind), h.payload_bytes,
+          h.payload_checksum};
 }
 
 std::span<const std::uint8_t> unframe_payload(
@@ -116,31 +150,16 @@ std::span<const std::uint8_t> unframe_payload(
   if (util::failpoint_error("wire.unframe")) {
     throw SerializeError("wire: injected frame-decode fault (wire.unframe)");
   }
-  if (file.size() < sizeof(WireHeader)) {
-    throw SerializeError("wire: file shorter than header");
-  }
-  WireHeader h;
-  std::memcpy(&h, file.data(), sizeof(h));
-  if (h.magic != kWireMagic) {
-    throw SerializeError("wire: bad magic");
-  }
-  if (h.version != kWireVersion) {
-    throw SerializeError("wire: format version " + std::to_string(h.version) +
-                         " (this build speaks " +
-                         std::to_string(kWireVersion) + ")");
-  }
-  if (h.kind != static_cast<std::uint16_t>(kind)) {
+  const FrameInfo info = validate_frame_header(file);
+  if (info.kind != kind) {
     throw SerializeError("wire: wrong payload kind");
   }
-  if (h.payload_bytes != file.size() - sizeof(WireHeader)) {
+  if (info.payload_bytes != file.size() - kWireFrameBytes) {
     throw SerializeError("wire: payload length mismatch (truncated file?)");
   }
-  if (h.reserved != 0) {
-    throw SerializeError("wire: reserved header bytes set");
-  }
   const std::span<const std::uint8_t> payload =
-      file.subspan(sizeof(WireHeader));
-  if (fnv1a64(payload) != h.payload_checksum) {
+      file.subspan(kWireFrameBytes);
+  if (fnv1a64(payload) != info.payload_checksum) {
     throw SerializeError("wire: payload checksum mismatch");
   }
   return payload;

@@ -52,10 +52,32 @@ enum class WireKind : std::uint16_t {
   kShardPlan = 2,
   kJournal = 3,
   kQuarantine = 4,  ///< quarantine manifest (dist/merge.hpp)
+  // Service-tier messages (svc/protocol.hpp), one frame per message on a
+  // coordinator <-> runner TCP session. Requests and their replies share
+  // a kind; kError may answer any request.
+  kHello = 5,         ///< version negotiation + plan binding
+  kLeaseRequest = 6,  ///< runner asks for a shard range
+  kLeaseGrant = 7,    ///< lease / wait / drained reply
+  kHeartbeat = 8,     ///< liveness probe + lease validity check
+  kJournalChunk = 9,  ///< streamed journal records (growth = heartbeat)
+  kSeal = 10,         ///< runner declares its leased shard complete
+  kError = 11,        ///< refusal with a machine-readable code
+  kOrbitGet = 12,     ///< remote orbit store: load by content key
+  kOrbitPut = 13,     ///< remote orbit store: best-effort publish
 };
 
 struct SerializeError : std::runtime_error {
   using std::runtime_error::runtime_error;
+};
+
+/// Cross-version refusal, distinct from corruption: the magic matched
+/// and the header is intact, but it claims a format version this build
+/// does not speak. A network handshake needs the distinction — an
+/// incompatible peer is reported and upgraded, damaged bytes are
+/// quarantined and retried. Subclasses SerializeError so every existing
+/// refuse-and-miss path handles it unchanged.
+struct WireVersionError : SerializeError {
+  using SerializeError::SerializeError;
 };
 
 /// FNV-1a over a byte range — the payload checksum of the wire header
@@ -104,8 +126,35 @@ class WireReader {
 std::vector<std::uint8_t> frame_payload(WireKind kind,
                                         std::span<const std::uint8_t> payload);
 
+/// Size of the frame header that precedes every payload.
+inline constexpr std::size_t kWireFrameBytes = 32;
+
+/// Hard ceiling on any framed payload this build will read — file or
+/// socket. Checked BEFORE a reader trusts the length field for anything
+/// (allocation, stream reads): a forged or foreign length must refuse
+/// cheaply, never drive a multi-gigabyte allocation ahead of the
+/// checksum that would have caught it.
+inline constexpr std::uint64_t kMaxWirePayloadBytes = std::uint64_t{1}
+                                                      << 30;
+
+/// The header's validated claims about the payload that follows it.
+struct FrameInfo {
+  WireKind kind;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_checksum = 0;
+};
+
+/// Validates the first kWireFrameBytes of a framed artifact or stream:
+/// magic, version, reserved bytes, and the kMaxWirePayloadBytes guard —
+/// everything checkable before a reader commits to the payload. Throws
+/// WireVersionError for a foreign version, SerializeError otherwise.
+/// Kind and checksum are the CALLER's checks (only it knows what kind it
+/// expects, and the checksum needs the payload bytes).
+FrameInfo validate_frame_header(std::span<const std::uint8_t> header);
+
 /// Validates the frame (magic, version, kind, length, checksum) and
-/// returns the payload view into `file`. Throws SerializeError.
+/// returns the payload view into `file`. Throws WireVersionError for a
+/// foreign format version, SerializeError for everything else.
 std::span<const std::uint8_t> unframe_payload(
     WireKind kind, std::span<const std::uint8_t> file);
 

@@ -1,0 +1,77 @@
+#include "net/frame.hpp"
+
+namespace rvt::net {
+
+namespace {
+
+/// Fills [buf, buf+want) from the stream. Returns false when the very
+/// first read hit end-of-stream (caller decides whether that is a clean
+/// boundary close); EOF after the first byte is a truncation and
+/// throws. `idle_ok` lets the very first read report a quiet stream via
+/// RecvStatus handling in the caller — signalled here by NetTimeout
+/// propagating when *idle is set.
+bool read_exact(ByteStream& s, std::uint8_t* buf, std::size_t want,
+                bool idle_ok, bool* idle) {
+  std::size_t got = 0;
+  unsigned stalls = 0;
+  while (got < want) {
+    std::size_t n = 0;
+    try {
+      n = s.read_some(buf + got, want - got);
+    } catch (const NetTimeout&) {
+      if (got == 0 && idle_ok) {
+        *idle = true;
+        return false;
+      }
+      if (++stalls >= kFrameStallLimit) {
+        throw NetError("frame: stream stalled mid-frame");
+      }
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // boundary close
+      throw dist::SerializeError(
+          "frame: end of stream inside a frame (truncated message)");
+    }
+    stalls = 0;
+    got += n;
+  }
+  return true;
+}
+
+}  // namespace
+
+void send_frame(ByteStream& s, dist::WireKind kind,
+                std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> framed =
+      dist::frame_payload(kind, payload);
+  s.write_all(framed.data(), framed.size());
+}
+
+RecvStatus recv_frame(ByteStream& s, Frame& out, bool idle_ok) {
+  std::uint8_t header[dist::kWireFrameBytes];
+  bool idle = false;
+  if (!read_exact(s, header, sizeof(header), idle_ok, &idle)) {
+    return idle ? RecvStatus::kIdle : RecvStatus::kEof;
+  }
+  // Validates magic/version/reserved and the max-payload guard before
+  // the payload is allocated or read.
+  const dist::FrameInfo info =
+      dist::validate_frame_header({header, sizeof(header)});
+  out.kind = info.kind;
+  out.payload.resize(info.payload_bytes);
+  if (info.payload_bytes > 0) {
+    bool payload_idle = false;
+    if (!read_exact(s, out.payload.data(), out.payload.size(),
+                    /*idle_ok=*/false, &payload_idle)) {
+      throw dist::SerializeError(
+          "frame: end of stream inside a frame (truncated message)");
+    }
+  }
+  if (dist::fnv1a64(out.payload) != info.payload_checksum) {
+    throw dist::SerializeError("frame: payload checksum mismatch");
+  }
+  return RecvStatus::kFrame;
+}
+
+}  // namespace rvt::net

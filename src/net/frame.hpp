@@ -1,0 +1,53 @@
+// Message framing over a ByteStream: the dist/ wire format (32-byte
+// checksummed header + payload), one frame per protocol message.
+//
+// The receive path is written against hostile transports and proves it
+// in tests (tests/test_net.cpp) with 1-byte dribbles, torn tails and
+// perpetual stalls:
+//  * a truncated message is NEVER accepted — end-of-stream mid-frame is
+//    a SerializeError, only a close at an exact frame boundary is kEof;
+//  * a reader with a stream timeout NEVER blocks forever — after
+//    kFrameStallLimit consecutive empty reads mid-frame it throws
+//    NetError;
+//  * the header's length field is validated against
+//    dist::kMaxWirePayloadBytes BEFORE any payload allocation, and the
+//    payload checksum is verified before the frame is surfaced.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/serialize.hpp"
+#include "net/socket.hpp"
+
+namespace rvt::net {
+
+/// One received message: validated kind + checksum-verified payload.
+struct Frame {
+  dist::WireKind kind{};
+  std::vector<std::uint8_t> payload;
+};
+
+enum class RecvStatus {
+  kFrame,  ///< out holds a validated frame
+  kEof,    ///< peer closed cleanly AT a frame boundary
+  kIdle,   ///< idle_ok and the stream timed out with nothing read
+};
+
+/// Consecutive timed-out reads tolerated once a frame has begun (or at
+/// a boundary when the caller did not opt into kIdle). With a typical
+/// 200ms stream timeout this bounds a stalled peer at ~10s.
+inline constexpr unsigned kFrameStallLimit = 50;
+
+/// Sends one framed message.
+void send_frame(ByteStream& s, dist::WireKind kind,
+                std::span<const std::uint8_t> payload);
+
+/// Reads exactly one frame; see the file comment for the guarantees.
+/// Cross-version headers throw dist::WireVersionError, corruption and
+/// truncation dist::SerializeError, a stalled or broken transport
+/// NetError. kIdle is only returned when `idle_ok` and the first read
+/// of a frame timed out with zero bytes consumed.
+RecvStatus recv_frame(ByteStream& s, Frame& out, bool idle_ok = false);
+
+}  // namespace rvt::net

@@ -1,0 +1,705 @@
+#include "svc/coordinator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "svc/protocol.hpp"
+
+namespace rvt::svc {
+
+namespace {
+
+constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+double seconds_since(std::chrono::steady_clock::time_point t,
+                     std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double>(now - t).count();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string service_json(const ServiceReport& r,
+                         const std::string& workload_spec) {
+  std::string j = "{\n";
+  const auto u64 = [&](const char* key, std::uint64_t v, bool comma = true) {
+    j += std::string("  \"") + key + "\": " + std::to_string(v) +
+         (comma ? ",\n" : "\n");
+  };
+  const auto dbl = [&](const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    j += std::string("  \"") + key + "\": " + buf + ",\n";
+  };
+  j += "  \"kind\": \"service_metrics\",\n";
+  j += "  \"workload\": \"" + json_escape(workload_spec) + "\",\n";
+  u64("shards_total", r.shards_total);
+  u64("shards_completed", r.shards_completed);
+  u64("shards_leased", r.shards_leased);
+  u64("shards_pending", r.shards_pending);
+  u64("shards_requeued", r.shards_requeued);
+  u64("shards_quarantined", r.shards_quarantined);
+  u64("leases_granted", r.leases_granted);
+  u64("lease_expiries", r.lease_expiries);
+  u64("runners_seen", r.runners_seen);
+  u64("total_indices", r.total_indices);
+  u64("committed_indices", r.committed_indices);
+  u64("committed_defeats", r.committed_defeats);
+  u64("journal_bytes_streamed", r.journal_bytes_streamed);
+  u64("cache_tier_gets", r.tier_gets);
+  u64("cache_tier_hits", r.tier_hits);
+  u64("cache_tier_stores", r.tier_stores);
+  u64("cache_tier_retries", r.tier_faults.retries);
+  u64("cache_tier_exhausted", r.tier_faults.exhausted);
+  u64("cache_tier_quarantined", r.tier_faults.quarantined);
+  u64("cache_tier_degraded", r.tier_faults.degraded ? 1 : 0);
+  dbl("uptime_seconds", r.uptime_seconds);
+  dbl("shards_per_second", r.shards_per_second);
+  dbl("time_to_first_record_seconds", r.time_to_first_record_seconds);
+  dbl("time_to_first_sealed_shard_seconds",
+      r.time_to_first_sealed_shard_seconds);
+  j += "  \"runners\": [";
+  for (std::size_t i = 0; i < r.runners.size(); ++i) {
+    const RunnerHealth& h = r.runners[i];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", h.last_heartbeat_age_seconds);
+    j += std::string(i == 0 ? "\n" : ",\n") + "    {\"name\": \"" +
+         json_escape(h.name) + "\", \"role\": \"" + json_escape(h.role) +
+         "\", \"connected\": " + (h.connected ? "true" : "false") +
+         ", \"last_heartbeat_age_seconds\": " + buf +
+         ", \"shards_sealed\": " + std::to_string(h.shards_sealed) +
+         ", \"records_streamed\": " + std::to_string(h.records_streamed) +
+         "}";
+  }
+  j += r.runners.empty() ? "]\n" : "\n  ]\n";
+  j += "}\n";
+  return j;
+}
+
+Coordinator::Coordinator(dist::ShardPlan plan, CoordinatorConfig cfg)
+    : plan_(std::move(plan)), cfg_(std::move(cfg)) {
+  std::error_code ec;
+  std::filesystem::create_directories(cfg_.journal_dir, ec);
+  if (ec) {
+    throw dist::SerializeError("coordinator: cannot create journal dir " +
+                               cfg_.journal_dir);
+  }
+  if (!cfg_.cache_dir.empty()) {
+    fs_store_ = std::make_unique<dist::FsOrbitStore>(cfg_.cache_dir);
+  }
+  shards_.resize(plan_.shards.size());
+  // Adopt whatever journals already exist: sealed shards need no lease,
+  // partial ones count their committed prefix and resume from it.
+  for (std::size_t i = 0; i < plan_.shards.size(); ++i) {
+    const dist::ShardSpec& spec = plan_.shards[i];
+    std::optional<dist::JournalState> js;
+    try {
+      js = dist::read_journal(dist::journal_path(cfg_.journal_dir, spec));
+    } catch (const dist::SerializeError&) {
+      js.reset();  // unusable preamble — recreated on first grant
+    }
+    const bool bound = js && js->header.shard_id == spec.id &&
+                       js->header.fingerprint == plan_.fingerprint &&
+                       js->header.begin == spec.begin &&
+                       js->header.end == spec.end;
+    if (bound && js->complete) {
+      shards_[i].phase = ShardPhase::kSealed;
+      shards_[i].sealed_sum = js->sum;
+      ++sealed_total_;
+      committed_indices_ += spec.end - spec.begin;
+      committed_defeats_ += js->sum;
+    } else {
+      if (bound) {
+        committed_indices_ += js->next_index - spec.begin;
+        committed_defeats_ += js->sum;
+      }
+      pending_.push_back(i);
+    }
+  }
+  start_ = std::chrono::steady_clock::now();
+  listener_ = std::make_unique<net::TcpListener>(cfg_.port);
+  metrics_listener_ = std::make_unique<net::TcpListener>(cfg_.metrics_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  metrics_thread_ = std::thread([this] { metrics_loop(); });
+  reaper_thread_ = std::thread([this] { reaper_loop(); });
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::stop() {
+  const bool was_stopped = stop_.exchange(true);
+  if (!was_stopped) {
+    listener_->close();
+    metrics_listener_->close();
+    cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Joined after the accept loop so no new session can appear.
+    std::vector<std::thread> sessions;
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      sessions.swap(sessions_);
+    }
+    for (std::thread& t : sessions) {
+      if (t.joinable()) t.join();
+    }
+  }
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+}
+
+bool Coordinator::done_locked() const {
+  for (const ShardState& s : shards_) {
+    if (s.phase != ShardPhase::kSealed && s.phase != ShardPhase::kQuarantined) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Coordinator::wait_complete(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto pred = [this] { return done_locked() || stop_.load(); };
+  if (timeout == std::chrono::milliseconds::max()) {
+    cv_.wait(lk, pred);
+  } else {
+    cv_.wait_for(lk, timeout, pred);
+  }
+  return done_locked();
+}
+
+void Coordinator::fail_attempt_locked(std::size_t shard,
+                                      const std::string& reason) {
+  ShardState& s = shards_[shard];
+  s.diagnostics.push_back(
+      "attempt " + std::to_string(s.attempts) + " (" +
+      (s.holder.empty() ? std::string("?") : s.holder) + "): " + reason);
+  s.token = 0;  // fence: the stale holder's chunks/seals now refuse
+  s.holder.clear();
+  s.session = 0;
+  if (s.attempts >= cfg_.max_attempts) {
+    s.phase = ShardPhase::kQuarantined;
+    s.writer.reset();
+    cv_.notify_all();
+  } else {
+    s.phase = ShardPhase::kPending;
+    pending_.push_back(shard);
+    ++requeues_;
+  }
+}
+
+void Coordinator::release_if_held_locked(std::uint64_t session_id,
+                                         std::size_t shard,
+                                         const std::string& reason) {
+  if (shard == kNoShard || shard >= shards_.size()) return;
+  ShardState& s = shards_[shard];
+  if (s.phase == ShardPhase::kLeased && s.session == session_id) {
+    fail_attempt_locked(shard, reason);
+  }
+}
+
+std::vector<std::uint8_t> Coordinator::grant_lease_locked(
+    std::uint64_t session_id, const std::string& name, std::size_t* leased) {
+  *leased = kNoShard;
+  LeaseGrant g;
+  if (done_locked()) {
+    g.status = LeaseStatus::kDrained;
+    return encode(g);
+  }
+  if (pending_.empty()) {
+    g.status = LeaseStatus::kWait;
+    g.retry_ms = std::max<std::uint64_t>(
+        50, static_cast<std::uint64_t>(cfg_.poll_interval.count()) * 10);
+    return encode(g);
+  }
+  const std::size_t i = pending_.front();
+  pending_.pop_front();
+  ShardState& s = shards_[i];
+  const dist::ShardSpec& spec = plan_.shards[i];
+  if (!s.writer) {
+    const std::string path = dist::journal_path(cfg_.journal_dir, spec);
+    const dist::JournalHeader hdr{spec.id, plan_.fingerprint, spec.begin,
+                                  spec.end};
+    std::optional<dist::JournalState> js;
+    try {
+      js = dist::read_journal(path);
+    } catch (const dist::SerializeError&) {
+      js.reset();
+    }
+    const bool bound = js && !js->complete &&
+                       js->header.shard_id == hdr.shard_id &&
+                       js->header.fingerprint == hdr.fingerprint &&
+                       js->header.begin == hdr.begin &&
+                       js->header.end == hdr.end;
+    try {
+      s.writer = bound ? dist::JournalWriter::resume(path, hdr, *js)
+                       : dist::JournalWriter::create(path, hdr);
+    } catch (const dist::SerializeError&) {
+      // Unusable journal dir: the session loop answers kError, but the
+      // shard must not silently fall out of the rotation.
+      pending_.push_back(i);
+      throw;
+    }
+  }
+  ++s.attempts;
+  s.phase = ShardPhase::kLeased;
+  s.token = next_token_++;
+  s.holder = name;
+  s.session = session_id;
+  s.last_progress = std::chrono::steady_clock::now();
+  ++leases_granted_;
+  g.status = LeaseStatus::kGranted;
+  g.shard_index = i;
+  g.shard_id = spec.id;
+  g.begin = spec.begin;
+  g.end = spec.end;
+  g.next_index = s.writer->next_index();
+  g.resume_sum = s.writer->sum();
+  g.token = s.token;
+  *leased = i;
+  return encode(g);
+}
+
+void Coordinator::accept_loop() {
+  std::uint64_t next_session = 0;
+  while (!stop_.load()) {
+    std::unique_ptr<net::TcpStream> s;
+    try {
+      s = listener_->accept();
+    } catch (const net::NetError&) {
+      break;
+    }
+    if (!s) break;
+    const std::uint64_t sid = next_session++;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      runners_.push_back({"session-" + std::to_string(sid), "?",
+                          std::chrono::steady_clock::now(), 0, 0, true});
+    }
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    sessions_.emplace_back(
+        [this, sid, stream = std::move(s)]() mutable {
+          handle_session(std::move(stream), sid);
+        });
+  }
+}
+
+void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
+                                 std::uint64_t session_id) {
+  stream->set_read_timeout_ms(
+      static_cast<unsigned>(cfg_.session_read_timeout.count()));
+  std::size_t my_shard = kNoShard;
+  std::string name;
+  const auto send = [&](dist::WireKind kind,
+                        const std::vector<std::uint8_t>& payload) {
+    net::send_frame(*stream, kind, payload);
+  };
+  const auto send_error = [&](ErrorCode code, const std::string& msg) {
+    try {
+      send(dist::WireKind::kError, encode(ErrorReply{code, msg}));
+    } catch (const net::NetError&) {
+    }
+  };
+  try {
+    // ---- handshake ----
+    net::Frame f;
+    for (;;) {
+      const net::RecvStatus st = net::recv_frame(*stream, f, true);
+      if (st == net::RecvStatus::kIdle) {
+        if (stop_.load()) return;
+        continue;
+      }
+      if (st == net::RecvStatus::kEof) return;
+      break;
+    }
+    if (f.kind != dist::WireKind::kHello) {
+      send_error(ErrorCode::kBadRequest, "expected hello");
+      return;
+    }
+    const HelloRequest hello = decode_hello_request(f.payload);
+    name = hello.name.empty() ? "session-" + std::to_string(session_id)
+                              : hello.name;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      runners_[session_id].name = name;
+      runners_[session_id].role = hello.role;
+      runners_[session_id].last_seen = std::chrono::steady_clock::now();
+    }
+    if (hello.protocol != kServiceProtocolVersion) {
+      send_error(ErrorCode::kVersion,
+                 "service protocol " + std::to_string(hello.protocol) +
+                     " (this coordinator speaks " +
+                     std::to_string(kServiceProtocolVersion) + ")");
+      return;
+    }
+    if (hello.role != "worker" && hello.role != "store") {
+      send_error(ErrorCode::kRefused, "unknown role '" + hello.role + "'");
+      return;
+    }
+    HelloReply ack;
+    ack.fingerprint = plan_.fingerprint;
+    ack.workload_spec = plan_.workload_spec;
+    ack.index_count = plan_.count;
+    ack.max_rounds = plan_.max_rounds;
+    ack.shard_count = plan_.shards.size();
+    send(dist::WireKind::kHello, encode(ack));
+
+    // ---- message loop ----
+    for (;;) {
+      const net::RecvStatus st = net::recv_frame(*stream, f, true);
+      if (st == net::RecvStatus::kIdle) {
+        if (stop_.load()) break;
+        continue;
+      }
+      if (st == net::RecvStatus::kEof) break;
+      dist::WireKind reply_kind = f.kind;
+      std::vector<std::uint8_t> reply;
+      switch (f.kind) {
+        case dist::WireKind::kLeaseRequest: {
+          std::lock_guard<std::mutex> lk(mu_);
+          runners_[session_id].last_seen = std::chrono::steady_clock::now();
+          std::size_t leased = kNoShard;
+          try {
+            reply = grant_lease_locked(session_id, name, &leased);
+          } catch (const dist::SerializeError& e) {
+            reply_kind = dist::WireKind::kError;
+            reply = encode(ErrorReply{ErrorCode::kRefused,
+                                      std::string("journal: ") + e.what()});
+          }
+          if (leased != kNoShard) my_shard = leased;
+          reply_kind = reply_kind == dist::WireKind::kError
+                           ? reply_kind
+                           : dist::WireKind::kLeaseGrant;
+          break;
+        }
+        case dist::WireKind::kJournalChunk: {
+          const JournalChunk chunk = decode_journal_chunk(f.payload);
+          std::lock_guard<std::mutex> lk(mu_);
+          runners_[session_id].last_seen = std::chrono::steady_clock::now();
+          ChunkReply cr;
+          if (chunk.shard_index < shards_.size() && chunk.token != 0 &&
+              shards_[chunk.shard_index].token == chunk.token &&
+              shards_[chunk.shard_index].phase == ShardPhase::kLeased) {
+            ShardState& s = shards_[chunk.shard_index];
+            try {
+              for (const JournalRecord& rec : chunk.records) {
+                s.writer->record(rec.index, rec.value);
+                ++committed_indices_;
+                committed_defeats_ += rec.value;
+              }
+              s.last_progress = std::chrono::steady_clock::now();
+              journal_bytes_streamed_ += f.payload.size();
+              runners_[session_id].records_streamed += chunk.records.size();
+              if (!first_record_at_ && !chunk.records.empty()) {
+                first_record_at_ = s.last_progress;
+              }
+              cr.accepted = true;
+              cr.next_index = s.writer->next_index();
+            } catch (const dist::SerializeError& e) {
+              // Out-of-order or unappendable records: this attempt is
+              // bad; the committed prefix stays, the shard requeues.
+              fail_attempt_locked(chunk.shard_index,
+                                  std::string("bad chunk: ") + e.what());
+              cv_.notify_all();
+              cr.accepted = false;
+            }
+          } else {
+            cr.accepted = false;  // stale token: lease was revoked
+          }
+          reply = encode(cr);
+          break;
+        }
+        case dist::WireKind::kSeal: {
+          const Seal seal = decode_seal(f.payload);
+          std::lock_guard<std::mutex> lk(mu_);
+          runners_[session_id].last_seen = std::chrono::steady_clock::now();
+          SealReply sr;
+          if (seal.shard_index < shards_.size() && seal.token != 0 &&
+              shards_[seal.shard_index].token == seal.token &&
+              shards_[seal.shard_index].phase == ShardPhase::kLeased) {
+            ShardState& s = shards_[seal.shard_index];
+            if (seal.total != s.writer->sum()) {
+              fail_attempt_locked(
+                  seal.shard_index,
+                  "seal total " + std::to_string(seal.total) +
+                      " != journaled sum " + std::to_string(s.writer->sum()));
+            } else {
+              try {
+                s.writer->finish(seal.total);
+                s.writer.reset();
+                s.phase = ShardPhase::kSealed;
+                s.sealed_sum = seal.total;
+                s.token = 0;
+                s.holder.clear();
+                s.session = 0;
+                ++sealed_total_;
+                ++sealed_this_run_;
+                ++runners_[session_id].shards_sealed;
+                if (!first_seal_at_) {
+                  first_seal_at_ = std::chrono::steady_clock::now();
+                }
+                sr.accepted = true;
+                my_shard = kNoShard;
+              } catch (const dist::SerializeError& e) {
+                fail_attempt_locked(seal.shard_index,
+                                    std::string("seal refused: ") + e.what());
+              }
+            }
+            cv_.notify_all();
+          }
+          reply = encode(sr);
+          break;
+        }
+        case dist::WireKind::kHeartbeat: {
+          const Heartbeat hb = decode_heartbeat(f.payload);
+          std::lock_guard<std::mutex> lk(mu_);
+          runners_[session_id].last_seen = std::chrono::steady_clock::now();
+          HeartbeatReply hr;
+          // NOTE: a heartbeat proves the runner is alive, not that it is
+          // making progress — it never renews the lease. Journal growth
+          // (chunks) is the only renewal, same as the fork/exec
+          // orchestrator's journal-size poll.
+          hr.lease_valid =
+              hb.token == 0 ||
+              (hb.shard_index < shards_.size() &&
+               shards_[hb.shard_index].token == hb.token &&
+               shards_[hb.shard_index].phase == ShardPhase::kLeased);
+          reply = encode(hr);
+          break;
+        }
+        case dist::WireKind::kOrbitGet: {
+          const OrbitGet get = decode_orbit_get(f.payload);
+          OrbitGetReply gr;
+          // fs_store_ is internally synchronized — no mu_ during IO.
+          if (fs_store_) {
+            const auto set = fs_store_->load(get.key);
+            if (set) {
+              gr.found = true;
+              gr.payload = dist::serialize_orbit_set(*set);
+            }
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            runners_[session_id].last_seen = std::chrono::steady_clock::now();
+            ++tier_gets_;
+            if (gr.found) ++tier_hits_;
+          }
+          reply = encode(gr);
+          break;
+        }
+        case dist::WireKind::kOrbitPut: {
+          const OrbitPut put = decode_orbit_put(f.payload);
+          OrbitPutReply pr;
+          pr.accepted = true;  // best-effort, like FsOrbitStore::store
+          if (fs_store_) {
+            try {
+              // Deserialize first: a malformed payload must never be
+              // published into the content-addressed tier.
+              fs_store_->store(put.key, dist::deserialize_orbit_set(
+                                            put.payload));
+            } catch (const dist::SerializeError&) {
+              pr.accepted = false;
+            }
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            runners_[session_id].last_seen = std::chrono::steady_clock::now();
+            if (pr.accepted && fs_store_) ++tier_stores_;
+          }
+          reply = encode(pr);
+          break;
+        }
+        default:
+          reply_kind = dist::WireKind::kError;
+          reply = encode(
+              ErrorReply{ErrorCode::kBadRequest, "unexpected message kind"});
+      }
+      send(reply_kind, reply);
+    }
+  } catch (const dist::WireVersionError& e) {
+    send_error(ErrorCode::kVersion, e.what());
+  } catch (const dist::SerializeError& e) {
+    send_error(ErrorCode::kBadRequest, e.what());
+  } catch (const net::NetError&) {
+    // broken or stalled transport — treated like a disconnect
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  runners_[session_id].connected = false;
+  release_if_held_locked(session_id, my_shard, "runner disconnected unsealed");
+  cv_.notify_all();
+}
+
+void Coordinator::reaper_loop() {
+  while (!stop_.load()) {
+    std::this_thread::sleep_for(cfg_.poll_interval);
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      ShardState& s = shards_[i];
+      if (s.phase == ShardPhase::kLeased &&
+          now - s.last_progress > cfg_.lease_timeout) {
+        ++lease_expiries_;
+        fail_attempt_locked(
+            i, "lease expired (no journal growth for " +
+                   std::to_string(cfg_.lease_timeout.count()) + "ms)");
+      }
+    }
+    if (done_locked()) cv_.notify_all();
+  }
+}
+
+void Coordinator::metrics_loop() {
+  while (!stop_.load()) {
+    std::unique_ptr<net::TcpStream> s;
+    try {
+      s = metrics_listener_->accept();
+    } catch (const net::NetError&) {
+      break;
+    }
+    if (!s) break;
+    try {
+      s->set_read_timeout_ms(1000);
+      std::string req;
+      char buf[1024];
+      while (req.find("\r\n\r\n") == std::string::npos && req.size() < 65536) {
+        std::size_t n = 0;
+        try {
+          n = s->read_some(buf, sizeof(buf));
+        } catch (const net::NetTimeout&) {
+          break;
+        }
+        if (n == 0) break;
+        req.append(buf, n);
+      }
+      std::string resp;
+      if (req.compare(0, 4, "GET ") == 0) {
+        const std::string body = metrics_json();
+        resp = "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n"
+               "Content-Length: " +
+               std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + body;
+      } else {
+        resp = "HTTP/1.0 400 Bad Request\r\nConnection: close\r\n\r\n";
+      }
+      s->write_all(resp.data(), resp.size());
+    } catch (const net::NetError&) {
+      // one scraper's broken connection must not stop the endpoint
+    }
+  }
+}
+
+ServiceReport Coordinator::report_locked() const {
+  ServiceReport r;
+  const auto now = std::chrono::steady_clock::now();
+  r.shards_total = shards_.size();
+  for (const ShardState& s : shards_) {
+    switch (s.phase) {
+      case ShardPhase::kSealed:
+        ++r.shards_completed;
+        break;
+      case ShardPhase::kLeased:
+        ++r.shards_leased;
+        break;
+      case ShardPhase::kPending:
+        ++r.shards_pending;
+        break;
+      case ShardPhase::kQuarantined:
+        ++r.shards_quarantined;
+        break;
+    }
+  }
+  r.shards_requeued = requeues_;
+  r.leases_granted = leases_granted_;
+  r.lease_expiries = lease_expiries_;
+  r.total_indices = plan_.count;
+  r.committed_indices = committed_indices_;
+  r.committed_defeats = committed_defeats_;
+  r.journal_bytes_streamed = journal_bytes_streamed_;
+  r.tier_gets = tier_gets_;
+  r.tier_hits = tier_hits_;
+  r.tier_stores = tier_stores_;
+  if (fs_store_) r.tier_faults = fs_store_->fault_stats();
+  r.uptime_seconds = seconds_since(start_, now);
+  r.shards_per_second = r.uptime_seconds > 0
+                            ? static_cast<double>(sealed_this_run_) /
+                                  r.uptime_seconds
+                            : 0;
+  if (first_record_at_) {
+    r.time_to_first_record_seconds = seconds_since(start_, *first_record_at_);
+  }
+  if (first_seal_at_) {
+    r.time_to_first_sealed_shard_seconds =
+        seconds_since(start_, *first_seal_at_);
+  }
+  for (const RunnerInfo& ri : runners_) {
+    if (ri.role == "worker") ++r.runners_seen;
+    RunnerHealth h;
+    h.name = ri.name;
+    h.role = ri.role;
+    h.last_heartbeat_age_seconds = seconds_since(ri.last_seen, now);
+    h.shards_sealed = ri.shards_sealed;
+    h.records_streamed = ri.records_streamed;
+    h.connected = ri.connected;
+    r.runners.push_back(std::move(h));
+  }
+  return r;
+}
+
+ServiceReport Coordinator::report() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return report_locked();
+}
+
+std::string Coordinator::metrics_json() const {
+  return service_json(report(), plan_.workload_spec);
+}
+
+dist::QuarantineManifest Coordinator::quarantine_manifest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  dist::QuarantineManifest m;
+  m.fingerprint = plan_.fingerprint;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardState& s = shards_[i];
+    if (s.phase != ShardPhase::kQuarantined) continue;
+    dist::QuarantineEntry e;
+    e.begin = plan_.shards[i].begin;
+    e.end = plan_.shards[i].end;
+    e.shard_id = plan_.shards[i].id;
+    std::string diag;
+    for (const std::string& d : s.diagnostics) {
+      if (!diag.empty()) diag += "; ";
+      diag += d;
+    }
+    e.diagnostics = diag;
+    m.entries.push_back(std::move(e));
+  }
+  return m;
+}
+
+}  // namespace rvt::svc

@@ -1,0 +1,239 @@
+// The shard-dispatch coordinator: leases a shard plan's index ranges to
+// remote runner daemons over TCP and owns every journal.
+//
+// Lease semantics are PR 6's fork/exec orchestrator carried onto the
+// network, with one inversion that makes incremental merge fall out for
+// free: runners STREAM their committed records back (kJournalChunk) and
+// the coordinator appends them to the shard's journal locally. Journal
+// growth is therefore still the one heartbeat that counts — a runner
+// that chats but commits nothing is indistinguishable from a dead one
+// and its lease expires — and the durable resume point always lives
+// with the coordinator: a requeued shard is re-granted from the
+// committed prefix (LeaseGrant::next_index), never from scratch.
+//
+// Failure handling mirrors the orchestrator exactly:
+//  * lease expiry (no journal growth for lease_timeout) or an unsealed
+//    disconnect requeues the range, attempts capped at max_attempts;
+//  * exhausted attempts quarantine the shard with per-attempt
+//    diagnostics — partial coverage stays an explicit state
+//    (quarantine_manifest() slots into merge_journals unchanged);
+//  * stale leaseholders (expired, then superseded) are fenced by a
+//    per-grant token: their chunks/seals get accepted=false and they
+//    abandon the shard. Their records are NOT lost wholesale — the
+//    prefix the coordinator already journaled stays committed.
+//
+// The coordinator also serves the remote orbit-store half (kOrbitGet /
+// kOrbitPut) against an optional local FsOrbitStore, so the cache
+// tier's retry/quarantine/degrade policy composes unchanged — a runner
+// publishing through NetOrbitStore lands in the same content-addressed
+// directory a shared-filesystem fleet would use.
+//
+// A separate metrics listener answers plain HTTP/1.0 GETs with a
+// bench-report-style JSON document (service_json): live progress for a
+// fleet run — shards completed/leased/requeued/quarantined, shards/s,
+// per-runner health with last-heartbeat age, cache tier counters,
+// time-to-first-sealed-shard. The telemetry export is deliberately a
+// separate listener from the dispatch protocol (the bnet/telemetry
+// plugin split): scraping metrics can never head-of-line-block a lease.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/journal.hpp"
+#include "dist/merge.hpp"
+#include "dist/serialize.hpp"
+#include "dist/shard_plan.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "sim/orbit_cache.hpp"
+
+namespace rvt::svc {
+
+struct CoordinatorConfig {
+  std::string journal_dir;  ///< required; created on construction
+  /// Orbit cache directory backing kOrbitGet/kOrbitPut; empty disables
+  /// the remote store (gets miss, puts are dropped).
+  std::string cache_dir;
+  std::uint16_t port = 0;          ///< dispatch listener; 0 = ephemeral
+  std::uint16_t metrics_port = 0;  ///< metrics listener; 0 = ephemeral
+  unsigned max_attempts = 3;
+  /// Lease expires after this long without journal growth.
+  std::chrono::milliseconds lease_timeout{10000};
+  /// Reaper wake-up cadence (also the kWait retry hint's unit).
+  std::chrono::milliseconds poll_interval{20};
+  /// Session read timeout: the granularity at which session threads
+  /// notice stop() and stalled peers.
+  std::chrono::milliseconds session_read_timeout{200};
+};
+
+/// Health of one connected (or recently connected) runner session.
+struct RunnerHealth {
+  std::string name;
+  std::string role;
+  double last_heartbeat_age_seconds = 0;  ///< since last frame received
+  std::uint64_t shards_sealed = 0;
+  std::uint64_t records_streamed = 0;
+  bool connected = false;
+};
+
+/// Snapshot of the coordinator's counters; also the source of the
+/// metrics document and the bench-report service block.
+struct ServiceReport {
+  std::uint64_t shards_total = 0;
+  std::uint64_t shards_completed = 0;  ///< sealed (incl. pre-existing)
+  std::uint64_t shards_leased = 0;     ///< currently out on lease
+  std::uint64_t shards_pending = 0;
+  std::uint64_t shards_requeued = 0;
+  std::uint64_t shards_quarantined = 0;
+  std::uint64_t leases_granted = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t runners_seen = 0;  ///< worker-role sessions ever accepted
+  // Incremental merge: validated progress so far. committed_* cover the
+  // durably journaled prefix of every shard, sealed or not — a partial
+  // fleet run already reports real counts.
+  std::uint64_t total_indices = 0;
+  std::uint64_t committed_indices = 0;
+  std::uint64_t committed_defeats = 0;
+  std::uint64_t journal_bytes_streamed = 0;  ///< chunk payload bytes
+  // Remote orbit store served by this coordinator.
+  std::uint64_t tier_gets = 0;
+  std::uint64_t tier_hits = 0;
+  std::uint64_t tier_stores = 0;
+  sim::OrbitTierFaultStats tier_faults;
+  double uptime_seconds = 0;
+  double shards_per_second = 0;  ///< sealed THIS run / uptime
+  /// Negative until the first record / first seal of this run.
+  double time_to_first_record_seconds = -1;
+  double time_to_first_sealed_shard_seconds = -1;
+  std::vector<RunnerHealth> runners;
+
+  bool all_complete() const {
+    return shards_quarantined == 0 && shards_completed == shards_total;
+  }
+};
+
+/// Renders the report as the metrics endpoint's JSON document.
+std::string service_json(const ServiceReport& r,
+                         const std::string& workload_spec);
+
+class Coordinator {
+ public:
+  /// Binds both listeners and starts serving immediately. Existing
+  /// journals under journal_dir are adopted: sealed shards need no
+  /// lease, partial ones resume from their committed prefix. Throws
+  /// net::NetError (bind failure) or dist::SerializeError (unusable
+  /// journal dir).
+  Coordinator(dist::ShardPlan plan, CoordinatorConfig cfg);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  std::uint16_t port() const { return listener_->port(); }
+  std::uint16_t metrics_port() const { return metrics_listener_->port(); }
+  const dist::ShardPlan& plan() const { return plan_; }
+
+  /// Blocks until every shard is sealed or quarantined (true), or the
+  /// timeout elapses (false). stop() also wakes it (returns current
+  /// completion state).
+  bool wait_complete(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds::max());
+
+  ServiceReport report() const;
+  std::string metrics_json() const;
+
+  /// Quarantine manifest for the shards given up on (empty entries when
+  /// none) — feed to merge_journals for an explicit partial merge.
+  dist::QuarantineManifest quarantine_manifest() const;
+
+  /// Shuts both listeners down and joins every thread. Idempotent;
+  /// called by the destructor.
+  void stop();
+
+ private:
+  enum class ShardPhase : std::uint8_t {
+    kPending,
+    kLeased,
+    kSealed,
+    kQuarantined,
+  };
+
+  struct ShardState {
+    ShardPhase phase = ShardPhase::kPending;
+    unsigned attempts = 0;
+    std::uint64_t token = 0;  ///< current lease's fence; 0 = none
+    std::string holder;       ///< runner name of the current lease
+    std::uint64_t session = 0;  ///< session id of the current lease
+    std::chrono::steady_clock::time_point last_progress{};
+    std::optional<dist::JournalWriter> writer;
+    std::uint64_t sealed_sum = 0;
+    std::vector<std::string> diagnostics;  ///< one line per failed attempt
+  };
+
+  struct RunnerInfo {
+    std::string name;
+    std::string role;
+    std::chrono::steady_clock::time_point last_seen{};
+    std::uint64_t shards_sealed = 0;
+    std::uint64_t records_streamed = 0;
+    bool connected = true;
+  };
+
+  void accept_loop();
+  void metrics_loop();
+  void reaper_loop();
+  void handle_session(std::unique_ptr<net::TcpStream> stream,
+                      std::uint64_t session_id);
+  // All lock-held helpers assume mu_ is held.
+  std::vector<std::uint8_t> grant_lease_locked(std::uint64_t session_id,
+                                               const std::string& name,
+                                               std::size_t* leased);
+  void fail_attempt_locked(std::size_t shard, const std::string& reason);
+  void release_if_held_locked(std::uint64_t session_id, std::size_t shard,
+                              const std::string& reason);
+  bool done_locked() const;
+  ServiceReport report_locked() const;
+
+  dist::ShardPlan plan_;
+  CoordinatorConfig cfg_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::unique_ptr<net::TcpListener> metrics_listener_;
+  std::unique_ptr<dist::FsOrbitStore> fs_store_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ShardState> shards_;
+  std::deque<std::size_t> pending_;
+  std::vector<RunnerInfo> runners_;  // indexed by session id
+  std::uint64_t next_token_ = 1;
+  std::uint64_t leases_granted_ = 0;
+  std::uint64_t lease_expiries_ = 0;
+  std::uint64_t requeues_ = 0;
+  std::uint64_t committed_indices_ = 0;
+  std::uint64_t committed_defeats_ = 0;
+  std::uint64_t journal_bytes_streamed_ = 0;
+  std::uint64_t sealed_total_ = 0;      ///< incl. adopted pre-sealed
+  std::uint64_t sealed_this_run_ = 0;
+  std::uint64_t tier_gets_ = 0, tier_hits_ = 0, tier_stores_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::optional<std::chrono::steady_clock::time_point> first_record_at_;
+  std::optional<std::chrono::steady_clock::time_point> first_seal_at_;
+
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::thread metrics_thread_;
+  std::thread reaper_thread_;
+  std::vector<std::thread> sessions_;
+  std::mutex sessions_mu_;  ///< guards sessions_ (joined in stop())
+};
+
+}  // namespace rvt::svc

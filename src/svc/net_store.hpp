@@ -1,0 +1,75 @@
+// sim::OrbitStore over the coordinator's remote orbit-store protocol.
+//
+// A runner daemon plugs this behind its OrbitCache exactly where a
+// shared-filesystem fleet plugs FsOrbitStore: the first runner to
+// extract a binding publishes it (kOrbitPut), every other runner adopts
+// it (kOrbitGet). The coordinator persists through its own FsOrbitStore,
+// so the tier's retry / quarantine / degrade policy composes unchanged —
+// this class only adds the transport and mirrors the degradation
+// contract for the NETWORK half:
+//  * a failed request is retried once on a fresh connection (transient
+//    blips — coordinator restart, dropped TCP — heal);
+//  * both attempts failing counts toward a consecutive-failure streak;
+//    kDegradeAfter such operations degrade the store to compute-through
+//    for its lifetime, so a dead coordinator stops costing a connect
+//    timeout per miss (the sweep stays correct, runners re-extract);
+//  * a payload the codec refuses is a miss, never an escape — same as a
+//    corrupt cache file.
+// load()/store() never throw; all failure is a miss or a no-op.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/socket.hpp"
+#include "sim/orbit_cache.hpp"
+
+namespace rvt::svc {
+
+class NetOrbitStore final : public sim::OrbitStore {
+ public:
+  NetOrbitStore(std::string host, std::uint16_t port,
+                std::string name = "net-store");
+  ~NetOrbitStore() override;
+
+  std::shared_ptr<const sim::CompiledConfigEngine::OrbitSet> load(
+      const sim::OrbitKey& key) override;
+  void store(const sim::OrbitKey& key,
+             const std::shared_ptr<const sim::CompiledConfigEngine::OrbitSet>&
+                 set) override;
+  sim::OrbitTierFaultStats fault_stats() const override;
+
+  /// Consecutive exhausted operations after which the store degrades
+  /// (mirrors FsOrbitStore::kDegradeAfter).
+  static constexpr std::uint64_t kDegradeAfter = 4;
+
+  struct Stats {
+    std::uint64_t loads = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t reconnects = 0;       ///< retried ops (fresh connection)
+    std::uint64_t exhausted = 0;        ///< ops that failed both attempts
+    std::uint64_t decode_failures = 0;  ///< payloads the codec refused
+    bool degraded = false;
+  };
+  Stats stats() const;
+
+ private:
+  /// Connects + handshakes if needed. Throws net::NetError /
+  /// dist::SerializeError; the caller drops the stream on failure.
+  void ensure_connected_locked();
+  void note_exhausted_locked();
+
+  std::string host_;
+  std::uint16_t port_;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::unique_ptr<net::TcpStream> stream_;
+  std::uint64_t loads_ = 0, hits_ = 0, stores_ = 0, reconnects_ = 0,
+                exhausted_ = 0, decode_failures_ = 0, failure_streak_ = 0;
+  bool degraded_ = false;
+};
+
+}  // namespace rvt::svc

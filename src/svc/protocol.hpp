@@ -1,0 +1,193 @@
+// Message codecs for the shard-dispatch service protocol.
+//
+// One frame (net/frame.hpp) per message; a request and its reply share
+// a WireKind, and kError may answer any request. The session state
+// machine (DESIGN.md "Service tier"):
+//
+//   connect -> kHello (negotiate) -> { kLeaseRequest -> kLeaseGrant
+//                                    | kJournalChunk -> ChunkReply
+//                                    | kSeal         -> SealReply
+//                                    | kHeartbeat    -> HeartbeatReply
+//                                    | kOrbitGet/Put -> replies }*
+//
+// Every message is encoded with the bounds-checked WireWriter/WireReader
+// (dist/serialize.hpp); decoders consume the exact payload (expect_end)
+// and throw SerializeError on anything malformed, so a hostile or
+// corrupt peer can only ever produce a refused frame, never a
+// half-parsed message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/serialize.hpp"
+#include "dist/shard_plan.hpp"
+#include "sim/orbit_cache.hpp"
+
+namespace rvt::svc {
+
+/// Version of the MESSAGE SCHEMA on top of the wire format. The frame
+/// version (dist::kWireVersion) rejects foreign byte layouts before a
+/// payload is even parsed; this one lets two builds that share the
+/// frame format still refuse each other's message vocabulary — the
+/// hello handshake reports it as ErrorCode::kVersion, distinct from
+/// corruption.
+inline constexpr std::uint32_t kServiceProtocolVersion = 1;
+
+enum class ErrorCode : std::uint32_t {
+  kVersion = 1,     ///< protocol version mismatch in the hello
+  kRefused = 2,     ///< handshake refused (bad role, no capacity)
+  kBadRequest = 3,  ///< malformed or out-of-order message
+};
+
+// ---- handshake ------------------------------------------------------------
+
+struct HelloRequest {
+  std::uint32_t protocol = kServiceProtocolVersion;
+  std::string role;  ///< "worker" (lease + stream) or "store" (orbit IO)
+  std::string name;  ///< runner's self-chosen display name
+};
+
+/// The coordinator's half of the handshake binds the session to ONE
+/// plan: the worker re-derives the workload from spec and refuses a
+/// fingerprint mismatch, exactly like the fork/exec runner refuses a
+/// foreign plan (dist/runner.cpp).
+struct HelloReply {
+  std::uint32_t protocol = kServiceProtocolVersion;
+  dist::ShardId fingerprint;
+  std::string workload_spec;
+  std::uint64_t index_count = 0;
+  std::uint64_t max_rounds = 0;
+  std::uint64_t shard_count = 0;
+};
+
+// ---- leases ---------------------------------------------------------------
+
+enum class LeaseStatus : std::uint8_t {
+  kGranted = 0,
+  kWait = 1,     ///< nothing pending NOW; retry after retry_ms
+  kDrained = 2,  ///< every shard sealed or quarantined — disconnect
+};
+
+struct LeaseGrant {
+  LeaseStatus status = LeaseStatus::kWait;
+  std::uint64_t shard_index = 0;  ///< position in the plan's shard list
+  dist::ShardId shard_id;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  /// Resume point: the coordinator owns the journal, so a re-leased
+  /// shard continues from the durably committed prefix, not index 0.
+  std::uint64_t next_index = 0;
+  std::uint64_t resume_sum = 0;
+  std::uint64_t token = 0;     ///< must accompany every chunk/seal
+  std::uint64_t retry_ms = 0;  ///< kWait: backoff before re-requesting
+};
+
+struct Heartbeat {
+  std::uint64_t shard_index = 0;
+  std::uint64_t token = 0;  ///< 0 = pure liveness, no lease to check
+};
+
+struct HeartbeatReply {
+  bool lease_valid = false;  ///< token still holds the lease (true if 0)
+};
+
+// ---- journal streaming ----------------------------------------------------
+
+struct JournalRecord {
+  std::uint64_t index = 0;
+  std::uint64_t value = 0;
+};
+
+/// A batch of contiguous committed records. Chunk arrival IS the lease
+/// heartbeat — journal growth, the same liveness signal the fork/exec
+/// orchestrator polls for, just pushed over the session.
+struct JournalChunk {
+  std::uint64_t shard_index = 0;
+  std::uint64_t token = 0;
+  std::vector<JournalRecord> records;
+};
+
+struct ChunkReply {
+  /// false = the lease was revoked (expired and re-granted elsewhere);
+  /// the runner abandons the shard and requests a fresh lease.
+  bool accepted = false;
+  std::uint64_t next_index = 0;  ///< coordinator's durable resume point
+};
+
+struct Seal {
+  std::uint64_t shard_index = 0;
+  std::uint64_t token = 0;
+  std::uint64_t total = 0;  ///< runner's running sum, cross-checked
+};
+
+struct SealReply {
+  bool accepted = false;
+};
+
+// ---- errors ---------------------------------------------------------------
+
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+
+// ---- remote orbit store ---------------------------------------------------
+
+struct OrbitGet {
+  sim::OrbitKey key;
+};
+
+struct OrbitGetReply {
+  bool found = false;
+  /// Serialized OrbitSet payload (serialize_orbit_set, NOT framed — the
+  /// message frame already carries the checksum).
+  std::vector<std::uint8_t> payload;
+};
+
+struct OrbitPut {
+  sim::OrbitKey key;
+  std::vector<std::uint8_t> payload;
+};
+
+struct OrbitPutReply {
+  bool accepted = false;
+};
+
+// ---- codecs ---------------------------------------------------------------
+// encode_* produce the frame PAYLOAD for the message's WireKind;
+// decode_* parse one and throw dist::SerializeError on any violation.
+
+std::vector<std::uint8_t> encode(const HelloRequest& m);
+std::vector<std::uint8_t> encode(const HelloReply& m);
+std::vector<std::uint8_t> encode_lease_request();
+std::vector<std::uint8_t> encode(const LeaseGrant& m);
+std::vector<std::uint8_t> encode(const Heartbeat& m);
+std::vector<std::uint8_t> encode(const HeartbeatReply& m);
+std::vector<std::uint8_t> encode(const JournalChunk& m);
+std::vector<std::uint8_t> encode(const ChunkReply& m);
+std::vector<std::uint8_t> encode(const Seal& m);
+std::vector<std::uint8_t> encode(const SealReply& m);
+std::vector<std::uint8_t> encode(const ErrorReply& m);
+std::vector<std::uint8_t> encode(const OrbitGet& m);
+std::vector<std::uint8_t> encode(const OrbitGetReply& m);
+std::vector<std::uint8_t> encode(const OrbitPut& m);
+std::vector<std::uint8_t> encode(const OrbitPutReply& m);
+
+HelloRequest decode_hello_request(std::span<const std::uint8_t> p);
+HelloReply decode_hello_reply(std::span<const std::uint8_t> p);
+LeaseGrant decode_lease_grant(std::span<const std::uint8_t> p);
+Heartbeat decode_heartbeat(std::span<const std::uint8_t> p);
+HeartbeatReply decode_heartbeat_reply(std::span<const std::uint8_t> p);
+JournalChunk decode_journal_chunk(std::span<const std::uint8_t> p);
+ChunkReply decode_chunk_reply(std::span<const std::uint8_t> p);
+Seal decode_seal(std::span<const std::uint8_t> p);
+SealReply decode_seal_reply(std::span<const std::uint8_t> p);
+ErrorReply decode_error_reply(std::span<const std::uint8_t> p);
+OrbitGet decode_orbit_get(std::span<const std::uint8_t> p);
+OrbitGetReply decode_orbit_get_reply(std::span<const std::uint8_t> p);
+OrbitPut decode_orbit_put(std::span<const std::uint8_t> p);
+OrbitPutReply decode_orbit_put_reply(std::span<const std::uint8_t> p);
+
+}  // namespace rvt::svc

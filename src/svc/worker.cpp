@@ -1,0 +1,200 @@
+#include "svc/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dist/serialize.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/workload.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "svc/net_store.hpp"
+#include "svc/protocol.hpp"
+#include "util/failpoint.hpp"
+
+namespace rvt::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Sends a request and reads its reply (`expect` — every reply echoes
+/// its request's kind except kLeaseRequest, answered with kLeaseGrant).
+/// A kError reply throws NetError with the coordinator's message; any
+/// other unexpected kind is a protocol violation.
+net::Frame round_trip(net::TcpStream& s, dist::WireKind kind,
+                      const std::vector<std::uint8_t>& payload,
+                      dist::WireKind expect) {
+  net::send_frame(s, kind, payload);
+  net::Frame f;
+  const net::RecvStatus st = net::recv_frame(s, f, /*idle_ok=*/false);
+  if (st != net::RecvStatus::kFrame) {
+    throw net::NetError("worker: coordinator closed the session");
+  }
+  if (f.kind == dist::WireKind::kError) {
+    const ErrorReply err = decode_error_reply(f.payload);
+    throw net::NetError("worker: coordinator refused (code " +
+                        std::to_string(static_cast<unsigned>(err.code)) +
+                        "): " + err.message);
+  }
+  if (f.kind != expect) {
+    throw dist::SerializeError("worker: reply kind mismatch");
+  }
+  return f;
+}
+
+net::Frame round_trip(net::TcpStream& s, dist::WireKind kind,
+                      const std::vector<std::uint8_t>& payload) {
+  return round_trip(s, kind, payload, kind);
+}
+
+}  // namespace
+
+WorkerReport run_worker(const std::string& host, std::uint16_t port,
+                        const WorkerOptions& opt) {
+  const std::unique_ptr<net::TcpStream> stream = net::tcp_connect(host, port);
+  stream->set_read_timeout_ms(static_cast<unsigned>(opt.io_timeout_ms));
+
+  HelloRequest hello;
+  hello.role = "worker";
+  hello.name = opt.name;
+  const net::Frame ack_frame =
+      round_trip(*stream, dist::WireKind::kHello, encode(hello));
+  const HelloReply ack = decode_hello_reply(ack_frame.payload);
+  if (ack.protocol != kServiceProtocolVersion) {
+    throw net::NetError("worker: coordinator speaks service protocol " +
+                        std::to_string(ack.protocol) + ", this build " +
+                        std::to_string(kServiceProtocolVersion));
+  }
+
+  // Re-derive the workload from the spec and refuse a fingerprint
+  // mismatch — the same content-addressing refusal as run_shard: a
+  // coordinator built from a different battery or schema must not get
+  // records computed under this build's semantics.
+  const auto w = dist::EnumWorkload::parse(ack.workload_spec);
+  if (!(dist::workload_fingerprint(*w) == ack.fingerprint)) {
+    throw net::NetError(
+        "worker: plan fingerprint does not match this build's workload '" +
+        ack.workload_spec + "' (different battery or schema version)");
+  }
+
+  sim::OrbitCache cache;
+  std::unique_ptr<dist::FsOrbitStore> fs_tier;
+  std::unique_ptr<NetOrbitStore> net_tier;
+  if (!opt.cache_dir.empty()) {
+    fs_tier = std::make_unique<dist::FsOrbitStore>(opt.cache_dir);
+    cache.set_backing(fs_tier.get());
+  } else if (opt.remote_store) {
+    net_tier =
+        std::make_unique<NetOrbitStore>(host, port, opt.name + "-store");
+    cache.set_backing(net_tier.get());
+  }
+  sim::EnumerationContext ctx(w->grids(), w->max_rounds(), &cache);
+
+  WorkerReport rep;
+  std::vector<JournalRecord> buffer;
+  for (bool drained = false; !drained;) {
+    const net::Frame gf =
+        round_trip(*stream, dist::WireKind::kLeaseRequest,
+                   encode_lease_request(), dist::WireKind::kLeaseGrant);
+    const LeaseGrant g = decode_lease_grant(gf.payload);
+    switch (g.status) {
+      case LeaseStatus::kDrained:
+        drained = true;
+        break;
+      case LeaseStatus::kWait: {
+        // Stay observable while idle: heartbeat (token 0 = pure
+        // liveness) through the backoff the coordinator asked for.
+        const auto until =
+            Clock::now() + std::chrono::milliseconds(g.retry_ms);
+        do {
+          round_trip(*stream, dist::WireKind::kHeartbeat,
+                     encode(Heartbeat{0, 0}));
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min<std::uint64_t>(g.retry_ms, 50)));
+        } while (Clock::now() < until);
+        break;
+      }
+      case LeaseStatus::kGranted: {
+        ++rep.leases;
+        buffer.clear();
+        std::uint64_t running = g.resume_sum;
+        Clock::time_point last_flush = Clock::now();
+        bool lost = false;
+        const auto flush = [&]() -> bool {
+          JournalChunk chunk;
+          chunk.shard_index = g.shard_index;
+          chunk.token = g.token;
+          chunk.records = buffer;
+          const net::Frame cf = round_trip(
+              *stream, dist::WireKind::kJournalChunk, encode(chunk));
+          ++rep.chunks;
+          const ChunkReply cr = decode_chunk_reply(cf.payload);
+          if (!cr.accepted) return false;
+          buffer.clear();
+          last_flush = Clock::now();
+          return true;
+        };
+        for (std::uint64_t i = g.next_index; i < g.end && !lost; ++i) {
+          // Chaos hook: the network-runner twin of run_shard.index — die
+          // (or error out of the session) at a chosen index with every
+          // flushed chunk durably committed coordinator-side.
+          switch (util::failpoint("worker.index")) {
+            case util::FaultAction::kCrash:
+              util::failpoint_crash("worker.index");
+            case util::FaultAction::kError:
+              throw dist::SerializeError(
+                  "worker: injected fault at index " + std::to_string(i));
+            case util::FaultAction::kNone:
+              break;
+          }
+          if (opt.throttle_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opt.throttle_ms));
+          }
+          const std::uint64_t v = w->defeats(ctx, i);
+          running += v;
+          ++rep.indices;
+          rep.defeats += v;
+          buffer.push_back({i, v});
+          const bool interval_up =
+              Clock::now() - last_flush >=
+              std::chrono::milliseconds(opt.flush_interval_ms);
+          if ((buffer.size() >= opt.chunk_records || interval_up) &&
+              !flush()) {
+            lost = true;
+          }
+        }
+        if (!lost && !buffer.empty() && !flush()) lost = true;
+        if (lost) {
+          ++rep.revoked;
+          break;  // fresh lease request; the prefix stays committed
+        }
+        const net::Frame sf =
+            round_trip(*stream, dist::WireKind::kSeal,
+                       encode(Seal{g.shard_index, g.token, running}));
+        if (decode_seal_reply(sf.payload).accepted) {
+          ++rep.sealed;
+        } else {
+          ++rep.revoked;
+        }
+        break;
+      }
+    }
+  }
+
+  rep.telemetry = ctx.telemetry();
+  if (cache.backing() != nullptr) {
+    const sim::OrbitTierFaultStats fs = cache.backing()->fault_stats();
+    rep.telemetry.tier_retries = fs.retries;
+    rep.telemetry.tier_exhausted = fs.exhausted;
+    rep.telemetry.tier_quarantined = fs.quarantined;
+    rep.telemetry.tier_degraded = fs.degraded ? 1 : 0;
+  }
+  return rep;
+}
+
+}  // namespace rvt::svc

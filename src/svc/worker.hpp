@@ -1,0 +1,66 @@
+// The runner daemon: connects to a coordinator, leases shard ranges,
+// computes them index by index and streams committed records back.
+//
+// The loop is dist/runner.cpp's run_shard turned inside out: the same
+// fingerprint refusal, the same index-deterministic defeats() calls,
+// the same bounded-state-per-record discipline — but the journal lives
+// with the COORDINATOR, so the worker buffers at most one chunk of
+// records and every flush is both the commit and the heartbeat. A
+// refused chunk or seal (accepted=false) means the lease was revoked
+// (the worker stalled past the lease timeout and the shard was
+// re-granted); the worker abandons the shard and asks for a fresh
+// lease — the coordinator's committed prefix is not lost.
+//
+// run_worker drains the coordinator: it returns when a lease request
+// answers kDrained (every shard sealed or quarantined). It is the one
+// entry point behind `rvt_cli worker`, the loopback tests and bench
+// E15.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/enumeration.hpp"
+
+namespace rvt::svc {
+
+struct WorkerOptions {
+  std::string name = "worker";
+  /// Local filesystem orbit-cache tier; empty + remote_store=true uses
+  /// the coordinator's remote store (NetOrbitStore), empty + false runs
+  /// with the in-memory cache only.
+  std::string cache_dir;
+  bool remote_store = true;
+  /// Records per journal chunk; a flush also happens after
+  /// flush_interval_ms regardless of fill, so slow indices still
+  /// heartbeat.
+  std::size_t chunk_records = 64;
+  std::uint64_t flush_interval_ms = 250;
+  /// Artificial per-index delay — makes "SIGKILL it mid-run" scenarios
+  /// (CI, bench E15 chaos) deterministic instead of racy.
+  std::uint64_t throttle_ms = 0;
+  /// Stream read timeout; with the framing stall limit this bounds how
+  /// long a vanished coordinator can hold the worker (~50x this).
+  std::uint64_t io_timeout_ms = 250;
+};
+
+struct WorkerReport {
+  std::uint64_t leases = 0;   ///< granted leases worked on
+  std::uint64_t sealed = 0;   ///< shards this worker sealed
+  std::uint64_t revoked = 0;  ///< leases lost to revocation
+  std::uint64_t indices = 0;  ///< indices computed (incl. revoked work)
+  std::uint64_t defeats = 0;  ///< values summed over computed indices
+  std::uint64_t chunks = 0;   ///< journal chunks streamed
+  sim::EnumTelemetry telemetry;
+};
+
+/// Runs the daemon loop against host:port until the coordinator drains.
+/// Throws net::NetError (unreachable/stalled/incompatible coordinator)
+/// or dist::SerializeError (protocol violation); a fingerprint mismatch
+/// throws net::NetError — this build cannot compute that plan.
+/// Failpoint site "worker.index" (error/crash) fires per computed index
+/// for chaos drills.
+WorkerReport run_worker(const std::string& host, std::uint16_t port,
+                        const WorkerOptions& opt = {});
+
+}  // namespace rvt::svc

@@ -72,6 +72,11 @@ void BenchReport::faults(const FaultSummary& f) {
   faults_ = f;
 }
 
+void BenchReport::service(const ServiceSummary& s) {
+  has_service_ = true;
+  service_ = s;
+}
+
 void BenchReport::metric(const std::string& key, double value) {
   numbers_.emplace_back(key, value);
 }
@@ -102,9 +107,21 @@ void BenchReport::validate() const {
         ": faults() must name its chaos scenario (omit the call for "
         "fault-free runs)");
   }
+  if (has_service_ && service_.runners == 0) {
+    throw std::runtime_error(
+        "BenchReport " + id_ +
+        ": service() must report at least one runner (omit the call for "
+        "non-service runs)");
+  }
+  if (has_service_ &&
+      !std::isfinite(service_.time_to_first_sealed_shard_seconds)) {
+    throw std::runtime_error(
+        "BenchReport " + id_ +
+        ": service() time_to_first_sealed_shard_seconds is not finite");
+  }
   std::unordered_set<std::string> keys{
-      "id",       "seed",   "columns", "rows",           "workload",
-      "agents",   "shards", "faults",  "schema_version"};
+      "id",     "seed",   "columns", "rows",    "workload",
+      "agents", "shards", "faults",  "service", "schema_version"};
   const auto claim = [&](const std::string& key) {
     if (key.empty()) {
       throw std::runtime_error("BenchReport " + id_ + ": empty key");
@@ -152,6 +169,18 @@ std::string BenchReport::write() const {
        << ",\n    \"degraded\": " << faults_.degraded
        << ",\n    \"requeued\": " << faults_.requeued
        << ",\n    \"quarantined\": " << faults_.quarantined << "\n  }";
+  }
+  if (has_service_) {
+    os << ",\n  \"service\": {\n    \"runners\": " << service_.runners
+       << ",\n    \"leases_granted\": " << service_.leases_granted
+       << ",\n    \"leases_expired\": " << service_.leases_expired
+       << ",\n    \"requeues\": " << service_.requeues
+       << ",\n    \"quarantined\": " << service_.quarantined
+       << ",\n    \"journal_bytes_streamed\": "
+       << service_.journal_bytes_streamed
+       << ",\n    \"time_to_first_sealed_shard_seconds\": "
+       << format_number(service_.time_to_first_sealed_shard_seconds)
+       << "\n  }";
   }
   for (const auto& [k, v] : strings_) {
     os << ",\n  " << quote(k) << ": " << quote(v);

@@ -42,11 +42,14 @@ namespace rvt::util {
 /// always-on schema_version field itself and the optional validated
 /// "shards" field of distributed runs; 3 = adds the optional validated
 /// "faults" block of chaos runs (scenario seed + injected/retried/
-/// degraded/requeued/quarantined counters). Reports WITHOUT a given
-/// field remain valid documents of the version that lacked it —
-/// consumers treat missing optional fields as "not a run of that kind",
-/// so no committed BENCH_E*.json artifact needs regeneration.
-inline constexpr std::uint64_t kBenchReportSchemaVersion = 3;
+/// degraded/requeued/quarantined counters); 4 = adds the optional
+/// validated "service" block of network-dispatched runs (runner count,
+/// lease churn, journal bytes streamed, time-to-first-sealed-shard).
+/// Reports WITHOUT a given field remain valid documents of the version
+/// that lacked it — consumers treat missing optional fields as "not a
+/// run of that kind", so no committed BENCH_E*.json artifact needs
+/// regeneration.
+inline constexpr std::uint64_t kBenchReportSchemaVersion = 4;
 
 /// The optional "faults" block of a chaos run (bench E14): which seeded
 /// fault scenario was injected and what the recovery machinery did
@@ -59,6 +62,19 @@ struct FaultSummary {
   std::uint64_t degraded = 0;     ///< stores that entered compute-through
   std::uint64_t requeued = 0;     ///< shard attempts retried
   std::uint64_t quarantined = 0;  ///< shards given up on
+};
+
+/// The optional "service" block of a network-dispatched run (bench E15):
+/// what the coordinator's lease machinery did across the fleet. A
+/// non-service run simply omits the block.
+struct ServiceSummary {
+  std::uint64_t runners = 0;  ///< worker sessions the coordinator saw
+  std::uint64_t leases_granted = 0;
+  std::uint64_t leases_expired = 0;
+  std::uint64_t requeues = 0;     ///< shard ranges sent back to pending
+  std::uint64_t quarantined = 0;  ///< shards given up on
+  std::uint64_t journal_bytes_streamed = 0;
+  double time_to_first_sealed_shard_seconds = 0;
 };
 
 class BenchReport {
@@ -84,6 +100,12 @@ class BenchReport {
   /// validate() rejects an empty scenario name — an undeclared report
   /// omits the block entirely.
   void faults(const FaultSummary& f);
+
+  /// OPTIONAL schema field: the "service" block of a network-dispatched
+  /// run. validate() rejects a declared block with zero runners (a
+  /// service run that saw no workers measured nothing) — an undeclared
+  /// report omits the block entirely.
+  void service(const ServiceSummary& s);
 
   /// Scalar metric. Keys must be unique across metric() and note().
   void metric(const std::string& key, double value);
@@ -113,6 +135,8 @@ class BenchReport {
   std::uint64_t shards_ = 0;
   bool has_faults_ = false;    ///< faults() declared
   FaultSummary faults_;
+  bool has_service_ = false;   ///< service() declared
+  ServiceSummary service_;
   std::vector<std::pair<std::string, std::string>> strings_;
   std::vector<std::pair<std::string, double>> numbers_;
   const util::Table* table_ = nullptr;

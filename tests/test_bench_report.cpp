@@ -269,6 +269,73 @@ TEST(BenchReport, FaultsBlockIsOptionalValidatedAndReserved) {
   EXPECT_THROW(dup.validate(), std::runtime_error);
 }
 
+TEST(BenchReport, ServiceBlockIsOptionalValidatedAndReserved) {
+  // Undeclared: valid and absent — every committed non-service
+  // BENCH_E*.json stays a valid document without regeneration.
+  BenchReport without("TSV2", 8);
+  without.workload("rendezvous", 2);
+  EXPECT_NO_THROW(without.validate());
+  {
+    const std::string path = without.write();
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_EQ(ss.str().find("\"service\""), std::string::npos);
+    std::remove(path.c_str());
+  }
+
+  // Declared: the nested object lands field-for-field in the JSON.
+  BenchReport with("TSV2", 8);
+  with.workload("rendezvous", 2);
+  ServiceSummary sv;
+  sv.runners = 3;
+  sv.leases_granted = 9;
+  sv.leases_expired = 1;
+  sv.requeues = 2;
+  sv.quarantined = 0;
+  sv.journal_bytes_streamed = 4096;
+  sv.time_to_first_sealed_shard_seconds = 0.125;
+  with.service(sv);
+  EXPECT_NO_THROW(with.validate());
+  {
+    const std::string path = with.write();
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string json = ss.str();
+    for (const char* key :
+         {"\"service\": {", "\"runners\": 3", "\"leases_granted\": 9",
+          "\"leases_expired\": 1", "\"requeues\": 2", "\"quarantined\": 0",
+          "\"journal_bytes_streamed\": 4096",
+          "\"time_to_first_sealed_shard_seconds\": 0.125"}) {
+      EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+    }
+    std::remove(path.c_str());
+  }
+
+  // A service block with zero runners measured nothing — malformed.
+  BenchReport empty_fleet("TSV2", 8);
+  empty_fleet.workload("rendezvous", 2);
+  empty_fleet.service(ServiceSummary{});
+  EXPECT_THROW(empty_fleet.validate(), std::runtime_error);
+
+  // Non-finite time-to-first-seal is malformed (an unseeded service run
+  // must report its sentinel explicitly, not NaN).
+  BenchReport nan_ttfs("TSV2", 8);
+  nan_ttfs.workload("rendezvous", 2);
+  ServiceSummary bad;
+  bad.runners = 2;
+  bad.time_to_first_sealed_shard_seconds = std::nan("");
+  nan_ttfs.service(bad);
+  EXPECT_THROW(nan_ttfs.validate(), std::runtime_error);
+
+  // Reserved key: a metric/note may not collide with the block.
+  BenchReport dup("TSV2", 8);
+  dup.workload("rendezvous", 2);
+  dup.metric("service", 1.0);
+  EXPECT_THROW(dup.validate(), std::runtime_error);
+}
+
 TEST(BenchReport, AddingComparisonTwiceIsCaughtAsDuplicate) {
   BenchReport report("TST", 9);
   report.workload("rendezvous", 2);

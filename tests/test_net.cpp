@@ -1,0 +1,326 @@
+// The service tier's transport floor: framing over hostile byte streams.
+//
+// The contract under test (net/frame.hpp):
+//  * a frame survives ANY read fragmentation — 1-byte dribbles included;
+//  * a truncated message is NEVER accepted: end-of-stream mid-frame is a
+//    SerializeError, only a close at an exact frame boundary is kEof;
+//  * a reader never blocks forever on a silent peer — kFrameStallLimit
+//    consecutive timeouts mid-frame throw NetError;
+//  * the header's length claim is checked against kMaxWirePayloadBytes
+//    BEFORE any payload byte is read or allocated;
+//  * a foreign format version is WireVersionError — recognizably an
+//    incompatible peer, not corruption.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <cstring>
+#include <thread>
+
+#include "dist/serialize.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace rvt {
+namespace {
+
+// ---- scripted transports --------------------------------------------------
+
+/// Replays a byte script with configurable fragmentation; after the
+/// script is exhausted it either reports clean EOF or times out forever
+/// (a peer that went silent without closing).
+class FakeStream final : public net::ByteStream {
+ public:
+  FakeStream(std::vector<std::uint8_t> script, std::size_t max_per_read,
+             bool eof_after = true)
+      : script_(std::move(script)),
+        max_per_read_(max_per_read),
+        eof_after_(eof_after) {}
+
+  std::size_t read_some(void* p, std::size_t n) override {
+    ++reads_;
+    if (pos_ >= script_.size()) {
+      if (eof_after_) return 0;
+      throw net::NetTimeout("fake: timed out");
+    }
+    const std::size_t take =
+        std::min({n, max_per_read_, script_.size() - pos_});
+    std::memcpy(p, script_.data() + pos_, take);
+    pos_ += take;
+    return take;
+  }
+
+  void write_all(const void*, std::size_t) override {}
+
+  std::size_t reads() const { return reads_; }
+  std::size_t consumed() const { return pos_; }
+
+ private:
+  std::vector<std::uint8_t> script_;
+  std::size_t max_per_read_;
+  bool eof_after_;
+  std::size_t pos_ = 0;
+  std::size_t reads_ = 0;
+};
+
+std::vector<std::uint8_t> sample_payload() {
+  std::vector<std::uint8_t> p;
+  for (int i = 0; i < 100; ++i) p.push_back(static_cast<std::uint8_t>(i));
+  return p;
+}
+
+std::vector<std::uint8_t> sample_frame() {
+  const auto p = sample_payload();
+  return dist::frame_payload(dist::WireKind::kHeartbeat, p);
+}
+
+// ---- fragmentation --------------------------------------------------------
+
+TEST(NetFrame, SurvivesOneByteDribbles) {
+  FakeStream s(sample_frame(), /*max_per_read=*/1);
+  net::Frame f;
+  ASSERT_EQ(net::recv_frame(s, f), net::RecvStatus::kFrame);
+  EXPECT_EQ(f.kind, dist::WireKind::kHeartbeat);
+  EXPECT_EQ(f.payload, sample_payload());
+  // Every byte really did arrive alone.
+  EXPECT_GE(s.reads(), sample_frame().size());
+}
+
+TEST(NetFrame, BackToBackFramesThenCleanEof) {
+  auto script = sample_frame();
+  const auto second = dist::frame_payload(dist::WireKind::kSeal, {});
+  script.insert(script.end(), second.begin(), second.end());
+  FakeStream s(std::move(script), /*max_per_read=*/7);
+  net::Frame f;
+  ASSERT_EQ(net::recv_frame(s, f), net::RecvStatus::kFrame);
+  EXPECT_EQ(f.kind, dist::WireKind::kHeartbeat);
+  ASSERT_EQ(net::recv_frame(s, f), net::RecvStatus::kFrame);
+  EXPECT_EQ(f.kind, dist::WireKind::kSeal);
+  EXPECT_TRUE(f.payload.empty());
+  // The peer closed exactly at a frame boundary: clean EOF, not an error.
+  EXPECT_EQ(net::recv_frame(s, f), net::RecvStatus::kEof);
+}
+
+// ---- torn tails -----------------------------------------------------------
+
+TEST(NetFrame, TornPayloadTailIsTruncationNotAFrame) {
+  auto script = sample_frame();
+  script.pop_back();  // lose the last payload byte, then EOF
+  FakeStream s(std::move(script), /*max_per_read=*/3);
+  net::Frame f;
+  EXPECT_THROW(net::recv_frame(s, f), dist::SerializeError);
+}
+
+TEST(NetFrame, TornHeaderIsTruncationNotAFrame) {
+  auto script = sample_frame();
+  script.resize(dist::kWireFrameBytes / 2);  // half a header, then EOF
+  FakeStream s(std::move(script), /*max_per_read=*/1);
+  net::Frame f;
+  EXPECT_THROW(net::recv_frame(s, f), dist::SerializeError);
+}
+
+TEST(NetFrame, CorruptPayloadByteIsChecksumRefusal) {
+  auto script = sample_frame();
+  script[dist::kWireFrameBytes + 5] ^= 0x40;
+  FakeStream s(std::move(script), /*max_per_read=*/64);
+  net::Frame f;
+  EXPECT_THROW(net::recv_frame(s, f), dist::SerializeError);
+}
+
+// ---- stalls ---------------------------------------------------------------
+
+TEST(NetFrame, SilentPeerAtBoundaryIsIdleOnlyWhenOptedIn) {
+  FakeStream quiet({}, 1, /*eof_after=*/false);  // times out forever
+  net::Frame f;
+  EXPECT_EQ(net::recv_frame(quiet, f, /*idle_ok=*/true),
+            net::RecvStatus::kIdle);
+  // Without the opt-in a perpetual boundary stall is a hard error, not a
+  // hang: the stall limit still applies.
+  FakeStream quiet2({}, 1, /*eof_after=*/false);
+  EXPECT_THROW(net::recv_frame(quiet2, f, /*idle_ok=*/false), net::NetError);
+  EXPECT_LE(quiet2.reads(), net::kFrameStallLimit + 1);
+}
+
+TEST(NetFrame, StallMidFrameNeverBlocksForeverAndNeverGoesIdle) {
+  auto script = sample_frame();
+  script.resize(dist::kWireFrameBytes + 10);  // header + partial payload
+  FakeStream s(std::move(script), /*max_per_read=*/4, /*eof_after=*/false);
+  net::Frame f;
+  // Even with idle_ok, a frame already begun must not be reported idle —
+  // the stall limit turns the silence into a hard NetError.
+  EXPECT_THROW(net::recv_frame(s, f, /*idle_ok=*/true), net::NetError);
+  EXPECT_LE(s.reads(),
+            s.consumed() + net::kFrameStallLimit + 1);
+}
+
+// ---- header validation (satellite: wire-format hardening) -----------------
+
+/// Builds a 32-byte header by hand, byte-level — no WireHeader struct
+/// access, so the test also documents the layout.
+std::vector<std::uint8_t> raw_header(std::uint32_t magic,
+                                     std::uint16_t version,
+                                     std::uint16_t kind,
+                                     std::uint64_t payload_bytes,
+                                     std::uint64_t checksum,
+                                     std::uint64_t reserved) {
+  dist::WireWriter w;
+  w.u32(magic);
+  w.u16(version);
+  w.u16(kind);
+  w.u64(payload_bytes);
+  w.u64(checksum);
+  w.u64(reserved);
+  return w.take();
+}
+
+TEST(WireHeader, OversizedLengthRefusedBeforePayloadIsTouched) {
+  const auto header = raw_header(
+      dist::kWireMagic, dist::kWireVersion,
+      static_cast<std::uint16_t>(dist::WireKind::kJournalChunk),
+      dist::kMaxWirePayloadBytes + 1, 0, 0);
+  EXPECT_THROW(dist::validate_frame_header(header), dist::SerializeError);
+  // Through the stream reader: the forged length must refuse after the
+  // 32 header bytes, never read (or allocate) a payload byte.
+  FakeStream s(header, /*max_per_read=*/8, /*eof_after=*/false);
+  net::Frame f;
+  EXPECT_THROW(net::recv_frame(s, f), dist::SerializeError);
+  EXPECT_EQ(s.consumed(), dist::kWireFrameBytes);
+}
+
+TEST(WireHeader, LengthAtTheLimitPassesValidation) {
+  const auto header = raw_header(
+      dist::kWireMagic, dist::kWireVersion,
+      static_cast<std::uint16_t>(dist::WireKind::kOrbitSet),
+      dist::kMaxWirePayloadBytes, 0, 0);
+  const dist::FrameInfo info = dist::validate_frame_header(header);
+  EXPECT_EQ(info.payload_bytes, dist::kMaxWirePayloadBytes);
+  EXPECT_EQ(info.kind, dist::WireKind::kOrbitSet);
+}
+
+TEST(WireHeader, ForeignVersionIsWireVersionErrorNotCorruption) {
+  const auto header = raw_header(
+      dist::kWireMagic, dist::kWireVersion + 1,
+      static_cast<std::uint16_t>(dist::WireKind::kHello), 0,
+      dist::fnv1a64({}), 0);
+  // Distinctly a version refusal...
+  EXPECT_THROW(dist::validate_frame_header(header), dist::WireVersionError);
+  // ...but still catchable as SerializeError, so every pre-existing
+  // refuse-and-miss path handles cross-version artifacts unchanged.
+  EXPECT_THROW(dist::validate_frame_header(header), dist::SerializeError);
+}
+
+TEST(WireHeader, BadMagicIsCorruptionNotAVersionMismatch) {
+  const auto header = raw_header(
+      dist::kWireMagic ^ 1, dist::kWireVersion,
+      static_cast<std::uint16_t>(dist::WireKind::kHello), 0,
+      dist::fnv1a64({}), 0);
+  try {
+    dist::validate_frame_header(header);
+    FAIL() << "accepted a bad magic";
+  } catch (const dist::WireVersionError&) {
+    FAIL() << "bad magic misreported as a version mismatch";
+  } catch (const dist::SerializeError&) {
+    // expected
+  }
+}
+
+TEST(WireHeader, ReservedBytesMustBeZero) {
+  const auto header = raw_header(
+      dist::kWireMagic, dist::kWireVersion,
+      static_cast<std::uint16_t>(dist::WireKind::kHello), 0,
+      dist::fnv1a64({}), 0xdeadbeef);
+  EXPECT_THROW(dist::validate_frame_header(header), dist::SerializeError);
+}
+
+TEST(WireHeader, UnframeAppliesTheSameGuards) {
+  // A whole-file view with a forged oversized length must refuse on the
+  // guard even though the file is obviously shorter — the length field
+  // is never trusted before the cap check.
+  auto file = raw_header(
+      dist::kWireMagic, dist::kWireVersion,
+      static_cast<std::uint16_t>(dist::WireKind::kShardPlan),
+      dist::kMaxWirePayloadBytes + 7, 0, 0);
+  EXPECT_THROW(dist::unframe_payload(dist::WireKind::kShardPlan, file),
+               dist::SerializeError);
+  // And a cross-version file surfaces as WireVersionError through the
+  // same entry point.
+  auto foreign = dist::frame_payload(dist::WireKind::kShardPlan, {});
+  foreign[4] ^= 0xff;  // version field, bytes [4, 6)
+  EXPECT_THROW(dist::unframe_payload(dist::WireKind::kShardPlan, foreign),
+               dist::WireVersionError);
+}
+
+// ---- the real transport ---------------------------------------------------
+
+TEST(NetSocket, FramesRoundTripOverASocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::TcpStream a(fds[0]), b(fds[1]);
+  const auto payload = sample_payload();
+
+  std::thread writer([&] {
+    for (int i = 0; i < 3; ++i) {
+      net::send_frame(a, dist::WireKind::kJournalChunk, payload);
+    }
+  });
+  net::Frame f;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(net::recv_frame(b, f), net::RecvStatus::kFrame);
+    EXPECT_EQ(f.kind, dist::WireKind::kJournalChunk);
+    EXPECT_EQ(f.payload, payload);
+  }
+  writer.join();
+}
+
+TEST(NetSocket, ReadTimeoutSurfacesAsIdleAtABoundary) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::TcpStream a(fds[0]), b(fds[1]);
+  b.set_read_timeout_ms(10);
+  net::Frame f;
+  EXPECT_EQ(net::recv_frame(b, f, /*idle_ok=*/true), net::RecvStatus::kIdle);
+  // A real frame still gets through after the idle tick.
+  net::send_frame(a, dist::WireKind::kHello, {});
+  ASSERT_EQ(net::recv_frame(b, f, /*idle_ok=*/true), net::RecvStatus::kFrame);
+  EXPECT_EQ(f.kind, dist::WireKind::kHello);
+}
+
+TEST(NetSocket, PeerClosingMidFrameIsATornMessage) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::TcpStream b(fds[1]);
+  {
+    net::TcpStream a(fds[0]);
+    const auto framed = dist::frame_payload(dist::WireKind::kSeal,
+                                            sample_payload());
+    a.write_all(framed.data(), framed.size() - 1);
+  }  // close with one payload byte missing
+  net::Frame f;
+  EXPECT_THROW(net::recv_frame(b, f), dist::SerializeError);
+}
+
+TEST(NetSocket, ListenerHandsOutDistinctSessionsAndUnblocksOnClose) {
+  net::TcpListener listener(0);
+  ASSERT_NE(listener.port(), 0);
+
+  std::thread client([&] {
+    auto c = net::tcp_connect("127.0.0.1", listener.port());
+    net::send_frame(*c, dist::WireKind::kHello, {});
+  });
+  auto session = listener.accept();
+  ASSERT_NE(session, nullptr);
+  net::Frame f;
+  ASSERT_EQ(net::recv_frame(*session, f), net::RecvStatus::kFrame);
+  EXPECT_EQ(f.kind, dist::WireKind::kHello);
+  client.join();
+
+  // close() from another thread unblocks a pending accept with nullptr.
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener.close();
+  });
+  EXPECT_EQ(listener.accept(), nullptr);
+  closer.join();
+}
+
+}  // namespace
+}  // namespace rvt

@@ -1,0 +1,404 @@
+// The shard-dispatch service tier, end to end over loopback TCP: a real
+// coordinator, real worker daemons on threads, and manual protocol
+// clients playing the adversarial parts (foreign versions, stale
+// tokens, silent leaseholders).
+//
+// The ground truth everywhere is the same as dist/'s: the merged defeat
+// count of a fleet run — however the leases bounced — must be
+// bit-identical to a single-process sweep of the workload.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "dist/merge.hpp"
+#include "dist/serialize.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/workload.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "sim/automaton.hpp"
+#include "sim/compiled.hpp"
+#include "tree/builders.hpp"
+#include "util/rng.hpp"
+#include "svc/coordinator.hpp"
+#include "svc/net_store.hpp"
+#include "svc/protocol.hpp"
+#include "svc/worker.hpp"
+#include "util/failpoint.hpp"
+
+namespace rvt {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "svc-test-" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name()) +
+           "-" + std::to_string(static_cast<unsigned>(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::FailPointRegistry::instance().reset();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string path(const std::string& leaf) const { return dir_ + "/" + leaf; }
+  std::string dir_;
+};
+
+/// Single-process ground truth for a workload (fresh context, no tier).
+std::uint64_t single_process_total(const std::string& spec) {
+  const auto w = dist::EnumWorkload::parse(spec);
+  sim::EnumerationContext ctx(w->grids(), w->max_rounds(), nullptr);
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < w->count(); ++i) {
+    total += w->defeats(ctx, i);
+  }
+  return total;
+}
+
+/// A manual protocol client: hello as `role` and return the session.
+std::unique_ptr<net::TcpStream> dial(const svc::Coordinator& coord,
+                                     const std::string& role,
+                                     const std::string& name) {
+  auto s = net::tcp_connect("127.0.0.1", coord.port());
+  s->set_read_timeout_ms(2000);
+  svc::HelloRequest hello;
+  hello.role = role;
+  hello.name = name;
+  net::send_frame(*s, dist::WireKind::kHello, svc::encode(hello));
+  net::Frame f;
+  EXPECT_EQ(net::recv_frame(*s, f), net::RecvStatus::kFrame);
+  EXPECT_EQ(f.kind, dist::WireKind::kHello);
+  return s;
+}
+
+svc::LeaseGrant request_lease(net::TcpStream& s) {
+  net::send_frame(s, dist::WireKind::kLeaseRequest,
+                  svc::encode_lease_request());
+  net::Frame f;
+  EXPECT_EQ(net::recv_frame(s, f), net::RecvStatus::kFrame);
+  EXPECT_EQ(f.kind, dist::WireKind::kLeaseGrant);
+  return svc::decode_lease_grant(f.payload);
+}
+
+// ---- the happy fleet ------------------------------------------------------
+
+TEST_F(ServiceTest, LoopbackFleetMatchesSingleProcessBitForBit) {
+  const std::string spec = "e10:6";
+  const std::uint64_t expected = single_process_total(spec);
+  const auto w = dist::EnumWorkload::parse(spec);
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 5);
+
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  cfg.cache_dir = path("cache");
+  svc::Coordinator coord(plan, cfg);
+
+  // Two daemons, both publishing orbits through the coordinator's
+  // remote store (no local cache dir) — the NetOrbitStore path.
+  svc::WorkerReport r1, r2;
+  std::thread t1([&] {
+    svc::WorkerOptions o;
+    o.name = "w1";
+    r1 = svc::run_worker("127.0.0.1", coord.port(), o);
+  });
+  std::thread t2([&] {
+    svc::WorkerOptions o;
+    o.name = "w2";
+    r2 = svc::run_worker("127.0.0.1", coord.port(), o);
+  });
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(coord.wait_complete(std::chrono::milliseconds(10000)));
+
+  const svc::ServiceReport rep = coord.report();
+  EXPECT_EQ(rep.shards_total, 5u);
+  EXPECT_EQ(rep.shards_completed, 5u);
+  EXPECT_EQ(rep.shards_quarantined, 0u);
+  EXPECT_EQ(rep.runners_seen, 2u);
+  EXPECT_GE(rep.leases_granted, 5u);
+  // Incremental merge counters cover the whole index space once done.
+  EXPECT_EQ(rep.committed_indices, plan.count);
+  EXPECT_EQ(rep.committed_defeats, expected);
+  EXPECT_GT(rep.journal_bytes_streamed, 0u);
+  EXPECT_GE(rep.time_to_first_sealed_shard_seconds, 0.0);
+  EXPECT_EQ(r1.sealed + r2.sealed, 5u);
+  EXPECT_EQ(r1.revoked + r2.revoked, 0u);
+
+  // The metrics endpoint serves the same numbers over plain HTTP.
+  const std::string body = net::http_get("127.0.0.1", coord.metrics_port(), "/");
+  EXPECT_NE(body.find("\"kind\": \"service_metrics\""), std::string::npos);
+  EXPECT_NE(body.find("\"committed_defeats\": " + std::to_string(expected)),
+            std::string::npos);
+  EXPECT_NE(body.find("\"shards_completed\": 5"), std::string::npos);
+  EXPECT_NE(body.find("\"workload\": \"" + spec + "\""), std::string::npos);
+
+  // And the journals the coordinator wrote merge to the ground truth.
+  const dist::MergeResult merged =
+      dist::merge_journals(plan, cfg.journal_dir);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.total, expected);
+  coord.stop();
+
+  // A fresh coordinator over the same journal dir adopts every sealed
+  // shard: complete with no worker ever connecting.
+  svc::Coordinator again(plan, cfg);
+  EXPECT_TRUE(again.wait_complete(std::chrono::milliseconds(1000)));
+  const svc::ServiceReport rep2 = again.report();
+  EXPECT_EQ(rep2.shards_completed, 5u);
+  EXPECT_EQ(rep2.committed_defeats, expected);
+  EXPECT_EQ(rep2.leases_granted, 0u);
+
+  // Drained coordinator tells a late worker there is nothing to do.
+  svc::WorkerOptions late;
+  late.name = "late";
+  late.remote_store = false;
+  const svc::WorkerReport lr =
+      svc::run_worker("127.0.0.1", again.port(), late);
+  EXPECT_EQ(lr.leases, 0u);
+  EXPECT_EQ(lr.indices, 0u);
+}
+
+// ---- failure recovery -----------------------------------------------------
+
+TEST_F(ServiceTest, WorkerFaultRequeuesAndACleanWorkerFinishes) {
+  const std::string spec = "e10:6";
+  const std::uint64_t expected = single_process_total(spec);
+  const auto w = dist::EnumWorkload::parse(spec);
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 3);
+
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  svc::Coordinator coord(plan, cfg);
+
+  // First worker dies mid-lease with an injected error after 20 indices
+  // — an unsealed disconnect; its committed chunks must survive.
+  util::FailPointRegistry::instance().configure("worker.index=err@hit:20");
+  svc::WorkerOptions faulty;
+  faulty.name = "faulty";
+  faulty.remote_store = false;
+  faulty.chunk_records = 8;  // several committed chunks before the fault
+  EXPECT_THROW(svc::run_worker("127.0.0.1", coord.port(), faulty),
+               dist::SerializeError);
+  util::FailPointRegistry::instance().reset();
+
+  {
+    const svc::ServiceReport mid = coord.report();
+    EXPECT_GE(mid.shards_requeued, 1u);
+    EXPECT_GT(mid.committed_indices, 0u);  // the prefix survived
+    EXPECT_LT(mid.committed_indices, plan.count);
+  }
+
+  svc::WorkerOptions clean;
+  clean.name = "clean";
+  clean.remote_store = false;
+  const svc::WorkerReport rep =
+      svc::run_worker("127.0.0.1", coord.port(), clean);
+  ASSERT_TRUE(coord.wait_complete(std::chrono::milliseconds(10000)));
+  EXPECT_EQ(rep.sealed, 3u);
+  // The clean worker resumed past the faulty one's committed prefix.
+  EXPECT_LT(rep.indices, plan.count);
+
+  const dist::MergeResult merged =
+      dist::merge_journals(plan, cfg.journal_dir);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.total, expected);
+}
+
+TEST_F(ServiceTest, ExpiredLeaseholderIsFencedAndTheShardRecovers) {
+  const std::string spec = "e10:6";
+  const auto w = dist::EnumWorkload::parse(spec);
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 1);
+
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  cfg.lease_timeout = std::chrono::milliseconds(200);
+  cfg.poll_interval = std::chrono::milliseconds(10);
+  svc::Coordinator coord(plan, cfg);
+
+  // A leaseholder that takes the shard and then commits NOTHING.
+  // Heartbeats alone must not keep the lease alive — journal growth is
+  // the only renewal.
+  auto silent = dial(coord, "worker", "silent");
+  const svc::LeaseGrant g = request_lease(*silent);
+  ASSERT_EQ(g.status, svc::LeaseStatus::kGranted);
+  ASSERT_NE(g.token, 0u);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool expired = false;
+  while (!expired && std::chrono::steady_clock::now() < deadline) {
+    net::send_frame(*silent, dist::WireKind::kHeartbeat,
+                    svc::encode(svc::Heartbeat{g.shard_index, g.token}));
+    net::Frame f;
+    ASSERT_EQ(net::recv_frame(*silent, f), net::RecvStatus::kFrame);
+    expired = !svc::decode_heartbeat_reply(f.payload).lease_valid;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(expired) << "chatty but workless lease never expired";
+
+  // The stale token is fenced on every mutation path.
+  svc::JournalChunk chunk;
+  chunk.shard_index = g.shard_index;
+  chunk.token = g.token;
+  chunk.records.push_back({g.begin, 0});
+  net::send_frame(*silent, dist::WireKind::kJournalChunk,
+                  svc::encode(chunk));
+  net::Frame f;
+  ASSERT_EQ(net::recv_frame(*silent, f), net::RecvStatus::kFrame);
+  EXPECT_FALSE(svc::decode_chunk_reply(f.payload).accepted);
+  net::send_frame(*silent, dist::WireKind::kSeal,
+                  svc::encode(svc::Seal{g.shard_index, g.token, 0}));
+  ASSERT_EQ(net::recv_frame(*silent, f), net::RecvStatus::kFrame);
+  EXPECT_FALSE(svc::decode_seal_reply(f.payload).accepted);
+  silent.reset();
+
+  const svc::ServiceReport rep = coord.report();
+  EXPECT_GE(rep.lease_expiries, 1u);
+  EXPECT_GE(rep.shards_requeued, 1u);
+
+  // The shard is re-grantable and the run still completes exactly.
+  svc::WorkerOptions clean;
+  clean.name = "clean";
+  clean.remote_store = false;
+  svc::run_worker("127.0.0.1", coord.port(), clean);
+  ASSERT_TRUE(coord.wait_complete(std::chrono::milliseconds(10000)));
+  const dist::MergeResult merged =
+      dist::merge_journals(plan, cfg.journal_dir);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.total, single_process_total(spec));
+}
+
+// ---- handshake refusals ---------------------------------------------------
+
+TEST_F(ServiceTest, ForeignServiceProtocolIsRefusedWithAVersionCode) {
+  const auto w = dist::EnumWorkload::parse("e10:6");
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  svc::Coordinator coord(dist::make_shard_plan(*w, 2), cfg);
+
+  auto s = net::tcp_connect("127.0.0.1", coord.port());
+  s->set_read_timeout_ms(2000);
+  svc::HelloRequest hello;
+  hello.protocol = svc::kServiceProtocolVersion + 7;
+  hello.role = "worker";
+  hello.name = "future";
+  net::send_frame(*s, dist::WireKind::kHello, svc::encode(hello));
+  net::Frame f;
+  ASSERT_EQ(net::recv_frame(*s, f), net::RecvStatus::kFrame);
+  ASSERT_EQ(f.kind, dist::WireKind::kError);
+  EXPECT_EQ(svc::decode_error_reply(f.payload).code,
+            svc::ErrorCode::kVersion);
+}
+
+TEST_F(ServiceTest, ForeignWireVersionIsAnsweredAsAVersionErrorNotCorruption) {
+  const auto w = dist::EnumWorkload::parse("e10:6");
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  svc::Coordinator coord(dist::make_shard_plan(*w, 2), cfg);
+
+  auto s = net::tcp_connect("127.0.0.1", coord.port());
+  s->set_read_timeout_ms(2000);
+  svc::HelloRequest hello;
+  hello.role = "worker";
+  auto framed = dist::frame_payload(dist::WireKind::kHello,
+                                    svc::encode(hello));
+  framed[4] ^= 0xff;  // the header's version field, bytes [4, 6)
+  s->write_all(framed.data(), framed.size());
+  net::Frame f;
+  ASSERT_EQ(net::recv_frame(*s, f), net::RecvStatus::kFrame);
+  ASSERT_EQ(f.kind, dist::WireKind::kError);
+  EXPECT_EQ(svc::decode_error_reply(f.payload).code,
+            svc::ErrorCode::kVersion);
+}
+
+TEST_F(ServiceTest, UnknownRoleIsRefused) {
+  const auto w = dist::EnumWorkload::parse("e10:6");
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  svc::Coordinator coord(dist::make_shard_plan(*w, 2), cfg);
+
+  auto s = net::tcp_connect("127.0.0.1", coord.port());
+  s->set_read_timeout_ms(2000);
+  svc::HelloRequest hello;
+  hello.role = "gossip";
+  net::send_frame(*s, dist::WireKind::kHello, svc::encode(hello));
+  net::Frame f;
+  ASSERT_EQ(net::recv_frame(*s, f), net::RecvStatus::kFrame);
+  ASSERT_EQ(f.kind, dist::WireKind::kError);
+  EXPECT_EQ(svc::decode_error_reply(f.payload).code,
+            svc::ErrorCode::kRefused);
+}
+
+// ---- the remote orbit store -----------------------------------------------
+
+TEST_F(ServiceTest, NetOrbitStoreRoundTripsThroughTheCoordinator) {
+  const auto w = dist::EnumWorkload::parse("e10:6");
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  cfg.cache_dir = path("cache");
+  svc::Coordinator coord(dist::make_shard_plan(*w, 2), cfg);
+
+  // A real published orbit set with its content key, same idiom as the
+  // FsOrbitStore tests.
+  const tree::Tree t = tree::line(6);
+  util::Rng rng(0x5eedu);
+  const sim::TabularAutomaton a =
+      sim::random_line_automaton(3, rng).tabular();
+  const sim::CompiledConfigEngine engine(t, a);
+  std::vector<tree::NodeId> starts;
+  for (tree::NodeId n = 0; n < t.node_count(); ++n) starts.push_back(n);
+  engine.warm_orbits(starts);
+  const auto set = engine.snapshot_orbits();
+  const sim::OrbitKey key = sim::combine_orbit_keys(
+      sim::tree_orbit_key(t), sim::canonical_automaton_key(a));
+
+  svc::NetOrbitStore store("127.0.0.1", coord.port(), "t-store");
+  // Absent key: a miss, and NEUTRAL for the degradation streak.
+  for (std::uint64_t i = 0; i < svc::NetOrbitStore::kDegradeAfter + 2; ++i) {
+    EXPECT_EQ(store.load(sim::OrbitKey{i + 100, i + 100}), nullptr);
+  }
+  EXPECT_FALSE(store.stats().degraded);
+
+  store.store(key, set);
+  const auto back = store.load(key);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(dist::serialize_orbit_set(*back), dist::serialize_orbit_set(*set));
+  // The set really went through the coordinator's FsOrbitStore.
+  const svc::ServiceReport rep = coord.report();
+  EXPECT_GE(rep.tier_stores, 1u);
+  EXPECT_GE(rep.tier_hits, 1u);
+
+  const svc::NetOrbitStore::Stats st = store.stats();
+  EXPECT_GE(st.hits, 1u);
+  EXPECT_GE(st.stores, 1u);
+  EXPECT_EQ(st.exhausted, 0u);
+}
+
+TEST_F(ServiceTest, NetOrbitStoreDegradesToComputeThroughWhenUnreachable) {
+  // Bind-then-close: the port exists but refuses — every op fails fast.
+  std::uint16_t dead_port = 0;
+  {
+    net::TcpListener l(0);
+    dead_port = l.port();
+    l.close();
+  }
+  svc::NetOrbitStore store("127.0.0.1", dead_port, "t-store");
+  for (std::uint64_t i = 0; i < svc::NetOrbitStore::kDegradeAfter; ++i) {
+    EXPECT_EQ(store.load(sim::OrbitKey{i, i}), nullptr);
+  }
+  const svc::NetOrbitStore::Stats st = store.stats();
+  EXPECT_TRUE(st.degraded);
+  EXPECT_EQ(st.exhausted, svc::NetOrbitStore::kDegradeAfter);
+  // Degradation is sticky compute-through: loads answer instantly.
+  EXPECT_EQ(store.load(sim::OrbitKey{1, 2}), nullptr);
+  const sim::OrbitTierFaultStats fs = store.fault_stats();
+  EXPECT_TRUE(fs.degraded);
+}
+
+}  // namespace
+}  // namespace rvt
