@@ -1,0 +1,611 @@
+// E16 — campaign durability: a fleet whose coordinator is killed and
+// resumed mid-campaign must merge bit-identical to the single-process
+// count, with every recovery counter non-vacuous.
+//
+// Four crash scenarios against real `rvt_cli serve` / `rvt_cli worker`
+// subprocesses over loopback TCP (the coordinator must be a PROCESS —
+// the drill is SIGKILL, not a destructor):
+//
+//  * COORDINATOR KILL: SIGKILL the coordinator after durable progress,
+//    restart it with `serve --resume` on the same ports. The throttled
+//    workers ride their reconnect backoff across the restart, their
+//    pre-crash lease tokens fence against the new epoch, and the
+//    resumed ledger re-grants the interrupted leases from the committed
+//    prefix.
+//  * OVERLAPPING KILLS: a worker is SIGKILLed in the same window as the
+//    coordinator, and a replacement joins after the resume. Nothing may
+//    quarantine — a crash is never the shard's fault.
+//  * PARTITION STALL: SIGSTOP the coordinator past the workers' framing
+//    stall limit, then SIGCONT. No restart: the workers must detect the
+//    stalled transport, reconnect, and drain the campaign exactly.
+//  * TORN LEDGER TAIL: SIGKILL as above, then append garbage bytes to
+//    the run ledger before `--resume` — the torn tail must truncate
+//    (the exact byte count reported) without losing any fsynced commit.
+//
+// Every scenario asserts the resumed/healed fleet merges to the
+// single-process total — 5426593 on the default battery — and the
+// BENCH_E16.json report carries the schema's "recovery" block summed
+// over the scenarios, validated non-vacuous (resumes >= 1). An optional
+// argv[1] (max_n, default 14) shrinks the battery for CI-reduced runs.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dist/ledger.hpp"
+#include "dist/merge.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/workload.hpp"
+#include "net/socket.hpp"
+#include "sim/enumeration.hpp"
+#include "sim/orbit_cache.hpp"
+#include "sim/simd.hpp"
+
+namespace {
+
+using namespace rvt;
+
+constexpr std::uint64_t kCommittedE10Defeats = 5426593;
+constexpr unsigned kShards = 6;
+
+std::string cli_path(const char* argv0) {
+  const std::filesystem::path self(argv0);
+  return (self.parent_path() / "rvt_cli").string();
+}
+
+bool check(bool ok, const std::string& what) {
+  std::cout << "  [" << (ok ? "ok" : "FAIL") << "] " << what << "\n";
+  return ok;
+}
+
+/// fork+execv with stdout/stderr redirected into `log`. Returns the
+/// child pid; the child _exits 127 if exec fails.
+pid_t spawn(const std::vector<std::string>& args, const std::string& log) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  _exit(127);
+}
+
+/// Blocks until `pid` exits; returns its exit code, or -(signal) when
+/// it died to a signal (SIGKILL -> -9).
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// The integer immediately BEFORE `needle` in `text` ("9 ledger records
+/// replayed" with needle " ledger records replayed" -> 9); false when
+/// the phrase is absent.
+bool u64_before(const std::string& text, const std::string& needle,
+                std::uint64_t* out) {
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos || at == 0) return false;
+  std::size_t b = at;
+  while (b > 0 && std::isdigit(static_cast<unsigned char>(text[b - 1]))) --b;
+  if (b == at) return false;
+  *out = std::strtoull(text.c_str() + b, nullptr, 10);
+  return true;
+}
+
+bool metrics_u64(const std::string& body, const std::string& key,
+                 std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::strtoull(body.c_str() + at + needle.size(), nullptr, 10);
+  return true;
+}
+
+/// Best-effort metrics scrape — empty string while the coordinator is
+/// down/restarting.
+std::string scrape(std::uint16_t mport) {
+  try {
+    return net::http_get("127.0.0.1", mport, "/");
+  } catch (const std::exception&) {
+    return {};
+  }
+}
+
+/// Polls the metrics endpoint until `pred(body)` holds; returns the
+/// last body (empty = deadline hit without a hit).
+template <typename Pred>
+std::string poll_metrics(std::uint16_t mport, Pred&& pred, int deadline_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(deadline_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string body = scrape(mport);
+    if (!body.empty() && pred(body)) return body;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return {};
+}
+
+/// Waits for the serve-side port file and parses "PORT MPORT".
+bool read_ports(const std::string& port_file, std::uint16_t* port,
+                std::uint16_t* mport) {
+  for (int i = 0; i < 400; ++i) {
+    std::ifstream pf(port_file);
+    std::uint64_t p = 0, mp = 0;
+    if (pf >> p >> mp && p != 0 && mp != 0) {
+      *port = static_cast<std::uint16_t>(p);
+      *mport = static_cast<std::uint16_t>(mp);
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return false;
+}
+
+struct ServeArgs {
+  std::string cli, spec, journal_dir, cache_dir, log;
+  std::uint16_t port = 0, mport = 0;  ///< 0 = ephemeral (needs port_file)
+  std::string port_file;
+  std::uint64_t lease_timeout_ms = 4000;
+  std::uint64_t max_attempts = 6;
+  bool resume = false;
+  std::uint64_t expect = 0;  ///< 0 = no --expect-defeats
+};
+
+pid_t spawn_serve(const ServeArgs& a) {
+  std::vector<std::string> args{
+      a.cli,           "serve",
+      "--workload",    a.spec,
+      "--shards",      std::to_string(kShards),
+      "--journal-dir", a.journal_dir,
+      "--cache-dir",   a.cache_dir,
+      "--port",        std::to_string(a.port),
+      "--metrics-port", std::to_string(a.mport),
+      "--lease-timeout-ms", std::to_string(a.lease_timeout_ms),
+      "--max-attempts", std::to_string(a.max_attempts)};
+  if (!a.port_file.empty()) {
+    args.push_back("--port-file");
+    args.push_back(a.port_file);
+  }
+  if (a.resume) args.push_back("--resume");
+  if (a.expect != 0) {
+    args.push_back("--expect-defeats");
+    args.push_back(std::to_string(a.expect));
+  }
+  return spawn(args, a.log);
+}
+
+pid_t spawn_worker(const std::string& cli, std::uint16_t port,
+                   const std::string& name, const std::string& log,
+                   std::uint64_t io_timeout_ms = 100,
+                   const std::string& cache_dir = "") {
+  std::vector<std::string> args{cli,
+                                "worker",
+                                "--connect",
+                                "127.0.0.1:" + std::to_string(port),
+                                "--name",
+                                name,
+                                "--throttle-ms",
+                                "2",
+                                "--io-timeout-ms",
+                                std::to_string(io_timeout_ms),
+                                "--reconnect-attempts",
+                                "300",
+                                "--reconnect-base-ms",
+                                "20"};
+  if (!cache_dir.empty()) {
+    args.push_back("--cache-dir");
+    args.push_back(cache_dir);
+  }
+  return spawn(args, log);
+}
+
+/// What one scenario contributed to the summed recovery block.
+struct ScenarioStats {
+  std::uint64_t resumes = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t torn_bytes = 0;
+  std::uint64_t regranted = 0;
+  std::uint64_t fenced = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t merged = 0;
+  double seconds = 0;
+  bool ok = false;
+};
+
+/// Parses the serve-side "recovery: epoch E, ..." line out of a serve
+/// log into the scenario's counters.
+bool parse_serve_recovery(const std::string& log, ScenarioStats* st) {
+  const std::string text = slurp(log);
+  return u64_before(text, " ledger records replayed", &st->replayed) &&
+         u64_before(text, " leases regranted", &st->regranted) &&
+         u64_before(text, " stale tokens fenced", &st->fenced) &&
+         u64_before(text, " worker reconnects", &st->reconnects);
+}
+
+std::uint64_t merged_total(const dist::ShardPlan& plan,
+                           const std::string& journal_dir) {
+  try {
+    return dist::merge_journals(plan, journal_dir).total;
+  } catch (const std::exception& e) {
+    std::cerr << "  merge failed: " << e.what() << "\n";
+    return 0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 14;
+  bench::header(
+      "E16 campaign durability (crash-recoverable coordinator)",
+      "A fleet whose coordinator is SIGKILLed, partitioned, or restarted "
+      "over a torn ledger tail\nmust heal — workers reconnect with "
+      "backoff, `serve --resume` replays the write-ahead run\nledger — "
+      "and still merge bit-identical to the single-process count.");
+
+  bool all_ok = true;
+  const std::string scratch =
+      "e16-scratch-" + std::to_string(static_cast<int>(::getpid()));
+  std::filesystem::remove_all(scratch);
+  std::filesystem::create_directories(scratch);
+  const std::string cli = cli_path(argv[0]);
+  const std::string spec = "e10:" + std::to_string(max_n);
+
+  // ---- single-process baseline -------------------------------------------
+  const auto workload = dist::EnumWorkload::parse(spec);
+  std::uint64_t single_total = 0;
+  {
+    sim::OrbitCache cache;
+    sim::EnumerationContext ctx(workload->grids(), workload->max_rounds(),
+                                &cache);
+    for (std::uint64_t i = 0; i < workload->count(); ++i) {
+      single_total += workload->defeats(ctx, i);
+    }
+  }
+  std::cout << "single process (" << spec << "): " << single_total
+            << " defeats over " << workload->count() << " indices\n";
+  if (max_n == 14) {
+    all_ok &= check(single_total == kCommittedE10Defeats,
+                    "single-process total equals the committed 5426593");
+  }
+  const dist::ShardPlan plan = dist::make_shard_plan(*workload, kShards);
+  const std::string cache_dir = scratch + "/cache";
+
+  util::Table table({"scenario", "resumes", "replayed", "regranted", "fenced",
+                     "reconnects", "defeats", "ok"});
+  ScenarioStats s1, s2, s3, s4;
+
+  // ---- S1: coordinator SIGKILL mid-campaign, resume ----------------------
+  {
+    std::cout << "\nS1 coordinator-kill: SIGKILL after durable progress, "
+              << "then `serve --resume` on the same ports:\n";
+    bench::WallTimer timer;
+    const std::string jdir = scratch + "/s1-journals";
+    ServeArgs sa{cli, spec, jdir, cache_dir, scratch + "/s1-serve1.log"};
+    sa.port_file = scratch + "/s1-ports";
+    const pid_t serve1 = spawn_serve(sa);
+    std::uint16_t port = 0, mport = 0;
+    all_ok &= check(read_ports(sa.port_file, &port, &mport),
+                    "coordinator #1 published its ports");
+    const pid_t w1 = spawn_worker(cli, port, "w1", scratch + "/s1-w1.log");
+    const pid_t w2 = spawn_worker(cli, port, "w2", scratch + "/s1-w2.log");
+
+    const std::string progressed = poll_metrics(
+        mport,
+        [](const std::string& b) {
+          std::uint64_t n = 0;
+          return metrics_u64(b, "committed_indices", &n) && n >= 1;
+        },
+        60);
+    all_ok &= check(!progressed.empty(),
+                    "fleet committed durable progress before the kill");
+    ::kill(serve1, SIGKILL);
+    const int serve1_exit = wait_exit(serve1);
+    all_ok &= check(serve1_exit == -SIGKILL, "coordinator #1 died to SIGKILL");
+
+    ServeArgs ra = sa;
+    ra.log = scratch + "/s1-serve2.log";
+    ra.port = port;
+    ra.mport = mport;
+    ra.port_file.clear();
+    ra.resume = true;
+    ra.expect = single_total;
+    const pid_t serve2 = spawn_serve(ra);
+
+    // Satellite: the LIVE metrics endpoint must carry non-vacuous
+    // recovery counters mid-run, not just the final report.
+    const std::string live = poll_metrics(
+        mport,
+        [](const std::string& b) {
+          std::uint64_t resumed = 0, rc = 0;
+          return metrics_u64(b, "recovery_resumed", &resumed) &&
+                 resumed == 1 &&
+                 metrics_u64(b, "recovery_worker_reconnects", &rc) && rc >= 1;
+        },
+        60);
+    all_ok &= check(!live.empty(),
+                    "live metrics show recovery_resumed=1 and a worker "
+                    "reconnect mid-run");
+
+    const int serve2_exit = wait_exit(serve2);
+    const int w1_exit = wait_exit(w1);
+    const int w2_exit = wait_exit(w2);
+    s1.seconds = timer.seconds();
+    s1.resumes = 1;
+    all_ok &= check(serve2_exit == 0 && w1_exit == 0 && w2_exit == 0,
+                    "resumed coordinator and both workers exited cleanly");
+    all_ok &= check(parse_serve_recovery(ra.log, &s1),
+                    "resumed coordinator printed its recovery line");
+    s1.merged = merged_total(plan, jdir);
+    all_ok &= check(s1.merged == single_total,
+                    "S1 merge " + std::to_string(s1.merged) +
+                        " == single-process total");
+    all_ok &= check(s1.replayed >= 2 && s1.regranted >= 1 && s1.fenced >= 1 &&
+                        s1.reconnects >= 1,
+                    "recovery counters non-vacuous (" +
+                        std::to_string(s1.replayed) + " replayed, " +
+                        std::to_string(s1.regranted) + " regranted, " +
+                        std::to_string(s1.fenced) + " fenced, " +
+                        std::to_string(s1.reconnects) + " reconnects)");
+    s1.ok = s1.merged == single_total;
+    table.row("coordinator-kill", s1.resumes, s1.replayed, s1.regranted,
+              s1.fenced, s1.reconnects, s1.merged, s1.ok ? "yes" : "NO");
+  }
+
+  // ---- S2: coordinator + worker kills overlapping ------------------------
+  {
+    std::cout << "\nS2 overlapping-kills: a worker AND the coordinator die "
+              << "in the same window; a replacement joins after resume:\n";
+    bench::WallTimer timer;
+    const std::string jdir = scratch + "/s2-journals";
+    ServeArgs sa{cli, spec, jdir, cache_dir, scratch + "/s2-serve1.log"};
+    sa.port_file = scratch + "/s2-ports";
+    const pid_t serve1 = spawn_serve(sa);
+    std::uint16_t port = 0, mport = 0;
+    all_ok &= check(read_ports(sa.port_file, &port, &mport),
+                    "coordinator #1 published its ports");
+    const pid_t w3 = spawn_worker(cli, port, "w3", scratch + "/s2-w3.log");
+    const pid_t w4 = spawn_worker(cli, port, "w4", scratch + "/s2-w4.log");
+
+    const std::string progressed = poll_metrics(
+        mport,
+        [](const std::string& b) {
+          std::uint64_t n = 0;
+          return metrics_u64(b, "committed_indices", &n) && n >= 1;
+        },
+        60);
+    all_ok &= check(!progressed.empty(),
+                    "fleet committed durable progress before the kills");
+    ::kill(w3, SIGKILL);
+    ::kill(serve1, SIGKILL);
+    wait_exit(serve1);
+    const int w3_exit = wait_exit(w3);
+
+    ServeArgs ra = sa;
+    ra.log = scratch + "/s2-serve2.log";
+    ra.port = port;
+    ra.mport = mport;
+    ra.port_file.clear();
+    ra.resume = true;
+    ra.expect = single_total;
+    const pid_t serve2 = spawn_serve(ra);
+    const pid_t w5 = spawn_worker(cli, port, "w5", scratch + "/s2-w5.log");
+
+    const int serve2_exit = wait_exit(serve2);
+    const int w4_exit = wait_exit(w4);
+    const int w5_exit = wait_exit(w5);
+    s2.seconds = timer.seconds();
+    s2.resumes = 1;
+    all_ok &= check(w3_exit == -SIGKILL, "the doomed worker died to SIGKILL");
+    all_ok &= check(serve2_exit == 0 && w4_exit == 0 && w5_exit == 0,
+                    "resumed coordinator, survivor and replacement exited "
+                    "cleanly");
+    all_ok &= check(parse_serve_recovery(ra.log, &s2),
+                    "resumed coordinator printed its recovery line");
+    // A crash is never the shard's fault: nothing may quarantine.
+    std::uint64_t quarantined = 99;
+    all_ok &= check(u64_before(slurp(ra.log), " quarantined", &quarantined) &&
+                        quarantined == 0,
+                    "nothing quarantined across the overlapping kills");
+    s2.merged = merged_total(plan, jdir);
+    all_ok &= check(s2.merged == single_total,
+                    "S2 merge " + std::to_string(s2.merged) +
+                        " == single-process total");
+    all_ok &= check(s2.replayed >= 2 && s2.regranted >= 1,
+                    "recovery counters non-vacuous (" +
+                        std::to_string(s2.replayed) + " replayed, " +
+                        std::to_string(s2.regranted) + " regranted)");
+    s2.ok = s2.merged == single_total && quarantined == 0;
+    table.row("overlapping-kills", s2.resumes, s2.replayed, s2.regranted,
+              s2.fenced, s2.reconnects, s2.merged, s2.ok ? "yes" : "NO");
+  }
+
+  // ---- S3: partition via a stalled coordinator (SIGSTOP/SIGCONT) --------
+  {
+    std::cout << "\nS3 partition-stall: SIGSTOP the coordinator past the "
+              << "workers' stall limit, SIGCONT, no restart:\n";
+    bench::WallTimer timer;
+    const std::string jdir = scratch + "/s3-journals";
+    ServeArgs sa{cli, spec, jdir, cache_dir, scratch + "/s3-serve.log"};
+    sa.port_file = scratch + "/s3-ports";
+    sa.lease_timeout_ms = 1500;
+    sa.expect = single_total;
+    const pid_t serve = spawn_serve(sa);
+    std::uint16_t port = 0, mport = 0;
+    all_ok &= check(read_ports(sa.port_file, &port, &mport),
+                    "coordinator published its ports");
+    // io-timeout 50ms puts the session framing stall limit at ~2.5s —
+    // well under the 5s stall, so the workers MUST notice and
+    // reconnect. A LOCAL cache dir, not the remote orbit store: the
+    // drill is the dispatch session's stall detection, and the remote
+    // store's own (1s-timeout) connection would otherwise absorb the
+    // stall inside a compute-side orbit round trip.
+    const pid_t w6 = spawn_worker(cli, port, "w6", scratch + "/s3-w6.log",
+                                  50, cache_dir);
+    const pid_t w7 = spawn_worker(cli, port, "w7", scratch + "/s3-w7.log",
+                                  50, cache_dir);
+
+    const std::string progressed = poll_metrics(
+        mport,
+        [](const std::string& b) {
+          std::uint64_t n = 0;
+          return metrics_u64(b, "committed_indices", &n) && n >= 1;
+        },
+        60);
+    all_ok &= check(!progressed.empty(),
+                    "fleet committed durable progress before the stall");
+    ::kill(serve, SIGSTOP);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5000));
+    ::kill(serve, SIGCONT);
+
+    const int serve_exit = wait_exit(serve);
+    const int w6_exit = wait_exit(w6);
+    const int w7_exit = wait_exit(w7);
+    s3.seconds = timer.seconds();
+    all_ok &= check(serve_exit == 0 && w6_exit == 0 && w7_exit == 0,
+                    "coordinator and both workers exited cleanly");
+    std::uint64_t rc6 = 0, rc7 = 0;
+    u64_before(slurp(scratch + "/s3-w6.log"), " reconnects", &rc6);
+    u64_before(slurp(scratch + "/s3-w7.log"), " reconnects", &rc7);
+    s3.reconnects = rc6 + rc7;
+    all_ok &= check(s3.reconnects >= 1,
+                    "workers reconnected across the partition (" +
+                        std::to_string(s3.reconnects) + " reconnects)");
+    s3.merged = merged_total(plan, jdir);
+    all_ok &= check(s3.merged == single_total,
+                    "S3 merge " + std::to_string(s3.merged) +
+                        " == single-process total");
+    s3.ok = s3.merged == single_total && s3.reconnects >= 1;
+    table.row("partition-stall", s3.resumes, s3.replayed, s3.regranted,
+              s3.fenced, s3.reconnects, s3.merged, s3.ok ? "yes" : "NO");
+  }
+
+  // ---- S4: torn ledger tail on restart -----------------------------------
+  {
+    std::cout << "\nS4 torn-ledger-tail: SIGKILL, then append garbage to "
+              << "the run ledger before `--resume`:\n";
+    bench::WallTimer timer;
+    const std::string jdir = scratch + "/s4-journals";
+    ServeArgs sa{cli, spec, jdir, cache_dir, scratch + "/s4-serve1.log"};
+    sa.port_file = scratch + "/s4-ports";
+    const pid_t serve1 = spawn_serve(sa);
+    std::uint16_t port = 0, mport = 0;
+    all_ok &= check(read_ports(sa.port_file, &port, &mport),
+                    "coordinator #1 published its ports");
+    const pid_t w8 = spawn_worker(cli, port, "w8", scratch + "/s4-w8.log");
+    const pid_t w9 = spawn_worker(cli, port, "w9", scratch + "/s4-w9.log");
+
+    const std::string progressed = poll_metrics(
+        mport,
+        [](const std::string& b) {
+          std::uint64_t n = 0;
+          return metrics_u64(b, "committed_indices", &n) && n >= 1;
+        },
+        60);
+    all_ok &= check(!progressed.empty(),
+                    "fleet committed durable progress before the kill");
+    ::kill(serve1, SIGKILL);
+    wait_exit(serve1);
+
+    // The torn tail a SIGKILL mid-append leaves: 13 garbage bytes (a
+    // partial 32-byte record) the resume must truncate and report.
+    {
+      std::ofstream lf(dist::ledger_path(jdir),
+                       std::ios::binary | std::ios::app);
+      for (int i = 0; i < 13; ++i) lf.put('\xab');
+    }
+
+    ServeArgs ra = sa;
+    ra.log = scratch + "/s4-serve2.log";
+    ra.port = port;
+    ra.mport = mport;
+    ra.port_file.clear();
+    ra.resume = true;
+    ra.expect = single_total;
+    const pid_t serve2 = spawn_serve(ra);
+    const int serve2_exit = wait_exit(serve2);
+    const int w8_exit = wait_exit(w8);
+    const int w9_exit = wait_exit(w9);
+    s4.seconds = timer.seconds();
+    s4.resumes = 1;
+    all_ok &= check(serve2_exit == 0 && w8_exit == 0 && w9_exit == 0,
+                    "resumed coordinator and both workers exited cleanly");
+    all_ok &= check(parse_serve_recovery(ra.log, &s4),
+                    "resumed coordinator printed its recovery line");
+    all_ok &= check(u64_before(slurp(ra.log), " torn bytes truncated",
+                               &s4.torn_bytes) &&
+                        s4.torn_bytes == 13,
+                    "the resume truncated exactly the 13 torn tail bytes");
+    s4.merged = merged_total(plan, jdir);
+    all_ok &= check(s4.merged == single_total,
+                    "S4 merge " + std::to_string(s4.merged) +
+                        " == single-process total (no fsynced commit lost)");
+    s4.ok = s4.merged == single_total && s4.torn_bytes == 13;
+    table.row("torn-ledger-tail", s4.resumes, s4.replayed, s4.regranted,
+              s4.fenced, s4.reconnects, s4.merged, s4.ok ? "yes" : "NO");
+  }
+
+  table.print(std::cout);
+
+  bench::JsonReport report("E16");
+  report.workload("rendezvous", 2);
+  report.shards(kShards);
+  util::RecoverySummary rec;
+  rec.resumes = s1.resumes + s2.resumes + s3.resumes + s4.resumes;
+  rec.ledger_records_replayed =
+      s1.replayed + s2.replayed + s3.replayed + s4.replayed;
+  rec.ledger_torn_bytes_truncated =
+      s1.torn_bytes + s2.torn_bytes + s3.torn_bytes + s4.torn_bytes;
+  rec.leases_regranted =
+      s1.regranted + s2.regranted + s3.regranted + s4.regranted;
+  rec.stale_tokens_fenced = s1.fenced + s2.fenced + s3.fenced + s4.fenced;
+  rec.worker_reconnects =
+      s1.reconnects + s2.reconnects + s3.reconnects + s4.reconnects;
+  report.recovery(rec);
+  report.metric("max_n", max_n);
+  report.metric("single_defeats", static_cast<double>(single_total));
+  report.metric("s1_coordinator_kill_seconds", s1.seconds);
+  report.metric("s2_overlapping_kills_seconds", s2.seconds);
+  report.metric("s3_partition_stall_seconds", s3.seconds);
+  report.metric("s4_torn_ledger_tail_seconds", s4.seconds);
+  report.note("simd", sim::simd_path_name());
+  report.table(table);
+  std::cout << "report: " << report.write() << "\n";
+
+  if (all_ok) std::filesystem::remove_all(scratch);
+
+  bench::verdict(
+      all_ok,
+      "coordinator kills, overlapping worker kills, a partition stall and "
+      "a torn ledger tail all heal: every scenario merged bit-identical" +
+          std::string(max_n == 14 ? " (committed 5426593 defeats)" : ""));
+  return all_ok ? 0 : 1;
+}

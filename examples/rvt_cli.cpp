@@ -137,11 +137,13 @@ int usage() {
                "[--port N] [--metrics-port N] [--port-file FILE] "
                "[--max-attempts N] [--lease-timeout-ms N] "
                "[--poll-interval-ms N] [--expect-defeats N] "
-               "[--quarantine-out FILE]\n"
+               "[--quarantine-out FILE] [--resume]\n"
                "         (metrics: curl http://HOST:METRICS_PORT/ for a "
-               "live JSON snapshot)\n"
+               "live JSON snapshot; --resume replays the run ledger in "
+               "--journal-dir after a crash)\n"
                "       rvt_cli worker --connect HOST:PORT [--name S] "
-               "[--cache-dir DIR] [--throttle-ms N]\n";
+               "[--cache-dir DIR] [--throttle-ms N] [--io-timeout-ms N] "
+               "[--reconnect-attempts N] [--reconnect-base-ms N]\n";
   return 1;
 }
 
@@ -493,6 +495,7 @@ int run_serve_mode(int argc, char** argv) {
   std::uint64_t max_attempts = 3, lease_ms = 10000, poll_ms = 20;
   std::uint64_t expect = 0;
   bool have_expect = false;
+  bool resume = false;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -535,6 +538,8 @@ int run_serve_mode(int argc, char** argv) {
       have_expect = true;
     } else if (a == "--quarantine-out") {
       quarantine_out = next();
+    } else if (a == "--resume") {
+      resume = true;
     } else {
       return usage();
     }
@@ -559,6 +564,7 @@ int run_serve_mode(int argc, char** argv) {
     cfg.max_attempts = static_cast<unsigned>(max_attempts);
     cfg.lease_timeout = std::chrono::milliseconds(lease_ms);
     cfg.poll_interval = std::chrono::milliseconds(poll_ms);
+    cfg.resume = resume;
     svc::Coordinator coord(plan, cfg);
     std::cout << "serve: workload " << plan.workload_spec << ", "
               << plan.count << " indices, " << plan.shards.size()
@@ -566,6 +572,14 @@ int run_serve_mode(int argc, char** argv) {
               << ", metrics http://127.0.0.1:" << coord.metrics_port()
               << "/\n"
               << std::flush;
+    if (resume) {
+      const svc::ServiceReport r0 = coord.report();
+      std::cout << "serve: resumed from run ledger ("
+                << r0.ledger_records_replayed << " records replayed, "
+                << r0.ledger_torn_bytes_truncated
+                << " torn bytes truncated)\n"
+                << std::flush;
+    }
     if (!port_file.empty()) {
       // Written-then-renamed so a polling script never reads a torn
       // half-written port number.
@@ -593,7 +607,12 @@ int run_serve_mode(int argc, char** argv) {
               << rep.shards_requeued << " requeues, "
               << rep.shards_quarantined << " quarantined, "
               << rep.runners_seen << " runners, "
-              << rep.journal_bytes_streamed << " journal bytes streamed\n";
+              << rep.journal_bytes_streamed << " journal bytes streamed\n"
+              << "recovery: epoch " << rep.ledger_epoch << ", "
+              << rep.ledger_records_replayed << " ledger records replayed, "
+              << rep.leases_regranted << " leases regranted, "
+              << rep.stale_tokens_fenced << " stale tokens fenced, "
+              << rep.worker_reconnects << " worker reconnects\n";
     if (!rep.all_complete()) {
       const dist::QuarantineManifest m = coord.quarantine_manifest();
       const std::string out_path = quarantine_out.empty()
@@ -648,6 +667,27 @@ int run_worker_mode(int argc, char** argv) {
         std::cerr << "bad value for --throttle-ms: " << argv[i] << "\n";
         return 1;
       }
+    } else if (a == "--io-timeout-ms") {
+      if (!parse_u64_strict(next(), opt.io_timeout_ms)) {
+        std::cerr << "bad value for --io-timeout-ms: " << argv[i] << "\n";
+        return 1;
+      }
+    } else if (a == "--reconnect-attempts") {
+      std::uint64_t n = 0;
+      if (!parse_u64_strict(next(), n) || n == 0) {
+        std::cerr << "bad value for --reconnect-attempts: " << argv[i]
+                  << "\n";
+        return 1;
+      }
+      opt.reconnect.max_attempts = static_cast<unsigned>(n);
+    } else if (a == "--reconnect-base-ms") {
+      std::uint64_t n = 0;
+      if (!parse_u64_strict(next(), n)) {
+        std::cerr << "bad value for --reconnect-base-ms: " << argv[i]
+                  << "\n";
+        return 1;
+      }
+      opt.reconnect.base_delay = std::chrono::milliseconds(n);
     } else {
       return usage();
     }
@@ -666,7 +706,8 @@ int run_worker_mode(int argc, char** argv) {
     std::cout << "worker " << opt.name << ": " << rep.leases << " leases, "
               << rep.sealed << " sealed, " << rep.revoked << " revoked, "
               << rep.indices << " indices, " << rep.defeats << " defeats, "
-              << rep.chunks << " chunks\n";
+              << rep.chunks << " chunks, " << rep.reconnects
+              << " reconnects, " << rep.fenced << " fenced\n";
     if (rep.telemetry.tier_retries != 0 || rep.telemetry.tier_exhausted != 0 ||
         rep.telemetry.tier_degraded != 0) {
       std::cout << "tier faults: " << rep.telemetry.tier_retries

@@ -64,6 +64,7 @@ enum class WireKind : std::uint16_t {
   kError = 11,        ///< refusal with a machine-readable code
   kOrbitGet = 12,     ///< remote orbit store: load by content key
   kOrbitPut = 13,     ///< remote orbit store: best-effort publish
+  kLedger = 14,       ///< coordinator write-ahead run ledger (dist/ledger.hpp)
 };
 
 struct SerializeError : std::runtime_error {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <unordered_map>
 
 #include "svc/protocol.hpp"
 
@@ -78,6 +79,14 @@ std::string service_json(const ServiceReport& r,
   u64("cache_tier_exhausted", r.tier_faults.exhausted);
   u64("cache_tier_quarantined", r.tier_faults.quarantined);
   u64("cache_tier_degraded", r.tier_faults.degraded ? 1 : 0);
+  u64("recovery_resumed", r.resumed);
+  u64("recovery_ledger_epoch", r.ledger_epoch);
+  u64("recovery_ledger_records_replayed", r.ledger_records_replayed);
+  u64("recovery_ledger_records_appended", r.ledger_records_appended);
+  u64("recovery_ledger_torn_bytes_truncated", r.ledger_torn_bytes_truncated);
+  u64("recovery_leases_regranted", r.leases_regranted);
+  u64("recovery_stale_tokens_fenced", r.stale_tokens_fenced);
+  u64("recovery_worker_reconnects", r.worker_reconnects);
   dbl("uptime_seconds", r.uptime_seconds);
   dbl("shards_per_second", r.shards_per_second);
   dbl("time_to_first_record_seconds", r.time_to_first_record_seconds);
@@ -113,8 +122,9 @@ Coordinator::Coordinator(dist::ShardPlan plan, CoordinatorConfig cfg)
     fs_store_ = std::make_unique<dist::FsOrbitStore>(cfg_.cache_dir);
   }
   shards_.resize(plan_.shards.size());
-  // Adopt whatever journals already exist: sealed shards need no lease,
-  // partial ones count their committed prefix and resume from it.
+  // Scan every journal once: the DATA authority both the plain adoption
+  // path and the ledger replay cross-check read from.
+  std::vector<std::optional<dist::JournalState>> journals(plan_.shards.size());
   for (std::size_t i = 0; i < plan_.shards.size(); ++i) {
     const dist::ShardSpec& spec = plan_.shards[i];
     std::optional<dist::JournalState> js;
@@ -127,19 +137,59 @@ Coordinator::Coordinator(dist::ShardPlan plan, CoordinatorConfig cfg)
                        js->header.fingerprint == plan_.fingerprint &&
                        js->header.begin == spec.begin &&
                        js->header.end == spec.end;
-    if (bound && js->complete) {
+    if (bound) journals[i] = std::move(js);
+  }
+  // The CONTROL authority: with --resume the run ledger is required and
+  // replayed; a fresh campaign truncates whatever ledger a previous
+  // campaign in this directory left behind.
+  const std::string lpath = dist::ledger_path(cfg_.journal_dir);
+  const dist::LedgerHeader lhdr{plan_.fingerprint, plan_.shards.size()};
+  std::optional<dist::LedgerState> ls;
+  if (cfg_.resume) {
+    ls = dist::read_ledger(lpath);  // corrupt preamble throws — a refusal
+    if (!ls) {
+      throw dist::SerializeError(
+          "coordinator: --resume needs a run ledger (none at " + lpath + ")");
+    }
+    if (!(ls->header.fingerprint == plan_.fingerprint) ||
+        ls->header.shard_count != plan_.shards.size()) {
+      throw dist::SerializeError(
+          "coordinator: run ledger belongs to a different campaign "
+          "(fingerprint/shard-count mismatch)");
+    }
+    ledger_torn_bytes_ = ls->file_bytes - ls->valid_bytes;
+  }
+  // Adopt journal data: sealed shards need no lease, partial ones count
+  // their committed prefix and resume from it.
+  for (std::size_t i = 0; i < plan_.shards.size(); ++i) {
+    const dist::ShardSpec& spec = plan_.shards[i];
+    const auto& js = journals[i];
+    if (js && js->complete) {
       shards_[i].phase = ShardPhase::kSealed;
       shards_[i].sealed_sum = js->sum;
       ++sealed_total_;
       committed_indices_ += spec.end - spec.begin;
       committed_defeats_ += js->sum;
-    } else {
-      if (bound) {
-        committed_indices_ += js->next_index - spec.begin;
-        committed_defeats_ += js->sum;
-      }
-      pending_.push_back(i);
+    } else if (js) {
+      committed_indices_ += js->next_index - spec.begin;
+      committed_defeats_ += js->sum;
     }
+  }
+  if (cfg_.resume) {
+    replay_ledger(*ls, journals);
+    resumed_ = true;
+    ledger_ = dist::LedgerWriter::resume(lpath, lhdr, *ls);
+  } else {
+    ledger_ = dist::LedgerWriter::create(lpath, lhdr);
+  }
+  // Every start opens a new token epoch, durably: tokens granted by ANY
+  // earlier incarnation are below next_token_ and resumed shards carry
+  // token 0, so a pre-crash leaseholder's chunks and seals fence.
+  ledger_->append({dist::LedgerEvent::kEpoch, ledger_epoch_, next_token_});
+  ++ledger_records_appended_;
+  // Work queue last, in plan order, from the reconstructed phases.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].phase == ShardPhase::kPending) pending_.push_back(i);
   }
   start_ = std::chrono::steady_clock::now();
   listener_ = std::make_unique<net::TcpListener>(cfg_.port);
@@ -147,6 +197,129 @@ Coordinator::Coordinator(dist::ShardPlan plan, CoordinatorConfig cfg)
   accept_thread_ = std::thread([this] { accept_loop(); });
   metrics_thread_ = std::thread([this] { metrics_loop(); });
   reaper_thread_ = std::thread([this] { reaper_loop(); });
+}
+
+void Coordinator::replay_ledger(
+    const dist::LedgerState& ls,
+    const std::vector<std::optional<dist::JournalState>>& journals) {
+  struct Replayed {
+    bool open = false;         ///< granted and neither failed nor closed
+    unsigned attempts = 0;
+    bool quarantined = false;
+    bool sealed = false;
+    std::uint64_t sealed_sum = 0;
+  };
+  std::vector<Replayed> rs(shards_.size());
+  std::uint64_t max_epoch = 0;
+  std::uint64_t max_token = 0;
+  std::uint64_t epoch_token_floor = 1;
+  std::uint64_t ck_indices = 0, ck_defeats = 0;
+  bool has_checkpoint = false;
+  for (const dist::LedgerRecord& rec : ls.records) {
+    ++ledger_records_replayed_;
+    const std::size_t i = static_cast<std::size_t>(rec.a);
+    const bool shard_event = rec.event == dist::LedgerEvent::kGrant ||
+                             rec.event == dist::LedgerEvent::kFail ||
+                             rec.event == dist::LedgerEvent::kSeal ||
+                             rec.event == dist::LedgerEvent::kQuarantine;
+    if (shard_event && i >= shards_.size()) {
+      throw dist::SerializeError(
+          "coordinator: ledger names shard " + std::to_string(rec.a) +
+          " of a " + std::to_string(shards_.size()) + "-shard plan");
+    }
+    switch (rec.event) {
+      case dist::LedgerEvent::kEpoch:
+        max_epoch = std::max(max_epoch, rec.a);
+        epoch_token_floor = std::max(epoch_token_floor, rec.b);
+        break;
+      case dist::LedgerEvent::kGrant:
+        rs[i].open = true;
+        ++rs[i].attempts;
+        max_token = std::max(max_token, rec.b);
+        break;
+      case dist::LedgerEvent::kFail:
+        rs[i].open = false;
+        rs[i].attempts = std::max(rs[i].attempts,
+                                  static_cast<unsigned>(rec.b));
+        break;
+      case dist::LedgerEvent::kSeal:
+        rs[i].open = false;
+        rs[i].sealed = true;
+        rs[i].sealed_sum = rec.b;
+        break;
+      case dist::LedgerEvent::kQuarantine:
+        rs[i].open = false;
+        rs[i].quarantined = true;
+        rs[i].attempts = std::max(rs[i].attempts,
+                                  static_cast<unsigned>(rec.b));
+        break;
+      case dist::LedgerEvent::kCheckpoint:
+        ck_indices = rec.a;
+        ck_defeats = rec.b;
+        has_checkpoint = true;
+        break;
+    }
+  }
+  ledger_epoch_ = max_epoch + 1;
+  next_token_ = std::max(max_token + 1, epoch_token_floor);
+  // Cross-check control against data, refusing disagreement instead of
+  // guessing. The one tolerated asymmetry: a journal sealed without a
+  // ledger kSeal is the crash window between the journal's DONE record
+  // and the ledger append — the journal is the data authority, adopt it.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& s = shards_[i];
+    const auto& js = journals[i];
+    if (rs[i].sealed) {
+      if (!js || !js->complete) {
+        throw dist::SerializeError(
+            "coordinator: ledger records a seal for shard " +
+            std::to_string(i) + " but its journal is not sealed on disk");
+      }
+      if (js->sum != rs[i].sealed_sum) {
+        throw dist::SerializeError(
+            "coordinator: shard " + std::to_string(i) + " sealed sum " +
+            std::to_string(js->sum) + " on disk, " +
+            std::to_string(rs[i].sealed_sum) + " in the ledger");
+      }
+    }
+    s.attempts = rs[i].attempts;
+    if (s.phase == ShardPhase::kSealed) continue;
+    if (rs[i].quarantined) {
+      s.phase = ShardPhase::kQuarantined;
+      s.diagnostics.push_back("quarantined before restart (run ledger, " +
+                              std::to_string(s.attempts) + " attempts)");
+    } else if (rs[i].open) {
+      // Out on lease when the previous incarnation died: pending again,
+      // the re-grant resumes from the journal's committed prefix.
+      s.interrupted = true;
+    }
+  }
+  // The running-merge checkpoint can never be ahead of what the
+  // journals actually hold — if it is, the data half lost fsynced
+  // history (journals are fflushed, not fsynced: a host reboot can do
+  // this) and resuming would silently recompute under a lie.
+  if (has_checkpoint &&
+      (committed_indices_ < ck_indices ||
+       (committed_indices_ == ck_indices && committed_defeats_ != ck_defeats))) {
+    throw dist::SerializeError(
+        "coordinator: run ledger checkpoint (" + std::to_string(ck_indices) +
+        " indices, " + std::to_string(ck_defeats) +
+        " defeats) is ahead of the journals (" +
+        std::to_string(committed_indices_) + ", " +
+        std::to_string(committed_defeats_) +
+        ") — journal history was lost; refusing to resume");
+  }
+}
+
+void Coordinator::ledger_append_nothrow_locked(const dist::LedgerRecord& rec) {
+  if (!ledger_) return;
+  try {
+    ledger_->append(rec);
+    ++ledger_records_appended_;
+  } catch (const dist::SerializeError&) {
+    // The durable fact lives in a journal (seal) or is safe to lose
+    // (requeue: replay re-grants an open lease as pending anyway).
+  }
 }
 
 Coordinator::~Coordinator() { stop(); }
@@ -206,11 +379,14 @@ void Coordinator::fail_attempt_locked(std::size_t shard,
   if (s.attempts >= cfg_.max_attempts) {
     s.phase = ShardPhase::kQuarantined;
     s.writer.reset();
+    ledger_append_nothrow_locked(
+        {dist::LedgerEvent::kQuarantine, shard, s.attempts});
     cv_.notify_all();
   } else {
     s.phase = ShardPhase::kPending;
     pending_.push_back(shard);
     ++requeues_;
+    ledger_append_nothrow_locked({dist::LedgerEvent::kFail, shard, s.attempts});
   }
 }
 
@@ -267,6 +443,19 @@ std::vector<std::uint8_t> Coordinator::grant_lease_locked(
       throw;
     }
   }
+  // Write-ahead: the grant (and its fencing token) must be durable
+  // BEFORE the reply leaves — a coordinator killed right after sending
+  // the grant must replay it, or a resumed incarnation could mint the
+  // same token for someone else.
+  if (ledger_) {
+    try {
+      ledger_->append({dist::LedgerEvent::kGrant, i, next_token_});
+      ++ledger_records_appended_;
+    } catch (const dist::SerializeError&) {
+      pending_.push_back(i);
+      throw;
+    }
+  }
   ++s.attempts;
   s.phase = ShardPhase::kLeased;
   s.token = next_token_++;
@@ -274,6 +463,10 @@ std::vector<std::uint8_t> Coordinator::grant_lease_locked(
   s.session = session_id;
   s.last_progress = std::chrono::steady_clock::now();
   ++leases_granted_;
+  if (s.interrupted) {
+    s.interrupted = false;
+    ++leases_regranted_;
+  }
   g.status = LeaseStatus::kGranted;
   g.shard_index = i;
   g.shard_id = spec.id;
@@ -349,6 +542,7 @@ void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
       std::lock_guard<std::mutex> lk(mu_);
       runners_[session_id].name = name;
       runners_[session_id].role = hello.role;
+      runners_[session_id].reconnects = hello.reconnects;
       runners_[session_id].last_seen = std::chrono::steady_clock::now();
     }
     if (hello.protocol != kServiceProtocolVersion) {
@@ -360,6 +554,16 @@ void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
     }
     if (hello.role != "worker" && hello.role != "store") {
       send_error(ErrorCode::kRefused, "unknown role '" + hello.role + "'");
+      return;
+    }
+    // A nonzero hello fingerprint is a RE-hello: the runner is already
+    // bound to a plan and must not reconnect into a different campaign
+    // (a restarted coordinator serving another plan on the same port).
+    if ((hello.fingerprint.hi != 0 || hello.fingerprint.lo != 0) &&
+        !(hello.fingerprint == plan_.fingerprint)) {
+      send_error(ErrorCode::kRefused,
+                 "reconnected into a different campaign (plan fingerprint "
+                 "mismatch)");
       return;
     }
     HelloReply ack;
@@ -407,6 +611,14 @@ void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
               shards_[chunk.shard_index].token == chunk.token &&
               shards_[chunk.shard_index].phase == ShardPhase::kLeased) {
             ShardState& s = shards_[chunk.shard_index];
+            // A valid token identifies the lease, not the TCP session:
+            // a worker that reconnected mid-lease (coordinator restart
+            // healed, partition cleared) adopts the lease into its new
+            // session, so the OLD session's teardown no longer requeues
+            // the shard out from under it.
+            s.session = session_id;
+            s.holder = name;
+            my_shard = chunk.shard_index;
             try {
               for (const JournalRecord& rec : chunk.records) {
                 s.writer->record(rec.index, rec.value);
@@ -431,6 +643,7 @@ void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
             }
           } else {
             cr.accepted = false;  // stale token: lease was revoked
+            if (chunk.token != 0) ++stale_tokens_fenced_;
           }
           reply = encode(cr);
           break;
@@ -464,6 +677,16 @@ void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
                 if (!first_seal_at_) {
                   first_seal_at_ = std::chrono::steady_clock::now();
                 }
+                // Journal DONE record first (data), then the durable
+                // control-state commit + merge checkpoint, then the
+                // reply. A crash in between leaves a sealed journal
+                // without a ledger seal — the one tolerated asymmetry
+                // the resume path adopts from the journal.
+                ledger_append_nothrow_locked(
+                    {dist::LedgerEvent::kSeal, seal.shard_index, seal.total});
+                ledger_append_nothrow_locked({dist::LedgerEvent::kCheckpoint,
+                                              committed_indices_,
+                                              committed_defeats_});
                 sr.accepted = true;
                 my_shard = kNoShard;
               } catch (const dist::SerializeError& e) {
@@ -472,6 +695,8 @@ void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
               }
             }
             cv_.notify_all();
+          } else if (seal.token != 0) {
+            ++stale_tokens_fenced_;
           }
           reply = encode(sr);
           break;
@@ -657,6 +882,24 @@ ServiceReport Coordinator::report_locked() const {
     r.time_to_first_sealed_shard_seconds =
         seconds_since(start_, *first_seal_at_);
   }
+  r.resumed = resumed_ ? 1 : 0;
+  r.ledger_epoch = ledger_epoch_;
+  r.ledger_records_replayed = ledger_records_replayed_;
+  r.ledger_records_appended = ledger_records_appended_;
+  r.ledger_torn_bytes_truncated = ledger_torn_bytes_;
+  r.leases_regranted = leases_regranted_;
+  r.stale_tokens_fenced = stale_tokens_fenced_;
+  // Fleet reconnects: each worker self-reports a monotonically growing
+  // count per hello; a worker reconnecting opens a NEW session, so take
+  // the per-name maximum and sum across names.
+  std::unordered_map<std::string, std::uint64_t> reconnects_by_name;
+  for (const RunnerInfo& ri : runners_) {
+    if (ri.role != "worker") continue;
+    auto [it, inserted] =
+        reconnects_by_name.try_emplace(ri.name, ri.reconnects);
+    if (!inserted) it->second = std::max(it->second, ri.reconnects);
+  }
+  for (const auto& [_, n] : reconnects_by_name) r.worker_reconnects += n;
   for (const RunnerInfo& ri : runners_) {
     if (ri.role == "worker") ++r.runners_seen;
     RunnerHealth h;
@@ -678,6 +921,44 @@ ServiceReport Coordinator::report() const {
 
 std::string Coordinator::metrics_json() const {
   return service_json(report(), plan_.workload_spec);
+}
+
+std::vector<Coordinator::ShardSnapshot> Coordinator::shard_snapshots() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ShardSnapshot> out;
+  out.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardState& s = shards_[i];
+    const dist::ShardSpec& spec = plan_.shards[i];
+    ShardSnapshot snap;
+    snap.phase = s.phase;
+    snap.attempts = s.attempts;
+    snap.token = s.token;
+    snap.interrupted = s.interrupted;
+    if (s.writer) {
+      snap.next_index = s.writer->next_index();
+      snap.sum = s.writer->sum();
+    } else if (s.phase == ShardPhase::kSealed) {
+      snap.next_index = spec.end;
+      snap.sum = s.sealed_sum;
+    } else {
+      // No live writer: the committed prefix is whatever the journal
+      // holds (a resumed-but-not-yet-regranted shard, or none at all).
+      snap.next_index = spec.begin;
+      try {
+        const auto js =
+            dist::read_journal(dist::journal_path(cfg_.journal_dir, spec));
+        if (js && js->header.shard_id == spec.id &&
+            js->header.fingerprint == plan_.fingerprint) {
+          snap.next_index = js->next_index;
+          snap.sum = js->sum;
+        }
+      } catch (const dist::SerializeError&) {
+      }
+    }
+    out.push_back(snap);
+  }
+  return out;
 }
 
 dist::QuarantineManifest Coordinator::quarantine_manifest() const {

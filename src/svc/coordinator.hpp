@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "dist/journal.hpp"
+#include "dist/ledger.hpp"
 #include "dist/merge.hpp"
 #include "dist/serialize.hpp"
 #include "dist/shard_plan.hpp"
@@ -74,6 +75,13 @@ struct CoordinatorConfig {
   /// Session read timeout: the granularity at which session threads
   /// notice stop() and stalled peers.
   std::chrono::milliseconds session_read_timeout{200};
+  /// false: a fresh campaign — the run ledger is (re)created. true:
+  /// `serve --resume` — the existing ledger is REQUIRED, replayed
+  /// against the on-disk journals, and the coordinator restarts from
+  /// the reconstructed lease/attempt/merge state (construction throws
+  /// SerializeError if the ledger is missing, foreign, or disagrees
+  /// with the journals).
+  bool resume = false;
 };
 
 /// Health of one connected (or recently connected) runner session.
@@ -115,6 +123,17 @@ struct ServiceReport {
   /// Negative until the first record / first seal of this run.
   double time_to_first_record_seconds = -1;
   double time_to_first_sealed_shard_seconds = -1;
+  // Recovery counters (the "recovery_*" metrics keys): what a resumed
+  // coordinator reconstructed and what the fleet did to heal around the
+  // restart. All zero on a fresh, uninterrupted campaign.
+  std::uint64_t resumed = 0;  ///< 1 if this coordinator was --resume'd
+  std::uint64_t ledger_epoch = 0;
+  std::uint64_t ledger_records_replayed = 0;
+  std::uint64_t ledger_records_appended = 0;
+  std::uint64_t ledger_torn_bytes_truncated = 0;
+  std::uint64_t leases_regranted = 0;      ///< re-grants of pre-crash leases
+  std::uint64_t stale_tokens_fenced = 0;   ///< pre-crash/expired tokens refused
+  std::uint64_t worker_reconnects = 0;     ///< per-name max, summed
   std::vector<RunnerHealth> runners;
 
   bool all_complete() const {
@@ -128,11 +147,34 @@ std::string service_json(const ServiceReport& r,
 
 class Coordinator {
  public:
+  enum class ShardPhase : std::uint8_t {
+    kPending,
+    kLeased,
+    kSealed,
+    kQuarantined,
+  };
+
+  /// One shard's control state, exposed for the replay-vs-live
+  /// equivalence tests: a resumed coordinator must reconstruct these
+  /// field-for-field (a pre-crash lease maps to kPending with token 0
+  /// and interrupted=true — the lease itself died with the process;
+  /// everything else is exact).
+  struct ShardSnapshot {
+    ShardPhase phase = ShardPhase::kPending;
+    unsigned attempts = 0;
+    std::uint64_t token = 0;
+    std::uint64_t next_index = 0;  ///< first uncommitted index
+    std::uint64_t sum = 0;         ///< committed defeats so far
+    bool interrupted = false;      ///< was out on lease when a crash hit
+  };
+
   /// Binds both listeners and starts serving immediately. Existing
   /// journals under journal_dir are adopted: sealed shards need no
-  /// lease, partial ones resume from their committed prefix. Throws
-  /// net::NetError (bind failure) or dist::SerializeError (unusable
-  /// journal dir).
+  /// lease, partial ones resume from their committed prefix. With
+  /// cfg.resume, the run ledger is replayed first (see CoordinatorConfig).
+  /// Throws net::NetError (bind failure) or dist::SerializeError
+  /// (unusable journal dir, missing/foreign ledger, ledger/journal
+  /// disagreement).
   Coordinator(dist::ShardPlan plan, CoordinatorConfig cfg);
   ~Coordinator();
   Coordinator(const Coordinator&) = delete;
@@ -151,6 +193,9 @@ class Coordinator {
   ServiceReport report() const;
   std::string metrics_json() const;
 
+  /// Per-shard control state, plan order (see ShardSnapshot).
+  std::vector<ShardSnapshot> shard_snapshots() const;
+
   /// Quarantine manifest for the shards given up on (empty entries when
   /// none) — feed to merge_journals for an explicit partial merge.
   dist::QuarantineManifest quarantine_manifest() const;
@@ -160,13 +205,6 @@ class Coordinator {
   void stop();
 
  private:
-  enum class ShardPhase : std::uint8_t {
-    kPending,
-    kLeased,
-    kSealed,
-    kQuarantined,
-  };
-
   struct ShardState {
     ShardPhase phase = ShardPhase::kPending;
     unsigned attempts = 0;
@@ -176,6 +214,7 @@ class Coordinator {
     std::chrono::steady_clock::time_point last_progress{};
     std::optional<dist::JournalWriter> writer;
     std::uint64_t sealed_sum = 0;
+    bool interrupted = false;  ///< leased when the previous run crashed
     std::vector<std::string> diagnostics;  ///< one line per failed attempt
   };
 
@@ -185,6 +224,7 @@ class Coordinator {
     std::chrono::steady_clock::time_point last_seen{};
     std::uint64_t shards_sealed = 0;
     std::uint64_t records_streamed = 0;
+    std::uint64_t reconnects = 0;  ///< self-reported in the hello
     bool connected = true;
   };
 
@@ -202,6 +242,17 @@ class Coordinator {
                               const std::string& reason);
   bool done_locked() const;
   ServiceReport report_locked() const;
+  /// Replays the ledger into shards_/counters against the scanned
+  /// journal states; throws SerializeError on any ledger/journal
+  /// disagreement. Called under no lock (ctor only).
+  void replay_ledger(
+      const dist::LedgerState& ls,
+      const std::vector<std::optional<dist::JournalState>>& journals);
+  /// Best-effort ledger append for paths where the durable fact already
+  /// lives in a journal (seal) or where failing the append must not
+  /// wedge the shard (requeue/quarantine). Grants use a throwing append
+  /// instead — a grant that cannot be made durable must not be sent.
+  void ledger_append_nothrow_locked(const dist::LedgerRecord& rec);
 
   dist::ShardPlan plan_;
   CoordinatorConfig cfg_;
@@ -214,9 +265,17 @@ class Coordinator {
   std::vector<ShardState> shards_;
   std::deque<std::size_t> pending_;
   std::vector<RunnerInfo> runners_;  // indexed by session id
+  std::optional<dist::LedgerWriter> ledger_;
   std::uint64_t next_token_ = 1;
   std::uint64_t leases_granted_ = 0;
   std::uint64_t lease_expiries_ = 0;
+  bool resumed_ = false;
+  std::uint64_t ledger_epoch_ = 1;
+  std::uint64_t ledger_records_replayed_ = 0;
+  std::uint64_t ledger_records_appended_ = 0;
+  std::uint64_t ledger_torn_bytes_ = 0;
+  std::uint64_t leases_regranted_ = 0;
+  std::uint64_t stale_tokens_fenced_ = 0;
   std::uint64_t requeues_ = 0;
   std::uint64_t committed_indices_ = 0;
   std::uint64_t committed_defeats_ = 0;

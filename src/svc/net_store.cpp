@@ -59,14 +59,32 @@ void NetOrbitStore::note_exhausted_locked() {
   if (++failure_streak_ >= kDegradeAfter) degraded_ = true;
 }
 
+bool NetOrbitStore::probe_due_locked() {
+  return ++degraded_skips_ % kProbeEvery == 0;
+}
+
+void NetOrbitStore::note_probe_success_locked() {
+  // Any transport-healthy round trip proves the coordinator is back —
+  // found or not; the degradation was about TRANSPORT, so its recovery
+  // is too.
+  degraded_ = false;
+  failure_streak_ = 0;
+  degraded_skips_ = 0;
+  ++undegrades_;
+}
+
 std::shared_ptr<const sim::CompiledConfigEngine::OrbitSet>
 NetOrbitStore::load(const sim::OrbitKey& key) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (degraded_) return nullptr;
+  const bool probing = degraded_;
+  if (probing && !probe_due_locked()) return nullptr;
   ++loads_;
   OrbitGetReply reply;
   bool ok = false;
-  for (int attempt = 0; attempt < 2 && !ok; ++attempt) {
+  // A probe gets ONE attempt — a degraded tier must not pay the
+  // retry-once tax per probe on a coordinator that is still down.
+  const int attempts = probing ? 1 : 2;
+  for (int attempt = 0; attempt < attempts && !ok; ++attempt) {
     try {
       ensure_connected_locked();
       const net::Frame f = round_trip(*stream_, dist::WireKind::kOrbitGet,
@@ -75,14 +93,17 @@ NetOrbitStore::load(const sim::OrbitKey& key) {
       ok = true;
     } catch (const std::exception&) {
       stream_.reset();
-      if (attempt == 0) {
+      if (attempt == 0 && !probing) {
         ++reconnects_;
+      } else if (probing) {
+        return nullptr;  // still down; streak untouched, stay degraded
       } else {
         note_exhausted_locked();
         return nullptr;
       }
     }
   }
+  if (probing) note_probe_success_locked();
   // Like FsOrbitStore, an absent key is NEUTRAL for the degradation
   // streak; only a transport-healthy round trip that DELIVERED a set
   // proves the tier useful enough to reset it.
@@ -104,29 +125,33 @@ void NetOrbitStore::store(
     const std::shared_ptr<const sim::CompiledConfigEngine::OrbitSet>& set) {
   if (set == nullptr) return;
   std::lock_guard<std::mutex> lk(mu_);
-  if (degraded_) return;
+  const bool probing = degraded_;
+  if (probing && !probe_due_locked()) return;
   ++stores_;
   OrbitPut put;
   put.key = key;
   put.payload = dist::serialize_orbit_set(*set);
-  for (int attempt = 0; attempt < 2; ++attempt) {
+  const int attempts = probing ? 1 : 2;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
     try {
       ensure_connected_locked();
       round_trip(*stream_, dist::WireKind::kOrbitPut, encode(put));
+      if (probing) note_probe_success_locked();
       failure_streak_ = 0;
       return;
     } catch (const std::exception&) {
       stream_.reset();
-      if (attempt == 0) ++reconnects_;
+      if (attempt == 0 && !probing) ++reconnects_;
     }
   }
+  if (probing) return;  // still down; streak untouched, stay degraded
   note_exhausted_locked();  // best effort: the in-memory tier is enough
 }
 
 NetOrbitStore::Stats NetOrbitStore::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return {loads_,     hits_,      stores_,   reconnects_,
-          exhausted_, decode_failures_, degraded_};
+  return {loads_,      hits_,           stores_,     reconnects_,
+          exhausted_,  decode_failures_, undegrades_, degraded_};
 }
 
 sim::OrbitTierFaultStats NetOrbitStore::fault_stats() const {

@@ -10,9 +10,14 @@
 //  * a failed request is retried once on a fresh connection (transient
 //    blips — coordinator restart, dropped TCP — heal);
 //  * both attempts failing counts toward a consecutive-failure streak;
-//    kDegradeAfter such operations degrade the store to compute-through
-//    for its lifetime, so a dead coordinator stops costing a connect
-//    timeout per miss (the sweep stays correct, runners re-extract);
+//    kDegradeAfter such operations degrade the store to compute-through,
+//    so a dead coordinator stops costing a connect timeout per miss
+//    (the sweep stays correct, runners re-extract);
+//  * degradation is NOT forever: every kProbeEvery-th skipped operation
+//    runs one single-attempt probe, so a coordinator that came back
+//    (restart, partition healed) regains its orbit-cache tier — a
+//    failed probe costs one connect timeout per kProbeEvery misses and
+//    leaves the store degraded;
 //  * a payload the codec refuses is a miss, never an escape — same as a
 //    corrupt cache file.
 // load()/store() never throw; all failure is a miss or a no-op.
@@ -44,6 +49,9 @@ class NetOrbitStore final : public sim::OrbitStore {
   /// Consecutive exhausted operations after which the store degrades
   /// (mirrors FsOrbitStore::kDegradeAfter).
   static constexpr std::uint64_t kDegradeAfter = 4;
+  /// While degraded, every this-many-th skipped operation probes the
+  /// coordinator once; a healthy round trip un-degrades the store.
+  static constexpr std::uint64_t kProbeEvery = 32;
 
   struct Stats {
     std::uint64_t loads = 0;
@@ -52,6 +60,7 @@ class NetOrbitStore final : public sim::OrbitStore {
     std::uint64_t reconnects = 0;       ///< retried ops (fresh connection)
     std::uint64_t exhausted = 0;        ///< ops that failed both attempts
     std::uint64_t decode_failures = 0;  ///< payloads the codec refused
+    std::uint64_t undegrades = 0;       ///< probes that revived the tier
     bool degraded = false;
   };
   Stats stats() const;
@@ -61,6 +70,10 @@ class NetOrbitStore final : public sim::OrbitStore {
   /// dist::SerializeError; the caller drops the stream on failure.
   void ensure_connected_locked();
   void note_exhausted_locked();
+  /// While degraded: true on the operations that should probe (every
+  /// kProbeEvery-th), false on the ones that skip.
+  bool probe_due_locked();
+  void note_probe_success_locked();
 
   std::string host_;
   std::uint16_t port_;
@@ -68,7 +81,8 @@ class NetOrbitStore final : public sim::OrbitStore {
   mutable std::mutex mu_;
   std::unique_ptr<net::TcpStream> stream_;
   std::uint64_t loads_ = 0, hits_ = 0, stores_ = 0, reconnects_ = 0,
-                exhausted_ = 0, decode_failures_ = 0, failure_streak_ = 0;
+                exhausted_ = 0, decode_failures_ = 0, failure_streak_ = 0,
+                degraded_skips_ = 0, undegrades_ = 0;
   bool degraded_ = false;
 };
 

@@ -25,6 +25,9 @@ std::vector<std::uint8_t> encode(const HelloRequest& m) {
   w.u32(m.protocol);
   w.str(m.role);
   w.str(m.name);
+  w.u64(m.fingerprint.hi);
+  w.u64(m.fingerprint.lo);
+  w.u64(m.reconnects);
   return w.take();
 }
 
@@ -34,6 +37,13 @@ HelloRequest decode_hello_request(std::span<const std::uint8_t> p) {
   m.protocol = r.u32();
   m.role = r.str();
   m.name = r.str();
+  // The v2 tail. A v1 hello legitimately ends here — it must still
+  // decode so the handshake can answer kVersion (a protocol number the
+  // coordinator refuses), not kBadRequest (corruption).
+  if (r.remaining() == 0) return m;
+  m.fingerprint.hi = r.u64();
+  m.fingerprint.lo = r.u64();
+  m.reconnects = r.u64();
   r.expect_end();
   return m;
 }

@@ -32,8 +32,12 @@ namespace rvt::svc {
 /// payload is even parsed; this one lets two builds that share the
 /// frame format still refuse each other's message vocabulary — the
 /// hello handshake reports it as ErrorCode::kVersion, distinct from
-/// corruption.
-inline constexpr std::uint32_t kServiceProtocolVersion = 1;
+/// corruption. History: 1 = the PR 7 vocabulary; 2 = the hello request
+/// carries the workload fingerprint the session is (re)binding to plus
+/// the worker's reconnect count, so a coordinator can refuse a worker
+/// that reconnected into a different campaign and account fleet-wide
+/// reconnects.
+inline constexpr std::uint32_t kServiceProtocolVersion = 2;
 
 enum class ErrorCode : std::uint32_t {
   kVersion = 1,     ///< protocol version mismatch in the hello
@@ -47,6 +51,14 @@ struct HelloRequest {
   std::uint32_t protocol = kServiceProtocolVersion;
   std::string role;  ///< "worker" (lease + stream) or "store" (orbit IO)
   std::string name;  ///< runner's self-chosen display name
+  /// Zero on the first hello (the worker learns the plan from the
+  /// reply); on a RE-hello after a reconnect, the fingerprint the
+  /// session was bound to — a coordinator serving a different plan
+  /// refuses (kRefused) instead of accepting foreign records.
+  dist::ShardId fingerprint;
+  /// How many times this worker has reconnected so far; the coordinator
+  /// folds the per-name maximum into its recovery metrics.
+  std::uint64_t reconnects = 0;
 };
 
 /// The coordinator's half of the handshake binds the session to ONE

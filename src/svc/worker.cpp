@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -20,6 +21,15 @@ namespace rvt::svc {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// A refusal no amount of reconnecting can fix: protocol version or
+/// plan fingerprint mismatch, unknown role. Subclasses NetError so the
+/// caller's contract is unchanged; the reconnect loop rethrows it
+/// instead of burning the backoff budget on a coordinator that will
+/// keep saying no.
+struct FatalWorkerError : net::NetError {
+  using net::NetError::NetError;
+};
 
 /// Sends a request and reads its reply (`expect` — every reply echoes
 /// its request's kind except kLeaseRequest, answered with kLeaseGrant).
@@ -51,24 +61,91 @@ net::Frame round_trip(net::TcpStream& s, dist::WireKind kind,
   return round_trip(s, kind, payload, kind);
 }
 
+/// One connect + hello attempt. Returns the handshaked stream, or null
+/// on a TRANSIENT failure (unreachable, dropped, garbled) the backoff
+/// schedule should absorb. Throws FatalWorkerError on a refusal that
+/// retrying cannot change.
+std::unique_ptr<net::TcpStream> try_connect(const std::string& host,
+                                            std::uint16_t port,
+                                            const WorkerOptions& opt,
+                                            const dist::ShardId& bound_fp,
+                                            std::uint64_t reconnects,
+                                            HelloReply* ack_out) {
+  try {
+    auto s = net::tcp_connect(host, port);
+    s->set_read_timeout_ms(static_cast<unsigned>(opt.io_timeout_ms));
+    HelloRequest hello;
+    hello.role = "worker";
+    hello.name = opt.name;
+    hello.fingerprint = bound_fp;
+    hello.reconnects = reconnects;
+    net::send_frame(*s, dist::WireKind::kHello, encode(hello));
+    net::Frame f;
+    const net::RecvStatus st = net::recv_frame(*s, f, /*idle_ok=*/false);
+    if (st != net::RecvStatus::kFrame) {
+      throw net::NetError("worker: coordinator closed during handshake");
+    }
+    if (f.kind == dist::WireKind::kError) {
+      const ErrorReply err = decode_error_reply(f.payload);
+      throw FatalWorkerError(
+          "worker: coordinator refused the hello (code " +
+          std::to_string(static_cast<unsigned>(err.code)) + "): " +
+          err.message);
+    }
+    if (f.kind != dist::WireKind::kHello) {
+      throw dist::SerializeError("worker: handshake reply kind mismatch");
+    }
+    const HelloReply ack = decode_hello_reply(f.payload);
+    if (ack.protocol != kServiceProtocolVersion) {
+      throw FatalWorkerError("worker: coordinator speaks service protocol " +
+                             std::to_string(ack.protocol) + ", this build " +
+                             std::to_string(kServiceProtocolVersion));
+    }
+    if ((bound_fp.hi != 0 || bound_fp.lo != 0) &&
+        !(ack.fingerprint == bound_fp)) {
+      throw FatalWorkerError(
+          "worker: reconnected to a coordinator serving a different plan");
+    }
+    *ack_out = ack;
+    return s;
+  } catch (const FatalWorkerError&) {
+    throw;
+  } catch (const net::NetError&) {
+    return nullptr;
+  } catch (const dist::SerializeError&) {
+    return nullptr;  // a garbled handshake is transient, like a drop
+  }
+}
+
 }  // namespace
 
 WorkerReport run_worker(const std::string& host, std::uint16_t port,
                         const WorkerOptions& opt) {
-  const std::unique_ptr<net::TcpStream> stream = net::tcp_connect(host, port);
-  stream->set_read_timeout_ms(static_cast<unsigned>(opt.io_timeout_ms));
+  WorkerReport rep;
+  dist::ShardId bound_fp{};  // zero until the first hello binds the plan
+  std::unique_ptr<net::TcpStream> stream;
+  HelloReply ack;
 
-  HelloRequest hello;
-  hello.role = "worker";
-  hello.name = opt.name;
-  const net::Frame ack_frame =
-      round_trip(*stream, dist::WireKind::kHello, encode(hello));
-  const HelloReply ack = decode_hello_reply(ack_frame.payload);
-  if (ack.protocol != kServiceProtocolVersion) {
-    throw net::NetError("worker: coordinator speaks service protocol " +
-                        std::to_string(ack.protocol) + ", this build " +
-                        std::to_string(kServiceProtocolVersion));
-  }
+  // Every connect — the first included — rides the same bounded
+  // backoff: a worker started before its coordinator simply waits for
+  // it, identically to a worker whose coordinator is restarting.
+  const auto connect = [&]() {
+    util::RetryStats stats;
+    std::unique_ptr<net::TcpStream> s;
+    const bool ok = util::retry_bool(opt.reconnect, &stats, [&] {
+      s = try_connect(host, port, opt, bound_fp, rep.reconnects, &ack);
+      return s != nullptr;
+    });
+    rep.connect_retries += stats.retries;
+    if (!ok) {
+      throw net::NetError("worker: coordinator unreachable at " + host + ":" +
+                          std::to_string(port) + " after " +
+                          std::to_string(opt.reconnect.max_attempts) +
+                          " attempts");
+    }
+    stream = std::move(s);
+  };
+  connect();
 
   // Re-derive the workload from the spec and refuse a fingerprint
   // mismatch — the same content-addressing refusal as run_shard: a
@@ -80,6 +157,7 @@ WorkerReport run_worker(const std::string& host, std::uint16_t port,
         "worker: plan fingerprint does not match this build's workload '" +
         ack.workload_spec + "' (different battery or schema version)");
   }
+  bound_fp = ack.fingerprint;
 
   sim::OrbitCache cache;
   std::unique_ptr<dist::FsOrbitStore> fs_tier;
@@ -94,95 +172,144 @@ WorkerReport run_worker(const std::string& host, std::uint16_t port,
   }
   sim::EnumerationContext ctx(w->grids(), w->max_rounds(), &cache);
 
-  WorkerReport rep;
-  std::vector<JournalRecord> buffer;
+  // The lease a drop must not forget: grant + compute position + the
+  // records not yet acknowledged by the coordinator.
+  struct ActiveLease {
+    LeaseGrant g;
+    std::uint64_t next = 0;     ///< next index to compute
+    std::uint64_t running = 0;  ///< running sum incl. buffered records
+    std::vector<JournalRecord> buffer;
+    Clock::time_point last_flush{};
+  };
+  std::optional<ActiveLease> lease;
+
+  const auto flush = [&](ActiveLease& al) -> bool {
+    JournalChunk chunk;
+    chunk.shard_index = al.g.shard_index;
+    chunk.token = al.g.token;
+    chunk.records = al.buffer;
+    const net::Frame cf =
+        round_trip(*stream, dist::WireKind::kJournalChunk, encode(chunk));
+    ++rep.chunks;
+    const ChunkReply cr = decode_chunk_reply(cf.payload);
+    if (!cr.accepted) return false;
+    al.buffer.clear();
+    al.last_flush = Clock::now();
+    return true;
+  };
+
   for (bool drained = false; !drained;) {
-    const net::Frame gf =
-        round_trip(*stream, dist::WireKind::kLeaseRequest,
-                   encode_lease_request(), dist::WireKind::kLeaseGrant);
-    const LeaseGrant g = decode_lease_grant(gf.payload);
-    switch (g.status) {
-      case LeaseStatus::kDrained:
-        drained = true;
-        break;
-      case LeaseStatus::kWait: {
-        // Stay observable while idle: heartbeat (token 0 = pure
-        // liveness) through the backoff the coordinator asked for.
-        const auto until =
-            Clock::now() + std::chrono::milliseconds(g.retry_ms);
-        do {
-          round_trip(*stream, dist::WireKind::kHeartbeat,
-                     encode(Heartbeat{0, 0}));
-          std::this_thread::sleep_for(std::chrono::milliseconds(
-              std::min<std::uint64_t>(g.retry_ms, 50)));
-        } while (Clock::now() < until);
-        break;
-      }
-      case LeaseStatus::kGranted: {
-        ++rep.leases;
-        buffer.clear();
-        std::uint64_t running = g.resume_sum;
-        Clock::time_point last_flush = Clock::now();
-        bool lost = false;
-        const auto flush = [&]() -> bool {
-          JournalChunk chunk;
-          chunk.shard_index = g.shard_index;
-          chunk.token = g.token;
-          chunk.records = buffer;
+    try {
+      if (!stream) {
+        ++rep.reconnects;
+        connect();
+        if (lease) {
+          // Probe the lease with an EMPTY chunk before resuming: an
+          // accepted probe reports the coordinator's durable next_index
+          // (a flush whose reply was lost may already be committed —
+          // resending those records would read as out-of-order and cost
+          // the attempt); a refused probe is the token fence — the
+          // lease did not survive the restart, the committed prefix
+          // did, and a fresh grant will resume from it.
           const net::Frame cf = round_trip(
-              *stream, dist::WireKind::kJournalChunk, encode(chunk));
+              *stream, dist::WireKind::kJournalChunk,
+              encode(JournalChunk{lease->g.shard_index, lease->g.token, {}}));
           ++rep.chunks;
           const ChunkReply cr = decode_chunk_reply(cf.payload);
-          if (!cr.accepted) return false;
-          buffer.clear();
-          last_flush = Clock::now();
-          return true;
-        };
-        for (std::uint64_t i = g.next_index; i < g.end && !lost; ++i) {
-          // Chaos hook: the network-runner twin of run_shard.index — die
-          // (or error out of the session) at a chosen index with every
-          // flushed chunk durably committed coordinator-side.
-          switch (util::failpoint("worker.index")) {
-            case util::FaultAction::kCrash:
-              util::failpoint_crash("worker.index");
-            case util::FaultAction::kError:
-              throw dist::SerializeError(
-                  "worker: injected fault at index " + std::to_string(i));
-            case util::FaultAction::kNone:
-              break;
-          }
-          if (opt.throttle_ms > 0) {
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(opt.throttle_ms));
-          }
-          const std::uint64_t v = w->defeats(ctx, i);
-          running += v;
-          ++rep.indices;
-          rep.defeats += v;
-          buffer.push_back({i, v});
-          const bool interval_up =
-              Clock::now() - last_flush >=
-              std::chrono::milliseconds(opt.flush_interval_ms);
-          if ((buffer.size() >= opt.chunk_records || interval_up) &&
-              !flush()) {
-            lost = true;
+          if (cr.accepted) {
+            std::erase_if(lease->buffer, [&](const JournalRecord& r) {
+              return r.index < cr.next_index;
+            });
+          } else {
+            ++rep.revoked;
+            ++rep.fenced;
+            lease.reset();
           }
         }
-        if (!lost && !buffer.empty() && !flush()) lost = true;
-        if (lost) {
-          ++rep.revoked;
-          break;  // fresh lease request; the prefix stays committed
-        }
-        const net::Frame sf =
-            round_trip(*stream, dist::WireKind::kSeal,
-                       encode(Seal{g.shard_index, g.token, running}));
-        if (decode_seal_reply(sf.payload).accepted) {
-          ++rep.sealed;
-        } else {
-          ++rep.revoked;
-        }
-        break;
       }
+      if (!lease) {
+        const net::Frame gf =
+            round_trip(*stream, dist::WireKind::kLeaseRequest,
+                       encode_lease_request(), dist::WireKind::kLeaseGrant);
+        const LeaseGrant g = decode_lease_grant(gf.payload);
+        if (g.status == LeaseStatus::kDrained) {
+          drained = true;
+        } else if (g.status == LeaseStatus::kWait) {
+          // Stay observable while idle: heartbeat (token 0 = pure
+          // liveness) through the backoff the coordinator asked for.
+          const auto until =
+              Clock::now() + std::chrono::milliseconds(g.retry_ms);
+          do {
+            round_trip(*stream, dist::WireKind::kHeartbeat,
+                       encode(Heartbeat{0, 0}));
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min<std::uint64_t>(g.retry_ms, 50)));
+          } while (Clock::now() < until);
+        } else {
+          ++rep.leases;
+          lease.emplace();
+          lease->g = g;
+          lease->next = g.next_index;
+          lease->running = g.resume_sum;
+          lease->last_flush = Clock::now();
+        }
+        continue;
+      }
+      bool lost = false;
+      while (lease->next < lease->g.end && !lost) {
+        // Chaos hook: the network-runner twin of run_shard.index — die
+        // (or error out of the session) at a chosen index with every
+        // flushed chunk durably committed coordinator-side.
+        switch (util::failpoint("worker.index")) {
+          case util::FaultAction::kCrash:
+            util::failpoint_crash("worker.index");
+          case util::FaultAction::kError:
+            throw dist::SerializeError("worker: injected fault at index " +
+                                       std::to_string(lease->next));
+          case util::FaultAction::kNone:
+            break;
+        }
+        if (opt.throttle_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(opt.throttle_ms));
+        }
+        const std::uint64_t i = lease->next++;
+        const std::uint64_t v = w->defeats(ctx, i);
+        lease->running += v;
+        ++rep.indices;
+        rep.defeats += v;
+        lease->buffer.push_back({i, v});
+        const bool interval_up =
+            Clock::now() - lease->last_flush >=
+            std::chrono::milliseconds(opt.flush_interval_ms);
+        if ((lease->buffer.size() >= opt.chunk_records || interval_up) &&
+            !flush(*lease)) {
+          lost = true;
+        }
+      }
+      if (!lost && !lease->buffer.empty() && !flush(*lease)) lost = true;
+      if (lost) {
+        ++rep.revoked;
+        lease.reset();  // fresh lease request; the prefix stays committed
+        continue;
+      }
+      const net::Frame sf = round_trip(
+          *stream, dist::WireKind::kSeal,
+          encode(Seal{lease->g.shard_index, lease->g.token, lease->running}));
+      if (decode_seal_reply(sf.payload).accepted) {
+        ++rep.sealed;
+      } else {
+        ++rep.revoked;
+      }
+      lease.reset();
+    } catch (const FatalWorkerError&) {
+      throw;
+    } catch (const net::NetError&) {
+      // Transport death mid-session: drop the stream and re-enter the
+      // loop through the reconnect path. If the stream is already gone,
+      // connect() itself exhausted its budget — give up for real.
+      if (!stream) throw;
+      stream.reset();
     }
   }
 

@@ -11,16 +11,31 @@
 // re-granted); the worker abandons the shard and asks for a fresh
 // lease — the coordinator's committed prefix is not lost.
 //
+// The TRANSPORT is expendable: every connect — the first one included —
+// rides one bounded-exponential-backoff loop (util/retry), so a worker
+// started before its coordinator, or running through a coordinator
+// restart or a transient partition, keeps retrying instead of dying.
+// After a reconnect the worker re-hellos carrying the workload
+// fingerprint it is bound to (a coordinator serving a different
+// campaign refuses) and, if it held a lease, probes it with an empty
+// chunk: an accepted probe resumes the lease mid-shard (dropping any
+// buffered records the coordinator already committed), a refused probe
+// is a token fence — the lease died with the old coordinator
+// incarnation, the committed prefix survives, and the worker asks for
+// a fresh grant.
+//
 // run_worker drains the coordinator: it returns when a lease request
 // answers kDrained (every shard sealed or quarantined). It is the one
-// entry point behind `rvt_cli worker`, the loopback tests and bench
-// E15.
+// entry point behind `rvt_cli worker`, the loopback tests and benches
+// E15/E16.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
 #include "sim/enumeration.hpp"
+#include "util/retry.hpp"
 
 namespace rvt::svc {
 
@@ -37,11 +52,17 @@ struct WorkerOptions {
   std::size_t chunk_records = 64;
   std::uint64_t flush_interval_ms = 250;
   /// Artificial per-index delay — makes "SIGKILL it mid-run" scenarios
-  /// (CI, bench E15 chaos) deterministic instead of racy.
+  /// (CI, benches E15/E16) deterministic instead of racy.
   std::uint64_t throttle_ms = 0;
   /// Stream read timeout; with the framing stall limit this bounds how
   /// long a vanished coordinator can hold the worker (~50x this).
   std::uint64_t io_timeout_ms = 250;
+  /// Backoff schedule every connect rides — initial connect and mid-run
+  /// reconnect alike. The default (12 attempts, 250ms doubling into a
+  /// 2s cap) gives a coordinator restart a ~17s window to come back.
+  /// The sleep hook is injectable for tests.
+  util::RetryPolicy reconnect{12, std::chrono::microseconds{250000},
+                              std::chrono::microseconds{2000000}, {}};
 };
 
 struct WorkerReport {
@@ -51,15 +72,18 @@ struct WorkerReport {
   std::uint64_t indices = 0;  ///< indices computed (incl. revoked work)
   std::uint64_t defeats = 0;  ///< values summed over computed indices
   std::uint64_t chunks = 0;   ///< journal chunks streamed
+  std::uint64_t reconnects = 0;        ///< sessions re-established
+  std::uint64_t connect_retries = 0;   ///< backoff re-attempts, all connects
+  std::uint64_t fenced = 0;            ///< leases lost to a token fence
   sim::EnumTelemetry telemetry;
 };
 
 /// Runs the daemon loop against host:port until the coordinator drains.
-/// Throws net::NetError (unreachable/stalled/incompatible coordinator)
-/// or dist::SerializeError (protocol violation); a fingerprint mismatch
-/// throws net::NetError — this build cannot compute that plan.
-/// Failpoint site "worker.index" (error/crash) fires per computed index
-/// for chaos drills.
+/// Throws net::NetError (coordinator unreachable past the reconnect
+/// budget, or an incompatible/foreign coordinator — protocol or
+/// fingerprint mismatch is never retried) or dist::SerializeError
+/// (protocol violation). Failpoint site "worker.index" (error/crash)
+/// fires per computed index for chaos drills.
 WorkerReport run_worker(const std::string& host, std::uint16_t port,
                         const WorkerOptions& opt = {});
 

@@ -77,6 +77,11 @@ void BenchReport::service(const ServiceSummary& s) {
   service_ = s;
 }
 
+void BenchReport::recovery(const RecoverySummary& r) {
+  has_recovery_ = true;
+  recovery_ = r;
+}
+
 void BenchReport::metric(const std::string& key, double value) {
   numbers_.emplace_back(key, value);
 }
@@ -119,9 +124,15 @@ void BenchReport::validate() const {
         "BenchReport " + id_ +
         ": service() time_to_first_sealed_shard_seconds is not finite");
   }
+  if (has_recovery_ && recovery_.resumes == 0) {
+    throw std::runtime_error(
+        "BenchReport " + id_ +
+        ": recovery() must report at least one coordinator resume (omit "
+        "the call for runs without restarts)");
+  }
   std::unordered_set<std::string> keys{
-      "id",     "seed",   "columns", "rows",    "workload",
-      "agents", "shards", "faults",  "service", "schema_version"};
+      "id",     "seed",   "columns", "rows",    "workload",  "agents",
+      "shards", "faults", "service", "recovery", "schema_version"};
   const auto claim = [&](const std::string& key) {
     if (key.empty()) {
       throw std::runtime_error("BenchReport " + id_ + ": empty key");
@@ -180,6 +191,17 @@ std::string BenchReport::write() const {
        << service_.journal_bytes_streamed
        << ",\n    \"time_to_first_sealed_shard_seconds\": "
        << format_number(service_.time_to_first_sealed_shard_seconds)
+       << "\n  }";
+  }
+  if (has_recovery_) {
+    os << ",\n  \"recovery\": {\n    \"resumes\": " << recovery_.resumes
+       << ",\n    \"ledger_records_replayed\": "
+       << recovery_.ledger_records_replayed
+       << ",\n    \"ledger_torn_bytes_truncated\": "
+       << recovery_.ledger_torn_bytes_truncated
+       << ",\n    \"leases_regranted\": " << recovery_.leases_regranted
+       << ",\n    \"stale_tokens_fenced\": " << recovery_.stale_tokens_fenced
+       << ",\n    \"worker_reconnects\": " << recovery_.worker_reconnects
        << "\n  }";
   }
   for (const auto& [k, v] : strings_) {

@@ -44,12 +44,15 @@ namespace rvt::util {
 /// "faults" block of chaos runs (scenario seed + injected/retried/
 /// degraded/requeued/quarantined counters); 4 = adds the optional
 /// validated "service" block of network-dispatched runs (runner count,
-/// lease churn, journal bytes streamed, time-to-first-sealed-shard).
+/// lease churn, journal bytes streamed, time-to-first-sealed-shard);
+/// 5 = adds the optional validated "recovery" block of crash-recovery
+/// runs (coordinator resumes, ledger records replayed, re-granted
+/// leases, fenced stale tokens, worker reconnects).
 /// Reports WITHOUT a given field remain valid documents of the version
 /// that lacked it — consumers treat missing optional fields as "not a
 /// run of that kind", so no committed BENCH_E*.json artifact needs
 /// regeneration.
-inline constexpr std::uint64_t kBenchReportSchemaVersion = 4;
+inline constexpr std::uint64_t kBenchReportSchemaVersion = 5;
 
 /// The optional "faults" block of a chaos run (bench E14): which seeded
 /// fault scenario was injected and what the recovery machinery did
@@ -75,6 +78,19 @@ struct ServiceSummary {
   std::uint64_t quarantined = 0;  ///< shards given up on
   std::uint64_t journal_bytes_streamed = 0;
   double time_to_first_sealed_shard_seconds = 0;
+};
+
+/// The optional "recovery" block of a crash-recovery run (bench E16):
+/// what `serve --resume` reconstructed and what the fleet did to heal
+/// around the coordinator restarts. A run without restarts simply omits
+/// the block.
+struct RecoverySummary {
+  std::uint64_t resumes = 0;  ///< coordinator --resume restarts observed
+  std::uint64_t ledger_records_replayed = 0;
+  std::uint64_t ledger_torn_bytes_truncated = 0;
+  std::uint64_t leases_regranted = 0;     ///< pre-crash leases re-granted
+  std::uint64_t stale_tokens_fenced = 0;  ///< pre-crash tokens refused
+  std::uint64_t worker_reconnects = 0;    ///< sessions re-established
 };
 
 class BenchReport {
@@ -107,6 +123,12 @@ class BenchReport {
   /// report omits the block entirely.
   void service(const ServiceSummary& s);
 
+  /// OPTIONAL schema field: the "recovery" block of a crash-recovery
+  /// run. validate() rejects a declared block with zero resumes (a
+  /// recovery run that never resumed a coordinator measured nothing) —
+  /// an undeclared report omits the block entirely.
+  void recovery(const RecoverySummary& r);
+
   /// Scalar metric. Keys must be unique across metric() and note().
   void metric(const std::string& key, double value);
   /// String annotation. Keys must be unique across metric() and note().
@@ -137,6 +159,8 @@ class BenchReport {
   FaultSummary faults_;
   bool has_service_ = false;   ///< service() declared
   ServiceSummary service_;
+  bool has_recovery_ = false;  ///< recovery() declared
+  RecoverySummary recovery_;
   std::vector<std::pair<std::string, std::string>> strings_;
   std::vector<std::pair<std::string, double>> numbers_;
   const util::Table* table_ = nullptr;

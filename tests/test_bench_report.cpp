@@ -336,6 +336,62 @@ TEST(BenchReport, ServiceBlockIsOptionalValidatedAndReserved) {
   EXPECT_THROW(dup.validate(), std::runtime_error);
 }
 
+TEST(BenchReport, RecoveryBlockIsOptionalValidatedAndReserved) {
+  // Undeclared: valid and absent — every committed restart-free
+  // BENCH_E*.json stays a valid document without regeneration.
+  BenchReport without("TRC", 16);
+  without.workload("rendezvous", 2);
+  EXPECT_NO_THROW(without.validate());
+  {
+    const std::string path = without.write();
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_EQ(ss.str().find("\"recovery\""), std::string::npos);
+    std::remove(path.c_str());
+  }
+
+  // Declared: the nested object lands field-for-field in the JSON.
+  BenchReport with("TRC", 16);
+  with.workload("rendezvous", 2);
+  RecoverySummary rc;
+  rc.resumes = 3;
+  rc.ledger_records_replayed = 41;
+  rc.ledger_torn_bytes_truncated = 13;
+  rc.leases_regranted = 5;
+  rc.stale_tokens_fenced = 2;
+  rc.worker_reconnects = 7;
+  with.recovery(rc);
+  EXPECT_NO_THROW(with.validate());
+  {
+    const std::string path = with.write();
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string json = ss.str();
+    for (const char* key :
+         {"\"recovery\": {", "\"resumes\": 3",
+          "\"ledger_records_replayed\": 41",
+          "\"ledger_torn_bytes_truncated\": 13", "\"leases_regranted\": 5",
+          "\"stale_tokens_fenced\": 2", "\"worker_reconnects\": 7"}) {
+      EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+    }
+    std::remove(path.c_str());
+  }
+
+  // A recovery block with zero resumes measured nothing — malformed.
+  BenchReport no_resumes("TRC", 16);
+  no_resumes.workload("rendezvous", 2);
+  no_resumes.recovery(RecoverySummary{});
+  EXPECT_THROW(no_resumes.validate(), std::runtime_error);
+
+  // Reserved key: a metric/note may not collide with the block.
+  BenchReport dup("TRC", 16);
+  dup.workload("rendezvous", 2);
+  dup.metric("recovery", 1.0);
+  EXPECT_THROW(dup.validate(), std::runtime_error);
+}
+
 TEST(BenchReport, AddingComparisonTwiceIsCaughtAsDuplicate) {
   BenchReport report("TST", 9);
   report.workload("rendezvous", 2);

@@ -1,0 +1,190 @@
+// The write-ahead run ledger: round trip, the exhaustive torn-tail
+// sweep, per-byte corruption refusal, and the injected append faults.
+//
+// The invariant under test is the journal record discipline transplanted
+// onto control state: a ledger truncated at ANY byte length recovers
+// exactly the fsynced record prefix, a corrupt preamble is a refusal
+// (never a guess), and a corrupt record merely ends the valid prefix.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "dist/ledger.hpp"
+#include "dist/serialize.hpp"
+#include "util/failpoint.hpp"
+
+namespace rvt {
+namespace {
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "ledger-test-" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name()) +
+           "-" + std::to_string(static_cast<unsigned>(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::FailPointRegistry::instance().reset();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string path(const std::string& leaf) const { return dir_ + "/" + leaf; }
+  std::string dir_;
+};
+
+dist::LedgerHeader test_header() {
+  dist::LedgerHeader h;
+  h.fingerprint = {0x1234, 0x5678};
+  h.shard_count = 6;
+  return h;
+}
+
+/// A representative control-state sequence: epoch, a grant, a failure,
+/// a re-grant, a seal, a checkpoint.
+std::vector<dist::LedgerRecord> test_records() {
+  using E = dist::LedgerEvent;
+  return {{E::kEpoch, 1, 1},  {E::kGrant, 0, 1},      {E::kFail, 0, 1},
+          {E::kGrant, 0, 2},  {E::kSeal, 0, 424242},  {E::kCheckpoint, 37, 424242}};
+}
+
+TEST_F(LedgerTest, RoundTripAndResumeAppend) {
+  const std::string p = dist::ledger_path(dir_);
+  const dist::LedgerHeader h = test_header();
+  const auto recs = test_records();
+  {
+    auto w = dist::LedgerWriter::create(p, h);
+    for (const auto& r : recs) w.append(r);
+  }
+  auto st = dist::read_ledger(p);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->header.fingerprint, h.fingerprint);
+  EXPECT_EQ(st->header.shard_count, h.shard_count);
+  ASSERT_EQ(st->records.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(st->records[i].event, recs[i].event) << i;
+    EXPECT_EQ(st->records[i].a, recs[i].a) << i;
+    EXPECT_EQ(st->records[i].b, recs[i].b) << i;
+  }
+  EXPECT_EQ(st->valid_bytes, st->file_bytes);
+
+  // Resume appends after the valid prefix.
+  {
+    auto w = dist::LedgerWriter::resume(p, h, *st);
+    w.append({dist::LedgerEvent::kEpoch, 2, 3});
+  }
+  st = dist::read_ledger(p);
+  ASSERT_TRUE(st.has_value());
+  ASSERT_EQ(st->records.size(), recs.size() + 1);
+  EXPECT_EQ(st->records.back().event, dist::LedgerEvent::kEpoch);
+  EXPECT_EQ(st->records.back().a, 2u);
+
+  // A missing ledger is nullopt, not an error — the fresh-campaign case.
+  EXPECT_FALSE(dist::read_ledger(path("absent.ledger")).has_value());
+
+  // A ledger from a different campaign must never be extended.
+  dist::LedgerHeader foreign = h;
+  foreign.fingerprint.lo ^= 1;
+  EXPECT_THROW(dist::LedgerWriter::resume(p, foreign, *st),
+               dist::SerializeError);
+}
+
+TEST_F(LedgerTest, ReplaySurvivesTruncationAtEveryByteBoundary) {
+  // The exhaustive crash sweep, same shape as the journal one: truncate
+  // the ledger after EVERY byte length. A prefix shorter than the
+  // preamble is unusable (throws); past it, exactly the complete
+  // records survive, valid_bytes reflects them, and resume+append after
+  // each truncation works.
+  const std::string p = dist::ledger_path(dir_);
+  const dist::LedgerHeader h = test_header();
+  const auto recs = test_records();
+  {
+    auto w = dist::LedgerWriter::create(p, h);
+    for (const auto& r : recs) w.append(r);
+  }
+  const auto bytes = dist::read_file(p);
+  ASSERT_TRUE(bytes.has_value());
+  constexpr std::size_t kPreamble = 64, kRecord = 32;
+  ASSERT_EQ(bytes->size(), kPreamble + recs.size() * kRecord);
+
+  for (std::size_t len = 0; len <= bytes->size(); ++len) {
+    const std::vector<std::uint8_t> prefix(bytes->begin(),
+                                           bytes->begin() + len);
+    ASSERT_TRUE(dist::write_file_atomic(p, prefix)) << len;
+    if (len < kPreamble) {
+      EXPECT_THROW(dist::read_ledger(p), dist::SerializeError) << len;
+      continue;
+    }
+    const auto st = dist::read_ledger(p);
+    ASSERT_TRUE(st.has_value()) << len;
+    const std::size_t committed = (len - kPreamble) / kRecord;
+    ASSERT_EQ(st->records.size(), committed) << len;
+    for (std::size_t i = 0; i < committed; ++i) {
+      EXPECT_EQ(st->records[i].a, recs[i].a) << len;
+      EXPECT_EQ(st->records[i].b, recs[i].b) << len;
+    }
+    EXPECT_EQ(st->valid_bytes, kPreamble + committed * kRecord) << len;
+    EXPECT_EQ(st->file_bytes, len) << len;
+    // The torn tail truncates and the ledger stays appendable.
+    auto w = dist::LedgerWriter::resume(p, h, *st);
+    w.append({dist::LedgerEvent::kCheckpoint, 1, 1});
+    const auto again = dist::read_ledger(p);
+    ASSERT_TRUE(again.has_value()) << len;
+    EXPECT_EQ(again->records.size(), committed + 1) << len;
+  }
+}
+
+TEST_F(LedgerTest, PerByteCorruptionRefusesOrEndsThePrefix) {
+  // Flip every byte of a small ledger, one at a time. Preamble damage
+  // makes the file unusable (throws); record damage ends the valid
+  // prefix at the damaged record — never a wrong record accepted.
+  const std::string p = dist::ledger_path(dir_);
+  const dist::LedgerHeader h = test_header();
+  const auto recs = test_records();
+  {
+    auto w = dist::LedgerWriter::create(p, h);
+    for (const auto& r : recs) w.append(r);
+  }
+  const auto clean = dist::read_file(p);
+  ASSERT_TRUE(clean.has_value());
+  constexpr std::size_t kPreamble = 64, kRecord = 32;
+
+  for (std::size_t pos = 0; pos < clean->size(); ++pos) {
+    auto bytes = *clean;
+    bytes[pos] ^= 0xff;
+    ASSERT_TRUE(dist::write_file_atomic(p, bytes)) << pos;
+    if (pos < kPreamble) {
+      EXPECT_THROW(dist::read_ledger(p), dist::SerializeError) << pos;
+      continue;
+    }
+    const auto st = dist::read_ledger(p);
+    ASSERT_TRUE(st.has_value()) << pos;
+    const std::size_t damaged = (pos - kPreamble) / kRecord;
+    EXPECT_EQ(st->records.size(), damaged) << pos;
+    for (std::size_t i = 0; i < damaged; ++i) {
+      EXPECT_EQ(st->records[i].a, recs[i].a) << pos;
+      EXPECT_EQ(st->records[i].b, recs[i].b) << pos;
+    }
+    EXPECT_EQ(st->valid_bytes, kPreamble + damaged * kRecord) << pos;
+  }
+}
+
+TEST_F(LedgerTest, AppendFailpointSurfacesAsSerializeError) {
+  const std::string p = dist::ledger_path(dir_);
+  auto w = dist::LedgerWriter::create(p, test_header());
+  w.append({dist::LedgerEvent::kEpoch, 1, 1});
+  util::FailPointRegistry::instance().configure("ledger.append=err@hit:1");
+  EXPECT_THROW(w.append({dist::LedgerEvent::kGrant, 0, 1}),
+               dist::SerializeError);
+  util::FailPointRegistry::instance().reset();
+  // The failed append left no accepted record behind.
+  const auto st = dist::read_ledger(p);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rvt

@@ -379,6 +379,292 @@ TEST_F(ServiceTest, NetOrbitStoreRoundTripsThroughTheCoordinator) {
   EXPECT_EQ(st.exhausted, 0u);
 }
 
+// ---- campaign durability --------------------------------------------------
+
+svc::ChunkReply send_chunk(net::TcpStream& s, std::uint64_t shard,
+                           std::uint64_t token,
+                           std::vector<svc::JournalRecord> records) {
+  svc::JournalChunk chunk;
+  chunk.shard_index = shard;
+  chunk.token = token;
+  chunk.records = std::move(records);
+  net::send_frame(s, dist::WireKind::kJournalChunk, svc::encode(chunk));
+  net::Frame f;
+  EXPECT_EQ(net::recv_frame(s, f), net::RecvStatus::kFrame);
+  return svc::decode_chunk_reply(f.payload);
+}
+
+svc::SealReply send_seal(net::TcpStream& s, std::uint64_t shard,
+                         std::uint64_t token, std::uint64_t total) {
+  net::send_frame(s, dist::WireKind::kSeal,
+                  svc::encode(svc::Seal{shard, token, total}));
+  net::Frame f;
+  EXPECT_EQ(net::recv_frame(s, f), net::RecvStatus::kFrame);
+  return svc::decode_seal_reply(f.payload);
+}
+
+/// Requests leases until one is granted (or the queue drains), riding
+/// out kWait while a disconnected holder's requeue lands.
+svc::LeaseGrant lease_until_granted(net::TcpStream& s) {
+  for (int i = 0; i < 500; ++i) {
+    const svc::LeaseGrant g = request_lease(s);
+    if (g.status != svc::LeaseStatus::kWait) return g;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "lease never granted";
+  return {};
+}
+
+TEST_F(ServiceTest, ResumeReplaysExactStateFieldForField) {
+  // Scripted grant / fail / re-grant / quarantine / seal / open-lease
+  // sequence against coordinator #1, then `--resume` as coordinator #2:
+  // every shard's control state must be reconstructed field-for-field,
+  // with the one documented mapping — a pre-crash lease becomes
+  // kPending, token 0, interrupted=true.
+  const auto w = dist::EnumWorkload::parse("e10:6");
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 3);
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  cfg.max_attempts = 2;
+  std::vector<svc::Coordinator::ShardSnapshot> live;
+  std::uint64_t committed_live = 0, defeats_live = 0;
+  std::uint64_t open_token = 0;
+  {
+    svc::Coordinator coord(plan, cfg);
+
+    // Shard 0: granted once, fully streamed (synthetic values — this is
+    // a control-state test, not a merge test) and sealed.
+    auto a = dial(coord, "worker", "a");
+    const svc::LeaseGrant ga = request_lease(*a);
+    ASSERT_EQ(ga.status, svc::LeaseStatus::kGranted);
+    ASSERT_EQ(ga.shard_index, 0u);
+    std::vector<svc::JournalRecord> recs;
+    std::uint64_t sum0 = 0;
+    for (std::uint64_t i = ga.begin; i < ga.end; ++i) {
+      recs.push_back({i, i + 1});
+      sum0 += i + 1;
+    }
+    EXPECT_TRUE(send_chunk(*a, 0, ga.token, recs).accepted);
+    EXPECT_TRUE(send_seal(*a, 0, ga.token, sum0).accepted);
+
+    // Shard 1: granted, two records streamed, then left OPEN — the
+    // lease that is out when the crash hits.
+    auto b = dial(coord, "worker", "b");
+    const svc::LeaseGrant gb = request_lease(*b);
+    ASSERT_EQ(gb.status, svc::LeaseStatus::kGranted);
+    ASSERT_EQ(gb.shard_index, 1u);
+    open_token = gb.token;
+    EXPECT_TRUE(
+        send_chunk(*b, 1, gb.token, {{gb.begin, 5}, {gb.begin + 1, 7}})
+            .accepted);
+
+    // Shard 2: granted and dropped unsealed, twice — the second failure
+    // exhausts max_attempts and quarantines it.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      auto c = dial(coord, "worker", "c");
+      const svc::LeaseGrant gc = lease_until_granted(*c);
+      ASSERT_EQ(gc.status, svc::LeaseStatus::kGranted);
+      ASSERT_EQ(gc.shard_index, 2u);
+      c.reset();  // unsealed disconnect -> fail_attempt
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (std::chrono::steady_clock::now() < deadline) {
+        const svc::ServiceReport r = coord.report();
+        if (attempt == 0 ? r.shards_requeued >= 1 : r.shards_quarantined >= 1)
+          break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    const svc::ServiceReport r1 = coord.report();
+    ASSERT_EQ(r1.shards_quarantined, 1u);
+    live = coord.shard_snapshots();
+    committed_live = r1.committed_indices;
+    defeats_live = r1.committed_defeats;
+    coord.stop();
+  }  // coordinator #1 gone; ledger + journals are what a SIGKILL leaves
+
+  svc::CoordinatorConfig rcfg = cfg;
+  rcfg.resume = true;
+  svc::Coordinator resumed(plan, rcfg);
+  const auto snaps = resumed.shard_snapshots();
+  ASSERT_EQ(snaps.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const auto& l = live[i];
+    const auto& r = snaps[i];
+    const bool was_leased = l.phase == svc::Coordinator::ShardPhase::kLeased;
+    EXPECT_EQ(r.phase, was_leased ? svc::Coordinator::ShardPhase::kPending
+                                  : l.phase)
+        << i;
+    EXPECT_EQ(r.attempts, l.attempts) << i;
+    EXPECT_EQ(r.token, was_leased ? 0u : l.token) << i;
+    EXPECT_EQ(r.next_index, l.next_index) << i;
+    EXPECT_EQ(r.sum, l.sum) << i;
+    EXPECT_EQ(r.interrupted, was_leased) << i;
+  }
+  const svc::ServiceReport r2 = resumed.report();
+  EXPECT_EQ(r2.resumed, 1u);
+  EXPECT_EQ(r2.ledger_epoch, 2u);
+  EXPECT_GE(r2.ledger_records_replayed, 7u);  // epoch + 4 grants + fail + ...
+  EXPECT_EQ(r2.committed_indices, committed_live);
+  EXPECT_EQ(r2.committed_defeats, defeats_live);
+
+  // The pre-crash leaseholder's token is fenced by the new epoch.
+  auto stale = dial(resumed, "worker", "b");
+  EXPECT_FALSE(
+      send_chunk(*stale, 1, open_token, {{live[1].next_index, 1}}).accepted);
+  EXPECT_GE(resumed.report().stale_tokens_fenced, 1u);
+
+  // The interrupted shard re-grants from the durable committed prefix.
+  const svc::LeaseGrant again = lease_until_granted(*stale);
+  ASSERT_EQ(again.status, svc::LeaseStatus::kGranted);
+  EXPECT_EQ(again.shard_index, 1u);
+  EXPECT_EQ(again.next_index, live[1].next_index);
+  EXPECT_EQ(again.resume_sum, live[1].sum);
+  EXPECT_NE(again.token, open_token);
+  EXPECT_GE(resumed.report().leases_regranted, 1u);
+}
+
+TEST_F(ServiceTest, ResumeWithoutALedgerIsRefused) {
+  const auto w = dist::EnumWorkload::parse("e10:6");
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 2);
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  cfg.resume = true;
+  EXPECT_THROW(svc::Coordinator coord(plan, cfg), dist::SerializeError);
+}
+
+TEST_F(ServiceTest, LedgerJournalDisagreementIsARefusalNotAGuess) {
+  // A campaign completes; then the sealed journal loses its seal record
+  // (fsynced ledger history the fflushed journal half lost — a host
+  // reboot can do this). --resume must refuse, not recompute under a lie.
+  const auto w = dist::EnumWorkload::parse("e10:6");
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 2);
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  {
+    svc::Coordinator coord(plan, cfg);
+    svc::WorkerOptions o;
+    o.name = "w";
+    o.remote_store = false;
+    svc::run_worker("127.0.0.1", coord.port(), o);
+    ASSERT_TRUE(coord.wait_complete(std::chrono::milliseconds(10000)));
+  }
+  const std::string j0 =
+      dist::journal_path(cfg.journal_dir, plan.shards[0]);
+  const std::uint64_t sealed_size = std::filesystem::file_size(j0);
+  std::filesystem::resize_file(j0, sealed_size - 32);  // drop the seal
+  svc::CoordinatorConfig rcfg = cfg;
+  rcfg.resume = true;
+  EXPECT_THROW(svc::Coordinator coord(plan, rcfg), dist::SerializeError);
+}
+
+TEST_F(ServiceTest, WorkerStartedBeforeItsCoordinatorConnectsViaBackoff) {
+  // The initial connect rides the same backoff loop as a mid-run
+  // reconnect: a worker launched first simply waits for the coordinator.
+  const std::string spec = "e10:6";
+  std::uint16_t port = 0;
+  {
+    net::TcpListener l(0);
+    port = l.port();
+    l.close();
+  }
+  svc::WorkerReport rep;
+  std::thread t([&] {
+    svc::WorkerOptions o;
+    o.name = "early";
+    o.remote_store = false;
+    o.reconnect.max_attempts = 100;
+    o.reconnect.base_delay = std::chrono::milliseconds(10);
+    o.reconnect.max_delay = std::chrono::milliseconds(100);
+    rep = svc::run_worker("127.0.0.1", port, o);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const auto w = dist::EnumWorkload::parse(spec);
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 2);
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  cfg.port = port;
+  svc::Coordinator coord(plan, cfg);
+  t.join();
+  ASSERT_TRUE(coord.wait_complete(std::chrono::milliseconds(10000)));
+  EXPECT_GE(rep.connect_retries, 1u);
+  EXPECT_EQ(rep.sealed, 2u);
+  const dist::MergeResult merged =
+      dist::merge_journals(plan, cfg.journal_dir);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.total, single_process_total(spec));
+}
+
+TEST_F(ServiceTest, WorkerRidesOutACoordinatorRestartAndTheRunCompletes) {
+  // Coordinator #1 dies mid-campaign; #2 resumes on the same port from
+  // the ledger. The worker reconnects through its backoff loop, its
+  // pre-crash lease token fences, and the merged total is still exact.
+  const std::string spec = "e10:4";
+  const std::uint64_t expected = single_process_total(spec);
+  const auto w = dist::EnumWorkload::parse(spec);
+  const dist::ShardPlan plan = dist::make_shard_plan(*w, 2);
+  std::uint16_t port = 0;
+  {
+    net::TcpListener l(0);
+    port = l.port();
+    l.close();
+  }
+  svc::CoordinatorConfig cfg;
+  cfg.journal_dir = path("journals");
+  cfg.port = port;
+
+  auto coord = std::make_unique<svc::Coordinator>(plan, cfg);
+  svc::WorkerReport rep;
+  std::thread t([&] {
+    svc::WorkerOptions o;
+    o.name = "steady";
+    o.remote_store = false;
+    o.throttle_ms = 1;  // widen the mid-lease window the restart hits
+    o.chunk_records = 16;
+    o.reconnect.max_attempts = 200;
+    o.reconnect.base_delay = std::chrono::milliseconds(10);
+    o.reconnect.max_delay = std::chrono::milliseconds(100);
+    rep = svc::run_worker("127.0.0.1", port, o);
+  });
+
+  // Wait for durably committed progress, then "crash" #1 (its ledger
+  // and journals on disk are exactly a SIGKILL's).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (coord->report().committed_indices == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GT(coord->report().committed_indices, 0u);
+  coord.reset();
+
+  svc::CoordinatorConfig rcfg = cfg;
+  rcfg.resume = true;
+  svc::Coordinator second(plan, rcfg);
+  t.join();
+  ASSERT_TRUE(second.wait_complete(std::chrono::milliseconds(10000)));
+
+  EXPECT_GE(rep.reconnects, 1u);
+  EXPECT_GE(rep.fenced, 1u);
+  const svc::ServiceReport r = second.report();
+  EXPECT_EQ(r.resumed, 1u);
+  EXPECT_GE(r.stale_tokens_fenced, 1u);
+  EXPECT_GE(r.leases_regranted, 1u);
+  EXPECT_GE(r.worker_reconnects, 1u);
+
+  // The metrics endpoint carries the recovery counters.
+  const std::string body =
+      net::http_get("127.0.0.1", second.metrics_port(), "/");
+  EXPECT_NE(body.find("\"recovery_resumed\": 1"), std::string::npos);
+  EXPECT_NE(body.find("\"recovery_ledger_epoch\": 2"), std::string::npos);
+  EXPECT_NE(body.find("\"recovery_worker_reconnects\""), std::string::npos);
+
+  const dist::MergeResult merged =
+      dist::merge_journals(plan, cfg.journal_dir);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.total, expected);
+}
+
 TEST_F(ServiceTest, NetOrbitStoreDegradesToComputeThroughWhenUnreachable) {
   // Bind-then-close: the port exists but refuses — every op fails fast.
   std::uint16_t dead_port = 0;
