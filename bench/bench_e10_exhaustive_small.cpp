@@ -34,6 +34,9 @@
 #include "bench_common.hpp"
 #include "dist/workload.hpp"
 #include "lowerbound/verify.hpp"
+#include "obs/enum_stats.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/automaton.hpp"
 #include "sim/enumeration.hpp"
 #include "sim/orbit_cache.hpp"
@@ -80,13 +83,15 @@ std::vector<std::pair<int, std::uint64_t>> profile_sample() {
 std::uint64_t run_compiled_profile(
     sim::EnumerationContext& ctx,
     const std::vector<std::pair<int, std::uint64_t>>& sample,
-    std::size_t grid_count) {
+    std::size_t grid_count, obs::EnumDelayTracker* delay = nullptr) {
   std::uint64_t defeats = 0;
   for (const auto& [K, idx] : sample) {
     const sim::TabularAutomaton a = automaton_at(K, idx).tabular();
     ctx.bind(a);
     for (std::size_t g = 0; g < grid_count; ++g) {
-      defeats += ctx.count_unmet(g);
+      const std::uint64_t d = ctx.count_unmet(g);
+      defeats += d;
+      if (delay != nullptr) delay->note_result(d);
     }
   }
   return defeats;
@@ -204,9 +209,49 @@ int main() {
             << cache_stats.misses << " misses (hit rate "
             << telemetry.hit_rate() << ")\n";
 
+  // Observability overhead probe: the IDENTICAL profile workload with
+  // every instrumentation site armed (metrics registry + delay tracker
+  // recording) against the idle baseline already timed above. The
+  // contract this bench enforces is the one obs/obs.hpp promises — one
+  // relaxed atomic load per idle site — so armed-vs-idle must stay
+  // within noise: the bench FAILS if the ratio exceeds 1.05x.
+  obs::set_enabled(true);
+  obs::EnumDelayTracker probe_delay;
+  obs::EnumDelayTracker* probe_ptr = &probe_delay;
+  std::uint64_t probe_sum = 0;
+  const double obs_on_s =
+      bench::steady_min_seconds(/*warmup=*/1, kCompiledRepeats, [&] {
+        probe_sum = run_compiled_profile(profile_ctx, sample,
+                                         profile_grids.size(), probe_ptr);
+      });
+  obs::set_enabled(false);
+  const obs::EnumDelayStats probe_stats = probe_delay.finish();
+  all_ok = all_ok && probe_sum == compiled_sum;  // probe re-ran the same work
+  const double obs_ratio = compiled_s > 0 ? obs_on_s / compiled_s : 0.0;
+  all_ok = all_ok && obs_ratio <= 1.05;
+  std::cout << "  obs armed:        " << obs_on_s << " s (ratio " << obs_ratio
+            << "x vs idle, budget 1.05x)\n";
+
   bench::JsonReport report("E10");
   report.workload("rendezvous", 2);
   report.metric("sweep_seconds", sweep_seconds);
+  report.metric("obs_on_seconds", obs_on_s);
+  report.metric("obs_overhead_ratio", obs_ratio);
+  util::ObservabilitySummary obs_summary;
+  // The E10 batteries defeat every sampled automaton on some grid, but a
+  // zero-defeat (survivor) grid result is still possible per automaton;
+  // -1 records "no survivor observed" honestly.
+  obs_summary.time_to_first_survivor_ms =
+      probe_stats.time_to_first_survivor_ns < 0
+          ? -1.0
+          : static_cast<double>(probe_stats.time_to_first_survivor_ns) / 1e6;
+  obs_summary.inter_result_delay_p50_ms = probe_stats.delay_quantile_ms(0.50);
+  obs_summary.inter_result_delay_p99_ms = probe_stats.delay_quantile_ms(0.99);
+  obs_summary.results = probe_stats.results;
+  obs_summary.survivors = probe_stats.survivors;
+  obs_summary.trace_bytes = obs::flush();
+  obs_summary.dropped_events = obs::dropped_events();
+  report.observability(obs_summary);
   report.metric("profile_automata", static_cast<double>(sample.size()));
   report.metric("profile_defeats", static_cast<double>(compiled_sum));
   util::EngineComparison comparison;

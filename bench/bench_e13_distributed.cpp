@@ -40,6 +40,9 @@
 #include "dist/serialize.hpp"
 #include "dist/shard_plan.hpp"
 #include "dist/workload.hpp"
+#include "obs/enum_stats.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/orbit_cache.hpp"
 #include "sim/simd.hpp"
 
@@ -59,6 +62,11 @@ std::string cli_path(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // RVT_TRACE_FILE=<path> arms the trace recorder here AND in every
+  // child (the env is inherited): child flushes append their own
+  // self-contained chunks to the same file, so one `rvt_cli trace
+  // export --chrome` shows the whole distributed run.
+  rvt::obs::configure_from_env();
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 14;
   bench::header(
       "E13 distributed enumeration (sharded E10 battery)",
@@ -77,14 +85,18 @@ int main(int argc, char** argv) {
   // workload over a private in-memory cache.
   bench::WallTimer single_timer;
   std::uint64_t single_total = 0;
+  obs::EnumDelayTracker delay;
   {
     sim::OrbitCache cache;
     sim::EnumerationContext ctx(workload->grids(), workload->max_rounds(),
                                 &cache);
     for (std::uint64_t i = 0; i < workload->count(); ++i) {
-      single_total += workload->defeats(ctx, i);
+      const std::uint64_t v = workload->defeats(ctx, i);
+      single_total += v;
+      delay.note_result(v);
     }
   }
+  const obs::EnumDelayStats delay_stats = delay.finish();
   const double single_seconds = single_timer.seconds();
   std::cout << "single process: " << single_total << " defeats over "
             << workload->count() << " indices (" << single_seconds
@@ -192,6 +204,18 @@ int main(int argc, char** argv) {
   report.metric("distributed_seconds", dist_seconds);
   report.metric("shared_cache_files", static_cast<double>(cache_files));
   report.note("simd", sim::simd_path_name());
+  util::ObservabilitySummary obs_summary;
+  obs_summary.time_to_first_survivor_ms =
+      delay_stats.time_to_first_survivor_ns < 0
+          ? -1.0
+          : static_cast<double>(delay_stats.time_to_first_survivor_ns) / 1e6;
+  obs_summary.inter_result_delay_p50_ms = delay_stats.delay_quantile_ms(0.50);
+  obs_summary.inter_result_delay_p99_ms = delay_stats.delay_quantile_ms(0.99);
+  obs_summary.results = delay_stats.results;
+  obs_summary.survivors = delay_stats.survivors;
+  obs_summary.trace_bytes = obs::flush();
+  obs_summary.dropped_events = obs::dropped_events();
+  report.observability(obs_summary);
   report.table(table);
   std::cout << "report: " << report.write() << "\n";
 

@@ -46,6 +46,10 @@
 #include "dist/shard_plan.hpp"
 #include "dist/workload.hpp"
 #include "net/socket.hpp"
+#include "obs/enum_stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/enumeration.hpp"
 #include "sim/orbit_cache.hpp"
 #include "sim/simd.hpp"
@@ -111,6 +115,7 @@ WorkerProc launch_worker(const std::string& cli, std::uint16_t port,
 }  // namespace
 
 int main(int argc, char** argv) {
+  rvt::obs::configure_from_env();  // RVT_TRACE_FILE arms tracing here + fleet
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 14;
   bench::header(
       "E15 service tier (network coordinator + runner daemons)",
@@ -212,6 +217,21 @@ int main(int argc, char** argv) {
                     "metrics snapshot is self-consistent with the merge "
                     "(committed_defeats " +
                         std::to_string(m_defeats) + ")");
+
+    // The Prometheus endpoint must expose the same campaign: valid
+    // text exposition carrying the lease counters and delay histogram.
+    const std::string prom =
+        net::http_get("127.0.0.1", coord.metrics_port(), "/metrics");
+    std::string prom_err;
+    const bool prom_valid = obs::validate_prometheus(prom, &prom_err);
+    if (!prom_valid) std::cerr << "  /metrics: " << prom_err << "\n";
+    all_ok &= check(
+        prom_valid &&
+            prom.find("rvt_leases_granted ") != std::string::npos &&
+            prom.find("rvt_recovery_resumes ") != std::string::npos &&
+            prom.find("rvt_inter_result_delay_ns_bucket") != std::string::npos,
+        "/metrics serves valid Prometheus exposition with lease counters "
+        "and the delay histogram");
     std::cout << "  fleet wall time " << clean_seconds
               << " s, time-to-first-sealed-shard " << ttfs << " s\n";
     table.row("clean", 2, clean_rep.leases_granted, clean_rep.shards_requeued,
@@ -302,6 +322,22 @@ int main(int argc, char** argv) {
   report.metric("remote_store_stores",
                 static_cast<double>(clean_rep.tier_stores));
   report.note("simd", sim::simd_path_name());
+  // Enumeration-delay observability over both fleet phases, merged the
+  // same deterministic bucket-wise way the coordinator merges shards.
+  obs::EnumDelayStats fleet_delay = clean_rep.delay;
+  fleet_delay.merge(chaos_rep.delay);
+  util::ObservabilitySummary obs_summary;
+  obs_summary.time_to_first_survivor_ms =
+      fleet_delay.time_to_first_survivor_ns < 0
+          ? -1.0
+          : static_cast<double>(fleet_delay.time_to_first_survivor_ns) / 1e6;
+  obs_summary.inter_result_delay_p50_ms = fleet_delay.delay_quantile_ms(0.50);
+  obs_summary.inter_result_delay_p99_ms = fleet_delay.delay_quantile_ms(0.99);
+  obs_summary.results = fleet_delay.results;
+  obs_summary.survivors = fleet_delay.survivors;
+  obs_summary.trace_bytes = obs::flush();
+  obs_summary.dropped_events = obs::dropped_events();
+  report.observability(obs_summary);
   report.table(table);
   std::cout << "report: " << report.write() << "\n";
 

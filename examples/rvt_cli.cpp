@@ -46,7 +46,7 @@
 //                 [--lease-timeout-ms N] [--poll-interval-ms N]
 //                 [--expect-defeats N] [--quarantine-out FILE]
 //   rvt_cli worker --connect HOST:PORT [--name S] [--cache-dir DIR]
-//                 [--throttle-ms N]
+//                 [--throttle-ms N] [--progress-interval-ms N]
 //     The shard-dispatch service tier (src/svc/): `serve` runs the
 //     network coordinator — it leases shard ranges to remote workers
 //     over TCP, journals their streamed records locally (so requeues
@@ -60,6 +60,16 @@
 //     exits when told kDrained. Without --cache-dir the worker uses the
 //     coordinator's remote orbit store. Exit codes mirror orchestrate:
 //     0 complete, 3 partial coverage (quarantined shards), 1 error.
+//
+//   rvt_cli trace export --chrome <trace-file> [--out FILE]
+//     Decodes a binary trace written under RVT_TRACE_FILE (obs/trace.hpp
+//     kTraceChunk frames, torn tail truncated) and emits Chrome-trace
+//     JSON — load it in chrome://tracing or Perfetto. Without --out the
+//     JSON goes to stdout. RVT_TRACE_FILE=<path> on any rvt_cli mode
+//     (shard run, serve, worker, ...) enables recording and flushes the
+//     trace on exit; `--progress-interval-ms N` on `shard run` and
+//     `worker` additionally prints a structured progress line to stderr
+//     at most once per interval.
 //
 //   rvt_cli gather <tree-file|-> <s0,s1,...> [options]
 //     --delays d0,d1,...             per-agent start delays (default all 0)
@@ -98,6 +108,8 @@
 #include "dist/serialize.hpp"
 #include "dist/shard_plan.hpp"
 #include "dist/workload.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/automaton.hpp"
 #include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
@@ -121,7 +133,8 @@ int usage() {
                "       rvt_cli shard plan --workload e10[:<max_n>] "
                "--shards N --out FILE\n"
                "       rvt_cli shard run <plan-file> <shard-index> "
-               "--journal-dir DIR [--cache-dir DIR]\n"
+               "--journal-dir DIR [--cache-dir DIR] "
+               "[--progress-interval-ms N]\n"
                "       rvt_cli shard merge <plan-file> --journal-dir DIR "
                "[--expect-defeats N] [--quarantine FILE]\n"
                "       rvt_cli shard orchestrate <plan-file> --journal-dir "
@@ -143,7 +156,12 @@ int usage() {
                "--journal-dir after a crash)\n"
                "       rvt_cli worker --connect HOST:PORT [--name S] "
                "[--cache-dir DIR] [--throttle-ms N] [--io-timeout-ms N] "
-               "[--reconnect-attempts N] [--reconnect-base-ms N]\n";
+               "[--reconnect-attempts N] [--reconnect-base-ms N] "
+               "[--progress-interval-ms N]\n"
+               "       rvt_cli trace export --chrome <trace-file> "
+               "[--out FILE]\n"
+               "         (RVT_TRACE_FILE=<path> on any mode records a "
+               "binary trace, flushed on exit)\n";
   return 1;
 }
 
@@ -222,6 +240,7 @@ int run_shard_mode(int argc, char** argv) {
     }
     const std::size_t shard_index = static_cast<std::size_t>(shard_parsed);
     std::string journal_dir, cache_dir;
+    dist::ShardRunOptions run_opt;
     for (int i = 5; i < argc; ++i) {
       const std::string a = argv[i];
       auto next = [&]() -> const char* {
@@ -235,6 +254,12 @@ int run_shard_mode(int argc, char** argv) {
         journal_dir = next();
       } else if (a == "--cache-dir") {
         cache_dir = next();
+      } else if (a == "--progress-interval-ms") {
+        if (!parse_u64_strict(next(), run_opt.progress_interval_ms)) {
+          std::cerr << "bad value for --progress-interval-ms: " << argv[i]
+                    << "\n";
+          return 1;
+        }
       } else {
         return usage();
       }
@@ -250,7 +275,7 @@ int run_shard_mode(int argc, char** argv) {
         cache.set_backing(tier.get());
       }
       const dist::ShardRunStats stats =
-          dist::run_shard(*w, plan, shard_index, journal_dir, &cache);
+          dist::run_shard(*w, plan, shard_index, journal_dir, &cache, run_opt);
       const auto cs = cache.stats();
       if (stats.already_complete) {
         std::cout << "shard " << shard_index
@@ -570,7 +595,8 @@ int run_serve_mode(int argc, char** argv) {
               << plan.count << " indices, " << plan.shards.size()
               << " shards; dispatch port " << coord.port()
               << ", metrics http://127.0.0.1:" << coord.metrics_port()
-              << "/\n"
+              << "/ (Prometheus at /metrics); campaign id "
+              << coord.campaign_id() << "\n"
               << std::flush;
     if (resume) {
       const svc::ServiceReport r0 = coord.report();
@@ -688,6 +714,12 @@ int run_worker_mode(int argc, char** argv) {
         return 1;
       }
       opt.reconnect.base_delay = std::chrono::milliseconds(n);
+    } else if (a == "--progress-interval-ms") {
+      if (!parse_u64_strict(next(), opt.progress_interval_ms)) {
+        std::cerr << "bad value for --progress-interval-ms: " << argv[i]
+                  << "\n";
+        return 1;
+      }
     } else {
       return usage();
     }
@@ -720,6 +752,59 @@ int run_worker_mode(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::cerr << "worker: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_trace_mode(int argc, char** argv) {
+  using namespace rvt;
+  if (argc < 3 || std::strcmp(argv[2], "export") != 0) return usage();
+  bool chrome = false;
+  std::string trace_file, out_file;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--chrome") {
+      chrome = true;
+    } else if (a == "--out") {
+      if (i + 1 >= argc) {
+        std::cerr << a << " needs a value\n";
+        return 1;
+      }
+      out_file = argv[++i];
+    } else if (trace_file.empty() && a.rfind("--", 0) != 0) {
+      trace_file = a;
+    } else {
+      return usage();
+    }
+  }
+  // --chrome is the only format today, but demanding it keeps the door
+  // open for others without a silent default changing under scripts.
+  if (!chrome || trace_file.empty()) return usage();
+  try {
+    const obs::TraceFile trace = obs::read_trace_file(trace_file);
+    std::size_t events = 0;
+    for (const auto& c : trace.chunks) events += c.events.size();
+    if (trace.truncated_bytes != 0) {
+      std::cerr << "trace export: truncated " << trace.truncated_bytes
+                << " torn tail bytes\n";
+    }
+    const std::string json = obs::export_chrome_trace(trace);
+    if (out_file.empty()) {
+      std::cout << json;
+    } else {
+      std::ofstream out(out_file, std::ios::binary);
+      out << json;
+      out.flush();
+      if (!out.good()) {
+        std::cerr << "trace export: cannot write " << out_file << "\n";
+        return 1;
+      }
+      std::cerr << "trace export: " << trace.chunks.size() << " chunks, "
+                << events << " events -> " << out_file << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "trace export: " << e.what() << "\n";
     return 1;
   }
   return 0;
@@ -910,14 +995,25 @@ int main(int argc, char** argv) {
     std::cerr << "RVT_FAILPOINTS: " << e.what() << "\n";
     return 1;
   }
+  // RVT_TRACE_FILE=<path> arms the trace recorder for any mode; the
+  // matching flush below is the quiescent point every mode exits
+  // through.
+  obs::configure_from_env();
+  const auto finish = [](int rc) {
+    obs::flush();
+    return rc;
+  };
   if (argc >= 2 && std::strcmp(argv[1], "shard") == 0) {
-    return run_shard_mode(argc, argv);
+    return finish(run_shard_mode(argc, argv));
   }
   if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
-    return run_serve_mode(argc, argv);
+    return finish(run_serve_mode(argc, argv));
   }
   if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
-    return run_worker_mode(argc, argv);
+    return finish(run_worker_mode(argc, argv));
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "trace") == 0) {
+    return run_trace_mode(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "gather") == 0) {
     return run_gather_mode(argc, argv);

@@ -1,16 +1,36 @@
 #include "dist/runner.hpp"
 
+#include <cstdio>
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/failpoint.hpp"
 
 namespace rvt::dist {
 
+namespace {
+
+/// The satellite `--progress-interval-ms` line: one structured stderr
+/// line an operator (or a log scraper) can follow mid-shard.
+void emit_progress(std::size_t shard_index, std::uint64_t committed,
+                   const obs::EnumDelayStats& d) {
+  std::fprintf(stderr,
+               "progress shard=%zu committed=%llu survivors=%llu "
+               "inter_result_delay_p50_ms=%.3f inter_result_delay_p99_ms="
+               "%.3f\n",
+               shard_index, static_cast<unsigned long long>(committed),
+               static_cast<unsigned long long>(d.survivors),
+               d.delay_quantile_ms(0.50), d.delay_quantile_ms(0.99));
+}
+
+}  // namespace
+
 ShardRunStats run_shard(const EnumWorkload& w, const ShardPlan& plan,
                         std::size_t shard_index,
                         const std::string& journal_dir,
-                        sim::OrbitCache* cache) {
+                        sim::OrbitCache* cache,
+                        const ShardRunOptions& options) {
   if (shard_index >= plan.shards.size()) {
     throw std::invalid_argument("run_shard: shard index out of range");
   }
@@ -63,6 +83,14 @@ ShardRunStats run_shard(const EnumWorkload& w, const ShardPlan& plan,
   stats.committed_before = writer.next_index() - spec.begin;
 
   sim::EnumerationContext ctx(w.grids(), w.max_rounds(), cache);
+  RVT_OBS_SPAN("dist.run_shard", shard_index,
+               spec.end - writer.next_index());
+  obs::EnumDelayTracker delay;
+  const std::uint64_t progress_interval_ns =
+      options.progress_interval_ms * 1'000'000;
+  std::uint64_t next_progress_ns =
+      progress_interval_ns == 0 ? UINT64_MAX
+                                : delay.start_ns() + progress_interval_ns;
   for (std::uint64_t i = writer.next_index(); i < spec.end; ++i) {
     // Chaos hook: die (or fail) at a chosen index with every earlier
     // index durably committed — the canonical mid-shard crash the
@@ -76,12 +104,19 @@ ShardRunStats run_shard(const EnumWorkload& w, const ShardPlan& plan,
       case util::FaultAction::kNone:
         break;
     }
-    writer.record(i, w.defeats(ctx, i));
+    const std::uint64_t v = w.defeats(ctx, i);
+    writer.record(i, v);
+    delay.note_result(v);
     ++stats.computed;
+    if (progress_interval_ns != 0 && obs::now_ns() >= next_progress_ns) {
+      emit_progress(shard_index, (i + 1) - spec.begin, delay.stats());
+      next_progress_ns = obs::now_ns() + progress_interval_ns;
+    }
   }
   writer.finish(writer.sum());
   stats.sum = writer.sum();
   stats.telemetry = ctx.telemetry();
+  stats.delay = delay.finish();
   if (cache != nullptr && cache->backing() != nullptr) {
     const sim::OrbitTierFaultStats fs = cache->backing()->fault_stats();
     stats.telemetry.tier_retries = fs.retries;

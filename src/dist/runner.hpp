@@ -18,6 +18,7 @@
 
 #include "dist/journal.hpp"
 #include "dist/workload.hpp"
+#include "obs/enum_stats.hpp"
 #include "sim/orbit_cache.hpp"
 
 namespace rvt::dist {
@@ -28,6 +29,16 @@ struct ShardRunStats {
   bool already_complete = false;       ///< double completion detected
   std::uint64_t sum = 0;               ///< shard aggregate after the run
   sim::EnumTelemetry telemetry;        ///< this run's pipeline telemetry
+  obs::EnumDelayStats delay;           ///< enumeration-complexity stats
+};
+
+struct ShardRunOptions {
+  /// When > 0, emit a one-line structured progress report to stderr
+  /// every this-many milliseconds of shard compute:
+  ///   progress shard=<i> committed=<n> survivors=<n>
+  ///            inter_result_delay_p50_ms=<x> inter_result_delay_p99_ms=<y>
+  /// Off (0) by default — progress is an operator aid, not telemetry.
+  std::uint64_t progress_interval_ms = 0;
 };
 
 /// Runs shard `shard_index` of `plan` for workload `w`, journaling under
@@ -39,6 +50,7 @@ struct ShardRunStats {
 ShardRunStats run_shard(const EnumWorkload& w, const ShardPlan& plan,
                         std::size_t shard_index,
                         const std::string& journal_dir,
-                        sim::OrbitCache* cache = nullptr);
+                        sim::OrbitCache* cache = nullptr,
+                        const ShardRunOptions& options = {});
 
 }  // namespace rvt::dist

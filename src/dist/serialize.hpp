@@ -65,6 +65,7 @@ enum class WireKind : std::uint16_t {
   kOrbitGet = 12,     ///< remote orbit store: load by content key
   kOrbitPut = 13,     ///< remote orbit store: best-effort publish
   kLedger = 14,       ///< coordinator write-ahead run ledger (dist/ledger.hpp)
+  kTraceChunk = 15,   ///< flushed span/event trace batch (obs/trace.hpp)
 };
 
 struct SerializeError : std::runtime_error {

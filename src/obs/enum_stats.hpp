@@ -1,0 +1,108 @@
+// Enumeration-complexity statistics: the per-shard / per-campaign
+// observables the ROADMAP's K = 4 frontier campaign needs priced —
+// time-to-first-survivor, the inter-result delay distribution, and
+// survivor throughput — in the vocabulary of the enumeration-complexity
+// literature (delay between consecutive emitted results, preprocessing
+// time before the first one).
+//
+// A "result" is one enumerated index whose verdict summary was
+// committed; a "survivor" is a result whose value is 0 (an automaton
+// the battery failed to defeat — the objects a frontier campaign
+// exists to find). Times are steady-clock nanoseconds relative to the
+// measuring process's run start, so merged campaign numbers are
+// conservative per-shard observations, never cross-clock arithmetic.
+//
+// EnumDelayStats merges exactly like its histogram: integer bucket/
+// counter adds (associative, commutative), min over first-observation
+// offsets, max over elapsed — any merge tree over the same shard set
+// produces identical bytes (DESIGN.md "Observability").
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace rvt::obs {
+
+struct EnumDelayStats {
+  /// Nanoseconds from run start to the first committed result /
+  /// survivor; -1 while none has been observed (a zero-defeat battery
+  /// legitimately never sees a survivor).
+  std::int64_t time_to_first_result_ns = -1;
+  std::int64_t time_to_first_survivor_ns = -1;
+  std::uint64_t results = 0;
+  std::uint64_t survivors = 0;
+  std::uint64_t elapsed_ns = 0;  ///< run duration of the measuring process
+  HistogramSnapshot inter_result_delay_ns;
+
+  void merge(const EnumDelayStats& other) {
+    const auto min_observed = [](std::int64_t a, std::int64_t b) {
+      if (a < 0) return b;
+      if (b < 0) return a;
+      return a < b ? a : b;
+    };
+    time_to_first_result_ns =
+        min_observed(time_to_first_result_ns, other.time_to_first_result_ns);
+    time_to_first_survivor_ns = min_observed(time_to_first_survivor_ns,
+                                             other.time_to_first_survivor_ns);
+    results += other.results;
+    survivors += other.survivors;
+    if (other.elapsed_ns > elapsed_ns) elapsed_ns = other.elapsed_ns;
+    inter_result_delay_ns.merge(other.inter_result_delay_ns);
+  }
+
+  double survivors_per_second() const {
+    if (elapsed_ns == 0) return 0.0;
+    return static_cast<double>(survivors) /
+           (static_cast<double>(elapsed_ns) / 1e9);
+  }
+
+  /// Inter-result delay quantile in milliseconds (bucket resolution).
+  double delay_quantile_ms(double q) const {
+    return static_cast<double>(inter_result_delay_ns.quantile(q)) / 1e6;
+  }
+};
+
+/// Accumulates EnumDelayStats over one run: call note_result() per
+/// committed index, finish() once at the end. Single-threaded (each
+/// shard runner / worker lease loop owns one).
+class EnumDelayTracker {
+ public:
+  EnumDelayTracker() : start_ns_(now_ns()), last_result_ns_(start_ns_) {}
+
+  void note_result(std::uint64_t value) {
+    const std::uint64_t t = now_ns();
+    if (stats_.time_to_first_result_ns < 0) {
+      stats_.time_to_first_result_ns =
+          static_cast<std::int64_t>(t - start_ns_);
+    }
+    stats_.inter_result_delay_ns.record(t - last_result_ns_);
+    last_result_ns_ = t;
+    stats_.results += 1;
+    if (value == 0) {
+      stats_.survivors += 1;
+      if (stats_.time_to_first_survivor_ns < 0) {
+        stats_.time_to_first_survivor_ns =
+            static_cast<std::int64_t>(t - start_ns_);
+      }
+    }
+  }
+
+  /// Stamps elapsed time and returns the finished stats (idempotent —
+  /// later calls re-stamp elapsed).
+  const EnumDelayStats& finish() {
+    stats_.elapsed_ns = now_ns() - start_ns_;
+    return stats_;
+  }
+
+  const EnumDelayStats& stats() const { return stats_; }
+  std::uint64_t start_ns() const { return start_ns_; }
+
+ private:
+  std::uint64_t start_ns_;
+  std::uint64_t last_result_ns_;
+  EnumDelayStats stats_;
+};
+
+}  // namespace rvt::obs

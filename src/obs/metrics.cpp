@@ -1,0 +1,224 @@
+#include "obs/metrics.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace rvt::obs {
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th sample, 1-based; ceil without float edge cases.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank < count &&
+      static_cast<double>(rank) < q * static_cast<double>(count)) {
+    ++rank;
+  }
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return histogram_bucket_upper_bound(i);
+  }
+  return histogram_bucket_upper_bound(kHistogramBuckets - 1);
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // deque: stable addresses across growth (the registry hands out
+  // references that must outlive later registrations).
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*> counter_by_name;
+  std::map<std::string, Gauge*> gauge_by_name;
+  std::map<std::string, Histogram*> histogram_by_name;
+};
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl i;
+  return i;
+}
+
+namespace {
+void require_valid_name(const std::string& name) {
+  if (!valid_metric_name(name)) {
+    throw std::runtime_error("obs::Registry: invalid metric name '" + name +
+                             "'");
+  }
+}
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  require_valid_name(name);
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.counter_by_name.find(name);
+  if (it != im.counter_by_name.end()) return *it->second;
+  im.counters.emplace_back();
+  im.counter_by_name.emplace(name, &im.counters.back());
+  return im.counters.back();
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  require_valid_name(name);
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.gauge_by_name.find(name);
+  if (it != im.gauge_by_name.end()) return *it->second;
+  im.gauges.emplace_back();
+  im.gauge_by_name.emplace(name, &im.gauges.back());
+  return im.gauges.back();
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  require_valid_name(name);
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.histogram_by_name.find(name);
+  if (it != im.histogram_by_name.end()) return *it->second;
+  im.histograms.emplace_back();
+  im.histogram_by_name.emplace(name, &im.histograms.back());
+  return im.histograms.back();
+}
+
+void Registry::reset_for_test() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.counter_by_name.clear();
+  im.gauge_by_name.clear();
+  im.histogram_by_name.clear();
+  im.counters.clear();
+  im.gauges.clear();
+  im.histograms.clear();
+}
+
+std::string Registry::prometheus() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::ostringstream os;
+  for (const auto& [name, c] : im.counter_by_name) {
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : im.gauge_by_name) {
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : im.histogram_by_name) {
+    os << prometheus_histogram(name, h->snapshot());
+  }
+  return os.str();
+}
+
+std::string prometheus_histogram(const std::string& name,
+                                 const HistogramSnapshot& s) {
+  std::ostringstream os;
+  os << "# TYPE " << name << " histogram\n";
+  // Emit finite buckets only up to the last occupied one — the +Inf
+  // bucket below carries the total, and 64 mostly-zero series per
+  // histogram would drown the scrape.
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (s.buckets[i] != 0) last = i;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0;
+       s.count != 0 && i <= last && i < kHistogramBuckets - 1; ++i) {
+    cumulative += s.buckets[i];
+    os << name << "_bucket{le=\"" << histogram_bucket_upper_bound(i) << "\"} "
+       << cumulative << "\n";
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+  os << name << "_sum " << s.sum << "\n";
+  os << name << "_count " << s.count << "\n";
+  return os.str();
+}
+
+bool validate_prometheus(const std::string& text, std::string* err) {
+  const auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (err != nullptr) {
+      *err = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  std::size_t line_no = 0;
+  std::size_t samples = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment lines must be "# HELP ..." or "# TYPE ...".
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0) {
+        return fail(line_no, "comment is neither # HELP nor # TYPE");
+      }
+      continue;
+    }
+    // Sample: name[{labels}] value
+    std::size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' &&
+           line[name_end] != ' ') {
+      ++name_end;
+    }
+    const std::string name = line.substr(0, name_end);
+    if (!valid_metric_name(name)) {
+      return fail(line_no, "invalid metric name '" + name + "'");
+    }
+    std::size_t pos = name_end;
+    if (pos < line.size() && line[pos] == '{') {
+      const std::size_t close = line.find('}', pos);
+      if (close == std::string::npos) {
+        return fail(line_no, "unterminated label set");
+      }
+      pos = close + 1;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return fail(line_no, "missing value separator");
+    }
+    const std::string value = line.substr(pos + 1);
+    if (value.empty()) return fail(line_no, "missing sample value");
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return fail(line_no, "unparseable sample value '" + value + "'");
+      }
+    }
+    ++samples;
+  }
+  if (samples == 0) return fail(line_no, "no samples in exposition");
+  if (err != nullptr) err->clear();
+  return true;
+}
+
+}  // namespace rvt::obs

@@ -1,0 +1,172 @@
+// Lock-free metrics: counters, gauges and log-bucketed latency
+// histograms behind a process-wide named registry, rendered to
+// Prometheus text exposition format.
+//
+// The histogram layout is FIXED at 64 power-of-two buckets so that
+// histograms recorded on different shards (different processes,
+// different machines) merge bit-deterministically on the coordinator:
+// bucket i of the merge is the integer sum of every input's bucket i,
+// independent of merge order or grouping (integer addition is
+// associative and commutative — the determinism argument in DESIGN.md
+// "Observability"). Bucket 0 holds exact zeros; bucket i >= 1 holds
+// values in [2^(i-1), 2^i - 1]; bucket 63 additionally absorbs
+// everything above 2^62 - 1. A recorded value is therefore located by
+// its bit width — one `std::bit_width` and one increment, no float
+// math, no configuration to disagree about across versions.
+//
+// Two histogram types split the hot path from the bookkeeping path:
+//  * Histogram — per-bucket relaxed atomics, safe to record into from
+//    any thread with no lock (the registry hot path);
+//  * HistogramSnapshot — plain integers with record/merge/quantile,
+//    for single-threaded stats structs (ShardRunStats, WorkerReport)
+//    and for coordinator state already serialized under its mutex.
+// Histogram::snapshot() bridges the two.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace rvt::obs {
+
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Bucket index of a recorded value: 0 for 0, else bit_width clamped to
+/// the last bucket. bucket_upper_bound(i) is the largest value bucket i
+/// can hold (UINT64_MAX for the absorbing last bucket).
+inline std::size_t histogram_bucket(std::uint64_t v) {
+  if (v == 0) return 0;
+  const std::size_t w = static_cast<std::size_t>(std::bit_width(v));
+  return w < kHistogramBuckets ? w : kHistogramBuckets - 1;
+}
+
+inline std::uint64_t histogram_bucket_upper_bound(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= kHistogramBuckets - 1) return UINT64_MAX;
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+/// Plain-integer histogram: the mergeable, serializable form. Not
+/// thread-safe — use from one thread or under the owner's lock.
+struct HistogramSnapshot {
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  ///< saturating sum of recorded values
+
+  void record(std::uint64_t v) {
+    buckets[histogram_bucket(v)] += 1;
+    count += 1;
+    const std::uint64_t s = sum + v;
+    sum = s < sum ? UINT64_MAX : s;  // saturate, never wrap
+  }
+
+  /// Bucket-wise integer add — associative and commutative, so any
+  /// merge tree over the same shard set yields identical bytes.
+  void merge(const HistogramSnapshot& other) {
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      buckets[i] += other.buckets[i];
+    }
+    count += other.count;
+    const std::uint64_t s = sum + other.sum;
+    sum = s < sum ? UINT64_MAX : s;
+  }
+
+  /// Upper bound of the first bucket whose cumulative count reaches
+  /// q * count (q in [0, 1]); 0 for an empty histogram. Quantiles are
+  /// bucket-resolution (a factor-of-2 band), which is what a
+  /// log-bucketed latency histogram can honestly claim.
+  std::uint64_t quantile(double q) const;
+};
+
+/// Lock-free histogram for concurrent recording. Merging and quantiles
+/// go through snapshot().
+class Histogram {
+ public:
+  void record(std::uint64_t v) {
+    buckets_[histogram_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+      s.count += s.buckets[i];
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Process-wide named metrics. Lookup takes a short mutex (hot sites
+/// amortize it behind a static local reference); recording into the
+/// returned metric is lock-free. Returned references are stable for the
+/// process lifetime. Names must match the Prometheus metric-name
+/// grammar [a-zA-Z_:][a-zA-Z0-9_:]* — registration asserts it so an
+/// invalid name fails at the site, not in the scrape.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Prometheus text exposition (version 0.0.4): "# TYPE" headers,
+  /// counters/gauges as single samples, histograms as cumulative
+  /// `_bucket{le="..."}` series plus `_sum` and `_count`. Sorted by
+  /// metric name so the output is deterministic.
+  std::string prometheus() const;
+
+  /// Drops every registered metric — tests only (the registry is a
+  /// process singleton and tests must not see each other's metrics).
+  void reset_for_test();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// True iff `name` matches the Prometheus metric-name grammar.
+bool valid_metric_name(const std::string& name);
+
+/// Renders one snapshot as a Prometheus histogram family ("# TYPE",
+/// cumulative `_bucket{le="..."}` up to the last occupied bucket, then
+/// +Inf, `_sum`, `_count`) — shared by Registry::prometheus() and the
+/// coordinator's /metrics rendering of report-side snapshots.
+std::string prometheus_histogram(const std::string& name,
+                                 const HistogramSnapshot& s);
+
+/// Structural validator for Prometheus text exposition format — the
+/// checker CI points at the live /metrics endpoint. Accepts comment
+/// lines (# HELP / # TYPE), blank lines, and sample lines
+/// `name[{labels}] value`; rejects anything else with a line-numbered
+/// reason in *err. An empty body is invalid (a scrape that returned
+/// nothing measured nothing).
+bool validate_prometheus(const std::string& text, std::string* err);
+
+}  // namespace rvt::obs

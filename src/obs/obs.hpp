@@ -1,0 +1,67 @@
+// Observability root: the compile-time gate, the runtime gate, and the
+// monotonic clock every obs component timestamps against.
+//
+// The subsystem follows the failpoint discipline (util/failpoint.hpp):
+// instrumentation sites are compiled in permanently under the default
+// build and cost ONE relaxed atomic load + predictable branch while
+// observation is idle — cheap enough to leave in the enumeration hot
+// path, as the E10 on/off overhead probe asserts (<= 1.05x). For builds
+// that want the sites gone entirely, `-DRVT_OBS=OFF` (CMake) defines
+// RVT_OBS_ENABLED=0 and the RVT_OBS_SPAN macro compiles to nothing; the
+// offline halves (histogram snapshots, trace-file decoding, exporters,
+// validators) stay compiled so tools and reports work in every build.
+//
+// Clock domains: every timestamp here is std::chrono::steady_clock
+// rendered as nanoseconds (now_ns()). Steady time is process-local —
+// two processes' raw timestamps are NOT comparable — so cross-process
+// stitching happens by trace/campaign ID (obs/trace.hpp), never by
+// clock arithmetic. Durations and inter-result delays are differences
+// of one process's steady clock and therefore immune to wall-clock
+// steps. See DESIGN.md "Observability".
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+// Compile-time gate. The build defines RVT_OBS_ENABLED=0 under
+// -DRVT_OBS=OFF; default (and any non-CMake inclusion) is on.
+#ifndef RVT_OBS_ENABLED
+#define RVT_OBS_ENABLED 1
+#endif
+
+namespace rvt::obs {
+
+namespace detail {
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace detail
+
+/// The runtime gate every hot instrumentation site checks first: one
+/// relaxed load. Off by default — a process observes nothing until a
+/// driver opts in (set_enabled(), or trace::configure_from_env() seeing
+/// RVT_TRACE_FILE). Library code never flips this; drivers do.
+inline bool enabled() {
+#if RVT_OBS_ENABLED
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch
+/// (steady_clock). Comparable within one process only.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace rvt::obs

@@ -1,0 +1,170 @@
+// Span/event trace recorder: per-thread ring buffers over the
+// monotonic clock, flushed to a framed binary trace file and exported
+// to Chrome-trace ("Perfetto") JSON by `rvt_cli trace export --chrome`.
+//
+// Recording discipline (the hot-path contract):
+//  * a site names itself ONCE via a static-local intern() — the mutex
+//    behind the string table is paid at first execution only;
+//  * RVT_OBS_SPAN(site) costs one relaxed atomic load when observation
+//    is idle (obs::enabled() false) and two clock reads plus one ring
+//    slot when active; under -DRVT_OBS=OFF it compiles to nothing;
+//  * each thread records into its own fixed ring (kRingCapacity
+//    events). On overflow the OLDEST events are overwritten and a
+//    dropped-events counter advances — the hot path never blocks and
+//    never allocates after thread registration.
+//
+// Flushing happens at QUIESCENT points (end of a worker's run, end of
+// a shard, CLI exit), never concurrently with hot recording: flush()
+// walks every registered thread ring under the registration mutex and
+// appends one kTraceChunk frame (32-byte checksummed wire header,
+// dist/serialize.hpp) to the configured file. Each chunk is
+// self-contained — it carries the full interned-name table — so a
+// reader needs no cross-chunk state and a torn tail (a crash mid-
+// append) truncates to the last whole chunk exactly like a torn shard
+// journal.
+//
+// Cross-process stitching: raw steady-clock timestamps are process-
+// local, so chunks carry the CAMPAIGN ID the coordinator mints and
+// propagates through lease grants (svc/protocol.hpp, protocol v3).
+// The Chrome exporter maps campaign id -> pid and thread id -> tid,
+// so every worker's spans land under the campaign's process row in
+// the trace viewer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace rvt::obs {
+
+/// Per-thread ring capacity in events. At 39 wire bytes per event a
+/// full ring flushes to ~640 KiB — bounded, and far more history than
+/// a shard run needs between quiescent flushes.
+inline constexpr std::size_t kRingCapacity = 1 << 14;
+
+enum class EventKind : std::uint8_t {
+  kSpan = 0,     ///< duration event: [ts_ns, ts_ns + dur_ns)
+  kInstant = 1,  ///< point event: ts_ns (dur_ns = 0)
+};
+
+/// One recorded event; POD, fixed layout (serialized field-by-field,
+/// never memcpy'd, so padding never reaches the wire).
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;   ///< steady-clock start, process-local
+  std::uint64_t dur_ns = 0;  ///< 0 for instants
+  std::uint64_t a = 0;       ///< site-defined argument (shard index, ...)
+  std::uint64_t b = 0;       ///< site-defined argument
+  std::uint32_t name_id = 0;
+  std::uint16_t tid = 0;  ///< recorder-assigned small thread id
+  EventKind kind = EventKind::kSpan;
+};
+
+/// Interns a site name, returning its stable id. Call once per site
+/// through a static local:
+///   static const std::uint32_t id = obs::intern("worker.lease");
+std::uint32_t intern(const std::string& name);
+
+/// Records a completed span / an instant event into the calling
+/// thread's ring. No-ops (after the enabled() load) while idle.
+void record_span(std::uint32_t name_id, std::uint64_t start_ns,
+                 std::uint64_t end_ns, std::uint64_t a = 0,
+                 std::uint64_t b = 0);
+void record_instant(std::uint32_t name_id, std::uint64_t a = 0,
+                    std::uint64_t b = 0);
+
+/// RAII span: stamps the clock on construction iff enabled, records on
+/// destruction. Prefer the RVT_OBS_SPAN macro at call sites.
+class Span {
+ public:
+  explicit Span(std::uint32_t name_id, std::uint64_t a = 0,
+                std::uint64_t b = 0)
+      : name_id_(name_id), a_(a), b_(b), start_(enabled() ? now_ns() : 0) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (start_ != 0) record_span(name_id_, start_, now_ns(), a_, b_);
+  }
+
+ private:
+  std::uint32_t name_id_;
+  std::uint64_t a_, b_;
+  std::uint64_t start_;
+};
+
+// Scoped span macro: compiled out entirely under -DRVT_OBS=OFF, one
+// relaxed load while idle otherwise. `site` must be a string literal.
+#if RVT_OBS_ENABLED
+#define RVT_OBS_CONCAT_(a, b) a##b
+#define RVT_OBS_CONCAT(a, b) RVT_OBS_CONCAT_(a, b)
+#define RVT_OBS_SPAN(site, ...)                                     \
+  static const std::uint32_t RVT_OBS_CONCAT(rvt_obs_site_,          \
+                                            __LINE__) =             \
+      ::rvt::obs::intern(site);                                     \
+  ::rvt::obs::Span RVT_OBS_CONCAT(rvt_obs_span_, __LINE__)(         \
+      RVT_OBS_CONCAT(rvt_obs_site_, __LINE__), ##__VA_ARGS__)
+#else
+#define RVT_OBS_SPAN(site, ...) ((void)0)
+#endif
+
+/// The campaign/trace id recorded into every flushed chunk. Workers
+/// adopt the id carried by their lease grant; the coordinator and
+/// single-process drivers mint it (svc/coordinator.hpp derives it from
+/// the plan fingerprint so resumed campaigns keep stitching).
+void set_campaign_id(std::uint64_t id);
+std::uint64_t campaign_id();
+
+/// Binds the trace output file. Empty path disables flushing (events
+/// still ring-buffer while enabled, then age out).
+void set_trace_path(const std::string& path);
+std::string trace_path();
+
+/// Driver-only env hook, mirroring FailPointRegistry::configure_from_env:
+/// RVT_TRACE_FILE=<path> binds the output file AND flips the runtime
+/// gate on. Library code never calls this.
+void configure_from_env();
+
+/// Appends one kTraceChunk frame with every event recorded since the
+/// last flush (all threads) to the configured file. Returns bytes
+/// appended (0 when no path is bound or nothing was recorded). Call at
+/// quiescent points only — concurrent hot-path recording during a
+/// flush can lose (never corrupt) events.
+std::uint64_t flush();
+
+/// Total events overwritten in rings before they could be flushed.
+std::uint64_t dropped_events();
+
+// ---- offline half: trace-file decoding + export (always compiled) --------
+
+/// One decoded kTraceChunk.
+struct TraceChunk {
+  std::uint64_t campaign_id = 0;
+  std::uint64_t dropped = 0;  ///< dropped-events counter at flush time
+  std::vector<std::string> names;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceFile {
+  std::vector<TraceChunk> chunks;
+  std::uint64_t truncated_bytes = 0;  ///< torn tail discarded, if any
+};
+
+/// Reads a trace file, truncating at the first undecodable frame —
+/// incomplete header, short payload, checksum refusal — exactly like
+/// the journal reader treats a torn tail. Every whole chunk before the
+/// tear survives; a missing file reads as an empty trace (traces are
+/// diagnostics, never data of record).
+TraceFile read_trace_file(const std::string& path);
+
+/// Renders chunks to Chrome-trace JSON (the `{"traceEvents": [...]}`
+/// object form): spans as ph="X" with microsecond ts/dur, instants as
+/// ph="i", pid = campaign id, tid = recorder thread id.
+std::string export_chrome_trace(const TraceFile& trace);
+
+/// Structural checker for the exporter's output, used by CI on the
+/// artifact exported from a live run: traceEvents array present, at
+/// least one event, every event object carries name/ph/ts/pid.
+bool validate_chrome_trace(const std::string& json, std::string* err);
+
+}  // namespace rvt::obs

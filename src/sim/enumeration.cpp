@@ -3,9 +3,37 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/verify_core.hpp"
 
 namespace rvt::sim {
+
+namespace {
+
+/// Observability for the binding path, split by orbit-cache outcome so
+/// the scrape shows the tier's latency shape (a hot tier keeps the hit
+/// histogram orders of magnitude below the miss one). Gated: a
+/// disabled process pays exactly the obs::enabled() relaxed load —
+/// prepare() passes t0 == 0 and this returns on the first branch. The
+/// registry references are static locals, so the lookup mutex is paid
+/// once per process, not per binding.
+inline void note_binding_prepared(std::uint64_t t0_ns, bool cache_hit) {
+  if (t0_ns == 0) return;
+  static obs::Histogram& hit_ns =
+      obs::Registry::instance().histogram("rvt_enum_bind_hit_ns");
+  static obs::Histogram& miss_ns =
+      obs::Registry::instance().histogram("rvt_enum_bind_miss_ns");
+  static obs::Counter& hits =
+      obs::Registry::instance().counter("rvt_orbit_cache_hits_total");
+  static obs::Counter& misses =
+      obs::Registry::instance().counter("rvt_orbit_cache_misses_total");
+  const std::uint64_t dt = obs::now_ns() - t0_ns;
+  (cache_hit ? hit_ns : miss_ns).record(dt);
+  (cache_hit ? hits : misses).add(1);
+}
+
+}  // namespace
 
 EnumerationContext::EnumerationContext(std::span<const EnumGrid> grids,
                                        std::uint64_t max_rounds,
@@ -78,6 +106,7 @@ EnumerationContext::Slot& EnumerationContext::prepare(std::size_t g) {
   }
   Slot& slot = slots_[g];
   if (slot.warmed_serial == serial_) return slot;
+  const std::uint64_t obs_t0 = obs::enabled() ? obs::now_ns() : 0;
   const bool constructed = !slot.engine.has_value();
   if (constructed) {
     slot.engine.emplace(*grids_[g].tree, *automaton_);
@@ -124,6 +153,7 @@ EnumerationContext::Slot& EnumerationContext::prepare(std::size_t g) {
         ++stats_.cache_hits;
         slot.bound_serial = serial_;
         slot.warmed_serial = serial_;
+        note_binding_prepared(obs_t0, true);
         return slot;
       } else {
         // Partial coverage: bind fully and extract the gaps locally (we
@@ -181,6 +211,7 @@ EnumerationContext::Slot& EnumerationContext::prepare(std::size_t g) {
   }
   slot.bound_serial = serial_;
   slot.warmed_serial = serial_;
+  note_binding_prepared(obs_t0, slot.cache_hit);
   return slot;
 }
 

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/protocol.hpp"
 
 namespace rvt::svc {
@@ -92,6 +94,22 @@ std::string service_json(const ServiceReport& r,
   dbl("time_to_first_record_seconds", r.time_to_first_record_seconds);
   dbl("time_to_first_sealed_shard_seconds",
       r.time_to_first_sealed_shard_seconds);
+  u64("uptime_ms", r.uptime_ms);
+  u64("campaign_id", r.campaign_id);
+  u64("survivors", r.delay.survivors);
+  dbl("survivors_per_second", r.delay.survivors_per_second());
+  dbl("time_to_first_survivor_ms",
+      r.delay.time_to_first_survivor_ns < 0
+          ? -1.0
+          : static_cast<double>(r.delay.time_to_first_survivor_ns) / 1e6);
+  dbl("inter_result_delay_p50_ms", r.delay.delay_quantile_ms(0.50));
+  dbl("inter_result_delay_p99_ms", r.delay.delay_quantile_ms(0.99));
+  j += "  \"last_journal_growth_ms\": [";
+  for (std::size_t i = 0; i < r.last_journal_growth_ms.size(); ++i) {
+    j += std::string(i == 0 ? "" : ", ") +
+         std::to_string(r.last_journal_growth_ms[i]);
+  }
+  j += "],\n";
   j += "  \"runners\": [";
   for (std::size_t i = 0; i < r.runners.size(); ++i) {
     const RunnerHealth& h = r.runners[i];
@@ -108,6 +126,53 @@ std::string service_json(const ServiceReport& r,
   j += r.runners.empty() ? "]\n" : "\n  ]\n";
   j += "}\n";
   return j;
+}
+
+std::string service_prometheus(const ServiceReport& r) {
+  std::string t;
+  const auto counter = [&](const char* name, std::uint64_t v) {
+    t += std::string("# TYPE ") + name + " counter\n";
+    t += std::string(name) + " " + std::to_string(v) + "\n";
+  };
+  const auto gauge = [&](const char* name, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    t += std::string("# TYPE ") + name + " gauge\n";
+    t += std::string(name) + " " + buf + "\n";
+  };
+  gauge("rvt_uptime_ms", static_cast<double>(r.uptime_ms));
+  counter("rvt_campaign_id", r.campaign_id);
+  gauge("rvt_shards_total", static_cast<double>(r.shards_total));
+  gauge("rvt_shards_completed", static_cast<double>(r.shards_completed));
+  gauge("rvt_shards_leased", static_cast<double>(r.shards_leased));
+  gauge("rvt_shards_pending", static_cast<double>(r.shards_pending));
+  counter("rvt_shards_requeued", r.shards_requeued);
+  counter("rvt_shards_quarantined", r.shards_quarantined);
+  counter("rvt_leases_granted", r.leases_granted);
+  counter("rvt_lease_expiries", r.lease_expiries);
+  counter("rvt_runners_seen", r.runners_seen);
+  counter("rvt_committed_indices", r.committed_indices);
+  counter("rvt_committed_defeats", r.committed_defeats);
+  counter("rvt_journal_bytes_streamed", r.journal_bytes_streamed);
+  counter("rvt_recovery_resumes", r.resumed);
+  counter("rvt_recovery_ledger_records_replayed", r.ledger_records_replayed);
+  counter("rvt_recovery_leases_regranted", r.leases_regranted);
+  counter("rvt_recovery_stale_tokens_fenced", r.stale_tokens_fenced);
+  counter("rvt_recovery_worker_reconnects", r.worker_reconnects);
+  counter("rvt_survivors", r.delay.survivors);
+  gauge("rvt_survivors_per_second", r.delay.survivors_per_second());
+  gauge("rvt_time_to_first_survivor_ms",
+        r.delay.time_to_first_survivor_ns < 0
+            ? -1.0
+            : static_cast<double>(r.delay.time_to_first_survivor_ns) / 1e6);
+  t += obs::prometheus_histogram("rvt_inter_result_delay_ns",
+                                 r.delay.inter_result_delay_ns);
+  t += "# TYPE rvt_shard_last_journal_growth_ms gauge\n";
+  for (std::size_t i = 0; i < r.last_journal_growth_ms.size(); ++i) {
+    t += "rvt_shard_last_journal_growth_ms{shard=\"" + std::to_string(i) +
+         "\"} " + std::to_string(r.last_journal_growth_ms[i]) + "\n";
+  }
+  return t;
 }
 
 Coordinator::Coordinator(dist::ShardPlan plan, CoordinatorConfig cfg)
@@ -191,6 +256,14 @@ Coordinator::Coordinator(dist::ShardPlan plan, CoordinatorConfig cfg)
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (shards_[i].phase == ShardPhase::kPending) pending_.push_back(i);
   }
+  // Campaign/trace id: a deterministic mix of the plan fingerprint, so
+  // a resumed coordinator mints the SAME id and spans recorded before
+  // and after a crash stitch under one timeline. Never 0 (0 means "no
+  // campaign" on the wire).
+  campaign_id_ =
+      plan_.fingerprint.hi ^ (plan_.fingerprint.lo * 0x9e3779b97f4a7c15ULL);
+  if (campaign_id_ == 0) campaign_id_ = 1;
+  obs::set_campaign_id(campaign_id_);
   start_ = std::chrono::steady_clock::now();
   listener_ = std::make_unique<net::TcpListener>(cfg_.port);
   metrics_listener_ = std::make_unique<net::TcpListener>(cfg_.metrics_port);
@@ -475,6 +548,7 @@ std::vector<std::uint8_t> Coordinator::grant_lease_locked(
   g.next_index = s.writer->next_index();
   g.resume_sum = s.writer->sum();
   g.token = s.token;
+  g.campaign_id = campaign_id_;
   *leased = i;
   return encode(g);
 }
@@ -582,6 +656,11 @@ void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
         continue;
       }
       if (st == net::RecvStatus::kEof) break;
+      // A stopping coordinator stops SERVING, not just accepting: the
+      // frame goes unanswered, exactly as a crash would leave it — so
+      // runners experience the restart instead of quietly draining the
+      // campaign through a dying process.
+      if (stop_.load()) break;
       dist::WireKind reply_kind = f.kind;
       std::vector<std::uint8_t> reply;
       switch (f.kind) {
@@ -620,16 +699,44 @@ void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
             s.holder = name;
             my_shard = chunk.shard_index;
             try {
+              std::uint64_t chunk_survivors = 0;
               for (const JournalRecord& rec : chunk.records) {
                 s.writer->record(rec.index, rec.value);
                 ++committed_indices_;
                 committed_defeats_ += rec.value;
+                if (rec.value == 0) ++chunk_survivors;
               }
               s.last_progress = std::chrono::steady_clock::now();
               journal_bytes_streamed_ += f.payload.size();
               runners_[session_id].records_streamed += chunk.records.size();
               if (!first_record_at_ && !chunk.records.empty()) {
                 first_record_at_ = s.last_progress;
+              }
+              // Enumeration-delay observation: the chunk gap, spread
+              // evenly over the chunk's records (the coordinator sees
+              // batches, not individual results — see ServiceReport).
+              if (!chunk.records.empty()) {
+                const std::uint64_t now_off = static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        s.last_progress - start_)
+                        .count());
+                const std::uint64_t per =
+                    (now_off - s.last_chunk_off_ns) / chunk.records.size();
+                for (std::size_t n = 0; n < chunk.records.size(); ++n) {
+                  s.delay.inter_result_delay_ns.record(per);
+                }
+                s.delay.results += chunk.records.size();
+                if (s.delay.time_to_first_result_ns < 0) {
+                  s.delay.time_to_first_result_ns =
+                      static_cast<std::int64_t>(now_off);
+                }
+                s.delay.survivors += chunk_survivors;
+                if (chunk_survivors > 0 &&
+                    s.delay.time_to_first_survivor_ns < 0) {
+                  s.delay.time_to_first_survivor_ns =
+                      static_cast<std::int64_t>(now_off);
+                }
+                s.last_chunk_off_ns = now_off;
               }
               cr.accepted = true;
               cr.next_index = s.writer->next_index();
@@ -776,7 +883,14 @@ void Coordinator::handle_session(std::unique_ptr<net::TcpStream> stream,
   }
   std::lock_guard<std::mutex> lk(mu_);
   runners_[session_id].connected = false;
-  release_if_held_locked(session_id, my_shard, "runner disconnected unsealed");
+  // A session ending because the COORDINATOR is stopping is not a
+  // runner failure: the lease stays open, so the run ledger records it
+  // the way a crash would and a --resume re-grants it as interrupted
+  // (requeueing into a dying process would burn an attempt for nothing).
+  if (!stop_.load()) {
+    release_if_held_locked(session_id, my_shard,
+                           "runner disconnected unsealed");
+  }
   cv_.notify_all();
 }
 
@@ -824,10 +938,22 @@ void Coordinator::metrics_loop() {
       }
       std::string resp;
       if (req.compare(0, 4, "GET ") == 0) {
-        const std::string body = metrics_json();
-        resp = "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n"
-               "Content-Length: " +
-               std::to_string(body.size()) +
+        // "GET <path> HTTP/1.x": /metrics serves Prometheus text
+        // exposition, every other path the JSON snapshot (the original
+        // single-document behavior, kept for existing scrapers).
+        const std::size_t path_end = req.find(' ', 4);
+        const std::string path =
+            path_end == std::string::npos ? "/" : req.substr(4, path_end - 4);
+        std::string body, content_type;
+        if (path == "/metrics") {
+          body = metrics_prometheus();
+          content_type = "text/plain; version=0.0.4";
+        } else {
+          body = metrics_json();
+          content_type = "application/json";
+        }
+        resp = "HTTP/1.0 200 OK\r\nContent-Type: " + content_type +
+               "\r\nContent-Length: " + std::to_string(body.size()) +
                "\r\nConnection: close\r\n\r\n" + body;
       } else {
         resp = "HTTP/1.0 400 Bad Request\r\nConnection: close\r\n\r\n";
@@ -882,6 +1008,26 @@ ServiceReport Coordinator::report_locked() const {
     r.time_to_first_sealed_shard_seconds =
         seconds_since(start_, *first_seal_at_);
   }
+  r.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
+          .count());
+  r.campaign_id = campaign_id_;
+  r.last_journal_growth_ms.reserve(shards_.size());
+  for (const ShardState& s : shards_) {
+    r.last_journal_growth_ms.push_back(
+        s.phase == ShardPhase::kLeased
+            ? std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now - s.last_progress)
+                  .count()
+            : -1);
+    r.delay.merge(s.delay);
+  }
+  // Merge stamps elapsed as the max of the inputs' (all zero — shard
+  // stats are live accumulators); the campaign's clock is the
+  // coordinator's own uptime.
+  r.delay.elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+          .count());
   r.resumed = resumed_ ? 1 : 0;
   r.ledger_epoch = ledger_epoch_;
   r.ledger_records_replayed = ledger_records_replayed_;
@@ -921,6 +1067,12 @@ ServiceReport Coordinator::report() const {
 
 std::string Coordinator::metrics_json() const {
   return service_json(report(), plan_.workload_spec);
+}
+
+std::string Coordinator::metrics_prometheus() const {
+  // The process's own registry rides along: empty unless this process
+  // enabled obs (then the enumeration bind histograms appear here too).
+  return service_prometheus(report()) + obs::Registry::instance().prometheus();
 }
 
 std::vector<Coordinator::ShardSnapshot> Coordinator::shard_snapshots() const {

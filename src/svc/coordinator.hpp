@@ -56,6 +56,7 @@
 #include "dist/shard_plan.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/enum_stats.hpp"
 #include "sim/orbit_cache.hpp"
 
 namespace rvt::svc {
@@ -134,6 +135,20 @@ struct ServiceReport {
   std::uint64_t leases_regranted = 0;      ///< re-grants of pre-crash leases
   std::uint64_t stale_tokens_fenced = 0;   ///< pre-crash/expired tokens refused
   std::uint64_t worker_reconnects = 0;     ///< per-name max, summed
+  // Observability (PR 9): the campaign identity and the enumeration-
+  // delay stats the coordinator observes from the record stream.
+  std::uint64_t uptime_ms = 0;    ///< uptime_seconds, integer ms
+  std::uint64_t campaign_id = 0;  ///< minted from the plan fingerprint
+  /// Enumeration-delay observations merged across every shard: results/
+  /// survivors are exact (the coordinator sees every committed value);
+  /// inter-result delays are chunk-arrival gaps spread evenly over each
+  /// chunk's records (batching quantizes worker-side delays — see
+  /// DESIGN.md "Observability").
+  obs::EnumDelayStats delay;
+  /// Per-shard ms since the shard's journal last grew under its current
+  /// lease; -1 for shards not out on lease. Plan order. A stalled lease
+  /// shows a growing age here well before its expiry fires.
+  std::vector<std::int64_t> last_journal_growth_ms;
   std::vector<RunnerHealth> runners;
 
   bool all_complete() const {
@@ -144,6 +159,12 @@ struct ServiceReport {
 /// Renders the report as the metrics endpoint's JSON document.
 std::string service_json(const ServiceReport& r,
                          const std::string& workload_spec);
+
+/// Renders the report in Prometheus text exposition format — the
+/// `/metrics` path of the metrics listener. Counter names are stable
+/// scrape API (CI asserts rvt_recovery_resumes and rvt_leases_granted
+/// parse).
+std::string service_prometheus(const ServiceReport& r);
 
 class Coordinator {
  public:
@@ -192,6 +213,14 @@ class Coordinator {
 
   ServiceReport report() const;
   std::string metrics_json() const;
+  /// The /metrics Prometheus exposition: the report's counters plus the
+  /// process's own obs registry (enumeration histograms, if any).
+  std::string metrics_prometheus() const;
+
+  /// Campaign/trace id propagated in every lease grant. Minted
+  /// deterministically from the plan fingerprint, so a resumed
+  /// coordinator keeps the id and pre/post-restart spans stitch.
+  std::uint64_t campaign_id() const { return campaign_id_; }
 
   /// Per-shard control state, plan order (see ShardSnapshot).
   std::vector<ShardSnapshot> shard_snapshots() const;
@@ -216,6 +245,12 @@ class Coordinator {
     std::uint64_t sealed_sum = 0;
     bool interrupted = false;  ///< leased when the previous run crashed
     std::vector<std::string> diagnostics;  ///< one line per failed attempt
+    /// Enumeration-delay observations for this shard (see
+    /// ServiceReport::delay for the measurement semantics).
+    obs::EnumDelayStats delay;
+    /// Steady-clock offset (ns since start_) of the last accepted
+    /// chunk; 0 = none yet. Basis of the chunk-gap delay spread.
+    std::uint64_t last_chunk_off_ns = 0;
   };
 
   struct RunnerInfo {
@@ -283,6 +318,7 @@ class Coordinator {
   std::uint64_t sealed_total_ = 0;      ///< incl. adopted pre-sealed
   std::uint64_t sealed_this_run_ = 0;
   std::uint64_t tier_gets_ = 0, tier_hits_ = 0, tier_stores_ = 0;
+  std::uint64_t campaign_id_ = 0;
   std::chrono::steady_clock::time_point start_;
   std::optional<std::chrono::steady_clock::time_point> first_record_at_;
   std::optional<std::chrono::steady_clock::time_point> first_seal_at_;

@@ -36,8 +36,11 @@ namespace rvt::svc {
 /// carries the workload fingerprint the session is (re)binding to plus
 /// the worker's reconnect count, so a coordinator can refuse a worker
 /// that reconnected into a different campaign and account fleet-wide
-/// reconnects.
-inline constexpr std::uint32_t kServiceProtocolVersion = 2;
+/// reconnects; 3 = lease grants carry the coordinator-minted campaign/
+/// trace id as an OPTIONAL TAIL (decoders still accept the v2 payload
+/// — the id defaults to 0 — so a mixed-version rollout degrades to
+/// unstitched traces, never to a refused lease).
+inline constexpr std::uint32_t kServiceProtocolVersion = 3;
 
 enum class ErrorCode : std::uint32_t {
   kVersion = 1,     ///< protocol version mismatch in the hello
@@ -94,6 +97,11 @@ struct LeaseGrant {
   std::uint64_t resume_sum = 0;
   std::uint64_t token = 0;     ///< must accompany every chunk/seal
   std::uint64_t retry_ms = 0;  ///< kWait: backoff before re-requesting
+  /// Campaign/trace id the coordinator minted for this plan (protocol
+  /// v3 optional tail; 0 from a v2 peer). Workers adopt it as their
+  /// obs::trace campaign id so their spans stitch under the
+  /// coordinator's timeline in an exported trace.
+  std::uint64_t campaign_id = 0;
 };
 
 struct Heartbeat {

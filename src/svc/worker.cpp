@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -12,6 +13,9 @@
 #include "dist/workload.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/enum_stats.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "svc/net_store.hpp"
 #include "svc/protocol.hpp"
 #include "util/failpoint.hpp"
@@ -117,6 +121,19 @@ std::unique_ptr<net::TcpStream> try_connect(const std::string& host,
   }
 }
 
+/// One structured progress line to stderr — same shape as run_shard's
+/// local-runner line so fleet logs grep uniformly, plus the worker name.
+void emit_progress(const std::string& name, std::uint64_t shard,
+                   std::uint64_t computed, const obs::EnumDelayStats& d) {
+  std::fprintf(stderr,
+               "progress worker=%s shard=%llu computed=%llu survivors=%llu "
+               "inter_result_delay_p50_ms=%.3f inter_result_delay_p99_ms=%.3f\n",
+               name.c_str(), static_cast<unsigned long long>(shard),
+               static_cast<unsigned long long>(computed),
+               static_cast<unsigned long long>(d.survivors),
+               d.delay_quantile_ms(0.50), d.delay_quantile_ms(0.99));
+}
+
 }  // namespace
 
 WorkerReport run_worker(const std::string& host, std::uint16_t port,
@@ -183,7 +200,16 @@ WorkerReport run_worker(const std::string& host, std::uint16_t port,
   };
   std::optional<ActiveLease> lease;
 
+  // One tracker for the whole run: every computed index is enumeration
+  // work, whether or not its lease survived. Progress throttling rides
+  // the same monotonic clock the tracker uses.
+  obs::EnumDelayTracker delay;
+  const std::uint64_t progress_interval_ns = opt.progress_interval_ms * 1000000;
+  std::uint64_t next_progress_ns =
+      progress_interval_ns == 0 ? 0 : obs::now_ns() + progress_interval_ns;
+
   const auto flush = [&](ActiveLease& al) -> bool {
+    RVT_OBS_SPAN("svc.worker.flush", al.g.shard_index, al.buffer.size());
     JournalChunk chunk;
     chunk.shard_index = al.g.shard_index;
     chunk.token = al.g.token;
@@ -247,6 +273,10 @@ WorkerReport run_worker(const std::string& host, std::uint16_t port,
           } while (Clock::now() < until);
         } else {
           ++rep.leases;
+          // Adopt the coordinator-minted campaign id so every span this
+          // worker flushes stitches to the coordinator's trace. A v2
+          // grant carries no id (0) — leave whatever was configured.
+          if (g.campaign_id != 0) obs::set_campaign_id(g.campaign_id);
           lease.emplace();
           lease->g = g;
           lease->next = g.next_index;
@@ -256,6 +286,8 @@ WorkerReport run_worker(const std::string& host, std::uint16_t port,
         continue;
       }
       bool lost = false;
+      RVT_OBS_SPAN("svc.worker.compute", lease->g.shard_index,
+                   lease->g.end - lease->next);
       while (lease->next < lease->g.end && !lost) {
         // Chaos hook: the network-runner twin of run_shard.index — die
         // (or error out of the session) at a chosen index with every
@@ -278,6 +310,12 @@ WorkerReport run_worker(const std::string& host, std::uint16_t port,
         lease->running += v;
         ++rep.indices;
         rep.defeats += v;
+        delay.note_result(v);
+        if (progress_interval_ns != 0 && obs::now_ns() >= next_progress_ns) {
+          emit_progress(opt.name, lease->g.shard_index, rep.indices,
+                        delay.stats());
+          next_progress_ns = obs::now_ns() + progress_interval_ns;
+        }
         lease->buffer.push_back({i, v});
         const bool interval_up =
             Clock::now() - lease->last_flush >=
@@ -313,6 +351,7 @@ WorkerReport run_worker(const std::string& host, std::uint16_t port,
     }
   }
 
+  rep.delay = delay.finish();
   rep.telemetry = ctx.telemetry();
   if (cache.backing() != nullptr) {
     const sim::OrbitTierFaultStats fs = cache.backing()->fault_stats();

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/enum_stats.hpp"
 #include "sim/enumeration.hpp"
 #include "util/retry.hpp"
 
@@ -63,6 +64,12 @@ struct WorkerOptions {
   /// The sleep hook is injectable for tests.
   util::RetryPolicy reconnect{12, std::chrono::microseconds{250000},
                               std::chrono::microseconds{2000000}, {}};
+  /// When non-zero, a one-line structured progress report goes to
+  /// stderr at most once per interval:
+  ///   progress worker=<name> shard=<i> computed=<n> survivors=<s>
+  ///       inter_result_delay_p50_ms=<q> inter_result_delay_p99_ms=<q>
+  /// Off by default — progress is an operator aid, not output.
+  std::uint64_t progress_interval_ms = 0;
 };
 
 struct WorkerReport {
@@ -76,6 +83,11 @@ struct WorkerReport {
   std::uint64_t connect_retries = 0;   ///< backoff re-attempts, all connects
   std::uint64_t fenced = 0;            ///< leases lost to a token fence
   sim::EnumTelemetry telemetry;
+  /// Enumeration-delay stats over every index this worker computed
+  /// (revoked work included — it was still enumeration). Unlike the
+  /// coordinator's chunk-gap approximation, these inter-result delays
+  /// are exact per-index measurements.
+  obs::EnumDelayStats delay;
 };
 
 /// Runs the daemon loop against host:port until the coordinator drains.

@@ -82,6 +82,11 @@ void BenchReport::recovery(const RecoverySummary& r) {
   recovery_ = r;
 }
 
+void BenchReport::observability(const ObservabilitySummary& o) {
+  has_observability_ = true;
+  observability_ = o;
+}
+
 void BenchReport::metric(const std::string& key, double value) {
   numbers_.emplace_back(key, value);
 }
@@ -130,9 +135,25 @@ void BenchReport::validate() const {
         ": recovery() must report at least one coordinator resume (omit "
         "the call for runs without restarts)");
   }
+  if (has_observability_) {
+    if (observability_.results == 0) {
+      throw std::runtime_error(
+          "BenchReport " + id_ +
+          ": observability() must report at least one enumeration result "
+          "(omit the call for runs that observed nothing)");
+    }
+    if (!std::isfinite(observability_.time_to_first_survivor_ms) ||
+        !std::isfinite(observability_.inter_result_delay_p50_ms) ||
+        !std::isfinite(observability_.inter_result_delay_p99_ms)) {
+      throw std::runtime_error(
+          "BenchReport " + id_ +
+          ": observability() delay fields must be finite");
+    }
+  }
   std::unordered_set<std::string> keys{
-      "id",     "seed",   "columns", "rows",    "workload",  "agents",
-      "shards", "faults", "service", "recovery", "schema_version"};
+      "id",      "seed",     "columns",       "rows",
+      "workload", "agents",  "shards",        "faults",
+      "service", "recovery", "observability", "schema_version"};
   const auto claim = [&](const std::string& key) {
     if (key.empty()) {
       throw std::runtime_error("BenchReport " + id_ + ": empty key");
@@ -202,6 +223,19 @@ std::string BenchReport::write() const {
        << ",\n    \"leases_regranted\": " << recovery_.leases_regranted
        << ",\n    \"stale_tokens_fenced\": " << recovery_.stale_tokens_fenced
        << ",\n    \"worker_reconnects\": " << recovery_.worker_reconnects
+       << "\n  }";
+  }
+  if (has_observability_) {
+    os << ",\n  \"observability\": {\n    \"time_to_first_survivor_ms\": "
+       << format_number(observability_.time_to_first_survivor_ms)
+       << ",\n    \"inter_result_delay_p50_ms\": "
+       << format_number(observability_.inter_result_delay_p50_ms)
+       << ",\n    \"inter_result_delay_p99_ms\": "
+       << format_number(observability_.inter_result_delay_p99_ms)
+       << ",\n    \"results\": " << observability_.results
+       << ",\n    \"survivors\": " << observability_.survivors
+       << ",\n    \"trace_bytes\": " << observability_.trace_bytes
+       << ",\n    \"dropped_events\": " << observability_.dropped_events
        << "\n  }";
   }
   for (const auto& [k, v] : strings_) {

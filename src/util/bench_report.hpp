@@ -47,12 +47,15 @@ namespace rvt::util {
 /// lease churn, journal bytes streamed, time-to-first-sealed-shard);
 /// 5 = adds the optional validated "recovery" block of crash-recovery
 /// runs (coordinator resumes, ledger records replayed, re-granted
-/// leases, fenced stale tokens, worker reconnects).
+/// leases, fenced stale tokens, worker reconnects);
+/// 6 = adds the optional validated "observability" block (time to first
+/// survivor, inter-result delay quantiles, trace bytes flushed, events
+/// dropped by the trace rings).
 /// Reports WITHOUT a given field remain valid documents of the version
 /// that lacked it — consumers treat missing optional fields as "not a
 /// run of that kind", so no committed BENCH_E*.json artifact needs
 /// regeneration.
-inline constexpr std::uint64_t kBenchReportSchemaVersion = 5;
+inline constexpr std::uint64_t kBenchReportSchemaVersion = 6;
 
 /// The optional "faults" block of a chaos run (bench E14): which seeded
 /// fault scenario was injected and what the recovery machinery did
@@ -93,6 +96,22 @@ struct RecoverySummary {
   std::uint64_t worker_reconnects = 0;    ///< sessions re-established
 };
 
+/// The optional "observability" block: enumeration-complexity metrics
+/// (the paper's result-delay lens) plus trace-recorder accounting. A
+/// run that recorded no results simply omits the block.
+struct ObservabilitySummary {
+  /// Milliseconds to the first survivor (value == 0 result); -1 when
+  /// the workload produced none — for the zero-defeat batteries every
+  /// instance is defeated, and that absence is the measured fact.
+  double time_to_first_survivor_ms = -1;
+  double inter_result_delay_p50_ms = 0;  ///< bucket-resolution quantile
+  double inter_result_delay_p99_ms = 0;
+  std::uint64_t results = 0;    ///< enumeration results observed
+  std::uint64_t survivors = 0;  ///< results with value == 0
+  std::uint64_t trace_bytes = 0;     ///< bytes flushed to the trace file
+  std::uint64_t dropped_events = 0;  ///< ring overwrites before flush
+};
+
 class BenchReport {
  public:
   /// `seed` is recorded as the report's "seed" field.
@@ -129,6 +148,12 @@ class BenchReport {
   /// an undeclared report omits the block entirely.
   void recovery(const RecoverySummary& r);
 
+  /// OPTIONAL schema field: the "observability" block. validate()
+  /// rejects a declared block with zero results (an enumeration that
+  /// observed nothing measured nothing) or non-finite delay fields —
+  /// an undeclared report omits the block entirely.
+  void observability(const ObservabilitySummary& o);
+
   /// Scalar metric. Keys must be unique across metric() and note().
   void metric(const std::string& key, double value);
   /// String annotation. Keys must be unique across metric() and note().
@@ -161,6 +186,8 @@ class BenchReport {
   ServiceSummary service_;
   bool has_recovery_ = false;  ///< recovery() declared
   RecoverySummary recovery_;
+  bool has_observability_ = false;  ///< observability() declared
+  ObservabilitySummary observability_;
   std::vector<std::pair<std::string, std::string>> strings_;
   std::vector<std::pair<std::string, double>> numbers_;
   const util::Table* table_ = nullptr;
